@@ -1,0 +1,54 @@
+// Ablation (DESIGN.md §6): lock-stripe count. The paper uses 2048 stripes and
+// notes "1K-8K entries" keeps locking fine-grained and low-overhead; too few
+// stripes serialize unrelated buckets, too many waste cache.
+#include <cstdint>
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/cuckoo/cuckoo_map.h"
+
+namespace cuckoo {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  PrintBanner(config, "Ablation: stripe count",
+              "Insert + mixed throughput of cuckoo+ fine-grained vs lock-stripe table size.",
+              "throughput plateaus in the 1K-8K range; very small stripe tables contend");
+
+  ReportTable table({"stripes", "insert_mops", "mixed50_mops", "stripe_mb"});
+  for (std::size_t stripes : {16u, 64u, 256u, 1024u, 2048u, 8192u, 32768u}) {
+    double insert_mops = 0;
+    double mixed_mops = 0;
+    for (double fraction : {1.0, 0.5}) {
+      CuckooMap<std::uint64_t, std::uint64_t>::Options o;
+      o.initial_bucket_count_log2 = config.BucketLog2(8);
+      o.auto_expand = false;
+      o.stripe_count = stripes;
+      CuckooMap<std::uint64_t, std::uint64_t> map(o);
+      RunOptions ro;
+      ro.threads = config.threads;
+      ro.insert_fraction = fraction;
+      ro.total_inserts = config.FillTarget(map.SlotCount());
+      ro.seed = config.seed;
+      double mops = RunMixedFill(map, ro).OverallMops();
+      if (fraction == 1.0) {
+        insert_mops = mops;
+      } else {
+        mixed_mops = mops;
+      }
+    }
+    table.Row()
+        .Cell(static_cast<std::uint64_t>(stripes))
+        .Cell(insert_mops)
+        .Cell(mixed_mops)
+        .Cell(static_cast<double>(stripes * kCacheLineSize) / 1048576.0, 3);
+  }
+  table.Print(std::cout, config.csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cuckoo
+
+int main(int argc, char** argv) { return cuckoo::Run(argc, argv); }

@@ -1,0 +1,106 @@
+// Shared scaffolding for the figure-reproduction bench binaries.
+//
+// Every binary accepts:
+//   --slots_log2=N   table size in log2(slots)     (default 20: ~1M slots)
+//   --threads=N      maximum thread count          (default 8)
+//   --fill=F         target occupancy              (default 0.95)
+//   --seed=S         workload seed                 (default 42)
+//   --csv            emit CSV instead of an aligned table
+//
+// The paper's tables used 2^27 slots (~2 GB); pass --slots_log2=27 to
+// replicate that scale. Defaults are sized so the full bench suite finishes
+// in minutes on a small host.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/benchkit/flags.h"
+#include "src/benchkit/report.h"
+#include "src/benchkit/runner.h"
+#include "src/cuckoo/flat_cuckoo_map.h"
+#include "src/cuckoo/types.h"
+#include "src/htm/rtm.h"
+
+namespace cuckoo {
+
+struct BenchConfig {
+  std::size_t slots_log2 = 20;
+  int threads = 8;
+  double fill = 0.95;
+  std::uint64_t seed = 42;
+  bool csv = false;
+
+  static BenchConfig FromFlags(int argc, char** argv, std::int64_t default_slots_log2 = 20) {
+    Flags flags(argc, argv);
+    BenchConfig config;
+    config.slots_log2 = static_cast<std::size_t>(flags.GetInt("slots_log2", default_slots_log2));
+    config.threads = static_cast<int>(flags.GetInt("threads", 8));
+    config.fill = flags.GetDouble("fill", 0.95);
+    config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+    config.csv = flags.GetBool("csv");
+    return config;
+  }
+
+  // log2 of the bucket count for a B-way table with 2^slots_log2 slots.
+  std::size_t BucketLog2(int b) const {
+    std::size_t log2 = slots_log2;
+    while ((std::size_t{1} << log2) * static_cast<std::size_t>(b) >
+           (std::size_t{1} << slots_log2)) {
+      --log2;
+    }
+    return log2;
+  }
+
+  std::uint64_t FillTarget(std::size_t slot_count) const {
+    return static_cast<std::uint64_t>(fill * static_cast<double>(slot_count));
+  }
+};
+
+// Prints the standard figure banner: what the paper measured and what shape
+// to expect from this reproduction.
+inline void PrintBanner(const BenchConfig& config, const char* figure, const char* description,
+                        const char* paper_shape) {
+  if (config.csv) {
+    return;
+  }
+  std::printf("== %s ==\n%s\n", figure, description);
+  std::printf("paper shape: %s\n", paper_shape);
+  std::printf("host: %d hw thread(s); rtm %s; slots=2^%zu; fill=%.2f; threads<=%d\n\n",
+              NumOnlineCpus(), RtmIsUsable() ? "usable" : "emulated", config.slots_log2,
+              config.fill, config.threads);
+}
+
+// The paper's factor-analysis variants, as reusable FlatOptions.
+inline FlatOptions MemC3Options(std::size_t bucket_log2) {
+  FlatOptions o;
+  o.bucket_count_log2 = bucket_log2;
+  o.search_mode = SearchMode::kDfs;
+  o.lock_after_discovery = false;
+  o.prefetch = false;
+  return o;
+}
+
+inline FlatOptions LockLaterOptions(std::size_t bucket_log2) {
+  FlatOptions o = MemC3Options(bucket_log2);
+  o.lock_after_discovery = true;
+  return o;
+}
+
+inline FlatOptions BfsOptions(std::size_t bucket_log2) {
+  FlatOptions o = LockLaterOptions(bucket_log2);
+  o.search_mode = SearchMode::kBfs;
+  return o;
+}
+
+inline FlatOptions CuckooPlusOptions(std::size_t bucket_log2) {
+  FlatOptions o = BfsOptions(bucket_log2);
+  o.prefetch = true;
+  return o;
+}
+
+}  // namespace cuckoo
+
+#endif  // BENCH_COMMON_H_

@@ -1,0 +1,69 @@
+// Figure 5a: single-thread Insert factor analysis with all locks disabled —
+// cuckoo (MemC3, DFS) -> +BFS -> +prefetch, measured overall (0-0.95) and in
+// the 0.75-0.9 and 0.9-0.95 load intervals.
+//
+// Paper numbers (Mops): overall 5.64 / 5.89 / 5.98; load 0.9-0.95
+// 1.96 / 2.48 / 2.70 — i.e. BFS helps ~26% at high load, prefetch ~9% more.
+#include <cstdint>
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/cuckoo/flat_cuckoo_map.h"
+
+namespace cuckoo {
+namespace {
+
+using Map = FlatCuckooMap<std::uint64_t, std::uint64_t, NullLock, DefaultHash<std::uint64_t>,
+                          std::equal_to<std::uint64_t>, 8>;
+
+int Run(int argc, char** argv) {
+  // Default to a table whose tag array exceeds L3: the prefetch benefit is a
+  // DRAM-latency effect and vanishes on cache-resident tables.
+  BenchConfig config = BenchConfig::FromFlags(argc, argv, /*default_slots_log2=*/24);
+  PrintBanner(config, "Figure 5a",
+              "Single-thread insert-only factor analysis, locks disabled (NullLock).",
+              "BFS improves high-load throughput ~26% over DFS; prefetch adds ~9%; "
+              "low-load throughput is barely affected");
+
+  struct Variant {
+    const char* name;
+    FlatOptions opts;
+  };
+  const std::size_t bucket_log2 = config.BucketLog2(8);
+  FlatOptions base = MemC3Options(bucket_log2);
+  base.lock_after_discovery = true;  // locks are no-ops; keep code path comparable
+  FlatOptions bfs = base;
+  bfs.search_mode = SearchMode::kBfs;
+  FlatOptions pf = bfs;
+  pf.prefetch = true;
+  const Variant variants[] = {{"cuckoo (DFS)", base}, {"+BFS", bfs}, {"+prefetch", pf}};
+
+  ReportTable table({"variant", "overall_mops", "load_0.75-0.9_mops", "load_0.9-0.95_mops",
+                     "mean_path", "max_path"});
+  for (const Variant& variant : variants) {
+    Map map(variant.opts);
+    RunOptions ro;
+    ro.threads = 1;
+    ro.insert_fraction = 1.0;
+    ro.total_inserts = config.FillTarget(map.SlotCount());
+    ro.seed = config.seed;
+    // Segment boundaries map occupancy 0.75/0.90 onto the insert budget.
+    ro.segment_boundaries = {0.75 / config.fill, 0.90 / config.fill, 1.0};
+    RunResult result = RunMixedFill(map, ro);
+    MapStatsSnapshot stats = map.Stats();
+    table.Row()
+        .Cell(variant.name)
+        .Cell(result.OverallMops())
+        .Cell(result.segments[1].MopsPerSec())
+        .Cell(result.segments[2].MopsPerSec())
+        .Cell(stats.MeanPathLength(), 3)
+        .Cell(stats.MaxPathLength());
+  }
+  table.Print(std::cout, config.csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cuckoo
+
+int main(int argc, char** argv) { return cuckoo::Run(argc, argv); }

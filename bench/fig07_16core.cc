@@ -1,0 +1,74 @@
+// Figure 7: scaling to 16 cores without TSX — cuckoo+ with fine-grained
+// locking vs. the TBB-style concurrent chaining map, at 100%/50%/10% insert.
+//
+// Paper shape (dual-socket 16-core Xeon): cuckoo+ keeps scaling for
+// write-heavy workloads where TBB only scales when reads dominate; neither
+// is perfectly linear past 8 cores (QPI traffic).
+//
+// Host note: this reproduction machine exposes a single hardware thread, so
+// thread counts beyond 1 measure oversubscription behaviour (the relative
+// ordering of the two tables is still meaningful; the slope is not).
+#include <cstdint>
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/baselines/concurrent_chaining_map.h"
+#include "src/cuckoo/cuckoo_map.h"
+
+namespace cuckoo {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  config.threads = static_cast<int>(flags.GetInt("threads", 16));
+  PrintBanner(config, "Figure 7",
+              "Throughput vs cores (1-16), no HTM: cuckoo+ fine-grained vs TBB-style.",
+              "cuckoo+ scales for write-heavy workloads; TBB-style scales only when "
+              "reads dominate and trails everywhere");
+
+  const std::size_t bucket_log2 = config.BucketLog2(8);
+  const std::uint64_t total = config.FillTarget((std::size_t{1} << bucket_log2) * 8);
+
+  ReportTable table({"workload", "table", "threads", "overall_mops"});
+  for (double fraction : {1.0, 0.5, 0.1}) {
+    for (int threads = 1; threads <= config.threads; threads *= 2) {
+      {
+        CuckooMap<std::uint64_t, std::uint64_t>::Options o;
+        o.initial_bucket_count_log2 = bucket_log2;
+        o.auto_expand = false;
+        CuckooMap<std::uint64_t, std::uint64_t> map(o);
+        RunOptions ro;
+        ro.threads = threads;
+        ro.insert_fraction = fraction;
+        ro.total_inserts = total;
+        ro.seed = config.seed;
+        table.Row()
+            .Cell(FormatDouble(fraction * 100, 0) + "% insert")
+            .Cell("cuckoo+ fine-grained")
+            .Cell(threads)
+            .Cell(RunMixedFill(map, ro).OverallMops());
+      }
+      {
+        ConcurrentChainingMap<std::uint64_t, std::uint64_t> map(std::size_t{1} << bucket_log2);
+        RunOptions ro;
+        ro.threads = threads;
+        ro.insert_fraction = fraction;
+        ro.total_inserts = total;
+        ro.seed = config.seed;
+        table.Row()
+            .Cell(FormatDouble(fraction * 100, 0) + "% insert")
+            .Cell("TBB-style")
+            .Cell(threads)
+            .Cell(RunMixedFill(map, ro).OverallMops());
+      }
+    }
+  }
+  table.Print(std::cout, config.csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cuckoo
+
+int main(int argc, char** argv) { return cuckoo::Run(argc, argv); }

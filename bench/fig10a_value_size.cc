@@ -1,0 +1,71 @@
+// Figure 10a: throughput vs. value size with a fixed number of table entries
+// (paper: 2^25 entries; default here 2^(slots_log2) slots), 8-byte keys,
+// values from 8 to 256 bytes, for 1/4/8 threads at 100% and 10% insert.
+//
+// Paper shape: throughput decreases as value size grows (memory bandwidth);
+// hyperthreading stops helping for large values (8-thread only ~27% over
+// 4-thread at 256 B).
+#include <array>
+#include <cstdint>
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/common/spinlock.h"
+#include "src/cuckoo/flat_cuckoo_map.h"
+#include "src/htm/elided_lock.h"
+
+namespace cuckoo {
+namespace {
+
+template <std::size_t N>
+void MeasureValueSize(const BenchConfig& config, ReportTable& table) {
+  using Value = std::array<char, N>;
+  struct Case {
+    int threads;
+    double fraction;
+  };
+  const Case cases[] = {{1, 1.0}, {4, 1.0}, {8, 1.0}, {1, 0.1}, {8, 0.1}};
+  for (const Case& c : cases) {
+    if (c.threads > config.threads) {
+      continue;
+    }
+    FlatCuckooMap<std::uint64_t, Value, TunedElided<SpinLock>, DefaultHash<std::uint64_t>,
+                  std::equal_to<std::uint64_t>, 8>
+        map(CuckooPlusOptions(config.BucketLog2(8)));
+    RunOptions ro;
+    ro.threads = c.threads;
+    ro.insert_fraction = c.fraction;
+    ro.total_inserts = config.FillTarget(map.SlotCount());
+    ro.seed = config.seed;
+    RunResult result = RunMixedFill(map, ro);
+    table.Row()
+        .Cell(static_cast<std::uint64_t>(N))
+        .Cell(c.threads)
+        .Cell(FormatDouble(c.fraction * 100, 0) + "% insert")
+        .Cell(result.OverallMops())
+        .Cell(static_cast<double>(map.HeapBytes()) / 1048576.0, 1);
+  }
+}
+
+int Run(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  PrintBanner(config, "Figure 10a",
+              "Throughput vs value size (8-256 B), fixed entry count, 1/4/8 threads.",
+              "throughput falls as value size rises (memory bandwidth bound); extra "
+              "threads help less and less at large values");
+
+  ReportTable table({"value_bytes", "threads", "workload", "mops", "heap_mb"});
+  MeasureValueSize<8>(config, table);
+  MeasureValueSize<16>(config, table);
+  MeasureValueSize<32>(config, table);
+  MeasureValueSize<64>(config, table);
+  MeasureValueSize<128>(config, table);
+  MeasureValueSize<256>(config, table);
+  table.Print(std::cout, config.csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cuckoo
+
+int main(int argc, char** argv) { return cuckoo::Run(argc, argv); }

@@ -1,0 +1,138 @@
+// YCSB-style workload suite over cuckoo+ — the standard KV-store benchmark
+// mixes, run against the fine-grained table with Zipf(0.99) key popularity:
+//
+//   A  update-heavy    50% read / 50% update
+//   B  read-heavy      95% read /  5% update
+//   C  read-only      100% read
+//   D  read-latest     95% read /  5% insert, reads skewed to recent inserts
+//   F  read-modify-write  50% read / 50% RMW (UpsertWith)
+//
+// Reports throughput plus p50/p99 operation latency from the benchkit
+// log-linear histogram. (YCSB E is scan-based; cuckoo tables do not support
+// ordered scans — noted in EXPERIMENTS.md.)
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/benchkit/latency.h"
+#include "src/common/timing.h"
+#include "src/cuckoo/cuckoo_map.h"
+
+namespace cuckoo {
+namespace {
+
+struct WorkloadSpec {
+  const char* name;
+  double read_fraction;
+  double update_fraction;  // in-place overwrite
+  double insert_fraction;  // fresh keys (workload D)
+  double rmw_fraction;     // read-modify-write (workload F)
+};
+
+constexpr WorkloadSpec kWorkloads[] = {
+    {"A (50r/50u)", 0.50, 0.50, 0.0, 0.0},
+    {"B (95r/5u)", 0.95, 0.05, 0.0, 0.0},
+    {"C (100r)", 1.00, 0.00, 0.0, 0.0},
+    {"D (95r/5i latest)", 0.95, 0.00, 0.05, 0.0},
+    {"F (50r/50rmw)", 0.50, 0.00, 0.0, 0.50},
+};
+
+int Run(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  PrintBanner(config, "YCSB-style suite",
+              "Standard KV benchmark mixes on cuckoo+ fine-grained, Zipf(0.99) keys, with "
+              "operation-latency percentiles.",
+              "read-heavy mixes run fastest (lock-free reads); update/RMW mixes pay "
+              "bucket-lock costs; shapes mirror Figure 6's insert-fraction trend");
+
+  const std::uint64_t resident =
+      config.FillTarget(std::size_t{1} << config.slots_log2) / 2;
+  const std::uint64_t ops_per_thread = resident / 2;
+
+  ReportTable table({"workload", "threads", "mops", "p50_ns", "p99_ns", "hit_rate"});
+  for (const WorkloadSpec& spec : kWorkloads) {
+    CuckooMap<std::uint64_t, std::uint64_t>::Options o;
+    o.initial_bucket_count_log2 = config.BucketLog2(8);
+    CuckooMap<std::uint64_t, std::uint64_t> map(o);
+    Prefill(map, resident, config.seed);
+
+    LatencyHistogram latency;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> inserted_watermark{resident};
+    std::vector<std::uint64_t> start_stop(2, 0);
+    std::size_t next_stamp = 0;
+    auto stamp = [&]() noexcept {
+      if (next_stamp < 2) {
+        start_stop[next_stamp++] = NowNanos();
+      }
+    };
+    std::barrier<decltype(stamp)> sync(config.threads + 1, stamp);
+
+    std::vector<std::jthread> team;
+    for (int t = 0; t < config.threads; ++t) {
+      team.emplace_back([&, t] {
+        Xorshift128Plus rng(Mix64(config.seed + 100 + static_cast<std::uint64_t>(t)));
+        ZipfGenerator zipf(resident, 0.99, config.seed + 7 + static_cast<std::uint64_t>(t));
+        std::uint64_t local_hits = 0;
+        std::uint64_t v;
+        std::uint64_t next_insert =
+            resident + static_cast<std::uint64_t>(t);  // strided fresh ids
+        sync.arrive_and_wait();
+        for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+          double dice = rng.NextDouble();
+          std::uint64_t began = NowNanos();
+          if (dice < spec.read_fraction) {
+            std::uint64_t id;
+            if (spec.insert_fraction > 0) {
+              // read-latest: bias toward the most recent inserts.
+              std::uint64_t mark = inserted_watermark.load(std::memory_order_relaxed);
+              std::uint64_t back = zipf.Next();
+              id = back >= mark ? 0 : mark - 1 - back;
+            } else {
+              id = zipf.Next();
+            }
+            local_hits += map.Find(KeyForId(id, config.seed), &v) ? 1 : 0;
+          } else if (dice < spec.read_fraction + spec.update_fraction) {
+            map.Update(KeyForId(zipf.Next(), config.seed), i);
+          } else if (dice < spec.read_fraction + spec.update_fraction + spec.insert_fraction) {
+            map.Insert(KeyForId(next_insert, config.seed), i);
+            next_insert += static_cast<std::uint64_t>(config.threads);
+            inserted_watermark.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            map.UpsertWith(KeyForId(zipf.Next(), config.seed),
+                           [](std::uint64_t& value) { ++value; }, 0);
+          }
+          latency.Record(NowNanos() - began);
+        }
+        hits.fetch_add(local_hits, std::memory_order_relaxed);
+        sync.arrive_and_wait();
+      });
+    }
+    sync.arrive_and_wait();
+    sync.arrive_and_wait();
+    team.clear();
+
+    const std::uint64_t total_ops =
+        ops_per_thread * static_cast<std::uint64_t>(config.threads);
+    const std::uint64_t reads = hits.load();
+    double read_ops = static_cast<double>(total_ops) * spec.read_fraction;
+    table.Row()
+        .Cell(spec.name)
+        .Cell(config.threads)
+        .Cell(Mops(total_ops, start_stop[1] - start_stop[0]))
+        .Cell(latency.PercentileNanos(0.50))
+        .Cell(latency.PercentileNanos(0.99))
+        .Cell(read_ops > 0 ? static_cast<double>(reads) / read_ops : 0.0, 3);
+  }
+  table.Print(std::cout, config.csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cuckoo
+
+int main(int argc, char** argv) { return cuckoo::Run(argc, argv); }

@@ -1,0 +1,128 @@
+// kv_cache: a MemC3/memcached-style in-process key-value cache — the workload
+// that motivated the paper's table (small fixed-size items, high GET/SET
+// concurrency, occasional DELETE).
+//
+// Simulates N client threads issuing a GET-heavy mix against one shared
+// cuckoo table and prints per-op-type throughput and hit rates, plus the
+// table's internal statistics.
+//
+//   ./build/examples/kv_cache [--threads=4] [--ops=2000000] [--get=0.90]
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/benchkit/flags.h"
+#include "src/common/random.h"
+#include "src/common/timing.h"
+#include "src/cuckoo/cuckoo_map.h"
+
+namespace {
+
+// A cache entry: 24-byte value plus a coarse "expiry" stamp, all inline —
+// no pointers, the memory layout the paper's design is built for.
+struct CacheValue {
+  std::array<char, 24> payload;
+  std::uint32_t version;
+  std::uint32_t expiry_epoch;
+};
+
+using Cache = cuckoo::CuckooMap<std::uint64_t, CacheValue>;
+
+struct WorkerTotals {
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t deletes = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cuckoo::Flags flags(argc, argv);
+  const int threads = static_cast<int>(flags.GetInt("threads", 4));
+  const std::uint64_t total_ops = static_cast<std::uint64_t>(flags.GetInt("ops", 2000000));
+  const double get_fraction = flags.GetDouble("get", 0.90);
+  const std::uint64_t key_space = static_cast<std::uint64_t>(flags.GetInt("keys", 1 << 18));
+
+  Cache::Options options;
+  options.initial_bucket_count_log2 = 15;  // grows on demand
+  Cache cache(options);
+
+  // Warm the cache to ~60% of the key space.
+  for (std::uint64_t k = 0; k < key_space * 6 / 10; ++k) {
+    CacheValue v{};
+    v.version = 1;
+    cache.Insert(cuckoo::Mix64(k), v);
+  }
+
+  std::vector<WorkerTotals> totals(threads);
+  std::vector<std::thread> team;
+  const std::uint64_t ops_per_thread = total_ops / static_cast<std::uint64_t>(threads);
+  cuckoo::Stopwatch watch;
+
+  for (int t = 0; t < threads; ++t) {
+    team.emplace_back([&, t] {
+      cuckoo::Xorshift128Plus rng(1000 + t);
+      // Zipf-skewed key popularity, like a real cache.
+      cuckoo::ZipfGenerator zipf(key_space, 0.9, 77 + t);
+      WorkerTotals& mine = totals[t];
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        std::uint64_t key = cuckoo::Mix64(zipf.Next());
+        double dice = rng.NextDouble();
+        if (dice < get_fraction) {
+          CacheValue v;
+          ++mine.gets;
+          if (cache.Find(key, &v)) {
+            ++mine.get_hits;
+          } else {
+            // Miss path: fetch from "backend" and populate.
+            CacheValue fresh{};
+            fresh.version = 1;
+            cache.Upsert(key, fresh);
+            ++mine.sets;
+          }
+        } else if (dice < get_fraction + (1.0 - get_fraction) * 0.8) {
+          // SET: overwrite (or create) with a bumped version.
+          cache.UpsertWith(
+              key, [](CacheValue& v) { ++v.version; }, CacheValue{});
+          ++mine.sets;
+        } else {
+          cache.Erase(key);
+          ++mine.deletes;
+        }
+      }
+    });
+  }
+  for (auto& th : team) {
+    th.join();
+  }
+  double seconds = watch.ElapsedSeconds();
+
+  WorkerTotals sum;
+  for (const WorkerTotals& w : totals) {
+    sum.gets += w.gets;
+    sum.get_hits += w.get_hits;
+    sum.sets += w.sets;
+    sum.deletes += w.deletes;
+  }
+
+  std::printf("kv_cache: %d threads, %.2fs\n", threads, seconds);
+  std::printf("  throughput : %.2f Mops/s\n",
+              static_cast<double>(sum.gets + sum.sets + sum.deletes) / seconds / 1e6);
+  std::printf("  GET        : %llu (hit rate %.3f)\n",
+              static_cast<unsigned long long>(sum.gets),
+              sum.gets ? static_cast<double>(sum.get_hits) / static_cast<double>(sum.gets) : 0.0);
+  std::printf("  SET        : %llu\n", static_cast<unsigned long long>(sum.sets));
+  std::printf("  DELETE     : %llu\n", static_cast<unsigned long long>(sum.deletes));
+  std::printf("  entries    : %zu (load %.3f, %.1f MiB heap, %zu expansions)\n", cache.Size(),
+              cache.LoadFactor(), static_cast<double>(cache.HeapBytes()) / 1048576.0,
+              static_cast<std::size_t>(cache.Stats().expansions));
+  cuckoo::MapStatsSnapshot stats = cache.Stats();
+  std::printf("  cuckoo     : %lld displacements, mean path %.3f, %lld read retries\n",
+              static_cast<long long>(stats.displacements), stats.MeanPathLength(),
+              static_cast<long long>(stats.read_retries));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: the CuckooMap public API in two minutes.
+//
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+#include <cstdint>
+#include <cstdio>
+
+#include "src/cuckoo/cuckoo_map.h"
+
+int main() {
+  // An 8-way set-associative, auto-expanding concurrent cuckoo hash table.
+  // All operations are safe to call from any number of threads.
+  cuckoo::CuckooMap<std::uint64_t, std::uint64_t> map;
+
+  // Insert: fails with kKeyExists on duplicates.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (map.Insert(i, i * i) != cuckoo::InsertResult::kOk) {
+      std::printf("unexpected insert failure at %llu\n", static_cast<unsigned long long>(i));
+      return 1;
+    }
+  }
+
+  // Find copies the value out (reads are lock-free and never block writers).
+  std::uint64_t value = 0;
+  if (map.Find(25, &value)) {
+    std::printf("map[25] = %llu\n", static_cast<unsigned long long>(value));
+  }
+
+  // Upsert overwrites; Update only touches existing keys; UpsertWith applies
+  // a function under the bucket locks (atomic read-modify-write).
+  map.Upsert(25, 1);
+  map.Update(25, 2);
+  map.UpsertWith(25, [](std::uint64_t& v) { ++v; }, 0);
+  map.Find(25, &value);
+  std::printf("after upsert/update/upsert_with: map[25] = %llu\n",
+              static_cast<unsigned long long>(value));  // 3
+
+  // Erase.
+  map.Erase(25);
+  std::printf("contains(25) after erase: %s\n", map.Contains(25) ? "yes" : "no");
+
+  // Capacity and statistics.
+  std::printf("size=%zu slots=%zu load_factor=%.3f heap=%.1f KiB\n", map.Size(),
+              map.SlotCount(), map.LoadFactor(),
+              static_cast<double>(map.HeapBytes()) / 1024.0);
+
+  // Exclusive iteration: LockedView holds every lock stripe for its lifetime.
+  std::uint64_t checksum = 0;
+  {
+    auto view = map.Lock();
+    for (auto [key, val] : view) {
+      checksum ^= key ^ val;
+    }
+  }
+  std::printf("xor checksum over %zu entries: %llx\n", map.Size(),
+              static_cast<unsigned long long>(checksum));
+
+  // Operation statistics (per-thread counters, aggregated lazily).
+  cuckoo::MapStatsSnapshot stats = map.Stats();
+  std::printf("inserts=%lld lookups=%lld displacements=%lld expansions=%lld\n",
+              static_cast<long long>(stats.inserts), static_cast<long long>(stats.lookups),
+              static_cast<long long>(stats.displacements),
+              static_cast<long long>(stats.expansions));
+  return 0;
+}

@@ -1,0 +1,184 @@
+// ChainingMap — a separate-chaining hash table in the style of C++11's
+// std::unordered_map ("very fast lookup performance, but also at the cost of
+// more memory usage", §2.1). Single-threaded; wrap in GlobalLockMap (or an
+// elided lock) for the §2.3 naive-concurrency experiments.
+//
+// Every entry is a separately allocated node carrying a next pointer and the
+// cached full hash — the per-item pointer overhead the paper contrasts with
+// pointer-free cuckoo buckets.
+#ifndef SRC_BASELINES_CHAINING_MAP_H_
+#define SRC_BASELINES_CHAINING_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/cuckoo/types.h"
+
+namespace cuckoo {
+
+template <typename K, typename V, typename Hash = DefaultHash<K>,
+          typename KeyEqual = std::equal_to<K>>
+class ChainingMap {
+ public:
+  using KeyType = K;
+  using ValueType = V;
+
+  explicit ChainingMap(std::size_t initial_bucket_count = 16, Hash hasher = Hash{},
+                       KeyEqual eq = KeyEqual{})
+      : hasher_(std::move(hasher)), eq_(std::move(eq)) {
+    std::size_t n = 16;
+    while (n < initial_bucket_count) {
+      n <<= 1;
+    }
+    buckets_.assign(n, nullptr);
+  }
+
+  ChainingMap(const ChainingMap&) = delete;
+  ChainingMap& operator=(const ChainingMap&) = delete;
+
+  ~ChainingMap() { DeleteAllNodes(); }
+
+  bool Find(const K& key, V* out) const {
+    const std::uint64_t h = hasher_(key);
+    for (Node* n = buckets_[h & Mask()]; n != nullptr; n = n->next) {
+      if (n->hash == h && eq_(n->key, key)) {
+        *out = n->value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Contains(const K& key) const {
+    V ignored;
+    return Find(key, &ignored);
+  }
+
+  InsertResult Insert(const K& key, const V& value) { return DoInsert(key, value, false); }
+  InsertResult Upsert(const K& key, const V& value) { return DoInsert(key, value, true); }
+
+  bool Update(const K& key, const V& value) {
+    const std::uint64_t h = hasher_(key);
+    for (Node* n = buckets_[h & Mask()]; n != nullptr; n = n->next) {
+      if (n->hash == h && eq_(n->key, key)) {
+        n->value = value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Erase(const K& key) {
+    const std::uint64_t h = hasher_(key);
+    Node** link = &buckets_[h & Mask()];
+    while (*link != nullptr) {
+      Node* n = *link;
+      if (n->hash == h && eq_(n->key, key)) {
+        *link = n->next;
+        delete n;
+        --size_;
+        return true;
+      }
+      link = &n->next;
+    }
+    return false;
+  }
+
+  std::size_t Size() const noexcept { return size_; }
+  std::size_t BucketCount() const noexcept { return buckets_.size(); }
+  double LoadFactor() const noexcept {
+    return static_cast<double>(size_) / static_cast<double>(buckets_.size());
+  }
+
+  void Clear() {
+    DeleteAllNodes();
+    std::fill(buckets_.begin(), buckets_.end(), nullptr);
+    size_ = 0;
+  }
+
+  // Bucket array + one heap node per entry.
+  std::size_t HeapBytes() const noexcept {
+    return buckets_.size() * sizeof(Node*) + size_ * sizeof(Node);
+  }
+
+  // Visit every entry (iteration support for examples / tests).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* head : buckets_) {
+      for (Node* n = head; n != nullptr; n = n->next) {
+        fn(n->key, n->value);
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    Node* next;
+    std::uint64_t hash;
+    K key;
+    V value;
+  };
+
+  std::size_t Mask() const noexcept { return buckets_.size() - 1; }
+
+  InsertResult DoInsert(const K& key, const V& value, bool overwrite) {
+    const std::uint64_t h = hasher_(key);
+    std::size_t idx = h & Mask();
+    for (Node* n = buckets_[idx]; n != nullptr; n = n->next) {
+      if (n->hash == h && eq_(n->key, key)) {
+        if (overwrite) {
+          n->value = value;
+        }
+        return InsertResult::kKeyExists;
+      }
+    }
+    if (size_ + 1 > buckets_.size() * kMaxLoadFactor) {
+      Rehash(buckets_.size() * 2);
+      idx = h & Mask();
+    }
+    buckets_[idx] = new Node{buckets_[idx], h, key, value};
+    ++size_;
+    return InsertResult::kOk;
+  }
+
+  void Rehash(std::size_t new_count) {
+    std::vector<Node*> fresh(new_count, nullptr);
+    const std::size_t new_mask = new_count - 1;
+    for (Node* head : buckets_) {
+      while (head != nullptr) {
+        Node* next = head->next;
+        std::size_t idx = head->hash & new_mask;
+        head->next = fresh[idx];
+        fresh[idx] = head;
+        head = next;
+      }
+    }
+    buckets_ = std::move(fresh);
+  }
+
+  void DeleteAllNodes() {
+    for (Node* head : buckets_) {
+      while (head != nullptr) {
+        Node* next = head->next;
+        delete head;
+        head = next;
+      }
+    }
+  }
+
+  static constexpr std::size_t kMaxLoadFactor = 1;  // matches libstdc++'s default of 1.0
+
+  Hash hasher_;
+  KeyEqual eq_;
+  std::vector<Node*> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_BASELINES_CHAINING_MAP_H_

@@ -1,0 +1,186 @@
+// DenseMap — an open-addressing table in the style of Google's
+// dense_hash_map (§2.1): "It uses open addressing with quadratic internal
+// probing. It maintains a maximum 0.5 load factor by default, and stores
+// entries in a single large array."
+//
+// Instead of dense_hash_map's reserved empty/deleted sentinel keys we keep a
+// one-byte state per slot, which keeps the public API free of set_empty_key()
+// ceremony at a small space cost. Single-threaded.
+#ifndef SRC_BASELINES_DENSE_MAP_H_
+#define SRC_BASELINES_DENSE_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/cuckoo/types.h"
+
+namespace cuckoo {
+
+template <typename K, typename V, typename Hash = DefaultHash<K>,
+          typename KeyEqual = std::equal_to<K>>
+class DenseMap {
+ public:
+  using KeyType = K;
+  using ValueType = V;
+
+  explicit DenseMap(std::size_t initial_capacity = 32, Hash hasher = Hash{},
+                    KeyEqual eq = KeyEqual{})
+      : hasher_(std::move(hasher)), eq_(std::move(eq)) {
+    std::size_t n = 32;
+    while (n < initial_capacity) {
+      n <<= 1;
+    }
+    states_.assign(n, kEmpty);
+    entries_.resize(n);
+  }
+
+  DenseMap(const DenseMap&) = delete;
+  DenseMap& operator=(const DenseMap&) = delete;
+
+  bool Find(const K& key, V* out) const {
+    std::size_t idx;
+    if (!Probe(key, &idx)) {
+      return false;
+    }
+    *out = entries_[idx].second;
+    return true;
+  }
+
+  bool Contains(const K& key) const {
+    V ignored;
+    return Find(key, &ignored);
+  }
+
+  InsertResult Insert(const K& key, const V& value) { return DoInsert(key, value, false); }
+  InsertResult Upsert(const K& key, const V& value) { return DoInsert(key, value, true); }
+
+  bool Update(const K& key, const V& value) {
+    std::size_t idx;
+    if (!Probe(key, &idx)) {
+      return false;
+    }
+    entries_[idx].second = value;
+    return true;
+  }
+
+  bool Erase(const K& key) {
+    std::size_t idx;
+    if (!Probe(key, &idx)) {
+      return false;
+    }
+    states_[idx] = kTombstone;
+    --size_;
+    ++tombstones_;
+    return true;
+  }
+
+  std::size_t Size() const noexcept { return size_; }
+  std::size_t Capacity() const noexcept { return states_.size(); }
+  double LoadFactor() const noexcept {
+    return static_cast<double>(size_) / static_cast<double>(states_.size());
+  }
+
+  void Clear() {
+    std::fill(states_.begin(), states_.end(), kEmpty);
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  std::size_t HeapBytes() const noexcept {
+    return states_.size() * (sizeof(std::uint8_t) + sizeof(std::pair<K, V>));
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i] == kFull) {
+        fn(entries_[i].first, entries_[i].second);
+      }
+    }
+  }
+
+ private:
+  enum : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+  std::size_t Mask() const noexcept { return states_.size() - 1; }
+
+  // Quadratic probe for an existing key. Returns false when an empty slot is
+  // reached first.
+  bool Probe(const K& key, std::size_t* out_idx) const {
+    const std::uint64_t h = hasher_(key);
+    std::size_t idx = static_cast<std::size_t>(h) & Mask();
+    for (std::size_t step = 0;; ++step) {
+      if (states_[idx] == kEmpty) {
+        return false;
+      }
+      if (states_[idx] == kFull && eq_(entries_[idx].first, key)) {
+        *out_idx = idx;
+        return true;
+      }
+      idx = (idx + step + 1) & Mask();  // triangular-number quadratic probing
+    }
+  }
+
+  InsertResult DoInsert(const K& key, const V& value, bool overwrite) {
+    if ((size_ + tombstones_ + 1) * 2 > states_.size()) {
+      Rehash(states_.size() * 2);
+    }
+    const std::uint64_t h = hasher_(key);
+    std::size_t idx = static_cast<std::size_t>(h) & Mask();
+    std::size_t first_tombstone = states_.size();  // sentinel: none seen
+    for (std::size_t step = 0;; ++step) {
+      if (states_[idx] == kEmpty) {
+        std::size_t target = first_tombstone != states_.size() ? first_tombstone : idx;
+        if (states_[target] == kTombstone) {
+          --tombstones_;
+        }
+        states_[target] = kFull;
+        entries_[target] = {key, value};
+        ++size_;
+        return InsertResult::kOk;
+      }
+      if (states_[idx] == kTombstone) {
+        if (first_tombstone == states_.size()) {
+          first_tombstone = idx;
+        }
+      } else if (eq_(entries_[idx].first, key)) {
+        if (overwrite) {
+          entries_[idx].second = value;
+        }
+        return InsertResult::kKeyExists;
+      }
+      idx = (idx + step + 1) & Mask();
+    }
+  }
+
+  void Rehash(std::size_t new_capacity) {
+    std::vector<std::uint8_t> old_states = std::move(states_);
+    std::vector<std::pair<K, V>> old_entries = std::move(entries_);
+    states_.assign(new_capacity, kEmpty);
+    entries_.assign(new_capacity, {});
+    size_ = 0;
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < old_states.size(); ++i) {
+      if (old_states[i] == kFull) {
+        DoInsert(old_entries[i].first, old_entries[i].second, false);
+      }
+    }
+  }
+
+  Hash hasher_;
+  KeyEqual eq_;
+  std::vector<std::uint8_t> states_;
+  std::vector<std::pair<K, V>> entries_;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_BASELINES_DENSE_MAP_H_

@@ -1,0 +1,82 @@
+// GlobalLockMap — "the simplest form of locking is to wrap a coarse-grained
+// lock around the whole shared data structure" (§2.2). Wraps any
+// single-threaded map (ChainingMap, DenseMap, ...) in one lock, which may be
+// a pthread-style mutex, a spinlock, or a TSX-elided lock — exactly the §2.3
+// configurations whose collapse under concurrent writers motivates the paper.
+#ifndef SRC_BASELINES_GLOBAL_LOCK_MAP_H_
+#define SRC_BASELINES_GLOBAL_LOCK_MAP_H_
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+
+#include "src/cuckoo/types.h"
+
+namespace cuckoo {
+
+template <typename InnerMap, typename Lock = std::mutex>
+class GlobalLockMap {
+ public:
+  using KeyType = typename InnerMap::KeyType;
+  using ValueType = typename InnerMap::ValueType;
+  using K = KeyType;
+  using V = ValueType;
+
+  template <typename... Args>
+  explicit GlobalLockMap(Args&&... args) : inner_(std::forward<Args>(args)...) {}
+
+  GlobalLockMap(const GlobalLockMap&) = delete;
+  GlobalLockMap& operator=(const GlobalLockMap&) = delete;
+
+  bool Find(const K& key, V* out) const {
+    std::lock_guard<Lock> g(lock_);
+    return inner_.Find(key, out);
+  }
+
+  bool Contains(const K& key) const {
+    std::lock_guard<Lock> g(lock_);
+    return inner_.Contains(key);
+  }
+
+  InsertResult Insert(const K& key, const V& value) {
+    std::lock_guard<Lock> g(lock_);
+    return inner_.Insert(key, value);
+  }
+
+  InsertResult Upsert(const K& key, const V& value) {
+    std::lock_guard<Lock> g(lock_);
+    return inner_.Upsert(key, value);
+  }
+
+  bool Update(const K& key, const V& value) {
+    std::lock_guard<Lock> g(lock_);
+    return inner_.Update(key, value);
+  }
+
+  bool Erase(const K& key) {
+    std::lock_guard<Lock> g(lock_);
+    return inner_.Erase(key);
+  }
+
+  std::size_t Size() const {
+    std::lock_guard<Lock> g(lock_);
+    return inner_.Size();
+  }
+
+  std::size_t HeapBytes() const {
+    std::lock_guard<Lock> g(lock_);
+    return inner_.HeapBytes();
+  }
+
+  Lock& global_lock() noexcept { return lock_; }
+  InnerMap& inner() noexcept { return inner_; }
+  const InnerMap& inner() const noexcept { return inner_; }
+
+ private:
+  InnerMap inner_;
+  mutable Lock lock_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_BASELINES_GLOBAL_LOCK_MAP_H_

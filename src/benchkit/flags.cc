@@ -1,0 +1,66 @@
+#include "src/benchkit/flags.h"
+
+#include <cstdlib>
+
+namespace cuckoo {
+
+Flags::Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+bool Flags::Raw(const std::string& name, std::string* out) const {
+  const std::string dashed = "--" + name;
+  for (int i = 1; i < argc_; ++i) {
+    std::string arg = argv_[i];
+    if (arg == dashed) {
+      if (i + 1 < argc_ && argv_[i + 1][0] != '-') {
+        *out = argv_[i + 1];
+      } else {
+        *out = "";  // bare boolean flag
+      }
+      return true;
+    }
+    if (arg.rfind(dashed + "=", 0) == 0) {
+      *out = arg.substr(dashed.size() + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Flags::Has(const std::string& name) const {
+  std::string ignored;
+  return Raw(name, &ignored);
+}
+
+std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) const {
+  std::string raw;
+  if (!Raw(name, &raw) || raw.empty()) {
+    return def;
+  }
+  return std::strtoll(raw.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  std::string raw;
+  if (!Raw(name, &raw) || raw.empty()) {
+    return def;
+  }
+  return std::strtod(raw.c_str(), nullptr);
+}
+
+std::string Flags::GetString(const std::string& name, const std::string& def) const {
+  std::string raw;
+  if (!Raw(name, &raw) || raw.empty()) {
+    return def;
+  }
+  return raw;
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  std::string raw;
+  if (!Raw(name, &raw)) {
+    return def;
+  }
+  return raw.empty() || raw == "true" || raw == "1";
+}
+
+}  // namespace cuckoo

@@ -1,0 +1,34 @@
+// Minimal --flag=value / --flag value command-line parsing for the bench
+// binaries (google-benchmark's flags don't cover our sweep parameters).
+#ifndef SRC_BENCHKIT_FLAGS_H_
+#define SRC_BENCHKIT_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cuckoo {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  // Returns the flag's value, or `def` if absent. Accepted spellings:
+  // --name=value and --name value.
+  std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  // --name (bare), --name=true/false.
+  bool GetBool(const std::string& name, bool def = false) const;
+
+  bool Has(const std::string& name) const;
+
+ private:
+  bool Raw(const std::string& name, std::string* out) const;
+
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_BENCHKIT_FLAGS_H_

@@ -1,0 +1,107 @@
+// A small log-linear latency histogram (HdrHistogram-style): power-of-two
+// major buckets, 16 linear sub-buckets each, covering 1 ns .. ~17 s with
+// <= 6.25% relative error. Recording is one relaxed atomic increment, so
+// worker threads can share one histogram.
+#ifndef SRC_BENCHKIT_LATENCY_H_
+#define SRC_BENCHKIT_LATENCY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace cuckoo {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : counts_(new std::atomic<std::uint64_t>[kBucketCount]) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      counts_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(std::uint64_t nanos) noexcept {
+    counts_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t TotalCount() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      total += counts_[i].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Latency (ns) at quantile q in [0, 1]: upper edge of the bucket holding
+  // the q-th sample. Returns 0 for an empty histogram.
+  std::uint64_t PercentileNanos(double q) const noexcept {
+    const std::uint64_t total = TotalCount();
+    if (total == 0) {
+      return 0;
+    }
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      seen += counts_[i].load(std::memory_order_relaxed);
+      if (seen > rank) {
+        return BucketUpperBound(i);
+      }
+    }
+    return BucketUpperBound(kBucketCount - 1);
+  }
+
+  double MeanNanos() const noexcept {
+    std::uint64_t total = 0;
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+      total += c;
+      weighted += static_cast<double>(c) * static_cast<double>(BucketUpperBound(i));
+    }
+    return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+  }
+
+  void Reset() noexcept {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      counts_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Exposed for tests.
+  static std::size_t BucketFor(std::uint64_t nanos) noexcept {
+    if (nanos < kSubBuckets) {
+      return static_cast<std::size_t>(nanos);  // exact 1-ns buckets below 16
+    }
+    // Major bucket = floor(log2(nanos)); sub-bucket = next 4 bits.
+    int major = 63 - __builtin_clzll(nanos);
+    std::size_t sub = static_cast<std::size_t>(nanos >> (major - kSubBits)) & (kSubBuckets - 1);
+    std::size_t idx = static_cast<std::size_t>(major - kSubBits + 1) * kSubBuckets + sub;
+    return idx < kBucketCount ? idx : kBucketCount - 1;
+  }
+
+  static std::uint64_t BucketUpperBound(std::size_t index) noexcept {
+    if (index < kSubBuckets) {
+      return index;  // exact 1-ns buckets
+    }
+    // Inverse of BucketFor: bucket holds [ (16+sub) << (major-4),
+    // (16+sub+1) << (major-4) ).
+    std::uint64_t major = index / kSubBuckets + kSubBits - 1;
+    std::uint64_t sub = index % kSubBuckets;
+    return ((kSubBuckets + sub + 1) << (major - kSubBits)) - 1;
+  }
+
+ private:
+  static constexpr int kSubBits = 4;
+  static constexpr std::size_t kSubBuckets = 1u << kSubBits;  // 16
+  static constexpr std::size_t kMajorBuckets = 32;            // up to ~2^35 ns
+  static constexpr std::size_t kBucketCount = kSubBuckets * (kMajorBuckets + 1);
+
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_BENCHKIT_LATENCY_H_

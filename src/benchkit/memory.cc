@@ -1,0 +1,31 @@
+#include "src/benchkit/memory.h"
+
+#include <cstdio>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace cuckoo {
+
+std::size_t CurrentRssBytes() noexcept {
+#if defined(__linux__)
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  long total_pages = 0;
+  long rss_pages = 0;
+  int n = std::fscanf(f, "%ld %ld", &total_pages, &rss_pages);
+  std::fclose(f);
+  if (n != 2) {
+    return 0;
+  }
+  return static_cast<std::size_t>(rss_pages) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+}  // namespace cuckoo

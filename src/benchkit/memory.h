@@ -1,0 +1,16 @@
+// Process-level memory introspection, used to cross-check the per-table
+// HeapBytes() accounting in the memory-efficiency comparison (§6.2: cuckoo+
+// "uses 2-3x less memory" than the TBB-style table).
+#ifndef SRC_BENCHKIT_MEMORY_H_
+#define SRC_BENCHKIT_MEMORY_H_
+
+#include <cstddef>
+
+namespace cuckoo {
+
+// Resident set size of this process in bytes (0 if unavailable).
+std::size_t CurrentRssBytes() noexcept;
+
+}  // namespace cuckoo
+
+#endif  // SRC_BENCHKIT_MEMORY_H_

@@ -1,0 +1,102 @@
+#include "src/benchkit/report.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace cuckoo {
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+ReportTable::ReportTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+ReportTable::RowBuilder& ReportTable::RowBuilder::Cell(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+ReportTable::RowBuilder& ReportTable::RowBuilder::Cell(const char* s) {
+  cells_.emplace_back(s);
+  return *this;
+}
+ReportTable::RowBuilder& ReportTable::RowBuilder::Cell(double v, int precision) {
+  cells_.push_back(FormatDouble(v, precision));
+  return *this;
+}
+ReportTable::RowBuilder& ReportTable::RowBuilder::Cell(std::uint64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+ReportTable::RowBuilder& ReportTable::RowBuilder::Cell(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+ReportTable::RowBuilder& ReportTable::RowBuilder::Cell(int v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+ReportTable::RowBuilder::~RowBuilder() { table_->AddRow(std::move(cells_)); }
+
+void ReportTable::PrintText(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void ReportTable::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void ReportTable::Print(std::ostream& os, bool csv) const {
+  if (csv) {
+    PrintCsv(os);
+  } else {
+    PrintText(os);
+  }
+}
+
+}  // namespace cuckoo

@@ -1,0 +1,60 @@
+// Table-style result reporting: fixed-width text for humans (mirroring the
+// paper's figures as rows/series) or CSV for plotting.
+#ifndef SRC_BENCHKIT_REPORT_H_
+#define SRC_BENCHKIT_REPORT_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cuckoo {
+
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  // Append a row; values are stringified by the typed helpers below.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: build a row incrementally.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(ReportTable* table) : table_(table) {}
+    RowBuilder& Cell(const std::string& s);
+    RowBuilder& Cell(const char* s);
+    RowBuilder& Cell(double v, int precision = 2);
+    RowBuilder& Cell(std::uint64_t v);
+    RowBuilder& Cell(std::int64_t v);
+    RowBuilder& Cell(int v);
+    ~RowBuilder();
+
+   private:
+    ReportTable* table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder Row() { return RowBuilder(this); }
+
+  // Render as an aligned text table.
+  void PrintText(std::ostream& os) const;
+
+  // Render as CSV (headers + rows).
+  void PrintCsv(std::ostream& os) const;
+
+  // One or the other, by flag.
+  void Print(std::ostream& os, bool csv) const;
+
+  std::size_t RowCount() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format helpers shared by the bench binaries.
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace cuckoo
+
+#endif  // SRC_BENCHKIT_REPORT_H_

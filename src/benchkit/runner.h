@@ -1,0 +1,262 @@
+// Multi-threaded run harness reproducing the paper's measurement method:
+// "Each experiment first creates an empty cuckoo hash table and then fills it
+// to 95% capacity, with random mixed concurrent reads and writes as per the
+// specified insert/lookup ratio. ... we measure both overall throughput and
+// throughput for certain load factor intervals (e.g., empty to 50% full)."
+//
+// The run is split into load-factor segments; each segment is a timed
+// parallel phase bounded by insert counts, so per-interval throughput falls
+// out directly. Works with any map exposing
+//   InsertResult Insert(const K&, const V&)  and  bool Find(const K&, V*).
+#ifndef SRC_BENCHKIT_RUNNER_H_
+#define SRC_BENCHKIT_RUNNER_H_
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/timing.h"
+#include "src/benchkit/workload.h"
+#include "src/cuckoo/types.h"
+
+namespace cuckoo {
+
+struct RunOptions {
+  int threads = 1;
+  double insert_fraction = 1.0;
+  // Total keys to insert across the whole run (e.g. 0.95 * slot count).
+  std::uint64_t total_inserts = 1 << 20;
+  // Segment boundaries as fractions of total_inserts, ascending, ending at 1.
+  // Default: the paper's 0-0.75 / 0.75-0.9 / 0.9-0.95 split maps to
+  // boundaries relative to the fill target.
+  std::vector<double> segment_boundaries = {0.789, 0.947, 1.0};
+  std::uint64_t seed = 42;
+};
+
+struct SegmentResult {
+  double fill_fraction_lo = 0.0;  // of total_inserts
+  double fill_fraction_hi = 0.0;
+  std::uint64_t inserts = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t failed_inserts = 0;
+  std::uint64_t nanos = 0;
+
+  std::uint64_t TotalOps() const noexcept { return inserts + lookups; }
+  double MopsPerSec() const noexcept { return Mops(TotalOps(), nanos); }
+};
+
+struct RunResult {
+  std::vector<SegmentResult> segments;
+
+  std::uint64_t TotalOps() const noexcept {
+    std::uint64_t n = 0;
+    for (const SegmentResult& s : segments) {
+      n += s.TotalOps();
+    }
+    return n;
+  }
+  std::uint64_t TotalNanos() const noexcept {
+    std::uint64_t n = 0;
+    for (const SegmentResult& s : segments) {
+      n += s.nanos;
+    }
+    return n;
+  }
+  std::uint64_t FailedInserts() const noexcept {
+    std::uint64_t n = 0;
+    for (const SegmentResult& s : segments) {
+      n += s.failed_inserts;
+    }
+    return n;
+  }
+  double OverallMops() const noexcept { return Mops(TotalOps(), TotalNanos()); }
+
+  // Throughput over segments whose fill range lies within [lo, hi].
+  double MopsBetween(double lo, double hi) const noexcept {
+    std::uint64_t ops = 0;
+    std::uint64_t nanos = 0;
+    for (const SegmentResult& s : segments) {
+      if (s.fill_fraction_lo >= lo - 1e-9 && s.fill_fraction_hi <= hi + 1e-9) {
+        ops += s.TotalOps();
+        nanos += s.nanos;
+      }
+    }
+    return Mops(ops, nanos);
+  }
+};
+
+// Fill `map` with opts.total_inserts unique keys, mixed with lookups at the
+// configured ratio, across opts.threads threads, timing each segment.
+template <typename Map>
+RunResult RunMixedFill(Map& map, const RunOptions& opts) {
+  const int threads = opts.threads;
+  RunResult result;
+  result.segments.resize(opts.segment_boundaries.size());
+
+  std::atomic<std::uint64_t> watermark{0};
+  std::vector<std::jthread> team;
+
+  // Segment boundaries are timestamped by the barrier completion step (which
+  // runs on whichever thread arrives last), not by the coordinator: on an
+  // oversubscribed host the coordinator may be descheduled across an entire
+  // segment, so its own clock reads would be meaningless.
+  std::vector<std::uint64_t> stamps(2 * opts.segment_boundaries.size(), 0);
+  std::size_t next_stamp = 0;
+  auto stamp_phase = [&stamps, &next_stamp]() noexcept {
+    if (next_stamp < stamps.size()) {
+      stamps[next_stamp++] = NowNanos();
+    }
+  };
+  std::barrier<decltype(stamp_phase)> sync(threads + 1, stamp_phase);
+
+  // Per-segment per-thread tallies, aggregated by the coordinator.
+  struct Tally {
+    std::uint64_t inserts = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t failed = 0;
+  };
+  std::vector<std::vector<Tally>> tallies(opts.segment_boundaries.size(),
+                                          std::vector<Tally>(threads));
+
+  // Compute per-thread insert quotas per segment.
+  std::vector<std::uint64_t> segment_end(opts.segment_boundaries.size());
+  for (std::size_t i = 0; i < opts.segment_boundaries.size(); ++i) {
+    segment_end[i] =
+        static_cast<std::uint64_t>(opts.segment_boundaries[i] * static_cast<double>(opts.total_inserts));
+  }
+
+  for (int t = 0; t < threads; ++t) {
+    team.emplace_back([&, t] {
+      OpStream::Config cfg;
+      cfg.insert_fraction = opts.insert_fraction;
+      cfg.thread_index = t;
+      cfg.thread_count = threads;
+      cfg.seed = opts.seed;
+      OpStream stream(cfg, &watermark, 0);
+
+      std::uint64_t done = 0;  // this thread's completed inserts
+      typename Map::ValueType sink{};
+      for (std::size_t seg = 0; seg < segment_end.size(); ++seg) {
+        // Quota: this thread's share of inserts in [prev_end, end).
+        std::uint64_t prev = seg == 0 ? 0 : segment_end[seg - 1];
+        std::uint64_t span = segment_end[seg] - prev;
+        std::uint64_t quota = span / static_cast<std::uint64_t>(threads) +
+                              (static_cast<std::uint64_t>(t) <
+                                       span % static_cast<std::uint64_t>(threads)
+                                   ? 1
+                                   : 0);
+        sync.arrive_and_wait();  // segment start
+        Tally& tally = tallies[seg][t];
+        for (std::uint64_t i = 0; i < quota; ++i) {
+          std::uint64_t key = stream.NextInsertKey();
+          InsertResult r = map.Insert(key, sink);
+          ++tally.inserts;
+          if (r == InsertResult::kTableFull) {
+            ++tally.failed;
+          }
+          ++done;
+          if ((done & 0xff) == 0) {
+            stream.AdvanceWatermark(0x100);
+          }
+          for (std::uint64_t l = stream.LookupsOwedAfterInsert(); l > 0; --l) {
+            map.Find(stream.NextLookupKey(), &sink);
+            ++tally.lookups;
+          }
+        }
+        sync.arrive_and_wait();  // segment end
+      }
+    });
+  }
+
+  for (std::size_t seg = 0; seg < segment_end.size(); ++seg) {
+    sync.arrive_and_wait();  // release workers into the segment
+    sync.arrive_and_wait();  // workers finished the segment
+    SegmentResult& s = result.segments[seg];
+    s.nanos = stamps[2 * seg + 1] - stamps[2 * seg];
+    s.fill_fraction_lo =
+        seg == 0 ? 0.0
+                 : static_cast<double>(segment_end[seg - 1]) / static_cast<double>(opts.total_inserts);
+    s.fill_fraction_hi =
+        static_cast<double>(segment_end[seg]) / static_cast<double>(opts.total_inserts);
+    for (const Tally& tl : tallies[seg]) {
+      s.inserts += tl.inserts;
+      s.lookups += tl.lookups;
+      s.failed_inserts += tl.failed;
+    }
+  }
+  team.clear();  // join
+  return result;
+}
+
+// Pre-populate `map` with ids [0, count) without timing (helper for
+// lookup-only experiments; uses the same key scrambling as RunMixedFill).
+template <typename Map>
+std::uint64_t Prefill(Map& map, std::uint64_t count, std::uint64_t seed = 42) {
+  std::uint64_t inserted = 0;
+  for (std::uint64_t id = 0; id < count; ++id) {
+    if (map.Insert(KeyForId(id, seed), typename Map::ValueType{}) == InsertResult::kOk) {
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+struct LookupRunResult {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t nanos = 0;
+  double MopsPerSec() const noexcept { return Mops(lookups, nanos); }
+  double HitRate() const noexcept {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+// Timed lookup-only run over keys with ids below `inserted_count`
+// (Figure 8's 100% Lookup workload).
+template <typename Map>
+LookupRunResult RunLookupOnly(Map& map, int threads, std::uint64_t lookups_per_thread,
+                              std::uint64_t inserted_count, std::uint64_t seed = 42) {
+  LookupRunResult result;
+  std::vector<std::jthread> team;
+  std::vector<std::uint64_t> stamps(2, 0);
+  std::size_t next_stamp = 0;
+  auto stamp_phase = [&stamps, &next_stamp]() noexcept {
+    if (next_stamp < stamps.size()) {
+      stamps[next_stamp++] = NowNanos();
+    }
+  };
+  std::barrier<decltype(stamp_phase)> sync(threads + 1, stamp_phase);
+  std::vector<std::uint64_t> hit_counts(threads, 0);
+
+  for (int t = 0; t < threads; ++t) {
+    team.emplace_back([&, t] {
+      Xorshift128Plus rng(Mix64(seed + 77u + static_cast<std::uint64_t>(t)));
+      typename Map::ValueType sink{};
+      std::uint64_t hits = 0;
+      sync.arrive_and_wait();
+      for (std::uint64_t i = 0; i < lookups_per_thread; ++i) {
+        std::uint64_t id = rng.NextBelow(inserted_count == 0 ? 1 : inserted_count);
+        if (map.Find(KeyForId(id, seed), &sink)) {
+          ++hits;
+        }
+      }
+      hit_counts[t] = hits;
+      sync.arrive_and_wait();
+    });
+  }
+  sync.arrive_and_wait();
+  sync.arrive_and_wait();
+  result.nanos = stamps[1] - stamps[0];
+  result.lookups = static_cast<std::uint64_t>(threads) * lookups_per_thread;
+  for (std::uint64_t h : hit_counts) {
+    result.hits += h;
+  }
+  team.clear();
+  return result;
+}
+
+}  // namespace cuckoo
+
+#endif  // SRC_BENCHKIT_RUNNER_H_

@@ -1,0 +1,100 @@
+// Workload generation for the paper's experiments (§6 "Method and
+// Workloads"): mixed random reads and writes at a fixed insert fraction
+// (100% / 50% / 10% insert), filling a table toward a target occupancy.
+//
+// Key model: logical key ids 0..n-1 are bijectively scrambled through Mix64 so
+// the table sees uniformly random 64-bit keys while the generator stays
+// stateless. Thread t inserts the ids congruent to t (mod threads), so insert
+// streams are disjoint without coordination; lookups draw a random id below
+// the global inserted watermark so they overwhelmingly hit.
+#ifndef SRC_BENCHKIT_WORKLOAD_H_
+#define SRC_BENCHKIT_WORKLOAD_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/hash.h"
+#include "src/common/random.h"
+
+namespace cuckoo {
+
+// Deterministic id -> key scrambling (Mix64 is a bijection on uint64).
+inline std::uint64_t KeyForId(std::uint64_t id, std::uint64_t seed = 0) noexcept {
+  return Mix64(id + seed * 0x9e3779b97f4a7c15ull);
+}
+
+// Per-thread operation stream for one run segment.
+//
+// Maintains the exact insert : lookup ratio via an accumulator instead of a
+// random draw, so segment totals are deterministic; only lookup targets are
+// random.
+class OpStream {
+ public:
+  struct Config {
+    double insert_fraction = 1.0;  // 1.0, 0.5, 0.1 in the paper
+    int thread_index = 0;
+    int thread_count = 1;
+    std::uint64_t seed = 42;
+    double zipf_theta = 0.0;  // 0 = uniform lookups
+  };
+
+  // `watermark` tracks the number of ids inserted table-wide (shared across
+  // all streams of a run) so lookups target live keys.
+  OpStream(const Config& config, std::atomic<std::uint64_t>* watermark,
+           std::uint64_t first_local_insert_index)
+      : config_(config),
+        watermark_(watermark),
+        rng_(Mix64(config.seed + 0x1234u + static_cast<std::uint64_t>(config.thread_index))),
+        next_insert_ordinal_(first_local_insert_index) {
+    if (config_.insert_fraction > 0.0) {
+      lookups_per_insert_ = (1.0 - config_.insert_fraction) / config_.insert_fraction;
+    }
+  }
+
+  // Id of the next key this thread inserts (strided across threads).
+  std::uint64_t NextInsertId() noexcept {
+    std::uint64_t id = next_insert_ordinal_ * static_cast<std::uint64_t>(config_.thread_count) +
+                       static_cast<std::uint64_t>(config_.thread_index);
+    ++next_insert_ordinal_;
+    return id;
+  }
+
+  std::uint64_t NextInsertKey() noexcept { return KeyForId(NextInsertId(), config_.seed); }
+
+  // After each insert, the stream owes this many lookups to keep the ratio.
+  std::uint64_t LookupsOwedAfterInsert() noexcept {
+    lookup_debt_ += lookups_per_insert_;
+    std::uint64_t owed = static_cast<std::uint64_t>(lookup_debt_);
+    lookup_debt_ -= static_cast<double>(owed);
+    return owed;
+  }
+
+  // A random key that has (almost certainly) been inserted already.
+  std::uint64_t NextLookupKey() noexcept {
+    std::uint64_t limit = watermark_->load(std::memory_order_relaxed);
+    if (limit == 0) {
+      limit = 1;
+    }
+    std::uint64_t id = rng_.NextBelow(limit);
+    return KeyForId(id, config_.seed);
+  }
+
+  // Publish that this thread has completed `count` more inserts.
+  void AdvanceWatermark(std::uint64_t count) noexcept {
+    watermark_->fetch_add(count, std::memory_order_relaxed);
+  }
+
+  Xorshift128Plus& rng() noexcept { return rng_; }
+
+ private:
+  Config config_;
+  std::atomic<std::uint64_t>* watermark_;
+  Xorshift128Plus rng_;
+  std::uint64_t next_insert_ordinal_;
+  double lookups_per_insert_ = 0.0;
+  double lookup_debt_ = 0.0;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_BENCHKIT_WORKLOAD_H_

@@ -1,0 +1,45 @@
+// CPU and platform helpers: cache-line geometry, pause/prefetch hints,
+// RTM feature detection, and thread pinning.
+#ifndef SRC_COMMON_CPU_H_
+#define SRC_COMMON_CPU_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cuckoo {
+
+// Size every contended object is padded to. 64 bytes on all x86 parts we
+// target; hardcoded (rather than std::hardware_destructive_interference_size)
+// so layouts are stable across compilers.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Hint to the CPU that we are in a spin-wait loop (PAUSE on x86).
+void CpuRelax() noexcept;
+
+// Prefetch the cache line containing `addr` for a read (NTA-free, T0 hint).
+void PrefetchRead(const void* addr) noexcept;
+
+// Prefetch the cache line containing `addr` for a write.
+void PrefetchWrite(const void* addr) noexcept;
+
+// True if CPUID reports Restricted Transactional Memory (TSX RTM) support.
+// This is a static capability bit; microcode may still force-abort all
+// transactions, so callers should also run RtmProbe() (see src/htm/rtm.h)
+// before trusting the result.
+bool CpuSupportsRtm() noexcept;
+
+// Number of CPUs available to this process.
+int NumOnlineCpus() noexcept;
+
+// Pin the calling thread to `cpu` (modulo the online-CPU count).
+// Returns false if the affinity call failed.
+bool PinThreadToCpu(int cpu) noexcept;
+
+// A small dense id for the calling thread, assigned on first use.
+// Ids start at 0 and never exceed kMaxThreads - 1 (they wrap by then).
+inline constexpr int kMaxThreads = 256;
+int CurrentThreadId() noexcept;
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_CPU_H_

@@ -1,0 +1,99 @@
+#include "src/common/hash.h"
+
+#include <cstring>
+
+namespace cuckoo {
+namespace {
+
+constexpr std::uint64_t kPrime1 = 0x9e3779b185ebca87ull;
+constexpr std::uint64_t kPrime2 = 0xc2b2ae3d27d4eb4full;
+constexpr std::uint64_t kPrime3 = 0x165667b19e3779f9ull;
+constexpr std::uint64_t kPrime4 = 0x85ebca77c2b2ae63ull;
+constexpr std::uint64_t kPrime5 = 0x27d4eb2f165667c5ull;
+
+inline std::uint64_t Rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t Read64(const unsigned char* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t Read32(const unsigned char* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t Round(std::uint64_t acc, std::uint64_t input) noexcept {
+  acc += input * kPrime2;
+  acc = Rotl64(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline std::uint64_t MergeRound(std::uint64_t acc, std::uint64_t val) noexcept {
+  val = Round(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t XxHash64(const void* data, std::size_t len, std::uint64_t seed) noexcept {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + len;
+  std::uint64_t h;
+
+  if (len >= 32) {
+    const unsigned char* const limit = end - 32;
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = Round(v1, Read64(p));
+      v2 = Round(v2, Read64(p + 8));
+      v3 = Round(v3, Read64(p + 16));
+      v4 = Round(v4, Read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = Rotl64(v1, 1) + Rotl64(v2, 7) + Rotl64(v3, 12) + Rotl64(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(len);
+
+  while (p + 8 <= end) {
+    h ^= Round(0, Read64(p));
+    h = Rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(Read32(p)) * kPrime1;
+    h = Rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+    h = Rotl64(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace cuckoo

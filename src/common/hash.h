@@ -1,0 +1,93 @@
+// 64-bit hash functions implemented from scratch: an xxHash64-style byte-string
+// hash and a splitmix64 integer finalizer, plus the DefaultHash<K> adapter used
+// throughout the hash tables in this repo.
+//
+// Cuckoo hashing needs two independent bucket choices per key; we derive both
+// from a single 64-bit hash (high/low halves) like MemC3 does, so each key
+// costs one hash computation.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace cuckoo {
+
+// xxHash64 over an arbitrary byte range.
+std::uint64_t XxHash64(const void* data, std::size_t len, std::uint64_t seed = 0) noexcept;
+
+// splitmix64 finalizer: a fast, well-mixed bijection on 64-bit integers.
+constexpr std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Murmur3-style 64-bit finalizer; used where a second independent integer
+// mix is wanted (e.g. tests that cross-check distributions).
+constexpr std::uint64_t Fmix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Default hasher: integral keys go through Mix64; string-like keys through
+// XxHash64; anything else must provide std::hash and gets re-mixed (std::hash
+// for integers is often the identity, which is fatal for cuckoo bucket
+// derivation).
+template <typename K>
+struct DefaultHash {
+  std::uint64_t operator()(const K& key) const noexcept {
+    if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+      return Mix64(static_cast<std::uint64_t>(key));
+    } else if constexpr (std::is_convertible_v<const K&, std::string_view>) {
+      std::string_view sv(key);
+      return XxHash64(sv.data(), sv.size());
+    } else {
+      return Mix64(static_cast<std::uint64_t>(std::hash<K>{}(key)));
+    }
+  }
+};
+
+// Splits one 64-bit hash into the quantities a cuckoo table needs: a primary
+// bucket index, a 1-byte partial-key tag (never zero so it can double as an
+// occupancy filter), and the alternate bucket derived from (index, tag) the
+// way MemC3 does — so the alternate of the alternate is the original bucket.
+struct HashedKey {
+  std::uint64_t hash;
+  std::uint8_t tag;
+
+  static HashedKey From(std::uint64_t h) noexcept {
+    std::uint8_t t = static_cast<std::uint8_t>(h >> 56);
+    if (t == 0) {
+      t = 1;
+    }
+    return HashedKey{h, t};
+  }
+
+  // Primary bucket in a table of `mask + 1` buckets (mask = 2^n - 1).
+  std::size_t Bucket1(std::size_t mask) const noexcept {
+    return static_cast<std::size_t>(hash) & mask;
+  }
+
+  // Alternate bucket: XOR-displacement by a tag-derived value. Involutive:
+  // AltBucket(AltBucket(b)) == b, which is what path execution relies on.
+  std::size_t AltBucket(std::size_t bucket, std::size_t mask) const noexcept {
+    return (bucket ^ (static_cast<std::size_t>(Mix64(tag)) | 1u)) & mask;
+  }
+
+  std::size_t Bucket2(std::size_t mask) const noexcept {
+    return AltBucket(Bucket1(mask), mask);
+  }
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_HASH_H_

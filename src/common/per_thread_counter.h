@@ -1,0 +1,56 @@
+// Lazily-aggregated per-thread counters (principle P1 from §3): "disable
+// instant global statistics counters in favor of lazily aggregated per-thread
+// counters". Each thread increments its own cache-line-private slot; readers
+// sum all slots on demand.
+#ifndef SRC_COMMON_PER_THREAD_COUNTER_H_
+#define SRC_COMMON_PER_THREAD_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/cpu.h"
+
+namespace cuckoo {
+
+class PerThreadCounter {
+ public:
+  PerThreadCounter() : slots_(new Slot[kMaxThreads]) {}
+  PerThreadCounter(const PerThreadCounter&) = delete;
+  PerThreadCounter& operator=(const PerThreadCounter&) = delete;
+
+  // Add `delta` to the calling thread's slot. Signed so decrements work.
+  void Add(std::int64_t delta) noexcept {
+    slots_[CurrentThreadId()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void Increment() noexcept { Add(1); }
+  void Decrement() noexcept { Add(-1); }
+
+  // Aggregate across all thread slots. Not linearizable with concurrent
+  // updates; exact once writers quiesce.
+  std::int64_t Sum() const noexcept {
+    std::int64_t total = 0;
+    for (int i = 0; i < kMaxThreads; ++i) {
+      total += slots_[i].value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Reset all slots to zero. Callers must ensure no concurrent updates.
+  void Reset() noexcept {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      slots_[i].value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<std::int64_t> value{0};
+  };
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_PER_THREAD_COUNTER_H_

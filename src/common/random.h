@@ -1,0 +1,115 @@
+// Fast PRNGs and workload-distribution generators for tests and benchmarks.
+// Deliberately not <random>-based in hot paths: xorshift128+ is a few cycles
+// per draw and deterministic across platforms.
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace cuckoo {
+
+// xorshift128+ seeded through splitmix64, as recommended by Vigna.
+class Xorshift128Plus {
+ public:
+  explicit Xorshift128Plus(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    s0_ = Mix64(seed);
+    s1_ = Mix64(s0_);
+    if ((s0_ | s1_) == 0) {
+      s1_ = 1;
+    }
+  }
+
+  std::uint64_t Next() noexcept {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, bound). Uses the widening-multiply trick (no modulo bias
+  // worth caring about for benchmark workloads).
+  std::uint64_t NextBelow(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+// Zipf-distributed generator over [0, n) with parameter `theta` (0 = uniform,
+// ~0.99 = YCSB-style skew). Uses the Gray/Jim-Gray "quick zipf" method with
+// precomputed constants, O(1) per draw.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n > 0);
+    assert(theta >= 0.0 && theta < 1.0);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t Next() noexcept {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    double v = static_cast<double>(n_) *
+               std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    std::uint64_t k = static_cast<std::uint64_t>(v);
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+ private:
+  static double Zeta(std::uint64_t n, double theta) {
+    // Exact sum for small n; Euler-Maclaurin style approximation for large n
+    // keeps construction O(1e6) at worst.
+    double sum = 0.0;
+    std::uint64_t limit = n < 1000000 ? n : 1000000;
+    for (std::uint64_t i = 1; i <= limit; ++i) {
+      sum += std::pow(1.0 / static_cast<double>(i), theta);
+    }
+    if (n > limit) {
+      // Integral tail: sum_{i=limit+1}^{n} i^-theta ~= (n^(1-t) - limit^(1-t)) / (1-t).
+      double t1 = 1.0 - theta;
+      sum += (std::pow(static_cast<double>(n), t1) -
+              std::pow(static_cast<double>(limit), t1)) /
+             t1;
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  Xorshift128Plus rng_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_RANDOM_H_

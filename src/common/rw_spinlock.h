@@ -1,0 +1,81 @@
+// A reader-writer spinlock used by the TBB-style baseline: readers share,
+// writers exclude. Writer-preferring to avoid writer starvation under
+// read-heavy load.
+#ifndef SRC_COMMON_RW_SPINLOCK_H_
+#define SRC_COMMON_RW_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "src/common/cpu.h"
+
+namespace cuckoo {
+
+class RwSpinLock {
+ public:
+  RwSpinLock() noexcept = default;
+  RwSpinLock(const RwSpinLock&) = delete;
+  RwSpinLock& operator=(const RwSpinLock&) = delete;
+
+  void LockShared() noexcept {
+    int spins = 0;
+    for (;;) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      // Wait out writers (held or pending) so they are not starved.
+      if ((s & (kWriterHeld | kWriterPending)) == 0 &&
+          state_.compare_exchange_weak(s, s + kReaderUnit, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      Backoff(&spins);
+    }
+  }
+
+  void UnlockShared() noexcept { state_.fetch_sub(kReaderUnit, std::memory_order_release); }
+
+  void Lock() noexcept {
+    state_.fetch_or(kWriterPending, std::memory_order_relaxed);
+    int spins = 0;
+    for (;;) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      if ((s & kWriterHeld) == 0 && (s / kReaderUnit) == 0 &&
+          state_.compare_exchange_weak(s, kWriterHeld, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;  // drops kWriterPending together with any stale bits
+      }
+      if ((s & kWriterPending) == 0) {
+        // A competing writer's acquisition cleared our pending bit; restore it
+        // so readers keep yielding to us.
+        state_.fetch_or(kWriterPending, std::memory_order_relaxed);
+      }
+      Backoff(&spins);
+    }
+  }
+
+  void Unlock() noexcept { state_.store(0, std::memory_order_release); }
+
+ private:
+  // Layout: bit0 = writer held, bit1 = writer pending, bits 2.. = reader count.
+  static constexpr std::uint32_t kWriterHeld = 1u;
+  static constexpr std::uint32_t kWriterPending = 2u;
+  static constexpr std::uint32_t kReaderUnit = 4u;
+  static constexpr int kSpinLimit = 128;
+
+  static void Backoff(int* spins) noexcept {
+    if (++*spins < kSpinLimit) {
+      CpuRelax();
+    } else {
+      *spins = 0;
+      std::this_thread::yield();
+    }
+  }
+
+  std::atomic<std::uint32_t> state_{0};
+};
+
+struct alignas(kCacheLineSize) PaddedRwSpinLock : RwSpinLock {};
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_RW_SPINLOCK_H_

@@ -1,0 +1,64 @@
+// A tiny test-and-test-and-set spinlock with bounded spinning.
+//
+// The paper (§4.4) favours "lightweight spinlocks using compare-and-swap over
+// more general purpose mutexes" because all critical sections in the optimized
+// table are very short. On an oversubscribed host (more runnable threads than
+// cores — including this repo's single-core reproduction host) pure spinning
+// is pathological, so after a bounded number of PAUSE iterations the lock
+// yields the CPU.
+#ifndef SRC_COMMON_SPINLOCK_H_
+#define SRC_COMMON_SPINLOCK_H_
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/cpu.h"
+
+namespace cuckoo {
+
+class SpinLock {
+ public:
+  SpinLock() noexcept = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    int spins = 0;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      // Test-and-test-and-set: spin on the (shared) cached value to avoid
+      // hammering the line with RFO traffic.
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins < kSpinLimit) {
+          CpuRelax();
+        } else {
+          spins = 0;
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  bool is_locked() const noexcept { return locked_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr int kSpinLimit = 128;
+  std::atomic<bool> locked_{false};
+};
+
+// SpinLock padded out to a full cache line so adjacent locks in an array do
+// not false-share.
+struct alignas(kCacheLineSize) PaddedSpinLock : SpinLock {};
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_SPINLOCK_H_

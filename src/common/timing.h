@@ -1,0 +1,46 @@
+// Wall-clock timing helpers for the benchmark harness.
+#ifndef SRC_COMMON_TIMING_H_
+#define SRC_COMMON_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cuckoo {
+
+// Monotonic nanoseconds since an arbitrary epoch.
+inline std::uint64_t NowNanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Simple restartable stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(NowNanos()) {}
+
+  void Restart() noexcept { start_ = NowNanos(); }
+
+  std::uint64_t ElapsedNanos() const noexcept { return NowNanos() - start_; }
+
+  double ElapsedSeconds() const noexcept {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+// Throughput in million operations per second, the unit every figure in the
+// paper reports.
+inline double Mops(std::uint64_t ops, std::uint64_t nanos) noexcept {
+  if (nanos == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(ops) * 1e3 / static_cast<double>(nanos);
+}
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_TIMING_H_

@@ -1,0 +1,112 @@
+// A combined spinlock + optimistic version counter in one 64-bit word.
+//
+// This is the lock-stripe entry from §4.4 of the paper: "we go back to the
+// basic design of lock-striped cuckoo hashing and maintain an actual lock in
+// the stripe in addition to the version counter (our lock uses the high-order
+// bit of the counter)".
+//
+// Writers take the lock (set the high bit with CAS); every Unlock() increments
+// the version so optimistic readers observe that the protected region changed.
+// Readers never write the word: they snapshot the version (spinning past any
+// in-flight writer), read the protected data, and re-validate.
+#ifndef SRC_COMMON_VERSION_LOCK_H_
+#define SRC_COMMON_VERSION_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "src/common/cpu.h"
+
+namespace cuckoo {
+
+class VersionLock {
+ public:
+  static constexpr std::uint64_t kLockBit = 1ull << 63;
+
+  VersionLock() noexcept = default;
+  VersionLock(const VersionLock&) = delete;
+  VersionLock& operator=(const VersionLock&) = delete;
+
+  // Acquire the lock, spinning (with bounded PAUSE then yield) until free.
+  void Lock() noexcept {
+    int spins = 0;
+    for (;;) {
+      std::uint64_t v = word_.load(std::memory_order_relaxed);
+      if ((v & kLockBit) == 0 &&
+          word_.compare_exchange_weak(v, v | kLockBit, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+      if (++spins < kSpinLimit) {
+        CpuRelax();
+      } else {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  // One-shot acquisition attempt.
+  bool TryLock() noexcept {
+    std::uint64_t v = word_.load(std::memory_order_relaxed);
+    return (v & kLockBit) == 0 &&
+           word_.compare_exchange_strong(v, v | kLockBit, std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  // Release the lock and advance the version, invalidating concurrent
+  // optimistic readers. Must only be called by the lock holder.
+  void Unlock() noexcept {
+    std::uint64_t v = word_.load(std::memory_order_relaxed);
+    word_.store((v + 1) & ~kLockBit, std::memory_order_release);
+  }
+
+  // Release without bumping the version: the holder certifies it made no
+  // modification to the protected region, so readers need not be invalidated.
+  void UnlockNoModify() noexcept {
+    std::uint64_t v = word_.load(std::memory_order_relaxed);
+    word_.store(v & ~kLockBit, std::memory_order_release);
+  }
+
+  // Spin until the lock bit is clear and return the (stable) version.
+  std::uint64_t AwaitVersion() const noexcept {
+    int spins = 0;
+    for (;;) {
+      std::uint64_t v = word_.load(std::memory_order_acquire);
+      if ((v & kLockBit) == 0) {
+        return v;
+      }
+      if (++spins < kSpinLimit) {
+        CpuRelax();
+      } else {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  // Raw load; may have the lock bit set.
+  std::uint64_t LoadRaw() const noexcept { return word_.load(std::memory_order_acquire); }
+
+  bool IsLocked() const noexcept {
+    return (word_.load(std::memory_order_relaxed) & kLockBit) != 0;
+  }
+
+  static bool VersionChanged(std::uint64_t before, std::uint64_t now) noexcept {
+    return before != now;
+  }
+
+ private:
+  static constexpr int kSpinLimit = 128;
+  std::atomic<std::uint64_t> word_{0};
+};
+
+// VersionLock padded to a cache line for use in stripe arrays.
+struct alignas(kCacheLineSize) PaddedVersionLock : VersionLock {};
+
+static_assert(sizeof(PaddedVersionLock) == kCacheLineSize);
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_VERSION_LOCK_H_

@@ -1,0 +1,304 @@
+// ClockCache — a MemC3-style bounded cache on top of the cuckoo table: the
+// system the paper's base design (optimistic concurrent cuckoo hashing) was
+// built for. Instead of expanding when full, it evicts using CLOCK:
+//
+//   * every slot has a reference bit, set (relaxed) on lookup hit;
+//   * when an insert cannot find room, the clock hand sweeps slots, clearing
+//     set bits and evicting the first unreferenced victim under its bucket
+//     lock, then the insert retries;
+//   * recently-read entries therefore survive, one-touch entries cycle out —
+//     the classic second-chance approximation of LRU that MemC3 pairs with
+//     cuckoo hashing ("MemC3: Compact and Concurrent MemCache with Dumber
+//     Caching and Smarter Hashing" [8]).
+//
+// Concurrency model matches CuckooMap: striped bucket locks for writers,
+// optimistic version-validated reads; the reference bitmap is deliberately
+// outside the validated region (a racy ref-bit costs at most one eviction
+// decision, never correctness).
+#ifndef SRC_CUCKOO_CLOCK_CACHE_H_
+#define SRC_CUCKOO_CLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/common/hash.h"
+#include "src/common/per_thread_counter.h"
+#include "src/common/striped_locks.h"
+#include "src/cuckoo/path_search.h"
+#include "src/cuckoo/table_core.h"
+#include "src/cuckoo/types.h"
+
+namespace cuckoo {
+
+template <typename K, typename V, typename Hash = DefaultHash<K>,
+          typename KeyEqual = std::equal_to<K>, int B = 8>
+class ClockCache {
+ public:
+  using KeyType = K;
+  using ValueType = V;
+  using Core = TableCore<K, V, B>;
+  static constexpr int kSlotsPerBucket = B;
+
+  struct Options {
+    // Fixed capacity: 2^log2 buckets x B slots. Never grows.
+    std::size_t bucket_count_log2 = 12;
+    std::size_t stripe_count = LockStripes::kDefaultStripeCount;
+    std::size_t max_search_slots = 2000;
+    bool prefetch = true;
+    // Max slots one CLOCK sweep may visit before giving up (>= one full lap).
+    std::size_t max_sweep_factor = 2;
+  };
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t sets = 0;
+    double HitRate() const noexcept {
+      std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  explicit ClockCache(Options opts = Options{}, Hash hasher = Hash{}, KeyEqual eq = KeyEqual{})
+      : opts_(opts),
+        hasher_(std::move(hasher)),
+        eq_(std::move(eq)),
+        stripes_(opts.stripe_count),
+        core_(opts.bucket_count_log2),
+        ref_bits_(new std::atomic<std::uint8_t>[core_.slot_count()]) {
+    for (std::size_t i = 0; i < core_.slot_count(); ++i) {
+      ref_bits_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  ClockCache(const ClockCache&) = delete;
+  ClockCache& operator=(const ClockCache&) = delete;
+
+  // ----- Read path -----------------------------------------------------------
+
+  // Optimistic lookup; a hit marks the slot referenced for CLOCK.
+  bool Get(const K& key, V* out) {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    const std::size_t b1 = h.Bucket1(core_.mask);
+    const std::size_t b2 = core_.AltBucket(b1, h.tag);
+    const std::size_t s1 = stripes_.StripeFor(b1);
+    const std::size_t s2 = stripes_.StripeFor(b2);
+    for (;;) {
+      const std::uint64_t v1 = stripes_.Stripe(s1).AwaitVersion();
+      const std::uint64_t v2 = (s2 == s1) ? v1 : stripes_.Stripe(s2).AwaitVersion();
+      bool found = false;
+      std::size_t hit_bucket = 0;
+      int hit_slot = 0;
+      V value{};
+      for (std::size_t bucket : {b1, b2}) {
+        for (int s = 0; s < B; ++s) {
+          if (core_.Tag(bucket, s) == h.tag && eq_(core_.LoadKey(bucket, s), key)) {
+            value = core_.LoadValue(bucket, s);
+            hit_bucket = bucket;
+            hit_slot = s;
+            found = true;
+            break;
+          }
+        }
+        if (found) {
+          break;
+        }
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (stripes_.Stripe(s1).LoadRaw() == v1 && stripes_.Stripe(s2).LoadRaw() == v2) {
+        if (found) {
+          // Second-chance mark. Outside the validated region on purpose.
+          ref_bits_[hit_bucket * B + static_cast<std::size_t>(hit_slot)].store(
+              1, std::memory_order_relaxed);
+          hits_.Increment();
+          *out = value;
+        } else {
+          misses_.Increment();
+        }
+        return found;
+      }
+    }
+  }
+
+  bool Contains(const K& key) {
+    V ignored;
+    return Get(key, &ignored);
+  }
+
+  // ----- Write path ----------------------------------------------------------
+
+  // Insert or overwrite, evicting as needed. Returns false only if even a
+  // full CLOCK sweep could not free a usable slot (pathological hash).
+  bool Set(const K& key, const V& value) {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    const std::size_t b1 = h.Bucket1(core_.mask);
+    const std::size_t b2 = core_.AltBucket(b1, h.tag);
+    sets_.Increment();
+    CuckooPath path;
+    for (std::size_t attempt = 0;
+         attempt < opts_.max_sweep_factor * core_.slot_count(); ++attempt) {
+      {
+        PairGuard guard(stripes_, b1, b2);
+        std::size_t bucket;
+        int slot;
+        if (FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
+          core_.WriteValue(bucket, slot, value);
+          ref_bits_[bucket * B + static_cast<std::size_t>(slot)].store(
+              1, std::memory_order_relaxed);
+          return true;
+        }
+        for (std::size_t b : {b1, b2}) {
+          int s = core_.FindEmptySlot(b);
+          if (s >= 0) {
+            core_.WriteSlot(b, s, h.tag, key, value);
+            ref_bits_[b * B + static_cast<std::size_t>(s)].store(1, std::memory_order_relaxed);
+            size_.Increment();
+            return true;
+          }
+        }
+        guard.ReleaseNoModify();
+      }
+
+      // Try to open a slot in b1/b2 by cuckoo displacement first (keeps
+      // occupancy high before resorting to eviction).
+      path.Clear();
+      if (BfsSearch(core_, b1, b2, opts_.max_search_slots, opts_.prefetch, &path) &&
+          ExecutePath(path)) {
+        continue;  // a slot should now be free in b1/b2
+      }
+
+      // Table-full for this key: evict one victim somewhere, which frees a
+      // slot reachable on the next displacement search.
+      if (!EvictOne()) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  bool Delete(const K& key) {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    const std::size_t b1 = h.Bucket1(core_.mask);
+    const std::size_t b2 = core_.AltBucket(b1, h.tag);
+    PairGuard guard(stripes_, b1, b2);
+    std::size_t bucket;
+    int slot;
+    if (!FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
+      guard.ReleaseNoModify();
+      return false;
+    }
+    core_.ClearSlot(bucket, slot);
+    size_.Decrement();
+    return true;
+  }
+
+  // ----- Introspection --------------------------------------------------------
+
+  std::size_t Size() const noexcept {
+    std::int64_t n = size_.Sum();
+    return n < 0 ? 0 : static_cast<std::size_t>(n);
+  }
+  std::size_t Capacity() const noexcept { return core_.slot_count(); }
+  double LoadFactor() const noexcept {
+    return static_cast<double>(Size()) / static_cast<double>(Capacity());
+  }
+  std::size_t HeapBytes() const noexcept {
+    return core_.HeapBytes() + core_.slot_count() +
+           stripes_.stripe_count() * sizeof(PaddedVersionLock);
+  }
+
+  CacheStats Stats() const noexcept {
+    CacheStats s;
+    s.hits = static_cast<std::uint64_t>(hits_.Sum());
+    s.misses = static_cast<std::uint64_t>(misses_.Sum());
+    s.evictions = static_cast<std::uint64_t>(evictions_.Sum());
+    s.sets = static_cast<std::uint64_t>(sets_.Sum());
+    return s;
+  }
+
+ private:
+  bool FindSlotExclusive(std::size_t b1, std::size_t b2, std::uint8_t tag, const K& key,
+                         std::size_t* bucket, int* slot) const {
+    for (std::size_t b : {b1, b2}) {
+      for (int s = 0; s < B; ++s) {
+        if (core_.Tag(b, s) == tag && eq_(core_.KeyRef(b, s), key)) {
+          *bucket = b;
+          *slot = s;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool ExecutePath(const CuckooPath& path) {
+    for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
+      const PathHop& from = path.hops[i];
+      const PathHop& to = path.hops[i + 1];
+      PairGuard guard(stripes_, from.bucket, to.bucket);
+      if (from.tag == 0 || core_.Tag(from.bucket, from.slot) != from.tag ||
+          core_.Tag(to.bucket, to.slot) != 0) {
+        guard.ReleaseNoModify();
+        return false;
+      }
+      core_.MoveSlot(from.bucket, from.slot, to.bucket, to.slot);
+      // The item carries its reference bit along.
+      std::uint8_t ref = ref_bits_[from.bucket * B + static_cast<std::size_t>(from.slot)].load(
+          std::memory_order_relaxed);
+      ref_bits_[to.bucket * B + static_cast<std::size_t>(to.slot)].store(
+          ref, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  // Advance the clock hand until an unreferenced occupied slot is found;
+  // clear reference bits along the way; evict the victim. One full lap plus
+  // slack bounds the sweep (after a lap, every bit has been cleared, so an
+  // occupied slot must qualify unless erasers empty the table under us).
+  bool EvictOne() {
+    const std::size_t slots = core_.slot_count();
+    for (std::size_t step = 0; step < 2 * slots; ++step) {
+      const std::size_t idx = hand_.fetch_add(1, std::memory_order_relaxed) % slots;
+      const std::size_t bucket = idx / B;
+      const int slot = static_cast<int>(idx % B);
+      if (core_.Tag(bucket, slot) == 0) {
+        continue;
+      }
+      if (ref_bits_[idx].exchange(0, std::memory_order_relaxed) != 0) {
+        continue;  // second chance
+      }
+      PairGuard guard(stripes_, bucket, bucket);
+      if (core_.Tag(bucket, slot) == 0) {
+        guard.ReleaseNoModify();
+        continue;  // raced with an eraser
+      }
+      core_.ClearSlot(bucket, slot);
+      size_.Decrement();
+      evictions_.Increment();
+      return true;
+    }
+    return false;
+  }
+
+  Options opts_;
+  Hash hasher_;
+  KeyEqual eq_;
+  mutable LockStripes stripes_;
+  Core core_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> ref_bits_;
+  std::atomic<std::size_t> hand_{0};
+  PerThreadCounter size_;
+  mutable PerThreadCounter hits_;
+  mutable PerThreadCounter misses_;
+  PerThreadCounter evictions_;
+  PerThreadCounter sets_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_CUCKOO_CLOCK_CACHE_H_

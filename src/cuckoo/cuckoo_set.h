@@ -1,0 +1,64 @@
+// CuckooSet — a concurrent set adapter over CuckooMap (empty payload). Keeps
+// the pointer-free memory layout: one tag byte plus the key per element.
+#ifndef SRC_CUCKOO_CUCKOO_SET_H_
+#define SRC_CUCKOO_CUCKOO_SET_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/cuckoo/cuckoo_map.h"
+
+namespace cuckoo {
+
+namespace internal {
+// Zero-size-ish payload (empty structs still occupy one byte in arrays).
+struct Unit {};
+}  // namespace internal
+
+template <typename K, typename Hash = DefaultHash<K>, typename KeyEqual = std::equal_to<K>,
+          int B = 8>
+class CuckooSet {
+ public:
+  using KeyType = K;
+  using Map = CuckooMap<K, internal::Unit, Hash, KeyEqual, B>;
+  using Options = typename Map::Options;
+
+  explicit CuckooSet(Options opts = Options{}, Hash hasher = Hash{}, KeyEqual eq = KeyEqual{})
+      : map_(opts, std::move(hasher), std::move(eq)) {}
+
+  // Returns true if `key` was newly added; false if it was already present
+  // (the atomic membership test the dedup example relies on).
+  bool Add(const K& key) { return map_.Insert(key, internal::Unit{}) == InsertResult::kOk; }
+
+  // Like Add but reports table-full via InsertResult.
+  InsertResult TryAdd(const K& key) { return map_.Insert(key, internal::Unit{}); }
+
+  bool Contains(const K& key) const { return map_.Contains(key); }
+
+  bool Remove(const K& key) { return map_.Erase(key); }
+
+  std::size_t Size() const noexcept { return map_.Size(); }
+  std::size_t SlotCount() const noexcept { return map_.SlotCount(); }
+  double LoadFactor() const noexcept { return map_.LoadFactor(); }
+  std::size_t HeapBytes() const noexcept { return map_.HeapBytes(); }
+  void Clear() { map_.Clear(); }
+  void Reserve(std::size_t n) { map_.Reserve(n); }
+  MapStatsSnapshot Stats() const { return map_.Stats(); }
+
+  // Exclusive iteration over members.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    auto view = map_.Lock();
+    for (auto [key, unit] : view) {
+      (void)unit;
+      fn(key);
+    }
+  }
+
+ private:
+  Map map_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_CUCKOO_CUCKOO_SET_H_

@@ -1,0 +1,422 @@
+// FlatCuckooMap — the optimistic concurrent cuckoo table of MemC3 [8], plus
+// the paper's incremental optimizations exposed as knobs so the §6.1 factor
+// analysis can be reproduced variant by variant:
+//
+//   knob                        paper label
+//   ------------------------    --------------------------------------------
+//   (all knobs off, kDfs)       "cuckoo" — multi-reader/single-writer MemC3
+//   lock_after_discovery        "+lock later" (Algorithm 2 vs Algorithm 1)
+//   search_mode = kBfs          "+BFS"
+//   prefetch                    "+prefetch"
+//   GlobalLock = glibc elision  "+TSX-glibc"
+//   GlobalLock = tuned elision  "+TSX*"
+//
+// The table is fixed-size (like MemC3; inserts return kTableFull when no path
+// exists), B-way set-associative, and uses striped version counters so reads
+// never take the global lock. All writes serialize through one GlobalLock —
+// the template parameter that the elision wrappers plug into.
+#ifndef SRC_CUCKOO_FLAT_CUCKOO_MAP_H_
+#define SRC_CUCKOO_FLAT_CUCKOO_MAP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "src/common/cpu.h"
+#include "src/common/hash.h"
+#include "src/common/per_thread_counter.h"
+#include "src/common/random.h"
+#include "src/common/spinlock.h"
+#include "src/common/striped_locks.h"
+#include "src/cuckoo/path_search.h"
+#include "src/cuckoo/stats.h"
+#include "src/cuckoo/table_core.h"
+#include "src/cuckoo/types.h"
+
+namespace cuckoo {
+
+// No-op lock for the single-thread "all locks disabled" rows of Figure 5a.
+struct NullLock {
+  void lock() noexcept {}
+  void unlock() noexcept {}
+  bool try_lock() noexcept { return true; }
+  bool is_locked() const noexcept { return false; }
+};
+
+struct FlatOptions {
+  std::size_t bucket_count_log2 = 16;
+  // Version-counter stripes for optimistic reads (MemC3 used 1K-8K entries).
+  std::size_t version_stripe_count = LockStripes::kDefaultStripeCount;
+  std::size_t max_search_slots = 2000;  // M, for BFS
+  int dfs_max_path_len = 250;           // MemC3's cap
+  SearchMode search_mode = SearchMode::kDfs;
+  // false = Algorithm 1 (search inside the critical section);
+  // true  = Algorithm 2 ("lock after discovering a cuckoo path").
+  bool lock_after_discovery = false;
+  bool prefetch = false;
+};
+
+template <typename K, typename V, typename GlobalLock = SpinLock,
+          typename Hash = DefaultHash<K>, typename KeyEqual = std::equal_to<K>, int B = 4>
+class FlatCuckooMap {
+ public:
+  using KeyType = K;
+  using ValueType = V;
+  using Core = TableCore<K, V, B>;
+  static constexpr int kSlotsPerBucket = B;
+
+  explicit FlatCuckooMap(FlatOptions opts = FlatOptions{}, Hash hasher = Hash{},
+                         KeyEqual eq = KeyEqual{})
+      : opts_(opts),
+        hasher_(std::move(hasher)),
+        eq_(std::move(eq)),
+        versions_(opts.version_stripe_count),
+        core_(opts.bucket_count_log2) {}
+
+  FlatCuckooMap(const FlatCuckooMap&) = delete;
+  FlatCuckooMap& operator=(const FlatCuckooMap&) = delete;
+
+  // ----- Lookup (optimistic, never takes the global lock) -------------------
+
+  bool Find(const K& key, V* out) const {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    const std::size_t b1 = h.Bucket1(core_.mask);
+    const std::size_t b2 = core_.AltBucket(b1, h.tag);
+    const std::size_t s1 = versions_.StripeFor(b1);
+    const std::size_t s2 = versions_.StripeFor(b2);
+    for (;;) {
+      const std::uint64_t v1 = versions_.Stripe(s1).AwaitVersion();
+      const std::uint64_t v2 = (s2 == s1) ? v1 : versions_.Stripe(s2).AwaitVersion();
+
+      bool found = false;
+      V value{};
+      for (std::size_t bucket : {b1, b2}) {
+        for (int s = 0; s < B; ++s) {
+          if (core_.Tag(bucket, s) == h.tag && eq_(core_.LoadKey(bucket, s), key)) {
+            value = core_.LoadValue(bucket, s);
+            found = true;
+            break;
+          }
+        }
+        if (found) {
+          break;
+        }
+      }
+
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (versions_.Stripe(s1).LoadRaw() == v1 && versions_.Stripe(s2).LoadRaw() == v2) {
+        stats_.RecordLookup(found);
+        if (found) {
+          *out = value;
+        }
+        return found;
+      }
+      stats_.RecordReadRetry();
+    }
+  }
+
+  bool Contains(const K& key) const {
+    V ignored;
+    return Find(key, &ignored);
+  }
+
+  // ----- Insert --------------------------------------------------------------
+
+  InsertResult Insert(const K& key, const V& value) {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    const std::size_t b1 = h.Bucket1(core_.mask);
+    const std::size_t b2 = core_.AltBucket(b1, h.tag);
+    return opts_.lock_after_discovery ? InsertLockLater(h, b1, b2, key, value)
+                                      : InsertLockFirst(h, b1, b2, key, value);
+  }
+
+  bool Update(const K& key, const V& value) {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    const std::size_t b1 = h.Bucket1(core_.mask);
+    const std::size_t b2 = core_.AltBucket(b1, h.tag);
+    std::lock_guard<GlobalLock> g(lock_);
+    std::size_t bucket;
+    int slot;
+    if (!FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
+      return false;
+    }
+    BumpGuard bump(versions_, bucket);
+    core_.WriteValue(bucket, slot, value);
+    return true;
+  }
+
+  // Insert or overwrite: kOk if inserted, kKeyExists if overwritten,
+  // kTableFull on failure.
+  InsertResult Upsert(const K& key, const V& value) {
+    if (Update(key, value)) {
+      return InsertResult::kKeyExists;
+    }
+    for (;;) {
+      InsertResult r = Insert(key, value);
+      if (r != InsertResult::kKeyExists) {
+        return r;
+      }
+      // Raced with another inserter of the same key; overwrite its value.
+      if (Update(key, value)) {
+        return InsertResult::kKeyExists;
+      }
+      // ... unless an eraser removed it again: retry the insert.
+    }
+  }
+
+  bool Erase(const K& key) {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    const std::size_t b1 = h.Bucket1(core_.mask);
+    const std::size_t b2 = core_.AltBucket(b1, h.tag);
+    std::lock_guard<GlobalLock> g(lock_);
+    std::size_t bucket;
+    int slot;
+    if (!FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
+      return false;
+    }
+    BumpGuard bump(versions_, bucket);
+    core_.ClearSlot(bucket, slot);
+    size_.Decrement();
+    stats_.RecordErase();
+    return true;
+  }
+
+  // ----- Capacity / introspection --------------------------------------------
+
+  std::size_t Size() const noexcept {
+    std::int64_t n = size_.Sum();
+    return n < 0 ? 0 : static_cast<std::size_t>(n);
+  }
+  std::size_t SlotCount() const noexcept { return core_.slot_count(); }
+  double LoadFactor() const noexcept {
+    return static_cast<double>(Size()) / static_cast<double>(SlotCount());
+  }
+  std::size_t HeapBytes() const noexcept {
+    return core_.HeapBytes() + versions_.stripe_count() * sizeof(PaddedVersionLock);
+  }
+
+  MapStatsSnapshot Stats() const { return stats_.Read(); }
+  void ResetStats() { stats_.Reset(); }
+  const FlatOptions& options() const noexcept { return opts_; }
+
+  // The global write lock, exposed so benches can read elision statistics off
+  // an ElidedLock instantiation.
+  GlobalLock& global_lock() noexcept { return lock_; }
+  const GlobalLock& global_lock() const noexcept { return lock_; }
+
+ private:
+  // Bumps a bucket's version stripe around a write so optimistic readers
+  // retry. The writer already holds the global lock, so the stripe CAS is
+  // uncontended.
+  class BumpGuard {
+   public:
+    BumpGuard(LockStripes& stripes, std::size_t bucket) noexcept
+        : stripe_(stripes.Stripe(stripes.StripeFor(bucket))) {
+      stripe_.Lock();
+    }
+    ~BumpGuard() { stripe_.Unlock(); }
+    BumpGuard(const BumpGuard&) = delete;
+    BumpGuard& operator=(const BumpGuard&) = delete;
+
+   private:
+    VersionLock& stripe_;
+  };
+
+  bool FindSlotExclusive(std::size_t b1, std::size_t b2, std::uint8_t tag, const K& key,
+                         std::size_t* bucket, int* slot) const {
+    for (std::size_t b : {b1, b2}) {
+      for (int s = 0; s < B; ++s) {
+        if (core_.Tag(b, s) == tag && eq_(core_.KeyRef(b, s), key)) {
+          *bucket = b;
+          *slot = s;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Try to place into an empty slot of b1/b2; caller holds the global lock.
+  bool AddIfRoom(std::size_t b1, std::size_t b2, std::uint8_t tag, const K& key,
+                 const V& value) {
+    for (std::size_t b : {b1, b2}) {
+      int s = core_.FindEmptySlot(b);
+      if (s >= 0) {
+        BumpGuard bump(versions_, b);
+        core_.WriteSlot(b, s, tag, key, value);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool SearchPath(std::size_t b1, std::size_t b2, CuckooPath* path) {
+    stats_.RecordPathSearch();
+    if (opts_.search_mode == SearchMode::kBfs) {
+      return BfsSearch(core_, b1, b2, opts_.max_search_slots, opts_.prefetch, path);
+    }
+    return DfsSearch(core_, b1, b2, opts_.dfs_max_path_len, ThreadRng(), path);
+  }
+
+  // Execute `path` while holding the global lock, validating every hop before
+  // moving it. Validation is needed even in lock-first mode: a random-walk
+  // (or cyclic BFS) path can reference the same slot twice, and an earlier
+  // executed hop then invalidates a later one. Hops executed before a failed
+  // validation are individually correct displacements, so the table stays
+  // consistent and the caller simply searches again.
+  bool ExecutePathLocked(const CuckooPath& path) {
+    for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
+      const PathHop& from = path.hops[i];
+      const PathHop& to = path.hops[i + 1];
+      if (from.tag == 0 || core_.Tag(from.bucket, from.slot) != from.tag ||
+          core_.Tag(to.bucket, to.slot) != 0) {
+        return false;
+      }
+      BumpGuard bump_to(versions_, to.bucket);
+      BumpGuard bump_from(versions_, from.bucket);
+      core_.MoveSlot(from.bucket, from.slot, to.bucket, to.slot);
+      stats_.RecordDisplacements(1);
+    }
+    return true;
+  }
+
+  // Algorithm 1: the whole Insert (duplicate check, path search, execution)
+  // is one critical section.
+  InsertResult InsertLockFirst(const HashedKey& h, std::size_t b1, std::size_t b2,
+                               const K& key, const V& value) {
+    std::lock_guard<GlobalLock> g(lock_);
+    std::size_t bucket;
+    int slot;
+    if (FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
+      stats_.RecordDuplicateInsert();
+      return InsertResult::kKeyExists;
+    }
+    if (AddIfRoom(b1, b2, h.tag, key, value)) {
+      size_.Increment();
+      stats_.RecordInsert();
+      stats_.RecordPathLength(0);
+      return InsertResult::kOk;
+    }
+    std::size_t executed_path_len = 0;
+    for (;;) {
+      CuckooPath path;
+      if (!SearchPath(b1, b2, &path)) {
+        stats_.RecordInsertFailure();
+        return InsertResult::kTableFull;
+      }
+      if (!ExecutePathLocked(path)) {
+        // Only possible via a self-overlapping path (no concurrent writers
+        // under the global lock); the partial execution perturbed the table,
+        // so the next search finds a different path.
+        stats_.RecordPathInvalidation();
+        continue;
+      }
+      const PathHop& hole = path.hops.front();
+      if (core_.Tag(hole.bucket, hole.slot) != 0) {
+        stats_.RecordPathInvalidation();
+        continue;
+      }
+      executed_path_len += path.Displacements();
+      BumpGuard bump(versions_, hole.bucket);
+      core_.WriteSlot(hole.bucket, hole.slot, h.tag, key, value);
+      size_.Increment();
+      stats_.RecordInsert();
+      stats_.RecordPathLength(executed_path_len);
+      return InsertResult::kOk;
+    }
+  }
+
+  // Algorithm 2: search for the cuckoo path outside the critical section, then
+  // validate-and-execute under the lock, restarting if the path went stale.
+  InsertResult InsertLockLater(const HashedKey& h, std::size_t b1, std::size_t b2,
+                               const K& key, const V& value) {
+    std::size_t executed_path_len = 0;
+    for (;;) {
+      // Unlocked availability probe (Algorithm 2 lines 3-8).
+      if (core_.FindEmptySlot(b1) >= 0 || core_.FindEmptySlot(b2) >= 0) {
+        std::lock_guard<GlobalLock> g(lock_);
+        std::size_t bucket;
+        int slot;
+        if (FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
+          stats_.RecordDuplicateInsert();
+          return InsertResult::kKeyExists;
+        }
+        if (AddIfRoom(b1, b2, h.tag, key, value)) {
+          size_.Increment();
+          stats_.RecordInsert();
+          stats_.RecordPathLength(executed_path_len);
+          return InsertResult::kOk;
+        }
+        // Probe raced with another writer filling the bucket; fall through.
+      }
+
+      CuckooPath path;
+      if (!SearchPath(b1, b2, &path)) {
+        // Confirm fullness (and absence) under the lock before giving up.
+        std::lock_guard<GlobalLock> g(lock_);
+        std::size_t bucket;
+        int slot;
+        if (FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
+          stats_.RecordDuplicateInsert();
+          return InsertResult::kKeyExists;
+        }
+        if (AddIfRoom(b1, b2, h.tag, key, value)) {
+          size_.Increment();
+          stats_.RecordInsert();
+          stats_.RecordPathLength(executed_path_len);
+          return InsertResult::kOk;
+        }
+        stats_.RecordInsertFailure();
+        return InsertResult::kTableFull;
+      }
+
+      {
+        std::lock_guard<GlobalLock> g(lock_);
+        std::size_t bucket;
+        int slot;
+        if (FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
+          stats_.RecordDuplicateInsert();
+          return InsertResult::kKeyExists;
+        }
+        if (!ExecutePathLocked(path)) {
+          stats_.RecordPathInvalidation();
+          continue;  // rediscover (Algorithm 2's while loop)
+        }
+        const PathHop& hole = path.hops.front();
+        if (path.hops.size() == 1 && core_.Tag(hole.bucket, hole.slot) != 0) {
+          // Zero-hop path whose free slot was stolen before we locked.
+          stats_.RecordPathInvalidation();
+          continue;
+        }
+        executed_path_len += path.Displacements();
+        BumpGuard bump(versions_, hole.bucket);
+        core_.WriteSlot(hole.bucket, hole.slot, h.tag, key, value);
+        size_.Increment();
+        stats_.RecordInsert();
+        stats_.RecordPathLength(executed_path_len);
+        return InsertResult::kOk;
+      }
+    }
+  }
+
+  static Xorshift128Plus& ThreadRng() {
+    thread_local Xorshift128Plus rng(Mix64(0xf1a7ull + CurrentThreadId()));
+    return rng;
+  }
+
+  FlatOptions opts_;
+  Hash hasher_;
+  KeyEqual eq_;
+  mutable LockStripes versions_;
+  Core core_;
+  mutable GlobalLock lock_;
+  PerThreadCounter size_;
+  mutable MapStats stats_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_CUCKOO_FLAT_CUCKOO_MAP_H_

@@ -1,0 +1,554 @@
+// GeneralCuckooMap — the §7 "libcuckoo release" generality extension:
+//
+//   "The libcuckoo library offers an easy-to-use interface that supports
+//    variable length key value pairs of arbitrary types, including those with
+//    pointers or strings, provides iterators, and dynamically resizes itself
+//    as it fills. The price of this generality is that it uses locks for
+//    reads as well as writes ... at the cost of a 5-20% slowdown."
+//
+// Compared with CuckooMap:
+//   * keys/values may be any movable types (std::string, std::vector,
+//     std::unique_ptr, ...) — elements live in aligned raw storage and are
+//     placement-constructed / destroyed per slot;
+//   * every operation (including Find) takes the bucket-pair lock, so there
+//     is no optimistic read protocol and no trivially-copyable requirement;
+//   * displacements move-construct elements bucket-to-bucket;
+//   * old cores are retired (kept allocated but empty) after expansion: the
+//     unlocked BFS path search may still be scanning one; retired cores hold
+//     no live elements (moved out during rehash) and their total size is
+//     bounded by the live core's.
+//
+// The cuckoo algorithm itself is identical: tag-directed BFS path discovery
+// outside the critical section, per-displacement validate-and-execute under
+// striped bucket-pair locks.
+#ifndef SRC_CUCKOO_GENERAL_CUCKOO_MAP_H_
+#define SRC_CUCKOO_GENERAL_CUCKOO_MAP_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/striped_locks.h"
+#include "src/cuckoo/path_search.h"
+#include "src/cuckoo/stats.h"
+#include "src/cuckoo/types.h"
+
+namespace cuckoo {
+
+namespace internal {
+
+// B-way bucket storage for non-trivial types: a tag array (0 = empty) plus
+// uninitialized aligned storage for keys and values. Lifetime is managed
+// per-slot with placement new; the owner must destroy occupied slots before
+// the core is released (the destructor asserts nothing is leaked in debug).
+template <typename K, typename V, int B>
+struct GeneralCore {
+  static constexpr int kSlotsPerBucket = B;
+
+  struct Bucket {
+    // Atomic: the unlocked BFS path search reads tags concurrently with
+    // writers (relaxed; staleness is handled by execute-time validation).
+    std::atomic<std::uint8_t> tags[B] = {};
+    alignas(K) unsigned char key_storage[B][sizeof(K)];
+    alignas(V) unsigned char value_storage[B][sizeof(V)];
+  };
+
+  explicit GeneralCore(std::size_t bucket_count_log2)
+      : mask((std::size_t{1} << bucket_count_log2) - 1),
+        buckets(std::make_unique<Bucket[]>(mask + 1)) {}
+
+  GeneralCore(const GeneralCore&) = delete;
+  GeneralCore& operator=(const GeneralCore&) = delete;
+
+  ~GeneralCore() { DestroyAll(); }
+
+  std::size_t bucket_count() const noexcept { return mask + 1; }
+  std::size_t slot_count() const noexcept { return bucket_count() * B; }
+
+  std::size_t HeapBytes() const noexcept { return bucket_count() * sizeof(Bucket); }
+
+  std::uint8_t Tag(std::size_t bucket, int slot) const noexcept {
+    return buckets[bucket].tags[slot].load(std::memory_order_relaxed);
+  }
+
+  K& Key(std::size_t bucket, int slot) noexcept {
+    return *std::launder(reinterpret_cast<K*>(buckets[bucket].key_storage[slot]));
+  }
+  const K& Key(std::size_t bucket, int slot) const noexcept {
+    return *std::launder(reinterpret_cast<const K*>(buckets[bucket].key_storage[slot]));
+  }
+  V& Value(std::size_t bucket, int slot) noexcept {
+    return *std::launder(reinterpret_cast<V*>(buckets[bucket].value_storage[slot]));
+  }
+  const V& Value(std::size_t bucket, int slot) const noexcept {
+    return *std::launder(reinterpret_cast<const V*>(buckets[bucket].value_storage[slot]));
+  }
+
+  int FindEmptySlot(std::size_t bucket) const noexcept {
+    for (int s = 0; s < B; ++s) {
+      if (Tag(bucket, s) == 0) {
+        return s;
+      }
+    }
+    return -1;
+  }
+
+  template <typename KArg, typename VArg>
+  void ConstructSlot(std::size_t bucket, int slot, std::uint8_t tag, KArg&& key, VArg&& value) {
+    ::new (static_cast<void*>(buckets[bucket].key_storage[slot])) K(std::forward<KArg>(key));
+    ::new (static_cast<void*>(buckets[bucket].value_storage[slot])) V(std::forward<VArg>(value));
+    buckets[bucket].tags[slot].store(tag, std::memory_order_relaxed);
+  }
+
+  void DestroySlot(std::size_t bucket, int slot) noexcept {
+    Key(bucket, slot).~K();
+    Value(bucket, slot).~V();
+    buckets[bucket].tags[slot].store(0, std::memory_order_relaxed);
+  }
+
+  // Move the element in (from, from_slot) to the empty (to, to_slot).
+  void MoveSlot(std::size_t from, int from_slot, std::size_t to, int to_slot) {
+    ConstructSlot(to, to_slot, Tag(from, from_slot), std::move(Key(from, from_slot)),
+                  std::move(Value(from, from_slot)));
+    DestroySlot(from, from_slot);
+  }
+
+  std::size_t AltBucket(std::size_t bucket, std::uint8_t tag) const noexcept {
+    return (bucket ^ (static_cast<std::size_t>(Mix64(tag)) | 1u)) & mask;
+  }
+
+  void PrefetchTags(std::size_t bucket) const noexcept { PrefetchRead(&buckets[bucket]); }
+
+  void DestroyAll() noexcept {
+    for (std::size_t b = 0; b <= mask; ++b) {
+      for (int s = 0; s < B; ++s) {
+        if (Tag(b, s) != 0) {
+          DestroySlot(b, s);
+        }
+      }
+    }
+  }
+
+  std::size_t mask;
+  std::unique_ptr<Bucket[]> buckets;
+};
+
+}  // namespace internal
+
+template <typename K, typename V, typename Hash = DefaultHash<K>,
+          typename KeyEqual = std::equal_to<K>, int B = 4>
+class GeneralCuckooMap {
+ public:
+  using KeyType = K;
+  using ValueType = V;
+  using Core = internal::GeneralCore<K, V, B>;
+  static constexpr int kSlotsPerBucket = B;
+
+  struct Options {
+    std::size_t initial_bucket_count_log2 = 8;
+    std::size_t stripe_count = LockStripes::kDefaultStripeCount;
+    std::size_t max_search_slots = 2000;
+    bool prefetch = true;
+    bool auto_expand = true;
+  };
+
+  explicit GeneralCuckooMap(Options opts = Options{}, Hash hasher = Hash{},
+                            KeyEqual eq = KeyEqual{})
+      : opts_(opts),
+        hasher_(std::move(hasher)),
+        eq_(std::move(eq)),
+        stripes_(opts.stripe_count),
+        core_(std::make_unique<Core>(opts.initial_bucket_count_log2)) {
+    core_snapshot_.store(core_.get(), std::memory_order_release);
+  }
+
+  GeneralCuckooMap(const GeneralCuckooMap&) = delete;
+  GeneralCuckooMap& operator=(const GeneralCuckooMap&) = delete;
+
+  // ----- Lookup (locked) -----------------------------------------------------
+
+  // Copy the value out. Requires V copyable; use WithValue for move-only V.
+  bool Find(const K& key, V* out) const {
+    static_assert(std::is_copy_assignable_v<V>,
+                  "Find copies the value; use WithValue() for move-only types");
+    bool hit = WithValue(key, [out](const V& v) { *out = v; });
+    return hit;
+  }
+
+  bool Contains(const K& key) const {
+    return WithValue(key, [](const V&) {});
+  }
+
+  // Apply `fn(const V&)` to the mapped value under the bucket locks.
+  // Returns false (fn not called) if the key is absent.
+  template <typename Fn>
+  bool WithValue(const K& key, Fn&& fn) const {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    bool found = WithPair(h, [&](Core* core, std::size_t b1, std::size_t b2, PairGuard& guard) {
+      Locator loc;
+      bool hit = FindSlotLocked(core, b1, b2, h.tag, key, &loc);
+      if (hit) {
+        fn(const_cast<const Core&>(*core).Value(loc.bucket, loc.slot));
+      }
+      guard.ReleaseNoModify();
+      return hit;
+    });
+    stats_.RecordLookup(found);
+    return found;
+  }
+
+  // Apply `fn(V&)` to the mapped value (mutable) under the bucket locks.
+  template <typename Fn>
+  bool WithValueMut(const K& key, Fn&& fn) {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    return WithPair(h, [&](Core* core, std::size_t b1, std::size_t b2, PairGuard& guard) {
+      Locator loc;
+      if (!FindSlotLocked(core, b1, b2, h.tag, key, &loc)) {
+        guard.ReleaseNoModify();
+        return false;
+      }
+      fn(core->Value(loc.bucket, loc.slot));
+      return true;  // guard bumps versions on destruction
+    });
+  }
+
+  // ----- Mutation ------------------------------------------------------------
+
+  template <typename KArg, typename VArg>
+  InsertResult Insert(KArg&& key, VArg&& value) {
+    return DoInsert(std::forward<KArg>(key), std::forward<VArg>(value),
+                    /*overwrite_existing=*/false);
+  }
+
+  template <typename KArg, typename VArg>
+  InsertResult Upsert(KArg&& key, VArg&& value) {
+    return DoInsert(std::forward<KArg>(key), std::forward<VArg>(value),
+                    /*overwrite_existing=*/true);
+  }
+
+  bool Update(const K& key, V value) {
+    return WithValueMut(key, [&value](V& v) { v = std::move(value); });
+  }
+
+  bool Erase(const K& key) {
+    return EraseIf(key, [](const V&) { return true; });
+  }
+
+  // Remove `key` only if `pred(const V&)` holds, atomically under the bucket
+  // locks (e.g. erase-if-still-expired for TTL caches). Returns true iff the
+  // entry was removed.
+  template <typename Pred>
+  bool EraseIf(const K& key, Pred&& pred) {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    return WithPair(h, [&](Core* core, std::size_t b1, std::size_t b2, PairGuard& guard) {
+      Locator loc;
+      if (!FindSlotLocked(core, b1, b2, h.tag, key, &loc) ||
+          !pred(const_cast<const Core&>(*core).Value(loc.bucket, loc.slot))) {
+        guard.ReleaseNoModify();
+        return false;
+      }
+      core->DestroySlot(loc.bucket, loc.slot);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      stats_.RecordErase();
+      return true;
+    });
+  }
+
+  // ----- Capacity ------------------------------------------------------------
+
+  std::size_t Size() const noexcept { return size_.load(std::memory_order_relaxed); }
+  std::size_t SlotCount() const noexcept {
+    std::lock_guard<std::mutex> g(maintenance_mutex_);
+    return core_->slot_count();
+  }
+  double LoadFactor() const noexcept {
+    std::lock_guard<std::mutex> g(maintenance_mutex_);
+    return static_cast<double>(Size()) / static_cast<double>(core_->slot_count());
+  }
+  std::size_t HeapBytes() const noexcept {
+    std::lock_guard<std::mutex> g(maintenance_mutex_);
+    return core_->HeapBytes() + stripes_.stripe_count() * sizeof(PaddedVersionLock);
+  }
+
+  void Reserve(std::size_t n) {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> g(maintenance_mutex_);
+        if (static_cast<double>(core_->slot_count()) * 0.95 >= static_cast<double>(n) + B) {
+          return;
+        }
+      }
+      Expand(nullptr);
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+    AllGuard all(stripes_);
+    core_->DestroyAll();
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  MapStatsSnapshot Stats() const { return stats_.Read(); }
+  const Options& options() const noexcept { return opts_; }
+
+  // Visit every element exclusively (all stripes held).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+    AllGuard all(stripes_);
+    for (std::size_t b = 0; b < core_->bucket_count(); ++b) {
+      for (int s = 0; s < B; ++s) {
+        if (core_->Tag(b, s) != 0) {
+          fn(const_cast<const K&>(core_->Key(b, s)), core_->Value(b, s));
+        }
+      }
+    }
+  }
+
+ private:
+  struct Locator {
+    std::size_t bucket;
+    int slot;
+  };
+
+  // Run `fn(core, b1, b2, guard)` with the key's bucket pair locked,
+  // re-resolving buckets if an expansion swapped the core while we waited.
+  // `fn` may release the guard early; otherwise its destructor bumps the
+  // stripe versions (treated as a modification).
+  template <typename Fn>
+  decltype(auto) WithPair(const HashedKey& h, Fn&& fn) const {
+    for (;;) {
+      Core* core = core_snapshot_.load(std::memory_order_acquire);
+      std::size_t b1 = h.Bucket1(core->mask);
+      std::size_t b2 = core->AltBucket(b1, h.tag);
+      PairGuard guard(stripes_, b1, b2);
+      if (core_snapshot_.load(std::memory_order_relaxed) != core) {
+        guard.ReleaseNoModify();
+        continue;
+      }
+      return fn(core, b1, b2, guard);
+    }
+  }
+
+  bool FindSlotLocked(Core* core, std::size_t b1, std::size_t b2, std::uint8_t tag,
+                      const K& key, Locator* loc) const {
+    for (std::size_t b : {b1, b2}) {
+      for (int s = 0; s < B; ++s) {
+        if (core->Tag(b, s) == tag && eq_(const_cast<const Core&>(*core).Key(b, s), key)) {
+          loc->bucket = b;
+          loc->slot = s;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  template <typename KArg, typename VArg>
+  InsertResult DoInsert(KArg&& key, VArg&& value, bool overwrite_existing) {
+    const HashedKey h = HashedKey::From(hasher_(key));
+    for (;;) {
+      std::optional<InsertResult> fast = WithPair(
+          h, [&](Core* core, std::size_t b1, std::size_t b2,
+                 PairGuard& guard) -> std::optional<InsertResult> {
+            Locator loc;
+            if (FindSlotLocked(core, b1, b2, h.tag, key, &loc)) {
+              if (overwrite_existing) {
+                core->Value(loc.bucket, loc.slot) = V(std::forward<VArg>(value));
+                stats_.RecordDuplicateInsert();
+                return InsertResult::kKeyExists;
+              }
+              guard.ReleaseNoModify();
+              stats_.RecordDuplicateInsert();
+              return InsertResult::kKeyExists;
+            }
+            for (std::size_t b : {b1, b2}) {
+              int s = core->FindEmptySlot(b);
+              if (s >= 0) {
+                core->ConstructSlot(b, s, h.tag, std::forward<KArg>(key),
+                                    std::forward<VArg>(value));
+                size_.fetch_add(1, std::memory_order_relaxed);
+                stats_.RecordInsert();
+                return InsertResult::kOk;
+              }
+            }
+            guard.ReleaseNoModify();
+            return std::nullopt;
+          });
+      if (fast.has_value()) {
+        return *fast;
+      }
+
+      // Both buckets full: BFS outside any lock, then validated execution.
+      Core* core = core_snapshot_.load(std::memory_order_acquire);
+      const std::size_t b1 = h.Bucket1(core->mask);
+      const std::size_t b2 = core->AltBucket(b1, h.tag);
+      stats_.RecordPathSearch();
+      CuckooPath path;
+      if (!BfsSearch(*core, b1, b2, opts_.max_search_slots, opts_.prefetch, &path)) {
+        if (!opts_.auto_expand) {
+          stats_.RecordInsertFailure();
+          return InsertResult::kTableFull;
+        }
+        Expand(core);
+        continue;
+      }
+      if (ExecutePath(core, path)) {
+        stats_.RecordPathLength(path.Displacements());
+      } else {
+        stats_.RecordPathInvalidation();
+      }
+    }
+  }
+
+  bool ExecutePath(Core* core, const CuckooPath& path) {
+    for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
+      const PathHop& from = path.hops[i];
+      const PathHop& to = path.hops[i + 1];
+      PairGuard guard(stripes_, from.bucket, to.bucket);
+      if (core_snapshot_.load(std::memory_order_relaxed) != core || from.tag == 0 ||
+          core->Tag(from.bucket, from.slot) != from.tag ||
+          core->Tag(to.bucket, to.slot) != 0) {
+        guard.ReleaseNoModify();
+        return false;
+      }
+      core->MoveSlot(from.bucket, from.slot, to.bucket, to.slot);
+      stats_.RecordDisplacements(1);
+    }
+    return true;
+  }
+
+  void Expand(Core* expected_core) {
+    std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+    if (expected_core != nullptr &&
+        core_snapshot_.load(std::memory_order_acquire) != expected_core) {
+      return;
+    }
+    AllGuard all(stripes_);
+    std::size_t new_log2 = 1;
+    while ((std::size_t{1} << new_log2) <= core_->mask) {
+      ++new_log2;
+    }
+    ++new_log2;
+    for (;; ++new_log2) {
+      auto fresh = std::make_unique<Core>(new_log2);
+      if (RehashInto(*core_, *fresh)) {
+        // The old core must stay mapped: an in-flight (unlocked) BFS search
+        // may still be reading its tag bytes. It holds no live elements
+        // (RehashInto destroyed each source slot after moving it), so
+        // retiring it costs only its bucket array.
+        retired_.push_back(std::move(core_));
+        core_ = std::move(fresh);
+        core_snapshot_.store(core_.get(), std::memory_order_release);
+        stats_.RecordExpansion();
+        return;
+      }
+      // Retry one size larger; `fresh` (with moved-in elements) is destroyed,
+      // but RehashInto only destroys source slots after a successful move, so
+      // elements still in the old core are intact and the ones moved into
+      // `fresh` are recovered by moving them back.
+      RecoverFrom(*core_, *fresh);
+    }
+  }
+
+  // Move every element of `from` into `to` using exclusive greedy inserts.
+  // On failure, elements already moved stay in `to` until RecoverFrom.
+  bool RehashInto(Core& from, Core& to) {
+    for (std::size_t b = 0; b < from.bucket_count(); ++b) {
+      for (int s = 0; s < B; ++s) {
+        if (from.Tag(b, s) == 0) {
+          continue;
+        }
+        const HashedKey h = HashedKey::From(hasher_(from.Key(b, s)));
+        if (!ExclusiveInsert(to, h, std::move(from.Key(b, s)), std::move(from.Value(b, s)))) {
+          return false;
+        }
+        from.DestroySlot(b, s);
+      }
+    }
+    return true;
+  }
+
+  // Undo a failed RehashInto: move elements parked in `to` back into `from`'s
+  // empty slots (there is always room — they came from there).
+  void RecoverFrom(Core& from, Core& to) {
+    for (std::size_t b = 0; b < to.bucket_count(); ++b) {
+      for (int s = 0; s < B; ++s) {
+        if (to.Tag(b, s) == 0) {
+          continue;
+        }
+        const HashedKey h = HashedKey::From(hasher_(to.Key(b, s)));
+        bool ok = ExclusiveInsert(from, h, std::move(to.Key(b, s)), std::move(to.Value(b, s)));
+        assert(ok && "recovery insert cannot fail: the slot was previously occupied");
+        (void)ok;
+        to.DestroySlot(b, s);
+      }
+    }
+  }
+
+  template <typename KArg, typename VArg>
+  bool ExclusiveInsert(Core& core, const HashedKey& h, KArg&& key, VArg&& value) {
+    for (;;) {
+      const std::size_t b1 = h.Bucket1(core.mask);
+      const std::size_t b2 = core.AltBucket(b1, h.tag);
+      for (std::size_t b : {b1, b2}) {
+        int s = core.FindEmptySlot(b);
+        if (s >= 0) {
+          core.ConstructSlot(b, s, h.tag, std::forward<KArg>(key), std::forward<VArg>(value));
+          return true;
+        }
+      }
+      CuckooPath path;
+      if (!BfsSearch(core, b1, b2, opts_.max_search_slots, opts_.prefetch, &path)) {
+        return false;
+      }
+      bool valid = true;
+      for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
+        const PathHop& from = path.hops[i];
+        const PathHop& to = path.hops[i + 1];
+        if (from.tag == 0 || core.Tag(from.bucket, from.slot) != from.tag ||
+            core.Tag(to.bucket, to.slot) != 0) {
+          valid = false;
+          break;
+        }
+        core.MoveSlot(from.bucket, from.slot, to.bucket, to.slot);
+      }
+      const PathHop& hole = path.hops.front();
+      if (!valid || core.Tag(hole.bucket, hole.slot) != 0) {
+        continue;  // self-overlapping path; table perturbed, search again
+      }
+      core.ConstructSlot(hole.bucket, hole.slot, h.tag, std::forward<KArg>(key),
+                         std::forward<VArg>(value));
+      return true;
+    }
+  }
+
+  Options opts_;
+  Hash hasher_;
+  KeyEqual eq_;
+  mutable LockStripes stripes_;
+  // Owned core (guarded by maintenance_mutex_ for replacement) plus a lock-
+  // free snapshot pointer operations resolve buckets against.
+  std::unique_ptr<Core> core_;
+  // Superseded cores, kept until destruction (see Expand).
+  std::vector<std::unique_ptr<Core>> retired_;
+  mutable std::atomic<Core*> core_snapshot_{nullptr};
+  mutable std::mutex maintenance_mutex_;
+  std::atomic<std::size_t> size_{0};
+  mutable MapStats stats_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_CUCKOO_GENERAL_CUCKOO_MAP_H_

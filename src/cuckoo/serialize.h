@@ -1,0 +1,81 @@
+// Binary snapshot save/load for CuckooMap (trivially copyable key/value
+// types): a small versioned header followed by raw (key, value) records.
+// Useful for warm restarts of caches and for shipping prebuilt tables into
+// benchmarks. Loading inserts through the public API, so snapshots are
+// portable across table sizes, associativities, and hash-function choices.
+#ifndef SRC_CUCKOO_SERIALIZE_H_
+#define SRC_CUCKOO_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "src/cuckoo/cuckoo_map.h"
+
+namespace cuckoo {
+
+namespace internal {
+
+struct SnapshotHeader {
+  char magic[8];           // "CKSNAP1\0"
+  std::uint32_t key_size;  // sizeof(K) — sanity-checked on load
+  std::uint32_t value_size;
+  std::uint64_t count;
+};
+
+inline constexpr char kSnapshotMagic[8] = {'C', 'K', 'S', 'N', 'A', 'P', '1', '\0'};
+
+}  // namespace internal
+
+// Write every entry of `map` to `os`. Takes the exclusive view for a
+// consistent snapshot (concurrent operations block for the duration).
+// Returns false on stream failure.
+template <typename K, typename V, typename Hash, typename KeyEqual, int B>
+bool SaveSnapshot(CuckooMap<K, V, Hash, KeyEqual, B>& map, std::ostream& os) {
+  auto view = map.Lock();
+  internal::SnapshotHeader header{};
+  std::memcpy(header.magic, internal::kSnapshotMagic, sizeof(header.magic));
+  header.key_size = sizeof(K);
+  header.value_size = sizeof(V);
+  header.count = view.Size();
+  os.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (auto [key, value] : view) {
+    os.write(reinterpret_cast<const char*>(&key), sizeof(K));
+    os.write(reinterpret_cast<const char*>(&value), sizeof(V));
+  }
+  return static_cast<bool>(os);
+}
+
+// Load a snapshot into `map` via Upsert (pre-existing keys are overwritten).
+// Returns the number of records loaded, or -1 on a malformed stream or a
+// key/value-size mismatch.
+template <typename K, typename V, typename Hash, typename KeyEqual, int B>
+std::int64_t LoadSnapshot(CuckooMap<K, V, Hash, KeyEqual, B>& map, std::istream& is) {
+  internal::SnapshotHeader header{};
+  is.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!is || std::memcmp(header.magic, internal::kSnapshotMagic, sizeof(header.magic)) != 0 ||
+      header.key_size != sizeof(K) || header.value_size != sizeof(V)) {
+    return -1;
+  }
+  map.Reserve(map.Size() + header.count);
+  std::int64_t loaded = 0;
+  for (std::uint64_t i = 0; i < header.count; ++i) {
+    K key;
+    V value;
+    is.read(reinterpret_cast<char*>(&key), sizeof(K));
+    is.read(reinterpret_cast<char*>(&value), sizeof(V));
+    if (!is) {
+      return -1;  // truncated record
+    }
+    if (map.Upsert(key, value) == InsertResult::kTableFull) {
+      return -1;
+    }
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace cuckoo
+
+#endif  // SRC_CUCKOO_SERIALIZE_H_

@@ -1,0 +1,143 @@
+// Operation statistics for the cuckoo maps.
+//
+// Hot counters are per-thread (principle P1: "disable instant global
+// statistics counters in favor of lazily aggregated per-thread counters");
+// the path-length histogram uses relaxed atomics because it is only touched
+// on the (rare) displacement path.
+#ifndef SRC_CUCKOO_STATS_H_
+#define SRC_CUCKOO_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/per_thread_counter.h"
+
+namespace cuckoo {
+
+// Cuckoo paths from DFS can reach MemC3's cap of 250 hops; one extra bucket
+// collects overflow.
+inline constexpr std::size_t kPathHistogramBuckets = 257;
+
+struct MapStatsSnapshot {
+  std::int64_t inserts = 0;              // successful inserts
+  std::int64_t insert_failures = 0;      // kTableFull results
+  std::int64_t duplicate_inserts = 0;    // kKeyExists results
+  std::int64_t lookups = 0;
+  std::int64_t lookup_hits = 0;
+  std::int64_t erases = 0;
+  std::int64_t displacements = 0;        // individual item moves
+  std::int64_t path_searches = 0;        // SEARCH() invocations
+  std::int64_t path_invalidations = 0;   // validate-execute failures (Eq. 1)
+  std::int64_t read_retries = 0;         // optimistic read version mismatches
+  std::int64_t expansions = 0;
+  std::array<std::int64_t, kPathHistogramBuckets> path_length_hist{};
+
+  // Mean executed cuckoo-path length (hops per path, excluding zero-hop
+  // inserts into a free slot).
+  double MeanPathLength() const noexcept {
+    std::int64_t paths = 0;
+    std::int64_t hops = 0;
+    for (std::size_t len = 0; len < kPathHistogramBuckets; ++len) {
+      paths += path_length_hist[len];
+      hops += path_length_hist[len] * static_cast<std::int64_t>(len);
+    }
+    return paths == 0 ? 0.0 : static_cast<double>(hops) / static_cast<double>(paths);
+  }
+
+  std::int64_t MaxPathLength() const noexcept {
+    for (std::size_t len = kPathHistogramBuckets; len-- > 0;) {
+      if (path_length_hist[len] != 0) {
+        return static_cast<std::int64_t>(len);
+      }
+    }
+    return 0;
+  }
+
+  // Fraction of discovered paths invalidated by concurrent writers — the
+  // quantity Eq. 1 upper-bounds.
+  double PathInvalidationRate() const noexcept {
+    std::int64_t total = path_searches;
+    return total == 0 ? 0.0
+                      : static_cast<double>(path_invalidations) / static_cast<double>(total);
+  }
+};
+
+class MapStats {
+ public:
+  void RecordInsert() noexcept { inserts_.Increment(); }
+  void RecordInsertFailure() noexcept { insert_failures_.Increment(); }
+  void RecordDuplicateInsert() noexcept { duplicate_inserts_.Increment(); }
+  void RecordLookup(bool hit) noexcept {
+    lookups_.Increment();
+    if (hit) {
+      lookup_hits_.Increment();
+    }
+  }
+  void RecordErase() noexcept { erases_.Increment(); }
+  void RecordDisplacements(std::int64_t n) noexcept { displacements_.Add(n); }
+  void RecordPathSearch() noexcept { path_searches_.Increment(); }
+  void RecordPathInvalidation() noexcept { path_invalidations_.Increment(); }
+  void RecordReadRetry() noexcept { read_retries_.Increment(); }
+  void RecordExpansion() noexcept { expansions_.Increment(); }
+  void RecordPathLength(std::size_t len) noexcept {
+    if (len >= kPathHistogramBuckets) {
+      len = kPathHistogramBuckets - 1;
+    }
+    path_length_hist_[len].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  MapStatsSnapshot Read() const noexcept {
+    MapStatsSnapshot s;
+    s.inserts = inserts_.Sum();
+    s.insert_failures = insert_failures_.Sum();
+    s.duplicate_inserts = duplicate_inserts_.Sum();
+    s.lookups = lookups_.Sum();
+    s.lookup_hits = lookup_hits_.Sum();
+    s.erases = erases_.Sum();
+    s.displacements = displacements_.Sum();
+    s.path_searches = path_searches_.Sum();
+    s.path_invalidations = path_invalidations_.Sum();
+    s.read_retries = read_retries_.Sum();
+    s.expansions = expansions_.Sum();
+    for (std::size_t i = 0; i < kPathHistogramBuckets; ++i) {
+      s.path_length_hist[i] = path_length_hist_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  void Reset() noexcept {
+    inserts_.Reset();
+    insert_failures_.Reset();
+    duplicate_inserts_.Reset();
+    lookups_.Reset();
+    lookup_hits_.Reset();
+    erases_.Reset();
+    displacements_.Reset();
+    path_searches_.Reset();
+    path_invalidations_.Reset();
+    read_retries_.Reset();
+    expansions_.Reset();
+    for (auto& h : path_length_hist_) {
+      h.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  PerThreadCounter inserts_;
+  PerThreadCounter insert_failures_;
+  PerThreadCounter duplicate_inserts_;
+  PerThreadCounter lookups_;
+  PerThreadCounter lookup_hits_;
+  PerThreadCounter erases_;
+  PerThreadCounter displacements_;
+  PerThreadCounter path_searches_;
+  PerThreadCounter path_invalidations_;
+  PerThreadCounter read_retries_;
+  PerThreadCounter expansions_;
+  std::array<std::atomic<std::int64_t>, kPathHistogramBuckets> path_length_hist_{};
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_CUCKOO_STATS_H_

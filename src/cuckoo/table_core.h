@@ -1,0 +1,144 @@
+// Raw storage for a set-associative cuckoo table: a flat array of B-way
+// buckets plus a parallel array of 1-byte partial-key tags.
+//
+// Layout follows §6 ("Each bucket has all the keys come first and then the
+// values, and fits exactly two cache lines: one for 8 keys and another for 8
+// values" for 8-byte pairs at B=8). Tags live in their own dense array so the
+// BFS path search touches one byte per slot instead of a whole bucket, and a
+// tag of zero marks an empty slot (HashedKey never produces tag 0).
+#ifndef SRC_CUCKOO_TABLE_CORE_H_
+#define SRC_CUCKOO_TABLE_CORE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "src/common/cpu.h"
+#include "src/common/hash.h"
+
+namespace cuckoo {
+
+template <typename K, typename V, int B>
+struct TableCore {
+  static_assert(B > 0 && B <= 16, "set-associativity must be in [1, 16]");
+  static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>,
+                "optimistic cuckoo tables require trivially copyable key/value types; "
+                "wrap variable-length data in fixed arrays or indirection");
+
+  static constexpr int kSlotsPerBucket = B;
+
+  struct Bucket {
+    K keys[B];
+    V values[B];
+  };
+
+  explicit TableCore(std::size_t bucket_count_log2)
+      : mask((std::size_t{1} << bucket_count_log2) - 1),
+        tags(new std::atomic<std::uint8_t>[(mask + 1) * B]),
+        buckets(std::make_unique_for_overwrite<Bucket[]>(mask + 1)) {
+    assert(bucket_count_log2 < 57);
+    std::memset(static_cast<void*>(tags.get()), 0, (mask + 1) * B);
+  }
+
+  std::size_t bucket_count() const noexcept { return mask + 1; }
+  std::size_t slot_count() const noexcept { return bucket_count() * B; }
+
+  // Heap bytes this core occupies (for the memory-efficiency comparison).
+  std::size_t HeapBytes() const noexcept {
+    return bucket_count() * sizeof(Bucket) + slot_count() * sizeof(std::uint8_t);
+  }
+
+  std::uint8_t Tag(std::size_t bucket, int slot) const noexcept {
+    return tags[bucket * B + static_cast<std::size_t>(slot)].load(std::memory_order_relaxed);
+  }
+
+  void SetTag(std::size_t bucket, int slot, std::uint8_t tag) noexcept {
+    tags[bucket * B + static_cast<std::size_t>(slot)].store(tag, std::memory_order_relaxed);
+  }
+
+  bool SlotOccupied(std::size_t bucket, int slot) const noexcept {
+    return Tag(bucket, slot) != 0;
+  }
+
+  // First free slot in `bucket`, or -1.
+  int FindEmptySlot(std::size_t bucket) const noexcept {
+    for (int s = 0; s < B; ++s) {
+      if (Tag(bucket, s) == 0) {
+        return s;
+      }
+    }
+    return -1;
+  }
+
+  // Direct (exclusive or validated-optimistic) accessors.
+  const K& KeyRef(std::size_t bucket, int slot) const noexcept {
+    return buckets[bucket].keys[slot];
+  }
+  const V& ValueRef(std::size_t bucket, int slot) const noexcept {
+    return buckets[bucket].values[slot];
+  }
+
+  // Tear-tolerant loads for the optimistic read path: the bytes read may be
+  // concurrently overwritten; callers must validate a version counter before
+  // trusting the result. memcpy keeps the access untyped.
+  K LoadKey(std::size_t bucket, int slot) const noexcept {
+    K k;
+    std::memcpy(&k, &buckets[bucket].keys[slot], sizeof(K));
+    return k;
+  }
+  V LoadValue(std::size_t bucket, int slot) const noexcept {
+    V v;
+    std::memcpy(&v, &buckets[bucket].values[slot], sizeof(V));
+    return v;
+  }
+
+  // Write a full slot. Caller must hold the bucket's stripe lock.
+  void WriteSlot(std::size_t bucket, int slot, std::uint8_t tag, const K& key,
+                 const V& value) noexcept {
+    buckets[bucket].keys[slot] = key;
+    buckets[bucket].values[slot] = value;
+    SetTag(bucket, slot, tag);
+  }
+
+  void WriteValue(std::size_t bucket, int slot, const V& value) noexcept {
+    buckets[bucket].values[slot] = value;
+  }
+
+  void ClearSlot(std::size_t bucket, int slot) noexcept { SetTag(bucket, slot, 0); }
+
+  // Move the item in (from, from_slot) into (to, to_slot): the "move holes
+  // backwards" displacement. Destination is written before the source tag is
+  // cleared so the item is never missing from the table (§4.2).
+  void MoveSlot(std::size_t from, int from_slot, std::size_t to, int to_slot) noexcept {
+    buckets[to].keys[to_slot] = buckets[from].keys[from_slot];
+    buckets[to].values[to_slot] = buckets[from].values[from_slot];
+    SetTag(to, to_slot, Tag(from, from_slot));
+    ClearSlot(from, from_slot);
+  }
+
+  // Alternate bucket of a slot, derived from the tag alone (partial-key
+  // cuckoo hashing, as in MemC3): involutive, so displaced items can always
+  // be bounced back.
+  std::size_t AltBucket(std::size_t bucket, std::uint8_t tag) const noexcept {
+    return (bucket ^ (static_cast<std::size_t>(Mix64(tag)) | 1u)) & mask;
+  }
+
+  void PrefetchTags(std::size_t bucket) const noexcept {
+    PrefetchRead(&tags[bucket * B]);
+  }
+  void PrefetchBucket(std::size_t bucket) const noexcept {
+    PrefetchRead(&buckets[bucket]);
+  }
+
+  std::size_t mask;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> tags;
+  std::unique_ptr<Bucket[]> buckets;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_CUCKOO_TABLE_CORE_H_

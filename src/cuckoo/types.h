@@ -1,0 +1,57 @@
+// Shared enums and small result types for the cuckoo hash tables.
+#ifndef SRC_CUCKOO_TYPES_H_
+#define SRC_CUCKOO_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cuckoo {
+
+// Outcome of an Insert (§2.1: "On Insert, the hash table returns success, or
+// an error code to indicate whether the hash table is too full or the key
+// already exists").
+enum class InsertResult : std::uint8_t {
+  kOk = 0,
+  kKeyExists = 1,
+  kTableFull = 2,
+};
+
+// How Insert looks for an empty slot (§4.3.2).
+enum class SearchMode : std::uint8_t {
+  kBfs = 0,  // breadth-first search over the cuckoo graph (the paper's design)
+  kDfs = 1,  // MemC3's greedy random-walk (two parallel paths)
+};
+
+// How Lookup synchronizes with writers.
+enum class ReadMode : std::uint8_t {
+  // Lock-free reads validated by stripe version counters (§4.2's optimistic
+  // scheme). Requires trivially copyable key/value types.
+  kOptimistic = 0,
+  // Take the bucket-pair lock for reads too (what the libcuckoo release does
+  // for generality, at "a 5-20% slowdown" per §7).
+  kLocked = 1,
+};
+
+constexpr const char* ToString(InsertResult r) noexcept {
+  switch (r) {
+    case InsertResult::kOk:
+      return "ok";
+    case InsertResult::kKeyExists:
+      return "key_exists";
+    case InsertResult::kTableFull:
+      return "table_full";
+  }
+  return "?";
+}
+
+constexpr const char* ToString(SearchMode m) noexcept {
+  return m == SearchMode::kBfs ? "bfs" : "dfs";
+}
+
+constexpr const char* ToString(ReadMode m) noexcept {
+  return m == ReadMode::kOptimistic ? "optimistic" : "locked";
+}
+
+}  // namespace cuckoo
+
+#endif  // SRC_CUCKOO_TYPES_H_

@@ -1,0 +1,35 @@
+#include "src/htm/elided_lock.h"
+
+#include "src/common/random.h"
+
+namespace cuckoo {
+
+EmulatedRtmConfig& GlobalEmulatedRtmConfig() noexcept {
+  static EmulatedRtmConfig config;
+  return config;
+}
+
+namespace internal {
+
+std::uint64_t NextEmulationDraw() noexcept {
+  thread_local Xorshift128Plus rng(GlobalEmulatedRtmConfig().seed +
+                                   static_cast<std::uint64_t>(CurrentThreadId()) * 0x9e37u);
+  return rng.Next();
+}
+
+unsigned EmulatedBegin() noexcept {
+  const EmulatedRtmConfig& config = GlobalEmulatedRtmConfig();
+  std::uint64_t draw = NextEmulationDraw();
+  unsigned permille = static_cast<unsigned>(draw % 1000);
+  if (permille >= config.abort_permille) {
+    return kRtmStarted;
+  }
+  unsigned hint_draw = static_cast<unsigned>((draw >> 32) % 1000);
+  if (hint_draw < config.retry_hint_permille) {
+    return kRtmAbortConflict | kRtmAbortRetry;
+  }
+  return kRtmAbortCapacity;
+}
+
+}  // namespace internal
+}  // namespace cuckoo

@@ -1,0 +1,255 @@
+// TSX lock elision (Appendix A of the paper).
+//
+// ElidedLock<LockT> wraps any lock exposing lock()/try_lock()/unlock()/
+// is_locked() and executes critical sections transactionally when possible,
+// taking the wrapped ("fallback") lock only when transactions keep aborting.
+// Two retry policies are provided:
+//
+//   * kGlibcElision — models the released glibc TSX elision the paper
+//     criticizes: as soon as an abort arrives without the RETRY hint it takes
+//     the fallback lock, "forcing all other concurrent transactions to abort".
+//   * kTunedElision — the paper's TSX* (Figure 11): "we always retry several
+//     times before taking the fallback lock (using more retries if
+//     _ABORT_RETRY is set)".
+//
+// When real RTM is unusable on the host, the same control flow runs against an
+// emulated engine with deterministic abort injection (see EmulatedRtmConfig);
+// mutual exclusion is then provided by the fallback lock itself, while commit/
+// abort/fallback statistics still flow through identical code.
+#ifndef SRC_HTM_ELIDED_LOCK_H_
+#define SRC_HTM_ELIDED_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/cpu.h"
+#include "src/common/hash.h"
+#include "src/htm/rtm.h"
+
+namespace cuckoo {
+
+struct ElisionPolicy {
+  // Maximum transactional attempts before falling back (_MAX_XBEGIN_RETRY).
+  int max_xbegin_retry;
+  // Extra budget for aborts that arrive *without* the RETRY hint
+  // (_MAX_ABORT_RETRY). Only meaningful when retry_without_hint is true.
+  int max_abort_retry;
+  // If false, any abort without the RETRY hint immediately takes the fallback
+  // lock (glibc behaviour); if true, keep retrying within max_abort_retry
+  // ("we found that even if _ABORT_RETRY is not set ... the transaction may
+  // succeed still on a retry").
+  bool retry_without_hint;
+};
+
+inline constexpr ElisionPolicy kGlibcElision{3, 0, false};
+inline constexpr ElisionPolicy kTunedElision{10, 5, true};
+
+// Deterministic abort injection for the emulated engine. Global so benches can
+// model different contention regimes; threads derive independent streams.
+struct EmulatedRtmConfig {
+  // Probability (per mille) that a transactional attempt aborts for a reason
+  // other than the lock being busy.
+  unsigned abort_permille = 250;
+  // Of those aborts, probability (per mille) that the RETRY hint is set
+  // (i.e. the abort looks transient: a data conflict rather than capacity).
+  unsigned retry_hint_permille = 700;
+  std::uint64_t seed = 0x5eedf00dull;
+};
+
+EmulatedRtmConfig& GlobalEmulatedRtmConfig() noexcept;
+
+// Aggregated elision statistics. Updated outside transactional regions only
+// (a transactional store to a shared counter would serialize every elided
+// section on one cache line — the exact pathology principle P1 warns about).
+class ElisionStats {
+ public:
+  struct Snapshot {
+    std::uint64_t commits = 0;
+    std::uint64_t aborts_explicit = 0;
+    std::uint64_t aborts_conflict = 0;
+    std::uint64_t aborts_capacity = 0;
+    std::uint64_t aborts_other = 0;
+    std::uint64_t fallback_acquisitions = 0;
+
+    std::uint64_t TotalAborts() const noexcept {
+      return aborts_explicit + aborts_conflict + aborts_capacity + aborts_other;
+    }
+    // Fraction of transactional attempts that aborted.
+    double AbortRate() const noexcept {
+      std::uint64_t attempts = commits + TotalAborts();
+      return attempts == 0 ? 0.0
+                           : static_cast<double>(TotalAborts()) / static_cast<double>(attempts);
+    }
+  };
+
+  void RecordCommit() noexcept { commits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordFallback() noexcept { fallbacks_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordAbort(unsigned status) noexcept {
+    if (status & kRtmAbortExplicit) {
+      aborts_explicit_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status & kRtmAbortConflict) {
+      aborts_conflict_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status & kRtmAbortCapacity) {
+      aborts_capacity_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      aborts_other_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Snapshot Read() const noexcept {
+    Snapshot s;
+    s.commits = commits_.load(std::memory_order_relaxed);
+    s.aborts_explicit = aborts_explicit_.load(std::memory_order_relaxed);
+    s.aborts_conflict = aborts_conflict_.load(std::memory_order_relaxed);
+    s.aborts_capacity = aborts_capacity_.load(std::memory_order_relaxed);
+    s.aborts_other = aborts_other_.load(std::memory_order_relaxed);
+    s.fallback_acquisitions = fallbacks_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() noexcept {
+    commits_.store(0, std::memory_order_relaxed);
+    aborts_explicit_.store(0, std::memory_order_relaxed);
+    aborts_conflict_.store(0, std::memory_order_relaxed);
+    aborts_capacity_.store(0, std::memory_order_relaxed);
+    aborts_other_.store(0, std::memory_order_relaxed);
+    fallbacks_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> aborts_explicit_{0};
+  std::atomic<std::uint64_t> aborts_conflict_{0};
+  std::atomic<std::uint64_t> aborts_capacity_{0};
+  std::atomic<std::uint64_t> aborts_other_{0};
+  std::atomic<std::uint64_t> fallbacks_{0};
+};
+
+namespace internal {
+
+// Per-thread xorshift stream for the emulated engine, seeded from the global
+// config seed and the thread id so runs are reproducible.
+std::uint64_t NextEmulationDraw() noexcept;
+
+// Emulated _xbegin: returns kRtmStarted or an injected abort status.
+unsigned EmulatedBegin() noexcept;
+
+}  // namespace internal
+
+template <typename LockT>
+class ElidedLock {
+ public:
+  explicit ElidedLock(ElisionPolicy policy = kTunedElision) noexcept : policy_(policy) {}
+  ElidedLock(const ElidedLock&) = delete;
+  ElidedLock& operator=(const ElidedLock&) = delete;
+
+  // Figure 11's elided_lock_wrapper.
+  void lock() noexcept {
+    if (RtmIsUsable()) {
+      LockHardware();
+    } else {
+      LockEmulated();
+    }
+  }
+
+  // Figure 11's elided_unlock_wrapper: if the fallback lock is free we must be
+  // inside a transaction — commit it; otherwise we hold the fallback lock.
+  void unlock() noexcept {
+    if (RtmIsUsable() && !inner_.is_locked()) {
+      RtmEnd();
+      stats_.RecordCommit();
+      return;
+    }
+    bool was_emulated_txn = emulated_txn_;
+    emulated_txn_ = false;
+    inner_.unlock();
+    if (was_emulated_txn) {
+      stats_.RecordCommit();
+    }
+  }
+
+  bool is_locked() const noexcept { return inner_.is_locked(); }
+
+  const ElisionStats& stats() const noexcept { return stats_; }
+  ElisionStats& stats() noexcept { return stats_; }
+  const ElisionPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  void LockHardware() noexcept {
+    int xbegin_retry = 0;
+    int abort_retry = 0;
+    while (xbegin_retry < policy_.max_xbegin_retry) {
+      unsigned status = RtmBegin();
+      if (status == kRtmStarted) {
+        // Bring the fallback lock into the read-set: if someone takes it, our
+        // transaction aborts, preserving mutual exclusion with fallback users.
+        if (!inner_.is_locked()) {
+          return;  // execute the critical section transactionally
+        }
+        RtmAbort();  // lock busy; abort lands below with kRtmAbortExplicit
+      }
+      stats_.RecordAbort(status);
+      if ((status & kRtmAbortRetry) == 0) {
+        if (!policy_.retry_without_hint || abort_retry >= policy_.max_abort_retry) {
+          break;
+        }
+        ++abort_retry;
+      }
+      ++xbegin_retry;
+    }
+    stats_.RecordFallback();
+    inner_.lock();
+  }
+
+  void LockEmulated() noexcept {
+    int xbegin_retry = 0;
+    int abort_retry = 0;
+    while (xbegin_retry < policy_.max_xbegin_retry) {
+      unsigned status = internal::EmulatedBegin();
+      if (status == kRtmStarted) {
+        // Mutual exclusion for the emulated "transaction" comes from the
+        // fallback lock itself; a busy lock plays the role of a conflict.
+        if (inner_.try_lock()) {
+          emulated_txn_ = true;
+          return;
+        }
+        status = kRtmAbortExplicit | (0xffu << 24);
+      }
+      stats_.RecordAbort(status);
+      if ((status & kRtmAbortRetry) == 0) {
+        if (!policy_.retry_without_hint || abort_retry >= policy_.max_abort_retry) {
+          break;
+        }
+        ++abort_retry;
+      }
+      ++xbegin_retry;
+    }
+    stats_.RecordFallback();
+    inner_.lock();
+  }
+
+  LockT inner_;
+  ElisionPolicy policy_;
+  ElisionStats stats_;
+  // Only written while holding inner_, so a plain bool is race-free.
+  bool emulated_txn_ = false;
+};
+
+// Default-constructible aliases so lock types can be plugged into templates
+// (e.g. FlatCuckooMap's GlobalLock parameter) without threading a policy
+// argument through.
+template <typename LockT>
+class GlibcElided : public ElidedLock<LockT> {
+ public:
+  GlibcElided() noexcept : ElidedLock<LockT>(kGlibcElision) {}
+};
+
+template <typename LockT>
+class TunedElided : public ElidedLock<LockT> {
+ public:
+  TunedElided() noexcept : ElidedLock<LockT>(kTunedElision) {}
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_HTM_ELIDED_LOCK_H_

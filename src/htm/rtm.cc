@@ -1,0 +1,79 @@
+#include "src/htm/rtm.h"
+
+#include <atomic>
+
+#include "src/common/cpu.h"
+
+#if defined(CUCKOO_HAVE_RTM_INTRINSICS)
+#include <immintrin.h>
+#endif
+
+namespace cuckoo {
+namespace {
+
+std::atomic<int> g_forced{-1};
+
+bool ProbeOnce() noexcept {
+#if defined(CUCKOO_HAVE_RTM_INTRINSICS)
+  if (!CpuSupportsRtm()) {
+    return false;
+  }
+  // Even with the CPUID bit set, microcode on most post-2021 parts aborts
+  // every transaction (TAA mitigations). Require at least one real commit.
+  for (int i = 0; i < 16; ++i) {
+    unsigned status = _xbegin();
+    if (status == _XBEGIN_STARTED) {
+      _xend();
+      return true;
+    }
+  }
+  return false;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool RtmIsUsable() noexcept {
+  int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return forced != 0;
+  }
+  static const bool usable = ProbeOnce();
+  return usable;
+}
+
+void RtmForceUsable(int usable) noexcept {
+  g_forced.store(usable, std::memory_order_relaxed);
+}
+
+unsigned RtmBegin() noexcept {
+#if defined(CUCKOO_HAVE_RTM_INTRINSICS)
+  return _xbegin();
+#else
+  return 0;  // abort, no retry hint
+#endif
+}
+
+void RtmEnd() noexcept {
+#if defined(CUCKOO_HAVE_RTM_INTRINSICS)
+  _xend();
+#endif
+}
+
+void RtmAbort() noexcept {
+#if defined(CUCKOO_HAVE_RTM_INTRINSICS)
+  _xabort(0xff);
+#endif
+}
+
+bool RtmInTransaction() noexcept {
+#if defined(CUCKOO_HAVE_RTM_INTRINSICS)
+  return _xtest() != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace cuckoo

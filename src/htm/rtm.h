@@ -1,0 +1,50 @@
+// Minimal wrapper over Intel TSX Restricted Transactional Memory (RTM).
+//
+// The paper evaluates its tables on Haswell TSX hardware. This repo targets
+// arbitrary hosts, so:
+//   * when the CPU reports RTM *and* a runtime functional probe shows
+//     transactions can actually commit (microcode updates have disabled TSX on
+//     most parts), the real XBEGIN/XEND/XABORT instructions are used;
+//   * otherwise an *emulated* engine with deterministic abort injection stands
+//     in, so every elision code path (retry budgets, abort-status decisions,
+//     fallback locking, abort-rate accounting) still executes and is testable.
+//
+// Abort status bits mirror Intel's EAX layout so the elision logic is written
+// once against the same constants in both modes.
+#ifndef SRC_HTM_RTM_H_
+#define SRC_HTM_RTM_H_
+
+#include <cstdint>
+
+namespace cuckoo {
+
+// Status returned by RtmBegin(). Matches Intel's _XBEGIN_STARTED / _XABORT_*.
+inline constexpr unsigned kRtmStarted = ~0u;           // _XBEGIN_STARTED
+inline constexpr unsigned kRtmAbortExplicit = 1u << 0;  // _XABORT_EXPLICIT
+inline constexpr unsigned kRtmAbortRetry = 1u << 1;     // _XABORT_RETRY
+inline constexpr unsigned kRtmAbortConflict = 1u << 2;  // _XABORT_CONFLICT
+inline constexpr unsigned kRtmAbortCapacity = 1u << 3;  // _XABORT_CAPACITY
+
+// Extract the 8-bit code passed to RtmAbort() from an explicit-abort status.
+constexpr std::uint8_t RtmAbortCode(unsigned status) noexcept {
+  return static_cast<std::uint8_t>(status >> 24);
+}
+
+// True if the instructions exist AND the functional probe committed at least
+// one transaction. Result is computed once and cached.
+bool RtmIsUsable() noexcept;
+
+// Force the answer of RtmIsUsable() (tests / benches use this to pin the
+// emulated engine). Passing -1 restores autodetection.
+void RtmForceUsable(int usable) noexcept;
+
+// Raw instruction wrappers. Only call when RtmIsUsable(); otherwise they
+// return kRtmAbortRetry-free failure (Begin) or are no-ops.
+unsigned RtmBegin() noexcept;
+void RtmEnd() noexcept;
+void RtmAbort() noexcept;       // XABORT with code 0xff ("lock busy")
+bool RtmInTransaction() noexcept;
+
+}  // namespace cuckoo
+
+#endif  // SRC_HTM_RTM_H_

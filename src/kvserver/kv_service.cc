@@ -1,0 +1,179 @@
+#include "src/kvserver/kv_service.h"
+
+#include <chrono>
+#include <utility>
+
+namespace cuckoo {
+namespace {
+
+std::uint64_t WallSeconds() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+KvService::KvService(Options opts)
+    : store_([&] {
+        GeneralCuckooMap<std::string, StoredValue>::Options o;
+        o.initial_bucket_count_log2 = opts.initial_bucket_count_log2;
+        o.auto_expand = opts.auto_expand;
+        return o;
+      }()),
+      clock_(opts.clock ? std::move(opts.clock) : WallSeconds) {}
+
+void KvService::HandleGet(const Request& request, bool with_cas, std::string* out) {
+  const std::uint64_t now = NowSeconds();
+  bool expired = false;
+  bool hit = store_.WithValue(request.key, [&](const StoredValue& value) {
+    if (Expired(value, now)) {
+      expired = true;
+      return;
+    }
+    if (with_cas) {
+      AppendValueResponseWithCas(request.key, value.flags, value.data, value.cas_id, out);
+    } else {
+      AppendValueResponse(request.key, value.flags, value.data, out);
+    }
+  });
+  if (hit && expired) {
+    // Lazy expiry: reclaim the slot, but only if the entry is still the
+    // expired one — a concurrent fresh Set must not be deleted. EraseIf
+    // re-checks under the bucket locks.
+    if (store_.EraseIf(request.key,
+                       [&](const StoredValue& value) { return Expired(value, now); })) {
+      expirations_.Increment();
+    }
+    hit = false;
+  }
+  if (hit) {
+    hits_.Increment();
+  } else {
+    misses_.Increment();
+  }
+  AppendEnd(out);
+}
+
+void KvService::HandleSet(const Request& request, std::string* out) {
+  StoredValue value;
+  value.data = request.data;
+  value.flags = request.flags;
+  value.cas_id = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  value.expires_at = DeadlineFor(request.exptime);
+  InsertResult r = store_.Upsert(std::string(request.key), std::move(value));
+  if (r == InsertResult::kTableFull) {
+    AppendNotStored(out);
+  } else {
+    sets_.Increment();
+    AppendStored(out);
+  }
+}
+
+void KvService::HandleCas(const Request& request, std::string* out) {
+  const std::uint64_t now = NowSeconds();
+  enum class Outcome { kNotFound, kExists, kStored } outcome = Outcome::kNotFound;
+  store_.WithValueMut(request.key, [&](StoredValue& value) {
+    if (Expired(value, now)) {
+      outcome = Outcome::kNotFound;  // expired counts as absent
+      return;
+    }
+    if (value.cas_id != request.cas_id) {
+      outcome = Outcome::kExists;
+      return;
+    }
+    value.data = request.data;
+    value.flags = request.flags;
+    value.expires_at = DeadlineFor(request.exptime);
+    value.cas_id = next_cas_.fetch_add(1, std::memory_order_relaxed);
+    outcome = Outcome::kStored;
+  });
+  switch (outcome) {
+    case Outcome::kStored:
+      sets_.Increment();
+      AppendStored(out);
+      return;
+    case Outcome::kExists:
+      AppendExists(out);
+      return;
+    case Outcome::kNotFound:
+      AppendNotFound(out);
+      return;
+  }
+}
+
+void KvService::HandleTouch(const Request& request, std::string* out) {
+  const std::uint64_t now = NowSeconds();
+  bool touched = false;
+  store_.WithValueMut(request.key, [&](StoredValue& value) {
+    if (Expired(value, now)) {
+      return;
+    }
+    value.expires_at = DeadlineFor(request.exptime);
+    touched = true;
+  });
+  if (touched) {
+    AppendTouched(out);
+  } else {
+    AppendNotFound(out);
+  }
+}
+
+void KvService::Process(const Request& request, std::string* response_out) {
+  switch (request.type) {
+    case RequestType::kGet:
+      HandleGet(request, /*with_cas=*/false, response_out);
+      return;
+    case RequestType::kGets:
+      HandleGet(request, /*with_cas=*/true, response_out);
+      return;
+    case RequestType::kSet:
+      HandleSet(request, response_out);
+      return;
+    case RequestType::kCas:
+      HandleCas(request, response_out);
+      return;
+    case RequestType::kTouch:
+      HandleTouch(request, response_out);
+      return;
+    case RequestType::kDelete: {
+      if (store_.Erase(request.key)) {
+        deletes_.Increment();
+        AppendDeleted(response_out);
+      } else {
+        AppendNotFound(response_out);
+      }
+      return;
+    }
+    case RequestType::kStats: {
+      AppendStat("curr_items", ItemCount(), response_out);
+      AppendStat("get_hits", GetHits(), response_out);
+      AppendStat("get_misses", GetMisses(), response_out);
+      AppendStat("cmd_set", static_cast<std::uint64_t>(sets_.Sum()), response_out);
+      AppendStat("cmd_delete", static_cast<std::uint64_t>(deletes_.Sum()), response_out);
+      AppendStat("expired_unfetched", Expirations(), response_out);
+      AppendEnd(response_out);
+      return;
+    }
+  }
+  AppendError(response_out);
+}
+
+void KvService::Connection::Drive(std::string_view bytes, std::string* out) {
+  parser_.Feed(bytes);
+  Request request;
+  for (;;) {
+    ParseStatus status = parser_.Next(&request);
+    if (status == ParseStatus::kNeedMore) {
+      return;
+    }
+    if (status == ParseStatus::kError) {
+      AppendError(out);
+      continue;
+    }
+    service_->Process(request, out);
+  }
+}
+
+}  // namespace cuckoo

@@ -1,0 +1,96 @@
+// KvService — a MemC3-shaped in-process key-value service: the memcached
+// text protocol dispatched onto the concurrent cuckoo table. Variable-length
+// keys and values go through GeneralCuckooMap (the §7 generality layer);
+// every public method is safe to call from any number of connection threads.
+//
+// Supported semantics: get/gets/set/cas/delete/touch/stats, with lazy TTL
+// expiry (exptime seconds, 0 = never) and monotonically increasing cas ids.
+#ifndef SRC_KVSERVER_KV_SERVICE_H_
+#define SRC_KVSERVER_KV_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/common/per_thread_counter.h"
+#include "src/cuckoo/general_cuckoo_map.h"
+#include "src/kvserver/protocol.h"
+
+namespace cuckoo {
+
+class KvService {
+ public:
+  struct Options {
+    std::size_t initial_bucket_count_log2 = 10;
+    bool auto_expand = true;
+    // Time source in seconds; injectable so TTL behaviour is testable
+    // deterministically. Null = wall clock.
+    std::function<std::uint64_t()> clock;
+  };
+
+  KvService() : KvService(Options{}) {}
+  explicit KvService(Options opts);
+
+  // Execute one request, appending the protocol response to *response_out.
+  void Process(const Request& request, std::string* response_out);
+
+  // Per-connection driver: feed raw protocol bytes, receive raw response
+  // bytes. Each connection owns one Connection (the parser is stateful);
+  // all connections share the service.
+  class Connection {
+   public:
+    explicit Connection(KvService* service) : service_(service) {}
+
+    // Parse and execute everything in `bytes`; append responses to *out.
+    void Drive(std::string_view bytes, std::string* out);
+
+   private:
+    KvService* service_;
+    RequestParser parser_;
+  };
+
+  Connection Connect() { return Connection(this); }
+
+  std::size_t ItemCount() const noexcept { return store_.Size(); }
+  std::uint64_t GetHits() const noexcept { return static_cast<std::uint64_t>(hits_.Sum()); }
+  std::uint64_t GetMisses() const noexcept { return static_cast<std::uint64_t>(misses_.Sum()); }
+  std::uint64_t Expirations() const noexcept {
+    return static_cast<std::uint64_t>(expirations_.Sum());
+  }
+
+ private:
+  struct StoredValue {
+    std::string data;
+    std::uint32_t flags = 0;
+    std::uint64_t cas_id = 0;
+    std::uint64_t expires_at = 0;  // absolute seconds; 0 = never
+  };
+
+  std::uint64_t NowSeconds() const { return clock_(); }
+  std::uint64_t DeadlineFor(std::uint32_t exptime) const {
+    return exptime == 0 ? 0 : NowSeconds() + exptime;
+  }
+  bool Expired(const StoredValue& value, std::uint64_t now) const {
+    return value.expires_at != 0 && value.expires_at <= now;
+  }
+
+  void HandleGet(const Request& request, bool with_cas, std::string* out);
+  void HandleSet(const Request& request, std::string* out);
+  void HandleCas(const Request& request, std::string* out);
+  void HandleTouch(const Request& request, std::string* out);
+
+  GeneralCuckooMap<std::string, StoredValue> store_;
+  std::function<std::uint64_t()> clock_;
+  std::atomic<std::uint64_t> next_cas_{1};
+  PerThreadCounter hits_;
+  PerThreadCounter misses_;
+  PerThreadCounter sets_;
+  PerThreadCounter deletes_;
+  PerThreadCounter expirations_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_KVSERVER_KV_SERVICE_H_

@@ -1,0 +1,201 @@
+#include "src/kvserver/protocol.h"
+
+#include <charconv>
+#include <vector>
+
+namespace cuckoo {
+namespace {
+
+// Split a command line on single spaces (memcached tokens never embed
+// spaces). Returns at most `max_tokens` tokens; extra content fails parsing.
+bool Tokenize(std::string_view line, std::vector<std::string_view>* tokens,
+              std::size_t max_tokens) {
+  tokens->clear();
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    std::size_t space = line.find(' ', pos);
+    std::string_view token =
+        space == std::string_view::npos ? line.substr(pos) : line.substr(pos, space - pos);
+    if (token.empty()) {
+      return false;  // double space or leading/trailing space
+    }
+    if (tokens->size() == max_tokens) {
+      return false;
+    }
+    tokens->push_back(token);
+    if (space == std::string_view::npos) {
+      break;
+    }
+    pos = space + 1;
+  }
+  return !tokens->empty();
+}
+
+bool ParseU32(std::string_view token, std::uint32_t* out) {
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool ParseSize(std::string_view token, std::size_t* out) {
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool ParseU64(std::string_view token, std::uint64_t* out) {
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out) {
+  std::vector<std::string_view> tokens;
+  if (!Tokenize(line, &tokens, 6)) {
+    return ParseStatus::kError;
+  }
+  const std::string_view command = tokens[0];
+  if (command == "get" || command == "gets") {
+    if (tokens.size() != 2 || tokens[1].size() > kMaxKeyLength) {
+      return ParseStatus::kError;
+    }
+    out->type = command == "get" ? RequestType::kGet : RequestType::kGets;
+    out->key.assign(tokens[1]);
+    return ParseStatus::kOk;
+  }
+  if (command == "touch") {
+    // touch <key> <exptime>
+    if (tokens.size() != 3 || tokens[1].size() > kMaxKeyLength ||
+        !ParseU32(tokens[2], &out->exptime)) {
+      return ParseStatus::kError;
+    }
+    out->type = RequestType::kTouch;
+    out->key.assign(tokens[1]);
+    return ParseStatus::kOk;
+  }
+  if (command == "delete") {
+    if (tokens.size() != 2 || tokens[1].size() > kMaxKeyLength) {
+      return ParseStatus::kError;
+    }
+    out->type = RequestType::kDelete;
+    out->key.assign(tokens[1]);
+    return ParseStatus::kOk;
+  }
+  if (command == "stats") {
+    if (tokens.size() != 1) {
+      return ParseStatus::kError;
+    }
+    out->type = RequestType::kStats;
+    out->key.clear();
+    return ParseStatus::kOk;
+  }
+  if (command == "set" || command == "cas") {
+    // set <key> <flags> <exptime> <bytes>  |  cas ... <bytes> <casid>
+    const bool is_cas = command == "cas";
+    const std::size_t expected_tokens = is_cas ? 6 : 5;
+    std::size_t bytes = 0;
+    if (tokens.size() != expected_tokens || tokens[1].size() > kMaxKeyLength ||
+        !ParseU32(tokens[2], &pending_.flags) || !ParseU32(tokens[3], &pending_.exptime) ||
+        !ParseSize(tokens[4], &bytes) || bytes > kMaxDataLength) {
+      return ParseStatus::kError;
+    }
+    if (is_cas && !ParseU64(tokens[5], &pending_.cas_id)) {
+      return ParseStatus::kError;
+    }
+    pending_.type = is_cas ? RequestType::kCas : RequestType::kSet;
+    pending_.key.assign(tokens[1]);
+    awaiting_data_ = true;
+    data_needed_ = bytes;
+    return ParseStatus::kNeedMore;  // caller loops; data handled in Next()
+  }
+  return ParseStatus::kError;
+}
+
+ParseStatus RequestParser::Next(Request* out) {
+  for (;;) {
+    if (awaiting_data_) {
+      if (buffer_.size() < data_needed_ + 2) {
+        return ParseStatus::kNeedMore;
+      }
+      if (buffer_[data_needed_] != '\r' || buffer_[data_needed_ + 1] != '\n') {
+        // Data block not terminated properly: drop through the bad bytes.
+        buffer_.erase(0, data_needed_ + 2);
+        awaiting_data_ = false;
+        return ParseStatus::kError;
+      }
+      pending_.data.assign(buffer_, 0, data_needed_);
+      buffer_.erase(0, data_needed_ + 2);
+      awaiting_data_ = false;
+      *out = std::move(pending_);
+      pending_ = Request{};
+      return ParseStatus::kOk;
+    }
+
+    std::size_t eol = buffer_.find("\r\n");
+    if (eol == std::string::npos) {
+      // No complete line. Reject pathological unterminated lines early.
+      if (buffer_.size() > kMaxKeyLength + 64) {
+        buffer_.clear();
+        return ParseStatus::kError;
+      }
+      return ParseStatus::kNeedMore;
+    }
+    std::string line = buffer_.substr(0, eol);
+    buffer_.erase(0, eol + 2);
+    if (line.empty()) {
+      continue;  // tolerate stray blank lines
+    }
+    ParseStatus status = ParseCommandLine(line, out);
+    if (status == ParseStatus::kOk || status == ParseStatus::kError) {
+      return status;
+    }
+    // kNeedMore after a set command line: loop to consume the data block.
+  }
+}
+
+void AppendValueResponse(std::string_view key, std::uint32_t flags, std::string_view data,
+                         std::string* out) {
+  out->append("VALUE ");
+  out->append(key);
+  out->push_back(' ');
+  out->append(std::to_string(flags));
+  out->push_back(' ');
+  out->append(std::to_string(data.size()));
+  out->append("\r\n");
+  out->append(data);
+  out->append("\r\n");
+}
+
+void AppendValueResponseWithCas(std::string_view key, std::uint32_t flags,
+                                std::string_view data, std::uint64_t cas_id,
+                                std::string* out) {
+  out->append("VALUE ");
+  out->append(key);
+  out->push_back(' ');
+  out->append(std::to_string(flags));
+  out->push_back(' ');
+  out->append(std::to_string(data.size()));
+  out->push_back(' ');
+  out->append(std::to_string(cas_id));
+  out->append("\r\n");
+  out->append(data);
+  out->append("\r\n");
+}
+
+void AppendEnd(std::string* out) { out->append("END\r\n"); }
+void AppendStored(std::string* out) { out->append("STORED\r\n"); }
+void AppendNotStored(std::string* out) { out->append("NOT_STORED\r\n"); }
+void AppendDeleted(std::string* out) { out->append("DELETED\r\n"); }
+void AppendNotFound(std::string* out) { out->append("NOT_FOUND\r\n"); }
+void AppendError(std::string* out) { out->append("ERROR\r\n"); }
+void AppendExists(std::string* out) { out->append("EXISTS\r\n"); }
+void AppendTouched(std::string* out) { out->append("TOUCHED\r\n"); }
+
+void AppendStat(std::string_view name, std::uint64_t value, std::string* out) {
+  out->append("STAT ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(std::to_string(value));
+  out->append("\r\n");
+}
+
+}  // namespace cuckoo

@@ -1,0 +1,96 @@
+// A memcached-text-protocol subset codec — the interface the paper's base
+// system (MemC3, a memcached fork) speaks. Incremental: feed bytes as they
+// arrive; complete requests are consumed, partial ones wait for more input.
+//
+// Supported commands:
+//   get <key>\r\n
+//   gets <key>\r\n                                  (VALUE line carries a cas id)
+//   set <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+//   cas <key> <flags> <exptime> <bytes> <casid>\r\n<data>\r\n
+//   delete <key>\r\n
+//   touch <key> <exptime>\r\n
+//   stats\r\n
+// Responses follow the memcached text protocol (VALUE/END, STORED, EXISTS,
+// DELETED, NOT_FOUND, TOUCHED, ERROR). exptime is a relative TTL in seconds
+// (0 = never expires), evaluated lazily on access.
+#ifndef SRC_KVSERVER_PROTOCOL_H_
+#define SRC_KVSERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cuckoo {
+
+enum class RequestType : std::uint8_t {
+  kGet,
+  kGets,   // get + cas id in the VALUE line
+  kSet,
+  kCas,    // compare-and-swap on the cas id
+  kDelete,
+  kTouch,  // update expiry only
+  kStats,
+};
+
+struct Request {
+  RequestType type;
+  std::string key;
+  std::string data;         // set/cas only
+  std::uint32_t flags = 0;  // set/cas only
+  std::uint32_t exptime = 0;
+  std::uint64_t cas_id = 0;  // cas only
+};
+
+enum class ParseStatus : std::uint8_t {
+  kOk,          // *out holds a complete request; input was consumed
+  kNeedMore,    // partial request; feed more bytes
+  kError,       // malformed line; the offending line was consumed
+};
+
+// Streaming request parser. Append input with Feed(); pull requests with
+// Next() until it stops returning kOk.
+class RequestParser {
+ public:
+  // Hard caps so a malicious stream cannot balloon the buffer.
+  static constexpr std::size_t kMaxKeyLength = 250;        // memcached's limit
+  static constexpr std::size_t kMaxDataLength = 1 << 20;   // 1 MiB
+
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  // Extract the next complete request from the buffered input.
+  ParseStatus Next(Request* out);
+
+  // Bytes currently buffered (for tests / backpressure decisions).
+  std::size_t BufferedBytes() const noexcept { return buffer_.size(); }
+
+ private:
+  ParseStatus ParseCommandLine(std::string_view line, Request* out);
+
+  std::string buffer_;
+  // set-command state: after the command line is parsed we wait for
+  // data_needed_ + 2 bytes (payload + trailing CRLF).
+  bool awaiting_data_ = false;
+  std::size_t data_needed_ = 0;
+  Request pending_;
+};
+
+// Response serializers (append to `out`).
+void AppendValueResponse(std::string_view key, std::uint32_t flags, std::string_view data,
+                         std::string* out);
+// gets-style VALUE line including the cas id.
+void AppendValueResponseWithCas(std::string_view key, std::uint32_t flags,
+                                std::string_view data, std::uint64_t cas_id, std::string* out);
+void AppendEnd(std::string* out);          // END\r\n   (terminates a get)
+void AppendStored(std::string* out);       // STORED\r\n
+void AppendNotStored(std::string* out);    // NOT_STORED\r\n
+void AppendDeleted(std::string* out);      // DELETED\r\n
+void AppendNotFound(std::string* out);     // NOT_FOUND\r\n
+void AppendError(std::string* out);        // ERROR\r\n
+void AppendExists(std::string* out);       // EXISTS\r\n (cas id mismatch)
+void AppendTouched(std::string* out);      // TOUCHED\r\n
+void AppendStat(std::string_view name, std::uint64_t value, std::string* out);
+
+}  // namespace cuckoo
+
+#endif  // SRC_KVSERVER_PROTOCOL_H_

@@ -1,0 +1,186 @@
+#include "src/kvserver/socket_server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cuckoo {
+namespace {
+
+int MakeUnixSocket() { return ::socket(AF_UNIX, SOCK_STREAM, 0); }
+
+bool FillAddress(const std::string& path, sockaddr_un* addr) {
+  if (path.size() + 1 > sizeof(addr->sun_path)) {
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(KvService* service, std::string path)
+    : service_(service), path_(std::move(path)) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+bool SocketServer::Start() {
+  sockaddr_un addr;
+  if (!FillAddress(path_, &addr)) {
+    return false;
+  }
+  ::unlink(path_.c_str());
+  listen_fd_ = MakeUnixSocket();
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void SocketServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Shutting the listen socket down unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // Only clear the member once the accept loop (its only other reader) has
+  // been joined.
+  listen_fd_ = -1;
+  {
+    // Kick any connection thread blocked in read().
+    std::lock_guard<std::mutex> g(fds_mutex_);
+    for (int fd : open_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  connection_threads_.clear();
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listen socket closed by Stop()
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void SocketServer::ServeConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> g(fds_mutex_);
+    open_fds_.push_back(fd);
+  }
+  KvService::Connection connection = service_->Connect();
+  char buffer[16 * 1024];
+  std::string response;
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) {
+      break;  // peer closed (or server stopping closed the fd)
+    }
+    response.clear();
+    connection.Drive(std::string_view(buffer, static_cast<std::size_t>(n)), &response);
+    std::size_t sent = 0;
+    bool write_failed = false;
+    while (sent < response.size()) {
+      ssize_t w = ::send(fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+      if (w <= 0) {
+        write_failed = true;
+        break;
+      }
+      sent += static_cast<std::size_t>(w);
+    }
+    if (write_failed) {
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> g(fds_mutex_);
+    for (std::size_t i = 0; i < open_fds_.size(); ++i) {
+      if (open_fds_[i] == fd) {
+        open_fds_[i] = open_fds_.back();
+        open_fds_.pop_back();
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+SocketClient::SocketClient(const std::string& path) {
+  sockaddr_un addr;
+  if (!FillAddress(path, &addr)) {
+    return;
+  }
+  fd_ = MakeUnixSocket();
+  if (fd_ < 0) {
+    return;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+std::string SocketClient::RoundTrip(const std::string& request, const std::string& terminator) {
+  if (fd_ < 0) {
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t w = ::send(fd_, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (w <= 0) {
+      return {};
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  std::string response;
+  char buffer[16 * 1024];
+  while (response.size() < terminator.size() ||
+         response.compare(response.size() - terminator.size(), terminator.size(),
+                          terminator) != 0) {
+    ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n <= 0) {
+      break;
+    }
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+}  // namespace cuckoo

@@ -1,0 +1,77 @@
+// SocketServer — a thread-per-connection UNIX-domain-socket front end for
+// KvService, turning the in-process service into a runnable memcached-lite
+// daemon. Deliberately simple (blocking I/O, one thread per connection): the
+// point of this repo is the table, not an event loop.
+#ifndef SRC_KVSERVER_SOCKET_SERVER_H_
+#define SRC_KVSERVER_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kvserver/kv_service.h"
+
+namespace cuckoo {
+
+class SocketServer {
+ public:
+  // Serves `service` (not owned) on a UNIX socket at `path` (unlinked and
+  // re-created).
+  SocketServer(KvService* service, std::string path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Bind + listen + start the accept loop. Returns false on socket errors.
+  bool Start();
+
+  // Stop accepting, close all connections, join all threads.
+  void Stop();
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t ConnectionsAccepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  KvService* service_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  // Open connection fds, so Stop() can shut down blocked readers.
+  std::mutex fds_mutex_;
+  std::vector<int> open_fds_;
+};
+
+// Minimal blocking client for tests and examples: connects to the server's
+// UNIX socket, sends protocol bytes, reads until the expected terminator.
+class SocketClient {
+ public:
+  explicit SocketClient(const std::string& path);
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  // Send `request` and read until the response ends with `terminator`
+  // (e.g. "END\r\n" for get, "STORED\r\n" for set). Returns the raw bytes.
+  std::string RoundTrip(const std::string& request, const std::string& terminator);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_KVSERVER_SOCKET_SERVER_H_

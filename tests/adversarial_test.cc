@@ -1,0 +1,206 @@
+// Adversarial and failure-injection tests: degenerate hash functions,
+// forced-expansion loops on tiny tables, abort storms on the emulated RTM
+// engine, and sustained churn at the capacity edge.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/cuckoo/cuckoo_map.h"
+#include "src/cuckoo/flat_cuckoo_map.h"
+#include "src/htm/elided_lock.h"
+#include "src/htm/rtm.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+// Hash that maps every key to the same value: all keys share one bucket pair.
+struct ConstantHash {
+  std::uint64_t operator()(std::uint64_t) const noexcept { return 0x1234567890abcdefull; }
+};
+
+TEST(AdversarialTest, ConstantHashDegradesGracefully) {
+  // With one bucket pair, a B=8 table can hold at most 16 distinct keys.
+  // Expansion cannot help (same two buckets at every size), so the table must
+  // report kTableFull — not loop forever or corrupt itself.
+  CuckooMap<std::uint64_t, std::uint64_t, ConstantHash>::Options o;
+  o.initial_bucket_count_log2 = 8;
+  o.auto_expand = false;
+  CuckooMap<std::uint64_t, std::uint64_t, ConstantHash> map(o);
+  std::uint64_t inserted = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    if (map.Insert(i, i) == InsertResult::kOk) {
+      ++inserted;
+    }
+  }
+  EXPECT_EQ(inserted, 16u);
+  EXPECT_EQ(map.Size(), 16u);
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(map.Find(i, &v)) << i;
+  }
+  EXPECT_FALSE(map.Find(50, &v));
+  // All 16 keys collide on one tag; erase/reinsert still works.
+  EXPECT_TRUE(map.Erase(3));
+  EXPECT_EQ(map.Insert(99, 99), InsertResult::kOk);
+}
+
+// Hash with only 4 distinct outputs: extreme clustering, but expansion can
+// still make progress because the cluster spreads across doublings? It
+// cannot — buckets derive from the same 4 hashes — so capacity is bounded by
+// 4 pairs x 2 buckets x B slots.
+struct FourValueHash {
+  std::uint64_t operator()(std::uint64_t key) const noexcept {
+    return Mix64(key % 4);
+  }
+};
+
+TEST(AdversarialTest, FewDistinctHashesBoundCapacity) {
+  CuckooMap<std::uint64_t, std::uint64_t, FourValueHash>::Options o;
+  o.initial_bucket_count_log2 = 10;
+  o.auto_expand = false;
+  CuckooMap<std::uint64_t, std::uint64_t, FourValueHash> map(o);
+  std::uint64_t inserted = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (map.Insert(i, i) == InsertResult::kOk) {
+      ++inserted;
+    }
+  }
+  // At most 4 pairs x 16 slots; at least one pair's worth.
+  EXPECT_LE(inserted, 64u);
+  EXPECT_GE(inserted, 16u);
+  std::uint64_t v;
+  std::uint64_t findable = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (map.Find(i, &v)) {
+      ++findable;
+    }
+  }
+  EXPECT_EQ(findable, inserted) << "every accepted key must stay findable";
+}
+
+TEST(AdversarialTest, TinyTableExpansionsUnderConcurrency) {
+  // 2 buckets of 8 slots initially; every few inserts double the table while
+  // four writers hammer it.
+  CuckooMap<std::uint64_t, std::uint64_t>::Options o;
+  o.initial_bucket_count_log2 = 1;
+  CuckooMap<std::uint64_t, std::uint64_t> map(o);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 8000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        std::uint64_t key = i * kThreads + static_cast<std::uint64_t>(t);
+        EXPECT_EQ(map.Insert(key, key), InsertResult::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(map.Size(), kPerThread * kThreads);
+  EXPECT_GT(map.Stats().expansions, 8);
+  std::uint64_t v;
+  for (std::uint64_t k = 0; k < kPerThread * kThreads; ++k) {
+    ASSERT_TRUE(map.Find(k, &v)) << k;
+  }
+}
+
+TEST(AdversarialTest, TotalAbortStormStillMakesProgress) {
+  // Emulated RTM with 100% abort injection: every elided acquisition must
+  // fall back to the real lock, and the table must behave perfectly.
+  RtmForceUsable(0);
+  EmulatedRtmConfig saved = GlobalEmulatedRtmConfig();
+  GlobalEmulatedRtmConfig().abort_permille = 1000;
+  GlobalEmulatedRtmConfig().retry_hint_permille = 500;
+
+  FlatOptions o;
+  o.bucket_count_log2 = 12;
+  o.lock_after_discovery = true;
+  o.search_mode = SearchMode::kBfs;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, TunedElided<SpinLock>> map(o);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < 3000; ++i) {
+        std::uint64_t key = i * kThreads + static_cast<std::uint64_t>(t);
+        EXPECT_EQ(map.Insert(key, key), InsertResult::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(map.Size(), 12000u);
+  auto s = map.global_lock().stats().Read();
+  EXPECT_EQ(s.commits, 0u);
+  EXPECT_GT(s.fallback_acquisitions, 0u);
+  EXPECT_DOUBLE_EQ(s.AbortRate(), 1.0);
+
+  GlobalEmulatedRtmConfig() = saved;
+  RtmForceUsable(-1);
+}
+
+TEST(AdversarialTest, ChurnAtCapacityEdge) {
+  // The §6.3 "inserts and deletes to a table at high occupancy" use mode:
+  // fill to the brim, then steady-state replace for many rounds.
+  CuckooMap<std::uint64_t, std::uint64_t>::Options o;
+  o.initial_bucket_count_log2 = 9;  // 4096 slots
+  o.auto_expand = false;
+  CuckooMap<std::uint64_t, std::uint64_t> map(o);
+  std::uint64_t next = 0;
+  while (map.Insert(next, next) == InsertResult::kOk) {
+    ++next;
+  }
+  const double full_load = map.LoadFactor();
+  EXPECT_GT(full_load, 0.9);
+
+  Xorshift128Plus rng(123);
+  std::uint64_t oldest = 0;
+  std::uint64_t churned = 0;
+  for (int round = 0; round < 20000; ++round) {
+    ASSERT_TRUE(map.Erase(oldest)) << oldest;
+    ++oldest;
+    // The just-freed slot must be enough for one new key (maybe via a path).
+    ASSERT_EQ(map.Insert(next, next), InsertResult::kOk) << next;
+    ++next;
+    ++churned;
+  }
+  EXPECT_NEAR(map.LoadFactor(), full_load, 0.001);
+  // Every live key is findable; every churned-out key is gone.
+  std::uint64_t v;
+  for (std::uint64_t k = oldest; k < next; k += 97) {
+    ASSERT_TRUE(map.Find(k, &v)) << k;
+  }
+  for (std::uint64_t k = 0; k < oldest; k += 97) {
+    ASSERT_FALSE(map.Find(k, &v)) << k;
+  }
+}
+
+TEST(AdversarialTest, ZeroHashBitsInTagRegion) {
+  // Hash whose top byte (the tag source) is always zero: the tag must still
+  // be nonzero (reserved as "empty") and the table must work.
+  struct LowBitsHash {
+    std::uint64_t operator()(std::uint64_t key) const noexcept {
+      return Mix64(key) & 0x00ffffffffffffffull;  // top byte zeroed
+    }
+  };
+  CuckooMap<std::uint64_t, std::uint64_t, LowBitsHash>::Options o;
+  o.initial_bucket_count_log2 = 10;
+  CuckooMap<std::uint64_t, std::uint64_t, LowBitsHash> map(o);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk);
+  }
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(map.Find(i, &v)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,138 @@
+#include "src/baselines/chaining_map.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(ChainingMapTest, EmptyBasics) {
+  ChainingMap<std::uint64_t, std::uint64_t> map;
+  EXPECT_EQ(map.Size(), 0u);
+  std::uint64_t v;
+  EXPECT_FALSE(map.Find(1, &v));
+  EXPECT_FALSE(map.Erase(1));
+}
+
+TEST(ChainingMapTest, InsertFindEraseRoundTrip) {
+  ChainingMap<std::uint64_t, std::uint64_t> map;
+  EXPECT_EQ(map.Insert(1, 10), InsertResult::kOk);
+  EXPECT_EQ(map.Insert(1, 20), InsertResult::kKeyExists);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(map.Find(1, &v));
+  EXPECT_EQ(v, 10u);
+  EXPECT_TRUE(map.Update(1, 30));
+  map.Find(1, &v);
+  EXPECT_EQ(v, 30u);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Contains(1));
+}
+
+TEST(ChainingMapTest, UpsertOverwrites) {
+  ChainingMap<std::uint64_t, std::uint64_t> map;
+  EXPECT_EQ(map.Upsert(5, 1), InsertResult::kOk);
+  EXPECT_EQ(map.Upsert(5, 2), InsertResult::kKeyExists);
+  std::uint64_t v;
+  map.Find(5, &v);
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(ChainingMapTest, GrowsThroughRehash) {
+  ChainingMap<std::uint64_t, std::uint64_t> map(16);
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk);
+  }
+  EXPECT_GE(map.BucketCount(), 100000u);
+  EXPECT_LE(map.LoadFactor(), 1.0);
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(map.Find(i, &v)) << i;
+    ASSERT_EQ(v, i);
+  }
+}
+
+TEST(ChainingMapTest, ModelEquivalence) {
+  ChainingMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> model;
+  Xorshift128Plus rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    std::uint64_t key = rng.NextBelow(2000);
+    std::uint64_t value = rng.Next();
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        bool fresh = model.emplace(key, value).second;
+        ASSERT_EQ(map.Insert(key, value) == InsertResult::kOk, fresh);
+        break;
+      }
+      case 1:
+        ASSERT_EQ(map.Erase(key), model.erase(key) > 0);
+        break;
+      case 2: {
+        std::uint64_t v;
+        auto it = model.find(key);
+        ASSERT_EQ(map.Find(key, &v), it != model.end());
+        if (it != model.end()) {
+          ASSERT_EQ(v, it->second);
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(map.Size(), model.size());
+}
+
+TEST(ChainingMapTest, ForEachVisitsEverything) {
+  ChainingMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    map.Insert(i, i);
+  }
+  std::uint64_t sum = 0;
+  std::size_t count = 0;
+  map.ForEach([&](std::uint64_t k, std::uint64_t v) {
+    EXPECT_EQ(k, v);
+    sum += k;
+    ++count;
+  });
+  EXPECT_EQ(count, 100u);
+  EXPECT_EQ(sum, 99u * 100u / 2);
+}
+
+TEST(ChainingMapTest, ClearReleasesEntries) {
+  ChainingMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    map.Insert(i, i);
+  }
+  map.Clear();
+  EXPECT_EQ(map.Size(), 0u);
+  EXPECT_FALSE(map.Contains(1));
+  EXPECT_EQ(map.Insert(1, 1), InsertResult::kOk);
+}
+
+TEST(ChainingMapTest, HeapBytesGrowWithEntries) {
+  ChainingMap<std::uint64_t, std::uint64_t> map;
+  std::size_t empty = map.HeapBytes();
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    map.Insert(i, i);
+  }
+  EXPECT_GT(map.HeapBytes(), empty);
+  // Pointer-heavy design: well over 16 bytes per 16-byte pair.
+  EXPECT_GT(map.HeapBytes(), 1000u * 24u);
+}
+
+TEST(ChainingMapTest, StringKeys) {
+  ChainingMap<std::string, int> map;
+  EXPECT_EQ(map.Insert("alpha", 1), InsertResult::kOk);
+  EXPECT_EQ(map.Insert("beta", 2), InsertResult::kOk);
+  int v = 0;
+  ASSERT_TRUE(map.Find("alpha", &v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(map.Find("gamma", &v));
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,64 @@
+#include "src/common/cpu.h"
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(CpuTest, CacheLineSizeIs64) { EXPECT_EQ(kCacheLineSize, 64u); }
+
+TEST(CpuTest, RelaxAndPrefetchAreSafe) {
+  int data = 0;
+  CpuRelax();
+  PrefetchRead(&data);
+  PrefetchWrite(&data);
+  PrefetchRead(nullptr);  // prefetch of any address is a hint, never a fault
+  SUCCEED();
+}
+
+TEST(CpuTest, NumOnlineCpusPositive) { EXPECT_GE(NumOnlineCpus(), 1); }
+
+TEST(CpuTest, RtmDetectionIsStable) {
+  bool a = CpuSupportsRtm();
+  bool b = CpuSupportsRtm();
+  EXPECT_EQ(a, b);
+}
+
+TEST(CpuTest, PinThreadToCpuHandlesAnyIndex) {
+  // Pinning wraps modulo the online count, so large indexes are valid.
+  EXPECT_TRUE(PinThreadToCpu(0));
+  EXPECT_TRUE(PinThreadToCpu(12345));
+}
+
+TEST(CpuTest, ThreadIdStableWithinThread) {
+  int a = CurrentThreadId();
+  int b = CurrentThreadId();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0);
+  EXPECT_LT(a, kMaxThreads);
+}
+
+TEST(CpuTest, ThreadIdsDistinctAcrossThreads) {
+  constexpr int kThreads = 8;
+  std::vector<int> ids(kThreads, -1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] { ids[t] = CurrentThreadId(); });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::set<int> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads));
+  for (int id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, kMaxThreads);
+  }
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,168 @@
+// FindBatch: the software-pipelined batched read path must agree exactly with
+// singular Find under every configuration and under concurrent writes.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/cuckoo/cuckoo_map.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+using Map = CuckooMap<std::uint64_t, std::uint64_t>;
+
+Map::Options Opts(ReadMode mode = ReadMode::kOptimistic) {
+  Map::Options o;
+  o.initial_bucket_count_log2 = 12;
+  o.read_mode = mode;
+  return o;
+}
+
+TEST(FindBatchTest, AllHits) {
+  Map map(Opts());
+  constexpr std::size_t kN = 10000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    map.Insert(i, i * 3);
+  }
+  std::vector<std::uint64_t> keys(kN);
+  std::vector<std::uint64_t> values(kN);
+  std::vector<bool> found_vec(kN);
+  // std::vector<bool> is bit-packed; FindBatch needs bool*. Use a raw buffer.
+  std::unique_ptr<bool[]> found(new bool[kN]);
+  for (std::size_t i = 0; i < kN; ++i) {
+    keys[i] = i;
+  }
+  std::size_t hits = map.FindBatch(keys.data(), kN, values.data(), found.get());
+  EXPECT_EQ(hits, kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(found[i]) << i;
+    ASSERT_EQ(values[i], i * 3) << i;
+  }
+  (void)found_vec;
+}
+
+TEST(FindBatchTest, MixedHitsAndMisses) {
+  Map map(Opts());
+  for (std::uint64_t i = 0; i < 5000; i += 2) {
+    map.Insert(i, i);
+  }
+  constexpr std::size_t kN = 5000;
+  std::vector<std::uint64_t> keys(kN);
+  std::vector<std::uint64_t> values(kN);
+  std::unique_ptr<bool[]> found(new bool[kN]);
+  for (std::size_t i = 0; i < kN; ++i) {
+    keys[i] = i;
+  }
+  std::size_t hits = map.FindBatch(keys.data(), kN, values.data(), found.get());
+  EXPECT_EQ(hits, kN / 2);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(found[i], i % 2 == 0) << i;
+    if (found[i]) {
+      ASSERT_EQ(values[i], i);
+    }
+  }
+}
+
+class FindBatchSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FindBatchSizeTest, AgreesWithSingularFindAtEveryBatchSize) {
+  // Batch sizes around the pipeline depth (8) exercise the lead-in/lead-out
+  // boundary logic.
+  const std::size_t n = GetParam();
+  Map map(Opts());
+  Xorshift128Plus rng(5);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    map.Insert(rng.Next() % 4000, i);
+  }
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint64_t> batch_values(n);
+  std::unique_ptr<bool[]> found(new bool[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.Next() % 4000;
+  }
+  map.FindBatch(keys.data(), n, batch_values.data(), found.get());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = 0;
+    bool hit = map.Find(keys[i], &v);
+    ASSERT_EQ(found[i], hit) << "index " << i;
+    if (hit) {
+      ASSERT_EQ(batch_values[i], v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FindBatchSizeTest,
+                         ::testing::Values(0, 1, 3, 7, 8, 9, 15, 16, 17, 64, 1000));
+
+TEST(FindBatchTest, LockedReadModeWorks) {
+  Map map(Opts(ReadMode::kLocked));
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    map.Insert(i, ~i);
+  }
+  std::vector<std::uint64_t> keys(1000);
+  std::vector<std::uint64_t> values(1000);
+  std::unique_ptr<bool[]> found(new bool[1000]);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    keys[i] = i;
+  }
+  EXPECT_EQ(map.FindBatch(keys.data(), 1000, values.data(), found.get()), 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(values[i], ~static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(FindBatchTest, ResidentKeysNeverMissedDuringConcurrentInserts) {
+  Map::Options o = Opts();
+  o.initial_bucket_count_log2 = 11;
+  o.auto_expand = false;
+  Map map(o);
+  constexpr std::uint64_t kResident = 12000;
+  for (std::uint64_t i = 0; i < kResident; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::thread reader([&] {
+    constexpr std::size_t kBatch = 256;
+    std::vector<std::uint64_t> keys(kBatch);
+    std::vector<std::uint64_t> values(kBatch);
+    std::unique_ptr<bool[]> found(new bool[kBatch]);
+    std::uint64_t cursor = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        keys[i] = (cursor + i) % kResident;
+      }
+      std::size_t hits = map.FindBatch(keys.data(), kBatch, values.data(), found.get());
+      misses.fetch_add(kBatch - hits, std::memory_order_relaxed);
+      cursor += kBatch;
+    }
+  });
+  std::thread writer([&] {
+    for (std::uint64_t i = kResident; i < kResident + 3000; ++i) {
+      map.Insert(i, i);  // forces displacements of resident keys
+    }
+  });
+  writer.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(misses.load(), 0u);
+}
+
+TEST(FindBatchTest, StatsCountBatchedLookups) {
+  Map map(Opts());
+  map.Insert(1, 1);
+  std::uint64_t keys[3] = {1, 2, 3};
+  std::uint64_t values[3];
+  bool found[3];
+  map.FindBatch(keys, 3, values, found);
+  MapStatsSnapshot s = map.Stats();
+  EXPECT_EQ(s.lookups, 3);
+  EXPECT_EQ(s.lookup_hits, 1);
+}
+
+}  // namespace
+}  // namespace cuckoo

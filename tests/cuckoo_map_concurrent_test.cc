@@ -1,0 +1,333 @@
+// Concurrency tests for CuckooMap: multiple writers, readers racing with
+// displacements (the §4.2 false-miss hazard), erase/insert churn, and
+// expansion under load. Runs are modest so the suite stays fast on a 1-core
+// host; every scenario is still a real interleaving test because threads
+// preempt mid-operation.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/cuckoo/cuckoo_map.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+using Map = CuckooMap<std::uint64_t, std::uint64_t>;
+
+TEST(CuckooMapConcurrentTest, DisjointWritersAllLand) {
+  Map::Options o;
+  o.initial_bucket_count_log2 = 12;
+  Map map(o);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        std::uint64_t key = i * kThreads + static_cast<std::uint64_t>(t);
+        ASSERT_EQ(map.Insert(key, key + 1), InsertResult::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(map.Size(), kPerThread * kThreads);
+  std::uint64_t v;
+  for (std::uint64_t k = 0; k < kPerThread * kThreads; ++k) {
+    ASSERT_TRUE(map.Find(k, &v)) << k;
+    ASSERT_EQ(v, k + 1);
+  }
+}
+
+TEST(CuckooMapConcurrentTest, RacingInsertersOnSameKeysExactlyOneWins) {
+  Map::Options o;
+  o.initial_bucket_count_log2 = 10;
+  Map map(o);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kKeys = 10000;
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, &wins, t] {
+      for (std::uint64_t k = 0; k < kKeys; ++k) {
+        if (map.Insert(k, static_cast<std::uint64_t>(t)) == InsertResult::kOk) {
+          wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(wins.load(), kKeys) << "each key must be inserted exactly once";
+  EXPECT_EQ(map.Size(), kKeys);
+  // Winner's value must be one of the contenders' ids (no torn writes).
+  std::uint64_t v;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(map.Find(k, &v));
+    ASSERT_LT(v, static_cast<std::uint64_t>(kThreads));
+  }
+}
+
+TEST(CuckooMapConcurrentTest, ReadersNeverMissDuringDisplacements) {
+  // The core §4.2 property: items being cuckoo-displaced must always be
+  // visible to readers. Prefill near capacity, then hammer inserts (forcing
+  // displacements of resident keys) while readers assert the prefilled keys
+  // never disappear.
+  Map::Options o;
+  o.initial_bucket_count_log2 = 11;  // 16K slots
+  o.auto_expand = false;
+  Map map(o);
+  constexpr std::uint64_t kResident = 12000;  // ~73% full
+  for (std::uint64_t i = 0; i < kResident; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&map, &stop, &misses, r] {
+      std::uint64_t key = static_cast<std::uint64_t>(r);
+      std::uint64_t v;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!map.Find(key % kResident, &v) || v != key % kResident) {
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++key;
+      }
+    });
+  }
+  std::thread writer([&map] {
+    // Push occupancy toward the limit: lots of displacement traffic.
+    for (std::uint64_t i = kResident; i < kResident + 3000; ++i) {
+      map.Insert(i, i);
+    }
+    // Churn: erase and reinsert the same high keys repeatedly.
+    for (int round = 0; round < 10; ++round) {
+      for (std::uint64_t i = kResident; i < kResident + 3000; ++i) {
+        map.Erase(i);
+      }
+      for (std::uint64_t i = kResident; i < kResident + 3000; ++i) {
+        map.Insert(i, i);
+      }
+    }
+  });
+  writer.join();
+  stop.store(true);
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(misses.load(), 0u) << "resident keys must never be unobservable";
+}
+
+TEST(CuckooMapConcurrentTest, ConcurrentUpsertsConverge) {
+  Map::Options o;
+  o.initial_bucket_count_log2 = 8;
+  Map map(o);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kKeys = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map] {
+      for (int round = 0; round < 50; ++round) {
+        for (std::uint64_t k = 0; k < kKeys; ++k) {
+          map.Upsert(k, k * 10);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(map.Size(), kKeys);
+  std::uint64_t v;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(map.Find(k, &v));
+    ASSERT_EQ(v, k * 10);
+  }
+}
+
+TEST(CuckooMapConcurrentTest, EraseInsertChurnKeepsSizeConsistent) {
+  Map::Options o;
+  o.initial_bucket_count_log2 = 10;
+  Map map(o);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kKeysPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      const std::uint64_t base = static_cast<std::uint64_t>(t) * kKeysPerThread;
+      for (int round = 0; round < 20; ++round) {
+        for (std::uint64_t i = 0; i < kKeysPerThread; ++i) {
+          ASSERT_EQ(map.Insert(base + i, round), InsertResult::kOk);
+        }
+        for (std::uint64_t i = 0; i < kKeysPerThread; ++i) {
+          ASSERT_TRUE(map.Erase(base + i));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(map.Size(), 0u);
+}
+
+TEST(CuckooMapConcurrentTest, ExpansionUnderConcurrentWriters) {
+  Map::Options o;
+  o.initial_bucket_count_log2 = 6;  // tiny: many expansions under load
+  Map map(o);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        std::uint64_t key = i * kThreads + static_cast<std::uint64_t>(t);
+        ASSERT_EQ(map.Insert(key, key), InsertResult::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(map.Size(), kPerThread * kThreads);
+  EXPECT_GT(map.Stats().expansions, 0);
+  std::uint64_t v;
+  for (std::uint64_t k = 0; k < kPerThread * kThreads; ++k) {
+    ASSERT_TRUE(map.Find(k, &v)) << k;
+    ASSERT_EQ(v, k);
+  }
+}
+
+TEST(CuckooMapConcurrentTest, ReadersSurviveExpansion) {
+  Map::Options o;
+  o.initial_bucket_count_log2 = 8;
+  Map map(o);
+  constexpr std::uint64_t kResident = 1500;
+  for (std::uint64_t i = 0; i < kResident; ++i) {
+    map.Insert(i, i);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::thread reader([&] {
+    std::uint64_t key = 0;
+    std::uint64_t v;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!map.Find(key % kResident, &v)) {
+        misses.fetch_add(1);
+      }
+      ++key;
+    }
+  });
+  // Force several expansions while the reader runs.
+  for (std::uint64_t i = kResident; i < 200000; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk);
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(misses.load(), 0u);
+  EXPECT_GT(map.Stats().expansions, 3);
+}
+
+TEST(CuckooMapConcurrentTest, ReadersNeverObserveTornValues) {
+  // Writers always store self-consistent values (low half == high half);
+  // optimistic readers must never see a mix of two writes — this is exactly
+  // what the version validation protects.
+  Map::Options o;
+  o.initial_bucket_count_log2 = 6;
+  o.auto_expand = false;
+  Map map(o);
+  constexpr std::uint64_t kKeys = 64;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    map.Insert(k, 0);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&map, &stop, w] {
+      std::uint64_t x = static_cast<std::uint64_t>(w) << 20;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::uint64_t stamped = (x << 32) | (x & 0xffffffffu);
+        map.Update(x % kKeys, stamped);
+        ++x;
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&map, &stop, &torn] {
+      std::uint64_t k = 0;
+      std::uint64_t v;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (map.Find(k % kKeys, &v)) {
+          if ((v >> 32) != (v & 0xffffffffu)) {
+            torn.fetch_add(1);
+          }
+        }
+        ++k;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (auto& th : writers) {
+    th.join();
+  }
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+TEST(CuckooMapConcurrentTest, MixedOperationTorture) {
+  Map::Options o;
+  o.initial_bucket_count_log2 = 9;
+  Map map(o);
+  constexpr int kThreads = 4;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, &failed, t] {
+      Xorshift128Plus rng(1000 + t);
+      const std::uint64_t base = static_cast<std::uint64_t>(t) << 32;
+      std::uint64_t next = 0;
+      std::uint64_t v;
+      for (int i = 0; i < 40000; ++i) {
+        switch (rng.NextBelow(4)) {
+          case 0:
+            map.Insert(base + (next++), 1);
+            break;
+          case 1:
+            map.Find(base + rng.NextBelow(next + 1), &v);
+            break;
+          case 2:
+            map.Erase(base + rng.NextBelow(next + 1));
+            break;
+          case 3:
+            map.Upsert(base + rng.NextBelow(next + 1), 2);
+            break;
+        }
+      }
+      // Own-partition keys written by this thread must never be visible to
+      // failures in other partitions.
+      if (map.Size() > 400000) {
+        failed.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,370 @@
+#include "src/cuckoo/cuckoo_map.h"
+
+#include <array>
+#include <cstdint>
+#include <thread>
+#include <vector>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+using Map = CuckooMap<std::uint64_t, std::uint64_t>;
+
+Map::Options SmallOpts(std::size_t log2 = 10, bool expand = true) {
+  Map::Options o;
+  o.initial_bucket_count_log2 = log2;
+  o.auto_expand = expand;
+  return o;
+}
+
+TEST(CuckooMapTest, EmptyMapBasics) {
+  Map map(SmallOpts());
+  EXPECT_EQ(map.Size(), 0u);
+  EXPECT_EQ(map.SlotCount(), (1u << 10) * 8);
+  EXPECT_DOUBLE_EQ(map.LoadFactor(), 0.0);
+  std::uint64_t v;
+  EXPECT_FALSE(map.Find(1, &v));
+  EXPECT_FALSE(map.Contains(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_FALSE(map.Update(1, 2));
+}
+
+TEST(CuckooMapTest, InsertFindRoundTrip) {
+  Map map(SmallOpts());
+  EXPECT_EQ(map.Insert(10, 100), InsertResult::kOk);
+  EXPECT_EQ(map.Size(), 1u);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(map.Find(10, &v));
+  EXPECT_EQ(v, 100u);
+}
+
+TEST(CuckooMapTest, DuplicateInsertRejected) {
+  Map map(SmallOpts());
+  EXPECT_EQ(map.Insert(10, 100), InsertResult::kOk);
+  EXPECT_EQ(map.Insert(10, 200), InsertResult::kKeyExists);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(map.Find(10, &v));
+  EXPECT_EQ(v, 100u) << "duplicate insert must not overwrite";
+  EXPECT_EQ(map.Size(), 1u);
+  EXPECT_EQ(map.Stats().duplicate_inserts, 1);
+}
+
+TEST(CuckooMapTest, UpsertOverwrites) {
+  Map map(SmallOpts());
+  EXPECT_EQ(map.Upsert(10, 100), InsertResult::kOk);
+  EXPECT_EQ(map.Upsert(10, 200), InsertResult::kKeyExists);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(map.Find(10, &v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_EQ(map.Size(), 1u);
+}
+
+TEST(CuckooMapTest, UpsertWithInsertsWhenAbsent) {
+  Map map(SmallOpts());
+  EXPECT_EQ(map.UpsertWith(5, [](std::uint64_t& v) { v += 100; }, 7), InsertResult::kOk);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(map.Find(5, &v));
+  EXPECT_EQ(v, 7u) << "initial value inserted unmodified; fn only runs on existing entries";
+}
+
+TEST(CuckooMapTest, UpsertWithModifiesWhenPresent) {
+  Map map(SmallOpts());
+  map.Insert(5, 10);
+  EXPECT_EQ(map.UpsertWith(5, [](std::uint64_t& v) { v *= 3; }, 0), InsertResult::kKeyExists);
+  std::uint64_t v = 0;
+  map.Find(5, &v);
+  EXPECT_EQ(v, 30u);
+}
+
+TEST(CuckooMapTest, UpsertWithIsAtomicAcrossThreads) {
+  Map map(SmallOpts());
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map] {
+      for (int i = 0; i < kIncrements; ++i) {
+        map.UpsertWith(42, [](std::uint64_t& v) { ++v; }, 1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::uint64_t v = 0;
+  ASSERT_TRUE(map.Find(42, &v));
+  // One thread inserts the initial 1; every other call increments.
+  EXPECT_EQ(v, static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(CuckooMapTest, UpdateExistingOnly) {
+  Map map(SmallOpts());
+  EXPECT_FALSE(map.Update(10, 1));
+  map.Insert(10, 1);
+  EXPECT_TRUE(map.Update(10, 2));
+  std::uint64_t v = 0;
+  map.Find(10, &v);
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(CuckooMapTest, EraseRemoves) {
+  Map map(SmallOpts());
+  map.Insert(10, 1);
+  map.Insert(20, 2);
+  EXPECT_TRUE(map.Erase(10));
+  EXPECT_FALSE(map.Contains(10));
+  EXPECT_TRUE(map.Contains(20));
+  EXPECT_EQ(map.Size(), 1u);
+  EXPECT_FALSE(map.Erase(10));
+  // Slot is reusable.
+  EXPECT_EQ(map.Insert(10, 3), InsertResult::kOk);
+}
+
+TEST(CuckooMapTest, ManyKeysRoundTrip) {
+  Map map(SmallOpts());
+  constexpr std::uint64_t kN = 50000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(map.Insert(i, i * 7), InsertResult::kOk) << i;
+  }
+  EXPECT_EQ(map.Size(), kN);
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(map.Find(i, &v)) << i;
+    ASSERT_EQ(v, i * 7) << i;
+  }
+  EXPECT_FALSE(map.Find(kN + 1, &v));
+}
+
+TEST(CuckooMapTest, FixedSizeFillsPast90Percent) {
+  Map map(SmallOpts(10, /*expand=*/false));
+  std::uint64_t i = 0;
+  while (map.Insert(i, i) == InsertResult::kOk) {
+    ++i;
+  }
+  EXPECT_GT(map.LoadFactor(), 0.9) << "8-way cuckoo should reach very high occupancy";
+  EXPECT_EQ(map.Insert(i, i), InsertResult::kTableFull);
+  EXPECT_GT(map.Stats().insert_failures, 0);
+  // Everything inserted remains findable at capacity.
+  std::uint64_t v;
+  for (std::uint64_t k = 0; k < i; ++k) {
+    ASSERT_TRUE(map.Find(k, &v)) << k;
+  }
+}
+
+TEST(CuckooMapTest, ExpansionPreservesContents) {
+  Map map(SmallOpts(6, /*expand=*/true));  // 512 slots
+  constexpr std::uint64_t kN = 100000;    // forces many doublings
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(map.Insert(i, ~i), InsertResult::kOk) << i;
+  }
+  EXPECT_GT(map.Stats().expansions, 5);
+  EXPECT_GE(map.SlotCount(), kN);
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(map.Find(i, &v)) << i;
+    ASSERT_EQ(v, ~i);
+  }
+}
+
+TEST(CuckooMapTest, ReserveAvoidsExpansionDuringFill) {
+  Map map(SmallOpts(4, /*expand=*/true));
+  map.Reserve(100000);
+  map.ResetStats();
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk);
+  }
+  EXPECT_EQ(map.Stats().expansions, 0);
+}
+
+TEST(CuckooMapTest, ClearEmptiesButKeepsCapacity) {
+  Map map(SmallOpts());
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    map.Insert(i, i);
+  }
+  std::size_t slots = map.SlotCount();
+  map.Clear();
+  EXPECT_EQ(map.Size(), 0u);
+  EXPECT_EQ(map.SlotCount(), slots);
+  EXPECT_FALSE(map.Contains(5));
+  EXPECT_EQ(map.Insert(5, 50), InsertResult::kOk);
+}
+
+TEST(CuckooMapTest, LockedReadModeBehavesIdentically) {
+  Map::Options o = SmallOpts();
+  o.read_mode = ReadMode::kLocked;
+  Map map(o);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    map.Insert(i, i + 1);
+  }
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(map.Find(i, &v));
+    ASSERT_EQ(v, i + 1);
+  }
+  EXPECT_FALSE(map.Find(99999, &v));
+}
+
+TEST(CuckooMapTest, DfsSearchModeWorks) {
+  Map::Options o = SmallOpts(8, /*expand=*/false);
+  o.search_mode = SearchMode::kDfs;
+  Map map(o);
+  std::uint64_t i = 0;
+  while (map.Insert(i, i) == InsertResult::kOk) {
+    ++i;
+  }
+  EXPECT_GT(map.LoadFactor(), 0.9);
+  std::uint64_t v;
+  for (std::uint64_t k = 0; k < i; ++k) {
+    ASSERT_TRUE(map.Find(k, &v)) << k;
+  }
+}
+
+TEST(CuckooMapTest, StatsTrackOperations) {
+  Map map(SmallOpts());
+  map.Insert(1, 1);
+  map.Insert(2, 2);
+  map.Insert(1, 9);
+  std::uint64_t v;
+  map.Find(1, &v);
+  map.Find(42, &v);
+  map.Erase(2);
+  MapStatsSnapshot s = map.Stats();
+  EXPECT_EQ(s.inserts, 2);
+  EXPECT_EQ(s.duplicate_inserts, 1);
+  EXPECT_EQ(s.lookups, 2);
+  EXPECT_EQ(s.lookup_hits, 1);
+  EXPECT_EQ(s.erases, 1);
+  map.ResetStats();
+  EXPECT_EQ(map.Stats().inserts, 0);
+}
+
+TEST(CuckooMapTest, PathHistogramRecordsDisplacements) {
+  Map map(SmallOpts(8, /*expand=*/false));
+  std::uint64_t i = 0;
+  while (map.Insert(i, i) == InsertResult::kOk) {
+    ++i;
+  }
+  MapStatsSnapshot s = map.Stats();
+  EXPECT_GT(s.displacements, 0);
+  EXPECT_GT(s.path_searches, 0);
+  EXPECT_LE(s.MaxPathLength(), static_cast<std::int64_t>(map.MaxBfsDepth()));
+  EXPECT_GT(s.path_length_hist[0], 0) << "most inserts land without displacement";
+}
+
+TEST(CuckooMapTest, HeapBytesTracksCapacity) {
+  Map small(SmallOpts(8));
+  Map big(SmallOpts(12));
+  EXPECT_GT(big.HeapBytes(), small.HeapBytes());
+}
+
+TEST(CuckooMapTest, WideValuesRoundTrip) {
+  using Wide = std::array<char, 64>;
+  CuckooMap<std::uint64_t, Wide>::Options o;
+  o.initial_bucket_count_log2 = 8;
+  CuckooMap<std::uint64_t, Wide> map(o);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    Wide w{};
+    std::snprintf(w.data(), w.size(), "value-%llu", static_cast<unsigned long long>(i));
+    ASSERT_EQ(map.Insert(i, w), InsertResult::kOk);
+  }
+  Wide out{};
+  ASSERT_TRUE(map.Find(4321, &out));
+  EXPECT_STREQ(out.data(), "value-4321");
+}
+
+TEST(CuckooMapTest, FixedWidthStringKeys) {
+  struct Key {
+    std::array<char, 16> bytes{};
+    bool operator==(const Key& other) const { return bytes == other.bytes; }
+  };
+  struct KeyHash {
+    std::uint64_t operator()(const Key& k) const noexcept {
+      return XxHash64(k.bytes.data(), k.bytes.size());
+    }
+  };
+  CuckooMap<Key, int, KeyHash>::Options o;
+  o.initial_bucket_count_log2 = 8;
+  CuckooMap<Key, int, KeyHash> map(o);
+  Key a;
+  std::snprintf(a.bytes.data(), a.bytes.size(), "alpha");
+  Key b;
+  std::snprintf(b.bytes.data(), b.bytes.size(), "beta");
+  EXPECT_EQ(map.Insert(a, 1), InsertResult::kOk);
+  EXPECT_EQ(map.Insert(b, 2), InsertResult::kOk);
+  int v = 0;
+  ASSERT_TRUE(map.Find(a, &v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(map.Find(b, &v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(CuckooMapTest, LockedViewIteratesAllEntries) {
+  Map map(SmallOpts());
+  constexpr std::uint64_t kN = 2000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    map.Insert(i, i * 2);
+  }
+  std::set<std::uint64_t> seen;
+  {
+    auto view = map.Lock();
+    for (auto [key, value] : view) {
+      EXPECT_EQ(value, key * 2);
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate key in iteration";
+    }
+    EXPECT_EQ(view.Size(), kN);
+  }
+  EXPECT_EQ(seen.size(), kN);
+}
+
+TEST(CuckooMapTest, LockedViewMutation) {
+  Map map(SmallOpts());
+  map.Insert(1, 10);
+  {
+    auto view = map.Lock();
+    std::uint64_t v = 0;
+    EXPECT_TRUE(view.Find(1, &v));
+    EXPECT_EQ(v, 10u);
+    EXPECT_EQ(view.Insert(2, 20), InsertResult::kOk);
+    EXPECT_EQ(view.Insert(1, 99), InsertResult::kKeyExists);
+    EXPECT_TRUE(view.Erase(1));
+    EXPECT_FALSE(view.Erase(1));
+  }
+  EXPECT_FALSE(map.Contains(1));
+  std::uint64_t v = 0;
+  ASSERT_TRUE(map.Find(2, &v));
+  EXPECT_EQ(v, 20u);
+}
+
+TEST(CuckooMapTest, LockedViewValuesAreMutable) {
+  Map map(SmallOpts());
+  map.Insert(7, 0);
+  {
+    auto view = map.Lock();
+    for (auto [key, value] : view) {
+      value = key + 100;
+    }
+  }
+  std::uint64_t v = 0;
+  ASSERT_TRUE(map.Find(7, &v));
+  EXPECT_EQ(v, 107u);
+}
+
+TEST(CuckooMapTest, SmallStripeCountStillCorrect) {
+  Map::Options o = SmallOpts();
+  o.stripe_count = 2;  // maximal stripe collisions
+  Map map(o);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk);
+  }
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(map.Find(i, &v));
+  }
+}
+
+}  // namespace
+}  // namespace cuckoo

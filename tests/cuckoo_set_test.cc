@@ -1,0 +1,111 @@
+#include "src/cuckoo/cuckoo_set.h"
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(CuckooSetTest, AddContainsRemove) {
+  CuckooSet<std::uint64_t> set;
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_TRUE(set.Add(1));
+  EXPECT_FALSE(set.Add(1)) << "second add of the same key reports not-new";
+  EXPECT_TRUE(set.Contains(1));
+  EXPECT_EQ(set.Size(), 1u);
+  EXPECT_TRUE(set.Remove(1));
+  EXPECT_FALSE(set.Remove(1));
+  EXPECT_FALSE(set.Contains(1));
+}
+
+TEST(CuckooSetTest, TryAddReportsResult) {
+  CuckooSet<std::uint64_t> set;
+  EXPECT_EQ(set.TryAdd(5), InsertResult::kOk);
+  EXPECT_EQ(set.TryAdd(5), InsertResult::kKeyExists);
+}
+
+TEST(CuckooSetTest, ModelEquivalence) {
+  CuckooSet<std::uint64_t> set;
+  std::set<std::uint64_t> model;
+  Xorshift128Plus rng(17);
+  for (int i = 0; i < 50000; ++i) {
+    std::uint64_t k = rng.NextBelow(3000);
+    switch (rng.NextBelow(3)) {
+      case 0:
+        ASSERT_EQ(set.Add(k), model.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(set.Remove(k), model.erase(k) > 0);
+        break;
+      case 2:
+        ASSERT_EQ(set.Contains(k), model.count(k) > 0);
+        break;
+    }
+  }
+  ASSERT_EQ(set.Size(), model.size());
+}
+
+TEST(CuckooSetTest, ConcurrentAddsCountExactly) {
+  CuckooSet<std::uint64_t> set;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kKeys = 20000;
+  std::atomic<std::uint64_t> new_adds{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t k = 0; k < kKeys; ++k) {
+        if (set.Add(k)) {
+          new_adds.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(new_adds.load(), kKeys) << "each key must be 'new' exactly once across threads";
+  EXPECT_EQ(set.Size(), kKeys);
+}
+
+TEST(CuckooSetTest, ForEachVisitsAllMembers) {
+  CuckooSet<std::uint64_t> set;
+  for (std::uint64_t i = 0; i < 777; ++i) {
+    set.Add(i);
+  }
+  std::set<std::uint64_t> seen;
+  set.ForEach([&](std::uint64_t k) { EXPECT_TRUE(seen.insert(k).second); });
+  EXPECT_EQ(seen.size(), 777u);
+  EXPECT_EQ(*seen.rbegin(), 776u);
+}
+
+TEST(CuckooSetTest, MemoryStaysLean) {
+  // Size the table for the workload (131072 slots for 100K members at ~76%).
+  CuckooSet<std::uint64_t>::Options o;
+  o.initial_bucket_count_log2 = 14;
+  CuckooSet<std::uint64_t> set(o);
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    set.Add(i);
+  }
+  // Key (8B) + tag (1B) + unit-value padding: well under 24 bytes/element.
+  EXPECT_LT(static_cast<double>(set.HeapBytes()) / 100000.0, 24.0);
+}
+
+TEST(CuckooSetTest, ClearAndReuse) {
+  CuckooSet<std::uint64_t> set;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    set.Add(i);
+  }
+  set.Clear();
+  EXPECT_EQ(set.Size(), 0u);
+  EXPECT_TRUE(set.Add(1));
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,156 @@
+#include "src/baselines/dense_map.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(DenseMapTest, EmptyBasics) {
+  DenseMap<std::uint64_t, std::uint64_t> map;
+  EXPECT_EQ(map.Size(), 0u);
+  std::uint64_t v;
+  EXPECT_FALSE(map.Find(0, &v));
+  EXPECT_FALSE(map.Erase(0));
+  EXPECT_FALSE(map.Update(0, 1));
+}
+
+TEST(DenseMapTest, InsertFindUpdateErase) {
+  DenseMap<std::uint64_t, std::uint64_t> map;
+  EXPECT_EQ(map.Insert(42, 1), InsertResult::kOk);
+  EXPECT_EQ(map.Insert(42, 2), InsertResult::kKeyExists);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(map.Find(42, &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(map.Update(42, 5));
+  map.Find(42, &v);
+  EXPECT_EQ(v, 5u);
+  EXPECT_TRUE(map.Erase(42));
+  EXPECT_FALSE(map.Contains(42));
+}
+
+TEST(DenseMapTest, MaintainsHalfLoadFactor) {
+  DenseMap<std::uint64_t, std::uint64_t> map(32);
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk);
+    ASSERT_LE(map.LoadFactor(), 0.5) << "dense_hash_map-style 0.5 cap";
+  }
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(map.Find(i, &v)) << i;
+  }
+}
+
+TEST(DenseMapTest, TombstoneSlotsAreReused) {
+  DenseMap<std::uint64_t, std::uint64_t> map(64);
+  map.Insert(1, 1);
+  std::size_t cap = map.Capacity();
+  // Churn one key far more times than the capacity: without tombstone reuse
+  // or cleanup the probe chains / capacity would explode.
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(map.Erase(1));
+    ASSERT_EQ(map.Insert(1, static_cast<std::uint64_t>(i)), InsertResult::kOk);
+  }
+  EXPECT_LE(map.Capacity(), cap * 4);
+  EXPECT_EQ(map.Size(), 1u);
+}
+
+TEST(DenseMapTest, EraseInsertDifferentKeySameSlotChain) {
+  DenseMap<std::uint64_t, std::uint64_t> map(64);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    map.Insert(i, i);
+  }
+  for (std::uint64_t i = 0; i < 20; i += 2) {
+    map.Erase(i);
+  }
+  // Keys behind tombstones must stay findable.
+  std::uint64_t v;
+  for (std::uint64_t i = 1; i < 20; i += 2) {
+    ASSERT_TRUE(map.Find(i, &v)) << i;
+  }
+  for (std::uint64_t i = 0; i < 20; i += 2) {
+    ASSERT_FALSE(map.Find(i, &v)) << i;
+  }
+}
+
+TEST(DenseMapTest, ModelEquivalence) {
+  DenseMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> model;
+  Xorshift128Plus rng(11);
+  for (int i = 0; i < 60000; ++i) {
+    std::uint64_t key = rng.NextBelow(1500);
+    std::uint64_t value = rng.Next();
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        bool fresh = model.emplace(key, value).second;
+        ASSERT_EQ(map.Insert(key, value) == InsertResult::kOk, fresh);
+        break;
+      }
+      case 1: {
+        bool existed = model.find(key) != model.end();
+        ASSERT_EQ(map.Update(key, value), existed);
+        if (existed) {
+          model[key] = value;
+        }
+        break;
+      }
+      case 2:
+        ASSERT_EQ(map.Erase(key), model.erase(key) > 0);
+        break;
+      case 3: {
+        std::uint64_t v;
+        auto it = model.find(key);
+        ASSERT_EQ(map.Find(key, &v), it != model.end());
+        if (it != model.end()) {
+          ASSERT_EQ(v, it->second);
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(map.Size(), model.size());
+  for (const auto& [key, value] : model) {
+    std::uint64_t v;
+    ASSERT_TRUE(map.Find(key, &v));
+    ASSERT_EQ(v, value);
+  }
+}
+
+TEST(DenseMapTest, ForEachVisitsLiveEntriesOnly) {
+  DenseMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    map.Insert(i, i);
+  }
+  for (std::uint64_t i = 0; i < 50; i += 2) {
+    map.Erase(i);
+  }
+  std::size_t count = 0;
+  map.ForEach([&](std::uint64_t k, std::uint64_t) {
+    EXPECT_EQ(k % 2, 1u);
+    ++count;
+  });
+  EXPECT_EQ(count, 25u);
+}
+
+TEST(DenseMapTest, ClearResets) {
+  DenseMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    map.Insert(i, i);
+  }
+  map.Clear();
+  EXPECT_EQ(map.Size(), 0u);
+  EXPECT_EQ(map.Insert(7, 7), InsertResult::kOk);
+}
+
+TEST(DenseMapTest, SingleArrayMemoryAccounting) {
+  DenseMap<std::uint64_t, std::uint64_t> map(1024);
+  // 1024 slots * (16-byte pair + 1-byte state).
+  EXPECT_EQ(map.HeapBytes(), 1024u * 17u);
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,186 @@
+#include "src/htm/elided_lock.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/spinlock.h"
+#include "src/htm/rtm.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+// All tests pin the emulated engine so behaviour is host-independent; the
+// hardware path shares all control flow above RtmBegin/RtmEnd.
+class ElidedLockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = GlobalEmulatedRtmConfig();
+    RtmForceUsable(0);
+  }
+  void TearDown() override {
+    GlobalEmulatedRtmConfig() = saved_;
+    RtmForceUsable(-1);
+  }
+  EmulatedRtmConfig saved_;
+};
+
+TEST_F(ElidedLockTest, BasicLockUnlock) {
+  ElidedLock<SpinLock> lock;
+  lock.lock();
+  EXPECT_TRUE(lock.is_locked());
+  lock.unlock();
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST_F(ElidedLockTest, MutualExclusionUnderContention) {
+  GlobalEmulatedRtmConfig().abort_permille = 300;
+  ElidedLock<SpinLock> lock;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST_F(ElidedLockTest, NoAbortInjectionMeansAllCommits) {
+  GlobalEmulatedRtmConfig().abort_permille = 0;
+  ElidedLock<SpinLock> lock;
+  for (int i = 0; i < 1000; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  auto s = lock.stats().Read();
+  EXPECT_EQ(s.commits, 1000u);
+  EXPECT_EQ(s.fallback_acquisitions, 0u);
+  EXPECT_EQ(s.TotalAborts(), 0u);
+  EXPECT_DOUBLE_EQ(s.AbortRate(), 0.0);
+}
+
+TEST_F(ElidedLockTest, CertainAbortsForceFallback) {
+  // Every transactional attempt aborts without the RETRY hint: the glibc
+  // policy must take the fallback lock every time.
+  GlobalEmulatedRtmConfig().abort_permille = 1000;
+  GlobalEmulatedRtmConfig().retry_hint_permille = 0;
+  ElidedLock<SpinLock> lock(kGlibcElision);
+  for (int i = 0; i < 500; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  auto s = lock.stats().Read();
+  EXPECT_EQ(s.commits, 0u);
+  EXPECT_EQ(s.fallback_acquisitions, 500u);
+  EXPECT_GT(s.TotalAborts(), 0u);
+  EXPECT_DOUBLE_EQ(s.AbortRate(), 1.0);
+}
+
+TEST_F(ElidedLockTest, GlibcPolicyFallsBackOnFirstNoHintAbort) {
+  GlobalEmulatedRtmConfig().abort_permille = 1000;
+  GlobalEmulatedRtmConfig().retry_hint_permille = 0;  // capacity-style aborts
+  ElidedLock<SpinLock> glibc_lock(kGlibcElision);
+  glibc_lock.lock();
+  glibc_lock.unlock();
+  // One abort, immediate fallback: exactly 1 recorded abort.
+  auto s = glibc_lock.stats().Read();
+  EXPECT_EQ(s.TotalAborts(), 1u);
+  EXPECT_EQ(s.fallback_acquisitions, 1u);
+}
+
+TEST_F(ElidedLockTest, TunedPolicyRetriesWithoutHint) {
+  GlobalEmulatedRtmConfig().abort_permille = 1000;
+  GlobalEmulatedRtmConfig().retry_hint_permille = 0;
+  ElidedLock<SpinLock> tuned_lock(kTunedElision);
+  tuned_lock.lock();
+  tuned_lock.unlock();
+  // Tuned: retries max_abort_retry times beyond the first attempt.
+  auto s = tuned_lock.stats().Read();
+  EXPECT_EQ(s.TotalAborts(), static_cast<std::uint64_t>(kTunedElision.max_abort_retry) + 1);
+  EXPECT_EQ(s.fallback_acquisitions, 1u);
+}
+
+TEST_F(ElidedLockTest, RetryHintedAbortsRetryUpToXbeginBudget) {
+  GlobalEmulatedRtmConfig().abort_permille = 1000;
+  GlobalEmulatedRtmConfig().retry_hint_permille = 1000;  // all aborts hinted
+  ElidedLock<SpinLock> lock(kTunedElision);
+  lock.lock();
+  lock.unlock();
+  auto s = lock.stats().Read();
+  EXPECT_EQ(s.TotalAborts(), static_cast<std::uint64_t>(kTunedElision.max_xbegin_retry));
+  EXPECT_EQ(s.fallback_acquisitions, 1u);
+}
+
+TEST_F(ElidedLockTest, AbortCauseClassification) {
+  GlobalEmulatedRtmConfig().abort_permille = 1000;
+  GlobalEmulatedRtmConfig().retry_hint_permille = 1000;  // all conflicts
+  ElidedLock<SpinLock> lock(kGlibcElision);
+  lock.lock();
+  lock.unlock();
+  auto s = lock.stats().Read();
+  EXPECT_EQ(s.aborts_conflict, s.TotalAborts());
+  EXPECT_EQ(s.aborts_capacity, 0u);
+}
+
+TEST_F(ElidedLockTest, BusyLockCountsAsExplicitAbort) {
+  GlobalEmulatedRtmConfig().abort_permille = 0;  // transactions always start
+  ElidedLock<SpinLock> lock(kTunedElision);
+  lock.lock();  // emulated transactional hold
+  std::thread contender([&lock] {
+    lock.lock();  // sees the inner lock busy -> explicit aborts -> fallback
+    lock.unlock();
+  });
+  // Give the contender time to burn its retries against the held lock.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lock.unlock();
+  contender.join();
+  auto s = lock.stats().Read();
+  EXPECT_GT(s.aborts_explicit, 0u);
+}
+
+TEST_F(ElidedLockTest, StatsResetClearsEverything) {
+  GlobalEmulatedRtmConfig().abort_permille = 500;
+  ElidedLock<SpinLock> lock;
+  for (int i = 0; i < 100; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  lock.stats().Reset();
+  auto s = lock.stats().Read();
+  EXPECT_EQ(s.commits + s.TotalAborts() + s.fallback_acquisitions, 0u);
+}
+
+TEST_F(ElidedLockTest, DefaultConstructiblePolicyWrappers) {
+  GlibcElided<SpinLock> glibc_lock;
+  TunedElided<SpinLock> tuned_lock;
+  EXPECT_EQ(glibc_lock.policy().max_xbegin_retry, kGlibcElision.max_xbegin_retry);
+  EXPECT_EQ(tuned_lock.policy().max_xbegin_retry, kTunedElision.max_xbegin_retry);
+  glibc_lock.lock();
+  glibc_lock.unlock();
+  tuned_lock.lock();
+  tuned_lock.unlock();
+}
+
+TEST_F(ElidedLockTest, WorksWithLockGuard) {
+  ElidedLock<SpinLock> lock;
+  {
+    std::lock_guard<ElidedLock<SpinLock>> g(lock);
+    EXPECT_TRUE(lock.is_locked());
+  }
+  EXPECT_FALSE(lock.is_locked());
+}
+
+}  // namespace
+}  // namespace cuckoo

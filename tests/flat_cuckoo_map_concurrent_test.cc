@@ -1,0 +1,171 @@
+// Multi-threaded behaviour of FlatCuckooMap: Algorithm 2 ("lock later")
+// must support concurrent writers through any global lock type, and
+// optimistic readers must never observe torn or missing data.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/cuckoo/flat_cuckoo_map.h"
+#include "src/htm/elided_lock.h"
+#include "src/htm/rtm.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+FlatOptions ConcurrentOpts() {
+  FlatOptions o;
+  o.bucket_count_log2 = 13;  // 32K slots at B=4
+  o.search_mode = SearchMode::kBfs;
+  o.lock_after_discovery = true;
+  o.prefetch = true;
+  return o;
+}
+
+template <typename MapT>
+void RunDisjointWriters(MapT& map, std::uint64_t per_thread) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, per_thread, t] {
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        std::uint64_t key = i * kThreads + static_cast<std::uint64_t>(t);
+        EXPECT_EQ(map.Insert(key, key * 2), InsertResult::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(map.Size(), per_thread * kThreads);
+  std::uint64_t v;
+  for (std::uint64_t k = 0; k < per_thread * kThreads; ++k) {
+    EXPECT_TRUE(map.Find(k, &v)) << k;
+    EXPECT_EQ(v, k * 2);
+  }
+}
+
+TEST(FlatConcurrentTest, MultiWriterWithSpinLock) {
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> map(ConcurrentOpts());
+  RunDisjointWriters(map, 6000);
+}
+
+TEST(FlatConcurrentTest, MultiWriterWithMutex) {
+  FlatCuckooMap<std::uint64_t, std::uint64_t, std::mutex> map(ConcurrentOpts());
+  RunDisjointWriters(map, 6000);
+}
+
+TEST(FlatConcurrentTest, MultiWriterWithTunedElision) {
+  RtmForceUsable(0);
+  FlatCuckooMap<std::uint64_t, std::uint64_t, TunedElided<SpinLock>> map(ConcurrentOpts());
+  RunDisjointWriters(map, 6000);
+  auto s = map.global_lock().stats().Read();
+  EXPECT_GT(s.commits + s.fallback_acquisitions, 0u);
+  RtmForceUsable(-1);
+}
+
+TEST(FlatConcurrentTest, MultiWriterWithGlibcElision) {
+  RtmForceUsable(0);
+  FlatCuckooMap<std::uint64_t, std::uint64_t, GlibcElided<SpinLock>> map(ConcurrentOpts());
+  RunDisjointWriters(map, 6000);
+  RtmForceUsable(-1);
+}
+
+TEST(FlatConcurrentTest, Algorithm1AlsoSafeWithRealLock) {
+  // Lock-first (Algorithm 1) holds the lock across search+execute: slower,
+  // but must still be correct with concurrent writers.
+  FlatOptions o = ConcurrentOpts();
+  o.lock_after_discovery = false;
+  o.search_mode = SearchMode::kDfs;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> map(o);
+  RunDisjointWriters(map, 4000);
+}
+
+TEST(FlatConcurrentTest, ReadersNeverMissResidentKeysDuringInserts) {
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> map(ConcurrentOpts());
+  constexpr std::uint64_t kResident = 24000;  // ~73% of 32K slots
+  for (std::uint64_t i = 0; i < kResident; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t key = static_cast<std::uint64_t>(r);
+      std::uint64_t v;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!map.Find(key % kResident, &v) || v != key % kResident) {
+          misses.fetch_add(1);
+        }
+        ++key;
+      }
+    });
+  }
+  std::thread writer([&map] {
+    // Push occupancy up, forcing displacement of resident keys.
+    for (std::uint64_t i = kResident; i < kResident + 6000; ++i) {
+      map.Insert(i, i);
+    }
+  });
+  writer.join();
+  stop.store(true);
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(misses.load(), 0u);
+}
+
+TEST(FlatConcurrentTest, PathInvalidationsAreObservedAndRecovered) {
+  // With many writers and a small table, some unlocked path discoveries go
+  // stale and the Algorithm 2 retry loop must recover without losing inserts.
+  FlatOptions o;
+  o.bucket_count_log2 = 9;  // 2K slots: heavy collision pressure
+  o.search_mode = SearchMode::kBfs;
+  o.lock_after_discovery = true;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> map(o);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 450;  // ~88% aggregate fill
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        std::uint64_t key = i * kThreads + static_cast<std::uint64_t>(t);
+        EXPECT_EQ(map.Insert(key, key), InsertResult::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(map.Size(), kPerThread * kThreads);
+}
+
+TEST(FlatConcurrentTest, ConcurrentErasesAndInsertsOnSharedKeys) {
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> map(ConcurrentOpts());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      const std::uint64_t base = static_cast<std::uint64_t>(t) * 5000;
+      for (int round = 0; round < 15; ++round) {
+        for (std::uint64_t i = 0; i < 5000; ++i) {
+          EXPECT_EQ(map.Insert(base + i, i), InsertResult::kOk);
+        }
+        for (std::uint64_t i = 0; i < 5000; ++i) {
+          EXPECT_TRUE(map.Erase(base + i));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(map.Size(), 0u);
+}
+
+}  // namespace
+}  // namespace cuckoo

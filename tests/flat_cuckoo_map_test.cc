@@ -1,0 +1,219 @@
+// Single-threaded behaviour of FlatCuckooMap across every factor-analysis
+// knob combination from §6.1: all variants must be functionally identical;
+// only their internal path statistics differ.
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/random.h"
+#include "src/cuckoo/flat_cuckoo_map.h"
+#include "src/htm/elided_lock.h"
+#include "src/htm/rtm.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+struct Knobs {
+  SearchMode search;
+  bool lock_after;
+  bool prefetch;
+};
+
+class FlatKnobTest : public ::testing::TestWithParam<Knobs> {};
+
+TEST_P(FlatKnobTest, ModelEquivalenceUnderRandomOps) {
+  const Knobs knobs = GetParam();
+  FlatOptions o;
+  o.bucket_count_log2 = 8;
+  o.search_mode = knobs.search;
+  o.lock_after_discovery = knobs.lock_after;
+  o.prefetch = knobs.prefetch;
+  FlatCuckooMap<std::uint64_t, std::uint64_t> map(o);
+  std::unordered_map<std::uint64_t, std::uint64_t> model;
+
+  Xorshift128Plus rng(7);
+  for (int step = 0; step < 40000; ++step) {
+    std::uint64_t key = rng.NextBelow(900);
+    std::uint64_t value = rng.Next();
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        bool fresh = model.find(key) == model.end();
+        InsertResult r = map.Insert(key, value);
+        if (r == InsertResult::kTableFull) {
+          break;  // fixed-size table may legitimately fill
+        }
+        ASSERT_EQ(r == InsertResult::kOk, fresh);
+        if (fresh) {
+          model[key] = value;
+        }
+        break;
+      }
+      case 1: {
+        bool existed = model.find(key) != model.end();
+        ASSERT_EQ(map.Update(key, value), existed);
+        if (existed) {
+          model[key] = value;
+        }
+        break;
+      }
+      case 2: {
+        ASSERT_EQ(map.Erase(key), model.erase(key) > 0);
+        break;
+      }
+      case 3: {
+        std::uint64_t v = 0;
+        auto it = model.find(key);
+        ASSERT_EQ(map.Find(key, &v), it != model.end());
+        if (it != model.end()) {
+          ASSERT_EQ(v, it->second);
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(map.Size(), model.size());
+  for (const auto& [key, value] : model) {
+    std::uint64_t v = 0;
+    ASSERT_TRUE(map.Find(key, &v));
+    ASSERT_EQ(v, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, FlatKnobTest,
+    ::testing::Values(Knobs{SearchMode::kDfs, false, false},   // MemC3 baseline
+                      Knobs{SearchMode::kDfs, true, false},    // +lock later
+                      Knobs{SearchMode::kBfs, true, false},    // +BFS
+                      Knobs{SearchMode::kBfs, true, true},     // +prefetch
+                      Knobs{SearchMode::kBfs, false, true}),
+    [](const ::testing::TestParamInfo<Knobs>& param_info) {
+      return std::string(ToString(param_info.param.search)) +
+             (param_info.param.lock_after ? "_locklater" : "_lockfirst") +
+             (param_info.param.prefetch ? "_prefetch" : "_noprefetch");
+    });
+
+TEST(FlatCuckooMapTest, FixedSizeReportsTableFull) {
+  FlatOptions o;
+  o.bucket_count_log2 = 6;  // 256 slots at B=4
+  FlatCuckooMap<std::uint64_t, std::uint64_t> map(o);
+  std::uint64_t i = 0;
+  while (map.Insert(i, i) == InsertResult::kOk) {
+    ++i;
+  }
+  // The failed search is randomized (DFS), so the *same* key may succeed on a
+  // retry; the durable invariants are high occupancy, an eventual hard stop,
+  // and intact contents.
+  EXPECT_GT(map.Stats().insert_failures, 0);
+  EXPECT_GT(map.LoadFactor(), 0.85);
+  EXPECT_EQ(map.SlotCount(), 256u);
+  // Contents intact at the failure point.
+  std::uint64_t v;
+  for (std::uint64_t k = 0; k < i; ++k) {
+    ASSERT_TRUE(map.Find(k, &v)) << k;
+  }
+}
+
+TEST(FlatCuckooMapTest, DfsPathsLongerThanBfsAtHighLoad) {
+  auto fill = [](SearchMode mode) {
+    FlatOptions o;
+    o.bucket_count_log2 = 12;
+    o.search_mode = mode;
+    o.lock_after_discovery = true;
+    FlatCuckooMap<std::uint64_t, std::uint64_t> map(o);
+    std::uint64_t i = 0;
+    while (map.Insert(i, i) == InsertResult::kOk) {
+      ++i;
+    }
+    return map.Stats();
+  };
+  MapStatsSnapshot dfs = fill(SearchMode::kDfs);
+  MapStatsSnapshot bfs = fill(SearchMode::kBfs);
+  EXPECT_GT(dfs.MaxPathLength(), bfs.MaxPathLength());
+  EXPECT_GT(dfs.MeanPathLength(), bfs.MeanPathLength());
+  EXPECT_LE(bfs.MaxPathLength(), static_cast<std::int64_t>(MaxBfsPathLength(4, 2000)));
+  EXPECT_LE(dfs.MaxPathLength(), 250);
+}
+
+TEST(FlatCuckooMapTest, GlobalLockTypesAreInterchangeable) {
+  // The same workload through a pthread mutex, a raw spinlock, and both
+  // elision policies (emulated RTM) must produce identical contents.
+  RtmForceUsable(0);
+  auto run = [](auto& map) {
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+      EXPECT_EQ(map.Insert(i, i * 3), InsertResult::kOk);
+    }
+    std::uint64_t v = 0;
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+      EXPECT_TRUE(map.Find(i, &v));
+      EXPECT_EQ(v, i * 3);
+    }
+  };
+  FlatOptions o;
+  o.bucket_count_log2 = 10;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, std::mutex> mutex_map(o);
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> spin_map(o);
+  FlatCuckooMap<std::uint64_t, std::uint64_t, GlibcElided<SpinLock>> glibc_map(o);
+  FlatCuckooMap<std::uint64_t, std::uint64_t, TunedElided<SpinLock>> tuned_map(o);
+  run(mutex_map);
+  run(spin_map);
+  run(glibc_map);
+  run(tuned_map);
+  // Elided locks accumulated statistics.
+  auto s = tuned_map.global_lock().stats().Read();
+  EXPECT_GT(s.commits + s.fallback_acquisitions, 0u);
+  RtmForceUsable(-1);
+}
+
+TEST(FlatCuckooMapTest, NullLockVariantForSingleThreadBench) {
+  FlatOptions o;
+  o.bucket_count_log2 = 8;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, NullLock> map(o);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk);
+  }
+  EXPECT_EQ(map.Size(), 500u);
+}
+
+TEST(FlatCuckooMapTest, HigherAssociativityTemplateParameter) {
+  FlatOptions o;
+  o.bucket_count_log2 = 8;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock, DefaultHash<std::uint64_t>,
+                std::equal_to<std::uint64_t>, 8>
+      map8(o);
+  std::uint64_t i = 0;
+  while (map8.Insert(i, i) == InsertResult::kOk) {
+    ++i;
+  }
+  EXPECT_GT(map8.LoadFactor(), 0.93);
+}
+
+TEST(FlatCuckooMapTest, StatsExposePathSearchActivity) {
+  FlatOptions o;
+  o.bucket_count_log2 = 8;
+  o.lock_after_discovery = true;
+  FlatCuckooMap<std::uint64_t, std::uint64_t> map(o);
+  std::uint64_t i = 0;
+  while (map.Insert(i, i) == InsertResult::kOk) {
+    ++i;
+  }
+  MapStatsSnapshot s = map.Stats();
+  EXPECT_GT(s.path_searches, 0);
+  EXPECT_GT(s.displacements, 0);
+  EXPECT_EQ(s.inserts, static_cast<std::int64_t>(i));
+  EXPECT_EQ(s.insert_failures, 1);
+}
+
+TEST(FlatCuckooMapTest, HeapBytesIncludesCoreAndStripes) {
+  FlatOptions o;
+  o.bucket_count_log2 = 8;
+  o.version_stripe_count = 64;
+  FlatCuckooMap<std::uint64_t, std::uint64_t> map(o);
+  // 256 buckets * 4 slots * 16 B/pair + 1024 tag bytes + 64 stripe lines.
+  EXPECT_EQ(map.HeapBytes(), 256u * 4u * 16u + 1024u + 64u * kCacheLineSize);
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,94 @@
+#include "src/baselines/global_lock_map.h"
+
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/chaining_map.h"
+#include "src/baselines/dense_map.h"
+#include "src/common/spinlock.h"
+#include "src/htm/elided_lock.h"
+#include "src/htm/rtm.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+template <typename MapT>
+void ExerciseConcurrently(MapT& map) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 8000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        std::uint64_t key = i * kThreads + static_cast<std::uint64_t>(t);
+        EXPECT_EQ(map.Insert(key, key + 7), InsertResult::kOk);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(map.Size(), kPerThread * kThreads);
+  std::uint64_t v;
+  for (std::uint64_t k = 0; k < kPerThread * kThreads; ++k) {
+    ASSERT_TRUE(map.Find(k, &v)) << k;
+    ASSERT_EQ(v, k + 7);
+  }
+}
+
+TEST(GlobalLockMapTest, ChainingUnderMutex) {
+  GlobalLockMap<ChainingMap<std::uint64_t, std::uint64_t>, std::mutex> map;
+  ExerciseConcurrently(map);
+}
+
+TEST(GlobalLockMapTest, ChainingUnderSpinLock) {
+  GlobalLockMap<ChainingMap<std::uint64_t, std::uint64_t>, SpinLock> map;
+  ExerciseConcurrently(map);
+}
+
+TEST(GlobalLockMapTest, DenseUnderMutex) {
+  GlobalLockMap<DenseMap<std::uint64_t, std::uint64_t>, std::mutex> map;
+  ExerciseConcurrently(map);
+}
+
+TEST(GlobalLockMapTest, DenseUnderTunedElision) {
+  RtmForceUsable(0);
+  GlobalLockMap<DenseMap<std::uint64_t, std::uint64_t>, TunedElided<SpinLock>> map;
+  ExerciseConcurrently(map);
+  auto s = map.global_lock().stats().Read();
+  EXPECT_GT(s.commits + s.fallback_acquisitions, 0u);
+  RtmForceUsable(-1);
+}
+
+TEST(GlobalLockMapTest, ChainingUnderGlibcElision) {
+  RtmForceUsable(0);
+  GlobalLockMap<ChainingMap<std::uint64_t, std::uint64_t>, GlibcElided<SpinLock>> map;
+  ExerciseConcurrently(map);
+  RtmForceUsable(-1);
+}
+
+TEST(GlobalLockMapTest, ForwardsConstructorArguments) {
+  GlobalLockMap<ChainingMap<std::uint64_t, std::uint64_t>, std::mutex> map(1 << 12);
+  EXPECT_EQ(map.inner().BucketCount(), 1u << 12);
+}
+
+TEST(GlobalLockMapTest, SequentialSemanticsPreserved) {
+  GlobalLockMap<DenseMap<std::uint64_t, std::uint64_t>, SpinLock> map;
+  EXPECT_EQ(map.Insert(1, 1), InsertResult::kOk);
+  EXPECT_EQ(map.Insert(1, 2), InsertResult::kKeyExists);
+  EXPECT_EQ(map.Upsert(1, 3), InsertResult::kKeyExists);
+  std::uint64_t v;
+  ASSERT_TRUE(map.Find(1, &v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_TRUE(map.Update(1, 4));
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Contains(1));
+  EXPECT_GT(map.HeapBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cuckoo

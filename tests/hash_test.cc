@@ -1,0 +1,150 @@
+#include "src/common/hash.h"
+
+#include <array>
+#include <cstring>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(XxHash64Test, DeterministicForSameInput) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(XxHash64(data.data(), data.size()), XxHash64(data.data(), data.size()));
+}
+
+TEST(XxHash64Test, SeedChangesHash) {
+  const std::string data = "payload";
+  EXPECT_NE(XxHash64(data.data(), data.size(), 1), XxHash64(data.data(), data.size(), 2));
+}
+
+TEST(XxHash64Test, LengthChangesHash) {
+  const std::string data = "abcdefgh";
+  EXPECT_NE(XxHash64(data.data(), 7), XxHash64(data.data(), 8));
+}
+
+TEST(XxHash64Test, EmptyInputIsStable) {
+  EXPECT_EQ(XxHash64(nullptr, 0), XxHash64(nullptr, 0));
+  EXPECT_NE(XxHash64(nullptr, 0, 0), XxHash64(nullptr, 0, 1));
+}
+
+TEST(XxHash64Test, CoversAllTailPaths) {
+  // Lengths straddling the 32-byte block loop and 8/4/1-byte tails.
+  std::vector<unsigned char> buf(100, 0xab);
+  std::set<std::uint64_t> hashes;
+  for (std::size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 31u, 32u, 33u, 63u, 64u, 100u}) {
+    hashes.insert(XxHash64(buf.data(), len));
+  }
+  EXPECT_EQ(hashes.size(), 13u) << "every length class should hash differently";
+}
+
+TEST(XxHash64Test, SingleBitFlipsChangeHash) {
+  std::array<unsigned char, 40> buf{};
+  const std::uint64_t base = XxHash64(buf.data(), buf.size());
+  for (std::size_t byte = 0; byte < buf.size(); ++byte) {
+    buf[byte] ^= 1;
+    EXPECT_NE(XxHash64(buf.data(), buf.size()), base) << "byte " << byte;
+    buf[byte] ^= 1;
+  }
+}
+
+TEST(XxHash64Test, OutputBitsLookBalanced) {
+  // Coarse avalanche check: each output bit should be ~50% across many inputs.
+  constexpr int kSamples = 4096;
+  int bit_counts[64] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    std::uint64_t h = XxHash64(&i, sizeof(i));
+    for (int b = 0; b < 64; ++b) {
+      bit_counts[b] += static_cast<int>((h >> b) & 1);
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_GT(bit_counts[b], kSamples * 2 / 5) << "bit " << b;
+    EXPECT_LT(bit_counts[b], kSamples * 3 / 5) << "bit " << b;
+  }
+}
+
+TEST(Mix64Test, InjectiveOnSample) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 200000; ++i) {
+    EXPECT_TRUE(seen.insert(Mix64(i)).second) << i;
+  }
+}
+
+TEST(Fmix64Test, DiffersFromMix64) {
+  int same = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (Mix64(i) == Fmix64(i)) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(DefaultHashTest, IntegralKeysAreMixed) {
+  DefaultHash<std::uint64_t> h;
+  // Sequential keys must not produce sequential hashes (std::hash identity
+  // would be fatal for cuckoo bucket derivation).
+  EXPECT_NE(h(1) + 1, h(2));
+  EXPECT_NE(h(0), 0u);
+}
+
+TEST(DefaultHashTest, StringKeysUseContent) {
+  DefaultHash<std::string> h;
+  EXPECT_EQ(h(std::string("abc")), h(std::string("abc")));
+  EXPECT_NE(h(std::string("abc")), h(std::string("abd")));
+}
+
+TEST(DefaultHashTest, EnumKeysWork) {
+  enum class Color : std::uint32_t { kRed = 1, kBlue = 2 };
+  DefaultHash<Color> h;
+  EXPECT_NE(h(Color::kRed), h(Color::kBlue));
+}
+
+TEST(HashedKeyTest, TagNeverZero) {
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    EXPECT_NE(HashedKey::From(Mix64(i)).tag, 0) << i;
+  }
+  // Hash whose top byte is zero still yields a nonzero tag.
+  EXPECT_EQ(HashedKey::From(0).tag, 1);
+}
+
+class HashedKeyBucketTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HashedKeyBucketTest, AltBucketIsInvolutive) {
+  const std::size_t mask = GetParam() - 1;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    HashedKey h = HashedKey::From(Mix64(i));
+    std::size_t b1 = h.Bucket1(mask);
+    std::size_t b2 = h.AltBucket(b1, mask);
+    ASSERT_LE(b1, mask);
+    ASSERT_LE(b2, mask);
+    EXPECT_NE(b1, b2) << "alternate bucket must differ";
+    EXPECT_EQ(h.AltBucket(b2, mask), b1) << "alt(alt(b)) must return to b";
+    EXPECT_EQ(h.Bucket2(mask), b2);
+  }
+}
+
+TEST_P(HashedKeyBucketTest, BucketsCoverTheTable) {
+  const std::size_t buckets = GetParam();
+  const std::size_t mask = buckets - 1;
+  std::vector<int> histogram(buckets, 0);
+  const std::uint64_t n = buckets * 64;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ++histogram[HashedKey::From(Mix64(i)).Bucket1(mask)];
+  }
+  // Every bucket should receive something at 64x average.
+  for (std::size_t b = 0; b < buckets; ++b) {
+    EXPECT_GT(histogram[b], 0) << "bucket " << b << " never hit";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, HashedKeyBucketTest,
+                         ::testing::Values(2, 8, 64, 1024, 65536));
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,182 @@
+// Cross-module integration tests: every table type driven through the same
+// bench harness, the paper's memory-efficiency claim checked end to end, and
+// the factor-analysis variant chain (§6.1) validated for functional
+// equivalence.
+#include <cstdint>
+#include <mutex>
+
+#include "src/baselines/chaining_map.h"
+#include "src/baselines/concurrent_chaining_map.h"
+#include "src/baselines/dense_map.h"
+#include "src/baselines/global_lock_map.h"
+#include "src/benchkit/runner.h"
+#include "src/cuckoo/cuckoo_map.h"
+#include "src/cuckoo/flat_cuckoo_map.h"
+#include "src/htm/elided_lock.h"
+#include "src/htm/rtm.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+constexpr std::uint64_t kKeys = 30000;
+
+template <typename MapT>
+void RunAndVerify(MapT& map, int threads) {
+  RunOptions ro;
+  ro.threads = threads;
+  ro.insert_fraction = 0.5;
+  ro.total_inserts = kKeys;
+  RunResult result = RunMixedFill(map, ro);
+  EXPECT_EQ(result.FailedInserts(), 0u);
+  EXPECT_EQ(map.Size(), kKeys);
+  // Spot-check contents: the runner inserts KeyForId(id, seed).
+  typename MapT::ValueType v{};
+  for (std::uint64_t id = 0; id < kKeys; id += 997) {
+    EXPECT_TRUE(map.Find(KeyForId(id, ro.seed), &v)) << id;
+  }
+  EXPECT_GT(result.OverallMops(), 0.0);
+}
+
+TEST(IntegrationTest, AllTableTypesUnderTheSameHarness) {
+  {
+    CuckooMap<std::uint64_t, std::uint64_t>::Options o;
+    o.initial_bucket_count_log2 = 12;
+    CuckooMap<std::uint64_t, std::uint64_t> map(o);
+    RunAndVerify(map, 4);
+  }
+  {
+    FlatOptions o;
+    o.bucket_count_log2 = 13;
+    o.lock_after_discovery = true;
+    o.search_mode = SearchMode::kBfs;
+    FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> map(o);
+    RunAndVerify(map, 4);
+  }
+  {
+    ConcurrentChainingMap<std::uint64_t, std::uint64_t> map(1 << 13);
+    RunAndVerify(map, 4);
+  }
+  {
+    GlobalLockMap<ChainingMap<std::uint64_t, std::uint64_t>, std::mutex> map;
+    RunAndVerify(map, 2);
+  }
+  {
+    GlobalLockMap<DenseMap<std::uint64_t, std::uint64_t>, SpinLock> map;
+    RunAndVerify(map, 2);
+  }
+}
+
+TEST(IntegrationTest, CuckooUsesLessMemoryThanChainingDesigns) {
+  // §6.2 / Figure 1 caption: cuckoo+ uses 2-3x less memory than the TBB-style
+  // table for 16-byte pairs at the same key count.
+  constexpr std::uint64_t kN = 100000;
+
+  CuckooMap<std::uint64_t, std::uint64_t>::Options o;
+  o.initial_bucket_count_log2 = 14;  // 131072 slots -> ~76% load
+  o.auto_expand = false;
+  CuckooMap<std::uint64_t, std::uint64_t> cuckoo_map(o);
+  ConcurrentChainingMap<std::uint64_t, std::uint64_t> tbb_like(1 << 14);
+  ChainingMap<std::uint64_t, std::uint64_t> chaining;
+
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(cuckoo_map.Insert(i, i), InsertResult::kOk);
+    ASSERT_EQ(tbb_like.Insert(i, i), InsertResult::kOk);
+    ASSERT_EQ(chaining.Insert(i, i), InsertResult::kOk);
+  }
+  double ratio_tbb = static_cast<double>(tbb_like.HeapBytes()) /
+                     static_cast<double>(cuckoo_map.HeapBytes());
+  EXPECT_GT(ratio_tbb, 1.2) << "pointer-chained table must cost more per item";
+  EXPECT_GT(chaining.HeapBytes(), cuckoo_map.HeapBytes() / 2)
+      << "sanity: chaining nodes are not free";
+}
+
+TEST(IntegrationTest, FactorAnalysisVariantsAgreeFunctionally) {
+  // Every cumulative variant from Figure 5 inserts the same key set; all must
+  // agree on the final contents.
+  RtmForceUsable(0);
+  FlatOptions base;
+  base.bucket_count_log2 = 12;
+
+  auto fill_and_checksum = [](auto& map) {
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+      EXPECT_EQ(map.Insert(KeyForId(i), i), InsertResult::kOk);
+    }
+    std::uint64_t checksum = 0;
+    std::uint64_t v = 0;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+      EXPECT_TRUE(map.Find(KeyForId(i), &v));
+      checksum += v;
+    }
+    return checksum;
+  };
+
+  FlatOptions cfg1 = base;  // "cuckoo"
+  cfg1.search_mode = SearchMode::kDfs;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> v1(cfg1);
+
+  FlatOptions cfg2 = cfg1;  // "+lock later"
+  cfg2.lock_after_discovery = true;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> v2(cfg2);
+
+  FlatOptions cfg3 = cfg2;  // "+BFS"
+  cfg3.search_mode = SearchMode::kBfs;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> v3(cfg3);
+
+  FlatOptions cfg4 = cfg3;  // "+prefetch"
+  cfg4.prefetch = true;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, SpinLock> v4(cfg4);
+
+  FlatCuckooMap<std::uint64_t, std::uint64_t, GlibcElided<SpinLock>> v5(cfg4);  // +TSX-glibc
+  FlatCuckooMap<std::uint64_t, std::uint64_t, TunedElided<SpinLock>> v6(cfg4);  // +TSX*
+
+  std::uint64_t expected = fill_and_checksum(v1);
+  EXPECT_EQ(fill_and_checksum(v2), expected);
+  EXPECT_EQ(fill_and_checksum(v3), expected);
+  EXPECT_EQ(fill_and_checksum(v4), expected);
+  EXPECT_EQ(fill_and_checksum(v5), expected);
+  EXPECT_EQ(fill_and_checksum(v6), expected);
+  RtmForceUsable(-1);
+}
+
+TEST(IntegrationTest, ElisionStatsFlowThroughFlatMap) {
+  RtmForceUsable(0);
+  GlobalEmulatedRtmConfig().abort_permille = 300;
+  FlatOptions o;
+  o.bucket_count_log2 = 12;
+  o.lock_after_discovery = true;
+  o.search_mode = SearchMode::kBfs;
+  FlatCuckooMap<std::uint64_t, std::uint64_t, TunedElided<SpinLock>> map(o);
+  RunOptions ro;
+  ro.threads = 4;
+  ro.insert_fraction = 1.0;
+  ro.total_inserts = 20000;
+  RunMixedFill(map, ro);
+  auto s = map.global_lock().stats().Read();
+  EXPECT_GT(s.commits, 0u);
+  EXPECT_GT(s.TotalAborts(), 0u);
+  EXPECT_GT(s.AbortRate(), 0.05);
+  EXPECT_LT(s.AbortRate(), 0.95);
+  GlobalEmulatedRtmConfig() = EmulatedRtmConfig{};
+  RtmForceUsable(-1);
+}
+
+TEST(IntegrationTest, HighOccupancySegmentsAreSlower) {
+  // The qualitative heart of Figures 5/9: insert throughput at 0.9-0.95
+  // occupancy is lower than at low occupancy (more displacement work).
+  CuckooMap<std::uint64_t, std::uint64_t>::Options o;
+  o.initial_bucket_count_log2 = 14;
+  o.auto_expand = false;
+  CuckooMap<std::uint64_t, std::uint64_t> map(o);
+  RunOptions ro;
+  ro.threads = 1;  // single thread: no scheduler noise in the comparison
+  ro.total_inserts = static_cast<std::uint64_t>(map.SlotCount() * 0.95);
+  RunResult result = RunMixedFill(map, ro);
+  double low = result.MopsBetween(0.0, 0.79);
+  double high = result.MopsBetween(0.94, 1.0);
+  EXPECT_GT(low, high) << "fills must slow down near capacity";
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,270 @@
+// Memcached semantics on KvService: TTL expiry (with an injected clock),
+// cas/gets optimistic concurrency, touch, and the UNIX-socket server
+// end-to-end.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kvserver/kv_service.h"
+#include "src/kvserver/socket_server.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+// Service with a controllable clock.
+struct TimedService {
+  std::shared_ptr<std::atomic<std::uint64_t>> now =
+      std::make_shared<std::atomic<std::uint64_t>>(1000);
+  KvService service;
+
+  TimedService()
+      : service([this] {
+          KvService::Options o;
+          auto clock_now = now;
+          o.clock = [clock_now] { return clock_now->load(); };
+          return o;
+        }()) {}
+};
+
+TEST(KvTtlTest, EntryExpiresAfterDeadline) {
+  TimedService ts;
+  auto conn = ts.service.Connect();
+  std::string out;
+  conn.Drive("set k 0 10 3\r\nabc\r\n", &out);  // expires at t=1010
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "VALUE k 0 3\r\nabc\r\nEND\r\n");
+
+  ts.now->store(1009);
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "VALUE k 0 3\r\nabc\r\nEND\r\n") << "one second before the deadline";
+
+  ts.now->store(1010);
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "END\r\n") << "at the deadline the entry is gone";
+  EXPECT_EQ(ts.service.Expirations(), 1u);
+  EXPECT_EQ(ts.service.ItemCount(), 0u) << "lazy expiry reclaims the slot";
+}
+
+TEST(KvTtlTest, ZeroExptimeNeverExpires) {
+  TimedService ts;
+  auto conn = ts.service.Connect();
+  std::string out;
+  conn.Drive("set k 0 0 1\r\nx\r\n", &out);
+  ts.now->store(1000000000);
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "VALUE k 0 1\r\nx\r\nEND\r\n");
+}
+
+TEST(KvTtlTest, TouchExtendsLifetime) {
+  TimedService ts;
+  auto conn = ts.service.Connect();
+  std::string out;
+  conn.Drive("set k 0 10 1\r\nx\r\n", &out);
+  out.clear();
+  conn.Drive("touch k 100\r\n", &out);
+  EXPECT_EQ(out, "TOUCHED\r\n");
+  ts.now->store(1050);  // past the original deadline, inside the touched one
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "VALUE k 0 1\r\nx\r\nEND\r\n");
+  ts.now->store(1101);
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "END\r\n");
+}
+
+TEST(KvTtlTest, TouchMissingOrExpiredIsNotFound) {
+  TimedService ts;
+  auto conn = ts.service.Connect();
+  std::string out;
+  conn.Drive("touch nope 5\r\n", &out);
+  EXPECT_EQ(out, "NOT_FOUND\r\n");
+  out.clear();
+  conn.Drive("set k 0 1 1\r\nx\r\n", &out);
+  ts.now->store(2000);
+  out.clear();
+  conn.Drive("touch k 5\r\n", &out);
+  EXPECT_EQ(out, "NOT_FOUND\r\n") << "touching an expired entry must not resurrect it";
+}
+
+TEST(KvTtlTest, SetOverwritesExpiredEntry) {
+  TimedService ts;
+  auto conn = ts.service.Connect();
+  std::string out;
+  conn.Drive("set k 0 1 1\r\na\r\n", &out);
+  ts.now->store(5000);
+  out.clear();
+  conn.Drive("set k 0 0 1\r\nb\r\nget k\r\n", &out);
+  EXPECT_EQ(out, "STORED\r\nVALUE k 0 1\r\nb\r\nEND\r\n");
+}
+
+TEST(KvCasTest, GetsReturnsCasIdAndCasSucceedsWithIt) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("set k 0 0 1\r\na\r\n", &out);
+  out.clear();
+  conn.Drive("gets k\r\n", &out);
+  // Extract the cas id: "VALUE k 0 1 <id>\r\na\r\nEND\r\n".
+  ASSERT_EQ(out.rfind("VALUE k 0 1 ", 0), 0u) << out;
+  std::size_t id_start = std::string("VALUE k 0 1 ").size();
+  std::size_t id_end = out.find("\r\n", id_start);
+  std::string cas_id = out.substr(id_start, id_end - id_start);
+
+  out.clear();
+  conn.Drive("cas k 0 0 1 " + cas_id + "\r\nb\r\n", &out);
+  EXPECT_EQ(out, "STORED\r\n");
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "VALUE k 0 1\r\nb\r\nEND\r\n");
+}
+
+TEST(KvCasTest, StaleCasIdGetsExists) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("set k 0 0 1\r\na\r\n", &out);
+  out.clear();
+  conn.Drive("cas k 0 0 1 999999\r\nz\r\n", &out);
+  EXPECT_EQ(out, "EXISTS\r\n");
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "VALUE k 0 1\r\na\r\nEND\r\n") << "failed cas must not modify";
+}
+
+TEST(KvCasTest, CasOnMissingKeyIsNotFound) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("cas nothing 0 0 1 1\r\nx\r\n", &out);
+  EXPECT_EQ(out, "NOT_FOUND\r\n");
+}
+
+TEST(KvCasTest, ConcurrentCasExactlyOneWinsPerRound) {
+  // The canonical cas use: N threads read-modify-write the same counter key;
+  // every increment must land exactly once.
+  KvService service;
+  {
+    auto conn = service.Connect();
+    std::string out;
+    conn.Drive("set counter 0 0 1\r\n0\r\n", &out);
+  }
+  constexpr int kThreads = 4;
+  constexpr int kIncrementsPerThread = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service] {
+      auto conn = service.Connect();
+      for (int done = 0; done < kIncrementsPerThread;) {
+        std::string out;
+        conn.Drive("gets counter\r\n", &out);
+        // Parse "VALUE counter 0 <len> <cas>\r\n<num>\r\nEND\r\n".
+        std::size_t header_end = out.find("\r\n");
+        ASSERT_NE(header_end, std::string::npos);
+        std::string header = out.substr(0, header_end);
+        std::size_t cas_pos = header.rfind(' ');
+        std::string cas_id = header.substr(cas_pos + 1);
+        std::size_t body_end = out.find("\r\n", header_end + 2);
+        long value = std::stol(out.substr(header_end + 2, body_end - header_end - 2));
+        std::string next = std::to_string(value + 1);
+        out.clear();
+        conn.Drive("cas counter 0 0 " + std::to_string(next.size()) + " " + cas_id + "\r\n" +
+                       next + "\r\n",
+                   &out);
+        if (out == "STORED\r\n") {
+          ++done;
+        } else {
+          ASSERT_EQ(out, "EXISTS\r\n");  // lost the race; retry
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("get counter\r\n", &out);
+  std::string expected = std::to_string(kThreads * kIncrementsPerThread);
+  EXPECT_NE(out.find("\r\n" + expected + "\r\n"), std::string::npos) << out;
+}
+
+// ---- Socket server ----------------------------------------------------------
+
+TEST(SocketServerTest, EndToEndOverUnixSocket) {
+  KvService service;
+  SocketServer server(&service, "/tmp/cuckoo_kv_test_e2e.sock");
+  ASSERT_TRUE(server.Start());
+  {
+    SocketClient client(server.path());
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.RoundTrip("set hello 0 0 5\r\nworld\r\n", "\r\n"), "STORED\r\n");
+    EXPECT_EQ(client.RoundTrip("get hello\r\n", "END\r\n"),
+              "VALUE hello 0 5\r\nworld\r\nEND\r\n");
+    EXPECT_EQ(client.RoundTrip("delete hello\r\n", "\r\n"), "DELETED\r\n");
+  }
+  server.Stop();
+  EXPECT_EQ(server.ConnectionsAccepted(), 1u);
+}
+
+TEST(SocketServerTest, ManyConcurrentClients) {
+  KvService service;
+  SocketServer server(&service, "/tmp/cuckoo_kv_test_many.sock");
+  ASSERT_TRUE(server.Start());
+  constexpr int kClients = 4;
+  constexpr int kOpsPerClient = 300;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, c] {
+      SocketClient client(server.path());
+      ASSERT_TRUE(client.connected());
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        std::string key = "k" + std::to_string(c) + "_" + std::to_string(i);
+        ASSERT_EQ(client.RoundTrip("set " + key + " 0 0 2\r\nhi\r\n", "\r\n"), "STORED\r\n");
+        ASSERT_EQ(client.RoundTrip("get " + key + "\r\n", "END\r\n"),
+                  "VALUE " + key + " 0 2\r\nhi\r\nEND\r\n");
+      }
+    });
+  }
+  for (auto& th : clients) {
+    th.join();
+  }
+  server.Stop();
+  EXPECT_EQ(service.ItemCount(), static_cast<std::size_t>(kClients * kOpsPerClient));
+}
+
+TEST(SocketServerTest, StopWithConnectedIdleClient) {
+  // Stop() must not hang on a client that is connected but silent.
+  KvService service;
+  SocketServer server(&service, "/tmp/cuckoo_kv_test_idle.sock");
+  ASSERT_TRUE(server.Start());
+  SocketClient idle(server.path());
+  ASSERT_TRUE(idle.connected());
+  // Give the accept loop time to register the connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Stop();  // would deadlock without the fd-shutdown path
+  SUCCEED();
+}
+
+TEST(SocketServerTest, RestartOnSamePath) {
+  KvService service;
+  {
+    SocketServer server(&service, "/tmp/cuckoo_kv_test_restart.sock");
+    ASSERT_TRUE(server.Start());
+    server.Stop();
+  }
+  SocketServer again(&service, "/tmp/cuckoo_kv_test_restart.sock");
+  EXPECT_TRUE(again.Start());
+  again.Stop();
+}
+
+}  // namespace
+}  // namespace cuckoo

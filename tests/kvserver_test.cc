@@ -1,0 +1,243 @@
+// Memcached-protocol codec and KvService end-to-end behaviour, including
+// partial-input streaming, pipelining, malformed input, and concurrent
+// connections sharing one service.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kvserver/kv_service.h"
+#include "src/kvserver/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+// ---- Parser ---------------------------------------------------------------
+
+TEST(RequestParserTest, ParsesGet) {
+  RequestParser parser;
+  parser.Feed("get hello\r\n");
+  Request req;
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.type, RequestType::kGet);
+  EXPECT_EQ(req.key, "hello");
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kNeedMore);
+}
+
+TEST(RequestParserTest, ParsesSetWithData) {
+  RequestParser parser;
+  parser.Feed("set k1 7 0 5\r\nabcde\r\n");
+  Request req;
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.type, RequestType::kSet);
+  EXPECT_EQ(req.key, "k1");
+  EXPECT_EQ(req.flags, 7u);
+  EXPECT_EQ(req.data, "abcde");
+}
+
+TEST(RequestParserTest, HandlesBinaryDataWithEmbeddedCrlf) {
+  RequestParser parser;
+  std::string payload = "ab\r\ncd";  // length 6, contains CRLF
+  parser.Feed("set k 0 0 6\r\n" + payload + "\r\n");
+  Request req;
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.data, payload);
+}
+
+TEST(RequestParserTest, ByteAtATimeStreaming) {
+  RequestParser parser;
+  const std::string stream = "set key 1 2 3\r\nxyz\r\nget key\r\n";
+  std::vector<Request> requests;
+  Request req;
+  for (char c : stream) {
+    parser.Feed(std::string_view(&c, 1));
+    while (parser.Next(&req) == ParseStatus::kOk) {
+      requests.push_back(req);
+    }
+  }
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0].type, RequestType::kSet);
+  EXPECT_EQ(requests[0].data, "xyz");
+  EXPECT_EQ(requests[1].type, RequestType::kGet);
+}
+
+TEST(RequestParserTest, PipelinedRequests) {
+  RequestParser parser;
+  parser.Feed("get a\r\nget b\r\ndelete c\r\nstats\r\n");
+  Request req;
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.key, "a");
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.key, "b");
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.type, RequestType::kDelete);
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.type, RequestType::kStats);
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kNeedMore);
+}
+
+TEST(RequestParserTest, MalformedLinesAreErrorsNotCrashes) {
+  const char* bad[] = {
+      "bogus\r\n",
+      "get\r\n",               // missing key
+      "get a b\r\n",           // extra token
+      "set k x 0 5\r\n",       // non-numeric flags
+      "set k 0 0\r\n",         // missing byte count
+      "set k 0 0 99999999999999\r\n",  // absurd length
+      " get a\r\n",            // leading space
+  };
+  for (const char* input : bad) {
+    RequestParser parser;
+    parser.Feed(input);
+    Request req;
+    EXPECT_EQ(parser.Next(&req), ParseStatus::kError) << input;
+  }
+}
+
+TEST(RequestParserTest, RecoversAfterError) {
+  RequestParser parser;
+  parser.Feed("garbage line\r\nget ok\r\n");
+  Request req;
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kError);
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.key, "ok");
+}
+
+TEST(RequestParserTest, BadDataTerminatorIsError) {
+  RequestParser parser;
+  parser.Feed("set k 0 0 3\r\nabcXX");  // XX instead of \r\n
+  Request req;
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kError);
+}
+
+TEST(RequestParserTest, OversizedKeyRejected) {
+  RequestParser parser;
+  parser.Feed("get " + std::string(300, 'k') + "\r\n");
+  Request req;
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kError);
+}
+
+TEST(RequestParserTest, UnterminatedFloodIsBounded) {
+  RequestParser parser;
+  parser.Feed(std::string(10000, 'x'));  // no CRLF ever
+  Request req;
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kError);
+  EXPECT_EQ(parser.BufferedBytes(), 0u) << "flood must be discarded";
+}
+
+// ---- Serializers ------------------------------------------------------------
+
+TEST(ProtocolSerializeTest, ValueResponseFormat) {
+  std::string out;
+  AppendValueResponse("k", 7, "abc", &out);
+  AppendEnd(&out);
+  EXPECT_EQ(out, "VALUE k 7 3\r\nabc\r\nEND\r\n");
+}
+
+TEST(ProtocolSerializeTest, StatLine) {
+  std::string out;
+  AppendStat("curr_items", 42, &out);
+  EXPECT_EQ(out, "STAT curr_items 42\r\n");
+}
+
+// ---- Service ---------------------------------------------------------------
+
+TEST(KvServiceTest, SetGetDeleteRoundTrip) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("set greeting 3 0 5\r\nhello\r\n", &out);
+  EXPECT_EQ(out, "STORED\r\n");
+  out.clear();
+  conn.Drive("get greeting\r\n", &out);
+  EXPECT_EQ(out, "VALUE greeting 3 5\r\nhello\r\nEND\r\n");
+  out.clear();
+  conn.Drive("delete greeting\r\n", &out);
+  EXPECT_EQ(out, "DELETED\r\n");
+  out.clear();
+  conn.Drive("get greeting\r\n", &out);
+  EXPECT_EQ(out, "END\r\n");
+  out.clear();
+  conn.Drive("delete greeting\r\n", &out);
+  EXPECT_EQ(out, "NOT_FOUND\r\n");
+}
+
+TEST(KvServiceTest, SetOverwrites) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("set k 0 0 1\r\na\r\nset k 9 0 2\r\nbc\r\nget k\r\n", &out);
+  EXPECT_EQ(out, "STORED\r\nSTORED\r\nVALUE k 9 2\r\nbc\r\nEND\r\n");
+  EXPECT_EQ(service.ItemCount(), 1u);
+}
+
+TEST(KvServiceTest, StatsReflectTraffic) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("set a 0 0 1\r\nx\r\nget a\r\nget missing\r\n", &out);
+  out.clear();
+  conn.Drive("stats\r\n", &out);
+  EXPECT_NE(out.find("STAT curr_items 1\r\n"), std::string::npos);
+  EXPECT_NE(out.find("STAT get_hits 1\r\n"), std::string::npos);
+  EXPECT_NE(out.find("STAT get_misses 1\r\n"), std::string::npos);
+  EXPECT_NE(out.find("STAT cmd_set 1\r\n"), std::string::npos);
+}
+
+TEST(KvServiceTest, ErrorResponsesForGarbage) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("nonsense\r\nget k\r\n", &out);
+  EXPECT_EQ(out, "ERROR\r\nEND\r\n");
+}
+
+TEST(KvServiceTest, ConcurrentConnectionsShareTheStore) {
+  KvService service;
+  constexpr int kThreads = 4;
+  constexpr int kKeysPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, t] {
+      auto conn = service.Connect();
+      std::string out;
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        std::string key = "k" + std::to_string(t) + "_" + std::to_string(i);
+        std::string value = "v" + std::to_string(i);
+        out.clear();
+        conn.Drive("set " + key + " 0 0 " + std::to_string(value.size()) + "\r\n" + value +
+                       "\r\n",
+                   &out);
+        EXPECT_EQ(out, "STORED\r\n");
+        out.clear();
+        conn.Drive("get " + key + "\r\n", &out);
+        EXPECT_NE(out.find(value), std::string::npos);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(service.ItemCount(), static_cast<std::size_t>(kThreads * kKeysPerThread));
+}
+
+TEST(KvServiceTest, LargeBinaryValues) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string blob(100000, '\0');
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<char>(i * 31);
+  }
+  std::string out;
+  conn.Drive("set blob 0 0 " + std::to_string(blob.size()) + "\r\n" + blob + "\r\n", &out);
+  EXPECT_EQ(out, "STORED\r\n");
+  out.clear();
+  conn.Drive("get blob\r\n", &out);
+  const std::string expected_prefix = "VALUE blob 0 " + std::to_string(blob.size()) + "\r\n";
+  ASSERT_EQ(out.substr(0, expected_prefix.size()), expected_prefix);
+  EXPECT_EQ(out.substr(expected_prefix.size(), blob.size()), blob);
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,115 @@
+#include "src/benchkit/latency.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.TotalCount(), 0u);
+  EXPECT_EQ(hist.PercentileNanos(0.5), 0u);
+  EXPECT_DOUBLE_EQ(hist.MeanNanos(), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketMappingRoundTrips) {
+  // Every recorded value must land in a bucket whose upper bound is >= the
+  // value and within 6.25% relative error.
+  // The last probe (60 s) sits inside the histogram's ~68 s range.
+  for (std::uint64_t v : {0ull, 1ull, 15ull, 16ull, 17ull, 100ull, 1000ull, 4096ull,
+                          123456ull, 10000000ull, 60000000000ull}) {
+    std::size_t idx = LatencyHistogram::BucketFor(v);
+    std::uint64_t upper = LatencyHistogram::BucketUpperBound(idx);
+    EXPECT_GE(upper, v) << v;
+    if (v >= 16) {
+      EXPECT_LE(static_cast<double>(upper - v), static_cast<double>(v) * 0.0625 + 1.0) << v;
+    } else {
+      EXPECT_EQ(upper, v);
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotonic) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100000; v += 7) {
+    std::size_t idx = LatencyHistogram::BucketFor(v);
+    EXPECT_GE(idx, prev) << v;
+    prev = idx;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesOfKnownDistribution) {
+  LatencyHistogram hist;
+  // 1000 samples at 100ns, 10 at 10000ns.
+  for (int i = 0; i < 1000; ++i) {
+    hist.Record(100);
+  }
+  for (int i = 0; i < 10; ++i) {
+    hist.Record(10000);
+  }
+  EXPECT_EQ(hist.TotalCount(), 1010u);
+  std::uint64_t p50 = hist.PercentileNanos(0.50);
+  std::uint64_t p99 = hist.PercentileNanos(0.99);
+  std::uint64_t p999 = hist.PercentileNanos(0.999);
+  EXPECT_GE(p50, 100u);
+  EXPECT_LE(p50, 107u);  // within bucket error
+  EXPECT_LE(p99, 107u);  // 99th is still in the 100ns mass
+  EXPECT_GE(p999, 10000u);
+  EXPECT_LE(p999, 10700u);
+}
+
+TEST(LatencyHistogramTest, MeanApproximatesTrueMean) {
+  LatencyHistogram hist;
+  Xorshift128Plus rng(8);
+  double true_sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    std::uint64_t v = 50 + rng.NextBelow(10000);
+    hist.Record(v);
+    true_sum += static_cast<double>(v);
+  }
+  double true_mean = true_sum / kN;
+  EXPECT_NEAR(hist.MeanNanos(), true_mean, true_mean * 0.07);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecording) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      Xorshift128Plus rng(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(rng.NextBelow(1000000));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(hist.TotalCount(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram hist;
+  hist.Record(500);
+  hist.Reset();
+  EXPECT_EQ(hist.TotalCount(), 0u);
+}
+
+TEST(LatencyHistogramTest, ExtremeValuesAreClamped) {
+  LatencyHistogram hist;
+  hist.Record(~0ull);  // clamps into the last bucket rather than overflowing
+  EXPECT_EQ(hist.TotalCount(), 1u);
+  EXPECT_GT(hist.PercentileNanos(1.0), 0u);
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,151 @@
+// API conformance: every map type in the repo must agree on the semantics of
+// the shared interface (Insert / duplicate handling / Find / Update / Upsert
+// / Erase / Size), verified through one typed suite.
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/baselines/chaining_map.h"
+#include "src/baselines/concurrent_chaining_map.h"
+#include "src/baselines/dense_map.h"
+#include "src/baselines/global_lock_map.h"
+#include "src/common/spinlock.h"
+#include "src/cuckoo/cuckoo_map.h"
+#include "src/cuckoo/flat_cuckoo_map.h"
+#include "src/cuckoo/general_cuckoo_map.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+using K = std::uint64_t;
+using V = std::uint64_t;
+
+// Uniform construction across heterogeneous constructors.
+template <typename MapT>
+std::unique_ptr<MapT> MakeMap() {
+  return std::make_unique<MapT>();
+}
+
+template <>
+std::unique_ptr<CuckooMap<K, V>> MakeMap() {
+  CuckooMap<K, V>::Options o;
+  o.initial_bucket_count_log2 = 10;
+  return std::make_unique<CuckooMap<K, V>>(o);
+}
+
+template <>
+std::unique_ptr<FlatCuckooMap<K, V>> MakeMap() {
+  FlatOptions o;
+  o.bucket_count_log2 = 13;  // 32K slots: BulkRoundTrip must fit
+  o.lock_after_discovery = true;
+  o.search_mode = SearchMode::kBfs;
+  return std::make_unique<FlatCuckooMap<K, V>>(o);
+}
+
+template <>
+std::unique_ptr<GeneralCuckooMap<K, V>> MakeMap() {
+  GeneralCuckooMap<K, V>::Options o;
+  o.initial_bucket_count_log2 = 10;
+  return std::make_unique<GeneralCuckooMap<K, V>>(o);
+}
+
+template <typename MapT>
+class MapConformanceTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<MapT> map_ = MakeMap<MapT>();
+};
+
+using MapTypes = ::testing::Types<
+    CuckooMap<K, V>, FlatCuckooMap<K, V>, GeneralCuckooMap<K, V>, ChainingMap<K, V>,
+    DenseMap<K, V>, ConcurrentChainingMap<K, V>,
+    GlobalLockMap<ChainingMap<K, V>, std::mutex>, GlobalLockMap<DenseMap<K, V>, SpinLock>>;
+TYPED_TEST_SUITE(MapConformanceTest, MapTypes);
+
+TYPED_TEST(MapConformanceTest, EmptyMapSemantics) {
+  auto& map = *this->map_;
+  EXPECT_EQ(map.Size(), 0u);
+  V v;
+  EXPECT_FALSE(map.Find(1, &v));
+  EXPECT_FALSE(map.Contains(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_FALSE(map.Update(1, 2));
+}
+
+TYPED_TEST(MapConformanceTest, InsertIsFirstWriterWins) {
+  auto& map = *this->map_;
+  EXPECT_EQ(map.Insert(K{10}, V{100}), InsertResult::kOk);
+  EXPECT_EQ(map.Insert(K{10}, V{200}), InsertResult::kKeyExists);
+  V v = 0;
+  ASSERT_TRUE(map.Find(10, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_EQ(map.Size(), 1u);
+}
+
+TYPED_TEST(MapConformanceTest, UpsertIsLastWriterWins) {
+  auto& map = *this->map_;
+  EXPECT_EQ(map.Upsert(K{10}, V{1}), InsertResult::kOk);
+  EXPECT_EQ(map.Upsert(K{10}, V{2}), InsertResult::kKeyExists);
+  V v = 0;
+  ASSERT_TRUE(map.Find(10, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(map.Size(), 1u);
+}
+
+TYPED_TEST(MapConformanceTest, UpdateOnlyTouchesExisting) {
+  auto& map = *this->map_;
+  EXPECT_FALSE(map.Update(K{5}, V{1}));
+  EXPECT_EQ(map.Size(), 0u);
+  map.Insert(K{5}, V{1});
+  EXPECT_TRUE(map.Update(K{5}, V{9}));
+  V v = 0;
+  map.Find(5, &v);
+  EXPECT_EQ(v, 9u);
+}
+
+TYPED_TEST(MapConformanceTest, EraseThenReinsert) {
+  auto& map = *this->map_;
+  map.Insert(K{7}, V{70});
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_EQ(map.Size(), 0u);
+  EXPECT_FALSE(map.Contains(7));
+  EXPECT_EQ(map.Insert(K{7}, V{71}), InsertResult::kOk);
+  V v = 0;
+  ASSERT_TRUE(map.Find(7, &v));
+  EXPECT_EQ(v, 71u);
+}
+
+TYPED_TEST(MapConformanceTest, BulkRoundTrip) {
+  auto& map = *this->map_;
+  constexpr std::uint64_t kN = 20000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(map.Insert(K{i}, V{i ^ 0xabcdu}), InsertResult::kOk) << i;
+  }
+  EXPECT_EQ(map.Size(), kN);
+  V v = 0;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(map.Find(i, &v)) << i;
+    ASSERT_EQ(v, i ^ 0xabcdu);
+  }
+  // Erase every third key, verify the rest untouched.
+  for (std::uint64_t i = 0; i < kN; i += 3) {
+    ASSERT_TRUE(map.Erase(i));
+  }
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(map.Find(i, &v), i % 3 != 0) << i;
+  }
+}
+
+TYPED_TEST(MapConformanceTest, HeapBytesIsPositiveAndGrows) {
+  auto& map = *this->map_;
+  std::size_t before = map.HeapBytes();
+  EXPECT_GT(before, 0u);
+  for (std::uint64_t i = 0; i < 50000; ++i) {
+    map.Insert(K{i}, V{i});
+  }
+  EXPECT_GE(map.HeapBytes(), before);
+}
+
+}  // namespace
+}  // namespace cuckoo

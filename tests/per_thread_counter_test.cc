@@ -1,0 +1,75 @@
+#include "src/common/per_thread_counter.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(PerThreadCounterTest, StartsAtZero) {
+  PerThreadCounter counter;
+  EXPECT_EQ(counter.Sum(), 0);
+}
+
+TEST(PerThreadCounterTest, SingleThreadAddAndSubtract) {
+  PerThreadCounter counter;
+  counter.Add(10);
+  counter.Add(-3);
+  counter.Increment();
+  counter.Decrement();
+  EXPECT_EQ(counter.Sum(), 7);
+}
+
+TEST(PerThreadCounterTest, AggregatesAcrossThreads) {
+  PerThreadCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.Increment();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter.Sum(), static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(PerThreadCounterTest, MixedIncrementDecrementNetsOut) {
+  PerThreadCounter counter;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 10000; ++i) {
+        if (t % 2 == 0) {
+          counter.Increment();
+        } else {
+          counter.Decrement();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter.Sum(), 0);
+}
+
+TEST(PerThreadCounterTest, ResetZeroesEverything) {
+  PerThreadCounter counter;
+  std::thread other([&] { counter.Add(100); });
+  other.join();
+  counter.Add(5);
+  EXPECT_EQ(counter.Sum(), 105);
+  counter.Reset();
+  EXPECT_EQ(counter.Sum(), 0);
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,129 @@
+#include "src/common/random.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(XorshiftTest, DeterministicForSameSeed) {
+  Xorshift128Plus a(42);
+  Xorshift128Plus b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(XorshiftTest, DifferentSeedsDiverge) {
+  Xorshift128Plus a(1);
+  Xorshift128Plus b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(XorshiftTest, NextBelowRespectsBound) {
+  Xorshift128Plus rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(XorshiftTest, NextBelowOneAlwaysZero) {
+  Xorshift128Plus rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(XorshiftTest, NextDoubleInUnitInterval) {
+  Xorshift128Plus rng(9);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(XorshiftTest, RoughlyUniformOverBuckets) {
+  Xorshift128Plus rng(11);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBelow(kBuckets)];
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], kDraws / kBuckets * 9 / 10) << b;
+    EXPECT_LT(counts[b], kDraws / kBuckets * 11 / 10) << b;
+  }
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(1000, 0.99, 5);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(ZipfTest, HighThetaSkewsTowardSmallIds) {
+  ZipfGenerator zipf(100000, 0.99, 5);
+  int head = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next() < 100) {
+      ++head;
+    }
+  }
+  // Under uniform draws the first 100 ids get ~0.1% of hits; Zipf(0.99)
+  // concentrates tens of percent there.
+  EXPECT_GT(head, kDraws / 10);
+}
+
+TEST(ZipfTest, ZeroThetaIsRoughlyUniform) {
+  ZipfGenerator zipf(1000, 0.0, 5);
+  int head = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next() < 100) {
+      ++head;
+    }
+  }
+  // First 10% of ids should get ~10% of draws.
+  EXPECT_GT(head, kDraws / 20);
+  EXPECT_LT(head, kDraws / 5);
+}
+
+TEST(ZipfTest, DeterministicForSameSeed) {
+  ZipfGenerator a(5000, 0.9, 123);
+  ZipfGenerator b(5000, 0.9, 123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(ZipfTest, LargeKeySpaceConstructionIsFast) {
+  // Exercises the Euler-Maclaurin tail approximation (n > 1e6).
+  ZipfGenerator zipf(1ull << 32, 0.9, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Next(), 1ull << 32);
+  }
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,104 @@
+#include "src/benchkit/report.h"
+
+#include <sstream>
+
+#include "src/benchkit/flags.h"
+#include "src/benchkit/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(ReportTableTest, TextOutputAlignsColumns) {
+  ReportTable table({"name", "mops"});
+  table.Row().Cell("cuckoo+").Cell(29.21);
+  table.Row().Cell("tbb").Cell(7.5);
+  std::ostringstream os;
+  table.PrintText(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("mops"), std::string::npos);
+  EXPECT_NE(out.find("cuckoo+"), std::string::npos);
+  EXPECT_NE(out.find("29.21"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(ReportTableTest, CsvOutputExactFormat) {
+  ReportTable table({"a", "b", "c"});
+  table.Row().Cell("x").Cell(std::uint64_t{7}).Cell(1.5);
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nx,7,1.50\n");
+}
+
+TEST(ReportTableTest, PrintDispatchesOnFlag) {
+  ReportTable table({"h"});
+  table.Row().Cell("v");
+  std::ostringstream text_os;
+  std::ostringstream csv_os;
+  table.Print(text_os, false);
+  table.Print(csv_os, true);
+  EXPECT_NE(text_os.str(), csv_os.str());
+  EXPECT_EQ(csv_os.str(), "h\nv\n");
+}
+
+TEST(ReportTableTest, ShortRowsArePadded) {
+  ReportTable table({"a", "b"});
+  table.AddRow({"only"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\nonly,\n");
+}
+
+TEST(ReportTableTest, RowCount) {
+  ReportTable table({"x"});
+  EXPECT_EQ(table.RowCount(), 0u);
+  table.Row().Cell(1);
+  table.Row().Cell(2);
+  EXPECT_EQ(table.RowCount(), 2u);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 4), "3.1416");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FlagsTest, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--threads=8", "--ratio", "0.5", "--csv", "--name=fig1"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("threads", 1), 8);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 1.0), 0.5);
+  EXPECT_TRUE(flags.GetBool("csv"));
+  EXPECT_EQ(flags.GetString("name", ""), "fig1");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("threads", 4), 4);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0.9), 0.9);
+  EXPECT_FALSE(flags.GetBool("csv"));
+  EXPECT_EQ(flags.GetString("name", "def"), "def");
+  EXPECT_FALSE(flags.Has("anything"));
+}
+
+TEST(FlagsTest, ExplicitBooleanValues) {
+  const char* argv[] = {"prog", "--a=true", "--b=false", "--c=1", "--d=0"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.GetBool("a"));
+  EXPECT_FALSE(flags.GetBool("b"));
+  EXPECT_TRUE(flags.GetBool("c"));
+  EXPECT_FALSE(flags.GetBool("d"));
+}
+
+TEST(MemoryTest, RssIsPositiveOnLinux) {
+  std::size_t rss = CurrentRssBytes();
+  EXPECT_GT(rss, 0u);
+  // A test binary plausibly sits between 1 MB and 100 GB.
+  EXPECT_LT(rss, 100ull << 30);
+}
+
+}  // namespace
+}  // namespace cuckoo

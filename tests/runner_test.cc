@@ -1,0 +1,138 @@
+#include "src/benchkit/runner.h"
+
+#include <cstdint>
+
+#include "src/baselines/concurrent_chaining_map.h"
+#include "src/cuckoo/cuckoo_map.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+using Map = CuckooMap<std::uint64_t, std::uint64_t>;
+
+Map::Options Opts(std::size_t log2, bool expand = false) {
+  Map::Options o;
+  o.initial_bucket_count_log2 = log2;
+  o.auto_expand = expand;
+  return o;
+}
+
+TEST(RunnerTest, InsertOnlyFillReachesTarget) {
+  Map map(Opts(12));
+  RunOptions ro;
+  ro.threads = 2;
+  ro.insert_fraction = 1.0;
+  ro.total_inserts = static_cast<std::uint64_t>(map.SlotCount() * 0.9);
+  RunResult result = RunMixedFill(map, ro);
+  EXPECT_EQ(map.Size(), ro.total_inserts);
+  EXPECT_EQ(result.FailedInserts(), 0u);
+  std::uint64_t inserts = 0;
+  std::uint64_t lookups = 0;
+  for (const SegmentResult& s : result.segments) {
+    inserts += s.inserts;
+    lookups += s.lookups;
+    EXPECT_GT(s.nanos, 0u);
+  }
+  EXPECT_EQ(inserts, ro.total_inserts);
+  EXPECT_EQ(lookups, 0u);
+}
+
+TEST(RunnerTest, MixedWorkloadHitsConfiguredRatio) {
+  Map map(Opts(12));
+  RunOptions ro;
+  ro.threads = 4;
+  ro.insert_fraction = 0.5;
+  ro.total_inserts = 50000;
+  RunResult result = RunMixedFill(map, ro);
+  std::uint64_t inserts = 0;
+  std::uint64_t lookups = 0;
+  for (const SegmentResult& s : result.segments) {
+    inserts += s.inserts;
+    lookups += s.lookups;
+  }
+  EXPECT_EQ(inserts, 50000u);
+  EXPECT_NEAR(static_cast<double>(lookups), 50000.0, 50.0);
+}
+
+TEST(RunnerTest, SegmentsPartitionTheFill) {
+  Map map(Opts(12));
+  RunOptions ro;
+  ro.threads = 2;
+  ro.total_inserts = 40000;
+  ro.segment_boundaries = {0.25, 0.5, 1.0};
+  RunResult result = RunMixedFill(map, ro);
+  ASSERT_EQ(result.segments.size(), 3u);
+  EXPECT_EQ(result.segments[0].inserts, 10000u);
+  EXPECT_EQ(result.segments[1].inserts, 10000u);
+  EXPECT_EQ(result.segments[2].inserts, 20000u);
+  EXPECT_DOUBLE_EQ(result.segments[0].fill_fraction_lo, 0.0);
+  EXPECT_DOUBLE_EQ(result.segments[2].fill_fraction_hi, 1.0);
+  EXPECT_GT(result.OverallMops(), 0.0);
+}
+
+TEST(RunnerTest, MopsBetweenSelectsSegments) {
+  Map map(Opts(12));
+  RunOptions ro;
+  ro.threads = 1;
+  ro.total_inserts = 20000;
+  ro.segment_boundaries = {0.5, 1.0};
+  RunResult result = RunMixedFill(map, ro);
+  double first = result.MopsBetween(0.0, 0.5);
+  double second = result.MopsBetween(0.5, 1.0);
+  double overall = result.OverallMops();
+  EXPECT_GT(first, 0.0);
+  EXPECT_GT(second, 0.0);
+  EXPECT_LE(std::min(first, second), overall + 1e9);
+}
+
+TEST(RunnerTest, FailedInsertsReportedOnFullTable) {
+  Map map(Opts(6));  // 512 slots, fixed
+  RunOptions ro;
+  ro.threads = 2;
+  ro.total_inserts = 1000;  // ~195% of capacity
+  RunResult result = RunMixedFill(map, ro);
+  EXPECT_GT(result.FailedInserts(), 0u);
+  EXPECT_LT(map.Size(), 1000u);
+}
+
+TEST(RunnerTest, PrefillInsertsScrambledIds) {
+  Map map(Opts(12));
+  std::uint64_t inserted = Prefill(map, 5000);
+  EXPECT_EQ(inserted, 5000u);
+  EXPECT_EQ(map.Size(), 5000u);
+  std::uint64_t v;
+  EXPECT_TRUE(map.Find(KeyForId(1234, 42), &v));
+}
+
+TEST(RunnerTest, LookupOnlyRunHitsEverything) {
+  Map map(Opts(12));
+  Prefill(map, 20000);
+  LookupRunResult result = RunLookupOnly(map, 4, 10000, 20000);
+  EXPECT_EQ(result.lookups, 40000u);
+  EXPECT_DOUBLE_EQ(result.HitRate(), 1.0);
+  EXPECT_GT(result.MopsPerSec(), 0.0);
+}
+
+TEST(RunnerTest, LookupOnlyMissesBeyondInsertedRange) {
+  Map map(Opts(12));
+  Prefill(map, 100);
+  // Draw from a range 100x larger than what was inserted: mostly misses.
+  LookupRunResult result = RunLookupOnly(map, 2, 5000, 10000);
+  EXPECT_LT(result.HitRate(), 0.05);
+}
+
+TEST(RunnerTest, WorksWithOtherMapTypes) {
+  ConcurrentChainingMap<std::uint64_t, std::uint64_t> map(1 << 12);
+  RunOptions ro;
+  ro.threads = 2;
+  ro.insert_fraction = 0.5;
+  ro.total_inserts = 20000;
+  RunResult result = RunMixedFill(map, ro);
+  EXPECT_EQ(map.Size(), 20000u);
+  EXPECT_GT(result.OverallMops(), 0.0);
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,144 @@
+#include "src/cuckoo/serialize.h"
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+using Map = CuckooMap<std::uint64_t, std::uint64_t>;
+
+Map::Options SmallOpts() {
+  Map::Options o;
+  o.initial_bucket_count_log2 = 8;
+  return o;
+}
+
+TEST(SerializeTest, EmptyMapRoundTrip) {
+  Map map(SmallOpts());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(map, stream));
+  Map loaded(SmallOpts());
+  EXPECT_EQ(LoadSnapshot(loaded, stream), 0);
+  EXPECT_EQ(loaded.Size(), 0u);
+}
+
+TEST(SerializeTest, FullRoundTripPreservesEverything) {
+  Map map(SmallOpts());
+  constexpr std::uint64_t kN = 20000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    map.Insert(i, i * 3 + 1);
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(map, stream));
+
+  Map loaded(SmallOpts());
+  EXPECT_EQ(LoadSnapshot(loaded, stream), static_cast<std::int64_t>(kN));
+  EXPECT_EQ(loaded.Size(), kN);
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(loaded.Find(i, &v)) << i;
+    ASSERT_EQ(v, i * 3 + 1);
+  }
+}
+
+TEST(SerializeTest, LoadIntoNonEmptyMapUpserts) {
+  Map source(SmallOpts());
+  source.Insert(1, 100);
+  source.Insert(2, 200);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(source, stream));
+
+  Map target(SmallOpts());
+  target.Insert(1, 999);  // will be overwritten
+  target.Insert(3, 300);  // untouched
+  EXPECT_EQ(LoadSnapshot(target, stream), 2);
+  std::uint64_t v;
+  target.Find(1, &v);
+  EXPECT_EQ(v, 100u);
+  target.Find(3, &v);
+  EXPECT_EQ(v, 300u);
+  EXPECT_EQ(target.Size(), 3u);
+}
+
+TEST(SerializeTest, SnapshotIsPortableAcrossTableShapes) {
+  // Different initial size AND associativity: records go through the public
+  // API, so the snapshot does not encode table geometry.
+  Map map(SmallOpts());
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    map.Insert(i, ~i);
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(map, stream));
+
+  CuckooMap<std::uint64_t, std::uint64_t, DefaultHash<std::uint64_t>,
+            std::equal_to<std::uint64_t>, 4>::Options o4;
+  o4.initial_bucket_count_log2 = 4;
+  CuckooMap<std::uint64_t, std::uint64_t, DefaultHash<std::uint64_t>,
+            std::equal_to<std::uint64_t>, 4>
+      loaded(o4);
+  EXPECT_EQ(LoadSnapshot(loaded, stream), 5000);
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(loaded.Find(i, &v));
+    ASSERT_EQ(v, ~i);
+  }
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::stringstream stream;
+  stream << "NOTASNAPSHOT and some garbage bytes...............";
+  Map map(SmallOpts());
+  EXPECT_EQ(LoadSnapshot(map, stream), -1);
+  EXPECT_EQ(map.Size(), 0u);
+}
+
+TEST(SerializeTest, RejectsSizeMismatch) {
+  CuckooMap<std::uint32_t, std::uint32_t>::Options o32;
+  o32.initial_bucket_count_log2 = 4;
+  CuckooMap<std::uint32_t, std::uint32_t> narrow(o32);
+  narrow.Insert(1, 1);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(narrow, stream));
+
+  Map wide(SmallOpts());  // 8-byte keys: must refuse a 4-byte snapshot
+  EXPECT_EQ(LoadSnapshot(wide, stream), -1);
+}
+
+TEST(SerializeTest, RejectsTruncatedStream) {
+  Map map(SmallOpts());
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    map.Insert(i, i);
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(map, stream));
+  std::string bytes = stream.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  Map loaded(SmallOpts());
+  EXPECT_EQ(LoadSnapshot(loaded, truncated), -1);
+}
+
+TEST(SerializeTest, WideValueTypes) {
+  using Wide = std::array<char, 40>;
+  CuckooMap<std::uint64_t, Wide>::Options o;
+  o.initial_bucket_count_log2 = 6;
+  CuckooMap<std::uint64_t, Wide> map(o);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    Wide w{};
+    std::snprintf(w.data(), w.size(), "payload-%llu", static_cast<unsigned long long>(i));
+    map.Insert(i, w);
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(map, stream));
+  CuckooMap<std::uint64_t, Wide> loaded(o);
+  EXPECT_EQ(LoadSnapshot(loaded, stream), 500);
+  Wide out{};
+  ASSERT_TRUE(loaded.Find(123, &out));
+  EXPECT_STREQ(out.data(), "payload-123");
+}
+
+}  // namespace
+}  // namespace cuckoo

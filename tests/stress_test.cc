@@ -1,0 +1,158 @@
+// Long-running randomized stress harness. Default duration is ~2 seconds so
+// CI stays fast; set CUCKOO_STRESS_SECONDS=60 (or more) for soak testing.
+//
+// Scenario: one CuckooMap under simultaneous inserters, erasers, updaters,
+// optimistic readers, batch readers, and a stats poller, while expansions
+// fire. Invariants checked throughout and at the end:
+//   * a reader never sees a value that was never written for that key,
+//   * per-thread ownership regions never lose confirmed inserts,
+//   * final size equals confirmed inserts minus confirmed erases.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/cuckoo/cuckoo_map.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+int StressSeconds() {
+  const char* env = std::getenv("CUCKOO_STRESS_SECONDS");
+  if (env == nullptr) {
+    return 2;
+  }
+  int seconds = std::atoi(env);
+  return seconds > 0 ? seconds : 2;
+}
+
+// Values encode (key, generation) so readers can validate what they see.
+std::uint64_t Encode(std::uint64_t key, std::uint32_t generation) {
+  return (key << 20) | generation;
+}
+
+TEST(StressTest, MixedWorkloadSoak) {
+  CuckooMap<std::uint64_t, std::uint64_t>::Options o;
+  o.initial_bucket_count_log2 = 8;  // small start: expansions fire early
+  CuckooMap<std::uint64_t, std::uint64_t> map(o);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(StressSeconds());
+  std::atomic<bool> stop{false};
+  constexpr int kWriterThreads = 3;
+  constexpr int kReaderThreads = 2;
+  constexpr std::uint64_t kKeysPerWriter = 1 << 16;
+
+  std::atomic<std::uint64_t> bad_values{0};
+  std::vector<std::int64_t> net_inserted(kWriterThreads, 0);
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriterThreads; ++w) {
+    threads.emplace_back([&, w] {
+      // Each writer owns keys [w * kKeysPerWriter, (w+1) * kKeysPerWriter).
+      const std::uint64_t base = static_cast<std::uint64_t>(w) * kKeysPerWriter;
+      Xorshift128Plus rng(9000 + w);
+      std::vector<std::uint8_t> present(kKeysPerWriter, 0);
+      std::vector<std::uint32_t> generation(kKeysPerWriter, 0);
+      std::int64_t net = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::uint64_t local = rng.NextBelow(kKeysPerWriter);
+        std::uint64_t key = base + local;
+        switch (rng.NextBelow(4)) {
+          case 0:  // insert
+            if (map.Insert(key, Encode(key, generation[local])) == InsertResult::kOk) {
+              EXPECT_EQ(present[local], 0) << "insert succeeded on a present key";
+              present[local] = 1;
+              ++net;
+            } else {
+              EXPECT_EQ(present[local], 1) << "insert rejected on an absent key";
+            }
+            break;
+          case 1:  // erase
+            if (map.Erase(key)) {
+              EXPECT_EQ(present[local], 1);
+              present[local] = 0;
+              ++generation[local];
+              --net;
+            } else {
+              EXPECT_EQ(present[local], 0);
+            }
+            break;
+          case 2:  // update
+            EXPECT_EQ(map.Update(key, Encode(key, generation[local])), present[local] == 1);
+            break;
+          case 3: {  // self-read: owner must observe its own state exactly
+            std::uint64_t v;
+            bool hit = map.Find(key, &v);
+            EXPECT_EQ(hit, present[local] == 1);
+            if (hit && (v >> 20) != key) {
+              bad_values.fetch_add(1);
+            }
+            break;
+          }
+        }
+      }
+      net_inserted[w] = net;
+    });
+  }
+  for (int r = 0; r < kReaderThreads; ++r) {
+    threads.emplace_back([&, r] {
+      Xorshift128Plus rng(77 + r);
+      std::uint64_t v;
+      std::vector<std::uint64_t> keys(64);
+      std::vector<std::uint64_t> values(64);
+      std::unique_ptr<bool[]> found(new bool[64]);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (rng.NextBelow(8) == 0) {
+          for (std::size_t i = 0; i < keys.size(); ++i) {
+            keys[i] = rng.NextBelow(kWriterThreads * kKeysPerWriter);
+          }
+          map.FindBatch(keys.data(), keys.size(), values.data(), found.get());
+          for (std::size_t i = 0; i < keys.size(); ++i) {
+            if (found[i] && (values[i] >> 20) != keys[i]) {
+              bad_values.fetch_add(1);
+            }
+          }
+        } else {
+          std::uint64_t key = rng.NextBelow(kWriterThreads * kKeysPerWriter);
+          if (map.Find(key, &v) && (v >> 20) != key) {
+            bad_values.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // stats poller: exercises aggregation under load
+    while (!stop.load(std::memory_order_relaxed)) {
+      MapStatsSnapshot s = map.Stats();
+      EXPECT_GE(s.inserts, 0);
+      (void)map.LoadFactor();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true);
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  EXPECT_EQ(bad_values.load(), 0u) << "a reader observed a value never written for its key";
+  std::int64_t expected_size = 0;
+  for (std::int64_t net : net_inserted) {
+    expected_size += net;
+  }
+  ASSERT_GE(expected_size, 0);
+  EXPECT_EQ(map.Size(), static_cast<std::size_t>(expected_size));
+  EXPECT_GT(map.Stats().expansions, 0);
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,116 @@
+#include "src/benchkit/workload.h"
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(KeyForIdTest, BijectiveOnSample) {
+  std::unordered_set<std::uint64_t> keys;
+  for (std::uint64_t id = 0; id < 100000; ++id) {
+    EXPECT_TRUE(keys.insert(KeyForId(id)).second) << id;
+  }
+}
+
+TEST(KeyForIdTest, SeedSeparatesKeySpaces) {
+  EXPECT_NE(KeyForId(1, 1), KeyForId(1, 2));
+  EXPECT_EQ(KeyForId(1, 1), KeyForId(1, 1));
+}
+
+TEST(OpStreamTest, InsertIdsAreStridedAndDisjoint) {
+  std::atomic<std::uint64_t> watermark{0};
+  constexpr int kThreads = 4;
+  std::set<std::uint64_t> all_ids;
+  for (int t = 0; t < kThreads; ++t) {
+    OpStream::Config cfg;
+    cfg.thread_index = t;
+    cfg.thread_count = kThreads;
+    OpStream stream(cfg, &watermark, 0);
+    for (int i = 0; i < 1000; ++i) {
+      std::uint64_t id = stream.NextInsertId();
+      EXPECT_EQ(id % kThreads, static_cast<std::uint64_t>(t));
+      EXPECT_TRUE(all_ids.insert(id).second) << "ids must be globally unique";
+    }
+  }
+  EXPECT_EQ(all_ids.size(), 4000u);
+  // Union is exactly [0, 4000).
+  EXPECT_EQ(*all_ids.begin(), 0u);
+  EXPECT_EQ(*all_ids.rbegin(), 3999u);
+}
+
+TEST(OpStreamTest, LookupRatioIsExactForHalfInserts) {
+  std::atomic<std::uint64_t> watermark{100};
+  OpStream::Config cfg;
+  cfg.insert_fraction = 0.5;
+  OpStream stream(cfg, &watermark, 0);
+  std::uint64_t lookups = 0;
+  for (int i = 0; i < 10000; ++i) {
+    stream.NextInsertKey();
+    lookups += stream.LookupsOwedAfterInsert();
+  }
+  EXPECT_EQ(lookups, 10000u) << "50% inserts => one lookup per insert";
+}
+
+TEST(OpStreamTest, LookupRatioIsExactForTenPercentInserts) {
+  std::atomic<std::uint64_t> watermark{100};
+  OpStream::Config cfg;
+  cfg.insert_fraction = 0.1;
+  OpStream stream(cfg, &watermark, 0);
+  std::uint64_t lookups = 0;
+  for (int i = 0; i < 10000; ++i) {
+    lookups += stream.LookupsOwedAfterInsert();
+  }
+  // 10% inserts => 9 lookups per insert.
+  EXPECT_NEAR(static_cast<double>(lookups), 90000.0, 2.0);
+}
+
+TEST(OpStreamTest, PureInsertOwesNoLookups) {
+  std::atomic<std::uint64_t> watermark{0};
+  OpStream::Config cfg;
+  cfg.insert_fraction = 1.0;
+  OpStream stream(cfg, &watermark, 0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(stream.LookupsOwedAfterInsert(), 0u);
+  }
+}
+
+TEST(OpStreamTest, LookupKeysComeFromInsertedPrefix) {
+  std::atomic<std::uint64_t> watermark{500};
+  OpStream::Config cfg;
+  cfg.seed = 9;
+  OpStream stream(cfg, &watermark, 0);
+  std::set<std::uint64_t> prefix_keys;
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    prefix_keys.insert(KeyForId(id, cfg.seed));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(prefix_keys.count(stream.NextLookupKey()) == 1);
+  }
+}
+
+TEST(OpStreamTest, WatermarkAdvances) {
+  std::atomic<std::uint64_t> watermark{0};
+  OpStream::Config cfg;
+  OpStream stream(cfg, &watermark, 0);
+  stream.AdvanceWatermark(256);
+  EXPECT_EQ(watermark.load(), 256u);
+}
+
+TEST(OpStreamTest, FirstLocalInsertIndexOffsetsStream) {
+  std::atomic<std::uint64_t> watermark{0};
+  OpStream::Config cfg;
+  cfg.thread_index = 1;
+  cfg.thread_count = 2;
+  OpStream a(cfg, &watermark, 0);
+  OpStream b(cfg, &watermark, 100);
+  EXPECT_EQ(a.NextInsertId(), 1u);
+  EXPECT_EQ(b.NextInsertId(), 201u);
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""ASCII bar charts from the bench binaries' --csv output.
+
+Stdlib-only, so it works on any box the benches run on:
+
+    ./build/bench/fig01_overview --csv | tools/plot_results.py --label table --value mops
+    ./build/bench/fig09_setassoc_load --csv | \
+        tools/plot_results.py --label occupancy --value mops --group associativity
+
+Reads CSV from stdin (header row required), prints one bar per row, grouped
+under headings when --group is given.
+"""
+import argparse
+import csv
+import sys
+
+BAR_WIDTH = 50
+
+
+def render(rows, label_col, value_col, group_col):
+    try:
+        values = [float(row[value_col]) for row in rows]
+    except (KeyError, ValueError) as err:
+        sys.exit(f"bad --value column {value_col!r}: {err}")
+    peak = max(values) if values else 1.0
+    if peak <= 0:
+        peak = 1.0
+
+    label_width = max(len(row.get(label_col, "")) for row in rows) if rows else 0
+    current_group = None
+    for row, value in zip(rows, values):
+        if group_col:
+            group = row.get(group_col, "")
+            if group != current_group:
+                current_group = group
+                print(f"\n== {group_col} = {group} ==")
+        bar = "#" * max(1, round(value / peak * BAR_WIDTH))
+        print(f"  {row.get(label_col, ''):>{label_width}}  {bar} {value:g}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--label", required=True, help="column used as the bar label")
+    parser.add_argument("--value", required=True, help="numeric column to plot")
+    parser.add_argument("--group", default=None,
+                        help="optional column; a heading is printed when it changes")
+    args = parser.parse_args()
+
+    reader = csv.DictReader(sys.stdin)
+    if reader.fieldnames is None:
+        sys.exit("no CSV header on stdin (did you pass --csv to the bench binary?)")
+    for col in filter(None, [args.label, args.value, args.group]):
+        if col not in reader.fieldnames:
+            sys.exit(f"column {col!r} not in header {reader.fieldnames}")
+    render(list(reader), args.label, args.value, args.group)
+
+
+if __name__ == "__main__":
+    main()

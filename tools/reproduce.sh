@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-shot reproduction driver: build, test, run every figure bench, and
+# capture the outputs next to DESIGN.md / EXPERIMENTS.md.
+#
+#   tools/reproduce.sh              # default (minutes-scale) sizes
+#   tools/reproduce.sh --paper      # paper-scale tables (2^27 slots; needs ~3 GB
+#                                   # of RAM per table and much more time)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXTRA_FLAGS=()
+if [[ "${1:-}" == "--paper" ]]; then
+  EXTRA_FLAGS+=(--slots_log2=27)
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    case "$b" in *.cmake|*CMakeFiles*) continue ;; esac
+    [[ -x "$b" && -f "$b" ]] || continue
+    "$b" "${EXTRA_FLAGS[@]}"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"
