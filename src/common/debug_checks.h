@@ -1,0 +1,134 @@
+// Debug invariant checking for the concurrency substrate.
+//
+// Two tiers:
+//
+//   * CUCKOO_CHECK(cond, msg) — always compiled. Used by the explicit
+//     invariant walkers (TableCore::AssertInvariants, CuckooMap::
+//     AssertInvariants) that tests call deliberately; those must fail loudly
+//     in every build type, including the tier-1 release run.
+//
+//   * CUCKOO_DCHECK(cond, msg) — compiled only when CUCKOO_DEBUG_CHECKS is
+//     defined non-zero (the tsan/asan/ubsan/debug CMake presets set it
+//     globally). Guards the *automatic* checks that sit on hot paths:
+//     VersionLock owner tracking (unlock-by-non-owner, recursive lock) and
+//     the stripe-ordering discipline below. Zero cost when disabled.
+//
+// Stripe-ordering discipline (§4.4): bucket-pair lock acquisition must take
+// the lower stripe index first, and whole-table acquisition must proceed in
+// ascending index order. Any acquisition ordered that way is deadlock-free;
+// any acquisition that grabs a stripe <= one already held (or the same stripe
+// twice) can deadlock against a peer. LockStripes records every stripe the
+// current thread holds in a thread-local set and asserts the discipline on
+// each acquisition, turning a potential deadlock into a deterministic abort
+// with a message naming both stripes.
+#ifndef SRC_COMMON_DEBUG_CHECKS_H_
+#define SRC_COMMON_DEBUG_CHECKS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(CUCKOO_DEBUG_CHECKS)
+#define CUCKOO_DEBUG_CHECKS 0
+#endif
+
+#if CUCKOO_DEBUG_CHECKS
+#include <cstddef>
+#include <vector>
+#endif
+
+namespace cuckoo {
+namespace debug {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* msg, const char* file,
+                                     int line) noexcept {
+  std::fprintf(stderr, "CUCKOO_CHECK failed: %s — %s (%s:%d)\n", expr, msg, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace debug
+}  // namespace cuckoo
+
+#define CUCKOO_CHECK(cond, msg)                                            \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::cuckoo::debug::CheckFailed(#cond, (msg), __FILE__, __LINE__))
+
+#if CUCKOO_DEBUG_CHECKS
+#define CUCKOO_DCHECK(cond, msg) CUCKOO_CHECK(cond, msg)
+#else
+#define CUCKOO_DCHECK(cond, msg) static_cast<void>(0)
+#endif
+
+#if CUCKOO_DEBUG_CHECKS
+
+namespace cuckoo {
+namespace debug {
+
+// One stripe held by the current thread. `table` disambiguates stripes of
+// unrelated LockStripes instances (two maps may legitimately interleave).
+struct HeldStripe {
+  const void* table;
+  std::size_t index;
+};
+
+inline std::vector<HeldStripe>& HeldStripes() noexcept {
+  static thread_local std::vector<HeldStripe> held;
+  return held;
+}
+
+// Assert the ascending-order discipline for `index` against every stripe of
+// `table` this thread already holds, then record the acquisition. Called
+// immediately BEFORE blocking on the stripe lock, so a would-be deadlock
+// aborts instead of hanging.
+inline void OnStripeAcquire(const void* table, std::size_t index) noexcept {
+  for (const HeldStripe& h : HeldStripes()) {
+    if (h.table != table) {
+      continue;
+    }
+    CUCKOO_DCHECK(h.index != index,
+                  "stripe lock acquired twice by one thread (self-deadlock)");
+    CUCKOO_DCHECK(h.index < index,
+                  "stripe-order violation: acquiring a lower-indexed stripe while "
+                  "holding a higher one can deadlock (§4.4 requires lower first)");
+  }
+  HeldStripes().push_back(HeldStripe{table, index});
+}
+
+// Record the release of `index`; asserts the thread actually held it.
+inline void OnStripeRelease(const void* table, std::size_t index) noexcept {
+  auto& held = HeldStripes();
+  for (auto it = held.end(); it != held.begin();) {
+    --it;
+    if (it->table == table && it->index == index) {
+      held.erase(it);
+      return;
+    }
+  }
+  CUCKOO_DCHECK(false, "stripe lock released by a thread that does not hold it");
+}
+
+// Number of stripes of `table` held by the current thread (test aid).
+inline std::size_t HeldStripeCount(const void* table) noexcept {
+  std::size_t n = 0;
+  for (const HeldStripe& h : HeldStripes()) {
+    n += h.table == table ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace debug
+}  // namespace cuckoo
+
+#define CUCKOO_DEBUG_STRIPE_ACQUIRE(table, index) \
+  ::cuckoo::debug::OnStripeAcquire((table), (index))
+#define CUCKOO_DEBUG_STRIPE_RELEASE(table, index) \
+  ::cuckoo::debug::OnStripeRelease((table), (index))
+
+#else
+
+#define CUCKOO_DEBUG_STRIPE_ACQUIRE(table, index) static_cast<void>(0)
+#define CUCKOO_DEBUG_STRIPE_RELEASE(table, index) static_cast<void>(0)
+
+#endif  // CUCKOO_DEBUG_CHECKS
+
+#endif  // SRC_COMMON_DEBUG_CHECKS_H_

@@ -11,6 +11,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/common/debug_checks.h"
+#include "src/common/test_points.h"
 #include "src/common/version_lock.h"
 
 namespace cuckoo {
@@ -48,8 +50,13 @@ class LockStripes {
     if (s1 > s2) {
       std::swap(s1, s2);
     }
+    CUCKOO_DEBUG_STRIPE_ACQUIRE(this, s1);
     stripes_[s1].Lock();
     if (s2 != s1) {
+      // Window between the two acquisitions: a peer locking an overlapping
+      // pair is ordered against us by the canonical (ascending) order above.
+      CUCKOO_TEST_POINT(TestPoint::kPairLockBetweenAcquires);
+      CUCKOO_DEBUG_STRIPE_ACQUIRE(this, s2);
       stripes_[s2].Lock();
     }
   }
@@ -57,8 +64,10 @@ class LockStripes {
   void UnlockPair(std::size_t b1, std::size_t b2) noexcept {
     std::size_t s1 = StripeFor(b1);
     std::size_t s2 = StripeFor(b2);
+    CUCKOO_DEBUG_STRIPE_RELEASE(this, s1);
     stripes_[s1].Unlock();
     if (s2 != s1) {
+      CUCKOO_DEBUG_STRIPE_RELEASE(this, s2);
       stripes_[s2].Unlock();
     }
   }
@@ -67,8 +76,10 @@ class LockStripes {
   void UnlockPairNoModify(std::size_t b1, std::size_t b2) noexcept {
     std::size_t s1 = StripeFor(b1);
     std::size_t s2 = StripeFor(b2);
+    CUCKOO_DEBUG_STRIPE_RELEASE(this, s1);
     stripes_[s1].UnlockNoModify();
     if (s2 != s1) {
+      CUCKOO_DEBUG_STRIPE_RELEASE(this, s2);
       stripes_[s2].UnlockNoModify();
     }
   }
@@ -76,15 +87,19 @@ class LockStripes {
   // Acquire every stripe in ascending order. Used for whole-table operations
   // (expansion, clear, exclusive LockedTable views). The paper notes a writer
   // "could pessimistically acquire a full-table lock by acquiring each of the
-  // 2048 locks in the lock-striped table".
+  // 2048 locks in the lock-striped table". Ascending order obeys the same
+  // discipline LockPair uses, so whole-table and pair acquisitions never
+  // deadlock against each other.
   void LockAll() noexcept {
     for (std::size_t i = 0; i <= mask_; ++i) {
+      CUCKOO_DEBUG_STRIPE_ACQUIRE(this, i);
       stripes_[i].Lock();
     }
   }
 
   void UnlockAll() noexcept {
     for (std::size_t i = 0; i <= mask_; ++i) {
+      CUCKOO_DEBUG_STRIPE_RELEASE(this, i);
       stripes_[i].Unlock();
     }
   }

@@ -1,0 +1,154 @@
+// Schedule-perturbation hooks ("test points") for deterministic race testing.
+//
+// The §4.3.1/§4.4 protocols have three narrow windows where a concurrent
+// writer changes the outcome:
+//
+//   * between cuckoo-path discovery and the first displacement lock
+//     (kInsertAfterPathDiscovery) — forces Appendix B path invalidation;
+//   * between the two bucket-lock acquisitions of a stripe pair
+//     (kPairLockBetweenAcquires) — exercises the ordered-locking discipline;
+//   * between the version snapshot and the data read of an optimistic lookup
+//     (kReadAfterVersionSnapshot), and between the data read and validation
+//     (kReadBeforeValidate) — forces reader validation failure mid-read.
+//
+// A stress test hits these windows probabilistically; a test point hits them
+// on demand: tests arm a callback that runs *on the thread inside the window*,
+// and use it to perform a conflicting operation or rendezvous with another
+// thread. Instrumented code marks the windows with CUCKOO_TEST_POINT(p),
+// which compiles to nothing unless CUCKOO_ENABLE_TEST_POINTS is defined
+// non-zero (the sanitizer/debug CMake presets enable it; release builds do
+// not).
+//
+// Handlers run with whatever locks the window holds — kPairLockBetweenAcquires
+// fires while the lower stripe is held, the other points fire lock-free. A
+// handler must not re-enter an operation that takes the held stripe.
+#ifndef SRC_COMMON_TEST_POINTS_H_
+#define SRC_COMMON_TEST_POINTS_H_
+
+#if !defined(CUCKOO_ENABLE_TEST_POINTS)
+#define CUCKOO_ENABLE_TEST_POINTS 0
+#endif
+
+namespace cuckoo {
+
+enum class TestPoint : int {
+  kInsertAfterPathDiscovery = 0,
+  kPairLockBetweenAcquires,
+  kReadAfterVersionSnapshot,
+  kReadBeforeValidate,
+  kCount,
+};
+
+}  // namespace cuckoo
+
+#if CUCKOO_ENABLE_TEST_POINTS
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace cuckoo {
+namespace testpoints {
+
+using Handler = std::function<void()>;
+
+namespace internal {
+
+struct Registry {
+  // Fast-path gate per point: a relaxed load when nothing is armed.
+  std::array<std::atomic<bool>, static_cast<int>(TestPoint::kCount)> armed{};
+  std::mutex mu;
+  std::array<std::shared_ptr<const Handler>, static_cast<int>(TestPoint::kCount)> handlers;
+};
+
+inline Registry& GetRegistry() noexcept {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace internal
+
+// Arm `handler` at `point`, replacing any previous handler. `max_fires`
+// bounds how many times it runs (0 = unlimited) — one-shot handlers are the
+// common case because retry loops revisit the same window.
+inline void Arm(TestPoint point, Handler handler, int max_fires = 1) {
+  auto& reg = internal::GetRegistry();
+  const int i = static_cast<int>(point);
+  std::shared_ptr<const Handler> wrapped;
+  if (max_fires == 0) {
+    wrapped = std::make_shared<const Handler>(std::move(handler));
+  } else {
+    auto budget = std::make_shared<std::atomic<int>>(max_fires);
+    wrapped = std::make_shared<const Handler>([fn = std::move(handler), budget]() {
+      // fetch_sub decides winner-takes-a-slot even if two threads race here.
+      if (budget->fetch_sub(1, std::memory_order_relaxed) > 0) {
+        fn();
+      }
+    });
+  }
+  std::lock_guard<std::mutex> g(reg.mu);
+  reg.handlers[i] = std::move(wrapped);
+  reg.armed[i].store(true, std::memory_order_release);
+}
+
+inline void Disarm(TestPoint point) {
+  auto& reg = internal::GetRegistry();
+  const int i = static_cast<int>(point);
+  std::lock_guard<std::mutex> g(reg.mu);
+  reg.armed[i].store(false, std::memory_order_release);
+  reg.handlers[i].reset();
+}
+
+inline void DisarmAll() {
+  for (int i = 0; i < static_cast<int>(TestPoint::kCount); ++i) {
+    Disarm(static_cast<TestPoint>(i));
+  }
+}
+
+// Called by instrumented code at the window.
+inline void Hit(TestPoint point) {
+  auto& reg = internal::GetRegistry();
+  const int i = static_cast<int>(point);
+  if (!reg.armed[i].load(std::memory_order_acquire)) {
+    return;
+  }
+  std::shared_ptr<const Handler> handler;
+  {
+    std::lock_guard<std::mutex> g(reg.mu);
+    handler = reg.handlers[i];
+  }
+  if (handler && *handler) {
+    (*handler)();
+  }
+}
+
+// RAII arming for tests: disarms its point (and by default every point) on
+// scope exit so a failing test cannot leak a handler into the next one.
+class ScopedHandler {
+ public:
+  ScopedHandler(TestPoint point, Handler handler, int max_fires = 1) : point_(point) {
+    Arm(point, std::move(handler), max_fires);
+  }
+  ScopedHandler(const ScopedHandler&) = delete;
+  ScopedHandler& operator=(const ScopedHandler&) = delete;
+  ~ScopedHandler() { Disarm(point_); }
+
+ private:
+  TestPoint point_;
+};
+
+}  // namespace testpoints
+}  // namespace cuckoo
+
+#define CUCKOO_TEST_POINT(point) ::cuckoo::testpoints::Hit(point)
+
+#else
+
+#define CUCKOO_TEST_POINT(point) static_cast<void>(0)
+
+#endif  // CUCKOO_ENABLE_TEST_POINTS
+
+#endif  // SRC_COMMON_TEST_POINTS_H_

@@ -9,6 +9,9 @@
 // the version so optimistic readers observe that the protected region changed.
 // Readers never write the word: they snapshot the version (spinning past any
 // in-flight writer), read the protected data, and re-validate.
+//
+// Under CUCKOO_DEBUG_CHECKS the lock additionally tracks its owner thread and
+// aborts on recursive locking and unlock-by-non-owner.
 #ifndef SRC_COMMON_VERSION_LOCK_H_
 #define SRC_COMMON_VERSION_LOCK_H_
 
@@ -17,25 +20,36 @@
 #include <thread>
 
 #include "src/common/cpu.h"
+#include "src/common/debug_checks.h"
 
 namespace cuckoo {
 
 class VersionLock {
  public:
   static constexpr std::uint64_t kLockBit = 1ull << 63;
+  // The version occupies the low 63 bits and wraps to 0 past kVersionMask.
+  static constexpr std::uint64_t kVersionMask = kLockBit - 1;
 
   VersionLock() noexcept = default;
+  // Start at a chosen version (< kLockBit). Tests use this to exercise
+  // wrap-around; the table constructors always start at 0.
+  explicit VersionLock(std::uint64_t initial_version) noexcept : word_(initial_version) {
+    CUCKOO_DCHECK((initial_version & kLockBit) == 0,
+                  "initial version must fit in the low 63 bits");
+  }
   VersionLock(const VersionLock&) = delete;
   VersionLock& operator=(const VersionLock&) = delete;
 
   // Acquire the lock, spinning (with bounded PAUSE then yield) until free.
   void Lock() noexcept {
+    DebugCheckNotHeldByThisThread();
     int spins = 0;
     for (;;) {
       std::uint64_t v = word_.load(std::memory_order_relaxed);
       if ((v & kLockBit) == 0 &&
           word_.compare_exchange_weak(v, v | kLockBit, std::memory_order_acquire,
                                       std::memory_order_relaxed)) {
+        DebugSetOwner();
         return;
       }
       if (++spins < kSpinLimit) {
@@ -47,26 +61,52 @@ class VersionLock {
     }
   }
 
-  // One-shot acquisition attempt.
+  // One-shot acquisition attempt. Unlike Lock(), calling this while already
+  // holding the lock is well-defined (it returns false), so no owner
+  // assertion: only the blocking path turns self-acquisition into deadlock.
   bool TryLock() noexcept {
     std::uint64_t v = word_.load(std::memory_order_relaxed);
-    return (v & kLockBit) == 0 &&
-           word_.compare_exchange_strong(v, v | kLockBit, std::memory_order_acquire,
-                                         std::memory_order_relaxed);
+    if ((v & kLockBit) == 0 &&
+        word_.compare_exchange_strong(v, v | kLockBit, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      DebugSetOwner();
+      return true;
+    }
+    return false;
   }
 
   // Release the lock and advance the version, invalidating concurrent
   // optimistic readers. Must only be called by the lock holder.
+  //
+  // A single CAS RMW clears the bit and bumps the (wrapping, 63-bit) version
+  // together. The loop body never actually retries: while the lock bit is set
+  // no other thread modifies the word — writers' acquisition CASes fail and
+  // readers never write — so the holder's CAS succeeds on the first attempt;
+  // the RMW form exists so the release can never clobber a word it did not
+  // read (and so the previous value is available to assert on).
   void Unlock() noexcept {
+    DebugCheckHeldByThisThread();
+    DebugClearOwner();
     std::uint64_t v = word_.load(std::memory_order_relaxed);
-    word_.store((v + 1) & ~kLockBit, std::memory_order_release);
+    CUCKOO_DCHECK((v & kLockBit) != 0, "Unlock of a VersionLock that is not locked");
+    while (!word_.compare_exchange_weak(v, (v + 1) & kVersionMask,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
   }
 
   // Release without bumping the version: the holder certifies it made no
-  // modification to the protected region, so readers need not be invalidated.
+  // modification to the protected region, so concurrent optimistic readers
+  // stay valid. Same single-RMW structure as Unlock.
   void UnlockNoModify() noexcept {
+    DebugCheckHeldByThisThread();
+    DebugClearOwner();
     std::uint64_t v = word_.load(std::memory_order_relaxed);
-    word_.store(v & ~kLockBit, std::memory_order_release);
+    CUCKOO_DCHECK((v & kLockBit) != 0,
+                  "UnlockNoModify of a VersionLock that is not locked");
+    while (!word_.compare_exchange_weak(v, v & kVersionMask, std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
   }
 
   // Spin until the lock bit is clear and return the (stable) version.
@@ -98,8 +138,33 @@ class VersionLock {
   }
 
  private:
+#if CUCKOO_DEBUG_CHECKS
+  static constexpr int kNoOwner = -1;
+
+  void DebugSetOwner() noexcept {
+    owner_.store(CurrentThreadId(), std::memory_order_relaxed);
+  }
+  void DebugClearOwner() noexcept { owner_.store(kNoOwner, std::memory_order_relaxed); }
+  void DebugCheckNotHeldByThisThread() const noexcept {
+    CUCKOO_DCHECK(owner_.load(std::memory_order_relaxed) != CurrentThreadId(),
+                  "recursive VersionLock acquisition (already held by this thread)");
+  }
+  void DebugCheckHeldByThisThread() const noexcept {
+    CUCKOO_DCHECK(owner_.load(std::memory_order_relaxed) == CurrentThreadId(),
+                  "VersionLock released by a thread that does not hold it");
+  }
+#else
+  void DebugSetOwner() noexcept {}
+  void DebugClearOwner() noexcept {}
+  void DebugCheckNotHeldByThisThread() const noexcept {}
+  void DebugCheckHeldByThisThread() const noexcept {}
+#endif
+
   static constexpr int kSpinLimit = 128;
   std::atomic<std::uint64_t> word_{0};
+#if CUCKOO_DEBUG_CHECKS
+  std::atomic<int> owner_{kNoOwner};
+#endif
 };
 
 // VersionLock padded to a cache line for use in stripe arrays.

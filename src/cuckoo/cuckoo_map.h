@@ -27,9 +27,11 @@
 #include <vector>
 
 #include "src/common/cpu.h"
+#include "src/common/debug_checks.h"
 #include "src/common/hash.h"
 #include "src/common/random.h"
 #include "src/common/striped_locks.h"
+#include "src/common/test_points.h"
 #include "src/cuckoo/path_search.h"
 #include "src/cuckoo/stats.h"
 #include "src/cuckoo/table_core.h"
@@ -163,7 +165,12 @@ class CuckooMap {
         std::size_t bucket;
         int slot;
         if (FindSlotExclusive(*core, b1, b2, h.tag, key, &bucket, &slot)) {
-          fn(core->buckets[bucket].values[slot]);
+          // Load/modify/store through the relaxed accessors rather than
+          // handing `fn` a reference: a concurrent optimistic reader may be
+          // copying these bytes, and the mutation must stay tear-tolerant.
+          V v = core->LoadValue(bucket, slot);
+          fn(v);
+          core->WriteValue(bucket, slot, v);
           return InsertResult::kKeyExists;
         }
       }
@@ -282,6 +289,29 @@ class CuckooMap {
   // Maximum cuckoo-path length the BFS can produce at the configured M (Eq. 2).
   std::size_t MaxBfsDepth() const noexcept {
     return MaxBfsPathLength(B, opts_.max_search_slots);
+  }
+
+  // Full-table invariant check for tests: acquires every stripe, then
+  // verifies per-slot key/tag/bucket consistency and the size counter.
+  // Aborts with a diagnostic on violation (active in all build types).
+  void AssertInvariants() {
+    std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+    AllGuard all(stripes_);
+    Core* core = core_.load(std::memory_order_relaxed);
+    core->AssertInvariants(static_cast<std::int64_t>(Size()));
+    for (std::size_t bkt = 0; bkt < core->bucket_count(); ++bkt) {
+      for (int s = 0; s < B; ++s) {
+        const std::uint8_t tag = core->Tag(bkt, s);
+        if (tag == 0) {
+          continue;
+        }
+        const HashedKey h = HashedKey::From(hasher_(core->KeyRef(bkt, s)));
+        CUCKOO_CHECK(h.tag == tag, "stored tag must be the key's partial key");
+        const std::size_t b1 = h.Bucket1(core->mask);
+        CUCKOO_CHECK(bkt == b1 || bkt == core->AltBucket(b1, h.tag),
+                     "item must reside in one of its two candidate buckets");
+      }
+    }
   }
 
   // ----- Exclusive view (§7 libcuckoo-style iteration) ----------------------
@@ -413,6 +443,8 @@ class CuckooMap {
 
       const std::uint64_t v1 = stripes_.Stripe(s1).AwaitVersion();
       const std::uint64_t v2 = (s2 == s1) ? v1 : stripes_.Stripe(s2).AwaitVersion();
+      // Window: a writer committing here must make the validation below fail.
+      CUCKOO_TEST_POINT(TestPoint::kReadAfterVersionSnapshot);
 
       if (opts_.prefetch) {
         core->PrefetchBucket(b2);
@@ -434,6 +466,7 @@ class CuckooMap {
         }
       }
 
+      CUCKOO_TEST_POINT(TestPoint::kReadBeforeValidate);
       std::atomic_thread_fence(std::memory_order_acquire);
       const bool valid = core_.load(std::memory_order_relaxed) == core &&
                          stripes_.Stripe(s1).LoadRaw() == v1 &&
@@ -545,6 +578,10 @@ class CuckooMap {
         continue;
       }
 
+      // Window between discovery and the first displacement lock: concurrent
+      // writers may consume the hole or move path items; ExecutePath's
+      // per-hop validation must then fail (Appendix B).
+      CUCKOO_TEST_POINT(TestPoint::kInsertAfterPathDiscovery);
       if (ExecutePath(core, path)) {
         executed_path_len += path.Displacements();
         // A slot is now free in b1 or b2 (unless stolen); retry the fast path.

@@ -31,6 +31,7 @@
 #include "src/common/random.h"
 #include "src/common/spinlock.h"
 #include "src/common/striped_locks.h"
+#include "src/common/test_points.h"
 #include "src/cuckoo/path_search.h"
 #include "src/cuckoo/stats.h"
 #include "src/cuckoo/table_core.h"
@@ -90,6 +91,7 @@ class FlatCuckooMap {
     for (;;) {
       const std::uint64_t v1 = versions_.Stripe(s1).AwaitVersion();
       const std::uint64_t v2 = (s2 == s1) ? v1 : versions_.Stripe(s2).AwaitVersion();
+      CUCKOO_TEST_POINT(TestPoint::kReadAfterVersionSnapshot);
 
       bool found = false;
       V value{};
@@ -106,6 +108,7 @@ class FlatCuckooMap {
         }
       }
 
+      CUCKOO_TEST_POINT(TestPoint::kReadBeforeValidate);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (versions_.Stripe(s1).LoadRaw() == v1 && versions_.Stripe(s2).LoadRaw() == v2) {
         stats_.RecordLookup(found);
@@ -373,6 +376,9 @@ class FlatCuckooMap {
         return InsertResult::kTableFull;
       }
 
+      // Window between discovery and taking the lock (Algorithm 2): the path
+      // may be invalidated by writers that slip in here.
+      CUCKOO_TEST_POINT(TestPoint::kInsertAfterPathDiscovery);
       {
         std::lock_guard<GlobalLock> g(lock_);
         std::size_t bucket;

@@ -17,7 +17,9 @@
 #include <memory>
 #include <type_traits>
 
+#include "src/common/atomic_util.h"
 #include "src/common/cpu.h"
+#include "src/common/debug_checks.h"
 #include "src/common/hash.h"
 
 namespace cuckoo {
@@ -84,28 +86,27 @@ struct TableCore {
 
   // Tear-tolerant loads for the optimistic read path: the bytes read may be
   // concurrently overwritten; callers must validate a version counter before
-  // trusting the result. memcpy keeps the access untyped.
+  // trusting the result. Relaxed atomic word accesses keep the (intentional)
+  // race defined and TSan-visible; see src/common/atomic_util.h.
   K LoadKey(std::size_t bucket, int slot) const noexcept {
-    K k;
-    std::memcpy(&k, &buckets[bucket].keys[slot], sizeof(K));
-    return k;
+    return RelaxedLoad(buckets[bucket].keys[slot]);
   }
   V LoadValue(std::size_t bucket, int slot) const noexcept {
-    V v;
-    std::memcpy(&v, &buckets[bucket].values[slot], sizeof(V));
-    return v;
+    return RelaxedLoad(buckets[bucket].values[slot]);
   }
 
-  // Write a full slot. Caller must hold the bucket's stripe lock.
+  // Write a full slot. Caller must hold the bucket's stripe lock. Key/value
+  // bytes go through RelaxedStore because an optimistic reader may be copying
+  // them concurrently (it will discard the torn copy at validation).
   void WriteSlot(std::size_t bucket, int slot, std::uint8_t tag, const K& key,
                  const V& value) noexcept {
-    buckets[bucket].keys[slot] = key;
-    buckets[bucket].values[slot] = value;
+    RelaxedStore(buckets[bucket].keys[slot], key);
+    RelaxedStore(buckets[bucket].values[slot], value);
     SetTag(bucket, slot, tag);
   }
 
   void WriteValue(std::size_t bucket, int slot, const V& value) noexcept {
-    buckets[bucket].values[slot] = value;
+    RelaxedStore(buckets[bucket].values[slot], value);
   }
 
   void ClearSlot(std::size_t bucket, int slot) noexcept { SetTag(bucket, slot, 0); }
@@ -114,8 +115,8 @@ struct TableCore {
   // backwards" displacement. Destination is written before the source tag is
   // cleared so the item is never missing from the table (§4.2).
   void MoveSlot(std::size_t from, int from_slot, std::size_t to, int to_slot) noexcept {
-    buckets[to].keys[to_slot] = buckets[from].keys[from_slot];
-    buckets[to].values[to_slot] = buckets[from].values[from_slot];
+    RelaxedStore(buckets[to].keys[to_slot], buckets[from].keys[from_slot]);
+    RelaxedStore(buckets[to].values[to_slot], buckets[from].values[from_slot]);
     SetTag(to, to_slot, Tag(from, from_slot));
     ClearSlot(from, from_slot);
   }
@@ -125,6 +126,45 @@ struct TableCore {
   // be bounced back.
   std::size_t AltBucket(std::size_t bucket, std::uint8_t tag) const noexcept {
     return (bucket ^ (static_cast<std::size_t>(Mix64(tag)) | 1u)) & mask;
+  }
+
+  std::size_t CountOccupied() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t bkt = 0; bkt <= mask; ++bkt) {
+      for (int s = 0; s < B; ++s) {
+        n += Tag(bkt, s) != 0 ? 1 : 0;
+      }
+    }
+    return n;
+  }
+
+  // Structural invariant check, callable from tests. The caller must hold
+  // every stripe lock (or otherwise have exclusive access). Verifies
+  //   * tag/slot consistency: AltBucket is involutive for every stored tag,
+  //     so every occupant can be displaced back to where it came from;
+  //   * occupancy: if `expected_size` >= 0, the number of non-zero tags
+  //     matches it, and it never exceeds the slot count (load factor <= 1).
+  // Aborts with a diagnostic on violation (CUCKOO_CHECK is active in every
+  // build type). Key->tag consistency needs the hasher and lives one layer
+  // up, in CuckooMap::AssertInvariants.
+  void AssertInvariants(std::int64_t expected_size = -1) const {
+    std::size_t occupied = 0;
+    for (std::size_t bkt = 0; bkt <= mask; ++bkt) {
+      for (int s = 0; s < B; ++s) {
+        const std::uint8_t tag = Tag(bkt, s);
+        if (tag == 0) {
+          continue;
+        }
+        ++occupied;
+        CUCKOO_CHECK(AltBucket(AltBucket(bkt, tag), tag) == bkt,
+                     "AltBucket must be involutive for every stored tag");
+      }
+    }
+    CUCKOO_CHECK(occupied <= slot_count(), "occupancy exceeds slot count");
+    if (expected_size >= 0) {
+      CUCKOO_CHECK(occupied == static_cast<std::size_t>(expected_size),
+                   "occupied slot count disagrees with the size counter");
+    }
   }
 
   void PrefetchTags(std::size_t bucket) const noexcept {

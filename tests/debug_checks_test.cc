@@ -1,0 +1,186 @@
+// Tests for the debug concurrency assertions (src/common/debug_checks.h):
+// VersionLock owner tracking, the stripe-ordering discipline, and the
+// always-on structural invariant walkers.
+//
+// The misuse tests are death tests: every violation must abort with a
+// diagnostic rather than corrupt state or deadlock. The owner/ordering
+// assertions exist only under CUCKOO_DEBUG_CHECKS (tsan/asan/ubsan/debug
+// presets); the invariant walkers are active in every build type.
+#include "src/common/debug_checks.h"
+
+#include <cstdint>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/common/striped_locks.h"
+#include "src/common/version_lock.h"
+#include "src/cuckoo/cuckoo_map.h"
+#include "src/cuckoo/table_core.h"
+#include "src/cuckoo/types.h"
+
+namespace cuckoo {
+namespace {
+
+// Death tests fork; "threadsafe" re-executes the binary so forking from a
+// process that has spawned threads (or runs under a sanitizer) stays sound.
+class DebugChecksDeathTest : public ::testing::Test {
+ protected:
+  // (Direct flag assignment rather than GTEST_FLAG_SET for compatibility
+  // with pre-1.11 googletest.)
+  void SetUp() override { ::testing::FLAGS_gtest_death_test_style = "threadsafe"; }
+};
+
+// ----- Always-on invariant walkers -----------------------------------------
+
+using SmallCore = TableCore<std::uint64_t, std::uint64_t, 4>;
+
+TEST(InvariantWalkerTest, TableCorePassesOnConsistentTable) {
+  SmallCore core(4);
+  const HashedKey h = HashedKey::From(0x123456789abcdef0ull);
+  const std::size_t b1 = h.Bucket1(core.mask);
+  core.WriteSlot(b1, 0, h.tag, 1, 100);
+  core.AssertInvariants();   // structural only
+  core.AssertInvariants(1);  // with occupancy
+}
+
+TEST(InvariantWalkerTest, CuckooMapPassesAfterChurn) {
+  CuckooMap<std::uint64_t, std::uint64_t> map;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(map.Insert(k, k * 3), InsertResult::kOk);
+  }
+  for (std::uint64_t k = 0; k < 1000; k += 2) {
+    ASSERT_TRUE(map.Erase(k));
+  }
+  map.AssertInvariants();
+}
+
+TEST_F(DebugChecksDeathTest, TableCoreSizeMismatchAborts) {
+  EXPECT_DEATH(
+      {
+        SmallCore core(4);
+        const HashedKey h = HashedKey::From(0x123456789abcdef0ull);
+        core.WriteSlot(h.Bucket1(core.mask), 0, h.tag, 1, 100);
+        core.AssertInvariants(5);  // actually holds 1 item
+      },
+      "disagrees with the size counter");
+}
+
+#if !CUCKOO_DEBUG_CHECKS
+
+TEST(DebugChecksTest, RequiresDebugChecks) {
+  GTEST_SKIP() << "built without CUCKOO_DEBUG_CHECKS; use the tsan/asan/ubsan/"
+                  "debug presets to run the owner and ordering assertion tests";
+}
+
+#else
+
+// ----- VersionLock owner tracking ------------------------------------------
+
+TEST_F(DebugChecksDeathTest, RecursiveLockAborts) {
+  EXPECT_DEATH(
+      {
+        VersionLock lock;
+        lock.Lock();
+        lock.Lock();  // would self-deadlock without the owner check
+      },
+      "recursive VersionLock acquisition");
+}
+
+TEST_F(DebugChecksDeathTest, UnlockByNonOwnerAborts) {
+  EXPECT_DEATH(
+      {
+        VersionLock lock;
+        std::thread t([&] { lock.Lock(); });
+        t.join();
+        lock.Unlock();  // this thread never acquired it
+      },
+      "does not hold");
+}
+
+TEST_F(DebugChecksDeathTest, UnlockWhenNeverLockedAborts) {
+  EXPECT_DEATH(
+      {
+        VersionLock lock;
+        lock.Unlock();
+      },
+      "does not hold");
+}
+
+TEST(DebugChecksTest, TryLockThenUnlockTracksOwner) {
+  VersionLock lock;
+  ASSERT_TRUE(lock.TryLock());
+  lock.Unlock();  // same thread: legal
+  ASSERT_TRUE(lock.TryLock());
+  lock.UnlockNoModify();
+}
+
+// ----- Stripe-ordering discipline ------------------------------------------
+
+TEST_F(DebugChecksDeathTest, DescendingPairAcquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        LockStripes stripes(8);
+        stripes.LockPair(5, 6);
+        // Acquiring stripe 0 while holding 5 and 6 inverts the order a peer
+        // doing LockPair(0, 5) uses — a real deadlock, caught deterministically.
+        stripes.LockPair(0, 3);
+      },
+      "stripe-order violation");
+}
+
+TEST_F(DebugChecksDeathTest, DoubleAcquireOfOneStripeAborts) {
+  EXPECT_DEATH(
+      {
+        LockStripes stripes(8);
+        stripes.LockPair(1, 2);
+        stripes.LockPair(9, 11);  // stripe 9 & 7 == 1: already held
+      },
+      "stripe");
+}
+
+TEST(DebugChecksTest, AscendingNestedPairsAllowed) {
+  LockStripes stripes(16);
+  stripes.LockPair(1, 2);
+  stripes.LockPair(5, 6);  // strictly above every held stripe: legal
+  EXPECT_EQ(debug::HeldStripeCount(&stripes), 4u);
+  stripes.UnlockPair(5, 6);
+  stripes.UnlockPair(1, 2);
+  EXPECT_EQ(debug::HeldStripeCount(&stripes), 0u);
+}
+
+TEST(DebugChecksTest, GuardsMaintainHeldStripeSet) {
+  LockStripes stripes(16);
+  EXPECT_EQ(debug::HeldStripeCount(&stripes), 0u);
+  {
+    PairGuard guard(stripes, 3, 7);
+    EXPECT_EQ(debug::HeldStripeCount(&stripes), 2u);
+  }
+  EXPECT_EQ(debug::HeldStripeCount(&stripes), 0u);
+  {
+    // Buckets 4 and 20 share stripe 4 (mod 16): only one acquisition.
+    PairGuard guard(stripes, 4, 20);
+    EXPECT_EQ(debug::HeldStripeCount(&stripes), 1u);
+  }
+  {
+    AllGuard all(stripes);
+    EXPECT_EQ(debug::HeldStripeCount(&stripes), 16u);
+  }
+  EXPECT_EQ(debug::HeldStripeCount(&stripes), 0u);
+}
+
+TEST(DebugChecksTest, IndependentTablesDoNotInterfere) {
+  // The held-stripe set is keyed by table: holding a high stripe of one map
+  // must not forbid locking a low stripe of another.
+  LockStripes first(8);
+  LockStripes second(8);
+  first.LockPair(6, 7);
+  second.LockPair(0, 1);  // lower indices, different table: legal
+  second.UnlockPair(0, 1);
+  first.UnlockPair(6, 7);
+}
+
+#endif  // CUCKOO_DEBUG_CHECKS
+
+}  // namespace
+}  // namespace cuckoo

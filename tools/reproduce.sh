@@ -5,6 +5,11 @@
 #   tools/reproduce.sh              # default (minutes-scale) sizes
 #   tools/reproduce.sh --paper      # paper-scale tables (2^27 slots; needs ~3 GB
 #                                   # of RAM per table and much more time)
+#
+# Uses the `release` CMake preset (see CMakePresets.json), so the build tree
+# is build-release/. The sanitizer matrix has its own presets:
+#   cmake --preset tsan && cmake --build --preset tsan && \
+#     ctest --preset tsan -L concurrency
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,13 +18,29 @@ if [[ "${1:-}" == "--paper" ]]; then
   EXTRA_FLAGS+=(--slots_log2=27)
 fi
 
-cmake -B build -G Ninja
-cmake --build build
+BUILD_DIR=build-release
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+# Refuse a stale build tree whose configuration is incompatible with the
+# release preset (wrong generator, or sanitizer flags baked in): incremental
+# reconfiguration of either silently produces wrong-flavor binaries.
+if [[ -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cached_generator=$(sed -n 's/^CMAKE_GENERATOR:INTERNAL=//p' "$BUILD_DIR/CMakeCache.txt")
+  cached_sanitize=$(sed -n 's/^CUCKOO_SANITIZE:STRING=//p' "$BUILD_DIR/CMakeCache.txt")
+  if [[ "$cached_generator" != "Ninja" || ( -n "$cached_sanitize" && "$cached_sanitize" != "off" ) ]]; then
+    echo "error: $BUILD_DIR was configured with generator='$cached_generator'," >&2
+    echo "       CUCKOO_SANITIZE='${cached_sanitize:-<unset>}' — incompatible with" >&2
+    echo "       the release preset. Remove it and re-run:  rm -rf $BUILD_DIR" >&2
+    exit 1
+  fi
+fi
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+
+ctest --preset release -j "$(nproc)" 2>&1 | tee test_output.txt
 
 {
-  for b in build/bench/*; do
+  for b in "$BUILD_DIR"/bench/*; do
     case "$b" in *.cmake|*CMakeFiles*) continue ;; esac
     [[ -x "$b" && -f "$b" ]] || continue
     "$b" "${EXTRA_FLAGS[@]}"
