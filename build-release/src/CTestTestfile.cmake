@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-release/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("htm")
+subdirs("cuckoo")
+subdirs("baselines")
+subdirs("benchkit")
+subdirs("kvserver")

@@ -1,0 +1,3 @@
+add_test([=[RaceInjectionTest.RequiresTestPoints]=]  /root/repo/build-release/tests/race_injection_test [==[--gtest_filter=RaceInjectionTest.RequiresTestPoints]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[RaceInjectionTest.RequiresTestPoints]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-release/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] LABELS concurrency)
+set(  race_injection_test_TESTS RaceInjectionTest.RequiresTestPoints)

@@ -1,0 +1,3 @@
+add_test([=[StressTest.MixedWorkloadSoak]=]  /root/repo/build-tsan/tests/stress_test [==[--gtest_filter=StressTest.MixedWorkloadSoak]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[StressTest.MixedWorkloadSoak]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-tsan/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] LABELS concurrency slow)
+set(  stress_test_TESTS StressTest.MixedWorkloadSoak)
