@@ -1,0 +1,270 @@
+// server_throughput: end-to-end throughput of the epoll KV front end, driven
+// by N pipelined client connections over a real socket. Compares the same
+// key traffic issued three ways:
+//
+//   single_get        — one `get <k>\r\n` per key, one round-trip each
+//   pipelined_get     — the same single-key gets, `pipeline` per write
+//   multi_get         — multi-key `get k1 .. kB\r\n` (batch >= 8), pipelined;
+//                       exercises the table's batched prefetching lookup
+//
+// Emits BENCH_kvserver.json (path via --out) so CI can track the serving
+// layer's perf trajectory. --smoke shrinks everything for a seconds-scale
+// sanity run.
+//
+//   ./build/bench/server_throughput [--threads=4] [--keys=20000]
+//       [--rounds=200] [--batch=16] [--pipeline=32] [--value_size=100]
+//       [--tcp] [--smoke] [--out=BENCH_kvserver.json]
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/benchkit/flags.h"
+#include "src/common/timing.h"
+#include "src/kvserver/kv_service.h"
+#include "src/kvserver/socket_server.h"
+
+namespace {
+
+struct ModeResult {
+  std::string name;
+  std::uint64_t keys_fetched = 0;
+  double seconds = 0;
+  double keys_per_sec = 0;
+};
+
+std::size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+std::unique_ptr<cuckoo::SocketClient> Connect(const cuckoo::SocketServer& server, bool tcp) {
+  auto client = tcp ? std::make_unique<cuckoo::SocketClient>("127.0.0.1", server.tcp_port())
+                    : std::make_unique<cuckoo::SocketClient>(server.path());
+  return client->connected() ? std::move(client) : nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cuckoo::Flags flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke");
+  const int threads = static_cast<int>(flags.GetInt("threads", smoke ? 2 : 4));
+  const std::uint64_t keys = static_cast<std::uint64_t>(flags.GetInt("keys", smoke ? 2000 : 20000));
+  const std::uint64_t rounds =
+      static_cast<std::uint64_t>(flags.GetInt("rounds", smoke ? 20 : 200));
+  const std::size_t batch = static_cast<std::size_t>(flags.GetInt("batch", 16));
+  const std::size_t pipeline = static_cast<std::size_t>(flags.GetInt("pipeline", 32));
+  const std::size_t value_size = static_cast<std::size_t>(flags.GetInt("value_size", 100));
+  const bool tcp = flags.GetBool("tcp");
+  const std::string out_path = flags.GetString("out", "BENCH_kvserver.json");
+
+  cuckoo::KvService service;
+  cuckoo::SocketServer::Options opts;
+  opts.unix_path = "/tmp/cuckoo_bench_server.sock";
+  opts.enable_tcp = tcp;
+  opts.event_threads = 2;
+  cuckoo::SocketServer server(&service, opts);
+  if (!server.Start()) {
+    std::fprintf(stderr, "could not start server\n");
+    return 1;
+  }
+
+  // Load phase: populate the keyspace through the wire.
+  {
+    auto client = Connect(server, tcp);
+    if (!client) {
+      std::fprintf(stderr, "load client could not connect\n");
+      return 1;
+    }
+    const std::string value(value_size, 'v');
+    std::string chunk;
+    std::uint64_t pending = 0;
+    for (std::uint64_t k = 0; k < keys; ++k) {
+      chunk += "set key" + std::to_string(k) + " 0 0 " + std::to_string(value.size()) +
+               "\r\n" + value + "\r\n";
+      if (++pending == 512 || k + 1 == keys) {
+        if (!client->Send(chunk)) {
+          std::fprintf(stderr, "load send failed\n");
+          return 1;
+        }
+        std::string response;
+        while (CountOccurrences(response, "STORED\r\n") < pending) {
+          if (client->Receive(&response) <= 0) {
+            std::fprintf(stderr, "load receive failed\n");
+            return 1;
+          }
+        }
+        chunk.clear();
+        pending = 0;
+      }
+    }
+  }
+
+  // Each mode fetches the same per-thread key sequence: `rounds` windows of
+  // `batch * pipeline` consecutive keys (wrapping the keyspace).
+  auto run_mode = [&](const std::string& name, bool multiget,
+                      std::size_t requests_per_write) -> ModeResult {
+    std::atomic<std::uint64_t> fetched{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> team;
+    cuckoo::Stopwatch watch;
+    for (int t = 0; t < threads; ++t) {
+      team.emplace_back([&, t] {
+        auto client = Connect(server, tcp);
+        if (!client) {
+          failed.store(true);
+          return;
+        }
+        std::uint64_t cursor = static_cast<std::uint64_t>(t) * 7919;
+        std::uint64_t got = 0;
+        std::string request;
+        std::string response;
+        for (std::uint64_t r = 0; r < rounds && !failed.load(std::memory_order_relaxed); ++r) {
+          request.clear();
+          std::size_t expected_end = 0;
+          std::size_t expected_values = 0;
+          if (multiget) {
+            // `pipeline` multi-get commands of `batch` keys each.
+            for (std::size_t p = 0; p < pipeline; ++p) {
+              request += "get";
+              for (std::size_t b = 0; b < batch; ++b) {
+                request += " key" + std::to_string(cursor++ % keys);
+              }
+              request += "\r\n";
+            }
+            expected_end = pipeline;
+            expected_values = batch * pipeline;
+          } else {
+            // The same keys as single-key gets, `requests_per_write` per
+            // flush (1 = strict request/response round-trips).
+            for (std::size_t p = 0; p < batch * pipeline; p += requests_per_write) {
+              std::string window;
+              for (std::size_t q = 0; q < requests_per_write; ++q) {
+                window += "get key" + std::to_string(cursor++ % keys) + "\r\n";
+              }
+              if (!client->Send(window)) {
+                failed.store(true);
+                return;
+              }
+              response.clear();
+              while (CountOccurrences(response, "END\r\n") < requests_per_write) {
+                if (client->Receive(&response) <= 0) {
+                  failed.store(true);
+                  return;
+                }
+              }
+              got += CountOccurrences(response, "VALUE ");
+            }
+            continue;
+          }
+          if (!client->Send(request)) {
+            failed.store(true);
+            return;
+          }
+          response.clear();
+          while (CountOccurrences(response, "END\r\n") < expected_end) {
+            if (client->Receive(&response) <= 0) {
+              failed.store(true);
+              return;
+            }
+          }
+          got += CountOccurrences(response, "VALUE ");
+          (void)expected_values;
+        }
+        fetched.fetch_add(got, std::memory_order_relaxed);
+      });
+    }
+    for (auto& th : team) {
+      th.join();
+    }
+    ModeResult result;
+    result.name = name;
+    result.seconds = watch.ElapsedSeconds();
+    result.keys_fetched = fetched.load();
+    result.keys_per_sec =
+        result.seconds > 0 ? static_cast<double>(result.keys_fetched) / result.seconds : 0;
+    if (failed.load()) {
+      std::fprintf(stderr, "mode %s failed\n", name.c_str());
+      result.keys_fetched = 0;
+      result.keys_per_sec = 0;
+    }
+    return result;
+  };
+
+  std::vector<ModeResult> results;
+  results.push_back(run_mode("single_get", /*multiget=*/false, /*requests_per_write=*/1));
+  results.push_back(
+      run_mode("pipelined_get", /*multiget=*/false, /*requests_per_write=*/pipeline));
+  results.push_back(run_mode("multi_get", /*multiget=*/true, /*requests_per_write=*/0));
+
+  const cuckoo::SocketServer::StatsSnapshot net = server.Stats();
+  const cuckoo::MapStatsSnapshot table = service.StoreStats();
+  server.Stop();
+
+  std::printf("== server_throughput ==\n");
+  std::printf("transport=%s threads=%d keys=%llu batch=%zu pipeline=%zu value=%zuB\n",
+              tcp ? "tcp" : "unix", threads, static_cast<unsigned long long>(keys), batch,
+              pipeline, value_size);
+  for (const ModeResult& r : results) {
+    std::printf("  %-14s %12.0f keys/s  (%llu keys in %.2fs)\n", r.name.c_str(),
+                r.keys_per_sec, static_cast<unsigned long long>(r.keys_fetched), r.seconds);
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"server_throughput\",\n");
+  std::fprintf(out,
+               "  \"config\": {\"transport\": \"%s\", \"threads\": %d, \"keys\": %llu, "
+               "\"batch\": %zu, \"pipeline\": %zu, \"value_size\": %zu, \"smoke\": %s},\n",
+               tcp ? "tcp" : "unix", threads, static_cast<unsigned long long>(keys), batch,
+               pipeline, value_size, smoke ? "true" : "false");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"keys_fetched\": %llu, \"seconds\": %.4f, "
+                 "\"keys_per_sec\": %.1f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.keys_fetched), r.seconds,
+                 r.keys_per_sec, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"server\": {\"accepted\": %llu, \"bytes_read\": %llu, "
+               "\"bytes_written\": %llu, \"backpressure_pauses\": %llu},\n",
+               static_cast<unsigned long long>(net.accepted),
+               static_cast<unsigned long long>(net.bytes_read),
+               static_cast<unsigned long long>(net.bytes_written),
+               static_cast<unsigned long long>(net.backpressure_pauses));
+  std::fprintf(out,
+               "  \"table\": {\"lookups\": %lld, \"read_retries\": %lld, "
+               "\"path_searches\": %lld, \"expansions\": %lld}\n",
+               static_cast<long long>(table.lookups), static_cast<long long>(table.read_retries),
+               static_cast<long long>(table.path_searches),
+               static_cast<long long>(table.expansions));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Sanity: every mode should have fetched every key it asked for.
+  const std::uint64_t expected = static_cast<std::uint64_t>(threads) * rounds * batch * pipeline;
+  for (const ModeResult& r : results) {
+    if (r.keys_fetched != expected) {
+      std::fprintf(stderr, "FAIL: mode %s fetched %llu of %llu keys\n", r.name.c_str(),
+                   static_cast<unsigned long long>(r.keys_fetched),
+                   static_cast<unsigned long long>(expected));
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -6,6 +6,8 @@
 //   ./build/examples/memcache_service [--threads=4] [--requests=400000] [--get=0.9]
 //   ./build/examples/memcache_service --socket   (clients speak over a real
 //                                                 UNIX domain socket)
+//   ./build/examples/memcache_service --socket --tcp      (TCP loopback)
+//   ./build/examples/memcache_service --batch=16          (multi-key gets)
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -28,9 +30,16 @@ int main(int argc, char** argv) {
   const std::uint64_t key_space = static_cast<std::uint64_t>(flags.GetInt("keys", 50000));
 
   const bool use_socket = flags.GetBool("socket");
+  const bool use_tcp = flags.GetBool("tcp");
+  // Keys per get request; >1 issues memcached multi-key gets, which the
+  // service answers with one batched (prefetching) table pass.
+  const std::size_t batch = static_cast<std::size_t>(flags.GetInt("batch", 1));
 
   cuckoo::KvService service;
-  cuckoo::SocketServer server(&service, "/tmp/cuckoo_memcache_example.sock");
+  cuckoo::SocketServer::Options server_opts;
+  server_opts.unix_path = "/tmp/cuckoo_memcache_example.sock";
+  server_opts.enable_tcp = use_tcp;
+  cuckoo::SocketServer server(&service, server_opts);
   if (use_socket && !server.Start()) {
     std::fprintf(stderr, "could not start socket server\n");
     return 1;
@@ -44,7 +53,9 @@ int main(int argc, char** argv) {
       auto conn = service.Connect();
       std::unique_ptr<cuckoo::SocketClient> socket_client;
       if (use_socket) {
-        socket_client = std::make_unique<cuckoo::SocketClient>(server.path());
+        socket_client = use_tcp ? std::make_unique<cuckoo::SocketClient>("127.0.0.1",
+                                                                         server.tcp_port())
+                                : std::make_unique<cuckoo::SocketClient>(server.path());
         if (!socket_client->connected()) {
           std::fprintf(stderr, "client %d could not connect\n", t);
           return;
@@ -61,7 +72,11 @@ int main(int argc, char** argv) {
         std::string key = "object:" + std::to_string(id);
         request.clear();
         if (rng.NextDouble() < get_fraction) {
-          request = "get " + key + "\r\n";
+          request = "get " + key;
+          for (std::size_t b = 1; b < batch; ++b) {
+            request += " object:" + std::to_string(zipf.Next());
+          }
+          request += "\r\n";
         } else {
           std::string value = "payload-" + std::to_string(id) + "-" +
                               std::to_string(rng.NextBelow(1000));
@@ -94,7 +109,10 @@ int main(int argc, char** argv) {
                               static_cast<std::uint64_t>(threads);
   std::printf("memcache_service: %llu protocol requests on %d %s connections in %.2fs\n",
               static_cast<unsigned long long>(total), threads,
-              use_socket ? "unix-socket" : "in-process", seconds);
+              use_socket ? (use_tcp ? "tcp-socket" : "unix-socket") : "in-process", seconds);
+  if (batch > 1) {
+    std::printf("  gets issued as %zu-key multi-gets\n", batch);
+  }
   std::printf("  throughput : %.2f Mreq/s (%.1f MiB of responses)\n",
               static_cast<double>(total) / seconds / 1e6,
               static_cast<double>(responses_bytes.load()) / 1048576.0);

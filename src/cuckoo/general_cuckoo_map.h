@@ -207,6 +207,53 @@ class GeneralCuckooMap {
     return found;
   }
 
+  // Batched lookup with software pipelining (the §4.3.2 prefetch insight
+  // applied to the locked read path): hashes and bucket prefetches for key
+  // i+D are issued while key i is probed, so the bucket pair is already in
+  // cache when its pair lock is taken. `fn(i, const V&)` is called under the
+  // bucket locks for every key that is present; returns the hit count.
+  // Concurrency-safe like WithValue; each probe is individually atomic (the
+  // batch as a whole is not a snapshot).
+  template <typename Fn>
+  std::size_t WithValueBatch(const K* keys, std::size_t count, Fn&& fn) const {
+    constexpr std::size_t kDepth = 8;
+    HashedKey ring[kDepth];
+
+    auto stage = [&](std::size_t i) {
+      ring[i % kDepth] = HashedKey::From(hasher_(keys[i]));
+      Core* core = core_snapshot_.load(std::memory_order_acquire);
+      const std::size_t b1 = ring[i % kDepth].Bucket1(core->mask);
+      core->PrefetchTags(b1);
+      core->PrefetchTags(core->AltBucket(b1, ring[i % kDepth].tag));
+    };
+
+    const std::size_t lead = count < kDepth ? count : kDepth;
+    for (std::size_t i = 0; i < lead; ++i) {
+      stage(i);
+    }
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      // Probe before staging: ring[i % kDepth] is the slot stage(i + kDepth)
+      // would overwrite.
+      const HashedKey& h = ring[i % kDepth];
+      bool hit = WithPair(h, [&](Core* core, std::size_t b1, std::size_t b2, PairGuard& guard) {
+        Locator loc;
+        bool found = FindSlotLocked(core, b1, b2, h.tag, keys[i], &loc);
+        if (found) {
+          fn(i, const_cast<const Core&>(*core).Value(loc.bucket, loc.slot));
+        }
+        guard.ReleaseNoModify();
+        return found;
+      });
+      if (i + kDepth < count) {
+        stage(i + kDepth);
+      }
+      hits += hit ? 1 : 0;
+      stats_.RecordLookup(hit);
+    }
+    return hits;
+  }
+
   // Apply `fn(V&)` to the mapped value (mutable) under the bucket locks.
   template <typename Fn>
   bool WithValueMut(const K& key, Fn&& fn) {

@@ -109,9 +109,12 @@ class ShardedMap {
 
  private:
   Shard& ShardFor(const K& key) const {
-    // Shard selection uses the upper hash bits; the shard's internal bucket
-    // derivation uses the lower ones, so the two are effectively independent.
-    return *shards_[(hasher_(key) >> 48) & shard_mask_];
+    // Shard selection uses the upper bits of a re-mixed hash; the shard's
+    // internal bucket derivation uses the lower raw bits, so the two are
+    // effectively independent. The mix matters: Hash is a template parameter,
+    // and a user-supplied 32-bit hash would zero `h >> 48` and funnel every
+    // key into shard 0. Mix64 is a bijection, so no entropy is lost.
+    return *shards_[(Mix64(hasher_(key)) >> 48) & shard_mask_];
   }
 
   Hash hasher_;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <utility>
+#include <vector>
 
 namespace cuckoo {
 namespace {
@@ -25,33 +26,43 @@ KvService::KvService(Options opts)
       clock_(opts.clock ? std::move(opts.clock) : WallSeconds) {}
 
 void KvService::HandleGet(const Request& request, bool with_cas, std::string* out) {
+  // Multi-key gets arrive in request.keys; requests constructed by hand may
+  // only set request.key.
+  const std::string* keys = request.keys.empty() ? &request.key : request.keys.data();
+  const std::size_t count = request.keys.empty() ? 1 : request.keys.size();
   const std::uint64_t now = NowSeconds();
-  bool expired = false;
-  bool hit = store_.WithValue(request.key, [&](const StoredValue& value) {
+
+  // One batched pass: hash + prefetch the whole key batch ahead of the
+  // probes, appending VALUE blocks under the bucket locks as hits land.
+  std::vector<std::uint8_t> live(count, 0);
+  std::vector<std::uint8_t> expired(count, 0);
+  store_.WithValueBatch(keys, count, [&](std::size_t i, const StoredValue& value) {
     if (Expired(value, now)) {
-      expired = true;
+      expired[i] = 1;
       return;
     }
+    live[i] = 1;
     if (with_cas) {
-      AppendValueResponseWithCas(request.key, value.flags, value.data, value.cas_id, out);
+      AppendValueResponseWithCas(keys[i], value.flags, value.data, value.cas_id, out);
     } else {
-      AppendValueResponse(request.key, value.flags, value.data, out);
+      AppendValueResponse(keys[i], value.flags, value.data, out);
     }
   });
-  if (hit && expired) {
-    // Lazy expiry: reclaim the slot, but only if the entry is still the
-    // expired one — a concurrent fresh Set must not be deleted. EraseIf
-    // re-checks under the bucket locks.
-    if (store_.EraseIf(request.key,
-                       [&](const StoredValue& value) { return Expired(value, now); })) {
-      expirations_.Increment();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (expired[i] && !live[i]) {
+      // Lazy expiry: reclaim the slot, but only if the entry is still the
+      // expired one — a concurrent fresh Set must not be deleted. EraseIf
+      // re-checks under the bucket locks.
+      if (store_.EraseIf(keys[i],
+                         [&](const StoredValue& value) { return Expired(value, now); })) {
+        expirations_.Increment();
+      }
     }
-    hit = false;
-  }
-  if (hit) {
-    hits_.Increment();
-  } else {
-    misses_.Increment();
+    if (live[i]) {
+      hits_.Increment();
+    } else {
+      misses_.Increment();
+    }
   }
   AppendEnd(out);
 }
@@ -153,6 +164,25 @@ void KvService::Process(const Request& request, std::string* response_out) {
       AppendStat("cmd_set", static_cast<std::uint64_t>(sets_.Sum()), response_out);
       AppendStat("cmd_delete", static_cast<std::uint64_t>(deletes_.Sum()), response_out);
       AppendStat("expired_unfetched", Expirations(), response_out);
+      // Table-level observability: the MapStatsSnapshot counters that tell
+      // an operator whether the serving layer stresses the cuckoo paths.
+      const MapStatsSnapshot table = store_.Stats();
+      AppendStat("table_lookups", static_cast<std::uint64_t>(table.lookups), response_out);
+      AppendStat("table_read_retries", static_cast<std::uint64_t>(table.read_retries),
+                 response_out);
+      AppendStat("table_path_searches", static_cast<std::uint64_t>(table.path_searches),
+                 response_out);
+      AppendStat("table_path_invalidations",
+                 static_cast<std::uint64_t>(table.path_invalidations), response_out);
+      AppendStat("table_displacements", static_cast<std::uint64_t>(table.displacements),
+                 response_out);
+      AppendStat("table_expansions", static_cast<std::uint64_t>(table.expansions),
+                 response_out);
+      AppendStat("table_insert_failures", static_cast<std::uint64_t>(table.insert_failures),
+                 response_out);
+      if (extra_stats_) {
+        extra_stats_(response_out);  // server-layer counters
+      }
       AppendEnd(response_out);
       return;
     }
@@ -170,6 +200,9 @@ void KvService::Connection::Drive(std::string_view bytes, std::string* out) {
     }
     if (status == ParseStatus::kError) {
       AppendError(out);
+      if (parser_.Broken()) {
+        return;  // caller should close the connection
+      }
       continue;
     }
     service_->Process(request, out);

@@ -3,8 +3,11 @@
 // keys and values go through GeneralCuckooMap (the §7 generality layer);
 // every public method is safe to call from any number of connection threads.
 //
-// Supported semantics: get/gets/set/cas/delete/touch/stats, with lazy TTL
-// expiry (exptime seconds, 0 = never) and monotonically increasing cas ids.
+// Supported semantics: get/gets (single- and multi-key)/set/cas/delete/touch/
+// stats, with lazy TTL expiry and monotonically increasing cas ids. exptime
+// follows memcached: 0 = never, <= 30 days = relative seconds, > 30 days =
+// absolute UNIX timestamp. Multi-key gets route through the table's batched
+// prefetching lookup (WithValueBatch).
 #ifndef SRC_KVSERVER_KV_SERVICE_H_
 #define SRC_KVSERVER_KV_SERVICE_H_
 
@@ -22,6 +25,10 @@ namespace cuckoo {
 
 class KvService {
  public:
+  // exptime values above this are absolute UNIX timestamps, not relative
+  // TTLs (memcached's REALTIME_MAXDELTA, 30 days in seconds).
+  static constexpr std::uint32_t kMaxRelativeExptime = 60 * 60 * 24 * 30;
+
   struct Options {
     std::size_t initial_bucket_count_log2 = 10;
     bool auto_expand = true;
@@ -46,6 +53,12 @@ class KvService {
     // Parse and execute everything in `bytes`; append responses to *out.
     void Drive(std::string_view bytes, std::string* out);
 
+    // Bytes of partial request currently buffered (backpressure input).
+    std::size_t BufferedBytes() const noexcept { return parser_.BufferedBytes(); }
+
+    // True if the protocol stream is unrecoverable; close the connection.
+    bool Broken() const noexcept { return parser_.Broken(); }
+
    private:
     KvService* service_;
     RequestParser parser_;
@@ -53,12 +66,20 @@ class KvService {
 
   Connection Connect() { return Connection(this); }
 
+  // Extra STAT lines appended to every `stats` response — the network server
+  // installs its connection/traffic counters here. The hook must be
+  // thread-safe; install before serving traffic.
+  void SetExtraStatsHook(std::function<void(std::string*)> hook) {
+    extra_stats_ = std::move(hook);
+  }
+
   std::size_t ItemCount() const noexcept { return store_.Size(); }
   std::uint64_t GetHits() const noexcept { return static_cast<std::uint64_t>(hits_.Sum()); }
   std::uint64_t GetMisses() const noexcept { return static_cast<std::uint64_t>(misses_.Sum()); }
   std::uint64_t Expirations() const noexcept {
     return static_cast<std::uint64_t>(expirations_.Sum());
   }
+  MapStatsSnapshot StoreStats() const { return store_.Stats(); }
 
  private:
   struct StoredValue {
@@ -69,8 +90,17 @@ class KvService {
   };
 
   std::uint64_t NowSeconds() const { return clock_(); }
+  // memcached exptime semantics: 0 = never; values up to 30 days are a
+  // relative TTL; anything larger is already an absolute UNIX timestamp
+  // (which may be in the past, making the entry immediately expired).
   std::uint64_t DeadlineFor(std::uint32_t exptime) const {
-    return exptime == 0 ? 0 : NowSeconds() + exptime;
+    if (exptime == 0) {
+      return 0;
+    }
+    if (exptime > kMaxRelativeExptime) {
+      return exptime;
+    }
+    return NowSeconds() + exptime;
   }
   bool Expired(const StoredValue& value, std::uint64_t now) const {
     return value.expires_at != 0 && value.expires_at <= now;
@@ -83,6 +113,7 @@ class KvService {
 
   GeneralCuckooMap<std::string, StoredValue> store_;
   std::function<std::uint64_t()> clock_;
+  std::function<void(std::string*)> extra_stats_;
   std::atomic<std::uint64_t> next_cas_{1};
   PerThreadCounter hits_;
   PerThreadCounter misses_;

@@ -50,16 +50,27 @@ bool ParseU64(std::string_view token, std::uint64_t* out) {
 
 ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out) {
   std::vector<std::string_view> tokens;
-  if (!Tokenize(line, &tokens, 6)) {
+  if (!Tokenize(line, &tokens, 1 + kMaxGetKeys)) {
     return ParseStatus::kError;
   }
   const std::string_view command = tokens[0];
   if (command == "get" || command == "gets") {
-    if (tokens.size() != 2 || tokens[1].size() > kMaxKeyLength) {
+    // get <key> [<key>...]
+    if (tokens.size() < 2) {
       return ParseStatus::kError;
     }
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (tokens[i].size() > kMaxKeyLength) {
+        return ParseStatus::kError;
+      }
+    }
     out->type = command == "get" ? RequestType::kGet : RequestType::kGets;
-    out->key.assign(tokens[1]);
+    out->keys.clear();
+    out->keys.reserve(tokens.size() - 1);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      out->keys.emplace_back(tokens[i]);
+    }
+    out->key = out->keys.front();
     return ParseStatus::kOk;
   }
   if (command == "touch") {
@@ -92,13 +103,31 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
     // set <key> <flags> <exptime> <bytes>  |  cas ... <bytes> <casid>
     const bool is_cas = command == "cas";
     const std::size_t expected_tokens = is_cas ? 6 : 5;
+    // Parse the byte count first, independently of the other fields: even a
+    // rejected command line announces a data block the client will send, and
+    // those bytes must be swallowed or they get reparsed as commands and the
+    // connection desyncs (memcached's CLIENT_ERROR flow).
     std::size_t bytes = 0;
-    if (tokens.size() != expected_tokens || tokens[1].size() > kMaxKeyLength ||
-        !ParseU32(tokens[2], &pending_.flags) || !ParseU32(tokens[3], &pending_.exptime) ||
-        !ParseSize(tokens[4], &bytes) || bytes > kMaxDataLength) {
-      return ParseStatus::kError;
-    }
-    if (is_cas && !ParseU64(tokens[5], &pending_.cas_id)) {
+    const bool bytes_ok = tokens.size() >= 5 && ParseSize(tokens[4], &bytes);
+    const bool line_ok = tokens.size() == expected_tokens &&
+                         tokens[1].size() <= kMaxKeyLength &&
+                         ParseU32(tokens[2], &pending_.flags) &&
+                         ParseU32(tokens[3], &pending_.exptime) && bytes_ok &&
+                         bytes <= kMaxDataLength &&
+                         (!is_cas || ParseU64(tokens[5], &pending_.cas_id));
+    if (!line_ok) {
+      if (bytes_ok) {
+        if (bytes <= kMaxSwallowLength) {
+          awaiting_data_ = true;
+          discard_data_ = true;
+          data_needed_ = bytes;
+        } else {
+          // The announced block is too large to buffer-and-discard; the
+          // stream cannot be resynchronized. Flag the connection for close.
+          broken_ = true;
+          buffer_.clear();
+        }
+      }
       return ParseStatus::kError;
     }
     pending_.type = is_cas ? RequestType::kCas : RequestType::kSet;
@@ -112,9 +141,20 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
 
 ParseStatus RequestParser::Next(Request* out) {
   for (;;) {
+    if (broken_) {
+      return ParseStatus::kError;
+    }
     if (awaiting_data_) {
       if (buffer_.size() < data_needed_ + 2) {
         return ParseStatus::kNeedMore;
+      }
+      if (discard_data_) {
+        // Data block of a rejected command: swallow payload + CRLF silently
+        // and resume parsing at the next command line.
+        buffer_.erase(0, data_needed_ + 2);
+        awaiting_data_ = false;
+        discard_data_ = false;
+        continue;
       }
       if (buffer_[data_needed_] != '\r' || buffer_[data_needed_ + 1] != '\n') {
         // Data block not terminated properly: drop through the bad bytes.
@@ -133,7 +173,9 @@ ParseStatus RequestParser::Next(Request* out) {
     std::size_t eol = buffer_.find("\r\n");
     if (eol == std::string::npos) {
       // No complete line. Reject pathological unterminated lines early.
-      if (buffer_.size() > kMaxKeyLength + 64) {
+      // The longest legitimate line is a full multi-get: "gets " plus
+      // kMaxGetKeys keys of kMaxKeyLength bytes each (space-separated).
+      if (buffer_.size() > (kMaxKeyLength + 1) * kMaxGetKeys + 64) {
         buffer_.clear();
         return ParseStatus::kError;
       }

@@ -3,16 +3,18 @@
 // arrive; complete requests are consumed, partial ones wait for more input.
 //
 // Supported commands:
-//   get <key>\r\n
-//   gets <key>\r\n                                  (VALUE line carries a cas id)
+//   get <key> [<key>...]\r\n                        (multi-key: one VALUE block
+//   gets <key> [<key>...]\r\n                        per hit, single END)
 //   set <key> <flags> <exptime> <bytes>\r\n<data>\r\n
 //   cas <key> <flags> <exptime> <bytes> <casid>\r\n<data>\r\n
 //   delete <key>\r\n
 //   touch <key> <exptime>\r\n
 //   stats\r\n
 // Responses follow the memcached text protocol (VALUE/END, STORED, EXISTS,
-// DELETED, NOT_FOUND, TOUCHED, ERROR). exptime is a relative TTL in seconds
-// (0 = never expires), evaluated lazily on access.
+// DELETED, NOT_FOUND, TOUCHED, ERROR). exptime follows memcached semantics:
+// 0 = never expires, values up to 30 days are a relative TTL in seconds,
+// larger values are an absolute UNIX timestamp. Expiry is evaluated lazily
+// on access.
 #ifndef SRC_KVSERVER_PROTOCOL_H_
 #define SRC_KVSERVER_PROTOCOL_H_
 
@@ -20,6 +22,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace cuckoo {
 
@@ -35,9 +38,10 @@ enum class RequestType : std::uint8_t {
 
 struct Request {
   RequestType type;
-  std::string key;
-  std::string data;         // set/cas only
-  std::uint32_t flags = 0;  // set/cas only
+  std::string key;                // first (or only) key
+  std::vector<std::string> keys;  // get/gets only: every requested key
+  std::string data;               // set/cas only
+  std::uint32_t flags = 0;        // set/cas only
   std::uint32_t exptime = 0;
   std::uint64_t cas_id = 0;  // cas only
 };
@@ -55,6 +59,12 @@ class RequestParser {
   // Hard caps so a malicious stream cannot balloon the buffer.
   static constexpr std::size_t kMaxKeyLength = 250;        // memcached's limit
   static constexpr std::size_t kMaxDataLength = 1 << 20;   // 1 MiB
+  static constexpr std::size_t kMaxGetKeys = 64;           // keys per multi-get
+  // A rejected set/cas still announces a data block; we swallow it (so the
+  // payload is not reparsed as commands) as long as it is plausibly sized.
+  // Beyond this the stream is unrecoverable and the parser marks itself
+  // broken so the connection can be closed.
+  static constexpr std::size_t kMaxSwallowLength = 8 << 20;  // 8 MiB
 
   void Feed(std::string_view bytes) { buffer_.append(bytes); }
 
@@ -64,6 +74,11 @@ class RequestParser {
   // Bytes currently buffered (for tests / backpressure decisions).
   std::size_t BufferedBytes() const noexcept { return buffer_.size(); }
 
+  // True once the stream cannot be resynchronized (e.g. a rejected set
+  // announced an implausibly large data block). The connection should be
+  // closed; Next() keeps returning kError.
+  bool Broken() const noexcept { return broken_; }
+
  private:
   ParseStatus ParseCommandLine(std::string_view line, Request* out);
 
@@ -71,6 +86,10 @@ class RequestParser {
   // set-command state: after the command line is parsed we wait for
   // data_needed_ + 2 bytes (payload + trailing CRLF).
   bool awaiting_data_ = false;
+  // The pending data block belongs to a rejected command line: swallow it
+  // without emitting a request (memcached's CLIENT_ERROR flow).
+  bool discard_data_ = false;
+  bool broken_ = false;
   std::size_t data_needed_ = 0;
   Request pending_;
 };

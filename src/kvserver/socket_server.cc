@@ -1,19 +1,29 @@
 #include "src/kvserver/socket_server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 namespace cuckoo {
 namespace {
 
-int MakeUnixSocket() { return ::socket(AF_UNIX, SOCK_STREAM, 0); }
+std::uint64_t NowMs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
 
-bool FillAddress(const std::string& path, sockaddr_un* addr) {
+bool FillUnixAddress(const std::string& path, sockaddr_un* addr) {
   if (path.size() + 1 > sizeof(addr->sun_path)) {
     return false;
   }
@@ -25,126 +35,486 @@ bool FillAddress(const std::string& path, sockaddr_un* addr) {
 
 }  // namespace
 
+// One connection (or listener / wakeup sentinel) as seen by an event loop.
+// Connections are owned by exactly one loop thread; no locking needed.
+struct SocketServer::Conn {
+  enum class Kind : std::uint8_t { kConnection, kListener, kWake };
+
+  Conn(Kind k, int f, KvService* service) : kind(k), fd(f), driver(service->Connect()) {}
+
+  Kind kind;
+  int fd;
+  KvService::Connection driver;
+  std::string out;           // accumulated, not-yet-flushed responses
+  std::size_t out_off = 0;   // bytes of `out` already sent
+  std::uint64_t last_active_ms = 0;
+  bool paused_read = false;      // backpressure or drain: EPOLLIN disabled
+  bool want_write = false;       // partial flush pending: EPOLLOUT enabled
+  bool close_after_flush = false;
+};
+
+struct SocketServer::Loop {
+  int epoll_fd = -1;
+  std::unique_ptr<Conn> wake;
+  std::unique_ptr<Conn> unix_listener;
+  std::unique_ptr<Conn> tcp_listener;
+  std::vector<Conn*> conns;
+  std::thread thread;
+};
+
+SocketServer::SocketServer(KvService* service, Options options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.event_threads < 1) {
+    options_.event_threads = 1;
+  }
+}
+
 SocketServer::SocketServer(KvService* service, std::string path)
-    : service_(service), path_(std::move(path)) {}
+    : SocketServer(service, [&] {
+        Options o;
+        o.unix_path = std::move(path);
+        return o;
+      }()) {}
 
 SocketServer::~SocketServer() { Stop(); }
 
 bool SocketServer::Start() {
-  sockaddr_un addr;
-  if (!FillAddress(path_, &addr)) {
+  if (running_.load(std::memory_order_acquire)) {
     return false;
   }
-  ::unlink(path_.c_str());
-  listen_fd_ = MakeUnixSocket();
-  if (listen_fd_ < 0) {
+  if (options_.unix_path.empty() && !options_.enable_tcp) {
     return false;
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr;
+    if (!FillUnixAddress(options_.unix_path, &addr)) {
+      return false;
+    }
+    ::unlink(options_.unix_path.c_str());
+    unix_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (unix_listen_fd_ < 0 ||
+        ::bind(unix_listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(unix_listen_fd_, 256) != 0) {
+      Stop();
+      return false;
+    }
+  }
+  if (options_.enable_tcp) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (tcp_listen_fd_ < 0) {
+      Stop();
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(tcp_listen_fd_, 256) != 0) {
+      Stop();
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      bound_tcp_port_ = ntohs(addr.sin_port);
+    }
+  }
+
+  service_->SetExtraStatsHook([this](std::string* out) {
+    StatsSnapshot s = Stats();
+    AppendStat("server_connections_accepted", s.accepted, out);
+    AppendStat("server_connections_rejected", s.rejected_over_limit, out);
+    AppendStat("server_connections_idle_closed", s.closed_idle, out);
+    AppendStat("server_curr_connections", s.curr_connections, out);
+    AppendStat("server_bytes_read", s.bytes_read, out);
+    AppendStat("server_bytes_written", s.bytes_written, out);
+    AppendStat("server_backpressure_pauses", s.backpressure_pauses, out);
+  });
+
+  stopping_.store(false, std::memory_order_release);
+  for (int i = 0; i < options_.event_threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    int wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || wake_fd < 0) {
+      if (wake_fd >= 0) {
+        ::close(wake_fd);
+      }
+      Stop();
+      return false;
+    }
+    loop->wake = std::make_unique<Conn>(Conn::Kind::kWake, wake_fd, service_);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = loop->wake.get();
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev);
+    // Every loop registers the listeners with EPOLLEXCLUSIVE: the kernel
+    // wakes one loop per incoming connection, which then owns it.
+    if (unix_listen_fd_ >= 0) {
+      loop->unix_listener =
+          std::make_unique<Conn>(Conn::Kind::kListener, unix_listen_fd_, service_);
+      ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+      ev.data.ptr = loop->unix_listener.get();
+      ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, unix_listen_fd_, &ev);
+    }
+    if (tcp_listen_fd_ >= 0) {
+      loop->tcp_listener =
+          std::make_unique<Conn>(Conn::Kind::kListener, tcp_listen_fd_, service_);
+      ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+      ev.data.ptr = loop->tcp_listener.get();
+      ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, tcp_listen_fd_, &ev);
+    }
+    loops_.push_back(std::move(loop));
   }
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  for (auto& loop : loops_) {
+    Loop* raw = loop.get();
+    raw->thread = std::thread([this, raw] { RunLoop(raw); });
+  }
   return true;
 }
 
 void SocketServer::Stop() {
-  if (!running_.exchange(false)) {
-    return;
-  }
-  // Shutting the listen socket down unblocks accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
-  // Only clear the member once the accept loop (its only other reader) has
-  // been joined.
-  listen_fd_ = -1;
-  {
-    // Kick any connection thread blocked in read().
-    std::lock_guard<std::mutex> g(fds_mutex_);
-    for (int fd : open_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
+  if (running_.exchange(false)) {
+    stopping_.store(true, std::memory_order_release);
+    for (auto& loop : loops_) {
+      std::uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(loop->wake->fd, &one, sizeof(one));
+    }
+    for (auto& loop : loops_) {
+      if (loop->thread.joinable()) {
+        loop->thread.join();
+      }
     }
   }
-  for (std::thread& t : connection_threads_) {
-    if (t.joinable()) {
-      t.join();
+  for (auto& loop : loops_) {
+    if (loop->wake) {
+      ::close(loop->wake->fd);
+    }
+    if (loop->epoll_fd >= 0) {
+      ::close(loop->epoll_fd);
     }
   }
-  connection_threads_.clear();
-  ::unlink(path_.c_str());
+  loops_.clear();
+  if (unix_listen_fd_ >= 0) {
+    ::close(unix_listen_fd_);
+    unix_listen_fd_ = -1;
+    ::unlink(options_.unix_path.c_str());
+  }
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
 }
 
-void SocketServer::AcceptLoop() {
-  while (running_.load(std::memory_order_acquire)) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+SocketServer::StatsSnapshot SocketServer::Stats() const noexcept {
+  StatsSnapshot s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected_over_limit = rejected_over_limit_.load(std::memory_order_relaxed);
+  s.closed_idle = closed_idle_.load(std::memory_order_relaxed);
+  s.curr_connections = curr_connections_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.backpressure_pauses = backpressure_pauses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SocketServer::UpdateEvents(Loop* loop, Conn* conn) {
+  epoll_event ev{};
+  ev.events = (conn->paused_read ? 0u : static_cast<unsigned>(EPOLLIN)) |
+              (conn->want_write ? static_cast<unsigned>(EPOLLOUT) : 0u);
+  ev.data.ptr = conn;
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void SocketServer::CloseConn(Loop* loop, Conn* conn) {
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  for (std::size_t i = 0; i < loop->conns.size(); ++i) {
+    if (loop->conns[i] == conn) {
+      loop->conns[i] = loop->conns.back();
+      loop->conns.pop_back();
+      break;
+    }
+  }
+  curr_connections_.fetch_sub(1, std::memory_order_relaxed);
+  delete conn;
+}
+
+void SocketServer::HandleAccept(Loop* loop, int listen_fd) {
+  for (;;) {
+    int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) {
         continue;
       }
-      return;  // listen socket closed by Stop()
+      return;  // EAGAIN: another loop took it, or the backlog is drained
+    }
+    if (curr_connections_.fetch_add(1, std::memory_order_relaxed) >=
+        options_.max_connections) {
+      curr_connections_.fetch_sub(1, std::memory_order_relaxed);
+      rejected_over_limit_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
     }
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));  // no-op on UNIX
+    Conn* conn = new Conn(Conn::Kind::kConnection, fd, service_);
+    conn->last_active_ms = NowMs();
+    loop->conns.push_back(conn);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
   }
 }
 
-void SocketServer::ServeConnection(int fd) {
-  {
-    std::lock_guard<std::mutex> g(fds_mutex_);
-    open_fds_.push_back(fd);
-  }
-  KvService::Connection connection = service_->Connect();
-  char buffer[16 * 1024];
-  std::string response;
-  for (;;) {
-    ssize_t n = ::read(fd, buffer, sizeof(buffer));
-    if (n <= 0) {
-      break;  // peer closed (or server stopping closed the fd)
+// Flush pending output. Returns false if the connection was closed (fatal
+// write error, or close_after_flush and the buffer drained).
+bool SocketServer::FlushOutput(Loop* loop, Conn* conn) {
+  while (conn->out_off < conn->out.size()) {
+    ssize_t w = ::send(conn->fd, conn->out.data() + conn->out_off,
+                       conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn->out_off += static_cast<std::size_t>(w);
+      bytes_written_.fetch_add(static_cast<std::uint64_t>(w), std::memory_order_relaxed);
+      continue;
     }
-    response.clear();
-    connection.Drive(std::string_view(buffer, static_cast<std::size_t>(n)), &response);
-    std::size_t sent = 0;
-    bool write_failed = false;
-    while (sent < response.size()) {
-      ssize_t w = ::send(fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
-      if (w <= 0) {
-        write_failed = true;
-        break;
-      }
-      sent += static_cast<std::size_t>(w);
-    }
-    if (write_failed) {
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       break;
     }
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    CloseConn(loop, conn);
+    return false;
   }
-  {
-    std::lock_guard<std::mutex> g(fds_mutex_);
-    for (std::size_t i = 0; i < open_fds_.size(); ++i) {
-      if (open_fds_[i] == fd) {
-        open_fds_[i] = open_fds_.back();
-        open_fds_.pop_back();
+  if (conn->out_off == conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+    if (conn->close_after_flush) {
+      CloseConn(loop, conn);
+      return false;
+    }
+    conn->want_write = false;
+  } else {
+    conn->want_write = true;
+  }
+  return true;
+}
+
+void SocketServer::HandleReadable(Loop* loop, Conn* conn) {
+  char buffer[64 * 1024];
+  bool peer_closed = false;
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      bytes_read_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+      conn->last_active_ms = NowMs();
+      // Pipelining: Drive parses every complete request in the input and
+      // appends all responses to conn->out for one accumulated flush below.
+      conn->driver.Drive(std::string_view(buffer, static_cast<std::size_t>(n)), &conn->out);
+      if (conn->driver.Broken() ||
+          conn->driver.BufferedBytes() > options_.max_input_buffered) {
+        conn->close_after_flush = true;  // protocol stream unrecoverable
         break;
       }
+      if (conn->out.size() - conn->out_off > options_.max_output_buffered) {
+        break;  // stop pulling more input until the peer drains responses
+      }
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    CloseConn(loop, conn);
+    return;
+  }
+  if (!FlushOutput(loop, conn)) {
+    return;
+  }
+  const std::size_t pending = conn->out.size() - conn->out_off;
+  if (peer_closed || conn->close_after_flush) {
+    if (pending == 0) {
+      CloseConn(loop, conn);
+      return;
+    }
+    // Half-close: the peer may still be reading. Flush what we owe, then
+    // close.
+    conn->close_after_flush = true;
+    conn->paused_read = true;
+  } else if (pending > options_.max_output_buffered) {
+    if (!conn->paused_read) {
+      conn->paused_read = true;
+      backpressure_pauses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (conn->paused_read && pending <= options_.max_output_buffered / 2) {
+    conn->paused_read = false;
+  }
+  UpdateEvents(loop, conn);
+}
+
+void SocketServer::SweepIdle(Loop* loop, std::uint64_t now_ms) {
+  if (options_.idle_timeout_ms == 0) {
+    return;
+  }
+  std::vector<Conn*> victims;
+  for (Conn* conn : loop->conns) {
+    if (now_ms - conn->last_active_ms >= options_.idle_timeout_ms) {
+      victims.push_back(conn);
     }
   }
-  ::close(fd);
+  for (Conn* conn : victims) {
+    closed_idle_.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(loop, conn);
+  }
 }
+
+void SocketServer::RunLoop(Loop* loop) {
+  epoll_event events[64];
+  bool draining = false;
+  std::uint64_t drain_deadline_ms = 0;
+  for (;;) {
+    int timeout = -1;
+    if (draining) {
+      timeout = 10;
+    } else if (options_.idle_timeout_ms > 0) {
+      timeout = static_cast<int>(
+          options_.idle_timeout_ms < 200 ? options_.idle_timeout_ms : 200);
+    }
+    int n = ::epoll_wait(loop->epoll_fd, events, 64, timeout);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    const std::uint64_t now = NowMs();
+    for (int i = 0; i < n; ++i) {
+      Conn* conn = static_cast<Conn*>(events[i].data.ptr);
+      switch (conn->kind) {
+        case Conn::Kind::kWake: {
+          std::uint64_t drained;
+          [[maybe_unused]] ssize_t r = ::read(conn->fd, &drained, sizeof(drained));
+          break;
+        }
+        case Conn::Kind::kListener:
+          if (!stopping_.load(std::memory_order_acquire)) {
+            HandleAccept(loop, conn->fd);
+          }
+          break;
+        case Conn::Kind::kConnection: {
+          // Guard against a connection closed earlier in this batch: epoll
+          // does not deliver dangling pointers, but a single event can carry
+          // IN|OUT|HUP together; handle errors first, then writes, reads.
+          if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+            CloseConn(loop, conn);
+            break;
+          }
+          if ((events[i].events & EPOLLOUT) != 0) {
+            if (!FlushOutput(loop, conn)) {
+              break;  // closed
+            }
+            const std::size_t pending = conn->out.size() - conn->out_off;
+            if (!draining && conn->paused_read && !conn->close_after_flush &&
+                pending <= options_.max_output_buffered / 2) {
+              conn->paused_read = false;  // backpressure released
+            }
+            UpdateEvents(loop, conn);
+          }
+          if ((events[i].events & EPOLLIN) != 0 && !conn->paused_read && !draining) {
+            HandleReadable(loop, conn);
+          }
+          break;
+        }
+      }
+    }
+
+    if (stopping_.load(std::memory_order_acquire) && !draining) {
+      // Graceful drain: stop accepting and reading; responses already owed
+      // keep flushing until done or the drain deadline passes.
+      draining = true;
+      drain_deadline_ms = now + options_.drain_timeout_ms;
+      if (loop->unix_listener) {
+        ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, loop->unix_listener->fd, nullptr);
+      }
+      if (loop->tcp_listener) {
+        ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, loop->tcp_listener->fd, nullptr);
+      }
+      std::vector<Conn*> snapshot = loop->conns;
+      for (Conn* conn : snapshot) {
+        conn->paused_read = true;
+        conn->close_after_flush = true;
+        if (FlushOutput(loop, conn)) {
+          UpdateEvents(loop, conn);  // EPOLLOUT only (or nothing if drained)
+        }
+      }
+    }
+    if (draining) {
+      if (loop->conns.empty()) {
+        break;
+      }
+      if (NowMs() >= drain_deadline_ms) {
+        std::vector<Conn*> snapshot = loop->conns;
+        for (Conn* conn : snapshot) {
+          CloseConn(loop, conn);
+        }
+        break;
+      }
+      continue;
+    }
+    SweepIdle(loop, now);
+  }
+  // Force-close anything left (drain completed or loop errored out).
+  std::vector<Conn*> snapshot = loop->conns;
+  for (Conn* conn : snapshot) {
+    CloseConn(loop, conn);
+  }
+}
+
+// ---- SocketClient -----------------------------------------------------------
 
 SocketClient::SocketClient(const std::string& path) {
   sockaddr_un addr;
-  if (!FillAddress(path, &addr)) {
+  if (!FillUnixAddress(path, &addr)) {
     return;
   }
-  fd_ = MakeUnixSocket();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return;
   }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SocketClient::SocketClient(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd_);
     fd_ = -1;
@@ -157,28 +527,52 @@ SocketClient::~SocketClient() {
   }
 }
 
-std::string SocketClient::RoundTrip(const std::string& request, const std::string& terminator) {
+bool SocketClient::Send(std::string_view bytes) {
   if (fd_ < 0) {
-    return {};
+    return false;
   }
   std::size_t sent = 0;
-  while (sent < request.size()) {
-    ssize_t w = ::send(fd_, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+  while (sent < bytes.size()) {
+    ssize_t w = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (w <= 0) {
-      return {};
+      if (w < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
     }
     sent += static_cast<std::size_t>(w);
   }
+  return true;
+}
+
+long SocketClient::Receive(std::string* buffer) {
+  if (fd_ < 0) {
+    return -1;
+  }
+  char chunk[64 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n > 0) {
+      buffer->append(chunk, static_cast<std::size_t>(n));
+    }
+    return static_cast<long>(n);
+  }
+}
+
+std::string SocketClient::RoundTrip(const std::string& request, const std::string& terminator) {
+  if (!Send(request)) {
+    return {};
+  }
   std::string response;
-  char buffer[16 * 1024];
   while (response.size() < terminator.size() ||
          response.compare(response.size() - terminator.size(), terminator.size(),
                           terminator) != 0) {
-    ssize_t n = ::read(fd_, buffer, sizeof(buffer));
-    if (n <= 0) {
+    if (Receive(&response) <= 0) {
       break;
     }
-    response.append(buffer, static_cast<std::size_t>(n));
   }
   return response;
 }

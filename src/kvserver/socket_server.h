@@ -1,12 +1,28 @@
-// SocketServer — a thread-per-connection UNIX-domain-socket front end for
-// KvService, turning the in-process service into a runnable memcached-lite
-// daemon. Deliberately simple (blocking I/O, one thread per connection): the
-// point of this repo is the table, not an event loop.
+// SocketServer — an epoll-based, non-blocking network front end for
+// KvService, serving the memcached text protocol over UNIX domain sockets
+// and/or loopback TCP. This is the production-shaped layer the in-process
+// service plugs into:
+//
+//   * N event-loop threads, each with its own epoll instance; listening
+//     sockets are registered in every loop with EPOLLEXCLUSIVE so the kernel
+//     wakes exactly one loop per incoming connection and that loop owns the
+//     connection for its lifetime (no cross-thread handoff, no shared
+//     connection state).
+//   * Request pipelining: a readable event drains the socket, parses every
+//     complete request in the input, and responds with one accumulated
+//     flush (writev-style single send of all pending responses).
+//   * Robustness controls: max-connection cap (accept-then-close over the
+//     limit), per-connection idle timeout, output-buffer backpressure (a
+//     connection that doesn't read its responses stops being read from until
+//     it drains), input caps via RequestParser, and graceful shutdown that
+//     stops reading, flushes in-flight responses up to a drain deadline,
+//     then closes.
 #ifndef SRC_KVSERVER_SOCKET_SERVER_H_
 #define SRC_KVSERVER_SOCKET_SERVER_H_
 
 #include <atomic>
-#include <mutex>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,52 +33,114 @@ namespace cuckoo {
 
 class SocketServer {
  public:
-  // Serves `service` (not owned) on a UNIX socket at `path` (unlinked and
-  // re-created).
+  struct Options {
+    // UNIX listener: empty = disabled. The path is unlinked and re-created.
+    std::string unix_path;
+    // TCP listener on loopback: disabled unless enable_tcp. Port 0 binds an
+    // ephemeral port; read the result from tcp_port() after Start().
+    bool enable_tcp = false;
+    std::uint16_t tcp_port = 0;
+    // Event-loop threads (>= 1). Connections are spread across loops by the
+    // kernel's EPOLLEXCLUSIVE wakeup choice.
+    int event_threads = 2;
+    // Hard cap on concurrent connections; over the cap, accepts are closed
+    // immediately (counted in StatsSnapshot::rejected_over_limit).
+    std::size_t max_connections = 1024;
+    // Close connections silent for this long. 0 = never.
+    std::uint64_t idle_timeout_ms = 0;
+    // Backpressure: stop reading from a connection whose un-flushed output
+    // exceeds this; resume when it drains below half.
+    std::size_t max_output_buffered = 8u << 20;
+    // Close a connection whose buffered partial request exceeds this.
+    std::size_t max_input_buffered = 2u << 20;
+    // Graceful Stop(): how long to keep flushing in-flight responses.
+    std::uint64_t drain_timeout_ms = 1000;
+  };
+
+  struct StatsSnapshot {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_over_limit = 0;
+    std::uint64_t closed_idle = 0;
+    std::uint64_t curr_connections = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t backpressure_pauses = 0;
+  };
+
+  SocketServer(KvService* service, Options options);
+  // Legacy convenience: UNIX-only server with default options.
   SocketServer(KvService* service, std::string path);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  // Bind + listen + start the accept loop. Returns false on socket errors.
+  // Bind + listen + start the event loops. Returns false on socket errors.
+  // Also installs the server's counters as extra `stats` lines on `service`.
   bool Start();
 
-  // Stop accepting, close all connections, join all threads.
+  // Graceful stop: stop accepting and reading, flush pending responses
+  // (bounded by drain_timeout_ms), close everything, join the loops.
   void Stop();
 
-  const std::string& path() const noexcept { return path_; }
+  const std::string& path() const noexcept { return options_.unix_path; }
+  // Actual TCP port after Start() (useful with tcp_port = 0).
+  std::uint16_t tcp_port() const noexcept { return bound_tcp_port_; }
+
   std::uint64_t ConnectionsAccepted() const noexcept {
     return accepted_.load(std::memory_order_relaxed);
   }
+  StatsSnapshot Stats() const noexcept;
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
+  struct Conn;
+  struct Loop;
+
+  void RunLoop(Loop* loop);
+  void HandleAccept(Loop* loop, int listen_fd);
+  void HandleReadable(Loop* loop, Conn* conn);
+  bool FlushOutput(Loop* loop, Conn* conn);  // false = connection died
+  void CloseConn(Loop* loop, Conn* conn);
+  void UpdateEvents(Loop* loop, Conn* conn);
+  void SweepIdle(Loop* loop, std::uint64_t now_ms);
 
   KvService* service_;
-  std::string path_;
-  int listen_fd_ = -1;
+  Options options_;
+  int unix_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  std::uint16_t bound_tcp_port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Loop>> loops_;
+
   std::atomic<std::uint64_t> accepted_{0};
-  std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
-  // Open connection fds, so Stop() can shut down blocked readers.
-  std::mutex fds_mutex_;
-  std::vector<int> open_fds_;
+  std::atomic<std::uint64_t> rejected_over_limit_{0};
+  std::atomic<std::uint64_t> closed_idle_{0};
+  std::atomic<std::uint64_t> curr_connections_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> backpressure_pauses_{0};
 };
 
-// Minimal blocking client for tests and examples: connects to the server's
-// UNIX socket, sends protocol bytes, reads until the expected terminator.
+// Minimal blocking client for tests, examples, and benches: connects over a
+// UNIX socket or loopback TCP, sends protocol bytes, reads responses.
 class SocketClient {
  public:
-  explicit SocketClient(const std::string& path);
+  explicit SocketClient(const std::string& path);          // UNIX
+  SocketClient(const std::string& host, std::uint16_t port);  // TCP
   ~SocketClient();
 
   SocketClient(const SocketClient&) = delete;
   SocketClient& operator=(const SocketClient&) = delete;
 
   bool connected() const noexcept { return fd_ >= 0; }
+
+  // Send raw bytes (blocking until fully written). Returns false on error.
+  bool Send(std::string_view bytes);
+
+  // One blocking read; appends to *buffer. Returns bytes read (0 = EOF,
+  // negative = error).
+  long Receive(std::string* buffer);
 
   // Send `request` and read until the response ends with `terminator`
   // (e.g. "END\r\n" for get, "STORED\r\n" for set). Returns the raw bytes.

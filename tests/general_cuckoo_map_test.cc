@@ -35,6 +35,65 @@ TEST(GeneralCuckooMapTest, StringRoundTrip) {
   EXPECT_EQ(map.Size(), 0u);
 }
 
+TEST(GeneralCuckooMapTest, WithValueBatchAgreesWithSingularLookups) {
+  StringMap map;
+  constexpr std::size_t kN = 1000;
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(map.Insert("key" + std::to_string(i), "value" + std::to_string(i)),
+              InsertResult::kOk);
+  }
+  // Batch sizes around the pipeline depth (8) exercise lead-in/lead-out.
+  for (std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+                            std::size_t{64}}) {
+    std::vector<std::string> keys;
+    for (std::size_t i = 0; i < batch; ++i) {
+      // Every other key is a miss.
+      keys.push_back(i % 2 == 0 ? "key" + std::to_string(i) : "absent" + std::to_string(i));
+    }
+    std::vector<std::string> got(batch);
+    std::vector<bool> hit(batch, false);
+    std::size_t hits =
+        map.WithValueBatch(keys.data(), keys.size(), [&](std::size_t i, const std::string& v) {
+          got[i] = v;
+          hit[i] = true;
+        });
+    EXPECT_EQ(hits, (batch + 1) / 2);
+    for (std::size_t i = 0; i < batch; ++i) {
+      std::string single;
+      ASSERT_EQ(map.Find(keys[i], &single), static_cast<bool>(hit[i])) << keys[i];
+      if (hit[i]) {
+        EXPECT_EQ(got[i], single);
+      }
+    }
+  }
+}
+
+TEST(GeneralCuckooMapTest, WithValueBatchResidentKeysNeverMissedDuringInserts) {
+  StringMap map;
+  constexpr std::size_t kResident = 512;
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < kResident; ++i) {
+    keys.push_back("resident" + std::to_string(i));
+    ASSERT_EQ(map.Insert(keys.back(), "v"), InsertResult::kOk);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::size_t hits = map.WithValueBatch(keys.data(), keys.size(),
+                                            [](std::size_t, const std::string&) {});
+      misses.fetch_add(kResident - hits, std::memory_order_relaxed);
+    }
+  });
+  // Writer churns other keys, forcing displacements and expansions.
+  for (std::size_t i = 0; i < 20000; ++i) {
+    map.Upsert("churn" + std::to_string(i % 4096), std::string(16, 'x'));
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(misses.load(), 0u) << "resident keys must never be missed by batched reads";
+}
+
 TEST(GeneralCuckooMapTest, LongStringsSurviveDisplacementAndExpansion) {
   StringMap::Options o;
   o.initial_bucket_count_log2 = 4;  // tiny: forces displacements + expansions

@@ -106,6 +106,69 @@ TEST(KvTtlTest, SetOverwritesExpiredEntry) {
   EXPECT_EQ(out, "STORED\r\nVALUE k 0 1\r\nb\r\nEND\r\n");
 }
 
+// Regression (exptime semantics): memcached treats exptime values above 30
+// days (2592000 s) as absolute UNIX timestamps, not relative TTLs.
+TEST(KvTtlTest, LargeExptimeIsAbsoluteUnixTimestamp) {
+  TimedService ts;  // clock starts at t=1000
+  auto conn = ts.service.Connect();
+  std::string out;
+  const std::uint64_t deadline = 2600000;  // > 30 days => absolute timestamp
+  conn.Drive("set k 0 " + std::to_string(deadline) + " 3\r\nabc\r\n", &out);
+  EXPECT_EQ(out, "STORED\r\n");
+
+  ts.now->store(deadline - 1);
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "VALUE k 0 3\r\nabc\r\nEND\r\n") << "alive until the absolute deadline";
+
+  ts.now->store(deadline);
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "END\r\n") << "expired exactly at the absolute timestamp, not at now+exptime";
+}
+
+TEST(KvTtlTest, AbsoluteExptimeInThePastExpiresImmediately) {
+  TimedService ts;
+  ts.now->store(3000000);  // later than the absolute deadline below
+  auto conn = ts.service.Connect();
+  std::string out;
+  conn.Drive("set k 0 2600000 1\r\nx\r\n", &out);
+  EXPECT_EQ(out, "STORED\r\n");
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "END\r\n") << "an already-past absolute deadline is immediately expired";
+}
+
+TEST(KvTtlTest, ThirtyDaysExactlyIsStillRelative) {
+  TimedService ts;  // t=1000
+  auto conn = ts.service.Connect();
+  std::string out;
+  const std::uint64_t thirty_days = 2592000;
+  conn.Drive("set k 0 " + std::to_string(thirty_days) + " 1\r\nx\r\n", &out);
+  ts.now->store(1000 + thirty_days - 1);
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "VALUE k 0 1\r\nx\r\nEND\r\n") << "<= 30 days is a relative TTL";
+  ts.now->store(1000 + thirty_days);
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "END\r\n");
+}
+
+TEST(KvTtlTest, TouchWithAbsoluteExptime) {
+  TimedService ts;
+  auto conn = ts.service.Connect();
+  std::string out;
+  conn.Drive("set k 0 0 1\r\nx\r\n", &out);
+  out.clear();
+  conn.Drive("touch k 2600000\r\n", &out);
+  EXPECT_EQ(out, "TOUCHED\r\n");
+  ts.now->store(2600000);
+  out.clear();
+  conn.Drive("get k\r\n", &out);
+  EXPECT_EQ(out, "END\r\n") << "touch must honour absolute-timestamp exptime too";
+}
+
 TEST(KvCasTest, GetsReturnsCasIdAndCasSucceedsWithIt) {
   KvService service;
   auto conn = service.Connect();

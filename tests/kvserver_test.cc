@@ -81,7 +81,6 @@ TEST(RequestParserTest, MalformedLinesAreErrorsNotCrashes) {
   const char* bad[] = {
       "bogus\r\n",
       "get\r\n",               // missing key
-      "get a b\r\n",           // extra token
       "set k x 0 5\r\n",       // non-numeric flags
       "set k 0 0\r\n",         // missing byte count
       "set k 0 0 99999999999999\r\n",  // absurd length
@@ -93,6 +92,86 @@ TEST(RequestParserTest, MalformedLinesAreErrorsNotCrashes) {
     Request req;
     EXPECT_EQ(parser.Next(&req), ParseStatus::kError) << input;
   }
+}
+
+TEST(RequestParserTest, ParsesMultiKeyGet) {
+  RequestParser parser;
+  parser.Feed("get a b c\r\ngets x y\r\n");
+  Request req;
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.type, RequestType::kGet);
+  ASSERT_EQ(req.keys.size(), 3u);
+  EXPECT_EQ(req.keys[0], "a");
+  EXPECT_EQ(req.keys[1], "b");
+  EXPECT_EQ(req.keys[2], "c");
+  EXPECT_EQ(req.key, "a");
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.type, RequestType::kGets);
+  ASSERT_EQ(req.keys.size(), 2u);
+  EXPECT_EQ(req.keys[1], "y");
+}
+
+TEST(RequestParserTest, MultiKeyGetRespectsKeyCountCap) {
+  RequestParser parser;
+  std::string line = "get";
+  for (std::size_t i = 0; i <= RequestParser::kMaxGetKeys; ++i) {
+    line += " k" + std::to_string(i);  // one key over the cap
+  }
+  parser.Feed(line + "\r\n");
+  Request req;
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kError);
+}
+
+// Regression (parser desync): a rejected set/cas command line still announces
+// a data block; the parser must swallow it, or the payload bytes get reparsed
+// as commands and the connection desyncs.
+TEST(RequestParserTest, MalformedSetSwallowsAnnouncedDataBlock) {
+  struct Case {
+    const char* name;
+    std::string line;
+  };
+  const Case cases[] = {
+      {"non-numeric flags", "set k x 0 19\r\n"},
+      {"oversize key", "set " + std::string(300, 'k') + " 0 0 19\r\n"},
+      {"extra token", "set k 0 0 19 junk\r\n"},
+      {"cas with bad id", "cas k 0 0 19 notanumber\r\n"},
+  };
+  for (const Case& c : cases) {
+    RequestParser parser;
+    // The 19-byte payload ("delete victim\r\nabcd") spells protocol commands;
+    // it must NOT execute. The final \r\n is the block terminator.
+    parser.Feed(c.line + "delete victim\r\nabcd\r\n" + "get ok\r\n");
+    Request req;
+    EXPECT_EQ(parser.Next(&req), ParseStatus::kError) << c.name;
+    ASSERT_EQ(parser.Next(&req), ParseStatus::kOk) << c.name;
+    EXPECT_EQ(req.type, RequestType::kGet) << c.name;
+    EXPECT_EQ(req.key, "ok") << c.name;
+  }
+}
+
+TEST(RequestParserTest, MalformedSetSwallowsDataArrivingLater) {
+  // The announced block may arrive in a later Feed() — swallow must span
+  // reads like normal data blocks do.
+  RequestParser parser;
+  Request req;
+  parser.Feed("set k x 0 5\r\n");
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kError);
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kNeedMore) << "waiting to swallow the block";
+  parser.Feed("abc");
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kNeedMore);
+  parser.Feed("de\r\nget ok\r\n");
+  ASSERT_EQ(parser.Next(&req), ParseStatus::kOk);
+  EXPECT_EQ(req.key, "ok");
+}
+
+TEST(RequestParserTest, UnswallowableBlockMarksParserBroken) {
+  RequestParser parser;
+  parser.Feed("set k 0 0 99999999999\r\n");  // parseable but un-bufferable
+  Request req;
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kError);
+  EXPECT_TRUE(parser.Broken()) << "stream cannot be resynced; connection should close";
+  parser.Feed("get ok\r\n");
+  EXPECT_EQ(parser.Next(&req), ParseStatus::kError) << "broken parser stays broken";
 }
 
 TEST(RequestParserTest, RecoversAfterError) {
@@ -120,7 +199,9 @@ TEST(RequestParserTest, OversizedKeyRejected) {
 
 TEST(RequestParserTest, UnterminatedFloodIsBounded) {
   RequestParser parser;
-  parser.Feed(std::string(10000, 'x'));  // no CRLF ever
+  // The line-length bound now admits a full multi-get line (64 keys of 250
+  // bytes); anything past that with no CRLF is a flood.
+  parser.Feed(std::string(40000, 'x'));  // no CRLF ever
   Request req;
   EXPECT_EQ(parser.Next(&req), ParseStatus::kError);
   EXPECT_EQ(parser.BufferedBytes(), 0u) << "flood must be discarded";
@@ -191,6 +272,99 @@ TEST(KvServiceTest, ErrorResponsesForGarbage) {
   std::string out;
   conn.Drive("nonsense\r\nget k\r\n", &out);
   EXPECT_EQ(out, "ERROR\r\nEND\r\n");
+}
+
+TEST(KvServiceTest, MultiKeyGetReturnsOneValueBlockPerHit) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("set a 1 0 2\r\naa\r\nset c 3 0 2\r\ncc\r\n", &out);
+  out.clear();
+  conn.Drive("get a missing c\r\n", &out);
+  EXPECT_EQ(out, "VALUE a 1 2\r\naa\r\nVALUE c 3 2\r\ncc\r\nEND\r\n");
+  EXPECT_EQ(service.GetHits(), 2u);
+  EXPECT_EQ(service.GetMisses(), 1u);
+}
+
+TEST(KvServiceTest, MultiKeyGetsCarriesCasIds) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\n", &out);
+  out.clear();
+  conn.Drive("gets a b\r\n", &out);
+  // Two VALUE lines, each with 5 tokens (VALUE key flags bytes cas).
+  ASSERT_EQ(out.substr(0, 6), "VALUE ");
+  std::size_t first_line_end = out.find("\r\n");
+  std::string first_line = out.substr(0, first_line_end);
+  int spaces = 0;
+  for (char ch : first_line) {
+    spaces += ch == ' ' ? 1 : 0;
+  }
+  EXPECT_EQ(spaces, 4) << first_line;
+  EXPECT_NE(out.find("VALUE b 0 1 "), std::string::npos);
+  EXPECT_EQ(out.substr(out.size() - 5), "END\r\n");
+}
+
+TEST(KvServiceTest, LargeMultiGetBatch) {
+  // Drives the batched (prefetch-pipelined) lookup path with more keys than
+  // the pipeline depth.
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  std::string get_line = "get";
+  for (int i = 0; i < 32; ++i) {
+    std::string key = "bulk" + std::to_string(i);
+    out.clear();
+    conn.Drive("set " + key + " 0 0 2\r\nvv\r\n", &out);
+    get_line += " " + key;
+  }
+  out.clear();
+  conn.Drive(get_line + "\r\n", &out);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_NE(out.find("VALUE bulk" + std::to_string(i) + " 0 2\r\nvv\r\n"),
+              std::string::npos);
+  }
+  EXPECT_EQ(out.substr(out.size() - 5), "END\r\n");
+  EXPECT_EQ(service.GetHits(), 32u);
+}
+
+// Regression (parser desync, service level): after a malformed set the
+// payload must not execute as commands; the very next command on the same
+// connection works normally.
+TEST(KvServiceTest, MalformedSetDoesNotExecutePayloadAsCommands) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("set victim 0 0 1\r\nv\r\n", &out);
+  out.clear();
+  // Bad flags token; the 19-byte payload would delete `victim` if reparsed.
+  conn.Drive("set k BAD 0 19\r\ndelete victim\r\nabcd\r\nget victim\r\n", &out);
+  EXPECT_EQ(out, "ERROR\r\nVALUE victim 0 1\r\nv\r\nEND\r\n");
+  EXPECT_EQ(service.ItemCount(), 1u) << "payload must not have executed";
+}
+
+TEST(KvServiceTest, StatsIncludeTableCounters) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("set a 0 0 1\r\nx\r\nget a\r\n", &out);
+  out.clear();
+  conn.Drive("stats\r\n", &out);
+  EXPECT_NE(out.find("STAT table_lookups "), std::string::npos);
+  EXPECT_NE(out.find("STAT table_read_retries "), std::string::npos);
+  EXPECT_NE(out.find("STAT table_path_searches "), std::string::npos);
+  EXPECT_NE(out.find("STAT table_expansions "), std::string::npos);
+}
+
+TEST(KvServiceTest, ExtraStatsHookAppendsServerCounters) {
+  KvService service;
+  service.SetExtraStatsHook([](std::string* out) { AppendStat("server_custom", 7, out); });
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("stats\r\n", &out);
+  EXPECT_NE(out.find("STAT server_custom 7\r\n"), std::string::npos);
+  EXPECT_EQ(out.substr(out.size() - 5), "END\r\n");
 }
 
 TEST(KvServiceTest, ConcurrentConnectionsShareTheStore) {

@@ -1,0 +1,301 @@
+// Epoll server integration: TCP + UNIX listeners, request pipelining,
+// multi-get over the wire, concurrent mixed workloads, the max-connection
+// cap, idle timeout, backpressure, and graceful shutdown drain.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kvserver/kv_service.h"
+#include "src/kvserver/socket_server.h"
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(EpollServerTest, TcpEndToEnd) {
+  KvService service;
+  SocketServer::Options opts;
+  opts.enable_tcp = true;  // port 0: ephemeral
+  SocketServer server(&service, opts);
+  ASSERT_TRUE(server.Start());
+  ASSERT_NE(server.tcp_port(), 0);
+  {
+    SocketClient client("127.0.0.1", server.tcp_port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.RoundTrip("set hello 0 0 5\r\nworld\r\n", "\r\n"), "STORED\r\n");
+    EXPECT_EQ(client.RoundTrip("get hello\r\n", "END\r\n"),
+              "VALUE hello 0 5\r\nworld\r\nEND\r\n");
+  }
+  server.Stop();
+  EXPECT_EQ(server.ConnectionsAccepted(), 1u);
+}
+
+TEST(EpollServerTest, UnixAndTcpListenersSimultaneously) {
+  KvService service;
+  SocketServer::Options opts;
+  opts.unix_path = "/tmp/cuckoo_kv_test_dual.sock";
+  opts.enable_tcp = true;
+  SocketServer server(&service, opts);
+  ASSERT_TRUE(server.Start());
+  SocketClient unix_client(server.path());
+  SocketClient tcp_client("127.0.0.1", server.tcp_port());
+  ASSERT_TRUE(unix_client.connected());
+  ASSERT_TRUE(tcp_client.connected());
+  EXPECT_EQ(unix_client.RoundTrip("set k 0 0 1\r\nu\r\n", "\r\n"), "STORED\r\n");
+  EXPECT_EQ(tcp_client.RoundTrip("get k\r\n", "END\r\n"), "VALUE k 0 1\r\nu\r\nEND\r\n");
+  server.Stop();
+}
+
+TEST(EpollServerTest, PipelinedMultiGetOverTheWire) {
+  KvService service;
+  SocketServer server(&service, "/tmp/cuckoo_kv_test_pipeline.sock");
+  ASSERT_TRUE(server.Start());
+  SocketClient client(server.path());
+  ASSERT_TRUE(client.connected());
+  // One write carrying 16 sets and then a 16-key multi-get; the server must
+  // parse the whole pipeline and flush every response.
+  std::string pipeline;
+  std::string get_line = "get";
+  for (int i = 0; i < 16; ++i) {
+    std::string key = "p" + std::to_string(i);
+    pipeline += "set " + key + " 0 0 2\r\nvv\r\n";
+    get_line += " " + key;
+  }
+  pipeline += get_line + "\r\n";
+  ASSERT_TRUE(client.Send(pipeline));
+  std::string response;
+  while (CountOccurrences(response, "STORED\r\n") < 16 ||
+         CountOccurrences(response, "END\r\n") < 1) {
+    ASSERT_GT(client.Receive(&response), 0) << response;
+  }
+  EXPECT_EQ(CountOccurrences(response, "VALUE "), 16u);
+  server.Stop();
+}
+
+TEST(EpollServerTest, ConcurrentMixedWorkload) {
+  // Many pipelined connections issuing mixed multi-get/set/cas/delete — the
+  // TSan target for the server's event loops sharing one service.
+  KvService service;
+  SocketServer::Options opts;
+  opts.unix_path = "/tmp/cuckoo_kv_test_mixed.sock";
+  opts.enable_tcp = true;
+  opts.event_threads = 2;
+  SocketServer server(&service, opts);
+  ASSERT_TRUE(server.Start());
+  constexpr int kClients = 4;
+  constexpr int kRounds = 60;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, c] {
+      const bool tcp = c % 2 == 0;
+      SocketClient client = tcp ? SocketClient("127.0.0.1", server.tcp_port())
+                                : SocketClient(server.path());
+      ASSERT_TRUE(client.connected());
+      for (int r = 0; r < kRounds; ++r) {
+        std::string k1 = "c" + std::to_string(c) + "_" + std::to_string(r);
+        std::string k2 = k1 + "_b";
+        // Pipeline: 2 sets, a multi-get, a cas (stale id: EXISTS or
+        // NOT_FOUND), a delete, and a get of the deleted key.
+        std::string pipeline = "set " + k1 + " 0 0 2\r\naa\r\n" +
+                               "set " + k2 + " 0 0 2\r\nbb\r\n" +
+                               "gets " + k1 + " " + k2 + "\r\n" +
+                               "cas " + k1 + " 0 0 2 999999999\r\ncc\r\n" +
+                               "delete " + k2 + "\r\n" +
+                               "get " + k2 + "\r\n";
+        ASSERT_TRUE(client.Send(pipeline));
+        std::string response;
+        // Responses: STORED, STORED, VALUE*2+END, EXISTS, DELETED, END.
+        while (CountOccurrences(response, "END\r\n") < 2) {
+          ASSERT_GT(client.Receive(&response), 0)
+              << "round " << r << " got: " << response;
+        }
+        ASSERT_EQ(CountOccurrences(response, "STORED\r\n"), 2u) << response;
+        ASSERT_EQ(CountOccurrences(response, "VALUE "), 2u) << response;
+        ASSERT_EQ(CountOccurrences(response, "EXISTS\r\n"), 1u) << response;
+        ASSERT_EQ(CountOccurrences(response, "DELETED\r\n"), 1u) << response;
+      }
+    });
+  }
+  for (auto& th : clients) {
+    th.join();
+  }
+  server.Stop();
+  EXPECT_EQ(service.ItemCount(), static_cast<std::size_t>(kClients * kRounds));
+}
+
+TEST(EpollServerTest, MaxConnectionCapRejectsExcessClients) {
+  KvService service;
+  SocketServer::Options opts;
+  opts.unix_path = "/tmp/cuckoo_kv_test_cap.sock";
+  opts.max_connections = 2;
+  SocketServer server(&service, opts);
+  ASSERT_TRUE(server.Start());
+  SocketClient a(server.path());
+  SocketClient b(server.path());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  EXPECT_EQ(a.RoundTrip("set k 0 0 1\r\nx\r\n", "\r\n"), "STORED\r\n");
+  EXPECT_EQ(b.RoundTrip("get k\r\n", "END\r\n"), "VALUE k 0 1\r\nx\r\nEND\r\n");
+  // The third connection is accepted by the kernel but closed by the server.
+  SocketClient c(server.path());
+  ASSERT_TRUE(c.connected());
+  c.Send("get k\r\n");
+  std::string response;
+  long n;
+  while ((n = c.Receive(&response)) > 0) {
+  }
+  // EOF if the server closed before our request landed, ECONNRESET (-1) if
+  // it closed with the request still unread; no bytes served either way.
+  EXPECT_LE(n, 0) << "over-cap connection must be closed";
+  EXPECT_TRUE(response.empty()) << response;
+  EXPECT_GE(server.Stats().rejected_over_limit, 1u);
+  server.Stop();
+}
+
+TEST(EpollServerTest, IdleConnectionsAreClosed) {
+  KvService service;
+  SocketServer::Options opts;
+  opts.unix_path = "/tmp/cuckoo_kv_test_idle_to.sock";
+  opts.idle_timeout_ms = 100;
+  SocketServer server(&service, opts);
+  ASSERT_TRUE(server.Start());
+  SocketClient silent(server.path());
+  ASSERT_TRUE(silent.connected());
+  // An active client must NOT be reaped while it keeps talking.
+  SocketClient active(server.path());
+  ASSERT_TRUE(active.connected());
+  // Chatter on the active connection for ~600 ms — several idle windows.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(active.RoundTrip("get nothing\r\n", "END\r\n"), "END\r\n") << i;
+    std::this_thread::sleep_for(30ms);
+  }
+  // The silent connection must have been reaped by now; a blocking read
+  // observes the server-side close as EOF.
+  std::string ignored;
+  EXPECT_EQ(silent.Receive(&ignored), 0);
+  EXPECT_TRUE(ignored.empty()) << ignored;
+  // The active connection survived because its traffic kept resetting the
+  // idle clock.
+  EXPECT_EQ(active.RoundTrip("get nothing\r\n", "END\r\n"), "END\r\n");
+  EXPECT_GE(server.Stats().closed_idle, 1u);
+  server.Stop();
+}
+
+TEST(EpollServerTest, BackpressureDeliversEverythingIntact) {
+  // A tiny output cap forces the server to pause reading the pipeline while
+  // the client drains; every response must still arrive, in order.
+  KvService service;
+  SocketServer::Options opts;
+  opts.unix_path = "/tmp/cuckoo_kv_test_bp.sock";
+  opts.max_output_buffered = 4096;
+  SocketServer server(&service, opts);
+  ASSERT_TRUE(server.Start());
+  SocketClient client(server.path());
+  ASSERT_TRUE(client.connected());
+  const std::string value(2000, 'v');
+  ASSERT_EQ(client.RoundTrip("set big 0 0 " + std::to_string(value.size()) + "\r\n" + value +
+                                 "\r\n",
+                             "\r\n"),
+            "STORED\r\n");
+  constexpr int kGets = 200;  // ~400 KB of responses vs a 4 KB output cap
+  std::string pipeline;
+  for (int i = 0; i < kGets; ++i) {
+    pipeline += "get big\r\n";
+  }
+  std::string response;
+  std::thread reader([&] {
+    while (CountOccurrences(response, "END\r\n") < kGets) {
+      ASSERT_GT(client.Receive(&response), 0);
+    }
+  });
+  ASSERT_TRUE(client.Send(pipeline));
+  reader.join();
+  EXPECT_EQ(CountOccurrences(response, "VALUE big 0 2000\r\n"), static_cast<std::size_t>(kGets));
+  server.Stop();
+}
+
+TEST(EpollServerTest, GracefulShutdownDrainsInFlightResponses) {
+  KvService service;
+  SocketServer::Options opts;
+  opts.unix_path = "/tmp/cuckoo_kv_test_drain.sock";
+  opts.drain_timeout_ms = 5000;
+  SocketServer server(&service, opts);
+  ASSERT_TRUE(server.Start());
+  SocketClient client(server.path());
+  ASSERT_TRUE(client.connected());
+  const std::string value(8000, 'd');
+  ASSERT_EQ(client.RoundTrip("set big 0 0 " + std::to_string(value.size()) + "\r\n" + value +
+                                 "\r\n",
+                             "\r\n"),
+            "STORED\r\n");
+  constexpr std::uint64_t kGets = 100;
+  std::string pipeline;
+  for (std::uint64_t i = 0; i < kGets; ++i) {
+    pipeline += "get big\r\n";
+  }
+  std::string response;
+  std::thread reader([&] {
+    while (client.Receive(&response) > 0) {
+    }
+  });
+  ASSERT_TRUE(client.Send(pipeline));
+  // Wait until the service has processed every request, then stop: the drain
+  // must deliver all responses already owed before closing.
+  auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (service.GetHits() < kGets && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_GE(service.GetHits(), kGets);
+  server.Stop();
+  reader.join();
+  EXPECT_EQ(CountOccurrences(response, "END\r\n"), kGets)
+      << "graceful stop must flush every response already processed";
+}
+
+TEST(EpollServerTest, BrokenProtocolStreamClosesConnection) {
+  KvService service;
+  SocketServer server(&service, "/tmp/cuckoo_kv_test_broken.sock");
+  ASSERT_TRUE(server.Start());
+  SocketClient client(server.path());
+  ASSERT_TRUE(client.connected());
+  // A parseable but un-bufferable byte count cannot be resynced; the server
+  // answers ERROR and closes.
+  ASSERT_TRUE(client.Send("set k 0 0 99999999999\r\n"));
+  std::string response;
+  long n;
+  while ((n = client.Receive(&response)) > 0) {
+  }
+  EXPECT_EQ(n, 0);
+  EXPECT_EQ(response, "ERROR\r\n");
+  server.Stop();
+}
+
+TEST(EpollServerTest, LegacyUnixOnlyConstructorStillWorks) {
+  KvService service;
+  {
+    SocketServer server(&service, "/tmp/cuckoo_kv_test_legacy.sock");
+    ASSERT_TRUE(server.Start());
+    server.Stop();
+  }
+  SocketServer again(&service, "/tmp/cuckoo_kv_test_legacy.sock");
+  EXPECT_TRUE(again.Start());
+  again.Stop();
+}
+
+}  // namespace
+}  // namespace cuckoo

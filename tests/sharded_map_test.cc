@@ -107,6 +107,45 @@ TEST(ShardedMapTest, ConcurrentWriters) {
   }
 }
 
+// Regression (shard collapse): Hash is a template parameter, so users may
+// supply hashers that only populate the low 32 bits. Shard selection used the
+// raw top-16 bits (`h >> 48`), which are all zero for such a hasher — every
+// key landed in shard 0. Selection must mix the hash first.
+struct ThirtyTwoBitHash {
+  std::uint64_t operator()(std::uint64_t key) const noexcept {
+    // A decent 32-bit hash (murmur-style fmix32), but the upper 32 bits of
+    // the returned value are always zero.
+    std::uint32_t x = static_cast<std::uint32_t>(key ^ (key >> 32));
+    x ^= x >> 16;
+    x *= 0x85ebca6bu;
+    x ^= x >> 13;
+    x *= 0xc2b2ae35u;
+    x ^= x >> 16;
+    return x;
+  }
+};
+
+TEST(ShardedMapTest, ThirtyTwoBitHashStillSpreadsAcrossShards) {
+  using NarrowMap = ShardedMap<std::uint64_t, std::uint64_t, ThirtyTwoBitHash>;
+  NarrowMap::Options o;
+  o.shard_count_log2 = 3;  // 8 shards
+  o.slots_per_shard_log2 = 10;
+  NarrowMap map(o);
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    ASSERT_EQ(map.Insert(i, i), InsertResult::kOk) << i;
+  }
+  EXPECT_EQ(map.Size(), 4000u);
+  // Pre-fix, all 4000 keys funnel into shard 0: imbalance == shard count (8)
+  // — and the insert loop above would refuse long before 4000 keys anyway
+  // (one shard holds only 1024 slots). Post-fix the spread is near-uniform.
+  EXPECT_LT(map.ShardImbalance(), 1.5);
+  std::uint64_t v;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(map.Find(i, &v)) << i;
+    ASSERT_EQ(v, i);
+  }
+}
+
 TEST(ShardedMapTest, ShardingLosesGlobalLoadBalance) {
   // The structural cost sharding pays vs a single cuckoo table: the fullest
   // shard caps total fill. Fill until the first shard refuses.
