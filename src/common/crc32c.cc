@@ -1,0 +1,76 @@
+#include "src/common/crc32c.h"
+
+#include <bit>
+#include <cstring>
+
+// The slicing loop folds the running CRC into the low bytes of a raw 64-bit
+// load, which is only correct on little-endian hosts (every target this repo
+// builds for). Fail loudly rather than silently mis-checksum elsewhere.
+static_assert(std::endian::native == std::endian::little,
+              "Crc32c slicing-by-8 assumes a little-endian host");
+
+namespace cuckoo {
+namespace {
+
+// 8 slicing tables, 256 entries each, generated at startup from the reflected
+// Castagnoli polynomial. Table 0 is the classic byte-at-a-time table;
+// table k advances a byte through k additional zero bytes.
+struct Crc32cTables {
+  std::uint32_t t[8][256];
+
+  Crc32cTables() noexcept {
+    constexpr std::uint32_t kPoly = 0x82f63b78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() noexcept {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data, std::size_t len) noexcept {
+  const auto& tab = Tables();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until 8-byte aligned (keeps the 64-bit loads natural).
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xffu];
+    --len;
+  }
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    word ^= crc;  // little-endian: low 4 bytes absorb the running crc
+    crc = tab.t[7][word & 0xffu] ^ tab.t[6][(word >> 8) & 0xffu] ^
+          tab.t[5][(word >> 16) & 0xffu] ^ tab.t[4][(word >> 24) & 0xffu] ^
+          tab.t[3][(word >> 32) & 0xffu] ^ tab.t[2][(word >> 40) & 0xffu] ^
+          tab.t[1][(word >> 48) & 0xffu] ^ tab.t[0][(word >> 56) & 0xffu];
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xffu];
+    --len;
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(const void* data, std::size_t len) noexcept {
+  return Crc32cExtend(0, data, len);
+}
+
+}  // namespace cuckoo

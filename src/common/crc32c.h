@@ -1,0 +1,40 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum the durability subsystem frames every WAL and snapshot record
+// with. Software slicing-by-8 implementation: no SSE4.2 dependency, ~1 B/cycle,
+// bit-identical to the hardware `crc32` instruction family used by RocksDB,
+// LevelDB, and iSCSI.
+#ifndef SRC_COMMON_CRC32C_H_
+#define SRC_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cuckoo {
+
+// One-shot CRC32C of `len` bytes. Equals Crc32cExtend(0, data, len).
+std::uint32_t Crc32c(const void* data, std::size_t len) noexcept;
+
+inline std::uint32_t Crc32c(std::string_view bytes) noexcept {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+// Incrementally extend a running CRC: Crc32cExtend(Crc32c(a), b) ==
+// Crc32c(a || b). `crc` is the plain (already finalized) CRC of the prefix.
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data, std::size_t len) noexcept;
+
+// Masked form (the LevelDB/RocksDB trick): storing a CRC of data that itself
+// contains CRCs makes accidental collisions likelier, so persisted checksums
+// are rotated and offset. Verify with Crc32cUnmask(stored) == computed.
+inline std::uint32_t Crc32cMask(std::uint32_t crc) noexcept {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline std::uint32_t Crc32cUnmask(std::uint32_t masked) noexcept {
+  const std::uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_CRC32C_H_

@@ -1,0 +1,75 @@
+// Small POSIX file helpers for the durability subsystem: fsync-aware append
+// files, directory fsync (persist a create/rename), atomic replace-by-rename,
+// and directory listing. All functions report failure by return value and
+// leave errno intact for the caller's diagnostics.
+#ifndef SRC_COMMON_FILE_UTIL_H_
+#define SRC_COMMON_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cuckoo {
+
+// An append-only file descriptor wrapper. Not thread-safe; the WAL serializes
+// access through its log-writer thread.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile() { Close(); }
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  // Open (creating if needed). `truncate` discards existing contents;
+  // otherwise the write position is the current end of file.
+  bool Open(const std::string& path, bool truncate);
+
+  bool IsOpen() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+
+  // Write every byte (restarting on EINTR / short writes).
+  bool Append(std::string_view bytes);
+
+  bool Sync();   // fdatasync (falls back to fsync)
+  bool Close();  // idempotent
+
+  // Bytes written through this handle plus the pre-existing size at Open.
+  std::uint64_t Size() const noexcept { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t size_ = 0;
+};
+
+// Read a whole file into *out. Returns false (and clears *out) on error.
+bool ReadFileToString(const std::string& path, std::string* out);
+
+// Write `contents` to `path` atomically: write to `path + ".tmp"`, fsync,
+// rename over `path`, fsync the parent directory.
+bool WriteFileAtomic(const std::string& path, std::string_view contents);
+
+// fsync the directory itself so a freshly created/renamed entry is durable.
+bool SyncDir(const std::string& dir);
+
+// mkdir -p for one level (parent must exist). Succeeds if already a directory.
+bool EnsureDir(const std::string& dir);
+
+// Names (not paths) of regular files in `dir` starting with `prefix`, sorted.
+std::vector<std::string> ListFilesWithPrefix(const std::string& dir,
+                                             const std::string& prefix);
+
+// Truncate `path` to `size` bytes. Used to drop a torn WAL tail.
+bool TruncateFile(const std::string& path, std::uint64_t size);
+
+bool RemoveFile(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+std::uint64_t FileSize(const std::string& path);  // 0 if missing
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_FILE_UTIL_H_

@@ -84,6 +84,27 @@ class LockStripes {
     }
   }
 
+  // Single-stripe acquisition for walkers that hold at most one stripe at a
+  // time (the fuzzy-snapshot scan). Same debug bookkeeping as LockPair;
+  // holding exactly one stripe trivially satisfies the ordering discipline.
+  void LockStripe(std::size_t stripe_index) noexcept {
+    CUCKOO_DEBUG_STRIPE_ACQUIRE(this, stripe_index);
+    stripes_[stripe_index].Lock();
+  }
+
+  bool TryLockStripe(std::size_t stripe_index) noexcept {
+    if (!stripes_[stripe_index].TryLock()) {
+      return false;
+    }
+    CUCKOO_DEBUG_STRIPE_ACQUIRE(this, stripe_index);
+    return true;
+  }
+
+  void UnlockStripeNoModify(std::size_t stripe_index) noexcept {
+    CUCKOO_DEBUG_STRIPE_RELEASE(this, stripe_index);
+    stripes_[stripe_index].UnlockNoModify();
+  }
+
   // Acquire every stripe in ascending order. Used for whole-table operations
   // (expansion, clear, exclusive LockedTable views). The paper notes a writer
   // "could pessimistically acquire a full-table lock by acquiring each of the

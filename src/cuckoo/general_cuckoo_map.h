@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/cpu.h"
 #include "src/common/hash.h"
 #include "src/common/striped_locks.h"
 #include "src/cuckoo/path_search.h"
@@ -274,13 +275,24 @@ class GeneralCuckooMap {
   template <typename KArg, typename VArg>
   InsertResult Insert(KArg&& key, VArg&& value) {
     return DoInsert(std::forward<KArg>(key), std::forward<VArg>(value),
-                    /*overwrite_existing=*/false);
+                    /*overwrite_existing=*/false, [](const V&) {});
   }
 
   template <typename KArg, typename VArg>
   InsertResult Upsert(KArg&& key, VArg&& value) {
     return DoInsert(std::forward<KArg>(key), std::forward<VArg>(value),
-                    /*overwrite_existing=*/true);
+                    /*overwrite_existing=*/true, [](const V&) {});
+  }
+
+  // Upsert, invoking `then(const V& stored)` while the bucket-pair lock is
+  // still held whenever the table was actually modified (fresh insert or
+  // overwrite). Durability layers use this to assign a WAL sequence number
+  // inside the critical section, so log order matches per-key table order
+  // (two racing SETs on one key serialize identically in both).
+  template <typename KArg, typename VArg, typename Then>
+  InsertResult UpsertThen(KArg&& key, VArg&& value, Then&& then) {
+    return DoInsert(std::forward<KArg>(key), std::forward<VArg>(value),
+                    /*overwrite_existing=*/true, std::forward<Then>(then));
   }
 
   bool Update(const K& key, V value) {
@@ -296,6 +308,13 @@ class GeneralCuckooMap {
   // entry was removed.
   template <typename Pred>
   bool EraseIf(const K& key, Pred&& pred) {
+    return EraseIfThen(key, std::forward<Pred>(pred), [] {});
+  }
+
+  // EraseIf, invoking `after()` under the bucket-pair lock right after the
+  // slot is destroyed (same WAL-ordering rationale as UpsertThen).
+  template <typename Pred, typename After>
+  bool EraseIfThen(const K& key, Pred&& pred, After&& after) {
     const HashedKey h = HashedKey::From(hasher_(key));
     return WithPair(h, [&](Core* core, std::size_t b1, std::size_t b2, PairGuard& guard) {
       Locator loc;
@@ -307,6 +326,7 @@ class GeneralCuckooMap {
       core->DestroySlot(loc.bucket, loc.slot);
       size_.fetch_sub(1, std::memory_order_relaxed);
       stats_.RecordErase();
+      after();
       return true;
     });
   }
@@ -348,6 +368,77 @@ class GeneralCuckooMap {
 
   MapStatsSnapshot Stats() const { return stats_.Read(); }
   const Options& options() const noexcept { return opts_; }
+
+  // ----- Online (fuzzy) snapshot walk ---------------------------------------
+
+  // Counters describing one TrySnapshotBuckets walk (for durability stats).
+  struct SnapshotWalkStats {
+    std::uint64_t buckets = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t empty_skips = 0;      // buckets skipped by version validation
+    std::uint64_t lock_fallbacks = 0;   // blocking Lock() after K failed tries
+    std::uint64_t displaced_entries = 0;  // entries re-emitted from the move log
+  };
+
+  // Visit a fuzzy snapshot of the table while writers keep running. Unlike
+  // ForEach, no global lock is ever taken: the walk holds at most one stripe
+  // lock at a time, so a writer contends only on the single stripe currently
+  // being copied. Per bucket:
+  //
+  //   * Empty buckets are skipped optimistically: tag bytes are read lock-free
+  //     and validated against the stripe's §4.4 version counter (the same
+  //     snapshot/validate discipline the optimistic read path uses). No lock.
+  //   * Occupied buckets fall back to the stripe lock — keys and values here
+  //     own heap memory (std::string, ...), so copying them outside the lock
+  //     would race with a concurrent DestroySlot (the very race the locked
+  //     read protocol of this §7 generality layer exists to prevent). The
+  //     acquisition itself is optimistic: TryLock up to `lock_retries` times,
+  //     then a blocking Lock() as the fallback.
+  //
+  // Cuckoo displacements can move an element from a not-yet-visited bucket
+  // into an already-visited one, which would make the walk miss it entirely;
+  // while a walk is active, ExecutePath records every moved element into a
+  // side log that is drained (re-emitted through `fn`) after the last bucket.
+  // Duplicate emissions are possible and expected — consumers load snapshots
+  // with upsert semantics and WAL replay fixes up any stale copy.
+  //
+  // `fn(const K&, const V&)` is invoked on copies, outside any lock. Returns
+  // false (walk must be retried by the caller, e.g. after rewinding its
+  // output file) if an expansion swapped the core mid-walk; bucket indices
+  // are not comparable across cores. Requires copyable K and V.
+  template <typename Fn>
+  bool TrySnapshotBuckets(Fn&& fn, int lock_retries = 8,
+                          SnapshotWalkStats* stats_out = nullptr) const {
+    static_assert(std::is_copy_constructible_v<K> && std::is_copy_constructible_v<V>,
+                  "TrySnapshotBuckets copies elements out of the table");
+    std::lock_guard<std::mutex> one_walk(snapshot_walk_mutex_);
+    {
+      std::lock_guard<std::mutex> g(displaced_mutex_);
+      displaced_log_.clear();
+    }
+    snapshot_active_.store(true, std::memory_order_release);
+    SnapshotWalkStats stats;
+    const bool ok = WalkBuckets(fn, lock_retries, &stats);
+    snapshot_active_.store(false, std::memory_order_release);
+    if (ok) {
+      // Drain the displacement log: anything cuckooed across the walk
+      // frontier is emitted here (possibly a second time — harmless).
+      std::vector<std::pair<K, V>> moved;
+      {
+        std::lock_guard<std::mutex> g(displaced_mutex_);
+        moved.swap(displaced_log_);
+      }
+      for (const auto& [key, value] : moved) {
+        fn(key, value);
+      }
+      stats.displaced_entries = moved.size();
+      stats.entries += moved.size();
+    }
+    if (stats_out != nullptr) {
+      *stats_out = stats;
+    }
+    return ok;
+  }
 
   // Visit every element exclusively (all stripes held).
   template <typename Fn>
@@ -402,8 +493,10 @@ class GeneralCuckooMap {
     return false;
   }
 
-  template <typename KArg, typename VArg>
-  InsertResult DoInsert(KArg&& key, VArg&& value, bool overwrite_existing) {
+  // `after(const V& stored)` runs under the pair guard at every point where
+  // the table was modified (overwrite or fresh construct) — see UpsertThen.
+  template <typename KArg, typename VArg, typename After>
+  InsertResult DoInsert(KArg&& key, VArg&& value, bool overwrite_existing, After&& after) {
     const HashedKey h = HashedKey::From(hasher_(key));
     for (;;) {
       std::optional<InsertResult> fast = WithPair(
@@ -414,6 +507,7 @@ class GeneralCuckooMap {
               if (overwrite_existing) {
                 core->Value(loc.bucket, loc.slot) = V(std::forward<VArg>(value));
                 stats_.RecordDuplicateInsert();
+                after(const_cast<const Core&>(*core).Value(loc.bucket, loc.slot));
                 return InsertResult::kKeyExists;
               }
               guard.ReleaseNoModify();
@@ -427,6 +521,7 @@ class GeneralCuckooMap {
                                     std::forward<VArg>(value));
                 size_.fetch_add(1, std::memory_order_relaxed);
                 stats_.RecordInsert();
+                after(const_cast<const Core&>(*core).Value(b, s));
                 return InsertResult::kOk;
               }
             }
@@ -472,6 +567,87 @@ class GeneralCuckooMap {
       }
       core->MoveSlot(from.bucket, from.slot, to.bucket, to.slot);
       stats_.RecordDisplacements(1);
+      if (snapshot_active_.load(std::memory_order_acquire)) {
+        // A displacement can move an element from a bucket the snapshot walk
+        // has not reached yet into one it already visited, hiding it from the
+        // walk; log a copy so TrySnapshotBuckets can re-emit it. We hold the
+        // pair lock on both buckets, so the copy is race-free.
+        if constexpr (std::is_copy_constructible_v<K> && std::is_copy_constructible_v<V>) {
+          std::lock_guard<std::mutex> g(displaced_mutex_);
+          displaced_log_.emplace_back(const_cast<const Core&>(*core).Key(to.bucket, to.slot),
+                                      const_cast<const Core&>(*core).Value(to.bucket, to.slot));
+        }
+      }
+    }
+    return true;
+  }
+
+  // One pass over every bucket of the current core for TrySnapshotBuckets.
+  // Holds at most one stripe lock at a time; returns false if an expansion
+  // swapped the core mid-walk (the caller retries the whole snapshot).
+  template <typename Fn>
+  bool WalkBuckets(Fn& fn, int lock_retries, SnapshotWalkStats* stats) const {
+    Core* core = core_snapshot_.load(std::memory_order_acquire);
+    // Prologue: acquire+release every stripe once (one at a time, no version
+    // bump). The lock-free empty-skip below means a writer might otherwise
+    // displace elements without ever observing snapshot_active_ == true: the
+    // flag store alone has no release/acquire edge to a writer that takes no
+    // lock we hold. After this round, any writer critical section that starts
+    // later acquires a stripe whose lock word we released after setting the
+    // flag, so it observes the flag and logs its displacements.
+    for (std::size_t s = 0; s < stripes_.stripe_count(); ++s) {
+      stripes_.LockStripe(s);
+      stripes_.UnlockStripeNoModify(s);
+    }
+    std::vector<std::pair<K, V>> copies;
+    for (std::size_t b = 0; b < core->bucket_count(); ++b) {
+      ++stats->buckets;
+      const std::size_t stripe = stripes_.StripeFor(b);
+      // Optimistic empty check: tag bytes are atomics, readable lock-free;
+      // the stripe version validates that no writer touched the stripe while
+      // we looked (same seqlock discipline as the optimistic read path).
+      const std::uint64_t v1 = stripes_.Stripe(stripe).AwaitVersion();
+      bool empty = true;
+      for (int s = 0; s < B && empty; ++s) {
+        empty = core->Tag(b, s) == 0;
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (empty && stripes_.Stripe(stripe).LoadRaw() == v1) {
+        if (core_snapshot_.load(std::memory_order_acquire) != core) {
+          return false;
+        }
+        ++stats->empty_skips;
+        continue;
+      }
+      // Occupied (or contended): copy under the stripe lock — K/V may own
+      // heap memory, so an unlocked copy would race with DestroySlot.
+      bool locked = false;
+      for (int attempt = 0; attempt < lock_retries && !locked; ++attempt) {
+        locked = stripes_.TryLockStripe(stripe);
+        if (!locked) {
+          CpuRelax();
+        }
+      }
+      if (!locked) {
+        stripes_.LockStripe(stripe);
+        ++stats->lock_fallbacks;
+      }
+      if (core_snapshot_.load(std::memory_order_relaxed) != core) {
+        stripes_.UnlockStripeNoModify(stripe);
+        return false;
+      }
+      copies.clear();
+      for (int s = 0; s < B; ++s) {
+        if (core->Tag(b, s) != 0) {
+          copies.emplace_back(const_cast<const Core&>(*core).Key(b, s),
+                              const_cast<const Core&>(*core).Value(b, s));
+        }
+      }
+      stripes_.UnlockStripeNoModify(stripe);
+      for (const auto& [key, value] : copies) {
+        fn(key, value);
+      }
+      stats->entries += copies.size();
     }
     return true;
   }
@@ -594,6 +770,12 @@ class GeneralCuckooMap {
   mutable std::mutex maintenance_mutex_;
   std::atomic<std::size_t> size_{0};
   mutable MapStats stats_;
+  // Fuzzy-snapshot state (see TrySnapshotBuckets). Mutable: the walk is
+  // logically const, and ExecutePath (non-const) shares the displacement log.
+  mutable std::mutex snapshot_walk_mutex_;
+  mutable std::mutex displaced_mutex_;
+  mutable std::vector<std::pair<K, V>> displaced_log_;
+  mutable std::atomic<bool> snapshot_active_{false};
 };
 
 }  // namespace cuckoo

@@ -3,6 +3,13 @@
 // Useful for warm restarts of caches and for shipping prebuilt tables into
 // benchmarks. Loading inserts through the public API, so snapshots are
 // portable across table sizes, associativities, and hash-function choices.
+//
+// Format v2 ("CKSNAP2"): the header carries an explicit format version and a
+// flags word so this helper and the richer src/persist/ snapshot machinery
+// can never silently misread each other's files — every durability file in
+// this repo now starts with a distinct magic plus a version field. Records
+// are raw host-endian structs; the files are machine-local warm-start
+// artifacts, not interchange formats (see docs/persistence.md).
 #ifndef SRC_CUCKOO_SERIALIZE_H_
 #define SRC_CUCKOO_SERIALIZE_H_
 
@@ -18,13 +25,16 @@ namespace cuckoo {
 namespace internal {
 
 struct SnapshotHeader {
-  char magic[8];           // "CKSNAP1\0"
+  char magic[8];           // "CKSNAP2\0"
+  std::uint32_t version;   // format version; readers reject what they don't know
+  std::uint32_t flags;     // reserved, must be zero in v2
   std::uint32_t key_size;  // sizeof(K) — sanity-checked on load
   std::uint32_t value_size;
   std::uint64_t count;
 };
 
-inline constexpr char kSnapshotMagic[8] = {'C', 'K', 'S', 'N', 'A', 'P', '1', '\0'};
+inline constexpr char kSnapshotMagic[8] = {'C', 'K', 'S', 'N', 'A', 'P', '2', '\0'};
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 }  // namespace internal
 
@@ -36,6 +46,8 @@ bool SaveSnapshot(CuckooMap<K, V, Hash, KeyEqual, B>& map, std::ostream& os) {
   auto view = map.Lock();
   internal::SnapshotHeader header{};
   std::memcpy(header.magic, internal::kSnapshotMagic, sizeof(header.magic));
+  header.version = internal::kSnapshotVersion;
+  header.flags = 0;
   header.key_size = sizeof(K);
   header.value_size = sizeof(V);
   header.count = view.Size();
@@ -48,17 +60,35 @@ bool SaveSnapshot(CuckooMap<K, V, Hash, KeyEqual, B>& map, std::ostream& os) {
 }
 
 // Load a snapshot into `map` via Upsert (pre-existing keys are overwritten).
-// Returns the number of records loaded, or -1 on a malformed stream or a
-// key/value-size mismatch.
+// Returns the number of records loaded, or -1 on a malformed stream, a
+// key/value-size mismatch, an unknown format version, or a header count that
+// cannot fit in the remaining stream (a forged/corrupt count must not drive
+// Reserve into a huge allocation before a single record is read).
 template <typename K, typename V, typename Hash, typename KeyEqual, int B>
 std::int64_t LoadSnapshot(CuckooMap<K, V, Hash, KeyEqual, B>& map, std::istream& is) {
   internal::SnapshotHeader header{};
   is.read(reinterpret_cast<char*>(&header), sizeof(header));
   if (!is || std::memcmp(header.magic, internal::kSnapshotMagic, sizeof(header.magic)) != 0 ||
+      header.version != internal::kSnapshotVersion || header.flags != 0 ||
       header.key_size != sizeof(K) || header.value_size != sizeof(V)) {
     return -1;
   }
-  map.Reserve(map.Size() + header.count);
+  // Bound `count` by the bytes actually present: a corrupt or malicious
+  // header must fail cleanly instead of reserving multi-GB tables.
+  constexpr std::uint64_t kRecordSize = sizeof(K) + sizeof(V);
+  const std::istream::pos_type here = is.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(here);
+    if (!is || end < here ||
+        header.count > static_cast<std::uint64_t>(end - here) / kRecordSize) {
+      return -1;
+    }
+    map.Reserve(map.Size() + header.count);
+  }
+  // Non-seekable streams cannot validate `count` up front; skip the bulk
+  // Reserve and let auto-expansion grow the table as records actually arrive.
   std::int64_t loaded = 0;
   for (std::uint64_t i = 0; i < header.count; ++i) {
     K key;

@@ -53,9 +53,18 @@ void KvService::HandleGet(const Request& request, bool with_cas, std::string* ou
       // Lazy expiry: reclaim the slot, but only if the entry is still the
       // expired one — a concurrent fresh Set must not be deleted. EraseIf
       // re-checks under the bucket locks.
-      if (store_.EraseIf(keys[i],
-                         [&](const StoredValue& value) { return Expired(value, now); })) {
+      std::uint64_t lsn = 0;
+      if (store_.EraseIfThen(
+              keys[i], [&](const StoredValue& value) { return Expired(value, now); },
+              [&] {
+                if (observer_ != nullptr) {
+                  lsn = observer_->OnDelete(keys[i]);
+                }
+              })) {
         expirations_.Increment();
+        // Logged (so replay does not resurrect the entry) but not awaited:
+        // a get response makes no durability promise.
+        (void)lsn;
       }
     }
     if (live[i]) {
@@ -73,18 +82,30 @@ void KvService::HandleSet(const Request& request, std::string* out) {
   value.flags = request.flags;
   value.cas_id = next_cas_.fetch_add(1, std::memory_order_relaxed);
   value.expires_at = DeadlineFor(request.exptime);
-  InsertResult r = store_.Upsert(std::string(request.key), std::move(value));
+  std::uint64_t lsn = 0;
+  InsertResult r = store_.UpsertThen(
+      std::string(request.key), std::move(value), [&](const StoredValue& stored) {
+        // Under the bucket-pair lock: the LSN the observer assigns here is
+        // ordered exactly like the table mutation it describes.
+        if (observer_ != nullptr) {
+          lsn = observer_->OnSet(request.key, stored);
+        }
+      });
   if (r == InsertResult::kTableFull) {
     AppendNotStored(out);
-  } else {
-    sets_.Increment();
-    AppendStored(out);
+    return;
   }
+  if (observer_ != nullptr) {
+    observer_->WaitDurable(lsn);  // outside the locks, before the ack
+  }
+  sets_.Increment();
+  AppendStored(out);
 }
 
 void KvService::HandleCas(const Request& request, std::string* out) {
   const std::uint64_t now = NowSeconds();
   enum class Outcome { kNotFound, kExists, kStored } outcome = Outcome::kNotFound;
+  std::uint64_t lsn = 0;
   store_.WithValueMut(request.key, [&](StoredValue& value) {
     if (Expired(value, now)) {
       outcome = Outcome::kNotFound;  // expired counts as absent
@@ -99,9 +120,17 @@ void KvService::HandleCas(const Request& request, std::string* out) {
     value.expires_at = DeadlineFor(request.exptime);
     value.cas_id = next_cas_.fetch_add(1, std::memory_order_relaxed);
     outcome = Outcome::kStored;
+    // Log the RESOLVED state (an unconditional set) under the lock: replay
+    // must not re-run the cas comparison against a different history.
+    if (observer_ != nullptr) {
+      lsn = observer_->OnSet(request.key, value);
+    }
   });
   switch (outcome) {
     case Outcome::kStored:
+      if (observer_ != nullptr) {
+        observer_->WaitDurable(lsn);
+      }
       sets_.Increment();
       AppendStored(out);
       return;
@@ -117,17 +146,36 @@ void KvService::HandleCas(const Request& request, std::string* out) {
 void KvService::HandleTouch(const Request& request, std::string* out) {
   const std::uint64_t now = NowSeconds();
   bool touched = false;
+  std::uint64_t lsn = 0;
   store_.WithValueMut(request.key, [&](StoredValue& value) {
     if (Expired(value, now)) {
       return;
     }
     value.expires_at = DeadlineFor(request.exptime);
     touched = true;
+    if (observer_ != nullptr) {
+      lsn = observer_->OnSet(request.key, value);  // resolved full state
+    }
   });
   if (touched) {
+    if (observer_ != nullptr) {
+      observer_->WaitDurable(lsn);
+    }
     AppendTouched(out);
   } else {
     AppendNotFound(out);
+  }
+}
+
+bool KvService::RestoreEntry(std::string key, StoredValue value) {
+  AdvanceCasFloor(value.cas_id);
+  return store_.Upsert(std::move(key), std::move(value)) != InsertResult::kTableFull;
+}
+
+void KvService::AdvanceCasFloor(std::uint64_t cas_id) {
+  std::uint64_t cur = next_cas_.load(std::memory_order_relaxed);
+  while (cur <= cas_id &&
+         !next_cas_.compare_exchange_weak(cur, cas_id + 1, std::memory_order_relaxed)) {
   }
 }
 
@@ -149,11 +197,31 @@ void KvService::Process(const Request& request, std::string* response_out) {
       HandleTouch(request, response_out);
       return;
     case RequestType::kDelete: {
-      if (store_.Erase(request.key)) {
+      std::uint64_t lsn = 0;
+      if (store_.EraseIfThen(
+              request.key, [](const StoredValue&) { return true; },
+              [&] {
+                if (observer_ != nullptr) {
+                  lsn = observer_->OnDelete(request.key);
+                }
+              })) {
+        if (observer_ != nullptr) {
+          observer_->WaitDurable(lsn);
+        }
         deletes_.Increment();
         AppendDeleted(response_out);
       } else {
         AppendNotFound(response_out);
+      }
+      return;
+    }
+    case RequestType::kBgsave: {
+      if (!bgsave_) {
+        AppendError(response_out);  // no durability layer attached
+      } else if (bgsave_()) {
+        AppendOk(response_out);
+      } else {
+        AppendBusy(response_out);
       }
       return;
     }
@@ -180,8 +248,8 @@ void KvService::Process(const Request& request, std::string* response_out) {
                  response_out);
       AppendStat("table_insert_failures", static_cast<std::uint64_t>(table.insert_failures),
                  response_out);
-      if (extra_stats_) {
-        extra_stats_(response_out);  // server-layer counters
+      for (const auto& hook : extra_stats_) {
+        hook(response_out);  // server- and durability-layer counters
       }
       AppendEnd(response_out);
       return;

@@ -16,6 +16,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/per_thread_counter.h"
 #include "src/cuckoo/general_cuckoo_map.h"
@@ -28,6 +29,43 @@ class KvService {
   // exptime values above this are absolute UNIX timestamps, not relative
   // TTLs (memcached's REALTIME_MAXDELTA, 30 days in seconds).
   static constexpr std::uint32_t kMaxRelativeExptime = 60 * 60 * 24 * 30;
+
+  // The stored record for one key. Public so the durability layer (WAL,
+  // snapshots, recovery) can serialize and restore entries verbatim.
+  struct StoredValue {
+    std::string data;
+    std::uint32_t flags = 0;
+    std::uint64_t cas_id = 0;
+    std::uint64_t expires_at = 0;  // absolute seconds; 0 = never
+  };
+
+  using StoreMap = GeneralCuckooMap<std::string, StoredValue>;
+
+  // Durability hook. OnSet/OnDelete are invoked INSIDE the table's
+  // bucket-pair critical section at the instant the mutation is applied, so
+  // the observer can assign a log sequence number whose order matches the
+  // per-key order of table mutations (two racing SETs of one key serialize
+  // identically in the table and in the log). They must not block on I/O —
+  // enqueue and return. WaitDurable is called OUTSIDE the locks, before the
+  // client response is released, and may block per the fsync policy.
+  //
+  // Every mutation is logged as its resolved unconditional effect: a
+  // successful cas/touch reports the final stored state through OnSet, so
+  // replay never needs to re-evaluate conditions.
+  class MutationObserver {
+   public:
+    virtual ~MutationObserver() = default;
+    virtual std::uint64_t OnSet(std::string_view key, const StoredValue& stored) = 0;
+    virtual std::uint64_t OnDelete(std::string_view key) = 0;
+    virtual void WaitDurable(std::uint64_t lsn) = 0;
+  };
+
+  // Install before serving traffic; the observer must outlive the service.
+  void SetMutationObserver(MutationObserver* observer) { observer_ = observer; }
+
+  // `bgsave` command handler: return true if a snapshot was started, false
+  // if one is already running (reported to the client as BUSY).
+  void SetBgsaveHook(std::function<bool()> hook) { bgsave_ = std::move(hook); }
 
   struct Options {
     std::size_t initial_bucket_count_log2 = 10;
@@ -67,10 +105,39 @@ class KvService {
   Connection Connect() { return Connection(this); }
 
   // Extra STAT lines appended to every `stats` response — the network server
-  // installs its connection/traffic counters here. The hook must be
-  // thread-safe; install before serving traffic.
-  void SetExtraStatsHook(std::function<void(std::string*)> hook) {
-    extra_stats_ = std::move(hook);
+  // installs its connection/traffic counters here, the durability layer its
+  // WAL/snapshot counters. Hooks must be thread-safe; install before serving
+  // traffic. Hooks run in installation order.
+  void AddExtraStatsHook(std::function<void(std::string*)> hook) {
+    extra_stats_.push_back(std::move(hook));
+  }
+
+  // ----- Recovery API (single-threaded, before serving traffic) -------------
+
+  // Apply a snapshot/WAL record directly: upsert the entry verbatim and
+  // advance the cas floor past its cas id. Returns false only if the table
+  // refused the insert (auto_expand disabled and full).
+  bool RestoreEntry(std::string key, StoredValue value);
+
+  // Apply a logged delete. Missing keys are fine (idempotent replay).
+  bool RestoreErase(const std::string& key) { return store_.Erase(key); }
+
+  // Ensure future cas ids are strictly greater than `cas_id`.
+  void AdvanceCasFloor(std::uint64_t cas_id);
+
+  // Drop everything (recovery retry after a partially loaded corrupt
+  // snapshot). Exclusive; only call before serving traffic.
+  void RestoreClear() { store_.Clear(); }
+
+  // ----- Online snapshot (fuzzy walk; writers keep running) -----------------
+
+  // Walk a fuzzy snapshot of the store (see GeneralCuckooMap::
+  // TrySnapshotBuckets): `fn` sees each live entry at least once, copies
+  // taken under per-bucket locks only. Returns false if a table expansion
+  // interrupted the walk — the caller discards partial output and retries.
+  bool TrySnapshotEntries(const std::function<void(const std::string&, const StoredValue&)>& fn,
+                          StoreMap::SnapshotWalkStats* stats = nullptr) const {
+    return store_.TrySnapshotBuckets(fn, /*lock_retries=*/8, stats);
   }
 
   std::size_t ItemCount() const noexcept { return store_.Size(); }
@@ -82,13 +149,6 @@ class KvService {
   MapStatsSnapshot StoreStats() const { return store_.Stats(); }
 
  private:
-  struct StoredValue {
-    std::string data;
-    std::uint32_t flags = 0;
-    std::uint64_t cas_id = 0;
-    std::uint64_t expires_at = 0;  // absolute seconds; 0 = never
-  };
-
   std::uint64_t NowSeconds() const { return clock_(); }
   // memcached exptime semantics: 0 = never; values up to 30 days are a
   // relative TTL; anything larger is already an absolute UNIX timestamp
@@ -111,9 +171,11 @@ class KvService {
   void HandleCas(const Request& request, std::string* out);
   void HandleTouch(const Request& request, std::string* out);
 
-  GeneralCuckooMap<std::string, StoredValue> store_;
+  StoreMap store_;
   std::function<std::uint64_t()> clock_;
-  std::function<void(std::string*)> extra_stats_;
+  std::vector<std::function<void(std::string*)>> extra_stats_;
+  MutationObserver* observer_ = nullptr;
+  std::function<bool()> bgsave_;
   std::atomic<std::uint64_t> next_cas_{1};
   PerThreadCounter hits_;
   PerThreadCounter misses_;

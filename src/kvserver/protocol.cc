@@ -99,6 +99,14 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
     out->key.clear();
     return ParseStatus::kOk;
   }
+  if (command == "bgsave") {
+    if (tokens.size() != 1) {
+      return ParseStatus::kError;
+    }
+    out->type = RequestType::kBgsave;
+    out->key.clear();
+    return ParseStatus::kOk;
+  }
   if (command == "set" || command == "cas") {
     // set <key> <flags> <exptime> <bytes>  |  cas ... <bytes> <casid>
     const bool is_cas = command == "cas";
@@ -231,6 +239,8 @@ void AppendNotFound(std::string* out) { out->append("NOT_FOUND\r\n"); }
 void AppendError(std::string* out) { out->append("ERROR\r\n"); }
 void AppendExists(std::string* out) { out->append("EXISTS\r\n"); }
 void AppendTouched(std::string* out) { out->append("TOUCHED\r\n"); }
+void AppendOk(std::string* out) { out->append("OK\r\n"); }
+void AppendBusy(std::string* out) { out->append("BUSY\r\n"); }
 
 void AppendStat(std::string_view name, std::uint64_t value, std::string* out) {
   out->append("STAT ");

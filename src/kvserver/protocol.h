@@ -10,6 +10,7 @@
 //   delete <key>\r\n
 //   touch <key> <exptime>\r\n
 //   stats\r\n
+//   bgsave\r\n                                      (OK / BUSY; durability ext.)
 // Responses follow the memcached text protocol (VALUE/END, STORED, EXISTS,
 // DELETED, NOT_FOUND, TOUCHED, ERROR). exptime follows memcached semantics:
 // 0 = never expires, values up to 30 days are a relative TTL in seconds,
@@ -34,6 +35,7 @@ enum class RequestType : std::uint8_t {
   kDelete,
   kTouch,  // update expiry only
   kStats,
+  kBgsave,  // trigger an online snapshot (replies OK or BUSY)
 };
 
 struct Request {
@@ -108,6 +110,8 @@ void AppendNotFound(std::string* out);     // NOT_FOUND\r\n
 void AppendError(std::string* out);        // ERROR\r\n
 void AppendExists(std::string* out);       // EXISTS\r\n (cas id mismatch)
 void AppendTouched(std::string* out);      // TOUCHED\r\n
+void AppendOk(std::string* out);           // OK\r\n      (bgsave started)
+void AppendBusy(std::string* out);         // BUSY\r\n    (bgsave already running)
 void AppendStat(std::string_view name, std::uint64_t value, std::string* out);
 
 }  // namespace cuckoo

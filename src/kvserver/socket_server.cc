@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <mutex>
 #include <utility>
 
 namespace cuckoo {
@@ -59,6 +60,10 @@ struct SocketServer::Loop {
   std::unique_ptr<Conn> unix_listener;
   std::unique_ptr<Conn> tcp_listener;
   std::vector<Conn*> conns;
+  // Accepted sockets handed to this loop by another loop's accept path
+  // (round-robin placement); adopted on the next wake-eventfd tick.
+  std::mutex pending_mu;
+  std::vector<int> pending_fds;
   std::thread thread;
 };
 
@@ -124,7 +129,7 @@ bool SocketServer::Start() {
     }
   }
 
-  service_->SetExtraStatsHook([this](std::string* out) {
+  service_->AddExtraStatsHook([this](std::string* out) {
     StatsSnapshot s = Stats();
     AppendStat("server_connections_accepted", s.accepted, out);
     AppendStat("server_connections_rejected", s.rejected_over_limit, out);
@@ -192,6 +197,12 @@ void SocketServer::Stop() {
     }
   }
   for (auto& loop : loops_) {
+    // Handoffs the target loop never got to adopt before it exited.
+    for (int fd : loop->pending_fds) {
+      ::close(fd);
+      curr_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    loop->pending_fds.clear();
     if (loop->wake) {
       ::close(loop->wake->fd);
     }
@@ -264,13 +275,55 @@ void SocketServer::HandleAccept(Loop* loop, int listen_fd) {
     accepted_.fetch_add(1, std::memory_order_relaxed);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));  // no-op on UNIX
-    Conn* conn = new Conn(Conn::Kind::kConnection, fd, service_);
-    conn->last_active_ms = NowMs();
-    loop->conns.push_back(conn);
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.ptr = conn;
-    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+    // Round-robin placement. EPOLLEXCLUSIVE alone skews badly: the loop that
+    // wins one wakeup usually drains the whole backlog, and for a blocking
+    // service path (durability's WaitDurable) connection concurrency — and
+    // with it WAL group-commit depth — collapses to however many loops got
+    // lucky. Spreading explicitly keeps every event thread loaded.
+    Loop* target = loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                          loops_.size()].get();
+    if (target == loop) {
+      RegisterConn(loop, fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lk(target->pending_mu);
+      target->pending_fds.push_back(fd);
+    }
+    std::uint64_t tick = 1;
+    [[maybe_unused]] ssize_t n = ::write(target->wake->fd, &tick, sizeof(tick));
+  }
+}
+
+// Take ownership of an accepted socket on this loop's thread: wrap it in a
+// Conn and register for reads. Only ever called from `loop`'s own thread.
+void SocketServer::RegisterConn(Loop* loop, int fd) {
+  Conn* conn = new Conn(Conn::Kind::kConnection, fd, service_);
+  conn->last_active_ms = NowMs();
+  loop->conns.push_back(conn);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = conn;
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+}
+
+// Adopt sockets other loops' accept paths queued for us. Runs on `loop`'s
+// thread after its wake eventfd fires. During shutdown the fds are closed
+// instead — the loop is about to drain and exit.
+void SocketServer::AdoptPendingFds(Loop* loop) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lk(loop->pending_mu);
+    fds.swap(loop->pending_fds);
+  }
+  const bool stopping = stopping_.load(std::memory_order_acquire);
+  for (int fd : fds) {
+    if (stopping) {
+      ::close(fd);
+      curr_connections_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      RegisterConn(loop, fd);
+    }
   }
 }
 
@@ -372,7 +425,11 @@ void SocketServer::SweepIdle(Loop* loop, std::uint64_t now_ms) {
   }
   std::vector<Conn*> victims;
   for (Conn* conn : loop->conns) {
-    if (now_ms - conn->last_active_ms >= options_.idle_timeout_ms) {
+    // last_active_ms can be fresher than now_ms (now_ms is captured before
+    // the event batch; reads during the batch re-stamp the connection) — an
+    // unsigned subtraction would underflow and reap an active connection.
+    if (conn->last_active_ms < now_ms &&
+        now_ms - conn->last_active_ms >= options_.idle_timeout_ms) {
       victims.push_back(conn);
     }
   }
@@ -408,6 +465,7 @@ void SocketServer::RunLoop(Loop* loop) {
         case Conn::Kind::kWake: {
           std::uint64_t drained;
           [[maybe_unused]] ssize_t r = ::read(conn->fd, &drained, sizeof(drained));
+          AdoptPendingFds(loop);
           break;
         }
         case Conn::Kind::kListener:

@@ -5,9 +5,10 @@
 //
 //   * N event-loop threads, each with its own epoll instance; listening
 //     sockets are registered in every loop with EPOLLEXCLUSIVE so the kernel
-//     wakes exactly one loop per incoming connection and that loop owns the
-//     connection for its lifetime (no cross-thread handoff, no shared
-//     connection state).
+//     wakes exactly one loop per connection burst. Accepted sockets are then
+//     spread round-robin across loops (the accepting loop hands foreign fds
+//     over via a per-loop queue + wake eventfd); once adopted, a connection
+//     is owned by exactly one loop for its lifetime.
 //   * Request pipelining: a readable event drains the socket, parses every
 //     complete request in the input, and responds with one accumulated
 //     flush (writev-style single send of all pending responses).
@@ -40,8 +41,9 @@ class SocketServer {
     // ephemeral port; read the result from tcp_port() after Start().
     bool enable_tcp = false;
     std::uint16_t tcp_port = 0;
-    // Event-loop threads (>= 1). Connections are spread across loops by the
-    // kernel's EPOLLEXCLUSIVE wakeup choice.
+    // Event-loop threads (>= 1). Accepted connections are spread across
+    // loops round-robin, so concurrency scales with this even when one loop
+    // drains the whole accept backlog.
     int event_threads = 2;
     // Hard cap on concurrent connections; over the cap, accepts are closed
     // immediately (counted in StatsSnapshot::rejected_over_limit).
@@ -98,6 +100,8 @@ class SocketServer {
 
   void RunLoop(Loop* loop);
   void HandleAccept(Loop* loop, int listen_fd);
+  void RegisterConn(Loop* loop, int fd);
+  void AdoptPendingFds(Loop* loop);
   void HandleReadable(Loop* loop, Conn* conn);
   bool FlushOutput(Loop* loop, Conn* conn);  // false = connection died
   void CloseConn(Loop* loop, Conn* conn);
@@ -112,6 +116,7 @@ class SocketServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<std::uint64_t> next_loop_{0};  // round-robin accept placement
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_over_limit_{0};

@@ -1,0 +1,166 @@
+#include "src/persist/durability.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/kvserver/protocol.h"
+#include "src/persist/snapshot.h"
+
+namespace cuckoo {
+namespace persist {
+
+bool DurabilityManager::Start(DurabilityOptions options, std::string* error) {
+  options_ = std::move(options);
+  if (!RecoverKvService(options_.dir, service_, &recovery_, error)) {
+    return false;
+  }
+  WalOptions wal_options;
+  wal_options.dir = options_.dir;
+  wal_options.fsync_policy = options_.fsync_policy;
+  wal_options.segment_bytes = options_.segment_bytes;
+  if (!wal_.Open(wal_options, recovery_.next_lsn)) {
+    if (error != nullptr) {
+      *error = "cannot open WAL in " + options_.dir;
+    }
+    return false;
+  }
+  service_->SetMutationObserver(this);
+  service_->SetBgsaveHook([this] { return TriggerSnapshot(); });
+  service_->AddExtraStatsHook([this](std::string* out) { AppendStats(out); });
+  stop_ = false;
+  started_ = true;
+  snapshot_thread_ = std::thread(&DurabilityManager::SnapshotWorker, this);
+  return true;
+}
+
+void DurabilityManager::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!started_) {
+      return;
+    }
+    started_ = false;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  snapshot_thread_.join();
+  // Detach from the service FIRST so no new appends race the WAL teardown
+  // (the server should already have drained connections by now).
+  service_->SetMutationObserver(nullptr);
+  // Final barrier: everything applied to the table reaches the disk before
+  // exit, regardless of fsync policy.
+  wal_.Flush();
+  wal_.Shutdown();
+}
+
+bool DurabilityManager::TriggerSnapshot() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (!started_ || snapshot_requested_ || snapshot_running_) {
+    return false;
+  }
+  snapshot_requested_ = true;
+  cv_.notify_all();
+  return true;
+}
+
+bool DurabilityManager::WaitForSnapshot() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  const std::uint64_t target = rounds_started_ + (snapshot_requested_ ? 1 : 0);
+  done_cv_.wait(lk, [&] { return rounds_done_ >= target || stop_; });
+  return last_round_ok_;
+}
+
+void DurabilityManager::SnapshotWorker() {
+  for (;;) {
+    bool run = false;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait_for(lk, std::chrono::milliseconds(200),
+                   [&] { return stop_ || snapshot_requested_; });
+      if (stop_) {
+        return;
+      }
+      const bool byte_trigger =
+          options_.snapshot_trigger_bytes != 0 &&
+          wal_.BytesAppended() - bytes_at_last_snapshot_ >= options_.snapshot_trigger_bytes;
+      if (snapshot_requested_ || byte_trigger) {
+        snapshot_requested_ = false;
+        snapshot_running_ = true;
+        ++rounds_started_;
+        run = true;
+      }
+    }
+    if (!run) {
+      continue;
+    }
+    const bool ok = RunSnapshot();
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      snapshot_running_ = false;
+      last_round_ok_ = ok;
+      ++rounds_done_;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+bool DurabilityManager::RunSnapshot() {
+  const std::uint64_t bytes_before = wal_.BytesAppended();
+  SnapshotWriteStats stats;
+  std::string error;
+  if (!WriteKvSnapshot(*service_, options_.dir, [this] { return wal_.LastAssignedLsn(); },
+                       options_.snapshot_max_attempts, &stats, &error)) {
+    snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  snapshots_completed_.fetch_add(1, std::memory_order_relaxed);
+  last_snapshot_lsn_.store(stats.wal_lsn, std::memory_order_relaxed);
+  last_snapshot_entries_.store(stats.entries, std::memory_order_relaxed);
+  snapshot_walk_lock_fallbacks_.fetch_add(stats.walk.lock_fallbacks,
+                                          std::memory_order_relaxed);
+  snapshot_displaced_entries_.fetch_add(stats.walk.displaced_entries,
+                                        std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    bytes_at_last_snapshot_ = bytes_before;
+  }
+  // The published snapshot covers every LSN <= its wal_lsn; segments fully
+  // below that are dead weight. Flush first so the covering guarantee holds
+  // even for records that were still only in the batch buffer.
+  wal_.Flush();
+  wal_.RemoveSegmentsBelow(stats.wal_lsn);
+  return true;
+}
+
+void DurabilityManager::AppendStats(std::string* out) const {
+  const WalStats w = wal_.Stats();
+  out->append("STAT fsync_policy ");
+  out->append(FsyncPolicyName(options_.fsync_policy));
+  out->append("\r\n");
+  AppendStat("wal_records_appended", w.records_appended, out);
+  AppendStat("wal_bytes_appended", w.bytes_appended, out);
+  AppendStat("wal_fsyncs", w.fsyncs, out);
+  AppendStat("wal_group_commits", w.group_commits, out);
+  AppendStat("wal_max_batch_records", w.max_batch_records, out);
+  AppendStat("wal_segments_created", w.segments_created, out);
+  AppendStat("wal_last_lsn", w.last_assigned_lsn, out);
+  AppendStat("wal_durable_lsn", w.durable_lsn, out);
+  AppendStat("snapshots_completed", snapshots_completed_.load(std::memory_order_relaxed),
+             out);
+  AppendStat("snapshot_failures", snapshot_failures_.load(std::memory_order_relaxed), out);
+  AppendStat("last_snapshot_lsn", last_snapshot_lsn_.load(std::memory_order_relaxed), out);
+  AppendStat("last_snapshot_entries",
+             last_snapshot_entries_.load(std::memory_order_relaxed), out);
+  AppendStat("snapshot_lock_fallbacks",
+             snapshot_walk_lock_fallbacks_.load(std::memory_order_relaxed), out);
+  AppendStat("snapshot_displaced_entries",
+             snapshot_displaced_entries_.load(std::memory_order_relaxed), out);
+  AppendStat("recovery_loaded_snapshot", recovery_.loaded_snapshot ? 1 : 0, out);
+  AppendStat("recovery_snapshot_entries", recovery_.snapshot_entries, out);
+  AppendStat("recovery_wal_records_applied", recovery_.wal_records_applied, out);
+  AppendStat("recovery_truncated_tail", recovery_.truncated_tail ? 1 : 0, out);
+  AppendStat("recovery_next_lsn", recovery_.next_lsn, out);
+}
+
+}  // namespace persist
+}  // namespace cuckoo

@@ -1,0 +1,113 @@
+// DurabilityManager — glues WAL + snapshots + recovery onto a KvService.
+//
+//   * Start(): recover from disk, open the WAL at the recovered next LSN,
+//     install itself as the service's MutationObserver (OnSet/OnDelete
+//     assign LSNs inside table critical sections; WaitDurable gates client
+//     acks per the fsync policy), install the `bgsave` hook, and register a
+//     `stats` hook exposing durability counters.
+//   * A background snapshot worker takes online fuzzy snapshots — triggered
+//     by WAL growth (snapshot_trigger_bytes) or an explicit bgsave — and
+//     garbage-collects WAL segments the published snapshot covers.
+//   * Stop(): final WAL flush + fsync (graceful shutdown: every acked AND
+//     every applied-but-unacked mutation is on disk), then stop threads.
+#ifndef SRC_PERSIST_DURABILITY_H_
+#define SRC_PERSIST_DURABILITY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/kvserver/kv_service.h"
+#include "src/persist/recovery.h"
+#include "src/persist/wal.h"
+
+namespace cuckoo {
+namespace persist {
+
+struct DurabilityOptions {
+  std::string dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kEverySec;
+  std::uint64_t segment_bytes = 64u << 20;
+  // Take a snapshot once this many WAL bytes accumulate since the last one.
+  // 0 disables automatic snapshots (bgsave still works).
+  std::uint64_t snapshot_trigger_bytes = 0;
+  int snapshot_max_attempts = 8;
+};
+
+class DurabilityManager : public KvService::MutationObserver {
+ public:
+  explicit DurabilityManager(KvService* service) : service_(service) {}
+  ~DurabilityManager() override { Stop(); }
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  // Recover, open the WAL, hook into the service, start the snapshot worker.
+  bool Start(DurabilityOptions options, std::string* error);
+
+  // Graceful shutdown: flush + fsync the WAL, stop the workers. Idempotent.
+  void Stop();
+
+  // bgsave: returns false if a snapshot is already in flight.
+  bool TriggerSnapshot();
+
+  // Block until the currently pending/running snapshot round completes
+  // (test support). Returns false if that round failed.
+  bool WaitForSnapshot();
+
+  const RecoveryStats& recovery() const noexcept { return recovery_; }
+  const WriteAheadLog& wal() const noexcept { return wal_; }
+  std::uint64_t SnapshotsCompleted() const noexcept {
+    return snapshots_completed_.load(std::memory_order_relaxed);
+  }
+
+  // KvService::MutationObserver — called inside bucket critical sections.
+  std::uint64_t OnSet(std::string_view key, const KvService::StoredValue& stored) override {
+    return wal_.Append(WalRecord::Type::kSet, key, stored.data, stored.flags,
+                       stored.expires_at, stored.cas_id);
+  }
+  std::uint64_t OnDelete(std::string_view key) override {
+    return wal_.Append(WalRecord::Type::kDelete, key, {}, 0, 0, 0);
+  }
+  void WaitDurable(std::uint64_t lsn) override { wal_.WaitDurable(lsn); }
+
+  // Append "STAT wal_*/snapshot_*/recovery_*" lines (stats hook body).
+  void AppendStats(std::string* out) const;
+
+ private:
+  void SnapshotWorker();
+  bool RunSnapshot();
+
+  KvService* service_;
+  DurabilityOptions options_;
+  WriteAheadLog wal_;
+  RecoveryStats recovery_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  bool snapshot_requested_ = false;
+  bool snapshot_running_ = false;
+  bool stop_ = false;
+  std::uint64_t rounds_done_ = 0;
+  std::uint64_t rounds_started_ = 0;
+  bool last_round_ok_ = true;
+  std::thread snapshot_thread_;
+  bool started_ = false;
+
+  std::uint64_t bytes_at_last_snapshot_ = 0;
+  std::atomic<std::uint64_t> snapshots_completed_{0};
+  std::atomic<std::uint64_t> snapshot_failures_{0};
+  std::atomic<std::uint64_t> last_snapshot_lsn_{0};
+  std::atomic<std::uint64_t> last_snapshot_entries_{0};
+  std::atomic<std::uint64_t> snapshot_walk_lock_fallbacks_{0};
+  std::atomic<std::uint64_t> snapshot_displaced_entries_{0};
+};
+
+}  // namespace persist
+}  // namespace cuckoo
+
+#endif  // SRC_PERSIST_DURABILITY_H_

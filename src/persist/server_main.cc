@@ -1,0 +1,107 @@
+// cuckoo_kv_server — the durable KV server binary: SocketServer front end,
+// KvService store, DurabilityManager (WAL + snapshots + recovery) underneath.
+//
+//   cuckoo_kv_server --wal-dir=/var/lib/ckv [--fsync-policy=everysec]
+//                    [--unix=/tmp/ckv.sock] [--tcp-port=0] [--event-threads=4]
+//                    [--segment-bytes=N] [--snapshot-trigger-bytes=N]
+//                    [--max-connections=N]
+//
+// Without --wal-dir the server runs purely in memory (no durability).
+// After startup it prints exactly one line to stdout:
+//   READY <tcp_port> <unix_path>
+// (test harnesses block on this). SIGTERM/SIGINT trigger a graceful stop:
+// drain connections, flush + fsync the WAL, then exit 0 — an acked write can
+// never be lost by a clean shutdown, under any fsync policy.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/benchkit/flags.h"
+#include "src/kvserver/kv_service.h"
+#include "src/kvserver/socket_server.h"
+#include "src/persist/durability.h"
+
+int main(int argc, char** argv) {
+  using namespace cuckoo;
+
+  Flags flags(argc, argv);
+  const std::string wal_dir = flags.GetString("wal-dir", "");
+  const std::string policy_name = flags.GetString("fsync-policy", "everysec");
+  const std::string unix_path = flags.GetString("unix", "");
+  const bool want_tcp = flags.Has("tcp-port") || unix_path.empty();
+
+  persist::FsyncPolicy policy;
+  if (!persist::ParseFsyncPolicy(policy_name, &policy)) {
+    std::fprintf(stderr, "unknown --fsync-policy=%s (always|everysec|none)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+
+  // Block the shutdown signals before any thread spawns so every thread
+  // inherits the mask and sigwait below is the single delivery point.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  KvService::Options service_options;
+  service_options.initial_bucket_count_log2 =
+      static_cast<std::size_t>(flags.GetInt("bucket-count-log2", 12));
+  KvService service(service_options);
+
+  persist::DurabilityManager durability(&service);
+  if (!wal_dir.empty()) {
+    persist::DurabilityOptions d;
+    d.dir = wal_dir;
+    d.fsync_policy = policy;
+    d.segment_bytes = static_cast<std::uint64_t>(flags.GetInt("segment-bytes", 64 << 20));
+    d.snapshot_trigger_bytes =
+        static_cast<std::uint64_t>(flags.GetInt("snapshot-trigger-bytes", 0));
+    std::string error;
+    if (!durability.Start(d, &error)) {
+      std::fprintf(stderr, "recovery failed: %s\n", error.c_str());
+      return 1;
+    }
+    const persist::RecoveryStats& r = durability.recovery();
+    std::fprintf(stderr,
+                 "recovered: snapshot=%s entries=%llu wal_records=%llu torn_tail=%d "
+                 "next_lsn=%llu\n",
+                 r.loaded_snapshot ? r.snapshot_path.c_str() : "(none)",
+                 static_cast<unsigned long long>(r.snapshot_entries),
+                 static_cast<unsigned long long>(r.wal_records_applied),
+                 r.truncated_tail ? 1 : 0, static_cast<unsigned long long>(r.next_lsn));
+  }
+
+  SocketServer::Options server_options;
+  server_options.unix_path = unix_path;
+  server_options.enable_tcp = want_tcp;
+  server_options.tcp_port = static_cast<std::uint16_t>(flags.GetInt("tcp-port", 0));
+  server_options.event_threads = static_cast<int>(flags.GetInt("event-threads", 4));
+  server_options.max_connections =
+      static_cast<std::size_t>(flags.GetInt("max-connections", 1024));
+  SocketServer server(&service, server_options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "cannot bind listeners (unix=%s tcp=%d)\n", unix_path.c_str(),
+                 want_tcp ? 1 : 0);
+    return 1;
+  }
+
+  std::printf("READY %u %s\n", static_cast<unsigned>(server.tcp_port()),
+              unix_path.empty() ? "-" : unix_path.c_str());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::fprintf(stderr, "signal %d: draining connections and flushing WAL\n", sig);
+
+  // Order matters: stop serving first (no new mutations), then flush +
+  // fsync the log so every applied mutation is on disk before exit.
+  server.Stop();
+  if (!wal_dir.empty()) {
+    durability.Stop();
+  }
+  return 0;
+}

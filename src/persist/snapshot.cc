@@ -1,0 +1,278 @@
+#include "src/persist/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/crc32c.h"
+#include "src/common/file_util.h"
+
+namespace cuckoo {
+namespace persist {
+namespace {
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(const std::string& bytes, std::size_t* pos, T* out) {
+  if (bytes.size() - *pos < sizeof(T)) {
+    return false;
+  }
+  std::memcpy(out, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void FrameRecord(std::string_view payload, std::string* out) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::uint32_t crc = Crc32c(&len, sizeof(len));
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  AppendPod(out, Crc32cMask(crc));
+  AppendPod(out, len);
+  out->append(payload);
+}
+
+void EncodeEntry(const std::string& key, const KvService::StoredValue& value,
+                 std::string* out) {
+  std::string payload;
+  payload.reserve(1 + 4 + 8 + 8 + 4 + 4 + key.size() + value.data.size());
+  AppendPod(&payload, internal::kEntryRecord);
+  AppendPod(&payload, value.flags);
+  AppendPod(&payload, value.cas_id);
+  AppendPod(&payload, value.expires_at);
+  AppendPod(&payload, static_cast<std::uint32_t>(key.size()));
+  AppendPod(&payload, static_cast<std::uint32_t>(value.data.size()));
+  payload.append(key);
+  payload.append(value.data);
+  FrameRecord(payload, out);
+}
+
+// Unframe the record at *pos; false on any malformation (truncation, bad
+// CRC, absurd length). *payload_out receives the verified payload bytes.
+bool DecodeFrame(const std::string& bytes, std::size_t* pos, std::string_view* payload_out) {
+  std::size_t p = *pos;
+  std::uint32_t stored_crc = 0;
+  std::uint32_t len = 0;
+  if (!ReadPod(bytes, &p, &stored_crc) || !ReadPod(bytes, &p, &len)) {
+    return false;
+  }
+  if (len > (16u << 20) || bytes.size() - p < len) {
+    return false;
+  }
+  std::uint32_t crc = Crc32c(&len, sizeof(len));
+  crc = Crc32cExtend(crc, bytes.data() + p, len);
+  if (Crc32cMask(crc) != stored_crc) {
+    return false;
+  }
+  *payload_out = std::string_view(bytes).substr(p, len);
+  *pos = p + len;
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) {
+    *error = msg;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::string SnapshotFileName(std::uint64_t wal_lsn) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snap-%020llu.ckpt",
+                static_cast<unsigned long long>(wal_lsn));
+  return buf;
+}
+
+bool ParseSnapshotFileName(const std::string& name, std::uint64_t* wal_lsn) {
+  unsigned long long lsn = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "snap-%llu.ckpt%n", &lsn, &consumed) != 1 ||
+      static_cast<std::size_t>(consumed) != name.size()) {
+    return false;
+  }
+  *wal_lsn = lsn;
+  return true;
+}
+
+}  // namespace internal
+
+std::vector<std::pair<std::uint64_t, std::string>> ListSnapshots(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  for (const std::string& name : ListFilesWithPrefix(dir, "snap-")) {
+    std::uint64_t lsn = 0;
+    if (internal::ParseSnapshotFileName(name, &lsn)) {
+      out.emplace_back(lsn, name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool WriteKvSnapshot(const KvService& service, const std::string& dir,
+                     const std::function<std::uint64_t()>& lsn_provider, int max_attempts,
+                     SnapshotWriteStats* stats, std::string* error) {
+  if (!EnsureDir(dir)) {
+    return Fail(error, "cannot create snapshot dir " + dir);
+  }
+  const std::string tmp_path = dir + "/snap.tmp";
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (stats != nullptr) {
+      ++stats->attempts;
+    }
+    // Sample S before the walk starts: every mutation with lsn <= S is
+    // already committed under a bucket lock the walk will synchronize with.
+    const std::uint64_t wal_lsn = lsn_provider ? lsn_provider() : 0;
+
+    AppendFile file;
+    if (!file.Open(tmp_path, /*truncate=*/true)) {
+      return Fail(error, "cannot open " + tmp_path);
+    }
+    std::string buf;
+    buf.reserve(1u << 20);
+    buf.append(internal::kKvSnapMagic, sizeof(internal::kKvSnapMagic));
+    AppendPod(&buf, internal::kKvSnapVersion);
+    AppendPod(&buf, std::uint32_t{0});  // flags
+    AppendPod(&buf, wal_lsn);
+
+    std::uint64_t entries = 0;
+    std::uint64_t max_cas = 0;
+    bool io_ok = true;
+    KvService::StoreMap::SnapshotWalkStats walk;
+    const bool complete = service.TrySnapshotEntries(
+        [&](const std::string& key, const KvService::StoredValue& value) {
+          if (!io_ok) {
+            return;
+          }
+          EncodeEntry(key, value, &buf);
+          ++entries;
+          max_cas = std::max(max_cas, value.cas_id);
+          if (buf.size() >= (1u << 20)) {
+            io_ok = file.Append(buf);
+            buf.clear();
+          }
+        },
+        &walk);
+    if (!io_ok) {
+      return Fail(error, "write error on " + tmp_path);
+    }
+    if (!complete) {
+      continue;  // table expansion mid-walk; rewind and retry
+    }
+    // Footer: entry count + max cas id, CRC-framed like every record.
+    std::string footer;
+    AppendPod(&footer, internal::kFooterRecord);
+    AppendPod(&footer, entries);
+    AppendPod(&footer, max_cas);
+    FrameRecord(footer, &buf);
+    if (!file.Append(buf) || !file.Sync()) {
+      return Fail(error, "write error on " + tmp_path);
+    }
+    const std::uint64_t bytes = file.Size();
+    file.Close();
+    const std::string final_path = dir + "/" + internal::SnapshotFileName(wal_lsn);
+    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0 || !SyncDir(dir)) {
+      return Fail(error, "cannot publish " + final_path);
+    }
+    if (stats != nullptr) {
+      stats->entries = entries;
+      stats->wal_lsn = wal_lsn;
+      stats->bytes = bytes;
+      stats->walk = walk;
+    }
+    return true;
+  }
+  return Fail(error, "snapshot walk interrupted by expansion on every attempt");
+}
+
+bool LoadKvSnapshot(const std::string& path, KvService* service, SnapshotLoadStats* stats,
+                    std::string* error) {
+  std::string bytes;
+  if (!ReadFileToString(path, &bytes)) {
+    return Fail(error, "cannot read " + path);
+  }
+  constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;
+  if (bytes.size() < kHeaderSize ||
+      std::memcmp(bytes.data(), internal::kKvSnapMagic, 8) != 0) {
+    return Fail(error, "bad snapshot magic in " + path);
+  }
+  std::size_t pos = 8;
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t wal_lsn = 0;
+  ReadPod(bytes, &pos, &version);
+  ReadPod(bytes, &pos, &flags);
+  ReadPod(bytes, &pos, &wal_lsn);
+  if (version != internal::kKvSnapVersion || flags != 0) {
+    return Fail(error, "unknown snapshot version/flags in " + path);
+  }
+
+  std::uint64_t entries = 0;
+  std::uint64_t max_cas = 0;
+  bool saw_footer = false;
+  while (pos < bytes.size()) {
+    std::string_view payload;
+    if (!DecodeFrame(bytes, &pos, &payload)) {
+      return Fail(error, "corrupt snapshot record in " + path);
+    }
+    std::string pstr(payload);  // ReadPod operates on std::string
+    std::size_t p = 0;
+    std::uint8_t type = 0;
+    if (!ReadPod(pstr, &p, &type)) {
+      return Fail(error, "empty snapshot record in " + path);
+    }
+    if (type == internal::kEntryRecord) {
+      if (saw_footer) {
+        return Fail(error, "snapshot entry after footer in " + path);
+      }
+      KvService::StoredValue value;
+      std::uint32_t klen = 0;
+      std::uint32_t dlen = 0;
+      if (!ReadPod(pstr, &p, &value.flags) || !ReadPod(pstr, &p, &value.cas_id) ||
+          !ReadPod(pstr, &p, &value.expires_at) || !ReadPod(pstr, &p, &klen) ||
+          !ReadPod(pstr, &p, &dlen) ||
+          pstr.size() - p != static_cast<std::uint64_t>(klen) + dlen) {
+        return Fail(error, "malformed snapshot entry in " + path);
+      }
+      std::string key = pstr.substr(p, klen);
+      value.data = pstr.substr(p + klen, dlen);
+      max_cas = std::max(max_cas, value.cas_id);
+      if (!service->RestoreEntry(std::move(key), std::move(value))) {
+        return Fail(error, "table rejected snapshot entry from " + path);
+      }
+      ++entries;
+    } else if (type == internal::kFooterRecord) {
+      std::uint64_t footer_count = 0;
+      std::uint64_t footer_max_cas = 0;
+      if (!ReadPod(pstr, &p, &footer_count) || !ReadPod(pstr, &p, &footer_max_cas) ||
+          p != pstr.size()) {
+        return Fail(error, "malformed snapshot footer in " + path);
+      }
+      if (footer_count != entries) {
+        return Fail(error, "snapshot footer count mismatch in " + path);
+      }
+      saw_footer = true;
+    } else {
+      return Fail(error, "unknown snapshot record type in " + path);
+    }
+  }
+  if (!saw_footer) {
+    return Fail(error, "snapshot missing footer (truncated) in " + path);
+  }
+  if (stats != nullptr) {
+    stats->entries = entries;
+    stats->wal_lsn = wal_lsn;
+    stats->max_cas = max_cas;
+  }
+  return true;
+}
+
+}  // namespace persist
+}  // namespace cuckoo

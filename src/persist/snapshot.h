@@ -1,0 +1,85 @@
+// Online fuzzy snapshots of a KvService, paired with the WAL for point-in-
+// time recovery.
+//
+// WriteKvSnapshot samples S = LastAssignedLsn() and then walks the live
+// table with KvService::TrySnapshotEntries — writers are never globally
+// blocked; the walk holds at most one stripe lock at a time. The resulting
+// file is a FUZZY image: it reflects every mutation with lsn <= S (each such
+// mutation committed inside a bucket critical section the walk later
+// synchronizes with) and possibly some with lsn > S. Replaying the WAL from
+// S+1 with last-writer-wins upserts/deletes therefore converges the loaded
+// image to the exact logged state — duplicates and already-applied records
+// are harmless by idempotence.
+//
+// On-disk format (host-endian, machine-local):
+//   file    := header record* footer
+//   header  := "CKKVSNP1" u32 version=1 u32 flags=0 u64 wal_lsn     (24 bytes)
+//   record  := u32 masked_crc32c u32 len payload[len]
+//   payload := u8 type=1  u32 flags u64 cas_id u64 expires_at
+//              u32 klen u32 dlen key[klen] data[dlen]
+//   footer  := framed like a record, payload := u8 type=2 u64 count u64 max_cas
+// The footer is mandatory: a snapshot without one (truncated mid-write) is
+// invalid and recovery falls back to the previous snapshot. Files are
+// written as <name>.tmp, fsynced, then renamed into snap-<wal_lsn>.ckpt —
+// a crash mid-snapshot never damages an existing good snapshot.
+#ifndef SRC_PERSIST_SNAPSHOT_H_
+#define SRC_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/kvserver/kv_service.h"
+
+namespace cuckoo {
+namespace persist {
+
+struct SnapshotWriteStats {
+  std::uint64_t entries = 0;
+  std::uint64_t wal_lsn = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t attempts = 0;  // walk attempts (core swaps force retries)
+  KvService::StoreMap::SnapshotWalkStats walk;
+};
+
+// Write a fuzzy snapshot of `service` into `dir` as snap-<lsn>.ckpt.
+// `lsn_provider` is sampled immediately before each walk attempt (pass the
+// WAL's LastAssignedLsn). A table expansion mid-walk aborts the attempt and
+// retries, up to `max_attempts`. Returns false (with *error) on I/O failure
+// or if every attempt was interrupted.
+bool WriteKvSnapshot(const KvService& service, const std::string& dir,
+                     const std::function<std::uint64_t()>& lsn_provider, int max_attempts,
+                     SnapshotWriteStats* stats, std::string* error);
+
+struct SnapshotLoadStats {
+  std::uint64_t entries = 0;
+  std::uint64_t wal_lsn = 0;
+  std::uint64_t max_cas = 0;
+};
+
+// Load a snapshot file into `service` via RestoreEntry. Every record CRC is
+// verified and the footer count must match; any mismatch returns false and
+// the service may hold a partial load (recovery clears by retrying older
+// snapshots into a fresh service, or tolerates the partial state because a
+// full reload follows). Intended for recovery before serving traffic.
+bool LoadKvSnapshot(const std::string& path, KvService* service, SnapshotLoadStats* stats,
+                    std::string* error);
+
+// (wal_lsn, filename) of every well-named snapshot in `dir`, ascending.
+std::vector<std::pair<std::uint64_t, std::string>> ListSnapshots(const std::string& dir);
+
+namespace internal {
+inline constexpr char kKvSnapMagic[8] = {'C', 'K', 'K', 'V', 'S', 'N', 'P', '1'};
+inline constexpr std::uint32_t kKvSnapVersion = 1;
+inline constexpr std::uint8_t kEntryRecord = 1;
+inline constexpr std::uint8_t kFooterRecord = 2;
+std::string SnapshotFileName(std::uint64_t wal_lsn);
+bool ParseSnapshotFileName(const std::string& name, std::uint64_t* wal_lsn);
+}  // namespace internal
+
+}  // namespace persist
+}  // namespace cuckoo
+
+#endif  // SRC_PERSIST_SNAPSHOT_H_

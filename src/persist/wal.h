@@ -1,0 +1,218 @@
+// Write-ahead log with group commit for the KV server.
+//
+// Writers (event-loop threads inside table critical sections) call Append(),
+// which assigns the next LSN, encodes the record into an in-memory batch
+// buffer, and returns immediately — no I/O under the bucket locks. A single
+// dedicated log-writer thread drains the batch: one write() for everything
+// enqueued since the last drain, then at most one fsync for the whole batch
+// (group commit). While the writer thread is inside write()+fsync, new
+// appends pile into the next batch, so the commit batch size self-clocks to
+// the arrival rate: under N concurrently blocked clients each fsync acks ~N
+// records (fsyncs << acks).
+//
+// Durability policies (Redis-style):
+//   kAlways   — WaitDurable(lsn) blocks until an fsync covers lsn; every
+//               batch is fsynced. Acked writes survive OS crash/power loss.
+//   kEverySec — the writer thread fsyncs at most once per second;
+//               WaitDurable returns once the record is written to the OS
+//               (survives process crash, may lose <~1s on OS crash).
+//   kNone     — never fsync explicitly; the OS flushes on its schedule.
+//
+// On-disk format (host-endian; machine-local files, not interchange):
+//   segment := header record*
+//   header  := "CKWALSG1" u32 version=1 u32 flags=0 u64 first_lsn   (24 bytes)
+//   record  := u32 masked_crc32c  u32 len  payload[len]
+//   payload := u64 lsn  u8 type  u32 flags  u64 expires_at  u64 cas_id
+//              u32 klen  u32 dlen  key[klen]  data[dlen]
+// The CRC covers len and payload and is stored masked (see crc32c.h).
+// Segments are named wal-<first_lsn>.log; LSNs are strictly sequential
+// across segment boundaries, which replay verifies. A partially written
+// record at the tail of the LAST segment is a torn tail (tolerated,
+// truncated); anywhere else it is corruption.
+#ifndef SRC_PERSIST_WAL_H_
+#define SRC_PERSIST_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/common/file_util.h"
+
+namespace cuckoo {
+namespace persist {
+
+enum class FsyncPolicy : std::uint8_t { kAlways, kEverySec, kNone };
+
+// "always" / "everysec" / "none".
+bool ParseFsyncPolicy(std::string_view name, FsyncPolicy* out);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+struct WalRecord {
+  enum class Type : std::uint8_t { kSet = 1, kDelete = 2 };
+  std::uint64_t lsn = 0;
+  Type type = Type::kSet;
+  std::uint32_t flags = 0;
+  std::uint64_t expires_at = 0;
+  std::uint64_t cas_id = 0;
+  std::string key;
+  std::string data;
+};
+
+struct WalOptions {
+  std::string dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kEverySec;
+  // Rotate to a fresh segment once the current one exceeds this.
+  std::uint64_t segment_bytes = 64u << 20;
+};
+
+struct WalStats {
+  std::uint64_t records_appended = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t group_commits = 0;  // writer-thread drain batches
+  std::uint64_t max_batch_records = 0;
+  std::uint64_t segments_created = 0;
+  std::uint64_t last_assigned_lsn = 0;
+  std::uint64_t durable_lsn = 0;
+};
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog() { Shutdown(); }
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Create the directory if needed, start a fresh segment whose first LSN
+  // will be `next_lsn` (recovery's next_lsn; 1 on a fresh dir), and start
+  // the log-writer thread. Returns false on I/O failure.
+  bool Open(WalOptions options, std::uint64_t next_lsn);
+
+  // Assign the next LSN and enqueue the record for the writer thread.
+  // Intended to be called inside a table critical section: does no file I/O
+  // (only a short queue-mutex hold). Returns the assigned LSN.
+  std::uint64_t Append(WalRecord::Type type, std::string_view key, std::string_view data,
+                       std::uint32_t flags, std::uint64_t expires_at, std::uint64_t cas_id);
+
+  // Block until `lsn` is durable under the configured policy. kAlways waits
+  // for a covering fsync; kEverySec/kNone return once enqueued (the batch
+  // write itself is asynchronous by design).
+  void WaitDurable(std::uint64_t lsn);
+
+  // Drain everything enqueued so far to the file and fsync it, regardless of
+  // policy. Used by graceful shutdown and before snapshot GC.
+  bool Flush();
+
+  // Flush, stop the writer thread, close the segment. Idempotent.
+  void Shutdown();
+
+  std::uint64_t LastAssignedLsn() const {
+    return next_lsn_.load(std::memory_order_acquire) - 1;
+  }
+  std::uint64_t DurableLsn() const { return durable_lsn_.load(std::memory_order_acquire); }
+  // Total record bytes appended since Open (snapshot trigger input).
+  std::uint64_t BytesAppended() const {
+    return bytes_appended_.load(std::memory_order_relaxed);
+  }
+
+  WalStats Stats() const;
+
+  // Delete closed segments every record of which has lsn < `lsn` (i.e. fully
+  // covered by a snapshot at `lsn`). The active segment is never removed.
+  void RemoveSegmentsBelow(std::uint64_t lsn);
+
+ private:
+  void WriterLoop();
+  bool RotateLocked(std::uint64_t first_lsn);  // io_mutex_ held
+  bool StartSegment(std::uint64_t first_lsn);
+
+  WalOptions options_;
+  std::atomic<std::uint64_t> next_lsn_{1};
+  std::atomic<std::uint64_t> durable_lsn_{0};
+  std::atomic<std::uint64_t> bytes_appended_{0};
+
+  // Batch state (guarded by mutex_): appenders encode into `pending_`, the
+  // writer thread swaps it out and writes without holding mutex_.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;     // writer thread: work available
+  std::condition_variable durable_cv_;  // appenders: durable_lsn_ advanced
+  std::string pending_;
+  std::uint64_t pending_max_lsn_ = 0;
+  std::uint64_t pending_records_ = 0;
+  bool flush_requested_ = false;
+  bool shutdown_ = false;
+  std::uint64_t flush_generation_ = 0;  // completed explicit flushes
+  std::uint64_t flushes_done_ = 0;
+  bool io_error_ = false;
+
+  // File state (writer thread + Flush path; guarded by io_mutex_).
+  std::mutex io_mutex_;
+  AppendFile file_;
+  std::uint64_t segment_first_lsn_ = 1;
+  std::uint64_t segment_next_lsn_ = 1;  // first lsn the NEXT segment would get
+
+  // Counters (writer thread only, read via Stats()).
+  std::atomic<std::uint64_t> records_appended_{0};
+  std::atomic<std::uint64_t> fsyncs_{0};
+  std::atomic<std::uint64_t> group_commits_{0};
+  std::atomic<std::uint64_t> max_batch_records_{0};
+  std::atomic<std::uint64_t> segments_created_{0};
+  std::uint64_t last_fsync_ms_ = 0;
+
+  std::thread writer_;
+  bool started_ = false;
+};
+
+struct WalReplayStats {
+  std::uint64_t segments = 0;
+  std::uint64_t records_applied = 0;
+  std::uint64_t records_skipped = 0;  // lsn < start_lsn (covered by snapshot)
+  std::uint64_t next_lsn = 1;         // 1 + highest lsn seen (>= start_lsn)
+  // first_lsn of the oldest surviving segment (0 = no segments). Recovery
+  // uses this to detect a GC'd gap between a snapshot and the log.
+  std::uint64_t anchor_lsn = 0;
+  bool truncated_tail = false;
+  std::uint64_t torn_tail_bytes = 0;
+};
+
+// Replay every record with lsn >= start_lsn through `apply`, in LSN order.
+// A malformed record at the tail of the last segment is treated as a torn
+// write: replay stops there and, if `truncate_torn_tail`, the file is
+// truncated to the last valid boundary. A malformed record anywhere else —
+// or any LSN discontinuity — is unrecoverable corruption: returns false with
+// a description in *error. An empty directory replays zero records.
+bool ReplayWal(const std::string& dir, std::uint64_t start_lsn, bool truncate_torn_tail,
+               const std::function<void(const WalRecord&)>& apply, WalReplayStats* stats,
+               std::string* error);
+
+namespace internal {
+
+inline constexpr char kWalMagic[8] = {'C', 'K', 'W', 'A', 'L', 'S', 'G', '1'};
+inline constexpr std::uint32_t kWalVersion = 1;
+inline constexpr std::size_t kWalHeaderSize = 8 + 4 + 4 + 8;
+inline constexpr std::size_t kRecordFrameSize = 4 + 4;  // crc + len
+// Guard against absurd `len` fields from corruption: key <= 250 and
+// data <= 1 MiB at the protocol layer, so 8 MiB of payload is impossible.
+inline constexpr std::uint32_t kMaxRecordPayload = 8u << 20;
+
+// Encode one record (frame + payload) onto *out.
+void EncodeWalRecord(const WalRecord& record, std::string* out);
+
+// Segment file name for a given first LSN.
+std::string SegmentName(std::uint64_t first_lsn);
+
+// Parse "wal-<lsn>.log"; returns false if the name doesn't match.
+bool ParseSegmentName(const std::string& name, std::uint64_t* first_lsn);
+
+}  // namespace internal
+
+}  // namespace persist
+}  // namespace cuckoo
+
+#endif  // SRC_PERSIST_WAL_H_

@@ -1,0 +1,73 @@
+#include "src/common/crc32c.h"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cuckoo {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 (iSCSI) test vectors for CRC32C.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+
+  unsigned char zeros[32];
+  std::memset(zeros, 0, sizeof(zeros));
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+
+  unsigned char ones[32];
+  std::memset(ones, 0xFF, sizeof(ones));
+  EXPECT_EQ(Crc32c(ones, sizeof(ones)), 0x62A8AB43u);
+
+  unsigned char ascending[32];
+  for (int i = 0; i < 32; ++i) {
+    ascending[i] = static_cast<unsigned char>(i);
+  }
+  EXPECT_EQ(Crc32c(ascending, sizeof(ascending)), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, EmptyInput) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog, repeatedly, at length, "
+      "so that the slicing-by-8 word loop actually runs a few iterations";
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    std::uint32_t crc = Crc32c(data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, UnalignedStartMatches) {
+  // The alignment prologue must produce the same result from any offset.
+  std::string buffer(64, '\0');
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<char>(i * 37 + 11);
+  }
+  const std::uint32_t want = Crc32c(buffer.data() + 3, 40);
+  std::string copy = buffer.substr(3, 40);  // differently aligned storage
+  EXPECT_EQ(Crc32c(copy.data(), copy.size()), want);
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  for (std::uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0xDEADBEEFu}) {
+    const std::uint32_t masked = Crc32cMask(crc);
+    EXPECT_NE(masked, crc);
+    EXPECT_EQ(Crc32cUnmask(masked), crc);
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data = "payload that must be protected";
+  const std::uint32_t want = Crc32c(data);
+  for (std::size_t bit = 0; bit < data.size() * 8; bit += 13) {
+    std::string flipped = data;
+    flipped[bit / 8] = static_cast<char>(flipped[bit / 8] ^ (1 << (bit % 8)));
+    EXPECT_NE(Crc32c(flipped), want) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace cuckoo

@@ -359,7 +359,7 @@ TEST(KvServiceTest, StatsIncludeTableCounters) {
 
 TEST(KvServiceTest, ExtraStatsHookAppendsServerCounters) {
   KvService service;
-  service.SetExtraStatsHook([](std::string* out) { AppendStat("server_custom", 7, out); });
+  service.AddExtraStatsHook([](std::string* out) { AppendStat("server_custom", 7, out); });
   auto conn = service.Connect();
   std::string out;
   conn.Drive("stats\r\n", &out);

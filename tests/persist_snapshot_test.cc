@@ -1,0 +1,215 @@
+#include "src/persist/snapshot.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/file_util.h"
+#include "src/kvserver/kv_service.h"
+
+namespace cuckoo {
+namespace persist {
+namespace {
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl = ::testing::TempDir() + "cuckoo_snap_XXXXXX";
+    path = ::mkdtemp(tmpl.data());
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() {
+    for (const std::string& name : ListFilesWithPrefix(path, "")) {
+      RemoveFile(path + "/" + name);
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+std::string Drive(KvService* service, const std::string& input) {
+  auto conn = service->Connect();
+  std::string out;
+  conn.Drive(input, &out);
+  return out;
+}
+
+std::string WriteSnapshotOrDie(const KvService& service, const std::string& dir,
+                               std::uint64_t lsn, SnapshotWriteStats* stats = nullptr) {
+  SnapshotWriteStats local;
+  std::string error;
+  EXPECT_TRUE(WriteKvSnapshot(service, dir, [lsn] { return lsn; }, /*max_attempts=*/8,
+                              stats != nullptr ? stats : &local, &error))
+      << error;
+  return dir + "/" + internal::SnapshotFileName(lsn);
+}
+
+TEST(SnapshotTest, WriteLoadRoundTrip) {
+  TempDir dir;
+  KvService source;
+  for (int i = 0; i < 200; ++i) {
+    const std::string k = "key" + std::to_string(i);
+    const std::string v = "value" + std::to_string(i);
+    ASSERT_EQ(Drive(&source, "set " + k + " " + std::to_string(i % 32) + " 0 " +
+                                 std::to_string(v.size()) + "\r\n" + v + "\r\n"),
+              "STORED\r\n");
+  }
+  SnapshotWriteStats write_stats;
+  const std::string path = WriteSnapshotOrDie(source, dir.path, 77, &write_stats);
+  EXPECT_EQ(write_stats.entries, 200u);
+  EXPECT_EQ(write_stats.wal_lsn, 77u);
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(dir.path + "/snap.tmp"));  // tmp renamed away
+
+  auto listed = ListSnapshots(dir.path);
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].first, 77u);
+
+  KvService restored;
+  SnapshotLoadStats load_stats;
+  std::string error;
+  ASSERT_TRUE(LoadKvSnapshot(path, &restored, &load_stats, &error)) << error;
+  EXPECT_EQ(load_stats.entries, 200u);
+  EXPECT_EQ(load_stats.wal_lsn, 77u);
+  EXPECT_EQ(restored.ItemCount(), 200u);
+  EXPECT_EQ(Drive(&restored, "get key7\r\n"), "VALUE key7 7 6\r\nvalue7\r\nEND\r\n");
+  EXPECT_EQ(Drive(&restored, "get key199\r\n"),
+            "VALUE key199 7 8\r\nvalue199\r\nEND\r\n");
+}
+
+TEST(SnapshotTest, PreservesCasIdsAcrossReload) {
+  TempDir dir;
+  KvService source;
+  ASSERT_EQ(Drive(&source, "set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\n"),
+            "STORED\r\nSTORED\r\n");
+  const std::string gets_before = Drive(&source, "gets a\r\ngets b\r\n");
+
+  KvService restored;
+  SnapshotLoadStats stats;
+  std::string error;
+  ASSERT_TRUE(LoadKvSnapshot(WriteSnapshotOrDie(source, dir.path, 2), &restored, &stats,
+                             &error))
+      << error;
+  // Identical CAS ids after reload, and the CAS floor advanced past them so
+  // new writes can't reuse an id a client already observed.
+  EXPECT_EQ(Drive(&restored, "gets a\r\ngets b\r\n"), gets_before);
+  EXPECT_GE(stats.max_cas, 2u);
+  ASSERT_EQ(Drive(&restored, "set c 0 0 1\r\nz\r\n"), "STORED\r\n");
+  const std::string gets_c = Drive(&restored, "gets c\r\n");
+  EXPECT_EQ(gets_c.find("VALUE c"), 0u);
+  EXPECT_EQ(gets_c, Drive(&restored, "gets c\r\n"));
+}
+
+TEST(SnapshotTest, EmptyServiceSnapshotsAndLoads) {
+  TempDir dir;
+  KvService source;
+  const std::string path = WriteSnapshotOrDie(source, dir.path, 0);
+  KvService restored;
+  SnapshotLoadStats stats;
+  std::string error;
+  ASSERT_TRUE(LoadKvSnapshot(path, &restored, &stats, &error)) << error;
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(restored.ItemCount(), 0u);
+}
+
+TEST(SnapshotTest, TruncatedMidRecordIsRejected) {
+  TempDir dir;
+  KvService source;
+  for (int i = 0; i < 50; ++i) {
+    Drive(&source, "set key" + std::to_string(i) + " 0 0 4\r\nbody\r\n");
+  }
+  const std::string path = WriteSnapshotOrDie(source, dir.path, 50);
+  const std::uint64_t full = FileSize(path);
+  // Cut in the middle of the record stream: past the header, well before the
+  // footer.
+  ASSERT_TRUE(TruncateFile(path, full / 2));
+
+  KvService restored;
+  SnapshotLoadStats stats;
+  std::string error;
+  EXPECT_FALSE(LoadKvSnapshot(path, &restored, &stats, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SnapshotTest, MissingFooterIsRejected) {
+  TempDir dir;
+  KvService source;
+  Drive(&source, "set only 0 0 3\r\nval\r\n");
+  const std::string path = WriteSnapshotOrDie(source, dir.path, 1);
+  // Drop the last byte: the footer frame no longer parses, so the file must
+  // be treated as an incomplete snapshot even though every entry is intact.
+  ASSERT_TRUE(TruncateFile(path, FileSize(path) - 1));
+
+  KvService restored;
+  SnapshotLoadStats stats;
+  std::string error;
+  EXPECT_FALSE(LoadKvSnapshot(path, &restored, &stats, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SnapshotTest, BitFlippedRecordIsRejected) {
+  TempDir dir;
+  KvService source;
+  for (int i = 0; i < 20; ++i) {
+    Drive(&source, "set key" + std::to_string(i) + " 0 0 7\r\npayload\r\n");
+  }
+  const std::string path = WriteSnapshotOrDie(source, dir.path, 20);
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes));
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x04);
+  ASSERT_TRUE(WriteFileAtomic(path, bytes));
+
+  KvService restored;
+  SnapshotLoadStats stats;
+  std::string error;
+  EXPECT_FALSE(LoadKvSnapshot(path, &restored, &stats, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SnapshotTest, BadMagicOrVersionIsRejected) {
+  TempDir dir;
+  KvService source;
+  Drive(&source, "set k 0 0 1\r\nv\r\n");
+  const std::string path = WriteSnapshotOrDie(source, dir.path, 1);
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes));
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  ASSERT_TRUE(WriteFileAtomic(path, bad_magic));
+  KvService restored;
+  SnapshotLoadStats stats;
+  std::string error;
+  EXPECT_FALSE(LoadKvSnapshot(path, &restored, &stats, &error));
+
+  std::string bad_version = bytes;
+  bad_version[8] = static_cast<char>(bad_version[8] + 1);  // version u32 LSB
+  ASSERT_TRUE(WriteFileAtomic(path, bad_version));
+  error.clear();
+  EXPECT_FALSE(LoadKvSnapshot(path, &restored, &stats, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SnapshotTest, ListSnapshotsSortsByLsnAndIgnoresStrangers) {
+  TempDir dir;
+  KvService source;
+  Drive(&source, "set k 0 0 1\r\nv\r\n");
+  WriteSnapshotOrDie(source, dir.path, 30);
+  WriteSnapshotOrDie(source, dir.path, 5);
+  WriteSnapshotOrDie(source, dir.path, 900);
+  ASSERT_TRUE(WriteFileAtomic(dir.path + "/snap-notanumber.ckpt", "junk"));
+  ASSERT_TRUE(WriteFileAtomic(dir.path + "/unrelated.txt", "junk"));
+
+  auto listed = ListSnapshots(dir.path);
+  ASSERT_EQ(listed.size(), 3u);
+  EXPECT_EQ(listed[0].first, 5u);
+  EXPECT_EQ(listed[1].first, 30u);
+  EXPECT_EQ(listed[2].first, 900u);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace cuckoo

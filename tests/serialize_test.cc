@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -119,6 +120,78 @@ TEST(SerializeTest, RejectsTruncatedStream) {
   std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
   Map loaded(SmallOpts());
   EXPECT_EQ(LoadSnapshot(loaded, truncated), -1);
+}
+
+TEST(SerializeTest, RejectsForgedHugeCountWithoutAllocating) {
+  // A corrupt/malicious header must not drive Reserve() into a multi-GB
+  // allocation: the count is bounded by the bytes actually in the stream.
+  internal::SnapshotHeader header{};
+  std::memcpy(header.magic, internal::kSnapshotMagic, sizeof(header.magic));
+  header.version = internal::kSnapshotVersion;
+  header.flags = 0;
+  header.key_size = sizeof(std::uint64_t);
+  header.value_size = sizeof(std::uint64_t);
+  header.count = ~std::uint64_t{0} / 16;  // absurd: would be exabytes of records
+  std::stringstream stream;
+  stream.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  const std::uint64_t one[2] = {1, 2};  // a single real record follows
+  stream.write(reinterpret_cast<const char*>(one), sizeof(one));
+
+  Map map(SmallOpts());
+  EXPECT_EQ(LoadSnapshot(map, stream), -1);
+  EXPECT_EQ(map.Size(), 0u);
+  // The table must not have been expanded toward the forged count.
+  EXPECT_LT(map.SlotCount(), std::size_t{1} << 20);
+}
+
+TEST(SerializeTest, RejectsV1MagicAndUnknownVersion) {
+  Map map(SmallOpts());
+  map.Insert(1, 1);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(map, stream));
+  std::string bytes = stream.str();
+
+  {
+    // Old "CKSNAP1" files must not be readable by the v2 loader.
+    std::string v1 = bytes;
+    v1[6] = '1';
+    std::stringstream forged(v1);
+    Map loaded(SmallOpts());
+    EXPECT_EQ(LoadSnapshot(loaded, forged), -1);
+  }
+  {
+    // Same magic but a future version field: refuse rather than misread.
+    std::string future = bytes;
+    internal::SnapshotHeader header{};
+    std::memcpy(&header, future.data(), sizeof(header));
+    header.version = internal::kSnapshotVersion + 1;
+    std::memcpy(future.data(), &header, sizeof(header));
+    std::stringstream forged(future);
+    Map loaded(SmallOpts());
+    EXPECT_EQ(LoadSnapshot(loaded, forged), -1);
+  }
+  {
+    // Reserved flags must be zero in v2.
+    std::string flagged = bytes;
+    internal::SnapshotHeader header{};
+    std::memcpy(&header, flagged.data(), sizeof(header));
+    header.flags = 0x1;
+    std::memcpy(flagged.data(), &header, sizeof(header));
+    std::stringstream forged(flagged);
+    Map loaded(SmallOpts());
+    EXPECT_EQ(LoadSnapshot(loaded, forged), -1);
+  }
+}
+
+TEST(SerializeTest, HeaderCarriesMagicAndVersion) {
+  Map map(SmallOpts());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSnapshot(map, stream));
+  internal::SnapshotHeader header{};
+  stream.read(reinterpret_cast<char*>(&header), sizeof(header));
+  EXPECT_EQ(std::memcmp(header.magic, "CKSNAP2", 8), 0);
+  EXPECT_EQ(header.version, internal::kSnapshotVersion);
+  EXPECT_EQ(header.flags, 0u);
 }
 
 TEST(SerializeTest, WideValueTypes) {
