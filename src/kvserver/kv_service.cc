@@ -95,8 +95,11 @@ void KvService::HandleSet(const Request& request, std::string* out) {
     AppendNotStored(out);
     return;
   }
-  if (observer_ != nullptr) {
-    observer_->WaitDurable(lsn);  // outside the locks, before the ack
+  if (observer_ != nullptr && !observer_->WaitDurable(lsn)) {
+    // Applied in memory but not durable (WAL in its sticky I/O-error state):
+    // never ack what a restart would lose.
+    AppendServerError("wal io error", out);
+    return;
   }
   sets_.Increment();
   AppendStored(out);
@@ -128,8 +131,9 @@ void KvService::HandleCas(const Request& request, std::string* out) {
   });
   switch (outcome) {
     case Outcome::kStored:
-      if (observer_ != nullptr) {
-        observer_->WaitDurable(lsn);
+      if (observer_ != nullptr && !observer_->WaitDurable(lsn)) {
+        AppendServerError("wal io error", out);
+        return;
       }
       sets_.Increment();
       AppendStored(out);
@@ -158,8 +162,9 @@ void KvService::HandleTouch(const Request& request, std::string* out) {
     }
   });
   if (touched) {
-    if (observer_ != nullptr) {
-      observer_->WaitDurable(lsn);
+    if (observer_ != nullptr && !observer_->WaitDurable(lsn)) {
+      AppendServerError("wal io error", out);
+      return;
     }
     AppendTouched(out);
   } else {
@@ -205,8 +210,9 @@ void KvService::Process(const Request& request, std::string* response_out) {
                   lsn = observer_->OnDelete(request.key);
                 }
               })) {
-        if (observer_ != nullptr) {
-          observer_->WaitDurable(lsn);
+        if (observer_ != nullptr && !observer_->WaitDurable(lsn)) {
+          AppendServerError("wal io error", response_out);
+          return;
         }
         deletes_.Increment();
         AppendDeleted(response_out);

@@ -47,7 +47,10 @@ class KvService {
   // per-key order of table mutations (two racing SETs of one key serialize
   // identically in the table and in the log). They must not block on I/O —
   // enqueue and return. WaitDurable is called OUTSIDE the locks, before the
-  // client response is released, and may block per the fsync policy.
+  // client response is released, and may block per the fsync policy. It
+  // returns false when durability could not be achieved (the log hit a
+  // write/fsync error); the service then answers SERVER_ERROR instead of a
+  // success ack — the mutation is applied in memory but never promised.
   //
   // Every mutation is logged as its resolved unconditional effect: a
   // successful cas/touch reports the final stored state through OnSet, so
@@ -57,7 +60,7 @@ class KvService {
     virtual ~MutationObserver() = default;
     virtual std::uint64_t OnSet(std::string_view key, const StoredValue& stored) = 0;
     virtual std::uint64_t OnDelete(std::string_view key) = 0;
-    virtual void WaitDurable(std::uint64_t lsn) = 0;
+    virtual bool WaitDurable(std::uint64_t lsn) = 0;
   };
 
   // Install before serving traffic; the observer must outlive the service.

@@ -242,6 +242,12 @@ void AppendTouched(std::string* out) { out->append("TOUCHED\r\n"); }
 void AppendOk(std::string* out) { out->append("OK\r\n"); }
 void AppendBusy(std::string* out) { out->append("BUSY\r\n"); }
 
+void AppendServerError(std::string_view message, std::string* out) {
+  out->append("SERVER_ERROR ");
+  out->append(message);
+  out->append("\r\n");
+}
+
 void AppendStat(std::string_view name, std::uint64_t value, std::string* out) {
   out->append("STAT ");
   out->append(name);

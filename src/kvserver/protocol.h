@@ -112,6 +112,9 @@ void AppendExists(std::string* out);       // EXISTS\r\n (cas id mismatch)
 void AppendTouched(std::string* out);      // TOUCHED\r\n
 void AppendOk(std::string* out);           // OK\r\n      (bgsave started)
 void AppendBusy(std::string* out);         // BUSY\r\n    (bgsave already running)
+// SERVER_ERROR <message>\r\n — the request was understood but could not be
+// completed (e.g. the write-ahead log is in an unrecoverable I/O-error state).
+void AppendServerError(std::string_view message, std::string* out);
 void AppendStat(std::string_view name, std::uint64_t value, std::string* out);
 
 }  // namespace cuckoo

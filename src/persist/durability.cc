@@ -145,6 +145,7 @@ void DurabilityManager::AppendStats(std::string* out) const {
   AppendStat("wal_segments_created", w.segments_created, out);
   AppendStat("wal_last_lsn", w.last_assigned_lsn, out);
   AppendStat("wal_durable_lsn", w.durable_lsn, out);
+  AppendStat("wal_io_error", w.io_error ? 1 : 0, out);
   AppendStat("snapshots_completed", snapshots_completed_.load(std::memory_order_relaxed),
              out);
   AppendStat("snapshot_failures", snapshot_failures_.load(std::memory_order_relaxed), out);

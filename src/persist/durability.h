@@ -60,6 +60,8 @@ class DurabilityManager : public KvService::MutationObserver {
 
   const RecoveryStats& recovery() const noexcept { return recovery_; }
   const WriteAheadLog& wal() const noexcept { return wal_; }
+  // Test-only mutable access (fault injection).
+  WriteAheadLog& wal_for_testing() noexcept { return wal_; }
   std::uint64_t SnapshotsCompleted() const noexcept {
     return snapshots_completed_.load(std::memory_order_relaxed);
   }
@@ -72,7 +74,7 @@ class DurabilityManager : public KvService::MutationObserver {
   std::uint64_t OnDelete(std::string_view key) override {
     return wal_.Append(WalRecord::Type::kDelete, key, {}, 0, 0, 0);
   }
-  void WaitDurable(std::uint64_t lsn) override { wal_.WaitDurable(lsn); }
+  bool WaitDurable(std::uint64_t lsn) override { return wal_.WaitDurable(lsn); }
 
   // Append "STAT wal_*/snapshot_*/recovery_*" lines (stats hook body).
   void AppendStats(std::string* out) const;

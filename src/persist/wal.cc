@@ -172,7 +172,8 @@ bool WriteAheadLog::Open(WalOptions options, std::uint64_t next_lsn) {
     return false;
   }
   shutdown_ = false;
-  io_error_ = false;
+  io_error_.store(false, std::memory_order_release);
+  inject_io_error_.store(false, std::memory_order_release);
   started_ = true;
   last_fsync_ms_ = SteadyMs();
   writer_ = std::thread(&WriteAheadLog::WriterLoop, this);
@@ -215,26 +216,38 @@ std::uint64_t WriteAheadLog::Append(WalRecord::Type type, std::string_view key,
   return lsn;
 }
 
-void WriteAheadLog::WaitDurable(std::uint64_t lsn) {
-  if (lsn == 0 || options_.fsync_policy != FsyncPolicy::kAlways) {
-    return;  // weaker policies ack on enqueue
+bool WriteAheadLog::WaitDurable(std::uint64_t lsn) {
+  if (lsn == 0) {
+    return true;  // nothing was logged, nothing to promise
+  }
+  if (io_error_.load(std::memory_order_acquire)) {
+    return false;  // sticky: durability is gone until the log is reopened
+  }
+  if (options_.fsync_policy != FsyncPolicy::kAlways) {
+    return true;  // weaker policies ack on enqueue
   }
   std::unique_lock<std::mutex> lk(mutex_);
   durable_cv_.wait(lk, [&] {
-    return durable_lsn_.load(std::memory_order_acquire) >= lsn || io_error_ || !started_;
+    return durable_lsn_.load(std::memory_order_acquire) >= lsn ||
+           io_error_.load(std::memory_order_relaxed) || !started_;
   });
+  return !io_error_.load(std::memory_order_relaxed) &&
+         durable_lsn_.load(std::memory_order_acquire) >= lsn;
 }
 
 bool WriteAheadLog::Flush() {
   std::unique_lock<std::mutex> lk(mutex_);
   if (!started_) {
-    return !io_error_;
+    return !io_error_.load(std::memory_order_acquire);
   }
   flush_requested_ = true;
   const std::uint64_t my_gen = ++flush_generation_;
   work_cv_.notify_one();
-  durable_cv_.wait(lk, [&] { return flushes_done_ >= my_gen || io_error_ || !started_; });
-  return !io_error_;
+  durable_cv_.wait(lk, [&] {
+    return flushes_done_ >= my_gen || io_error_.load(std::memory_order_relaxed) ||
+           !started_;
+  });
+  return !io_error_.load(std::memory_order_relaxed);
 }
 
 void WriteAheadLog::Shutdown() {
@@ -284,7 +297,14 @@ void WriteAheadLog::WriterLoop() {
     std::uint64_t written_max = 0;
     {
       std::lock_guard<std::mutex> io(io_mutex_);
-      if (!batch.empty()) {
+      // Freeze the file after the first failure: a batch that failed (or was
+      // dropped) is an LSN hole, and appending later batches past it would
+      // corrupt the valid on-disk prefix that replay can still recover.
+      if (io_error_.load(std::memory_order_relaxed) ||
+          inject_io_error_.exchange(false, std::memory_order_acq_rel)) {
+        ok = false;
+      }
+      if (ok && !batch.empty()) {
         ok = file_.Append(batch);
         group_commits_.fetch_add(1, std::memory_order_relaxed);
         std::uint64_t prev = max_batch_records_.load(std::memory_order_relaxed);
@@ -311,15 +331,26 @@ void WriteAheadLog::WriterLoop() {
         }
       }
       // Rotate after the batch is safely down; the next batch opens fresh.
+      // The pre-rotation fsync makes everything in the old segment durable,
+      // so it advances durable_lsn_ exactly like a want_sync fsync (skipped
+      // when this batch already synced above — the data is already down).
       if (ok && file_.Size() >= options_.segment_bytes) {
-        ok = file_.Sync() && RotateLocked(segment_next_lsn_);
+        if (!synced) {
+          ok = file_.Sync();
+          if (ok) {
+            synced = true;
+            last_fsync_ms_ = now_ms;
+            fsyncs_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        ok = ok && RotateLocked(segment_next_lsn_);
       }
     }
 
     {
       std::lock_guard<std::mutex> lk(mutex_);
       if (!ok) {
-        io_error_ = true;
+        io_error_.store(true, std::memory_order_release);
       } else {
         if (synced && written_max > durable_lsn_.load(std::memory_order_relaxed)) {
           durable_lsn_.store(written_max, std::memory_order_release);
@@ -350,6 +381,7 @@ WalStats WriteAheadLog::Stats() const {
   s.segments_created = segments_created_.load(std::memory_order_relaxed);
   s.last_assigned_lsn = LastAssignedLsn();
   s.durable_lsn = DurableLsn();
+  s.io_error = InErrorState();
   return s;
 }
 
@@ -399,8 +431,23 @@ bool ReplayWal(const std::string& dir, std::uint64_t start_lsn, bool truncate_to
   }
   std::sort(segments.begin(), segments.end());
 
-  std::uint64_t expected_lsn = 0;  // 0 = not yet anchored
+  // Anchor at the NEWEST segment whose first_lsn <= start_lsn. Older
+  // segments hold only records the snapshot already covers, and after a
+  // crash that lost the un-fsynced WAL tail of a published snapshot
+  // (fsync=everysec/none) they can legitimately end short of the next
+  // segment's first LSN — scanning them would trip the continuity check on
+  // every restart. If no segment starts at or below start_lsn we scan from
+  // the oldest and let the caller's gap check reject the hole.
+  std::size_t begin = 0;
   for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].first <= start_lsn) {
+      begin = i;
+    }
+  }
+  stats->segments_ignored = begin;
+
+  std::uint64_t expected_lsn = 0;  // 0 = not yet anchored
+  for (std::size_t i = begin; i < segments.size(); ++i) {
     const bool last_segment = i + 1 == segments.size();
     const std::string path = dir + "/" + segments[i].second;
     ++stats->segments;

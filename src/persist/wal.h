@@ -79,6 +79,7 @@ struct WalStats {
   std::uint64_t segments_created = 0;
   std::uint64_t last_assigned_lsn = 0;
   std::uint64_t durable_lsn = 0;
+  bool io_error = false;  // sticky: the log hit an unrecoverable write/fsync failure
 };
 
 class WriteAheadLog {
@@ -102,8 +103,12 @@ class WriteAheadLog {
 
   // Block until `lsn` is durable under the configured policy. kAlways waits
   // for a covering fsync; kEverySec/kNone return once enqueued (the batch
-  // write itself is asynchronous by design).
-  void WaitDurable(std::uint64_t lsn);
+  // write itself is asynchronous by design). Returns false iff the log is in
+  // its sticky I/O-error state (a write() or fsync failed — full disk, dead
+  // device): the record cannot be promised durable and the caller must NOT
+  // ack the write as stored. Every later call keeps returning false, so the
+  // service effectively stops accepting writes (Redis AOF-error behavior).
+  bool WaitDurable(std::uint64_t lsn);
 
   // Drain everything enqueued so far to the file and fsync it, regardless of
   // policy. Used by graceful shutdown and before snapshot GC.
@@ -119,6 +124,14 @@ class WriteAheadLog {
   // Total record bytes appended since Open (snapshot trigger input).
   std::uint64_t BytesAppended() const {
     return bytes_appended_.load(std::memory_order_relaxed);
+  }
+  // True once any write()/fsync has failed; sticky until the next Open.
+  bool InErrorState() const { return io_error_.load(std::memory_order_acquire); }
+
+  // Test-only: make the log-writer thread's next I/O pass fail, driving the
+  // log into the sticky error state exactly as a full disk would.
+  void InjectIoErrorForTesting() {
+    inject_io_error_.store(true, std::memory_order_release);
   }
 
   WalStats Stats() const;
@@ -149,7 +162,10 @@ class WriteAheadLog {
   bool shutdown_ = false;
   std::uint64_t flush_generation_ = 0;  // completed explicit flushes
   std::uint64_t flushes_done_ = 0;
-  bool io_error_ = false;
+  // Sticky: set by the writer thread on any failed write()/fsync, read
+  // lock-free by WaitDurable fast paths and InErrorState.
+  std::atomic<bool> io_error_{false};
+  std::atomic<bool> inject_io_error_{false};
 
   // File state (writer thread + Flush path; guarded by io_mutex_).
   std::mutex io_mutex_;
@@ -171,6 +187,9 @@ class WriteAheadLog {
 
 struct WalReplayStats {
   std::uint64_t segments = 0;
+  // Segments older than the replay anchor (every record covered by the
+  // snapshot) that were skipped without being scanned.
+  std::uint64_t segments_ignored = 0;
   std::uint64_t records_applied = 0;
   std::uint64_t records_skipped = 0;  // lsn < start_lsn (covered by snapshot)
   std::uint64_t next_lsn = 1;         // 1 + highest lsn seen (>= start_lsn)
@@ -182,11 +201,16 @@ struct WalReplayStats {
 };
 
 // Replay every record with lsn >= start_lsn through `apply`, in LSN order.
-// A malformed record at the tail of the last segment is treated as a torn
-// write: replay stops there and, if `truncate_torn_tail`, the file is
-// truncated to the last valid boundary. A malformed record anywhere else —
-// or any LSN discontinuity — is unrecoverable corruption: returns false with
-// a description in *error. An empty directory replays zero records.
+// Replay anchors at the NEWEST segment whose first_lsn <= start_lsn (older
+// segments hold only records the snapshot already covers and are ignored —
+// they may legitimately end short of the next segment's first LSN when a
+// snapshot published ahead of the durable WAL tail before a crash under
+// fsync=everysec/none). A malformed record at the tail of the last segment
+// is treated as a torn write: replay stops there and, if
+// `truncate_torn_tail`, the file is truncated to the last valid boundary. A
+// malformed record anywhere else — or any LSN discontinuity from the anchor
+// on — is unrecoverable corruption: returns false with a description in
+// *error. An empty directory replays zero records.
 bool ReplayWal(const std::string& dir, std::uint64_t start_lsn, bool truncate_torn_tail,
                const std::function<void(const WalRecord&)>& apply, WalReplayStats* stats,
                std::string* error);

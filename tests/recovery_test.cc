@@ -251,6 +251,89 @@ TEST(RecoveryTest, TornWalTailIsTruncatedAndStateIsConsistent) {
   EXPECT_EQ(GetValue(&again, "key29"), "value29");
 }
 
+TEST(RecoveryTest, SnapshotAheadOfDurableWalTailDoesNotWedgeRestarts) {
+  TempDir dir;
+  DurabilityOptions options;
+  options.dir = dir.path;
+  options.fsync_policy = FsyncPolicy::kAlways;
+  // Run 1: 20 durable WAL records (LSNs 1..20), no snapshot.
+  {
+    KvService service;
+    DurabilityManager durability(&service);
+    std::string error;
+    ASSERT_TRUE(durability.Start(options, &error)) << error;
+    for (int i = 0; i < 20; ++i) {
+      SetKey(&service, "key" + std::to_string(i), "value" + std::to_string(i));
+    }
+    durability.Stop();
+  }
+  // Forge the crash shape the fix targets: a snapshot PUBLISHED at LSN 25,
+  // ahead of the durable WAL tail — what a crash right after the snapshot
+  // rename but before the post-snapshot WAL flush leaves behind under
+  // fsync=everysec/none.
+  {
+    KvService donor;
+    for (int i = 0; i < 20; ++i) {
+      SetKey(&donor, "key" + std::to_string(i), "value" + std::to_string(i));
+    }
+    SnapshotWriteStats stats;
+    std::string error;
+    ASSERT_TRUE(WriteKvSnapshot(donor, dir.path, [] { return std::uint64_t{25}; }, 8,
+                                &stats, &error))
+        << error;
+  }
+  // Restart 2: recovery loads the snapshot (LSN 25), tolerates the WAL
+  // ending at 20, and the manager opens a fresh segment at LSN 26.
+  {
+    KvService service;
+    DurabilityManager durability(&service);
+    std::string error;
+    ASSERT_TRUE(durability.Start(options, &error)) << error;
+    EXPECT_EQ(durability.recovery().next_lsn, 26u);
+    SetKey(&service, "after-crash", "v");  // LSN 26, lands in wal-26
+    durability.Stop();
+  }
+  // Restart 3 (the regression): the dir now holds wal-1 (ending at 20) AND
+  // wal-26 — replay must anchor at wal-26 instead of refusing to start on
+  // the 21..25 inter-segment hole, forever.
+  {
+    KvService service;
+    DurabilityManager durability(&service);
+    std::string error;
+    ASSERT_TRUE(durability.Start(options, &error)) << error;
+    EXPECT_EQ(service.ItemCount(), 21u);
+    EXPECT_EQ(GetValue(&service, "after-crash"), "v");
+    EXPECT_EQ(GetValue(&service, "key7"), "value7");
+    durability.Stop();
+  }
+}
+
+TEST(RecoveryTest, WalIoErrorRefusesAcksInsteadOfLyingAboutDurability) {
+  TempDir dir;
+  KvService service;
+  DurabilityManager durability(&service);
+  DurabilityOptions options;
+  options.dir = dir.path;
+  options.fsync_policy = FsyncPolicy::kAlways;
+  std::string error;
+  ASSERT_TRUE(durability.Start(options, &error)) << error;
+  SetKey(&service, "before", "v");  // healthy log: STORED
+
+  durability.wal_for_testing().InjectIoErrorForTesting();
+  EXPECT_EQ(Drive(&service, "set broken 0 0 1\r\nx\r\n"),
+            "SERVER_ERROR wal io error\r\n");
+  // Sticky: later writes keep being refused rather than silently acked with
+  // durability disabled.
+  EXPECT_EQ(Drive(&service, "set broken2 0 0 1\r\nx\r\n"),
+            "SERVER_ERROR wal io error\r\n");
+  EXPECT_EQ(Drive(&service, "delete before\r\n"), "SERVER_ERROR wal io error\r\n");
+  EXPECT_TRUE(durability.wal().InErrorState());
+  // Reads still serve from memory, and the operator can see the state.
+  const std::string stats_out = Drive(&service, "stats\r\n");
+  EXPECT_NE(stats_out.find("STAT wal_io_error 1\r\n"), std::string::npos) << stats_out;
+  durability.Stop();
+}
+
 TEST(RecoveryTest, RestartingTheManagerChainsLsnsAcrossRuns) {
   TempDir dir;
   for (int run = 0; run < 3; ++run) {

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -320,6 +321,102 @@ TEST(WalTest, RemoveSegmentsBelowDropsCoveredSegments) {
   EXPECT_EQ(records.back().lsn, 40u);
   EXPECT_LE(stats.anchor_lsn, 21u);  // no gap: 21 still covered
   wal.Shutdown();
+}
+
+TEST(WalTest, IoErrorIsStickyAndFailsWaitDurable) {
+  TempDir dir;
+  WriteAheadLog wal;
+  WalOptions options;
+  options.dir = dir.path;
+  options.fsync_policy = FsyncPolicy::kAlways;
+  ASSERT_TRUE(wal.Open(options, 1));
+  EXPECT_TRUE(wal.WaitDurable(wal.Append(WalRecord::Type::kSet, "healthy", "v", 0, 0, 1)));
+
+  wal.InjectIoErrorForTesting();
+  // The record whose batch hit the I/O failure must NOT be promised durable.
+  EXPECT_FALSE(wal.WaitDurable(wal.Append(WalRecord::Type::kSet, "lost", "v", 0, 0, 2)));
+  // The error is sticky: durability stays refused (instead of silently acking
+  // with fsync disabled) until the log is reopened.
+  EXPECT_FALSE(wal.WaitDurable(wal.Append(WalRecord::Type::kSet, "after", "v", 0, 0, 3)));
+  EXPECT_FALSE(wal.Flush());
+  EXPECT_TRUE(wal.InErrorState());
+  EXPECT_TRUE(wal.Stats().io_error);
+  wal.Shutdown();
+}
+
+TEST(WalTest, RotationFsyncAdvancesDurableLsnUnderNonePolicy) {
+  TempDir dir;
+  WriteAheadLog wal;
+  WalOptions options;
+  options.dir = dir.path;
+  options.fsync_policy = FsyncPolicy::kNone;
+  options.segment_bytes = 128;  // rotate almost immediately
+  ASSERT_TRUE(wal.Open(options, 1));
+  for (int i = 0; i < 40; ++i) {
+    wal.Append(WalRecord::Type::kSet, "key" + std::to_string(i), std::string(64, 'z'), 0,
+               0, i + 1);
+  }
+  // kNone never fsyncs on the batch path, so only the pre-rotation fsync can
+  // advance durable_lsn — it must, since the rotated-out data is on disk.
+  for (int spin = 0; spin < 500 && wal.DurableLsn() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(wal.DurableLsn(), 0u);
+  EXPECT_GE(wal.Stats().segments_created, 2u);
+  EXPECT_GT(wal.Stats().fsyncs, 0u);
+  wal.Shutdown();
+}
+
+TEST(WalTest, ReplayAnchorsPastStaleSegmentsBelowStartLsn) {
+  TempDir dir;
+  {
+    // Old log: durable LSNs 1..10.
+    WriteAheadLog wal;
+    WalOptions options;
+    options.dir = dir.path;
+    options.fsync_policy = FsyncPolicy::kAlways;
+    ASSERT_TRUE(wal.Open(options, 1));
+    for (int i = 0; i < 10; ++i) {
+      wal.WaitDurable(
+          wal.Append(WalRecord::Type::kSet, "old" + std::to_string(i), "v", 0, 0, i + 1));
+    }
+    wal.Shutdown();
+  }
+  {
+    // A log reopened after recovering from a snapshot at LSN 25 that was
+    // ahead of the durable WAL tail (crash under fsync=everysec/none before
+    // the post-snapshot flush): segment wal-26 now sits next to wal-1 with
+    // LSNs 11..25 existing nowhere but inside the snapshot.
+    WriteAheadLog wal;
+    WalOptions options;
+    options.dir = dir.path;
+    options.fsync_policy = FsyncPolicy::kAlways;
+    ASSERT_TRUE(wal.Open(options, 26));
+    for (int i = 0; i < 5; ++i) {
+      wal.WaitDurable(
+          wal.Append(WalRecord::Type::kSet, "new" + std::to_string(i), "v", 0, 0, i + 1));
+    }
+    wal.Shutdown();
+  }
+  // With the snapshot covering everything below 26, replay anchors at wal-26
+  // and ignores the stale segment instead of tripping the continuity check.
+  WalReplayStats stats;
+  bool ok = false;
+  std::vector<WalRecord> records = ReplayAll(dir.path, 26, &stats, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records.front().lsn, 26u);
+  EXPECT_EQ(records.back().lsn, 30u);
+  EXPECT_EQ(stats.segments_ignored, 1u);
+  EXPECT_EQ(stats.anchor_lsn, 26u);
+
+  // Without a snapshot covering the hole, the missing LSNs are real data
+  // loss: replay from 1 must still fail loudly.
+  WalReplayStats stats2;
+  std::string error;
+  EXPECT_FALSE(ReplayWal(dir.path, 1, /*truncate_torn_tail=*/false,
+                         [](const WalRecord&) {}, &stats2, &error));
+  EXPECT_NE(error.find("discontinuity"), std::string::npos) << error;
 }
 
 TEST(WalTest, ConcurrentAppendersGetSequentialLsnsAndGroupCommits) {
