@@ -23,6 +23,7 @@
 #include "src/cuckoo/flat_cuckoo_map.h"
 #include "src/cuckoo/types.h"
 #include "src/htm/rtm.h"
+#include "src/obs/histogram.h"
 
 namespace cuckoo {
 
@@ -99,6 +100,23 @@ inline FlatOptions CuckooPlusOptions(std::size_t bucket_log2) {
   FlatOptions o = BfsOptions(bucket_log2);
   o.prefetch = true;
   return o;
+}
+
+// `"name": {"count": N, "mean_ns": X, "p50_ns": ..., "max_ns": ...}` —
+// one JSON member per latency histogram, for the BENCH_*.json artifacts.
+inline void AppendJsonHistogram(const char* name, const obs::HistogramSnapshot& h,
+                                std::string* out) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\": {\"count\": %llu, \"mean_ns\": %.1f, \"p50_ns\": %llu, "
+                "\"p90_ns\": %llu, \"p99_ns\": %llu, \"p999_ns\": %llu, \"max_ns\": %llu}",
+                name, static_cast<unsigned long long>(h.Count()), h.Mean(),
+                static_cast<unsigned long long>(h.P50()),
+                static_cast<unsigned long long>(h.P90()),
+                static_cast<unsigned long long>(h.P99()),
+                static_cast<unsigned long long>(h.P999()),
+                static_cast<unsigned long long>(h.Max()));
+  out->append(buf);
 }
 
 }  // namespace cuckoo

@@ -33,11 +33,13 @@
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "src/benchkit/flags.h"
 #include "src/common/file_util.h"
 #include "src/common/timing.h"
 #include "src/kvserver/kv_service.h"
 #include "src/kvserver/socket_server.h"
+#include "src/obs/histogram.h"
 #include "src/persist/durability.h"
 
 namespace {
@@ -53,6 +55,8 @@ struct SweepResult {
   std::uint64_t group_commits = 0;
   std::uint64_t max_batch_records = 0;
   double acks_per_fsync = 0;
+  cuckoo::obs::HistogramSnapshot durable_ns;      // WAL append -> durable
+  cuckoo::obs::HistogramSnapshot batch_records;   // group-commit batch sizes
 };
 
 struct OnlineResult {
@@ -192,6 +196,8 @@ int main(int argc, char** argv) {
     r.group_commits = w.group_commits;
     r.max_batch_records = w.max_batch_records;
     r.acks_per_fsync = w.fsyncs > 0 ? static_cast<double>(r.sets) / w.fsyncs : 0;
+    r.durable_ns = harness.durability.AppendDurableSnapshot();
+    r.batch_records = harness.durability.wal().BatchRecordsSnapshot();
     sweep.push_back(r);
   }
 
@@ -252,6 +258,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.fsyncs),
                 static_cast<unsigned long long>(r.group_commits), r.acks_per_fsync,
                 static_cast<unsigned long long>(r.max_batch_records));
+    std::printf("            durable p50/p99/p999=%llu/%llu/%llu us  batch p50/max=%llu/%llu\n",
+                static_cast<unsigned long long>(r.durable_ns.P50() / 1000),
+                static_cast<unsigned long long>(r.durable_ns.P99() / 1000),
+                static_cast<unsigned long long>(r.durable_ns.P999() / 1000),
+                static_cast<unsigned long long>(r.batch_records.P50()),
+                static_cast<unsigned long long>(r.batch_records.Max()));
   }
   std::printf("  online snapshot: baseline %.0f sets/s, during %.0f sets/s "
               "(ratio %.2f, %llu snapshots of %llu entries)\n",
@@ -276,12 +288,16 @@ int main(int argc, char** argv) {
     std::fprintf(out,
                  "    {\"policy\": \"%s\", \"sets\": %llu, \"seconds\": %.4f, "
                  "\"sets_per_sec\": %.1f, \"fsyncs\": %llu, \"group_commits\": %llu, "
-                 "\"max_batch_records\": %llu, \"acks_per_fsync\": %.2f}%s\n",
+                 "\"max_batch_records\": %llu, \"acks_per_fsync\": %.2f,\n",
                  r.policy.c_str(), static_cast<unsigned long long>(r.sets), r.seconds,
                  r.sets_per_sec, static_cast<unsigned long long>(r.fsyncs),
                  static_cast<unsigned long long>(r.group_commits),
-                 static_cast<unsigned long long>(r.max_batch_records), r.acks_per_fsync,
-                 i + 1 < sweep.size() ? "," : "");
+                 static_cast<unsigned long long>(r.max_batch_records), r.acks_per_fsync);
+    std::string latency = "     ";
+    cuckoo::AppendJsonHistogram("append_durable_ns", r.durable_ns, &latency);
+    latency += ",\n     ";
+    cuckoo::AppendJsonHistogram("group_commit_records", r.batch_records, &latency);
+    std::fprintf(out, "%s}%s\n", latency.c_str(), i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out,

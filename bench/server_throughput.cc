@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "src/benchkit/flags.h"
 #include "src/common/timing.h"
 #include "src/kvserver/kv_service.h"
@@ -207,6 +208,10 @@ int main(int argc, char** argv) {
 
   const cuckoo::SocketServer::StatsSnapshot net = server.Stats();
   const cuckoo::MapStatsSnapshot table = service.StoreStats();
+  const cuckoo::obs::HistogramSnapshot get_ns =
+      service.CommandLatency(cuckoo::RequestType::kGet);
+  const cuckoo::obs::HistogramSnapshot set_ns =
+      service.CommandLatency(cuckoo::RequestType::kSet);
   server.Stop();
 
   std::printf("== server_throughput ==\n");
@@ -217,6 +222,11 @@ int main(int argc, char** argv) {
     std::printf("  %-14s %12.0f keys/s  (%llu keys in %.2fs)\n", r.name.c_str(),
                 r.keys_per_sec, static_cast<unsigned long long>(r.keys_fetched), r.seconds);
   }
+  std::printf("  get latency p50/p99/p999: %llu/%llu/%llu us (%llu commands)\n",
+              static_cast<unsigned long long>(get_ns.P50() / 1000),
+              static_cast<unsigned long long>(get_ns.P99() / 1000),
+              static_cast<unsigned long long>(get_ns.P999() / 1000),
+              static_cast<unsigned long long>(get_ns.Count()));
 
   FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -248,10 +258,18 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(net.backpressure_pauses));
   std::fprintf(out,
                "  \"table\": {\"lookups\": %lld, \"read_retries\": %lld, "
-               "\"path_searches\": %lld, \"expansions\": %lld}\n",
+               "\"path_searches\": %lld, \"expansions\": %lld},\n",
                static_cast<long long>(table.lookups), static_cast<long long>(table.read_retries),
                static_cast<long long>(table.path_searches),
                static_cast<long long>(table.expansions));
+  {
+    std::string latency = "  \"latency\": {";
+    cuckoo::AppendJsonHistogram("cmd_get_ns", get_ns, &latency);
+    latency += ", ";
+    cuckoo::AppendJsonHistogram("cmd_set_ns", set_ns, &latency);
+    latency += "}\n";
+    std::fprintf(out, "%s", latency.c_str());
+  }
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());

@@ -27,12 +27,29 @@ class PerThreadCounter {
   void Increment() noexcept { Add(1); }
   void Decrement() noexcept { Add(-1); }
 
+  // Release-ordered increment, pairing with SumAcquire(): a reader whose
+  // SumAcquire() observes this increment also observes every write the
+  // incrementing thread made before it. Used to keep cross-counter
+  // invariants (e.g. hits <= lookups) true under concurrent snapshots.
+  void IncrementRelease() noexcept {
+    slots_[CurrentThreadId()].value.fetch_add(1, std::memory_order_release);
+  }
+
   // Aggregate across all thread slots. Not linearizable with concurrent
   // updates; exact once writers quiesce.
   std::int64_t Sum() const noexcept {
     std::int64_t total = 0;
     for (int i = 0; i < kMaxThreads; ++i) {
       total += slots_[i].value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Acquire-ordered aggregate; see IncrementRelease().
+  std::int64_t SumAcquire() const noexcept {
+    std::int64_t total = 0;
+    for (int i = 0; i < kMaxThreads; ++i) {
+      total += slots_[i].value.load(std::memory_order_acquire);
     }
     return total;
   }

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "src/common/debug_checks.h"
+#include "src/common/per_thread_counter.h"
 #include "src/common/test_points.h"
 #include "src/common/version_lock.h"
 
@@ -28,6 +29,15 @@ class LockStripes {
   }
 
   std::size_t stripe_count() const noexcept { return mask_ + 1; }
+
+  // Contention profiling hook: when set, every pair/single-stripe
+  // acquisition that fails its initial TryLock (i.e. actually contended)
+  // bumps the counter before falling back to the blocking acquire. LockAll
+  // is exempt — whole-table operations expect to plow through held stripes.
+  // The counter must outlive the stripes; install before concurrent use.
+  void SetContentionCounter(PerThreadCounter* counter) noexcept {
+    contended_ = counter;
+  }
 
   // Stripe index that guards bucket `bucket_index`.
   std::size_t StripeFor(std::size_t bucket_index) const noexcept {
@@ -51,13 +61,13 @@ class LockStripes {
       std::swap(s1, s2);
     }
     CUCKOO_DEBUG_STRIPE_ACQUIRE(this, s1);
-    stripes_[s1].Lock();
+    LockCounted(s1);
     if (s2 != s1) {
       // Window between the two acquisitions: a peer locking an overlapping
       // pair is ordered against us by the canonical (ascending) order above.
       CUCKOO_TEST_POINT(TestPoint::kPairLockBetweenAcquires);
       CUCKOO_DEBUG_STRIPE_ACQUIRE(this, s2);
-      stripes_[s2].Lock();
+      LockCounted(s2);
     }
   }
 
@@ -89,7 +99,7 @@ class LockStripes {
   // holding exactly one stripe trivially satisfies the ordering discipline.
   void LockStripe(std::size_t stripe_index) noexcept {
     CUCKOO_DEBUG_STRIPE_ACQUIRE(this, stripe_index);
-    stripes_[stripe_index].Lock();
+    LockCounted(stripe_index);
   }
 
   bool TryLockStripe(std::size_t stripe_index) noexcept {
@@ -126,8 +136,21 @@ class LockStripes {
   }
 
  private:
+  // Uncontended path: one CAS, same as a direct Lock(). Contended path:
+  // count, then spin in the blocking acquire we would have entered anyway.
+  void LockCounted(std::size_t stripe_index) noexcept {
+    if (stripes_[stripe_index].TryLock()) {
+      return;
+    }
+    if (contended_ != nullptr) {
+      contended_->Increment();
+    }
+    stripes_[stripe_index].Lock();
+  }
+
   std::size_t mask_;
   std::unique_ptr<PaddedVersionLock[]> stripes_;
+  PerThreadCounter* contended_ = nullptr;
 };
 
 // RAII guard over LockStripes::LockPair.

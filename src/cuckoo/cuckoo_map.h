@@ -70,7 +70,9 @@ class CuckooMap {
         hasher_(std::move(hasher)),
         eq_(std::move(eq)),
         stripes_(opts.stripe_count),
-        core_(new Core(opts.initial_bucket_count_log2)) {}
+        core_(new Core(opts.initial_bucket_count_log2)) {
+    stripes_.SetContentionCounter(stats_.ContentionCounter());
+  }
 
   CuckooMap(const CuckooMap&) = delete;
   CuckooMap& operator=(const CuckooMap&) = delete;
@@ -81,10 +83,12 @@ class CuckooMap {
 
   // Copy the value for `key` into *out. Returns false if absent.
   bool Find(const K& key, V* out) const {
+    const std::uint64_t t0 = stats_.MaybeStartLookupTimer();
     const HashedKey h = HashedKey::From(hasher_(key));
     bool hit = (opts_.read_mode == ReadMode::kOptimistic) ? FindOptimistic(h, key, out)
                                                           : FindLocked(h, key, out);
     stats_.RecordLookup(hit);
+    stats_.FinishLookupTimer(t0);
     return hit;
   }
 
@@ -130,6 +134,8 @@ class CuckooMap {
       hits += hit ? 1 : 0;
       stats_.RecordLookup(hit);
     }
+    // Distribution of hits per batched (prefetch-pipelined) lookup call.
+    stats_.RecordBatchHits(hits);
     return hits;
   }
 
@@ -284,6 +290,8 @@ class CuckooMap {
 
   MapStatsSnapshot Stats() const { return stats_.Read(); }
   void ResetStats() { stats_.Reset(); }
+  // Toggle the sampled lookup/insert latency timers (counters stay on).
+  void SetLatencyProfiling(bool enabled) { stats_.SetLatencyProfiling(enabled); }
   const Options& options() const noexcept { return opts_; }
 
   // Maximum cuckoo-path length the BFS can produce at the configured M (Eq. 2).
@@ -520,6 +528,13 @@ class CuckooMap {
   // ----- Insert machinery ----------------------------------------------------
 
   InsertResult DoInsert(const K& key, const V& value, bool overwrite_existing) {
+    const std::uint64_t t0 = stats_.MaybeStartInsertTimer();
+    const InsertResult r = DoInsertLoop(key, value, overwrite_existing);
+    stats_.FinishInsertTimer(t0);
+    return r;
+  }
+
+  InsertResult DoInsertLoop(const K& key, const V& value, bool overwrite_existing) {
     const HashedKey h = HashedKey::From(hasher_(key));
     std::size_t executed_path_len = 0;  // displacements performed for this insert
     CuckooPath path;  // reused across retries to avoid reallocation
@@ -670,6 +685,9 @@ class CuckooMap {
     if (core_.load(std::memory_order_acquire) != expected_core) {
       return;  // somebody else expanded while we waited
     }
+    // Expansion pause = the full-table lock hold: every writer (and locked
+    // reader) is stalled from here until the stripes release.
+    const std::uint64_t pause_start = NowNanos();
     AllGuard all(stripes_);
     Core* old_core = core_.load(std::memory_order_relaxed);
 
@@ -686,6 +704,7 @@ class CuckooMap {
         retired_.emplace_back(old_core);
         core_.store(fresh.release(), std::memory_order_release);
         stats_.RecordExpansion();
+        stats_.RecordExpansionPauseNanos(NowNanos() - pause_start);
         return;
       }
     }

@@ -83,6 +83,7 @@ class FlatCuckooMap {
   // ----- Lookup (optimistic, never takes the global lock) -------------------
 
   bool Find(const K& key, V* out) const {
+    const std::uint64_t t0 = stats_.MaybeStartLookupTimer();
     const HashedKey h = HashedKey::From(hasher_(key));
     const std::size_t b1 = h.Bucket1(core_.mask);
     const std::size_t b2 = core_.AltBucket(b1, h.tag);
@@ -112,6 +113,7 @@ class FlatCuckooMap {
       std::atomic_thread_fence(std::memory_order_acquire);
       if (versions_.Stripe(s1).LoadRaw() == v1 && versions_.Stripe(s2).LoadRaw() == v2) {
         stats_.RecordLookup(found);
+        stats_.FinishLookupTimer(t0);
         if (found) {
           *out = value;
         }
@@ -129,11 +131,15 @@ class FlatCuckooMap {
   // ----- Insert --------------------------------------------------------------
 
   InsertResult Insert(const K& key, const V& value) {
+    const std::uint64_t t0 = stats_.MaybeStartInsertTimer();
     const HashedKey h = HashedKey::From(hasher_(key));
     const std::size_t b1 = h.Bucket1(core_.mask);
     const std::size_t b2 = core_.AltBucket(b1, h.tag);
-    return opts_.lock_after_discovery ? InsertLockLater(h, b1, b2, key, value)
-                                      : InsertLockFirst(h, b1, b2, key, value);
+    const InsertResult r = opts_.lock_after_discovery
+                               ? InsertLockLater(h, b1, b2, key, value)
+                               : InsertLockFirst(h, b1, b2, key, value);
+    stats_.FinishInsertTimer(t0);
+    return r;
   }
 
   bool Update(const K& key, const V& value) {
@@ -187,6 +193,21 @@ class FlatCuckooMap {
     return true;
   }
 
+  // Remove all items (capacity retained). Serializes against writers via the
+  // global lock; each bucket's version bump makes optimistic readers retry.
+  void Clear() {
+    std::lock_guard<GlobalLock> g(lock_);
+    for (std::size_t bucket = 0; bucket < core_.bucket_count(); ++bucket) {
+      BumpGuard bump(versions_, bucket);
+      for (int s = 0; s < B; ++s) {
+        if (core_.Tag(bucket, s) != 0) {
+          core_.ClearSlot(bucket, s);
+        }
+      }
+    }
+    size_.Reset();
+  }
+
   // ----- Capacity / introspection --------------------------------------------
 
   std::size_t Size() const noexcept {
@@ -203,6 +224,8 @@ class FlatCuckooMap {
 
   MapStatsSnapshot Stats() const { return stats_.Read(); }
   void ResetStats() { stats_.Reset(); }
+  // Toggle the sampled lookup/insert latency timers (counters stay on).
+  void SetLatencyProfiling(bool enabled) { stats_.SetLatencyProfiling(enabled); }
   const FlatOptions& options() const noexcept { return opts_; }
 
   // The global write lock, exposed so benches can read elision statistics off

@@ -170,6 +170,7 @@ class GeneralCuckooMap {
         eq_(std::move(eq)),
         stripes_(opts.stripe_count),
         core_(std::make_unique<Core>(opts.initial_bucket_count_log2)) {
+    stripes_.SetContentionCounter(stats_.ContentionCounter());
     core_snapshot_.store(core_.get(), std::memory_order_release);
   }
 
@@ -194,6 +195,7 @@ class GeneralCuckooMap {
   // Returns false (fn not called) if the key is absent.
   template <typename Fn>
   bool WithValue(const K& key, Fn&& fn) const {
+    const std::uint64_t t0 = stats_.MaybeStartLookupTimer();
     const HashedKey h = HashedKey::From(hasher_(key));
     bool found = WithPair(h, [&](Core* core, std::size_t b1, std::size_t b2, PairGuard& guard) {
       Locator loc;
@@ -205,6 +207,7 @@ class GeneralCuckooMap {
       return hit;
     });
     stats_.RecordLookup(found);
+    stats_.FinishLookupTimer(t0);
     return found;
   }
 
@@ -252,6 +255,8 @@ class GeneralCuckooMap {
       hits += hit ? 1 : 0;
       stats_.RecordLookup(hit);
     }
+    // Distribution of hits per batched (prefetch-pipelined) lookup call.
+    stats_.RecordBatchHits(hits);
     return hits;
   }
 
@@ -367,6 +372,9 @@ class GeneralCuckooMap {
   }
 
   MapStatsSnapshot Stats() const { return stats_.Read(); }
+  void ResetStats() { stats_.Reset(); }
+  // Toggle the sampled lookup/insert latency timers (counters stay on).
+  void SetLatencyProfiling(bool enabled) { stats_.SetLatencyProfiling(enabled); }
   const Options& options() const noexcept { return opts_; }
 
   // ----- Online (fuzzy) snapshot walk ---------------------------------------
@@ -497,6 +505,15 @@ class GeneralCuckooMap {
   // the table was modified (overwrite or fresh construct) — see UpsertThen.
   template <typename KArg, typename VArg, typename After>
   InsertResult DoInsert(KArg&& key, VArg&& value, bool overwrite_existing, After&& after) {
+    const std::uint64_t t0 = stats_.MaybeStartInsertTimer();
+    const InsertResult r = DoInsertLoop(std::forward<KArg>(key), std::forward<VArg>(value),
+                                        overwrite_existing, std::forward<After>(after));
+    stats_.FinishInsertTimer(t0);
+    return r;
+  }
+
+  template <typename KArg, typename VArg, typename After>
+  InsertResult DoInsertLoop(KArg&& key, VArg&& value, bool overwrite_existing, After&& after) {
     const HashedKey h = HashedKey::From(hasher_(key));
     for (;;) {
       std::optional<InsertResult> fast = WithPair(
@@ -658,6 +675,9 @@ class GeneralCuckooMap {
         core_snapshot_.load(std::memory_order_acquire) != expected_core) {
       return;
     }
+    // Expansion pause = the full-table lock hold: every writer (and locked
+    // reader) is stalled from here until the stripes release.
+    const std::uint64_t pause_start = NowNanos();
     AllGuard all(stripes_);
     std::size_t new_log2 = 1;
     while ((std::size_t{1} << new_log2) <= core_->mask) {
@@ -675,6 +695,7 @@ class GeneralCuckooMap {
         core_ = std::move(fresh);
         core_snapshot_.store(core_.get(), std::memory_order_release);
         stats_.RecordExpansion();
+        stats_.RecordExpansionPauseNanos(NowNanos() - pause_start);
         return;
       }
       // Retry one size larger; `fresh` (with moved-in elements) is destroyed,

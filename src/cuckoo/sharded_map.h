@@ -93,6 +93,37 @@ class ShardedMap {
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
 
+  // Remove all items, one shard at a time. Not an atomic point-in-time wipe:
+  // keys inserted into already-cleared shards concurrently with Clear()
+  // survive (same contract as clearing any sharded store shard-by-shard).
+  void Clear() {
+    for (auto& shard : shards_) {
+      shard->Clear();
+    }
+  }
+
+  // Merged statistics across shards (MapStatsSnapshot::Merge is associative,
+  // so per-shard histograms sum into one distribution).
+  MapStatsSnapshot Stats() const {
+    MapStatsSnapshot merged;
+    for (const auto& shard : shards_) {
+      merged.Merge(shard->Stats());
+    }
+    return merged;
+  }
+
+  void ResetStats() {
+    for (auto& shard : shards_) {
+      shard->ResetStats();
+    }
+  }
+
+  void SetLatencyProfiling(bool enabled) {
+    for (auto& shard : shards_) {
+      shard->SetLatencyProfiling(enabled);
+    }
+  }
+
   // Occupancy imbalance: max shard load factor over mean (1.0 = perfectly
   // balanced). Shows the load-balancing cost sharding pays vs one table.
   double ShardImbalance() const noexcept {

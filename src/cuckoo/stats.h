@@ -3,7 +3,25 @@
 // Hot counters are per-thread (principle P1: "disable instant global
 // statistics counters in favor of lazily aggregated per-thread counters");
 // the path-length histogram uses relaxed atomics because it is only touched
-// on the (rare) displacement path.
+// on the (rare) displacement path. Latency distributions use the obs
+// per-thread histograms, fed by sampled timers (1 op in 64) so the clock
+// reads stay off the common case of the nanosecond-scale lookup path.
+//
+// Consistency contract for Read() (a.k.a. Snapshot) under concurrent
+// recording:
+//   * Every individual counter is an atomic sum of per-thread slots — never
+//     torn, possibly slightly stale.
+//   * The paired counters with a subset relationship (lookup_hits <=
+//     lookups, path_invalidations <= path_searches) are read dependent-
+//     counter-first with acquire ordering, and recorded base-counter-first
+//     with a release on the dependent increment; a snapshot therefore never
+//     shows more hits than lookups or more invalidations than searches,
+//     even mid-flight.
+//   * Unrelated counters are mutually unordered: a snapshot taken during an
+//     insert may count its displacement but not yet the insert. Exact totals
+//     require quiescing writers, as do Reset()'s zeroes (a racing recorder
+//     can re-increment a just-cleared slot; the result is a small positive
+//     count, never corruption).
 #ifndef SRC_CUCKOO_STATS_H_
 #define SRC_CUCKOO_STATS_H_
 
@@ -12,6 +30,8 @@
 #include <cstdint>
 
 #include "src/common/per_thread_counter.h"
+#include "src/common/timing.h"
+#include "src/obs/histogram.h"
 
 namespace cuckoo {
 
@@ -31,7 +51,15 @@ struct MapStatsSnapshot {
   std::int64_t path_invalidations = 0;   // validate-execute failures (Eq. 1)
   std::int64_t read_retries = 0;         // optimistic read version mismatches
   std::int64_t expansions = 0;
+  std::int64_t lock_contended = 0;       // stripe acquisitions that had to wait
   std::array<std::int64_t, kPathHistogramBuckets> path_length_hist{};
+
+  // Latency distributions (nanoseconds, sampled 1-in-64 when profiling is
+  // enabled) and event-size distributions (always recorded).
+  obs::HistogramSnapshot lookup_ns;           // Find / WithValue latency
+  obs::HistogramSnapshot insert_ns;           // Insert/Upsert latency
+  obs::HistogramSnapshot expansion_pause_ns;  // full-table lock hold per Expand
+  obs::HistogramSnapshot batch_hits;          // hits per batched-lookup call
 
   // Mean executed cuckoo-path length (hops per path, excluding zero-hop
   // inserts into a free slot).
@@ -61,23 +89,55 @@ struct MapStatsSnapshot {
     return total == 0 ? 0.0
                       : static_cast<double>(path_invalidations) / static_cast<double>(total);
   }
+
+  // Element-wise aggregation, associative and commutative — snapshots from
+  // the shards of a ShardedMap (or from several maps) combine into one view.
+  void Merge(const MapStatsSnapshot& other) noexcept {
+    inserts += other.inserts;
+    insert_failures += other.insert_failures;
+    duplicate_inserts += other.duplicate_inserts;
+    lookups += other.lookups;
+    lookup_hits += other.lookup_hits;
+    erases += other.erases;
+    displacements += other.displacements;
+    path_searches += other.path_searches;
+    path_invalidations += other.path_invalidations;
+    read_retries += other.read_retries;
+    expansions += other.expansions;
+    lock_contended += other.lock_contended;
+    for (std::size_t i = 0; i < kPathHistogramBuckets; ++i) {
+      path_length_hist[i] += other.path_length_hist[i];
+    }
+    lookup_ns.Merge(other.lookup_ns);
+    insert_ns.Merge(other.insert_ns);
+    expansion_pause_ns.Merge(other.expansion_pause_ns);
+    batch_hits.Merge(other.batch_hits);
+  }
 };
 
 class MapStats {
  public:
+  // 1 op in 64 pays the two clock reads when latency profiling is on.
+  static constexpr int kSampleLog2 = 6;
+
   void RecordInsert() noexcept { inserts_.Increment(); }
   void RecordInsertFailure() noexcept { insert_failures_.Increment(); }
   void RecordDuplicateInsert() noexcept { duplicate_inserts_.Increment(); }
   void RecordLookup(bool hit) noexcept {
     lookups_.Increment();
     if (hit) {
-      lookup_hits_.Increment();
+      // Release pairs with Read()'s acquire: a snapshot that counts this hit
+      // also counts the lookup increment above (hits <= lookups invariant).
+      lookup_hits_.IncrementRelease();
     }
   }
   void RecordErase() noexcept { erases_.Increment(); }
   void RecordDisplacements(std::int64_t n) noexcept { displacements_.Add(n); }
   void RecordPathSearch() noexcept { path_searches_.Increment(); }
-  void RecordPathInvalidation() noexcept { path_invalidations_.Increment(); }
+  void RecordPathInvalidation() noexcept {
+    // Release for the invalidations <= searches invariant; see RecordLookup.
+    path_invalidations_.IncrementRelease();
+  }
   void RecordReadRetry() noexcept { read_retries_.Increment(); }
   void RecordExpansion() noexcept { expansions_.Increment(); }
   void RecordPathLength(std::size_t len) noexcept {
@@ -87,25 +147,77 @@ class MapStats {
     path_length_hist_[len].fetch_add(1, std::memory_order_relaxed);
   }
 
+  // ----- Latency profiling ---------------------------------------------------
+
+  // Runtime switch for the sampled op timers (the counters above are always
+  // on). Off: the timer check is one relaxed load + branch per op.
+  void SetLatencyProfiling(bool enabled) noexcept {
+    profile_latency_.store(enabled, std::memory_order_relaxed);
+  }
+  bool LatencyProfilingEnabled() const noexcept {
+    return profile_latency_.load(std::memory_order_relaxed);
+  }
+
+  // Returns a start timestamp for the 1-in-64 sampled ops (never 0), or 0
+  // meaning "don't time this op". Pass the result to the matching Finish.
+  // Lookup and insert use separate gate counters: a shared counter aliases
+  // against alternating insert/lookup workloads (even period, period-2
+  // pattern), starving one histogram completely.
+  std::uint64_t MaybeStartLookupTimer() noexcept {
+    return MaybeStartTimer<obs::SampleGate<kSampleLog2, 0>>();
+  }
+  std::uint64_t MaybeStartInsertTimer() noexcept {
+    return MaybeStartTimer<obs::SampleGate<kSampleLog2, 1>>();
+  }
+  void FinishLookupTimer(std::uint64_t start) noexcept {
+    if (start != 0) {
+      lookup_ns_.Record(NowNanos() - start);
+    }
+  }
+  void FinishInsertTimer(std::uint64_t start) noexcept {
+    if (start != 0) {
+      insert_ns_.Record(NowNanos() - start);
+    }
+  }
+
+  // Rare events: recorded unconditionally (no sampling).
+  void RecordExpansionPauseNanos(std::uint64_t nanos) noexcept {
+    expansion_pause_ns_.Record(nanos);
+  }
+  void RecordBatchHits(std::size_t hits) noexcept { batch_hits_.Record(hits); }
+
+  // The stripe-lock table increments this on every acquisition that lost its
+  // initial try-lock (see LockStripes::SetContentionCounter).
+  PerThreadCounter* ContentionCounter() noexcept { return &lock_contended_; }
+
   MapStatsSnapshot Read() const noexcept {
     MapStatsSnapshot s;
     s.inserts = inserts_.Sum();
     s.insert_failures = insert_failures_.Sum();
     s.duplicate_inserts = duplicate_inserts_.Sum();
+    // Dependent counter first, acquire-ordered: any hit it observes had its
+    // lookups_ increment published beforehand, so hits <= lookups holds.
+    s.lookup_hits = lookup_hits_.SumAcquire();
     s.lookups = lookups_.Sum();
-    s.lookup_hits = lookup_hits_.Sum();
     s.erases = erases_.Sum();
     s.displacements = displacements_.Sum();
+    s.path_invalidations = path_invalidations_.SumAcquire();
     s.path_searches = path_searches_.Sum();
-    s.path_invalidations = path_invalidations_.Sum();
     s.read_retries = read_retries_.Sum();
     s.expansions = expansions_.Sum();
+    s.lock_contended = lock_contended_.Sum();
     for (std::size_t i = 0; i < kPathHistogramBuckets; ++i) {
       s.path_length_hist[i] = path_length_hist_[i].load(std::memory_order_relaxed);
     }
+    s.lookup_ns = lookup_ns_.Snapshot();
+    s.insert_ns = insert_ns_.Snapshot();
+    s.expansion_pause_ns = expansion_pause_ns_.Snapshot();
+    s.batch_hits = batch_hits_.Snapshot();
     return s;
   }
 
+  // Not atomic with concurrent recorders (a racing op may survive the wipe
+  // or straddle it); callers wanting exact zeroes quiesce writers first.
   void Reset() noexcept {
     inserts_.Reset();
     insert_failures_.Reset();
@@ -118,12 +230,29 @@ class MapStats {
     path_invalidations_.Reset();
     read_retries_.Reset();
     expansions_.Reset();
+    lock_contended_.Reset();
     for (auto& h : path_length_hist_) {
       h.store(0, std::memory_order_relaxed);
     }
+    lookup_ns_.Reset();
+    insert_ns_.Reset();
+    expansion_pause_ns_.Reset();
+    batch_hits_.Reset();
   }
 
  private:
+  template <typename Gate>
+  std::uint64_t MaybeStartTimer() noexcept {
+    if (!profile_latency_.load(std::memory_order_relaxed)) {
+      return 0;
+    }
+    if (!Gate::Tick()) {
+      return 0;
+    }
+    const std::uint64_t t = NowNanos();
+    return t == 0 ? 1 : t;
+  }
+
   PerThreadCounter inserts_;
   PerThreadCounter insert_failures_;
   PerThreadCounter duplicate_inserts_;
@@ -135,7 +264,14 @@ class MapStats {
   PerThreadCounter path_invalidations_;
   PerThreadCounter read_retries_;
   PerThreadCounter expansions_;
+  PerThreadCounter lock_contended_;
   std::array<std::atomic<std::int64_t>, kPathHistogramBuckets> path_length_hist_{};
+
+  std::atomic<bool> profile_latency_{true};
+  obs::Histogram lookup_ns_;
+  obs::Histogram insert_ns_;
+  obs::Histogram expansion_pause_ns_;
+  obs::Histogram batch_hits_;
 };
 
 }  // namespace cuckoo

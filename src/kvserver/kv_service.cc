@@ -4,6 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/timing.h"
+#include "src/obs/metrics.h"
+
 namespace cuckoo {
 namespace {
 
@@ -12,6 +15,16 @@ std::uint64_t WallSeconds() {
       std::chrono::duration_cast<std::chrono::seconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count());
+}
+
+// STAT <prefix>_count/_p50/_p99/_p999/_max lines for one latency histogram.
+void AppendHistStats(const std::string& prefix, const obs::HistogramSnapshot& h,
+                     std::string* out) {
+  AppendStat(prefix + "_count", h.Count(), out);
+  AppendStat(prefix + "_p50", h.P50(), out);
+  AppendStat(prefix + "_p99", h.P99(), out);
+  AppendStat(prefix + "_p999", h.P999(), out);
+  AppendStat(prefix + "_max", h.Max(), out);
 }
 
 }  // namespace
@@ -23,7 +36,30 @@ KvService::KvService(Options opts)
         o.auto_expand = opts.auto_expand;
         return o;
       }()),
-      clock_(opts.clock ? std::move(opts.clock) : WallSeconds) {}
+      clock_(opts.clock ? std::move(opts.clock) : WallSeconds),
+      slowlog_(opts.slowlog_threshold_ns, opts.slowlog_capacity) {}
+
+const char* KvService::CommandName(RequestType type) noexcept {
+  switch (type) {
+    case RequestType::kGet:
+      return "get";
+    case RequestType::kGets:
+      return "gets";
+    case RequestType::kSet:
+      return "set";
+    case RequestType::kCas:
+      return "cas";
+    case RequestType::kDelete:
+      return "delete";
+    case RequestType::kTouch:
+      return "touch";
+    case RequestType::kStats:
+      return "stats";
+    case RequestType::kBgsave:
+      return "bgsave";
+  }
+  return "unknown";
+}
 
 void KvService::HandleGet(const Request& request, bool with_cas, std::string* out) {
   // Multi-key gets arrive in request.keys; requests constructed by hand may
@@ -185,6 +221,20 @@ void KvService::AdvanceCasFloor(std::uint64_t cas_id) {
 }
 
 void KvService::Process(const Request& request, std::string* response_out) {
+  // End-to-end command latency, including WaitDurable stalls. Always on:
+  // one clock pair per network request is noise next to parsing + syscalls,
+  // unlike the sampled per-probe timers inside the table.
+  const std::uint64_t start = NowNanos();
+  Dispatch(request, response_out);
+  const std::uint64_t elapsed = NowNanos() - start;
+  const std::size_t idx = static_cast<std::size_t>(request.type);
+  if (idx < kCommandKinds) {
+    cmd_ns_[idx].Record(elapsed);
+  }
+  slowlog_.MaybeRecord(elapsed, CommandName(request.type), request.key);
+}
+
+void KvService::Dispatch(const Request& request, std::string* response_out) {
   switch (request.type) {
     case RequestType::kGet:
       HandleGet(request, /*with_cas=*/false, response_out);
@@ -231,37 +281,143 @@ void KvService::Process(const Request& request, std::string* response_out) {
       }
       return;
     }
-    case RequestType::kStats: {
-      AppendStat("curr_items", ItemCount(), response_out);
-      AppendStat("get_hits", GetHits(), response_out);
-      AppendStat("get_misses", GetMisses(), response_out);
-      AppendStat("cmd_set", static_cast<std::uint64_t>(sets_.Sum()), response_out);
-      AppendStat("cmd_delete", static_cast<std::uint64_t>(deletes_.Sum()), response_out);
-      AppendStat("expired_unfetched", Expirations(), response_out);
-      // Table-level observability: the MapStatsSnapshot counters that tell
-      // an operator whether the serving layer stresses the cuckoo paths.
-      const MapStatsSnapshot table = store_.Stats();
-      AppendStat("table_lookups", static_cast<std::uint64_t>(table.lookups), response_out);
-      AppendStat("table_read_retries", static_cast<std::uint64_t>(table.read_retries),
-                 response_out);
-      AppendStat("table_path_searches", static_cast<std::uint64_t>(table.path_searches),
-                 response_out);
-      AppendStat("table_path_invalidations",
-                 static_cast<std::uint64_t>(table.path_invalidations), response_out);
-      AppendStat("table_displacements", static_cast<std::uint64_t>(table.displacements),
-                 response_out);
-      AppendStat("table_expansions", static_cast<std::uint64_t>(table.expansions),
-                 response_out);
-      AppendStat("table_insert_failures", static_cast<std::uint64_t>(table.insert_failures),
-                 response_out);
-      for (const auto& hook : extra_stats_) {
-        hook(response_out);  // server- and durability-layer counters
-      }
-      AppendEnd(response_out);
+    case RequestType::kStats:
+      HandleStats(request, response_out);
       return;
-    }
   }
   AppendError(response_out);
+}
+
+void KvService::HandleStats(const Request& request, std::string* response_out) {
+  if (request.stats_arg == "slowlog") {
+    AppendSlowlogStats(response_out);
+    AppendEnd(response_out);
+    return;
+  }
+  if (!request.stats_arg.empty() && request.stats_arg != "detail") {
+    AppendError(response_out);  // unknown sub-report
+    return;
+  }
+  AppendStat("curr_items", ItemCount(), response_out);
+  AppendStat("get_hits", GetHits(), response_out);
+  AppendStat("get_misses", GetMisses(), response_out);
+  AppendStat("cmd_set", static_cast<std::uint64_t>(sets_.Sum()), response_out);
+  AppendStat("cmd_delete", static_cast<std::uint64_t>(deletes_.Sum()), response_out);
+  AppendStat("expired_unfetched", Expirations(), response_out);
+  // Table-level observability: the MapStatsSnapshot counters that tell
+  // an operator whether the serving layer stresses the cuckoo paths.
+  const MapStatsSnapshot table = store_.Stats();
+  AppendStat("table_lookups", static_cast<std::uint64_t>(table.lookups), response_out);
+  AppendStat("table_read_retries", static_cast<std::uint64_t>(table.read_retries),
+             response_out);
+  AppendStat("table_path_searches", static_cast<std::uint64_t>(table.path_searches),
+             response_out);
+  AppendStat("table_path_invalidations",
+             static_cast<std::uint64_t>(table.path_invalidations), response_out);
+  AppendStat("table_displacements", static_cast<std::uint64_t>(table.displacements),
+             response_out);
+  AppendStat("table_expansions", static_cast<std::uint64_t>(table.expansions),
+             response_out);
+  AppendStat("table_insert_failures", static_cast<std::uint64_t>(table.insert_failures),
+             response_out);
+  for (const auto& hook : extra_stats_) {
+    hook(response_out);  // server- and durability-layer counters
+  }
+  if (request.stats_arg == "detail") {
+    AppendLatencyStats(response_out);
+    for (const auto& hook : detail_stats_) {
+      hook(response_out);  // durability-layer latency percentiles etc.
+    }
+  }
+  AppendEnd(response_out);
+}
+
+void KvService::AppendLatencyStats(std::string* out) const {
+  for (std::size_t i = 0; i < kCommandKinds; ++i) {
+    const obs::HistogramSnapshot h = cmd_ns_[i].Snapshot();
+    if (h.Count() == 0) {
+      continue;
+    }
+    AppendHistStats(std::string("cmd_") + CommandName(static_cast<RequestType>(i)) + "_ns",
+                    h, out);
+  }
+  const MapStatsSnapshot table = store_.Stats();
+  AppendStat("table_lock_contended", static_cast<std::uint64_t>(table.lock_contended), out);
+  AppendHistStats("table_lookup_ns", table.lookup_ns, out);
+  AppendHistStats("table_insert_ns", table.insert_ns, out);
+  AppendHistStats("table_expansion_pause_ns", table.expansion_pause_ns, out);
+}
+
+void KvService::AppendSlowlogStats(std::string* out) const {
+  AppendStat("slowlog_threshold_ns", slowlog_.threshold_ns(), out);
+  AppendStat("slowlog_total", slowlog_.TotalLogged(), out);
+  // One line per retained entry, oldest first:
+  //   STAT slowlog_entry <id> <latency_ns> <op> [<key>]
+  for (const obs::Slowlog::Entry& e : slowlog_.Entries()) {
+    out->append("STAT slowlog_entry ");
+    out->append(std::to_string(e.id));
+    out->push_back(' ');
+    out->append(std::to_string(e.latency_ns));
+    out->push_back(' ');
+    out->append(e.op);
+    if (!e.detail.empty()) {
+      out->push_back(' ');
+      out->append(e.detail);
+    }
+    out->append("\r\n");
+  }
+}
+
+void KvService::AppendMetricsText(std::string* out) const {
+  obs::AppendGauge("cuckoo_kv_items", "Live entries in the store.",
+                   static_cast<double>(ItemCount()), out);
+  obs::AppendCounter("cuckoo_kv_get_hits_total", "get keys served from the table.",
+                     GetHits(), out);
+  obs::AppendCounter("cuckoo_kv_get_misses_total", "get keys not found (or expired).",
+                     GetMisses(), out);
+  obs::AppendCounter("cuckoo_kv_sets_total", "Successful set/cas stores.",
+                     static_cast<std::uint64_t>(sets_.Sum()), out);
+  obs::AppendCounter("cuckoo_kv_deletes_total", "Successful deletes.",
+                     static_cast<std::uint64_t>(deletes_.Sum()), out);
+  obs::AppendCounter("cuckoo_kv_expirations_total", "Entries reclaimed by lazy expiry.",
+                     Expirations(), out);
+  obs::AppendCounter("cuckoo_kv_slowlog_total",
+                     "Commands that crossed the slowlog threshold.",
+                     slowlog_.TotalLogged(), out);
+  for (std::size_t i = 0; i < kCommandKinds; ++i) {
+    const obs::HistogramSnapshot h = cmd_ns_[i].Snapshot();
+    if (h.Count() == 0) {
+      continue;
+    }
+    const std::string name = std::string("cuckoo_cmd_") +
+                             CommandName(static_cast<RequestType>(i)) + "_seconds";
+    obs::AppendLatencySummary(name, "End-to-end command latency.", h, 1e-9, out);
+  }
+  const MapStatsSnapshot table = store_.Stats();
+  obs::AppendCounter("cuckoo_table_lookups_total", "Cuckoo table lookups.",
+                     static_cast<std::uint64_t>(table.lookups), out);
+  obs::AppendCounter("cuckoo_table_read_retries_total",
+                     "Optimistic reads retried after a version bump.",
+                     static_cast<std::uint64_t>(table.read_retries), out);
+  obs::AppendCounter("cuckoo_table_path_searches_total", "BFS/DFS cuckoo path searches.",
+                     static_cast<std::uint64_t>(table.path_searches), out);
+  obs::AppendCounter("cuckoo_table_path_invalidations_total",
+                     "Cuckoo paths invalidated by racing writers.",
+                     static_cast<std::uint64_t>(table.path_invalidations), out);
+  obs::AppendCounter("cuckoo_table_displacements_total", "Slot displacements executed.",
+                     static_cast<std::uint64_t>(table.displacements), out);
+  obs::AppendCounter("cuckoo_table_expansions_total", "Table expansions.",
+                     static_cast<std::uint64_t>(table.expansions), out);
+  obs::AppendCounter("cuckoo_table_lock_contended_total",
+                     "Stripe-lock acquisitions that hit contention.",
+                     static_cast<std::uint64_t>(table.lock_contended), out);
+  obs::AppendLatencySummary("cuckoo_table_lookup_seconds",
+                            "Sampled in-table lookup latency.", table.lookup_ns, 1e-9, out);
+  obs::AppendLatencySummary("cuckoo_table_insert_seconds",
+                            "Sampled in-table insert latency.", table.insert_ns, 1e-9, out);
+  obs::AppendLatencySummary("cuckoo_table_expansion_pause_seconds",
+                            "Write pause while the table doubled.",
+                            table.expansion_pause_ns, 1e-9, out);
 }
 
 void KvService::Connection::Drive(std::string_view bytes, std::string* out) {

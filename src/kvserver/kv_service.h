@@ -21,6 +21,8 @@
 #include "src/common/per_thread_counter.h"
 #include "src/cuckoo/general_cuckoo_map.h"
 #include "src/kvserver/protocol.h"
+#include "src/obs/histogram.h"
+#include "src/obs/slowlog.h"
 
 namespace cuckoo {
 
@@ -76,6 +78,11 @@ class KvService {
     // Time source in seconds; injectable so TTL behaviour is testable
     // deterministically. Null = wall clock.
     std::function<std::uint64_t()> clock;
+    // Commands taking at least this long land in a bounded ring dumped by
+    // `stats slowlog`. 0 disables the log (the per-command latency
+    // histograms are always on).
+    std::uint64_t slowlog_threshold_ns = 0;
+    std::size_t slowlog_capacity = 128;
   };
 
   KvService() : KvService(Options{}) {}
@@ -114,6 +121,32 @@ class KvService {
   void AddExtraStatsHook(std::function<void(std::string*)> hook) {
     extra_stats_.push_back(std::move(hook));
   }
+
+  // Extra STAT lines appended only to `stats detail` responses — latency
+  // percentiles and other expensive-to-render reports live here so the plain
+  // `stats` hot path stays cheap. Same contract as AddExtraStatsHook.
+  void AddDetailStatsHook(std::function<void(std::string*)> hook) {
+    detail_stats_.push_back(std::move(hook));
+  }
+
+  // Prometheus text-format metrics for the service: per-command latency
+  // summaries, hit/miss/mutation counters, and the table-level cuckoo
+  // counters. Thread-safe; wire into a MetricsRegistry as a source.
+  void AppendMetricsText(std::string* out) const;
+
+  obs::Slowlog& slowlog() noexcept { return slowlog_; }
+  const obs::Slowlog& slowlog() const noexcept { return slowlog_; }
+
+  // Snapshot of the end-to-end Process() latency histogram for one command
+  // kind (benches and tests; `stats detail` serves the same data on-wire).
+  obs::HistogramSnapshot CommandLatency(RequestType type) const {
+    return cmd_ns_[static_cast<std::size_t>(type)].Snapshot();
+  }
+
+  // Toggle sampled latency recording inside the cuckoo table (the
+  // per-command histograms in this class are unaffected — they are one
+  // clock pair per network request and always on).
+  void SetLatencyProfiling(bool enabled) { store_.SetLatencyProfiling(enabled); }
 
   // ----- Recovery API (single-threaded, before serving traffic) -------------
 
@@ -173,10 +206,21 @@ class KvService {
   void HandleSet(const Request& request, std::string* out);
   void HandleCas(const Request& request, std::string* out);
   void HandleTouch(const Request& request, std::string* out);
+  void HandleStats(const Request& request, std::string* out);
+
+  // Process() minus the latency accounting (the switch on request type).
+  void Dispatch(const Request& request, std::string* out);
+  void AppendLatencyStats(std::string* out) const;
+  void AppendSlowlogStats(std::string* out) const;
+
+  // One histogram slot per RequestType value.
+  static constexpr std::size_t kCommandKinds = 8;
+  static const char* CommandName(RequestType type) noexcept;
 
   StoreMap store_;
   std::function<std::uint64_t()> clock_;
   std::vector<std::function<void(std::string*)>> extra_stats_;
+  std::vector<std::function<void(std::string*)>> detail_stats_;
   MutationObserver* observer_ = nullptr;
   std::function<bool()> bgsave_;
   std::atomic<std::uint64_t> next_cas_{1};
@@ -185,6 +229,8 @@ class KvService {
   PerThreadCounter sets_;
   PerThreadCounter deletes_;
   PerThreadCounter expirations_;
+  obs::Histogram cmd_ns_[kCommandKinds];  // end-to-end Process() latency
+  obs::Slowlog slowlog_;
 };
 
 }  // namespace cuckoo

@@ -92,11 +92,17 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
     return ParseStatus::kOk;
   }
   if (command == "stats") {
-    if (tokens.size() != 1) {
+    // stats [<arg>] — the optional argument selects a sub-report ("detail",
+    // "slowlog"); it is carried verbatim and validated by the service.
+    if (tokens.size() > 2) {
       return ParseStatus::kError;
     }
     out->type = RequestType::kStats;
     out->key.clear();
+    out->stats_arg.clear();
+    if (tokens.size() == 2) {
+      out->stats_arg.assign(tokens[1]);
+    }
     return ParseStatus::kOk;
   }
   if (command == "bgsave") {

@@ -9,7 +9,9 @@
 //   cas <key> <flags> <exptime> <bytes> <casid>\r\n<data>\r\n
 //   delete <key>\r\n
 //   touch <key> <exptime>\r\n
-//   stats\r\n
+//   stats [detail|slowlog]\r\n                      (detail adds latency
+//                                                    percentiles; slowlog dumps
+//                                                    the slow-op ring buffer)
 //   bgsave\r\n                                      (OK / BUSY; durability ext.)
 // Responses follow the memcached text protocol (VALUE/END, STORED, EXISTS,
 // DELETED, NOT_FOUND, TOUCHED, ERROR). exptime follows memcached semantics:
@@ -46,6 +48,7 @@ struct Request {
   std::uint32_t flags = 0;        // set/cas only
   std::uint32_t exptime = 0;
   std::uint64_t cas_id = 0;  // cas only
+  std::string stats_arg;     // stats only: optional sub-report ("detail", ...)
 };
 
 enum class ParseStatus : std::uint8_t {

@@ -1,0 +1,67 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cuckoo {
+namespace obs {
+namespace {
+
+void AppendDouble(double value, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out->append(buf);
+}
+
+void AppendHeader(const std::string& name, const std::string& help,
+                  const std::string& type, std::string* out) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+void AppendMetric(const std::string& name, const std::string& help,
+                  const std::string& type, double value, std::string* out) {
+  AppendHeader(name, help, type, out);
+  out->append(name).append(" ");
+  AppendDouble(value, out);
+  out->append("\n");
+}
+
+void AppendCounter(const std::string& name, const std::string& help,
+                   std::uint64_t value, std::string* out) {
+  AppendHeader(name, help, "counter", out);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(name).append(" ").append(buf).append("\n");
+}
+
+void AppendGauge(const std::string& name, const std::string& help, double value,
+                 std::string* out) {
+  AppendMetric(name, help, "gauge", value, out);
+}
+
+void AppendLatencySummary(const std::string& name, const std::string& help,
+                          const HistogramSnapshot& snapshot, double scale,
+                          std::string* out) {
+  AppendHeader(name, help, "summary", out);
+  static constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+  static const char* kLabels[] = {"0.5", "0.9", "0.99", "0.999"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    out->append(name).append("{quantile=\"").append(kLabels[i]).append("\"} ");
+    AppendDouble(static_cast<double>(snapshot.Percentile(kQuantiles[i])) * scale, out);
+    out->append("\n");
+  }
+  out->append(name).append("_sum ");
+  AppendDouble(static_cast<double>(snapshot.sum) * scale, out);
+  out->append("\n");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, snapshot.total);
+  out->append(name).append("_count ").append(buf).append("\n");
+  AppendGauge(name + "_max", help + " (maximum)",
+              static_cast<double>(snapshot.max) * scale, out);
+}
+
+}  // namespace obs
+}  // namespace cuckoo

@@ -1,0 +1,65 @@
+// Prometheus text-exposition rendering (format version 0.0.4).
+//
+// MetricsRegistry collects text sources — callbacks that append fully-formed
+// exposition lines — and renders them on demand; the HTTP endpoint
+// (metrics_http.h) serves the rendered page. Helpers below emit the two
+// shapes we use: plain counters/gauges and histogram summaries with
+// quantile labels.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/histogram.h"
+
+namespace cuckoo {
+namespace obs {
+
+// "# HELP name help\n# TYPE name type\nname value\n"
+void AppendMetric(const std::string& name, const std::string& help,
+                  const std::string& type, double value, std::string* out);
+void AppendCounter(const std::string& name, const std::string& help,
+                   std::uint64_t value, std::string* out);
+void AppendGauge(const std::string& name, const std::string& help, double value,
+                 std::string* out);
+
+// A Prometheus summary from a histogram snapshot, in seconds if the samples
+// are nanoseconds and `scale` is 1e-9 (quantile labels 0.5/0.9/0.99/0.999,
+// plus _sum, _count, and a _max gauge).
+void AppendLatencySummary(const std::string& name, const std::string& help,
+                          const HistogramSnapshot& snapshot, double scale,
+                          std::string* out);
+
+class MetricsRegistry {
+ public:
+  using Source = std::function<void(std::string*)>;
+
+  // Sources run in registration order on every render; they must be
+  // thread-safe. Register before serving.
+  void AddSource(Source source) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    sources_.push_back(std::move(source));
+  }
+
+  std::string Render() const {
+    std::string out;
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (const auto& source : sources_) {
+      source(&out);
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Source> sources_;
+};
+
+}  // namespace obs
+}  // namespace cuckoo
+
+#endif  // SRC_OBS_METRICS_H_

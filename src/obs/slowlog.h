@@ -1,0 +1,83 @@
+// Threshold-based slowlog: a bounded ring buffer of the most recent
+// operations whose latency exceeded a configured threshold (redis SLOWLOG
+// shape). The fast path — latency below threshold — is one branch; only
+// actual slow ops take the mutex, and a slow op by definition already paid
+// far more than a lock handoff.
+#ifndef SRC_OBS_SLOWLOG_H_
+#define SRC_OBS_SLOWLOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cuckoo {
+namespace obs {
+
+class Slowlog {
+ public:
+  struct Entry {
+    std::uint64_t id = 0;          // monotonically increasing
+    std::uint64_t latency_ns = 0;
+    std::string op;                // command name, e.g. "set"
+    std::string detail;            // typically the key
+  };
+
+  // threshold_ns == 0 disables the log entirely.
+  Slowlog(std::uint64_t threshold_ns, std::size_t capacity)
+      : threshold_ns_(threshold_ns), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  std::uint64_t threshold_ns() const noexcept { return threshold_ns_; }
+  bool enabled() const noexcept { return threshold_ns_ != 0; }
+
+  // Record `op` if it was slow enough. Returns true if logged.
+  bool MaybeRecord(std::uint64_t latency_ns, std::string_view op,
+                   std::string_view detail) {
+    if (threshold_ns_ == 0 || latency_ns < threshold_ns_) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (entries_.size() == capacity_) {
+      entries_.pop_front();
+    }
+    Entry e;
+    e.id = next_id_++;
+    e.latency_ns = latency_ns;
+    e.op.assign(op.data(), op.size());
+    e.detail.assign(detail.data(), detail.size());
+    entries_.push_back(std::move(e));
+    return true;
+  }
+
+  // Most recent entries, newest last.
+  std::vector<Entry> Entries() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return std::vector<Entry>(entries_.begin(), entries_.end());
+  }
+
+  // Total ops that ever crossed the threshold (not capped by capacity).
+  std::uint64_t TotalLogged() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return next_id_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    entries_.clear();
+  }
+
+ private:
+  const std::uint64_t threshold_ns_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace obs
+}  // namespace cuckoo
+
+#endif  // SRC_OBS_SLOWLOG_H_

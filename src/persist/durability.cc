@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/kvserver/protocol.h"
+#include "src/obs/metrics.h"
 #include "src/persist/snapshot.h"
 
 namespace cuckoo {
@@ -27,6 +28,7 @@ bool DurabilityManager::Start(DurabilityOptions options, std::string* error) {
   service_->SetMutationObserver(this);
   service_->SetBgsaveHook([this] { return TriggerSnapshot(); });
   service_->AddExtraStatsHook([this](std::string* out) { AppendStats(out); });
+  service_->AddDetailStatsHook([this](std::string* out) { AppendDetailStats(out); });
   stop_ = false;
   started_ = true;
   snapshot_thread_ = std::thread(&DurabilityManager::SnapshotWorker, this);
@@ -106,6 +108,7 @@ void DurabilityManager::SnapshotWorker() {
 
 bool DurabilityManager::RunSnapshot() {
   const std::uint64_t bytes_before = wal_.BytesAppended();
+  const std::uint64_t walk_start = NowNanos();
   SnapshotWriteStats stats;
   std::string error;
   if (!WriteKvSnapshot(*service_, options_.dir, [this] { return wal_.LastAssignedLsn(); },
@@ -113,6 +116,9 @@ bool DurabilityManager::RunSnapshot() {
     snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // Walk + publish duration for the whole successful round (including
+  // validation retries); the table was never globally locked during it.
+  snapshot_walk_ns_.Record(NowNanos() - walk_start);
   snapshots_completed_.fetch_add(1, std::memory_order_relaxed);
   last_snapshot_lsn_.store(stats.wal_lsn, std::memory_order_relaxed);
   last_snapshot_entries_.store(stats.entries, std::memory_order_relaxed);
@@ -161,6 +167,54 @@ void DurabilityManager::AppendStats(std::string* out) const {
   AppendStat("recovery_wal_records_applied", recovery_.wal_records_applied, out);
   AppendStat("recovery_truncated_tail", recovery_.truncated_tail ? 1 : 0, out);
   AppendStat("recovery_next_lsn", recovery_.next_lsn, out);
+}
+
+void DurabilityManager::AppendDetailStats(std::string* out) const {
+  const obs::HistogramSnapshot durable = append_durable_ns_.Snapshot();
+  AppendStat("wal_append_durable_ns_p50", durable.P50(), out);
+  AppendStat("wal_append_durable_ns_p99", durable.P99(), out);
+  AppendStat("wal_append_durable_ns_p999", durable.P999(), out);
+  AppendStat("wal_append_durable_ns_max", durable.Max(), out);
+  AppendStat("wal_append_durable_count", durable.Count(), out);
+  const obs::HistogramSnapshot batch = wal_.BatchRecordsSnapshot();
+  AppendStat("wal_batch_records_p50", batch.P50(), out);
+  AppendStat("wal_batch_records_p99", batch.P99(), out);
+  AppendStat("wal_batch_records_max", batch.Max(), out);
+  const obs::HistogramSnapshot walk = snapshot_walk_ns_.Snapshot();
+  AppendStat("snapshot_walk_ns_p50", walk.P50(), out);
+  AppendStat("snapshot_walk_ns_max", walk.Max(), out);
+  AppendStat("snapshot_walk_count", walk.Count(), out);
+}
+
+void DurabilityManager::AppendMetricsText(std::string* out) const {
+  const WalStats w = wal_.Stats();
+  obs::AppendCounter("cuckoo_wal_records_appended_total", "WAL records appended",
+                     w.records_appended, out);
+  obs::AppendCounter("cuckoo_wal_bytes_appended_total", "WAL bytes appended",
+                     w.bytes_appended, out);
+  obs::AppendCounter("cuckoo_wal_fsyncs_total", "WAL fsync calls", w.fsyncs, out);
+  obs::AppendCounter("cuckoo_wal_group_commits_total", "WAL group-commit drain batches",
+                     w.group_commits, out);
+  obs::AppendGauge("cuckoo_wal_durable_lsn", "highest durable log sequence number",
+                   static_cast<double>(w.durable_lsn), out);
+  obs::AppendGauge("cuckoo_wal_io_error", "1 if the WAL is in its sticky I/O-error state",
+                   w.io_error ? 1.0 : 0.0, out);
+  obs::AppendCounter("cuckoo_snapshots_completed_total", "online snapshots completed",
+                     snapshots_completed_.load(std::memory_order_relaxed), out);
+  obs::AppendCounter("cuckoo_snapshot_failures_total", "online snapshot rounds that failed",
+                     snapshot_failures_.load(std::memory_order_relaxed), out);
+  // Seconds-scaled summaries, per Prometheus conventions.
+  obs::AppendLatencySummary(
+      std::string("cuckoo_wal_append_durable_seconds"),
+      std::string("append to durable-ack latency (fsync policy: ") +
+          FsyncPolicyName(options_.fsync_policy) + ")",
+      append_durable_ns_.Snapshot(), 1e-9, out);
+  obs::AppendLatencySummary("cuckoo_wal_group_commit_records",
+                            "records per group-commit batch",
+                            wal_.BatchRecordsSnapshot(), 1.0, out);
+  obs::AppendLatencySummary("cuckoo_snapshot_walk_seconds",
+                            "fuzzy snapshot walk+publish duration",
+                            snapshot_walk_ns_.Snapshot(), 1e-9, out);
 }
 
 }  // namespace persist

@@ -20,7 +20,9 @@
 #include <string>
 #include <thread>
 
+#include "src/common/timing.h"
 #include "src/kvserver/kv_service.h"
+#include "src/obs/histogram.h"
 #include "src/persist/recovery.h"
 #include "src/persist/wal.h"
 
@@ -67,21 +69,56 @@ class DurabilityManager : public KvService::MutationObserver {
   }
 
   // KvService::MutationObserver — called inside bucket critical sections.
+  // Each hook stamps the thread's append time; the same connection thread
+  // calls WaitDurable before acking, closing the append->durable interval
+  // (the client-visible durability cost under the configured fsync policy).
   std::uint64_t OnSet(std::string_view key, const KvService::StoredValue& stored) override {
+    append_start_ns() = NowNanos();
     return wal_.Append(WalRecord::Type::kSet, key, stored.data, stored.flags,
                        stored.expires_at, stored.cas_id);
   }
   std::uint64_t OnDelete(std::string_view key) override {
+    append_start_ns() = NowNanos();
     return wal_.Append(WalRecord::Type::kDelete, key, {}, 0, 0, 0);
   }
-  bool WaitDurable(std::uint64_t lsn) override { return wal_.WaitDurable(lsn); }
+  bool WaitDurable(std::uint64_t lsn) override {
+    const bool ok = wal_.WaitDurable(lsn);
+    std::uint64_t& start = append_start_ns();
+    if (start != 0) {
+      append_durable_ns_.Record(NowNanos() - start);
+      start = 0;
+    }
+    return ok;
+  }
 
   // Append "STAT wal_*/snapshot_*/recovery_*" lines (stats hook body).
   void AppendStats(std::string* out) const;
 
+  // `stats detail` additions: latency percentiles (append->durable under the
+  // active fsync policy, snapshot walk) and the group-commit batch-size
+  // distribution.
+  void AppendDetailStats(std::string* out) const;
+
+  // Prometheus text exposition for the same series (metrics endpoint).
+  void AppendMetricsText(std::string* out) const;
+
+  obs::HistogramSnapshot AppendDurableSnapshot() const {
+    return append_durable_ns_.Snapshot();
+  }
+  obs::HistogramSnapshot SnapshotWalkSnapshot() const {
+    return snapshot_walk_ns_.Snapshot();
+  }
+
  private:
   void SnapshotWorker();
   bool RunSnapshot();
+
+  // Per-thread append timestamp consumed by WaitDurable on the same thread
+  // (the service calls observer hooks and WaitDurable sequentially per op).
+  static std::uint64_t& append_start_ns() noexcept {
+    thread_local std::uint64_t start = 0;
+    return start;
+  }
 
   KvService* service_;
   DurabilityOptions options_;
@@ -107,6 +144,11 @@ class DurabilityManager : public KvService::MutationObserver {
   std::atomic<std::uint64_t> last_snapshot_entries_{0};
   std::atomic<std::uint64_t> snapshot_walk_lock_fallbacks_{0};
   std::atomic<std::uint64_t> snapshot_displaced_entries_{0};
+
+  // Latency distributions (nanoseconds). Append->durable is recorded on
+  // every acked mutation; snapshot walks are rare and recorded per round.
+  obs::Histogram append_durable_ns_;
+  obs::Histogram snapshot_walk_ns_;
 };
 
 }  // namespace persist

@@ -4,14 +4,18 @@
 //   cuckoo_kv_server --wal-dir=/var/lib/ckv [--fsync-policy=everysec]
 //                    [--unix=/tmp/ckv.sock] [--tcp-port=0] [--event-threads=4]
 //                    [--segment-bytes=N] [--snapshot-trigger-bytes=N]
-//                    [--max-connections=N]
+//                    [--max-connections=N] [--metrics-port=N]
+//                    [--slowlog-threshold-us=N] [--slowlog-capacity=N]
 //
 // Without --wal-dir the server runs purely in memory (no durability).
-// After startup it prints exactly one line to stdout:
+// After startup it prints a READY line to stdout:
 //   READY <tcp_port> <unix_path>
-// (test harnesses block on this). SIGTERM/SIGINT trigger a graceful stop:
-// drain connections, flush + fsync the WAL, then exit 0 — an acked write can
-// never be lost by a clean shutdown, under any fsync policy.
+// (test harnesses block on this). With --metrics-port a Prometheus text
+// endpoint is served on 127.0.0.1 (0 = kernel-assigned) and a second line
+//   METRICS <port>
+// follows READY. SIGTERM/SIGINT trigger a graceful stop: drain connections,
+// flush + fsync the WAL, then exit 0 — an acked write can never be lost by a
+// clean shutdown, under any fsync policy.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +24,8 @@
 #include "src/benchkit/flags.h"
 #include "src/kvserver/kv_service.h"
 #include "src/kvserver/socket_server.h"
+#include "src/obs/metrics.h"
+#include "src/obs/metrics_http.h"
 #include "src/persist/durability.h"
 
 int main(int argc, char** argv) {
@@ -50,6 +56,10 @@ int main(int argc, char** argv) {
   KvService::Options service_options;
   service_options.initial_bucket_count_log2 =
       static_cast<std::size_t>(flags.GetInt("bucket-count-log2", 12));
+  service_options.slowlog_threshold_ns =
+      static_cast<std::uint64_t>(flags.GetInt("slowlog-threshold-us", 0)) * 1000;
+  service_options.slowlog_capacity =
+      static_cast<std::size_t>(flags.GetInt("slowlog-capacity", 128));
   KvService service(service_options);
 
   persist::DurabilityManager durability(&service);
@@ -89,8 +99,28 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Prometheus endpoint, localhost-only. --metrics-port=0 asks the kernel
+  // for a port; the chosen one is announced on the METRICS line.
+  obs::MetricsRegistry metrics;
+  obs::MetricsHttpServer metrics_server(&metrics);
+  const bool want_metrics = flags.Has("metrics-port");
+  if (want_metrics) {
+    metrics.AddSource([&service](std::string* out) { service.AppendMetricsText(out); });
+    if (!wal_dir.empty()) {
+      metrics.AddSource(
+          [&durability](std::string* out) { durability.AppendMetricsText(out); });
+    }
+    if (!metrics_server.Start(static_cast<std::uint16_t>(flags.GetInt("metrics-port", 0)))) {
+      std::fprintf(stderr, "cannot bind metrics endpoint\n");
+      return 1;
+    }
+  }
+
   std::printf("READY %u %s\n", static_cast<unsigned>(server.tcp_port()),
               unix_path.empty() ? "-" : unix_path.c_str());
+  if (want_metrics) {
+    std::printf("METRICS %u\n", static_cast<unsigned>(metrics_server.port()));
+  }
   std::fflush(stdout);
 
   int sig = 0;
@@ -99,6 +129,7 @@ int main(int argc, char** argv) {
 
   // Order matters: stop serving first (no new mutations), then flush +
   // fsync the log so every applied mutation is on disk before exit.
+  metrics_server.Stop();
   server.Stop();
   if (!wal_dir.empty()) {
     durability.Stop();

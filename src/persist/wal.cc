@@ -307,6 +307,7 @@ void WriteAheadLog::WriterLoop() {
       if (ok && !batch.empty()) {
         ok = file_.Append(batch);
         group_commits_.fetch_add(1, std::memory_order_relaxed);
+        batch_records_hist_.Record(batch_records);
         std::uint64_t prev = max_batch_records_.load(std::memory_order_relaxed);
         while (batch_records > prev &&
                !max_batch_records_.compare_exchange_weak(prev, batch_records,

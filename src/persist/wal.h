@@ -42,6 +42,7 @@
 #include <thread>
 
 #include "src/common/file_util.h"
+#include "src/obs/histogram.h"
 
 namespace cuckoo {
 namespace persist {
@@ -136,6 +137,13 @@ class WriteAheadLog {
 
   WalStats Stats() const;
 
+  // Distribution of records per group-commit drain batch (how well the
+  // group commit amortizes: p50 of 1 = no batching, p50 of N = N acks per
+  // write/fsync round).
+  obs::HistogramSnapshot BatchRecordsSnapshot() const {
+    return batch_records_hist_.Snapshot();
+  }
+
   // Delete closed segments every record of which has lsn < `lsn` (i.e. fully
   // covered by a snapshot at `lsn`). The active segment is never removed.
   void RemoveSegmentsBelow(std::uint64_t lsn);
@@ -175,6 +183,7 @@ class WriteAheadLog {
 
   // Counters (writer thread only, read via Stats()).
   std::atomic<std::uint64_t> records_appended_{0};
+  obs::Histogram batch_records_hist_;  // records per group-commit drain
   std::atomic<std::uint64_t> fsyncs_{0};
   std::atomic<std::uint64_t> group_commits_{0};
   std::atomic<std::uint64_t> max_batch_records_{0};

@@ -7,7 +7,9 @@
 // framing, torn tails, snapshot + replay, LSN continuity) rather than the
 // physical fsync barrier itself. The fsync_policy=always path is still
 // exercised end-to-end because every ack waits on a covering fsync.
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -89,12 +91,27 @@ class ServerProcess {
     ::close(out_pipe[1]);
     stdout_fd_ = out_pipe[0];
     // Wait for the READY line (recovery may take a moment).
+    const std::string line = ReadStdoutLine();
+    ASSERT_EQ(line.rfind("READY ", 0), 0u) << "server said: " << line;
+    // With --metrics-port the server announces the bound port on a second
+    // line: "METRICS <port>".
+    for (const std::string& a : extra_args) {
+      if (a.rfind("--metrics-port", 0) == 0) {
+        const std::string metrics = ReadStdoutLine();
+        ASSERT_EQ(metrics.rfind("METRICS ", 0), 0u) << "server said: " << metrics;
+        metrics_port_ = std::atoi(metrics.c_str() + 8);
+        ASSERT_GT(metrics_port_, 0);
+      }
+    }
+  }
+
+  std::string ReadStdoutLine() {
     std::string line;
     char c = 0;
     while (::read(stdout_fd_, &c, 1) == 1 && c != '\n') {
       line.push_back(c);
     }
-    ASSERT_EQ(line.rfind("READY ", 0), 0u) << "server said: " << line;
+    return line;
   }
 
  public:
@@ -128,10 +145,12 @@ class ServerProcess {
   }
 
   const std::string& sock_path() const { return sock_path_; }
+  int metrics_port() const { return metrics_port_; }
 
  private:
   pid_t pid_ = -1;
   int stdout_fd_ = -1;
+  int metrics_port_ = 0;
   std::string sock_path_;
 };
 
@@ -309,6 +328,136 @@ TEST(CrashRecoveryTest, SigtermFlushesEverySecPolicyBeforeExit) {
     ASSERT_EQ(client.Get("key" + std::to_string(i)), ValueFor(i))
         << "key" << i << " lost across a clean SIGTERM shutdown";
   }
+}
+
+// Fetch a path from the server's metrics HTTP endpoint (plain HTTP/1.0 over
+// loopback TCP). Returns the raw response, or "" on any socket failure.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// Extracts the value of "STAT <name> <value>\r\n" from a stats response, or
+// -1 if the line is absent.
+long long StatValue(const std::string& stats, const std::string& name) {
+  const std::string needle = "STAT " + name + " ";
+  const std::size_t pos = stats.find(needle);
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  return std::atoll(stats.c_str() + pos + needle.size());
+}
+
+TEST(CrashRecoveryTest, StatsDetailAndMetricsEndpointSurviveKill9) {
+  TempDir dir;
+  const std::string sock = dir.path + "/srv.sock";
+  const std::string wal_dir = dir.path + "/wal";
+
+  {
+    ServerProcess server(wal_dir, sock, "always",
+                         {"--metrics-port=0", "--slowlog-threshold-us=0"});
+    ASSERT_GT(server.metrics_port(), 0);
+    Client client(sock);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(client.Set("key" + std::to_string(i), ValueFor(i)));
+    }
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(client.Get("key" + std::to_string(i)), ValueFor(i));
+    }
+
+    // `stats detail` layers latency percentiles and durability histograms on
+    // top of the base stats (which must still be present).
+    const std::string detail = client.Roundtrip("stats detail\r\n", "END\r\n");
+    EXPECT_GT(StatValue(detail, "curr_items"), 0) << detail;
+    EXPECT_EQ(StatValue(detail, "cmd_get_ns_count"), 200) << detail;
+    EXPECT_EQ(StatValue(detail, "cmd_set_ns_count"), 200) << detail;
+    EXPECT_GT(StatValue(detail, "cmd_get_ns_p50"), 0) << detail;
+    EXPECT_GE(StatValue(detail, "cmd_get_ns_p999"), StatValue(detail, "cmd_get_ns_p50"));
+    EXPECT_GT(StatValue(detail, "cmd_set_ns_p99"), 0) << detail;
+    EXPECT_EQ(StatValue(detail, "wal_append_durable_count"), 200) << detail;
+    EXPECT_GT(StatValue(detail, "wal_append_durable_ns_p50"), 0) << detail;
+    EXPECT_GE(StatValue(detail, "wal_batch_records_p50"), 1) << detail;
+    // Plain `stats` must NOT grow the detail lines (back-compat).
+    const std::string plain = client.Roundtrip("stats\r\n", "END\r\n");
+    EXPECT_EQ(plain.find("cmd_get_ns_p50"), std::string::npos) << plain;
+
+    // The Prometheus endpoint serves both service and durability families.
+    const std::string page = HttpGet(server.metrics_port(), "/metrics");
+    EXPECT_NE(page.find("HTTP/1.0 200 OK"), std::string::npos) << page;
+    EXPECT_NE(page.find("cuckoo_kv_sets_total 200\n"), std::string::npos) << page;
+    EXPECT_NE(page.find("cuckoo_kv_get_hits_total 200\n"), std::string::npos) << page;
+    EXPECT_NE(page.find("cuckoo_cmd_get_seconds{quantile=\"0.99\"}"), std::string::npos);
+    EXPECT_NE(page.find("cuckoo_wal_records_appended_total 200\n"), std::string::npos);
+    EXPECT_NE(page.find("cuckoo_wal_append_durable_seconds_count 200\n"),
+              std::string::npos);
+    EXPECT_NE(page.find("cuckoo_table_lookups_total"), std::string::npos);
+
+    server.Kill9();
+  }
+
+  // After a crash + recovery the observability surface must come back too,
+  // with fresh histograms and recovery counters.
+  ServerProcess server(wal_dir, sock, "always", {"--metrics-port=0"});
+  ASSERT_GT(server.metrics_port(), 0);
+  Client client(sock);
+  ASSERT_EQ(client.Get("key7"), ValueFor(7));
+  const std::string detail = client.Roundtrip("stats detail\r\n", "END\r\n");
+  EXPECT_EQ(StatValue(detail, "recovery_wal_records_applied"), 200) << detail;
+  EXPECT_GT(StatValue(detail, "cmd_get_ns_p50"), 0) << detail;
+  const std::string page = HttpGet(server.metrics_port(), "/metrics");
+  EXPECT_NE(page.find("cuckoo_wal_durable_lsn"), std::string::npos) << page;
+  EXPECT_NE(page.find("cuckoo_kv_items 200\n"), std::string::npos) << page;
+}
+
+TEST(CrashRecoveryTest, SlowlogCapturesSlowCommandsOverTheWire) {
+  TempDir dir;
+  const std::string sock = dir.path + "/srv.sock";
+  const std::string wal_dir = dir.path + "/wal";
+
+  // Threshold 0us is "disabled"; use 1us so real fsync-backed sets (tens of
+  // microseconds at least) always qualify.
+  ServerProcess server(wal_dir, sock, "always",
+                       {"--slowlog-threshold-us=1", "--slowlog-capacity=16"});
+  Client client(sock);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.Set("slowkey" + std::to_string(i), ValueFor(i)));
+  }
+  const std::string slowlog = client.Roundtrip("stats slowlog\r\n", "END\r\n");
+  EXPECT_EQ(StatValue(slowlog, "slowlog_threshold_ns"), 1000) << slowlog;
+  EXPECT_GE(StatValue(slowlog, "slowlog_total"), 8) << slowlog;
+  EXPECT_NE(slowlog.find(" set slowkey7\r\n"), std::string::npos) << slowlog;
+  // Unknown stats sub-commands are rejected, not silently treated as plain.
+  const std::string bad = client.Roundtrip("stats bogus\r\n", "\r\n");
+  EXPECT_EQ(bad.rfind("ERROR", 0), 0u) << bad;
+  server.Terminate();
 }
 
 TEST(CrashRecoveryTest, RestartExposesDurabilityStats) {

@@ -1,0 +1,150 @@
+// Tests for the Prometheus text renderer, the metrics registry, the slowlog
+// ring, and the /metrics HTTP endpoint (fetched over a real TCP socket).
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kvserver/socket_server.h"
+#include "src/obs/histogram.h"
+#include "src/obs/metrics.h"
+#include "src/obs/metrics_http.h"
+#include "src/obs/slowlog.h"
+
+namespace cuckoo {
+namespace obs {
+namespace {
+
+TEST(MetricsTextTest, CounterAndGaugeFormat) {
+  std::string out;
+  AppendCounter("app_ops_total", "Operations.", 42, &out);
+  EXPECT_NE(out.find("# HELP app_ops_total Operations.\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE app_ops_total counter\n"), std::string::npos);
+  EXPECT_NE(out.find("app_ops_total 42\n"), std::string::npos);
+
+  out.clear();
+  AppendGauge("app_items", "Items.", 7.5, &out);
+  EXPECT_NE(out.find("# TYPE app_items gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("app_items 7.5\n"), std::string::npos);
+}
+
+TEST(MetricsTextTest, LatencySummaryQuantilesAndScale) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(static_cast<std::uint64_t>(i) * 1000);  // 1us .. 1ms in ns
+  }
+  std::string out;
+  AppendLatencySummary("op_seconds", "Op latency.", h.Snapshot(), 1e-9, &out);
+  EXPECT_NE(out.find("# TYPE op_seconds summary\n"), std::string::npos);
+  for (const char* q : {"0.5", "0.9", "0.99", "0.999"}) {
+    EXPECT_NE(out.find(std::string("op_seconds{quantile=\"") + q + "\"} "),
+              std::string::npos)
+        << out;
+  }
+  EXPECT_NE(out.find("op_seconds_count 1000\n"), std::string::npos);
+  EXPECT_NE(out.find("op_seconds_sum "), std::string::npos);
+  EXPECT_NE(out.find("op_seconds_max "), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RendersSourcesInOrder) {
+  MetricsRegistry registry;
+  registry.AddSource([](std::string* out) { out->append("first 1\n"); });
+  registry.AddSource([](std::string* out) { out->append("second 2\n"); });
+  const std::string page = registry.Render();
+  EXPECT_LT(page.find("first 1"), page.find("second 2"));
+}
+
+TEST(SlowlogTest, ThresholdZeroDisables) {
+  Slowlog log(0, 8);
+  EXPECT_FALSE(log.enabled());
+  EXPECT_FALSE(log.MaybeRecord(1000000, "set", "k"));
+  EXPECT_EQ(log.TotalLogged(), 0u);
+}
+
+TEST(SlowlogTest, RecordsOnlyAboveThresholdAndCapsRing) {
+  Slowlog log(100, 4);
+  EXPECT_FALSE(log.MaybeRecord(99, "get", "fast"));
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(log.MaybeRecord(100 + i, "set", "key" + std::to_string(i)));
+  }
+  EXPECT_EQ(log.TotalLogged(), 10u);
+  const std::vector<Slowlog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 4u);  // ring capped; oldest evicted
+  EXPECT_EQ(entries.front().detail, "key6");
+  EXPECT_EQ(entries.back().detail, "key9");
+  EXPECT_EQ(entries.back().latency_ns, 109u);
+  EXPECT_EQ(entries.back().op, "set");
+  log.Clear();
+  EXPECT_TRUE(log.Entries().empty());
+  EXPECT_EQ(log.TotalLogged(), 10u);  // total survives Clear
+}
+
+// Fetch a path from the local metrics server; returns the raw HTTP response.
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  SocketClient client("127.0.0.1", port);
+  if (!client.connected()) {
+    return "";
+  }
+  if (!client.Send("GET " + path + " HTTP/1.0\r\n\r\n")) {
+    return "";
+  }
+  std::string response;
+  while (client.Receive(&response) > 0) {
+  }
+  return response;
+}
+
+TEST(MetricsHttpTest, ServesRegistryOnEphemeralPort) {
+  MetricsRegistry registry;
+  registry.AddSource([](std::string* out) {
+    AppendCounter("demo_total", "Demo.", 5, out);
+  });
+  MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0));
+  ASSERT_NE(server.port(), 0);
+
+  const std::string response = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("demo_total 5\n"), std::string::npos);
+
+  EXPECT_NE(HttpGet(server.port(), "/health").find("ok"), std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/nope").find("404"), std::string::npos);
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, ConcurrentScrapesAllSucceed) {
+  MetricsRegistry registry;
+  registry.AddSource([](std::string* out) {
+    AppendCounter("scrape_total", "Scrapes.", 1, out);
+  });
+  MetricsHttpServer server(&registry);
+  ASSERT_TRUE(server.Start(0));
+  constexpr int kThreads = 4;
+  std::vector<std::thread> team;
+  std::vector<int> ok(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) {
+        if (HttpGet(server.port(), "/metrics").find("scrape_total 1") !=
+            std::string::npos) {
+          ++ok[t];
+        }
+      }
+    });
+  }
+  for (auto& th : team) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(ok[t], 8);
+  }
+  EXPECT_GE(server.RequestsServed(), static_cast<std::uint64_t>(kThreads) * 8);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cuckoo
