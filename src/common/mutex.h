@@ -1,0 +1,75 @@
+// Annotated mutex wrapper. libstdc++'s std::mutex carries no thread-safety
+// attributes, so code locking it is invisible to Clang Thread Safety
+// Analysis. cuckoo::Mutex is a zero-cost wrapper that gives the analysis a
+// capability to track, and MutexLock is the matching scoped guard.
+//
+// Condition variables stay std::condition_variable: MutexLock exposes its
+// underlying std::unique_lock for cv.wait(). The analysis does not see the
+// unlock/relock inside wait — that is fine (and is how absl::Mutex-style
+// annotated wrappers behave too): the capability is held at every point the
+// guarded fields are actually read, because wait() returns with the lock
+// re-acquired. Predicate lambdas, however, are analyzed as separate
+// functions with no capabilities, so guarded fields must be tested in
+// explicit `while (!pred) cv.wait(...)` loops, not in `cv.wait(lk, pred)`.
+#ifndef SRC_COMMON_MUTEX_H_
+#define SRC_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace cuckoo {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // For std::unique_lock / condition_variable interop (MutexLock below).
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// Scoped lock over cuckoo::Mutex. Also usable where a condition variable
+// needs a std::unique_lock: `cv.wait(lk.native_handle())`.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lk_(mu.native_handle()) {}
+  ~MutexLock() RELEASE() {}  // lk_'s destructor performs the unlock
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native_handle() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+// Generic scoped lock for any annotated capability type exposing
+// lock()/unlock() (SpinLock, ElidedLock<L>, NullLock). std::lock_guard
+// works functionally but, like std::mutex, is unannotated — the analysis
+// would flag the guarded accesses as unprotected.
+template <typename LockT>
+class SCOPED_CAPABILITY ScopedLock {
+ public:
+  explicit ScopedLock(LockT& lock) ACQUIRE(lock) : lock_(lock) { lock_.lock(); }
+  ~ScopedLock() RELEASE() { lock_.unlock(); }
+
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  LockT& lock_;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_MUTEX_H_

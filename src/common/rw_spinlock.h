@@ -9,16 +9,17 @@
 #include <thread>
 
 #include "src/common/cpu.h"
+#include "src/common/thread_annotations.h"
 
 namespace cuckoo {
 
-class RwSpinLock {
+class CAPABILITY("rw_spinlock") RwSpinLock {
  public:
   RwSpinLock() noexcept = default;
   RwSpinLock(const RwSpinLock&) = delete;
   RwSpinLock& operator=(const RwSpinLock&) = delete;
 
-  void LockShared() noexcept {
+  void LockShared() noexcept ACQUIRE_SHARED() {
     int spins = 0;
     for (;;) {
       std::uint32_t s = state_.load(std::memory_order_relaxed);
@@ -32,9 +33,11 @@ class RwSpinLock {
     }
   }
 
-  void UnlockShared() noexcept { state_.fetch_sub(kReaderUnit, std::memory_order_release); }
+  void UnlockShared() noexcept RELEASE_SHARED() {
+    state_.fetch_sub(kReaderUnit, std::memory_order_release);
+  }
 
-  void Lock() noexcept {
+  void Lock() noexcept ACQUIRE() {
     state_.fetch_or(kWriterPending, std::memory_order_relaxed);
     int spins = 0;
     for (;;) {
@@ -53,7 +56,7 @@ class RwSpinLock {
     }
   }
 
-  void Unlock() noexcept { state_.store(0, std::memory_order_release); }
+  void Unlock() noexcept RELEASE() { state_.store(0, std::memory_order_release); }
 
  private:
   // Layout: bit0 = writer held, bit1 = writer pending, bits 2.. = reader count.

@@ -13,16 +13,17 @@
 #include <thread>
 
 #include "src/common/cpu.h"
+#include "src/common/thread_annotations.h"
 
 namespace cuckoo {
 
-class SpinLock {
+class CAPABILITY("spinlock") SpinLock {
  public:
   SpinLock() noexcept = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept ACQUIRE() {
     int spins = 0;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) {
@@ -41,12 +42,12 @@ class SpinLock {
     }
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept TRY_ACQUIRE(true) {
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept RELEASE() { locked_.store(false, std::memory_order_release); }
 
   bool is_locked() const noexcept { return locked_.load(std::memory_order_relaxed); }
 

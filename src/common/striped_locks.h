@@ -14,11 +14,20 @@
 #include "src/common/debug_checks.h"
 #include "src/common/per_thread_counter.h"
 #include "src/common/test_points.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/version_lock.h"
 
 namespace cuckoo {
 
-class LockStripes {
+// Thread-safety-analysis note: the analysis has no notion of "stripe i of
+// N", so LockStripes is modeled as ONE coarse capability meaning "this
+// thread holds some stripes of this table". The per-method ACQUIRE/RELEASE
+// contracts below are what call sites are checked against (a path touching a
+// REQUIRES(stripes_) helper without a guard, or a double-release, still
+// fails to compile); the bodies — which manipulate the individual annotated
+// VersionLocks — are excluded from analysis, and their actual discipline is
+// enforced at runtime by CUCKOO_DEBUG_CHECKS stripe-order tracking.
+class CAPABILITY("lock_stripes") LockStripes {
  public:
   static constexpr std::size_t kDefaultStripeCount = 2048;
 
@@ -54,7 +63,8 @@ class LockStripes {
   // (§4.4: "Locks of the pair of buckets are ordered by the bucket id to avoid
   // deadlock. If two buckets share the same lock, then only one lock is
   // acquired and released").
-  void LockPair(std::size_t b1, std::size_t b2) noexcept {
+  void LockPair(std::size_t b1, std::size_t b2) noexcept ACQUIRE()
+      NO_THREAD_SAFETY_ANALYSIS {
     std::size_t s1 = StripeFor(b1);
     std::size_t s2 = StripeFor(b2);
     if (s1 > s2) {
@@ -71,7 +81,8 @@ class LockStripes {
     }
   }
 
-  void UnlockPair(std::size_t b1, std::size_t b2) noexcept {
+  void UnlockPair(std::size_t b1, std::size_t b2) noexcept RELEASE()
+      NO_THREAD_SAFETY_ANALYSIS {
     std::size_t s1 = StripeFor(b1);
     std::size_t s2 = StripeFor(b2);
     CUCKOO_DEBUG_STRIPE_RELEASE(this, s1);
@@ -83,7 +94,8 @@ class LockStripes {
   }
 
   // Release a pair without bumping versions (no modification happened).
-  void UnlockPairNoModify(std::size_t b1, std::size_t b2) noexcept {
+  void UnlockPairNoModify(std::size_t b1, std::size_t b2) noexcept RELEASE()
+      NO_THREAD_SAFETY_ANALYSIS {
     std::size_t s1 = StripeFor(b1);
     std::size_t s2 = StripeFor(b2);
     CUCKOO_DEBUG_STRIPE_RELEASE(this, s1);
@@ -97,12 +109,14 @@ class LockStripes {
   // Single-stripe acquisition for walkers that hold at most one stripe at a
   // time (the fuzzy-snapshot scan). Same debug bookkeeping as LockPair;
   // holding exactly one stripe trivially satisfies the ordering discipline.
-  void LockStripe(std::size_t stripe_index) noexcept {
+  void LockStripe(std::size_t stripe_index) noexcept ACQUIRE()
+      NO_THREAD_SAFETY_ANALYSIS {
     CUCKOO_DEBUG_STRIPE_ACQUIRE(this, stripe_index);
     LockCounted(stripe_index);
   }
 
-  bool TryLockStripe(std::size_t stripe_index) noexcept {
+  bool TryLockStripe(std::size_t stripe_index) noexcept TRY_ACQUIRE(true)
+      NO_THREAD_SAFETY_ANALYSIS {
     if (!stripes_[stripe_index].TryLock()) {
       return false;
     }
@@ -110,7 +124,8 @@ class LockStripes {
     return true;
   }
 
-  void UnlockStripeNoModify(std::size_t stripe_index) noexcept {
+  void UnlockStripeNoModify(std::size_t stripe_index) noexcept RELEASE()
+      NO_THREAD_SAFETY_ANALYSIS {
     CUCKOO_DEBUG_STRIPE_RELEASE(this, stripe_index);
     stripes_[stripe_index].UnlockNoModify();
   }
@@ -121,14 +136,14 @@ class LockStripes {
   // 2048 locks in the lock-striped table". Ascending order obeys the same
   // discipline LockPair uses, so whole-table and pair acquisitions never
   // deadlock against each other.
-  void LockAll() noexcept {
+  void LockAll() noexcept ACQUIRE() NO_THREAD_SAFETY_ANALYSIS {
     for (std::size_t i = 0; i <= mask_; ++i) {
       CUCKOO_DEBUG_STRIPE_ACQUIRE(this, i);
       stripes_[i].Lock();
     }
   }
 
-  void UnlockAll() noexcept {
+  void UnlockAll() noexcept RELEASE() NO_THREAD_SAFETY_ANALYSIS {
     for (std::size_t i = 0; i <= mask_; ++i) {
       CUCKOO_DEBUG_STRIPE_RELEASE(this, i);
       stripes_[i].Unlock();
@@ -138,7 +153,7 @@ class LockStripes {
  private:
   // Uncontended path: one CAS, same as a direct Lock(). Contended path:
   // count, then spin in the blocking acquire we would have entered anyway.
-  void LockCounted(std::size_t stripe_index) noexcept {
+  void LockCounted(std::size_t stripe_index) noexcept NO_THREAD_SAFETY_ANALYSIS {
     if (stripes_[stripe_index].TryLock()) {
       return;
     }
@@ -154,28 +169,37 @@ class LockStripes {
 };
 
 // RAII guard over LockStripes::LockPair.
-class PairGuard {
+//
+// Release()/ReleaseNoModify() are deliberately NOT annotated as releases:
+// several call sites invoke them on a guard reference passed into a lambda
+// (GeneralCuckooMap::WithPair), and the analysis treats every lambda as an
+// unrelated function with an empty capability set, so an annotated release
+// there would be a guaranteed false positive. The destructor stays the
+// analysis-visible release; its body (and the ctor's, which acquires via a
+// member alias of the parameter) is excluded because conditional release
+// and parameter/member aliasing are both outside what the analysis tracks.
+class SCOPED_CAPABILITY PairGuard {
  public:
   PairGuard(LockStripes& stripes, std::size_t b1, std::size_t b2) noexcept
-      : stripes_(stripes), b1_(b1), b2_(b2) {
+      ACQUIRE(stripes) NO_THREAD_SAFETY_ANALYSIS : stripes_(stripes), b1_(b1), b2_(b2) {
     stripes_.LockPair(b1_, b2_);
   }
   PairGuard(const PairGuard&) = delete;
   PairGuard& operator=(const PairGuard&) = delete;
-  ~PairGuard() {
+  ~PairGuard() RELEASE() NO_THREAD_SAFETY_ANALYSIS {
     if (!released_) {
       stripes_.UnlockPair(b1_, b2_);
     }
   }
 
   // Release early, indicating no modification was made under the lock.
-  void ReleaseNoModify() noexcept {
+  void ReleaseNoModify() noexcept NO_THREAD_SAFETY_ANALYSIS {
     stripes_.UnlockPairNoModify(b1_, b2_);
     released_ = true;
   }
 
   // Release early after a modification (bumps versions).
-  void Release() noexcept {
+  void Release() noexcept NO_THREAD_SAFETY_ANALYSIS {
     stripes_.UnlockPair(b1_, b2_);
     released_ = true;
   }
@@ -188,12 +212,15 @@ class PairGuard {
 };
 
 // RAII guard over LockStripes::LockAll.
-class AllGuard {
+class SCOPED_CAPABILITY AllGuard {
  public:
-  explicit AllGuard(LockStripes& stripes) noexcept : stripes_(stripes) { stripes_.LockAll(); }
+  explicit AllGuard(LockStripes& stripes) noexcept ACQUIRE(stripes)
+      NO_THREAD_SAFETY_ANALYSIS : stripes_(stripes) {
+    stripes_.LockAll();
+  }
   AllGuard(const AllGuard&) = delete;
   AllGuard& operator=(const AllGuard&) = delete;
-  ~AllGuard() { stripes_.UnlockAll(); }
+  ~AllGuard() RELEASE() NO_THREAD_SAFETY_ANALYSIS { stripes_.UnlockAll(); }
 
  private:
   LockStripes& stripes_;

@@ -21,10 +21,11 @@
 
 #include "src/common/cpu.h"
 #include "src/common/debug_checks.h"
+#include "src/common/thread_annotations.h"
 
 namespace cuckoo {
 
-class VersionLock {
+class CAPABILITY("version_lock") VersionLock {
  public:
   static constexpr std::uint64_t kLockBit = 1ull << 63;
   // The version occupies the low 63 bits and wraps to 0 past kVersionMask.
@@ -41,7 +42,9 @@ class VersionLock {
   VersionLock& operator=(const VersionLock&) = delete;
 
   // Acquire the lock, spinning (with bounded PAUSE then yield) until free.
-  void Lock() noexcept {
+  // (The CAS loop body is invisible to thread-safety analysis — the ACQUIRE
+  // postcondition is what call sites are checked against.)
+  void Lock() noexcept ACQUIRE() {
     DebugCheckNotHeldByThisThread();
     int spins = 0;
     for (;;) {
@@ -64,7 +67,7 @@ class VersionLock {
   // One-shot acquisition attempt. Unlike Lock(), calling this while already
   // holding the lock is well-defined (it returns false), so no owner
   // assertion: only the blocking path turns self-acquisition into deadlock.
-  bool TryLock() noexcept {
+  bool TryLock() noexcept TRY_ACQUIRE(true) {
     std::uint64_t v = word_.load(std::memory_order_relaxed);
     if ((v & kLockBit) == 0 &&
         word_.compare_exchange_strong(v, v | kLockBit, std::memory_order_acquire,
@@ -84,7 +87,7 @@ class VersionLock {
   // readers never write — so the holder's CAS succeeds on the first attempt;
   // the RMW form exists so the release can never clobber a word it did not
   // read (and so the previous value is available to assert on).
-  void Unlock() noexcept {
+  void Unlock() noexcept RELEASE() {
     DebugCheckHeldByThisThread();
     DebugClearOwner();
     std::uint64_t v = word_.load(std::memory_order_relaxed);
@@ -98,7 +101,7 @@ class VersionLock {
   // Release without bumping the version: the holder certifies it made no
   // modification to the protected region, so concurrent optimistic readers
   // stay valid. Same single-RMW structure as Unlock.
-  void UnlockNoModify() noexcept {
+  void UnlockNoModify() noexcept RELEASE() {
     DebugCheckHeldByThisThread();
     DebugClearOwner();
     std::uint64_t v = word_.load(std::memory_order_relaxed);

@@ -28,6 +28,7 @@
 #include "src/common/hash.h"
 #include "src/common/per_thread_counter.h"
 #include "src/common/striped_locks.h"
+#include "src/common/thread_annotations.h"
 #include "src/cuckoo/path_search.h"
 #include "src/cuckoo/table_core.h"
 #include "src/cuckoo/types.h"
@@ -223,7 +224,7 @@ class ClockCache {
 
  private:
   bool FindSlotExclusive(std::size_t b1, std::size_t b2, std::uint8_t tag, const K& key,
-                         std::size_t* bucket, int* slot) const {
+                         std::size_t* bucket, int* slot) const REQUIRES(stripes_) {
     for (std::size_t b : {b1, b2}) {
       for (int s = 0; s < B; ++s) {
         if (core_.Tag(b, s) == tag && eq_(core_.KeyRef(b, s), key)) {

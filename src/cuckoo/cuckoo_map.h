@@ -22,16 +22,17 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "src/common/cpu.h"
 #include "src/common/debug_checks.h"
 #include "src/common/hash.h"
+#include "src/common/mutex.h"
 #include "src/common/random.h"
 #include "src/common/striped_locks.h"
 #include "src/common/test_points.h"
+#include "src/common/thread_annotations.h"
 #include "src/cuckoo/path_search.h"
 #include "src/cuckoo/stats.h"
 #include "src/cuckoo/table_core.h"
@@ -267,7 +268,7 @@ class CuckooMap {
 
   // Remove all items (buckets and capacity retained).
   void Clear() {
-    std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+    MutexLock maintenance(maintenance_mutex_);
     AllGuard all(stripes_);
     Core* core = core_.load(std::memory_order_relaxed);
     for (std::size_t bkt = 0; bkt < core->bucket_count(); ++bkt) {
@@ -303,7 +304,7 @@ class CuckooMap {
   // verifies per-slot key/tag/bucket consistency and the size counter.
   // Aborts with a diagnostic on violation (active in all build types).
   void AssertInvariants() {
-    std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+    MutexLock maintenance(maintenance_mutex_);
     AllGuard all(stripes_);
     Core* core = core_.load(std::memory_order_relaxed);
     core->AssertInvariants(static_cast<std::int64_t>(Size()));
@@ -325,9 +326,14 @@ class CuckooMap {
   // ----- Exclusive view (§7 libcuckoo-style iteration) ----------------------
 
   // Holds every lock stripe for its lifetime: all concurrent operations block.
+  //
+  // Thread-safety analysis cannot track scoped capabilities stored as
+  // members (it models them as function-local only), so the constructor and
+  // the lock-requiring methods are excluded from analysis; the guard members
+  // still provide the actual exclusion for the view's whole lifetime.
   class LockedView {
    public:
-    explicit LockedView(CuckooMap& map)
+    explicit LockedView(CuckooMap& map) NO_THREAD_SAFETY_ANALYSIS
         : map_(map), maintenance_(map.maintenance_mutex_), all_(map.stripes_) {
       core_ = map_.core_.load(std::memory_order_relaxed);
     }
@@ -344,7 +350,7 @@ class CuckooMap {
       }
 
       value_type operator*() const noexcept {
-        return {core_->buckets[bucket_].keys[slot_], core_->buckets[bucket_].values[slot_]};
+        return {core_->KeyRef(bucket_, slot_), core_->MutableValueRef(bucket_, slot_)};
       }
 
       Iterator& operator++() noexcept {
@@ -384,7 +390,7 @@ class CuckooMap {
 
     std::size_t Size() const noexcept { return map_.Size(); }
 
-    bool Find(const K& key, V* out) const {
+    bool Find(const K& key, V* out) const NO_THREAD_SAFETY_ANALYSIS {
       const HashedKey h = HashedKey::From(map_.hasher_(key));
       const std::size_t b1 = h.Bucket1(core_->mask);
       const std::size_t b2 = core_->AltBucket(b1, h.tag);
@@ -399,7 +405,7 @@ class CuckooMap {
 
     // Exclusive insert; never expands (the view pins the core). Returns
     // kTableFull if no path exists.
-    InsertResult Insert(const K& key, const V& value) {
+    InsertResult Insert(const K& key, const V& value) NO_THREAD_SAFETY_ANALYSIS {
       const HashedKey h = HashedKey::From(map_.hasher_(key));
       const std::size_t b1 = h.Bucket1(core_->mask);
       const std::size_t b2 = core_->AltBucket(b1, h.tag);
@@ -415,7 +421,7 @@ class CuckooMap {
       return InsertResult::kOk;
     }
 
-    bool Erase(const K& key) {
+    bool Erase(const K& key) NO_THREAD_SAFETY_ANALYSIS {
       const HashedKey h = HashedKey::From(map_.hasher_(key));
       const std::size_t b1 = h.Bucket1(core_->mask);
       const std::size_t b2 = core_->AltBucket(b1, h.tag);
@@ -431,7 +437,7 @@ class CuckooMap {
 
    private:
     CuckooMap& map_;
-    std::lock_guard<std::mutex> maintenance_;
+    MutexLock maintenance_;
     AllGuard all_;
     Core* core_;
   };
@@ -512,7 +518,8 @@ class CuckooMap {
 
   // Locate `key` in b1/b2 while holding their locks (or any exclusive view).
   bool FindSlotExclusive(const Core& core, std::size_t b1, std::size_t b2, std::uint8_t tag,
-                         const K& key, std::size_t* bucket, int* slot) const {
+                         const K& key, std::size_t* bucket, int* slot) const
+      REQUIRES(stripes_) {
     for (std::size_t b : {b1, b2}) {
       for (int s = 0; s < B; ++s) {
         if (core.Tag(b, s) == tag && eq_(core.KeyRef(b, s), key)) {
@@ -640,7 +647,8 @@ class CuckooMap {
   // an earlier executed hop invalidates a later one. Executed hops are
   // individually correct displacements, so on failure we just search again
   // over the (now perturbed) table.
-  bool ExclusiveInsert(Core& core, const HashedKey& h, const K& key, const V& value) {
+  bool ExclusiveInsert(Core& core, const HashedKey& h, const K& key, const V& value)
+      REQUIRES(stripes_) {
     for (;;) {
       const std::size_t b1 = h.Bucket1(core.mask);
       const std::size_t b2 = core.AltBucket(b1, h.tag);
@@ -681,7 +689,7 @@ class CuckooMap {
   // Double the table (re-doubling if the rehash itself fails). No-op if
   // another thread already replaced `expected_core`.
   void Expand(Core* expected_core) {
-    std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+    MutexLock maintenance(maintenance_mutex_);
     if (core_.load(std::memory_order_acquire) != expected_core) {
       return;  // somebody else expanded while we waited
     }
@@ -710,7 +718,7 @@ class CuckooMap {
     }
   }
 
-  bool RehashInto(const Core& from, Core& to) {
+  bool RehashInto(const Core& from, Core& to) REQUIRES(stripes_) {
     for (std::size_t bkt = 0; bkt < from.bucket_count(); ++bkt) {
       for (int s = 0; s < B; ++s) {
         if (from.Tag(bkt, s) == 0) {
@@ -737,12 +745,12 @@ class CuckooMap {
   mutable LockStripes stripes_;
   std::atomic<Core*> core_;
   // Serializes expansion / Clear / LockedView creation against each other.
-  std::mutex maintenance_mutex_;
+  Mutex maintenance_mutex_;
   // Old cores are kept until destruction: an optimistic reader may still be
   // dereferencing one (its version validation will fail and it will retry,
   // but the bytes must remain mapped). Bounded by a geometric series — total
   // retired bytes are at most the live core's size.
-  std::vector<std::unique_ptr<Core>> retired_;
+  std::vector<std::unique_ptr<Core>> retired_ GUARDED_BY(maintenance_mutex_);
   std::atomic<std::size_t> retired_bytes_{0};
   PerThreadCounter size_;
   mutable MapStats stats_;

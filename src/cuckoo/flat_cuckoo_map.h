@@ -22,16 +22,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <utility>
 
 #include "src/common/cpu.h"
 #include "src/common/hash.h"
+#include "src/common/mutex.h"
 #include "src/common/per_thread_counter.h"
 #include "src/common/random.h"
 #include "src/common/spinlock.h"
 #include "src/common/striped_locks.h"
 #include "src/common/test_points.h"
+#include "src/common/thread_annotations.h"
 #include "src/cuckoo/path_search.h"
 #include "src/cuckoo/stats.h"
 #include "src/cuckoo/table_core.h"
@@ -40,10 +41,12 @@
 namespace cuckoo {
 
 // No-op lock for the single-thread "all locks disabled" rows of Figure 5a.
-struct NullLock {
-  void lock() noexcept {}
-  void unlock() noexcept {}
-  bool try_lock() noexcept { return true; }
+// Still a capability so ScopedLock<NullLock> instantiations type-check under
+// thread-safety analysis; "acquiring" it costs nothing.
+struct CAPABILITY("null_lock") NullLock {
+  void lock() noexcept ACQUIRE() {}
+  void unlock() noexcept RELEASE() {}
+  bool try_lock() noexcept TRY_ACQUIRE(true) { return true; }
   bool is_locked() const noexcept { return false; }
 };
 
@@ -146,7 +149,7 @@ class FlatCuckooMap {
     const HashedKey h = HashedKey::From(hasher_(key));
     const std::size_t b1 = h.Bucket1(core_.mask);
     const std::size_t b2 = core_.AltBucket(b1, h.tag);
-    std::lock_guard<GlobalLock> g(lock_);
+    ScopedLock<GlobalLock> g(lock_);
     std::size_t bucket;
     int slot;
     if (!FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
@@ -180,7 +183,7 @@ class FlatCuckooMap {
     const HashedKey h = HashedKey::From(hasher_(key));
     const std::size_t b1 = h.Bucket1(core_.mask);
     const std::size_t b2 = core_.AltBucket(b1, h.tag);
-    std::lock_guard<GlobalLock> g(lock_);
+    ScopedLock<GlobalLock> g(lock_);
     std::size_t bucket;
     int slot;
     if (!FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
@@ -196,7 +199,7 @@ class FlatCuckooMap {
   // Remove all items (capacity retained). Serializes against writers via the
   // global lock; each bucket's version bump makes optimistic readers retry.
   void Clear() {
-    std::lock_guard<GlobalLock> g(lock_);
+    ScopedLock<GlobalLock> g(lock_);
     for (std::size_t bucket = 0; bucket < core_.bucket_count(); ++bucket) {
       BumpGuard bump(versions_, bucket);
       for (int s = 0; s < B; ++s) {
@@ -236,14 +239,17 @@ class FlatCuckooMap {
  private:
   // Bumps a bucket's version stripe around a write so optimistic readers
   // retry. The writer already holds the global lock, so the stripe CAS is
-  // uncontended.
-  class BumpGuard {
+  // uncontended. Ctor/dtor bodies are excluded from thread-safety analysis:
+  // the stripe is resolved through a member alias of the constructor
+  // parameter, which the analysis cannot connect to the scoped capability.
+  class SCOPED_CAPABILITY BumpGuard {
    public:
     BumpGuard(LockStripes& stripes, std::size_t bucket) noexcept
+        ACQUIRE(stripes) NO_THREAD_SAFETY_ANALYSIS
         : stripe_(stripes.Stripe(stripes.StripeFor(bucket))) {
       stripe_.Lock();
     }
-    ~BumpGuard() { stripe_.Unlock(); }
+    ~BumpGuard() RELEASE() NO_THREAD_SAFETY_ANALYSIS { stripe_.Unlock(); }
     BumpGuard(const BumpGuard&) = delete;
     BumpGuard& operator=(const BumpGuard&) = delete;
 
@@ -252,7 +258,7 @@ class FlatCuckooMap {
   };
 
   bool FindSlotExclusive(std::size_t b1, std::size_t b2, std::uint8_t tag, const K& key,
-                         std::size_t* bucket, int* slot) const {
+                         std::size_t* bucket, int* slot) const REQUIRES(lock_) {
     for (std::size_t b : {b1, b2}) {
       for (int s = 0; s < B; ++s) {
         if (core_.Tag(b, s) == tag && eq_(core_.KeyRef(b, s), key)) {
@@ -267,7 +273,7 @@ class FlatCuckooMap {
 
   // Try to place into an empty slot of b1/b2; caller holds the global lock.
   bool AddIfRoom(std::size_t b1, std::size_t b2, std::uint8_t tag, const K& key,
-                 const V& value) {
+                 const V& value) REQUIRES(lock_) {
     for (std::size_t b : {b1, b2}) {
       int s = core_.FindEmptySlot(b);
       if (s >= 0) {
@@ -293,7 +299,7 @@ class FlatCuckooMap {
   // executed hop then invalidates a later one. Hops executed before a failed
   // validation are individually correct displacements, so the table stays
   // consistent and the caller simply searches again.
-  bool ExecutePathLocked(const CuckooPath& path) {
+  bool ExecutePathLocked(const CuckooPath& path) REQUIRES(lock_) {
     for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
       const PathHop& from = path.hops[i];
       const PathHop& to = path.hops[i + 1];
@@ -313,7 +319,7 @@ class FlatCuckooMap {
   // is one critical section.
   InsertResult InsertLockFirst(const HashedKey& h, std::size_t b1, std::size_t b2,
                                const K& key, const V& value) {
-    std::lock_guard<GlobalLock> g(lock_);
+    ScopedLock<GlobalLock> g(lock_);
     std::size_t bucket;
     int slot;
     if (FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
@@ -363,7 +369,7 @@ class FlatCuckooMap {
     for (;;) {
       // Unlocked availability probe (Algorithm 2 lines 3-8).
       if (core_.FindEmptySlot(b1) >= 0 || core_.FindEmptySlot(b2) >= 0) {
-        std::lock_guard<GlobalLock> g(lock_);
+        ScopedLock<GlobalLock> g(lock_);
         std::size_t bucket;
         int slot;
         if (FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
@@ -382,7 +388,7 @@ class FlatCuckooMap {
       CuckooPath path;
       if (!SearchPath(b1, b2, &path)) {
         // Confirm fullness (and absence) under the lock before giving up.
-        std::lock_guard<GlobalLock> g(lock_);
+        ScopedLock<GlobalLock> g(lock_);
         std::size_t bucket;
         int slot;
         if (FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
@@ -403,7 +409,7 @@ class FlatCuckooMap {
       // may be invalidated by writers that slip in here.
       CUCKOO_TEST_POINT(TestPoint::kInsertAfterPathDiscovery);
       {
-        std::lock_guard<GlobalLock> g(lock_);
+        ScopedLock<GlobalLock> g(lock_);
         std::size_t bucket;
         int slot;
         if (FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {

@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <optional>
 #include <type_traits>
@@ -39,7 +38,9 @@
 
 #include "src/common/cpu.h"
 #include "src/common/hash.h"
+#include "src/common/mutex.h"
 #include "src/common/striped_locks.h"
+#include "src/common/thread_annotations.h"
 #include "src/cuckoo/path_search.h"
 #include "src/cuckoo/stats.h"
 #include "src/cuckoo/types.h"
@@ -340,22 +341,22 @@ class GeneralCuckooMap {
 
   std::size_t Size() const noexcept { return size_.load(std::memory_order_relaxed); }
   std::size_t SlotCount() const noexcept {
-    std::lock_guard<std::mutex> g(maintenance_mutex_);
+    MutexLock g(maintenance_mutex_);
     return core_->slot_count();
   }
   double LoadFactor() const noexcept {
-    std::lock_guard<std::mutex> g(maintenance_mutex_);
+    MutexLock g(maintenance_mutex_);
     return static_cast<double>(Size()) / static_cast<double>(core_->slot_count());
   }
   std::size_t HeapBytes() const noexcept {
-    std::lock_guard<std::mutex> g(maintenance_mutex_);
+    MutexLock g(maintenance_mutex_);
     return core_->HeapBytes() + stripes_.stripe_count() * sizeof(PaddedVersionLock);
   }
 
   void Reserve(std::size_t n) {
     while (true) {
       {
-        std::lock_guard<std::mutex> g(maintenance_mutex_);
+        MutexLock g(maintenance_mutex_);
         if (static_cast<double>(core_->slot_count()) * 0.95 >= static_cast<double>(n) + B) {
           return;
         }
@@ -365,7 +366,7 @@ class GeneralCuckooMap {
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+    MutexLock maintenance(maintenance_mutex_);
     AllGuard all(stripes_);
     core_->DestroyAll();
     size_.store(0, std::memory_order_relaxed);
@@ -419,9 +420,9 @@ class GeneralCuckooMap {
                           SnapshotWalkStats* stats_out = nullptr) const {
     static_assert(std::is_copy_constructible_v<K> && std::is_copy_constructible_v<V>,
                   "TrySnapshotBuckets copies elements out of the table");
-    std::lock_guard<std::mutex> one_walk(snapshot_walk_mutex_);
+    MutexLock one_walk(snapshot_walk_mutex_);
     {
-      std::lock_guard<std::mutex> g(displaced_mutex_);
+      MutexLock g(displaced_mutex_);
       displaced_log_.clear();
     }
     snapshot_active_.store(true, std::memory_order_release);
@@ -433,7 +434,7 @@ class GeneralCuckooMap {
       // frontier is emitted here (possibly a second time — harmless).
       std::vector<std::pair<K, V>> moved;
       {
-        std::lock_guard<std::mutex> g(displaced_mutex_);
+        MutexLock g(displaced_mutex_);
         moved.swap(displaced_log_);
       }
       for (const auto& [key, value] : moved) {
@@ -451,7 +452,7 @@ class GeneralCuckooMap {
   // Visit every element exclusively (all stripes held).
   template <typename Fn>
   void ForEach(Fn&& fn) {
-    std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+    MutexLock maintenance(maintenance_mutex_);
     AllGuard all(stripes_);
     for (std::size_t b = 0; b < core_->bucket_count(); ++b) {
       for (int s = 0; s < B; ++s) {
@@ -590,7 +591,7 @@ class GeneralCuckooMap {
         // walk; log a copy so TrySnapshotBuckets can re-emit it. We hold the
         // pair lock on both buckets, so the copy is race-free.
         if constexpr (std::is_copy_constructible_v<K> && std::is_copy_constructible_v<V>) {
-          std::lock_guard<std::mutex> g(displaced_mutex_);
+          MutexLock g(displaced_mutex_);
           displaced_log_.emplace_back(const_cast<const Core&>(*core).Key(to.bucket, to.slot),
                                       const_cast<const Core&>(*core).Value(to.bucket, to.slot));
         }
@@ -602,8 +603,13 @@ class GeneralCuckooMap {
   // One pass over every bucket of the current core for TrySnapshotBuckets.
   // Holds at most one stripe lock at a time; returns false if an expansion
   // swapped the core mid-walk (the caller retries the whole snapshot).
+  // Excluded from thread-safety analysis: the single-stripe walk (TryLock
+  // retry loop with a blocking-Lock fallback, then an early-return unlock
+  // path) is exactly the conditional-acquisition control flow the analysis
+  // cannot join; the stripe-order runtime checks cover it instead.
   template <typename Fn>
-  bool WalkBuckets(Fn& fn, int lock_retries, SnapshotWalkStats* stats) const {
+  bool WalkBuckets(Fn& fn, int lock_retries, SnapshotWalkStats* stats) const
+      NO_THREAD_SAFETY_ANALYSIS {
     Core* core = core_snapshot_.load(std::memory_order_acquire);
     // Prologue: acquire+release every stripe once (one at a time, no version
     // bump). The lock-free empty-skip below means a writer might otherwise
@@ -670,7 +676,7 @@ class GeneralCuckooMap {
   }
 
   void Expand(Core* expected_core) {
-    std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+    MutexLock maintenance(maintenance_mutex_);
     if (expected_core != nullptr &&
         core_snapshot_.load(std::memory_order_acquire) != expected_core) {
       return;
@@ -708,7 +714,7 @@ class GeneralCuckooMap {
 
   // Move every element of `from` into `to` using exclusive greedy inserts.
   // On failure, elements already moved stay in `to` until RecoverFrom.
-  bool RehashInto(Core& from, Core& to) {
+  bool RehashInto(Core& from, Core& to) REQUIRES(stripes_) {
     for (std::size_t b = 0; b < from.bucket_count(); ++b) {
       for (int s = 0; s < B; ++s) {
         if (from.Tag(b, s) == 0) {
@@ -726,7 +732,7 @@ class GeneralCuckooMap {
 
   // Undo a failed RehashInto: move elements parked in `to` back into `from`'s
   // empty slots (there is always room — they came from there).
-  void RecoverFrom(Core& from, Core& to) {
+  void RecoverFrom(Core& from, Core& to) REQUIRES(stripes_) {
     for (std::size_t b = 0; b < to.bucket_count(); ++b) {
       for (int s = 0; s < B; ++s) {
         if (to.Tag(b, s) == 0) {
@@ -742,7 +748,8 @@ class GeneralCuckooMap {
   }
 
   template <typename KArg, typename VArg>
-  bool ExclusiveInsert(Core& core, const HashedKey& h, KArg&& key, VArg&& value) {
+  bool ExclusiveInsert(Core& core, const HashedKey& h, KArg&& key, VArg&& value)
+      REQUIRES(stripes_) {
     for (;;) {
       const std::size_t b1 = h.Bucket1(core.mask);
       const std::size_t b2 = core.AltBucket(b1, h.tag);
@@ -782,20 +789,20 @@ class GeneralCuckooMap {
   Hash hasher_;
   KeyEqual eq_;
   mutable LockStripes stripes_;
-  // Owned core (guarded by maintenance_mutex_ for replacement) plus a lock-
+  mutable Mutex maintenance_mutex_;
+  // Owned core (replacement serialized by maintenance_mutex_) plus a lock-
   // free snapshot pointer operations resolve buckets against.
-  std::unique_ptr<Core> core_;
+  std::unique_ptr<Core> core_ GUARDED_BY(maintenance_mutex_);
   // Superseded cores, kept until destruction (see Expand).
-  std::vector<std::unique_ptr<Core>> retired_;
+  std::vector<std::unique_ptr<Core>> retired_ GUARDED_BY(maintenance_mutex_);
   mutable std::atomic<Core*> core_snapshot_{nullptr};
-  mutable std::mutex maintenance_mutex_;
   std::atomic<std::size_t> size_{0};
   mutable MapStats stats_;
   // Fuzzy-snapshot state (see TrySnapshotBuckets). Mutable: the walk is
   // logically const, and ExecutePath (non-const) shares the displacement log.
-  mutable std::mutex snapshot_walk_mutex_;
-  mutable std::mutex displaced_mutex_;
-  mutable std::vector<std::pair<K, V>> displaced_log_;
+  mutable Mutex snapshot_walk_mutex_;
+  mutable Mutex displaced_mutex_;
+  mutable std::vector<std::pair<K, V>> displaced_log_ GUARDED_BY(displaced_mutex_);
   mutable std::atomic<bool> snapshot_active_{false};
 };
 

@@ -6,6 +6,15 @@
 // values" for 8-byte pairs at B=8). Tags live in their own dense array so the
 // BFS path search touches one byte per slot instead of a whole bucket, and a
 // tag of zero marks an empty slot (HashedKey never produces tag 0).
+//
+// Access discipline (statically enforced): the key/value arrays may be read
+// by optimistic readers while a writer is storing, so every touch of bucket
+// bytes must go through the accessors below — RelaxedLoad/RelaxedStore for
+// tear-tolerant paths, KeyRef/ValueRef for exclusive or validated access.
+// tools/analysis/check_seqlock.py (rule raw-bucket-access) rejects any
+// `.keys[...]` / `.values[...]` member access outside this file's accessor
+// allowlist, so a new code path cannot quietly reintroduce an unchecked
+// plain read.
 #ifndef SRC_CUCKOO_TABLE_CORE_H_
 #define SRC_CUCKOO_TABLE_CORE_H_
 
@@ -81,6 +90,11 @@ struct TableCore {
     return buckets[bucket].keys[slot];
   }
   const V& ValueRef(std::size_t bucket, int slot) const noexcept {
+    return buckets[bucket].values[slot];
+  }
+  // Mutable variant for exclusive (all-stripes-held) views, e.g. the
+  // LockedView iterator handing out in-place value references.
+  V& MutableValueRef(std::size_t bucket, int slot) noexcept {
     return buckets[bucket].values[slot];
   }
 

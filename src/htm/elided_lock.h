@@ -24,6 +24,7 @@
 
 #include "src/common/cpu.h"
 #include "src/common/hash.h"
+#include "src/common/thread_annotations.h"
 #include "src/htm/rtm.h"
 
 namespace cuckoo {
@@ -136,15 +137,20 @@ unsigned EmulatedBegin() noexcept;
 
 }  // namespace internal
 
+// The elided wrapper is itself a capability: callers hold "the critical
+// section" whether it ran transactionally or under the fallback lock. The
+// bodies are excluded from analysis — lock() may return while holding
+// nothing at all (a started transaction), which the lock-based model cannot
+// express; mutual exclusion there is RTM's, not the analyzer's, concern.
 template <typename LockT>
-class ElidedLock {
+class CAPABILITY("elided_lock") ElidedLock {
  public:
   explicit ElidedLock(ElisionPolicy policy = kTunedElision) noexcept : policy_(policy) {}
   ElidedLock(const ElidedLock&) = delete;
   ElidedLock& operator=(const ElidedLock&) = delete;
 
   // Figure 11's elided_lock_wrapper.
-  void lock() noexcept {
+  void lock() noexcept ACQUIRE() NO_THREAD_SAFETY_ANALYSIS {
     if (RtmIsUsable()) {
       LockHardware();
     } else {
@@ -154,7 +160,7 @@ class ElidedLock {
 
   // Figure 11's elided_unlock_wrapper: if the fallback lock is free we must be
   // inside a transaction — commit it; otherwise we hold the fallback lock.
-  void unlock() noexcept {
+  void unlock() noexcept RELEASE() NO_THREAD_SAFETY_ANALYSIS {
     if (RtmIsUsable() && !inner_.is_locked()) {
       RtmEnd();
       stats_.RecordCommit();
@@ -175,7 +181,7 @@ class ElidedLock {
   const ElisionPolicy& policy() const noexcept { return policy_; }
 
  private:
-  void LockHardware() noexcept {
+  void LockHardware() noexcept NO_THREAD_SAFETY_ANALYSIS {
     int xbegin_retry = 0;
     int abort_retry = 0;
     while (xbegin_retry < policy_.max_xbegin_retry) {
@@ -201,7 +207,7 @@ class ElidedLock {
     inner_.lock();
   }
 
-  void LockEmulated() noexcept {
+  void LockEmulated() noexcept NO_THREAD_SAFETY_ANALYSIS {
     int xbegin_retry = 0;
     int abort_retry = 0;
     while (xbegin_retry < policy_.max_xbegin_retry) {

@@ -12,8 +12,10 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <utility>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace cuckoo {
 namespace {
@@ -62,8 +64,8 @@ struct SocketServer::Loop {
   std::vector<Conn*> conns;
   // Accepted sockets handed to this loop by another loop's accept path
   // (round-robin placement); adopted on the next wake-eventfd tick.
-  std::mutex pending_mu;
-  std::vector<int> pending_fds;
+  Mutex pending_mu;
+  std::vector<int> pending_fds GUARDED_BY(pending_mu);
   std::thread thread;
 };
 
@@ -287,7 +289,7 @@ void SocketServer::HandleAccept(Loop* loop, int listen_fd) {
       continue;
     }
     {
-      std::lock_guard<std::mutex> lk(target->pending_mu);
+      MutexLock lk(target->pending_mu);
       target->pending_fds.push_back(fd);
     }
     std::uint64_t tick = 1;
@@ -313,7 +315,7 @@ void SocketServer::RegisterConn(Loop* loop, int fd) {
 void SocketServer::AdoptPendingFds(Loop* loop) {
   std::vector<int> fds;
   {
-    std::lock_guard<std::mutex> lk(loop->pending_mu);
+    MutexLock lk(loop->pending_mu);
     fds.swap(loop->pending_fds);
   }
   const bool stopping = stopping_.load(std::memory_order_acquire);

@@ -24,6 +24,11 @@
 // Snapshot() sums the shards into a HistogramSnapshot — a plain value type
 // that merges associatively (bucket-wise addition), so per-thread, per-shard,
 // and per-process histograms aggregate in any order.
+//
+// Compile-time contracts: nothing here is lock-protected, so there are no
+// GUARDED_BY annotations — every shared word is an atomic, and the relaxed
+// orders used are listed in tools/analysis/memory_order_allowlist.json for
+// this file (see docs/memory_model.md, "Compile-time contracts").
 #ifndef SRC_OBS_HISTOGRAM_H_
 #define SRC_OBS_HISTOGRAM_H_
 

@@ -10,10 +10,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/histogram.h"
 
 namespace cuckoo {
@@ -41,13 +42,13 @@ class MetricsRegistry {
   // Sources run in registration order on every render; they must be
   // thread-safe. Register before serving.
   void AddSource(Source source) {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     sources_.push_back(std::move(source));
   }
 
   std::string Render() const {
     std::string out;
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     for (const auto& source : sources_) {
       source(&out);
     }
@@ -55,8 +56,8 @@ class MetricsRegistry {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Source> sources_;
+  mutable Mutex mutex_;
+  std::vector<Source> sources_ GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -9,10 +9,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace cuckoo {
 namespace obs {
@@ -39,7 +41,7 @@ class Slowlog {
     if (threshold_ns_ == 0 || latency_ns < threshold_ns_) {
       return false;
     }
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     if (entries_.size() == capacity_) {
       entries_.pop_front();
     }
@@ -54,27 +56,27 @@ class Slowlog {
 
   // Most recent entries, newest last.
   std::vector<Entry> Entries() const {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     return std::vector<Entry>(entries_.begin(), entries_.end());
   }
 
   // Total ops that ever crossed the threshold (not capped by capacity).
   std::uint64_t TotalLogged() const {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     return next_id_;
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     entries_.clear();
   }
 
  private:
   const std::uint64_t threshold_ns_;
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<Entry> entries_;
-  std::uint64_t next_id_ = 0;
+  mutable Mutex mutex_;
+  std::deque<Entry> entries_ GUARDED_BY(mutex_);
+  std::uint64_t next_id_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace obs

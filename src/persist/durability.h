@@ -16,10 +16,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/timing.h"
 #include "src/kvserver/kv_service.h"
 #include "src/obs/histogram.h"
@@ -125,19 +126,19 @@ class DurabilityManager : public KvService::MutationObserver {
   WriteAheadLog wal_;
   RecoveryStats recovery_;
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  bool snapshot_requested_ = false;
-  bool snapshot_running_ = false;
-  bool stop_ = false;
-  std::uint64_t rounds_done_ = 0;
-  std::uint64_t rounds_started_ = 0;
-  bool last_round_ok_ = true;
+  bool snapshot_requested_ GUARDED_BY(mutex_) = false;
+  bool snapshot_running_ GUARDED_BY(mutex_) = false;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  std::uint64_t rounds_done_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t rounds_started_ GUARDED_BY(mutex_) = 0;
+  bool last_round_ok_ GUARDED_BY(mutex_) = true;
   std::thread snapshot_thread_;
-  bool started_ = false;
+  bool started_ GUARDED_BY(mutex_) = false;
 
-  std::uint64_t bytes_at_last_snapshot_ = 0;
+  std::uint64_t bytes_at_last_snapshot_ GUARDED_BY(mutex_) = 0;
   std::atomic<std::uint64_t> snapshots_completed_{0};
   std::atomic<std::uint64_t> snapshot_failures_{0};
   std::atomic<std::uint64_t> last_snapshot_lsn_{0};

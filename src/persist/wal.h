@@ -36,12 +36,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 
 #include "src/common/file_util.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/histogram.h"
 
 namespace cuckoo {
@@ -150,8 +151,8 @@ class WriteAheadLog {
 
  private:
   void WriterLoop();
-  bool RotateLocked(std::uint64_t first_lsn);  // io_mutex_ held
-  bool StartSegment(std::uint64_t first_lsn);
+  bool RotateLocked(std::uint64_t first_lsn) REQUIRES(io_mutex_);
+  bool StartSegment(std::uint64_t first_lsn) REQUIRES(io_mutex_);
 
   WalOptions options_;
   std::atomic<std::uint64_t> next_lsn_{1};
@@ -160,26 +161,27 @@ class WriteAheadLog {
 
   // Batch state (guarded by mutex_): appenders encode into `pending_`, the
   // writer thread swaps it out and writes without holding mutex_.
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable work_cv_;     // writer thread: work available
   std::condition_variable durable_cv_;  // appenders: durable_lsn_ advanced
-  std::string pending_;
-  std::uint64_t pending_max_lsn_ = 0;
-  std::uint64_t pending_records_ = 0;
-  bool flush_requested_ = false;
-  bool shutdown_ = false;
-  std::uint64_t flush_generation_ = 0;  // completed explicit flushes
-  std::uint64_t flushes_done_ = 0;
+  std::string pending_ GUARDED_BY(mutex_);
+  std::uint64_t pending_max_lsn_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t pending_records_ GUARDED_BY(mutex_) = 0;
+  bool flush_requested_ GUARDED_BY(mutex_) = false;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  std::uint64_t flush_generation_ GUARDED_BY(mutex_) = 0;  // completed explicit flushes
+  std::uint64_t flushes_done_ GUARDED_BY(mutex_) = 0;
   // Sticky: set by the writer thread on any failed write()/fsync, read
   // lock-free by WaitDurable fast paths and InErrorState.
   std::atomic<bool> io_error_{false};
   std::atomic<bool> inject_io_error_{false};
 
   // File state (writer thread + Flush path; guarded by io_mutex_).
-  std::mutex io_mutex_;
-  AppendFile file_;
-  std::uint64_t segment_first_lsn_ = 1;
-  std::uint64_t segment_next_lsn_ = 1;  // first lsn the NEXT segment would get
+  Mutex io_mutex_;
+  AppendFile file_ GUARDED_BY(io_mutex_);
+  std::uint64_t segment_first_lsn_ GUARDED_BY(io_mutex_) = 1;
+  // First lsn the NEXT segment would get.
+  std::uint64_t segment_next_lsn_ GUARDED_BY(io_mutex_) = 1;
 
   // Counters (writer thread only, read via Stats()).
   std::atomic<std::uint64_t> records_appended_{0};
@@ -188,10 +190,10 @@ class WriteAheadLog {
   std::atomic<std::uint64_t> group_commits_{0};
   std::atomic<std::uint64_t> max_batch_records_{0};
   std::atomic<std::uint64_t> segments_created_{0};
-  std::uint64_t last_fsync_ms_ = 0;
+  std::uint64_t last_fsync_ms_ GUARDED_BY(io_mutex_) = 0;
 
   std::thread writer_;
-  bool started_ = false;
+  bool started_ GUARDED_BY(mutex_) = false;
 };
 
 struct WalReplayStats {

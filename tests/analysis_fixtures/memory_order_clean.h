@@ -1,0 +1,34 @@
+// Clean fixture for check_seqlock.py rule `memory-order`: only orders from
+// the default allowlist {relaxed, acquire, release} appear, so this file must
+// produce ZERO findings. A seq_cst inside a comment or string must not trip
+// the rule either: std::memory_order_seq_cst stays legal to *talk* about.
+//
+// This file is NOT compiled — it exists to prove the checker stays quiet.
+#ifndef TESTS_ANALYSIS_FIXTURES_MEMORY_ORDER_CLEAN_H_
+#define TESTS_ANALYSIS_FIXTURES_MEMORY_ORDER_CLEAN_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+inline void Publish(std::atomic<std::uint64_t>* a, std::uint64_t v) {
+  a->store(v, std::memory_order_release);
+}
+
+inline std::uint64_t Consume(const std::atomic<std::uint64_t>& a) {
+  return a.load(std::memory_order_acquire);
+}
+
+inline std::uint64_t Stat(const std::atomic<std::uint64_t>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+
+inline const char* WhySeqCstIsBanned() {
+  return "std::memory_order_seq_cst costs a full fence on ARM for ordering "
+         "this codebase never relies on";
+}
+
+}  // namespace fixture
+
+#endif  // TESTS_ANALYSIS_FIXTURES_MEMORY_ORDER_CLEAN_H_

@@ -1,0 +1,37 @@
+// Seeded violations for check_seqlock.py rule `memory-order`. This file is
+// not listed in tools/analysis/memory_order_allowlist.json, so it gets the
+// default allowlist {relaxed, acquire, release}; the seq_cst and acq_rel uses
+// below must each be reported.
+//
+// This file is NOT compiled — it exists to prove the checker fires.
+#ifndef TESTS_ANALYSIS_FIXTURES_MEMORY_ORDER_VIOLATION_H_
+#define TESTS_ANALYSIS_FIXTURES_MEMORY_ORDER_VIOLATION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint64_t SeqCstLoad(const std::atomic<std::uint64_t>& a) {
+  // seq_cst is never needed in this codebase (the lone exception, the signal
+  // fence in cpu.cc, is explicitly allowlisted) — new uses must be justified.
+  // EXPECT-VIOLATION(memory-order)
+  return a.load(std::memory_order_seq_cst);
+}
+
+inline void AcqRelBump(std::atomic<std::uint64_t>* a) {
+  // acq_rel is allowlisted only where a CAS publishes and consumes in one
+  // step (histogram.h, wal.cc, metrics_http.cc) — not here.
+  // EXPECT-VIOLATION(memory-order)
+  a->fetch_add(1, std::memory_order_acq_rel);
+}
+
+inline std::uint64_t BuiltinSeqCst(std::uint64_t* p) {
+  // GCC builtin spelling of the same thing must be caught too.
+  // EXPECT-VIOLATION(memory-order)
+  return __atomic_load_n(p, __ATOMIC_SEQ_CST);
+}
+
+}  // namespace fixture
+
+#endif  // TESTS_ANALYSIS_FIXTURES_MEMORY_ORDER_VIOLATION_H_

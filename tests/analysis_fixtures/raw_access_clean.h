@@ -1,0 +1,41 @@
+// Clean fixture for check_seqlock.py rule `raw-bucket-access`: everything in
+// here must produce ZERO findings, proving the checker does not false-positive
+// on accessor calls, comments, or string literals.
+//
+// This file is NOT compiled — it exists to prove the checker stays quiet.
+#ifndef TESTS_ANALYSIS_FIXTURES_RAW_ACCESS_CLEAN_H_
+#define TESTS_ANALYSIS_FIXTURES_RAW_ACCESS_CLEAN_H_
+
+#include <cstddef>
+#include <string>
+
+namespace fixture {
+
+// A comment mentioning buckets[b].keys[s] and buckets[b].values[s] must not
+// trip the rule: the checker strips comments before matching (table_core.h's
+// own header comment contains the same spelling).
+template <typename Core, typename K>
+bool CleanFind(const Core& core, std::size_t bucket, int slot, const K& key) {
+  return core.LoadKey(bucket, slot) == key;
+}
+
+template <typename Core, typename V>
+void CleanWrite(Core* core, std::size_t bucket, int slot, const V& value) {
+  core->WriteValue(bucket, slot, value);
+}
+
+inline std::string DiagnosticText() {
+  // String literals are stripped too: this ".keys[" must not be reported.
+  return std::string("direct .keys[i] and .values[j] access is forbidden");
+}
+
+// Unrelated members that merely *contain* the substring are fine: the rule
+// matches whole member names (keys/values), not monkeys_ or keyslots.
+template <typename T>
+int CleanLookalikes(const T& t, std::size_t i) {
+  return t.monkeys[i] + t.keyslot[i];
+}
+
+}  // namespace fixture
+
+#endif  // TESTS_ANALYSIS_FIXTURES_RAW_ACCESS_CLEAN_H_

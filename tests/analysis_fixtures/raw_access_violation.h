@@ -1,0 +1,41 @@
+// Seeded violations for check_seqlock.py rule `raw-bucket-access`.
+// Each EXPECT-VIOLATION(rule) marker applies to the next line; the fixture
+// self-test (check_seqlock.py --fixtures) fails unless every marked line is
+// reported and nothing else is.
+//
+// This file is NOT compiled — it exists to prove the checker fires.
+#ifndef TESTS_ANALYSIS_FIXTURES_RAW_ACCESS_VIOLATION_H_
+#define TESTS_ANALYSIS_FIXTURES_RAW_ACCESS_VIOLATION_H_
+
+#include <cstddef>
+
+namespace fixture {
+
+template <typename Core, typename K>
+bool LeakyFind(const Core& core, std::size_t bucket, int slot, const K& key) {
+  // Direct member read of the seqlock-protected key array: a torn-read
+  // hazard on the optimistic path. Must go through core.LoadKey().
+  // EXPECT-VIOLATION(raw-bucket-access)
+  return core.buckets[bucket].keys[slot] == key;
+}
+
+template <typename Core, typename V>
+void LeakyWrite(Core* core, std::size_t bucket, int slot, const V& value) {
+  // Direct member store through a pointer (`->values[`): same hazard on the
+  // writer side. Must go through core->WriteValue().
+  // EXPECT-VIOLATION(raw-bucket-access)
+  core->buckets[bucket].values[slot] = value;
+}
+
+// Function named like a table_core.h accessor — the allowlist is keyed on
+// (file == table_core.h AND function name), so the name alone must NOT
+// exempt it in any other file.
+template <typename Core, typename K>
+K LoadKey(const Core& core, std::size_t bucket, int slot) {
+  // EXPECT-VIOLATION(raw-bucket-access)
+  return core.buckets[bucket].keys[slot];
+}
+
+}  // namespace fixture
+
+#endif  // TESTS_ANALYSIS_FIXTURES_RAW_ACCESS_VIOLATION_H_

@@ -1,0 +1,50 @@
+// Clean fixture for check_seqlock.py rule `seqlock-window`: the canonical
+// optimistic-read shape from docs/memory_model.md, which must produce ZERO
+// findings — tear-tolerant relaxed loads between AwaitVersion() and the
+// acquire fence + LoadRaw() validation, and nothing that blocks or allocates.
+//
+// This file is NOT compiled — it exists to prove the checker stays quiet.
+#ifndef TESTS_ANALYSIS_FIXTURES_SEQLOCK_WINDOW_CLEAN_H_
+#define TESTS_ANALYSIS_FIXTURES_SEQLOCK_WINDOW_CLEAN_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+template <typename Stripes, typename Core, typename K, typename V>
+bool CanonicalOptimisticFind(Stripes& stripes, const Core& core,
+                             std::size_t b1, std::size_t b2, const K& key,
+                             V* out) {
+  const std::size_t s1 = stripes.StripeFor(b1);
+  const std::size_t s2 = stripes.StripeFor(b2);
+  for (;;) {
+    const std::uint64_t v1 = stripes.Stripe(s1).AwaitVersion();
+    const std::uint64_t v2 = (s2 == s1) ? v1 : stripes.Stripe(s2).AwaitVersion();
+    // Mentioning MutexLock or push_back in a comment inside the window is
+    // fine — the checker strips comments before matching.
+    bool found = false;
+    V value{};
+    for (std::size_t bucket : {b1, b2}) {
+      for (int s = 0; s < Core::kSlotsPerBucket; ++s) {
+        if (core.LoadKey(bucket, s) == key) {
+          value = core.LoadValue(bucket, s);
+          found = true;
+          break;
+        }
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (stripes.Stripe(s1).LoadRaw() == v1 && stripes.Stripe(s2).LoadRaw() == v2) {
+      if (found) {
+        *out = value;
+      }
+      return found;
+    }
+  }
+}
+
+}  // namespace fixture
+
+#endif  // TESTS_ANALYSIS_FIXTURES_SEQLOCK_WINDOW_CLEAN_H_

@@ -1,0 +1,60 @@
+// Seeded violations for check_seqlock.py rule `seqlock-window`: blocking or
+// allocating between a version read (AwaitVersion) and its validating re-read
+// (LoadRaw) can deadlock against the writer that must bump the version, and
+// makes the bounded optimistic-retry loop unbounded.
+//
+// This file is NOT compiled — it exists to prove the checker fires.
+#ifndef TESTS_ANALYSIS_FIXTURES_SEQLOCK_WINDOW_VIOLATION_H_
+#define TESTS_ANALYSIS_FIXTURES_SEQLOCK_WINDOW_VIOLATION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+template <typename Stripes, typename Core, typename K>
+bool AllocatingReader(Stripes& stripes, const Core& core, std::size_t b,
+                      std::vector<K>* seen) {
+  const std::uint64_t v = stripes.Stripe(0).AwaitVersion();
+  // Container growth can allocate, and allocation can block (or worse,
+  // re-enter a table that holds the same stripe).
+  // EXPECT-VIOLATION(seqlock-window)
+  seen->push_back(core.LoadKey(b, 0));
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return stripes.Stripe(0).LoadRaw() == v;
+}
+
+template <typename Stripes, typename MutexT>
+bool GuardInWindow(Stripes& stripes, MutexT& mu) {
+  const std::uint64_t v = stripes.Stripe(0).AwaitVersion();
+  // Taking any lock inside the window deadlocks if its holder is the writer
+  // waiting to bump this very version.
+  // EXPECT-VIOLATION(seqlock-window)
+  MutexLock lk(mu);
+  return stripes.Stripe(0).LoadRaw() == v;
+}
+
+template <typename Stripes, typename MutexT>
+bool BareLockInWindow(Stripes& stripes, MutexT& mu) {
+  const std::uint64_t v = stripes.Stripe(0).AwaitVersion();
+  // Same hazard, spelled as a bare member lock() call.
+  // EXPECT-VIOLATION(seqlock-window)
+  mu.lock();
+  const bool ok = stripes.Stripe(0).LoadRaw() == v;
+  mu.unlock();
+  return ok;
+}
+
+template <typename Stripes>
+std::uint64_t LeakyVersion(Stripes& stripes) {
+  // A version read that is never re-validated before the function returns:
+  // the caller has no way to know whether the copied data was torn.
+  // EXPECT-VIOLATION(seqlock-window)
+  return stripes.Stripe(0).AwaitVersion();
+}
+
+}  // namespace fixture
+
+#endif  // TESTS_ANALYSIS_FIXTURES_SEQLOCK_WINDOW_VIOLATION_H_

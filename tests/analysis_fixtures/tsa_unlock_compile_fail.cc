@@ -1,0 +1,30 @@
+// Compile-fail smoke test for the -Wthread-safety leg of tools/lint.sh.
+//
+// Without FIXTURE_FIXED defined, main() returns while still holding `mu` —
+// Clang Thread Safety Analysis must reject this translation unit under
+// `-Wthread-safety -Werror` (expected diagnostic: mutex 'mu' is still held
+// at the end of function). With FIXTURE_FIXED defined, the same file must
+// compile cleanly, proving the failure comes from the seeded bug and not a
+// broken toolchain or include path.
+//
+// Driven by tests/run_tsa_compile_fail.sh (ctest label: static); skipped
+// when no clang++ with -Wthread-safety support is available.
+
+#include "src/common/mutex.h"
+
+namespace {
+
+cuckoo::Mutex mu;
+int counter GUARDED_BY(mu) = 0;
+
+}  // namespace
+
+int main() {
+  mu.Lock();
+  ++counter;
+  const int out = counter;
+#ifdef FIXTURE_FIXED
+  mu.Unlock();
+#endif
+  return out;
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Compile-fail smoke test for the -Wthread-safety lint leg (ctest label:
+# static, via tests/CMakeLists.txt).
+#
+# Proves the thread-safety annotations are actually load-bearing: a seeded
+# missing-unlock (tests/analysis_fixtures/tsa_unlock_compile_fail.cc) must be
+# REJECTED by `clang++ -Wthread-safety -Werror`, and the same file with the
+# bug fixed (-DFIXTURE_FIXED) must compile cleanly — so a pass can't come
+# from a broken include path or a frontend that silently ignores the
+# annotations.
+#
+# Thread Safety Analysis is clang-only; exits 77 (ctest SKIP_RETURN_CODE)
+# when no capable clang++ is available, e.g. in the g++-only container.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIXTURE=tests/analysis_fixtures/tsa_unlock_compile_fail.cc
+CLANGXX=${CLANGXX:-clang++}
+
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "SKIP: $CLANGXX not found (-Wthread-safety needs the clang frontend)" >&2
+  exit 77
+fi
+
+FLAGS=(-std=c++20 -I. -fsyntax-only -Wthread-safety -Werror)
+
+# Probe that this clang accepts the flag at all before trusting a rejection.
+if ! echo 'int main() { return 0; }' | "$CLANGXX" "${FLAGS[@]}" -x c++ - 2>/dev/null; then
+  echo "SKIP: $CLANGXX does not accept -Wthread-safety" >&2
+  exit 77
+fi
+
+# 1. The fixed variant must compile: toolchain and include paths are sound.
+if ! "$CLANGXX" "${FLAGS[@]}" -DFIXTURE_FIXED "$FIXTURE"; then
+  echo "FAIL: fixed variant of $FIXTURE did not compile" >&2
+  exit 1
+fi
+
+# 2. The seeded variant must be rejected, and for the right reason.
+if out=$("$CLANGXX" "${FLAGS[@]}" "$FIXTURE" 2>&1); then
+  echo "FAIL: -Wthread-safety did not reject the missing unlock in $FIXTURE" >&2
+  exit 1
+fi
+if ! grep -q "still held" <<<"$out"; then
+  echo "FAIL: rejection was not the expected 'mutex still held' diagnostic:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "OK: -Wthread-safety rejected the seeded missing unlock"

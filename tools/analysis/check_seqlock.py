@@ -1,0 +1,590 @@
+#!/usr/bin/env python3
+"""Static checker for the seqlock / atomic-access discipline of this repo.
+
+The Clang Thread Safety Analysis (tools/lint.sh, -Wthread-safety) covers the
+lock-shaped contracts: which mutex guards which field, which functions require
+which capability. What it cannot see is the *seqlock* side of the memory model
+(docs/memory_model.md): optimistic readers copy bucket words WITHOUT any lock
+and validate a version counter afterwards. This checker enforces the three
+rules that protocol depends on:
+
+  raw-bucket-access
+      Every load/store of seqlock-protected bucket storage (the `keys[]` /
+      `values[]` arrays of TableCore) must go through the accessors defined in
+      src/cuckoo/table_core.h (RelaxedLoad/RelaxedStore wrappers or the
+      exclusive *Ref accessors). A `.keys[i]` / `->values[j]` member access
+      anywhere else is a torn-read hazard the type system cannot catch,
+      because the arrays are plain (deliberately: the atomics live in
+      atomic_util.h so the struct layout stays two cache lines).
+
+  memory-order
+      Every explicit std::memory_order_* (or __ATOMIC_*) argument must come
+      from the per-file allowlist in memory_order_allowlist.json. New code
+      that needs a stronger (or weaker!) order must update the allowlist in
+      the same change, making the ordering inventory in docs/memory_model.md
+      reviewable instead of drifting silently.
+
+  seqlock-window
+      Between a version read (`.AwaitVersion(`) and its validating re-read
+      (`.LoadRaw(`) a reader must not block or allocate: taking any lock can
+      deadlock against the writer that will bump the version, and an
+      allocation both can block and makes the (bounded) retry loop unbounded
+      in the worst case. A window that never re-validates before the function
+      ends is also reported.
+
+Engine: a libclang tokenizer is used for comment/string stripping when the
+clang Python bindings are importable (``--engine libclang``); otherwise a
+built-in lexer handles //, /* */ comments, and string/char literals. The rule
+logic itself is line/regex based either way, which is exactly as precise as
+the coding style in this repo needs (one statement per line, no macros that
+synthesize member accesses).
+
+Usage:
+  check_seqlock.py [paths...]             # check (default: src/)
+  check_seqlock.py --fixtures DIR         # self-test against seeded fixtures
+  check_seqlock.py --json out.json ...    # also write findings as JSON
+
+Exit status: 0 = clean / all fixture expectations matched, 1 = findings (or
+fixture mismatch), 2 = usage or I/O error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULE_RAW = "raw-bucket-access"
+RULE_ORDER = "memory-order"
+RULE_WINDOW = "seqlock-window"
+ALL_RULES = (RULE_RAW, RULE_ORDER, RULE_WINDOW)
+
+# Functions in table_core.h that are allowed to touch keys[]/values[] raw:
+# the tear-tolerant accessors plus the exclusive-access references. Everything
+# else — including new TableCore methods — must go through these.
+RAW_ACCESS_ALLOWED_FILE = "table_core.h"
+RAW_ACCESS_ALLOWED_FUNCS = frozenset(
+    {
+        "KeyRef",
+        "ValueRef",
+        "MutableValueRef",
+        "LoadKey",
+        "LoadValue",
+        "WriteSlot",
+        "WriteValue",
+        "MoveSlot",
+    }
+)
+
+RAW_ACCESS_RE = re.compile(r"(?:\.|->)\s*(keys|values)\s*\[")
+
+MEMORY_ORDER_RE = re.compile(r"std::memory_order_([a-z_]+)|__ATOMIC_([A-Z_]+)")
+
+WINDOW_OPEN_RE = re.compile(r"(?:\.|->)\s*AwaitVersion\s*\(")
+WINDOW_CLOSE_RE = re.compile(r"(?:\.|->)\s*LoadRaw\s*\(")
+
+# Tokens that must not appear inside an open seqlock window. Each entry is
+# (compiled regex, human-readable reason).
+WINDOW_FORBIDDEN = [
+    (re.compile(r"\bnew\b"), "allocation (operator new)"),
+    (re.compile(r"\b(?:malloc|calloc|realloc)\s*\("), "allocation (malloc family)"),
+    (re.compile(r"\b(?:push_back|emplace_back|emplace|resize|reserve|insert)\s*\("),
+     "container growth (may allocate)"),
+    (re.compile(r"\bstd::string\s*\("), "std::string construction (may allocate)"),
+    (re.compile(r"(?:\.|->)\s*(?:Lock|lock|LockShared|try_lock|TryLock)\s*\("),
+     "lock acquisition"),
+    (re.compile(r"\b(?:MutexLock|ScopedLock|PairGuard|AllGuard)\b"),
+     "lock guard construction"),
+    (re.compile(r"\b(?:LockPair|LockStripe|LockAll|TryLockStripe)\s*\("),
+     "stripe lock acquisition"),
+    (re.compile(r"(?:\.|->)\s*wait(?:_for|_until)?\s*\("), "condition-variable wait"),
+    (re.compile(r"\b(?:sleep|usleep|nanosleep|sleep_for|sleep_until)\b"),
+     "sleep"),
+]
+
+CONTROL_KEYWORDS = frozenset(
+    {"if", "for", "while", "switch", "catch", "do", "else", "return", "co_return"}
+)
+SCOPE_KEYWORDS = frozenset({"namespace", "struct", "class", "enum", "union", "extern"})
+
+IDENT_RE = re.compile(r"[A-Za-z_~][A-Za-z0-9_]*")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def as_dict(self):
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Comment / string stripping
+# --------------------------------------------------------------------------
+
+
+def strip_comments_regex(text):
+    """Replace comments and string/char literal contents with spaces.
+
+    Newlines are preserved (including inside block comments) so line numbers
+    survive. Handles \\-escapes inside literals; raw strings are not used in
+    this codebase and are treated as plain literals.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = STRING
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in (STRING, CHAR):
+            quote = '"' if state == STRING else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+                out.append(quote)
+            elif c == "\n":  # unterminated; recover
+                state = NORMAL
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def strip_comments_libclang(path, text):
+    """Same contract as strip_comments_regex, via the clang lexer."""
+    import clang.cindex as ci  # noqa: deferred import; may be absent
+
+    index = ci.Index.create()
+    tu = index.parse(
+        path,
+        args=["-std=c++20", "-x", "c++"],
+        unsaved_files=[(path, text)],
+        options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD,
+    )
+    # Start from an all-blank canvas of identical shape, then paint back
+    # every non-comment token at its exact offset.
+    canvas = [c if c == "\n" else " " for c in text]
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        if tok.kind == ci.TokenKind.COMMENT:
+            continue
+        spelling = tok.spelling
+        start = tok.extent.start.offset
+        if tok.kind == ci.TokenKind.LITERAL and (
+            spelling.startswith('"') or spelling.startswith("'")
+        ):
+            spelling = spelling[0] + " " * max(0, len(spelling) - 2) + spelling[0]
+        for j, ch in enumerate(spelling):
+            if start + j < len(canvas) and ch != "\n":
+                canvas[start + j] = ch
+    return "".join(canvas)
+
+
+def make_stripper(engine):
+    if engine == "regex":
+        return lambda path, text: strip_comments_regex(text)
+    if engine == "libclang":
+        import clang.cindex  # noqa: raises if unavailable
+
+        return strip_comments_libclang
+    # auto
+    try:
+        import clang.cindex  # noqa
+
+        return strip_comments_libclang
+    except Exception:
+        return lambda path, text: strip_comments_regex(text)
+
+
+# --------------------------------------------------------------------------
+# Function tracking
+# --------------------------------------------------------------------------
+
+
+def annotate_functions(stripped):
+    """Return a list: for each line (0-based), the innermost function name
+    containing that line, or None at file/class scope.
+
+    Heuristic brace tracker, sufficient for this repo's one-statement-per-line
+    style: accumulates signature text between statement boundaries and, on
+    every '{', decides whether it opens a function body, a control block, or
+    a named scope.
+    """
+    per_line = []
+    stack = []  # list of function-name-or-None, one per open brace
+    pending = []
+    line_no = 0
+    current = None
+
+    def innermost():
+        for name in reversed(stack):
+            if name is not None:
+                return name
+        return None
+
+    i = 0
+    n = len(stripped)
+    while i < n:
+        c = stripped[i]
+        if c == "\n":
+            per_line.append(innermost())
+            line_no += 1
+        elif c == "{":
+            sig = "".join(pending).strip()
+            pending = []
+            name = classify_block(sig)
+            stack.append(name)
+        elif c == "}":
+            if stack:
+                stack.pop()
+            pending = []
+        elif c == ";":
+            pending = []
+        else:
+            pending.append(c)
+        i += 1
+    if not stripped.endswith("\n"):
+        per_line.append(innermost())
+    return per_line
+
+
+def classify_block(sig):
+    """Name of the function a '{' opens, or None for control/scope blocks."""
+    if not sig:
+        return None
+    tokens = IDENT_RE.findall(sig)
+    if not tokens:
+        return None
+    first = tokens[0]
+    if first in CONTROL_KEYWORDS:
+        return None
+    if first in SCOPE_KEYWORDS:
+        return None
+    if sig.rstrip().endswith(("=", ",")):
+        return None  # initializer list / aggregate
+    paren = sig.find("(")
+    if paren < 0:
+        return None
+    before = IDENT_RE.findall(sig[:paren])
+    if not before:
+        return None
+    name = before[-1]
+    if name in CONTROL_KEYWORDS or name in SCOPE_KEYWORDS:
+        return None
+    return name
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+
+def check_raw_access(rel_path, lines, funcs, findings):
+    in_allowed_file = os.path.basename(rel_path) == RAW_ACCESS_ALLOWED_FILE
+    for idx, line in enumerate(lines):
+        m = RAW_ACCESS_RE.search(line)
+        if not m:
+            continue
+        func = funcs[idx] if idx < len(funcs) else None
+        if in_allowed_file and func in RAW_ACCESS_ALLOWED_FUNCS:
+            continue
+        where = f"in {func}()" if func else "at file scope"
+        findings.append(
+            Finding(
+                RULE_RAW,
+                rel_path,
+                idx + 1,
+                f"raw access to seqlock-protected bucket array `{m.group(1)}` "
+                f"{where}; use the table_core.h accessors "
+                "(LoadKey/LoadValue/WriteSlot/KeyRef/...)",
+            )
+        )
+
+
+def check_memory_order(rel_path, lines, allowlist, findings):
+    allowed = allowlist.get("files", {}).get(rel_path)
+    if allowed is None:
+        allowed = allowlist.get("default", [])
+    allowed = {a.lower() for a in allowed}
+    for idx, line in enumerate(lines):
+        for m in MEMORY_ORDER_RE.finditer(line):
+            order = (m.group(1) or m.group(2) or "").lower()
+            # __ATOMIC_RELAXED -> relaxed
+            if order.startswith("__atomic_"):
+                order = order[len("__atomic_"):]
+            if order not in allowed:
+                findings.append(
+                    Finding(
+                        RULE_ORDER,
+                        rel_path,
+                        idx + 1,
+                        f"memory order `{m.group(0)}` is not in the allowlist "
+                        f"for this file (allowed: {sorted(allowed)}); update "
+                        "tools/analysis/memory_order_allowlist.json if the "
+                        "new ordering is intentional",
+                    )
+                )
+
+
+def check_seqlock_window(rel_path, lines, funcs, findings):
+    # Skip the VersionLock definition itself: AwaitVersion/LoadRaw bodies.
+    if os.path.basename(rel_path) == "version_lock.h":
+        return
+    open_line = None  # 1-based line where the current window opened
+    open_func = None
+    for idx, line in enumerate(lines):
+        func = funcs[idx] if idx < len(funcs) else None
+        if open_line is not None and func != open_func:
+            findings.append(
+                Finding(
+                    RULE_WINDOW,
+                    rel_path,
+                    open_line,
+                    f"seqlock version read in {open_func}() is never "
+                    "re-validated with LoadRaw() before the function ends",
+                )
+            )
+            open_line = None
+            open_func = None
+        if open_line is not None:
+            for pattern, reason in WINDOW_FORBIDDEN:
+                m = pattern.search(line)
+                if m:
+                    findings.append(
+                        Finding(
+                            RULE_WINDOW,
+                            rel_path,
+                            idx + 1,
+                            f"{reason} inside a seqlock read window (version "
+                            f"read at line {open_line}); blocking or "
+                            "allocating between AwaitVersion() and its "
+                            "LoadRaw() validation can deadlock against the "
+                            "writer that must bump the version",
+                        )
+                    )
+            if WINDOW_CLOSE_RE.search(line):
+                open_line = None
+                open_func = None
+        if open_line is None and WINDOW_OPEN_RE.search(line):
+            if not WINDOW_CLOSE_RE.search(line):  # same-line open+close
+                open_line = idx + 1
+                open_func = func
+    if open_line is not None:
+        findings.append(
+            Finding(
+                RULE_WINDOW,
+                rel_path,
+                open_line,
+                f"seqlock version read in {open_func}() is never re-validated "
+                "with LoadRaw() before the function ends",
+            )
+        )
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def iter_source_files(paths):
+    exts = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(exts):
+                        yield os.path.join(root, name)
+        else:
+            raise FileNotFoundError(path)
+
+
+def check_file(path, root, allowlist, stripper, rules):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    rel_path = os.path.relpath(path, root).replace(os.sep, "/")
+    stripped = stripper(path, text)
+    lines = stripped.split("\n")
+    funcs = annotate_functions(stripped)
+    findings = []
+    if RULE_RAW in rules:
+        check_raw_access(rel_path, lines, funcs, findings)
+    if RULE_ORDER in rules:
+        check_memory_order(rel_path, lines, allowlist, findings)
+    if RULE_WINDOW in rules:
+        check_seqlock_window(rel_path, lines, funcs, findings)
+    return findings
+
+
+EXPECT_RE = re.compile(r"//\s*EXPECT-VIOLATION\(([a-z-]+)\)")
+
+
+def collect_expectations(path, root):
+    """EXPECT-VIOLATION(rule) markers; each applies to the next source line."""
+    expectations = []
+    rel_path = os.path.relpath(path, root).replace(os.sep, "/")
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        for idx, line in enumerate(f):
+            for m in EXPECT_RE.finditer(line):
+                rule = m.group(1)
+                if rule not in ALL_RULES:
+                    raise ValueError(
+                        f"{rel_path}:{idx + 1}: unknown rule in "
+                        f"EXPECT-VIOLATION: {rule}"
+                    )
+                expectations.append((rel_path, idx + 2, rule))
+    return expectations
+
+
+def run_fixture_mode(fixture_dir, root, allowlist, stripper, rules):
+    ok = True
+    all_findings = []
+    for path in iter_source_files([fixture_dir]):
+        expectations = set(collect_expectations(path, root))
+        findings = check_file(path, root, allowlist, stripper, rules)
+        all_findings.extend(findings)
+        found = {f.key() for f in findings}
+        expected = {(p, l, r) for (p, l, r) in expectations}
+        for p, l, r in sorted(expected - found):
+            print(f"FIXTURE MISS: {p}:{l}: expected [{r}] violation "
+                  "was not reported")
+            ok = False
+        for f in findings:
+            if f.key() not in expected:
+                print(f"FIXTURE FALSE POSITIVE: {f}")
+                ok = False
+        label = "ok" if expected == found else "MISMATCH"
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        print(f"[{label}] {rel}: {len(expected)} expected, "
+              f"{len(found)} reported")
+    return ok, all_findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="seqlock / atomic-discipline checker"
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories "
+                        "(default: src/ under --root)")
+    parser.add_argument("--root", default=None,
+                        help="repo root for relative paths and the allowlist "
+                        "(default: two levels above this script)")
+    parser.add_argument("--config", default=None,
+                        help="memory-order allowlist JSON (default: "
+                        "memory_order_allowlist.json beside this script)")
+    parser.add_argument("--fixtures", metavar="DIR",
+                        help="self-test mode against EXPECT-VIOLATION markers")
+    parser.add_argument("--json", metavar="OUT",
+                        help="write findings as a JSON array")
+    parser.add_argument("--engine", choices=["auto", "regex", "libclang"],
+                        default="auto", help="comment-stripping engine")
+    parser.add_argument("--rule", action="append", choices=ALL_RULES,
+                        help="restrict to specific rule(s)")
+    args = parser.parse_args(argv)
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(args.root) if args.root else os.path.dirname(
+        os.path.dirname(script_dir))
+    config_path = args.config or os.path.join(script_dir,
+                                              "memory_order_allowlist.json")
+    try:
+        with open(config_path, "r", encoding="utf-8") as f:
+            allowlist = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load allowlist {config_path}: {e}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        stripper = make_stripper(args.engine)
+    except Exception as e:
+        print(f"error: engine {args.engine} unavailable: {e}", file=sys.stderr)
+        return 2
+
+    rules = tuple(args.rule) if args.rule else ALL_RULES
+
+    if args.fixtures:
+        ok, findings = run_fixture_mode(args.fixtures, root, allowlist,
+                                        stripper, rules)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as f:
+                json.dump([x.as_dict() for x in findings], f, indent=2)
+        print("fixture self-test:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
+
+    paths = args.paths or [os.path.join(root, "src")]
+    findings = []
+    try:
+        for path in iter_source_files(paths):
+            findings.extend(check_file(path, root, allowlist, stripper, rules))
+    except FileNotFoundError as e:
+        print(f"error: no such file or directory: {e}", file=sys.stderr)
+        return 2
+
+    for f in findings:
+        print(f)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump([x.as_dict() for x in findings], f, indent=2)
+    n = len(findings)
+    print(f"check_seqlock: {n} finding{'s' if n != 1 else ''}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

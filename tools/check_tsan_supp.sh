@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Guard against stale ThreadSanitizer suppressions in tools/tsan.supp.
+#
+# Policy (stated in tsan.supp itself): the file stays empty, because the
+# seqlock layer expresses its intentional races through relaxed atomic
+# accessors instead of suppressions. This guard enforces the weaker invariant
+# that survives policy exceptions: IF an entry exists, its pattern must still
+# match something real — a symbol in the built binaries or a tracked source
+# path. A suppression that matches nothing is dead weight that silently keeps
+# masking reports if the symbol ever comes back under the same name.
+#
+#   tools/check_tsan_supp.sh [build-dir]   # default: build-tsan
+#
+# Exit 0: no suppressions, or every suppression matches. Exit 1: at least one
+# stale entry. Exit 2: suppressions exist but there is nothing to check them
+# against (no build tree).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SUPP=tools/tsan.supp
+BUILD_DIR=${1:-build-tsan}
+
+# Suppression syntax: `type:pattern` with `*` wildcards; comments start with #.
+mapfile -t entries < <(grep -vE '^[[:space:]]*(#|$)' "$SUPP" || true)
+
+if [[ ${#entries[@]} -eq 0 ]]; then
+  echo "tsan.supp OK: no suppressions (policy: keep it that way)"
+  exit 0
+fi
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: tsan.supp has ${#entries[@]} entries but '$BUILD_DIR' does not" >&2
+  echo "exist to validate them against; build the tsan preset first" >&2
+  exit 2
+fi
+
+# One haystack: demangled symbols from every archive/executable in the build
+# tree, plus tracked source paths (suppressions may name files, not symbols).
+haystack=$(mktemp)
+trap 'rm -f "$haystack"' EXIT
+while IFS= read -r -d '' bin; do
+  nm -C "$bin" 2>/dev/null || true
+done < <(find "$BUILD_DIR" -type f \( -name '*.a' -o -name '*.so' -o -perm -u+x \) -print0) \
+  >>"$haystack"
+git ls-files 'src/*' 'tests/*' >>"$haystack"
+
+fail=0
+for entry in "${entries[@]}"; do
+  pattern=${entry#*:}
+  # Suppression wildcards to regex: escape metacharacters, then `*` -> `.*`.
+  regex=$(printf '%s' "$pattern" | sed -e 's/[.[\^$+?(){}|]/\\&/g' -e 's/\*/.*/g')
+  if ! grep -qE -- "$regex" "$haystack"; then
+    echo "STALE: suppression '$entry' matches no symbol or source path" >&2
+    fail=1
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "tsan.supp guard FAILED: remove the stale entries (or fix their patterns)" >&2
+  exit 1
+fi
+echo "tsan.supp OK: all ${#entries[@]} suppressions still match build symbols"

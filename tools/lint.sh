@@ -1,53 +1,48 @@
 #!/usr/bin/env bash
-# Static analysis over src/ (and the headers it exports).
+# Static analysis over src/ (and the headers it exports), tests/, and bench/.
 #
 #   tools/lint.sh            # lint everything
-#   tools/lint.sh src/...    # lint specific files
+#   tools/lint.sh src/...    # lint specific files (g++/clang legs only)
 #
-# Two engines, in preference order:
+# Legs, in order:
 #
-#   1. clang-tidy, driven by the compile database of a dedicated build tree
-#      (build-lint/). Check selection lives in .clang-tidy; WarningsAsErrors
-#      makes any finding fatal, so CI can gate on the exit code.
-#   2. A g++ fallback when clang-tidy is not installed: every header is
-#      compiled standalone (-fsyntax-only) under -Wall -Wextra -Wshadow
-#      -Werror, in both the default and the CUCKOO_DEBUG_CHECKS/
-#      CUCKOO_ENABLE_TEST_POINTS configurations. This verifies headers are
-#      self-contained and warning-free even where the debug-only code is
-#      normally compiled out.
+#   1. clang-tidy (>= $MIN_TIDY_MAJOR), driven by the compile database of a
+#      dedicated build tree (build-lint/). Profiles are per-directory:
+#      .clang-tidy at the root is the strict src/ profile; tests/.clang-tidy
+#      and bench/.clang-tidy relax the families that are noise in test and
+#      benchmark code. WarningsAsErrors makes any finding fatal.
+#      Falls back to leg 2 when clang-tidy is not installed; HARD-FAILS when
+#      an installed clang-tidy is older than the pin (an old parser silently
+#      skips checks this config relies on — that is not a usable lint).
+#   2. g++ fallback: every header is compiled standalone (-fsyntax-only)
+#      under -Wall -Wextra -Wshadow -Werror in three configurations —
+#      default, CUCKOO_DEBUG_CHECKS/CUCKOO_ENABLE_TEST_POINTS, and the
+#      CUCKOO_SANITIZE=thread config (CUCKOO_TSAN=1 + -fsanitize=thread), so
+#      the seqlock layer's TSan-only accessor branch (atomic_util.h) is
+#      compile-checked even on machines that never build the tsan preset.
+#   3. clang++ -Wthread-safety -Werror over every header and TU, when a
+#      clang++ is available. This is the compile-time concurrency-contract
+#      leg (see docs/memory_model.md, "Compile-time contracts"); Thread
+#      Safety Analysis is clang-only, so the leg is skipped (with a notice)
+#      under a g++-only toolchain — CI always runs it.
+#   4. tools/analysis/check_seqlock.py: the custom seqlock/atomic-discipline
+#      checker (raw bucket access, memory-order allowlist, seqlock windows),
+#      preceded by its fixture self-test so a silently-broken checker cannot
+#      report a clean tree.
 #
-# Exit code 0 means clean.
+# Exit code 0 means every leg that ran is clean.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-lint
+MIN_TIDY_MAJOR=14
+PYTHON=${PYTHON:-python3}
+CLANGXX=${CLANGXX:-clang++}
 
-configure_lint_tree() {
-  cmake -B "$BUILD_DIR" -G Ninja \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DCUCKOO_BUILD_BENCH=OFF \
-        -DCUCKOO_BUILD_EXAMPLES=OFF \
-        -DCUCKOO_DEBUG_CHECKS=ON \
-        -DCUCKOO_ENABLE_TEST_POINTS=ON >/dev/null
-}
-
-if command -v clang-tidy >/dev/null 2>&1; then
-  configure_lint_tree
-  # Lint every TU that is part of the core or exercises its headers; the
-  # header-filter in .clang-tidy scopes reported findings to src/.
-  mapfile -t sources < <(git ls-files 'src/*.cc' 'src/**/*.cc' 'tests/*.cc')
-  echo "clang-tidy over ${#sources[@]} translation units..."
-  clang-tidy -p "$BUILD_DIR" --quiet "${sources[@]}"
-  echo "lint OK (clang-tidy)"
-  exit 0
-fi
-
-echo "clang-tidy not found; falling back to strict g++ header/TU checks" >&2
-CXX=${CXX:-g++}
 mapfile -t headers < <(git ls-files 'src/*.h' 'src/**/*.h')
 mapfile -t sources < <(git ls-files 'src/*.cc' 'src/**/*.cc')
 
-# Restrict to requested files when arguments are given.
+# Restrict the per-file legs to requested files when arguments are given.
 if [[ $# -gt 0 ]]; then
   headers=()
   sources=()
@@ -59,29 +54,115 @@ if [[ $# -gt 0 ]]; then
   done
 fi
 
-FLAGS=(-std=c++20 -I. -Wall -Wextra -Wshadow -Werror -fsyntax-only)
-DEBUG_DEFS=(-DCUCKOO_DEBUG_CHECKS=1 -DCUCKOO_ENABLE_TEST_POINTS=1)
+run_clang_tidy() {
+  local version_line major
+  version_line=$(clang-tidy --version 2>/dev/null | grep -oE 'version [0-9]+' | head -1)
+  major=${version_line#version }
+  if [[ -z "$major" || "$major" -lt "$MIN_TIDY_MAJOR" ]]; then
+    echo "error: clang-tidy >= ${MIN_TIDY_MAJOR} required, found ${major:-unknown}." >&2
+    echo "  Older releases lack checks this profile pins (bugprone-*/concurrency-*" >&2
+    echo "  additions) and mis-parse the C++20 sources, producing a lint pass that" >&2
+    echo "  verified nothing. Install clang-tidy-${MIN_TIDY_MAJOR}+ or put it first in PATH." >&2
+    exit 2
+  fi
+  # Bench stays ON here (unlike normal builds) so bench TUs land in the
+  # compile database and get linted under bench/.clang-tidy.
+  cmake -B "$BUILD_DIR" -G Ninja \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCUCKOO_BUILD_BENCH=ON \
+        -DCUCKOO_BUILD_EXAMPLES=OFF \
+        -DCUCKOO_DEBUG_CHECKS=ON \
+        -DCUCKOO_ENABLE_TEST_POINTS=ON >/dev/null
+  # Every TU in the repo; per-directory .clang-tidy files pick the profile
+  # (root = strict src/ profile, tests/ and bench/ = relaxed). The fixtures
+  # under tests/analysis_fixtures/ are not TUs and are not matched here.
+  local -a tus
+  mapfile -t tus < <(git ls-files 'src/*.cc' 'src/**/*.cc' 'tests/*.cc' 'bench/*.cc')
+  echo "clang-tidy $major over ${#tus[@]} translation units..."
+  clang-tidy -p "$BUILD_DIR" --quiet "${tus[@]}"
+  echo "lint OK (clang-tidy)"
+}
 
-fail=0
-for h in "${headers[@]}"; do
-  for variant in default debug; do
-    defs=()
-    [[ "$variant" == debug ]] && defs=("${DEBUG_DEFS[@]}")
-    if ! "$CXX" "${FLAGS[@]}" "${defs[@]}" -x c++ "$h"; then
-      echo "FAIL ($variant): $h" >&2
+run_gxx_fallback() {
+  echo "clang-tidy not found; falling back to strict g++ header/TU checks" >&2
+  local cxx=${CXX:-g++}
+  local -a flags=(-std=c++20 -I. -Wall -Wextra -Wshadow -Werror -fsyntax-only)
+  local -a debug_defs=(-DCUCKOO_DEBUG_CHECKS=1 -DCUCKOO_ENABLE_TEST_POINTS=1)
+  # Mirrors the CUCKOO_SANITIZE=thread cmake config: the define is what the
+  # build sets, the flag is what makes gcc define __SANITIZE_THREAD__.
+  local -a tsan_defs=(-DCUCKOO_TSAN=1 -fsanitize=thread)
+  local fail=0
+  for h in "${headers[@]}"; do
+    for variant in default debug tsan; do
+      local -a defs=()
+      [[ "$variant" == debug ]] && defs=("${debug_defs[@]}")
+      [[ "$variant" == tsan ]] && defs=("${tsan_defs[@]}")
+      if ! "$cxx" "${flags[@]}" "${defs[@]}" -x c++ "$h"; then
+        echo "FAIL ($variant): $h" >&2
+        fail=1
+      fi
+    done
+  done
+  for s in "${sources[@]}"; do
+    if ! "$cxx" "${flags[@]}" "$s"; then
+      echo "FAIL: $s" >&2
       fail=1
     fi
   done
-done
-for s in "${sources[@]}"; do
-  if ! "$CXX" "${FLAGS[@]}" "$s"; then
-    echo "FAIL: $s" >&2
-    fail=1
+  if [[ $fail -ne 0 ]]; then
+    echo "lint FAILED (g++ fallback)" >&2
+    exit 1
   fi
-done
+  echo "lint OK (g++ fallback: ${#headers[@]} headers x 3 configs, ${#sources[@]} TUs)"
+}
 
-if [[ $fail -ne 0 ]]; then
-  echo "lint FAILED" >&2
-  exit 1
+run_thread_safety() {
+  if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+    echo "note: $CLANGXX not found; skipping -Wthread-safety leg (clang-only)." >&2
+    echo "      The annotations compile to nothing under g++ and are verified in CI." >&2
+    return 0
+  fi
+  local -a flags=(-std=c++20 -I. -fsyntax-only -Wthread-safety -Werror)
+  if ! echo 'int main() { return 0; }' | "$CLANGXX" "${flags[@]}" -x c++ - 2>/dev/null; then
+    echo "note: $CLANGXX does not accept -Wthread-safety; skipping leg." >&2
+    return 0
+  fi
+  echo "clang++ -Wthread-safety over ${#headers[@]} headers + ${#sources[@]} TUs..."
+  local fail=0
+  for h in "${headers[@]}"; do
+    if ! "$CLANGXX" "${flags[@]}" -x c++ "$h"; then
+      echo "FAIL (thread-safety): $h" >&2
+      fail=1
+    fi
+  done
+  for s in "${sources[@]}"; do
+    if ! "$CLANGXX" "${flags[@]}" "$s"; then
+      echo "FAIL (thread-safety): $s" >&2
+      fail=1
+    fi
+  done
+  if [[ $fail -ne 0 ]]; then
+    echo "thread-safety lint FAILED" >&2
+    exit 1
+  fi
+  echo "thread-safety OK"
+}
+
+run_seqlock_checker() {
+  if ! command -v "$PYTHON" >/dev/null 2>&1; then
+    echo "note: $PYTHON not found; skipping check_seqlock.py (runs in CI)." >&2
+    return 0
+  fi
+  echo "check_seqlock.py fixture self-test + src/ scan..."
+  "$PYTHON" tools/analysis/check_seqlock.py --fixtures tests/analysis_fixtures >/dev/null
+  "$PYTHON" tools/analysis/check_seqlock.py
+}
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  run_clang_tidy
+else
+  run_gxx_fallback
 fi
-echo "lint OK (g++ fallback: ${#headers[@]} headers x 2 configs, ${#sources[@]} TUs)"
+run_thread_safety
+run_seqlock_checker
+echo "all lint legs OK"
