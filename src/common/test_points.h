@@ -36,6 +36,11 @@ enum class TestPoint : int {
   kPairLockBetweenAcquires,
   kReadAfterVersionSnapshot,
   kReadBeforeValidate,
+  // Fires in Expand() after the first-attempt fresh core is allocated but
+  // before any stripe is taken: the handler can run a table operation to
+  // prove the multi-MB allocation happens outside the writer-visible pause
+  // (it would self-deadlock if the allocation regressed to inside AllGuard).
+  kExpansionCoreAllocated,
   kCount,
 };
 

@@ -238,6 +238,11 @@ class ClockCache {
   }
 
   bool ExecutePath(const CuckooPath& path) {
+    if (path.hops.empty()) {
+      // A path that was never found moves nothing; without this guard the
+      // countdown below would start at SIZE_MAX and walk out of bounds.
+      return false;
+    }
     for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
       const PathHop& from = path.hops[i];
       const PathHop& to = path.hops[i + 1];

@@ -617,6 +617,11 @@ class CuckooMap {
   // locking one bucket pair at a time (Algorithm 2's VALIDATE_EXECUTE,
   // decomposed per §4.4). Returns false as soon as any hop fails validation.
   bool ExecutePath(Core* core, const CuckooPath& path) {
+    if (path.hops.empty()) {
+      // A path that was never found moves nothing; without this guard the
+      // countdown below would start at SIZE_MAX and walk out of bounds.
+      return false;
+    }
     for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
       const PathHop& from = path.hops[i];
       const PathHop& to = path.hops[i + 1];
@@ -663,23 +668,9 @@ class CuckooMap {
       if (!BfsSearch(core, b1, b2, opts_.max_search_slots, opts_.prefetch, &path)) {
         return false;
       }
-      bool valid = true;
-      for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
-        const PathHop& from = path.hops[i];
-        const PathHop& to = path.hops[i + 1];
-        if (from.tag == 0 || core.Tag(from.bucket, from.slot) != from.tag ||
-            core.Tag(to.bucket, to.slot) != 0) {
-          valid = false;
-          break;
-        }
-        core.MoveSlot(from.bucket, from.slot, to.bucket, to.slot);
-      }
-      if (!valid) {
-        continue;
-      }
       const PathHop& hole = path.hops.front();
-      if (core.Tag(hole.bucket, hole.slot) != 0) {
-        continue;
+      if (!ExecutePathExclusive(core, path) || core.Tag(hole.bucket, hole.slot) != 0) {
+        continue;  // self-overlapping path; table perturbed, search again
       }
       core.WriteSlot(hole.bucket, hole.slot, h.tag, key, value);
       return true;
@@ -693,20 +684,24 @@ class CuckooMap {
     if (core_.load(std::memory_order_acquire) != expected_core) {
       return;  // somebody else expanded while we waited
     }
+    std::size_t new_log2 = 1;
+    while ((std::size_t{1} << new_log2) <= expected_core->mask) {
+      ++new_log2;
+    }
+    ++new_log2;
+    // First-attempt core allocated (and zeroed) before the stripes are
+    // taken: the multi-MB clear is the bulk of a large expansion's wall time
+    // and must not extend the writer-visible pause. (Retry allocations after
+    // a failed rehash are rare enough to stay inside.)
+    auto fresh = std::make_unique<Core>(new_log2);
+    CUCKOO_TEST_POINT(TestPoint::kExpansionCoreAllocated);
     // Expansion pause = the full-table lock hold: every writer (and locked
     // reader) is stalled from here until the stripes release.
     const std::uint64_t pause_start = NowNanos();
     AllGuard all(stripes_);
     Core* old_core = core_.load(std::memory_order_relaxed);
 
-    std::size_t new_log2 = 1;
-    while ((std::size_t{1} << new_log2) <= old_core->mask) {
-      ++new_log2;
-    }
-    ++new_log2;
-
-    for (;; ++new_log2) {
-      auto fresh = std::make_unique<Core>(new_log2);
+    for (;;) {
       if (RehashInto(*old_core, *fresh)) {
         retired_bytes_.fetch_add(old_core->HeapBytes(), std::memory_order_relaxed);
         retired_.emplace_back(old_core);
@@ -715,6 +710,9 @@ class CuckooMap {
         stats_.RecordExpansionPauseNanos(NowNanos() - pause_start);
         return;
       }
+      // Rehash failed (pathological collisions): the partially filled core
+      // holds copies, so just drop it and retry one size larger.
+      fresh = std::make_unique<Core>(++new_log2);
     }
   }
 

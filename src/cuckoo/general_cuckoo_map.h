@@ -16,7 +16,19 @@
 //   * old cores are retired (kept allocated but empty) after expansion: the
 //     unlocked BFS path search may still be scanning one; retired cores hold
 //     no live elements (moved out during rehash) and their total size is
-//     bounded by the live core's.
+//     bounded by the live core's;
+//   * expansion is incremental when the table is large enough (see Expand):
+//     the doubled core is published lock-free, a background migrator drains
+//     the old core bucket-by-bucket under the ordinary stripe locks, writers
+//     piggyback-migrate the buckets they touch, and operations consult both
+//     cores (live first, then the draining one) until a per-bucket migrated
+//     bitmap says the old bucket is permanently empty. The protocol relies on
+//     a stripe-alignment invariant: when old_bucket_count is a multiple of
+//     the stripe count, an old bucket b and both of its images in the doubled
+//     core (b and b + old_bucket_count) share one stripe, and the alternate
+//     buckets of any element with a given tag are pairwise stripe-equal too —
+//     so the ordinary pair lock for a key covers that key's buckets in BOTH
+//     cores at once. Small tables fall back to the stop-the-world rehash.
 //
 // The cuckoo algorithm itself is identical: tag-directed BFS path discovery
 // outside the critical section, per-displacement validate-and-execute under
@@ -28,10 +40,12 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <new>
 #include <optional>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -40,6 +54,7 @@
 #include "src/common/hash.h"
 #include "src/common/mutex.h"
 #include "src/common/striped_locks.h"
+#include "src/common/test_points.h"
 #include "src/common/thread_annotations.h"
 #include "src/cuckoo/path_search.h"
 #include "src/cuckoo/stats.h"
@@ -53,34 +68,68 @@ namespace internal {
 // uninitialized aligned storage for keys and values. Lifetime is managed
 // per-slot with placement new; the owner must destroy occupied slots before
 // the core is released (the destructor asserts nothing is leaked in debug).
+//
+// Storage is calloc-backed on purpose: the kernel's zero pages ARE the
+// "every slot empty" state, so a doubled core materializes in O(1) work and
+// each page is faulted in by the first operation that touches it — not by
+// the one writer whose insert happened to trigger the expansion. (With
+// value-initialized storage, zeroing the x2 array was the dominant term of
+// the expansion stall.) Tags are plain bytes read/written through
+// std::atomic_ref; Bucket stays an implicit-lifetime type, so calloc itself
+// starts the array's lifetime.
 template <typename K, typename V, int B>
 struct GeneralCore {
   static constexpr int kSlotsPerBucket = B;
 
   struct Bucket {
-    // Atomic: the unlocked BFS path search reads tags concurrently with
-    // writers (relaxed; staleness is handled by execute-time validation).
-    std::atomic<std::uint8_t> tags[B] = {};
+    // Accessed only via TagRef: the unlocked BFS path search reads tags
+    // concurrently with writers (relaxed; staleness is handled by
+    // execute-time validation).
+    std::uint8_t tags[B];
     alignas(K) unsigned char key_storage[B][sizeof(K)];
     alignas(V) unsigned char value_storage[B][sizeof(V)];
+  };
+  static_assert(std::is_trivially_copyable_v<Bucket> &&
+                    std::is_trivially_default_constructible_v<Bucket>,
+                "calloc must be able to start the bucket array's lifetime");
+  static_assert(std::atomic_ref<std::uint8_t>::required_alignment == 1);
+
+  struct FreeDeleter {
+    void operator()(Bucket* p) const noexcept { std::free(p); }
   };
 
   explicit GeneralCore(std::size_t bucket_count_log2)
       : mask((std::size_t{1} << bucket_count_log2) - 1),
-        buckets(std::make_unique<Bucket[]>(mask + 1)) {}
+        buckets(static_cast<Bucket*>(std::calloc(mask + 1, sizeof(Bucket)))) {
+    if (buckets == nullptr) {
+      throw std::bad_alloc();
+    }
+  }
 
   GeneralCore(const GeneralCore&) = delete;
   GeneralCore& operator=(const GeneralCore&) = delete;
 
-  ~GeneralCore() { DestroyAll(); }
+  ~GeneralCore() {
+    // Trivially destructible slots need no per-slot teardown, and skipping
+    // the walk means a never-touched (calloc-lazy) region is never faulted
+    // in just to be freed.
+    if constexpr (!(std::is_trivially_destructible_v<K> &&
+                    std::is_trivially_destructible_v<V>)) {
+      DestroyAll();
+    }
+  }
 
   std::size_t bucket_count() const noexcept { return mask + 1; }
   std::size_t slot_count() const noexcept { return bucket_count() * B; }
 
   std::size_t HeapBytes() const noexcept { return bucket_count() * sizeof(Bucket); }
 
+  std::atomic_ref<std::uint8_t> TagRef(std::size_t bucket, int slot) const noexcept {
+    return std::atomic_ref<std::uint8_t>(buckets[bucket].tags[slot]);
+  }
+
   std::uint8_t Tag(std::size_t bucket, int slot) const noexcept {
-    return buckets[bucket].tags[slot].load(std::memory_order_relaxed);
+    return TagRef(bucket, slot).load(std::memory_order_relaxed);
   }
 
   K& Key(std::size_t bucket, int slot) noexcept {
@@ -109,13 +158,13 @@ struct GeneralCore {
   void ConstructSlot(std::size_t bucket, int slot, std::uint8_t tag, KArg&& key, VArg&& value) {
     ::new (static_cast<void*>(buckets[bucket].key_storage[slot])) K(std::forward<KArg>(key));
     ::new (static_cast<void*>(buckets[bucket].value_storage[slot])) V(std::forward<VArg>(value));
-    buckets[bucket].tags[slot].store(tag, std::memory_order_relaxed);
+    TagRef(bucket, slot).store(tag, std::memory_order_relaxed);
   }
 
   void DestroySlot(std::size_t bucket, int slot) noexcept {
     Key(bucket, slot).~K();
     Value(bucket, slot).~V();
-    buckets[bucket].tags[slot].store(0, std::memory_order_relaxed);
+    TagRef(bucket, slot).store(0, std::memory_order_relaxed);
   }
 
   // Move the element in (from, from_slot) to the empty (to, to_slot).
@@ -131,6 +180,10 @@ struct GeneralCore {
 
   void PrefetchTags(std::size_t bucket) const noexcept { PrefetchRead(&buckets[bucket]); }
 
+  // Empties every slot (destroy + tag = 0). Callers that only need the
+  // memory released use the destructor, which skips the walk for trivially
+  // destructible types; Clear() and canceled migrations need the tags
+  // actually zeroed and must use this.
   void DestroyAll() noexcept {
     for (std::size_t b = 0; b <= mask; ++b) {
       for (int s = 0; s < B; ++s) {
@@ -142,7 +195,7 @@ struct GeneralCore {
   }
 
   std::size_t mask;
-  std::unique_ptr<Bucket[]> buckets;
+  std::unique_ptr<Bucket[], FreeDeleter> buckets;
 };
 
 }  // namespace internal
@@ -162,6 +215,14 @@ class GeneralCuckooMap {
     std::size_t max_search_slots = 2000;
     bool prefetch = true;
     bool auto_expand = true;
+    // Expand online (two-core migration window) whenever the stripe-alignment
+    // invariant holds: old_bucket_count % stripe_count == 0. Tables smaller
+    // than one bucket per stripe — and this flag off — use the stop-the-world
+    // rehash instead.
+    bool incremental_expand = true;
+    // Old-core buckets a writer drains inline when its insert needs more room
+    // while a migration window is still open (backpressure on the window).
+    std::size_t help_drain_buckets = 64;
   };
 
   explicit GeneralCuckooMap(Options opts = Options{}, Hash hasher = Hash{},
@@ -177,6 +238,13 @@ class GeneralCuckooMap {
 
   GeneralCuckooMap(const GeneralCuckooMap&) = delete;
   GeneralCuckooMap& operator=(const GeneralCuckooMap&) = delete;
+
+  ~GeneralCuckooMap() {
+    MutexLock maintenance(maintenance_mutex_);
+    StopMigratorLocked();
+    // Elements still split across the live and draining cores are destroyed
+    // by the cores' own destructors.
+  }
 
   // ----- Lookup (locked) -----------------------------------------------------
 
@@ -198,11 +266,12 @@ class GeneralCuckooMap {
   bool WithValue(const K& key, Fn&& fn) const {
     const std::uint64_t t0 = stats_.MaybeStartLookupTimer();
     const HashedKey h = HashedKey::From(hasher_(key));
-    bool found = WithPair(h, [&](Core* core, std::size_t b1, std::size_t b2, PairGuard& guard) {
+    bool found = WithPair(h, [&](const PairView& v, PairGuard& guard) {
       Locator loc;
-      bool hit = FindSlotLocked(core, b1, b2, h.tag, key, &loc);
+      Core* where = nullptr;
+      bool hit = FindInView(v, h.tag, key, &where, &loc);
       if (hit) {
-        fn(const_cast<const Core&>(*core).Value(loc.bucket, loc.slot));
+        fn(const_cast<const Core&>(*where).Value(loc.bucket, loc.slot));
       }
       guard.ReleaseNoModify();
       return hit;
@@ -241,11 +310,12 @@ class GeneralCuckooMap {
       // Probe before staging: ring[i % kDepth] is the slot stage(i + kDepth)
       // would overwrite.
       const HashedKey& h = ring[i % kDepth];
-      bool hit = WithPair(h, [&](Core* core, std::size_t b1, std::size_t b2, PairGuard& guard) {
+      bool hit = WithPair(h, [&](const PairView& v, PairGuard& guard) {
         Locator loc;
-        bool found = FindSlotLocked(core, b1, b2, h.tag, keys[i], &loc);
+        Core* where = nullptr;
+        bool found = FindInView(v, h.tag, keys[i], &where, &loc);
         if (found) {
-          fn(i, const_cast<const Core&>(*core).Value(loc.bucket, loc.slot));
+          fn(i, const_cast<const Core&>(*where).Value(loc.bucket, loc.slot));
         }
         guard.ReleaseNoModify();
         return found;
@@ -265,13 +335,14 @@ class GeneralCuckooMap {
   template <typename Fn>
   bool WithValueMut(const K& key, Fn&& fn) {
     const HashedKey h = HashedKey::From(hasher_(key));
-    return WithPair(h, [&](Core* core, std::size_t b1, std::size_t b2, PairGuard& guard) {
+    return WithPair(h, [&](const PairView& v, PairGuard& guard) {
       Locator loc;
-      if (!FindSlotLocked(core, b1, b2, h.tag, key, &loc)) {
+      Core* where = nullptr;
+      if (!FindInView(v, h.tag, key, &where, &loc)) {
         guard.ReleaseNoModify();
         return false;
       }
-      fn(core->Value(loc.bucket, loc.slot));
+      fn(where->Value(loc.bucket, loc.slot));
       return true;  // guard bumps versions on destruction
     });
   }
@@ -322,14 +393,15 @@ class GeneralCuckooMap {
   template <typename Pred, typename After>
   bool EraseIfThen(const K& key, Pred&& pred, After&& after) {
     const HashedKey h = HashedKey::From(hasher_(key));
-    return WithPair(h, [&](Core* core, std::size_t b1, std::size_t b2, PairGuard& guard) {
+    return WithPair(h, [&](const PairView& v, PairGuard& guard) {
       Locator loc;
-      if (!FindSlotLocked(core, b1, b2, h.tag, key, &loc) ||
-          !pred(const_cast<const Core&>(*core).Value(loc.bucket, loc.slot))) {
+      Core* where = nullptr;
+      if (!FindInView(v, h.tag, key, &where, &loc) ||
+          !pred(const_cast<const Core&>(*where).Value(loc.bucket, loc.slot))) {
         guard.ReleaseNoModify();
         return false;
       }
-      core->DestroySlot(loc.bucket, loc.slot);
+      where->DestroySlot(loc.bucket, loc.slot);
       size_.fetch_sub(1, std::memory_order_relaxed);
       stats_.RecordErase();
       after();
@@ -350,7 +422,9 @@ class GeneralCuckooMap {
   }
   std::size_t HeapBytes() const noexcept {
     MutexLock g(maintenance_mutex_);
-    return core_->HeapBytes() + stripes_.stripe_count() * sizeof(PaddedVersionLock);
+    return core_->HeapBytes() +
+           (draining_core_ != nullptr ? draining_core_->HeapBytes() : 0) +
+           stripes_.stripe_count() * sizeof(PaddedVersionLock);
   }
 
   void Reserve(std::size_t n) {
@@ -367,7 +441,16 @@ class GeneralCuckooMap {
 
   void Clear() {
     MutexLock maintenance(maintenance_mutex_);
+    StopMigratorLocked();
     AllGuard all(stripes_);
+    if (draining_core_ != nullptr) {
+      // A canceled migration leaves elements split across both cores; empty
+      // and retire the old one (stale readers may still probe it — they find
+      // only zero tags).
+      draining_core_->DestroyAll();
+      retired_.push_back(std::move(draining_core_));
+      retired_migrations_.push_back(std::move(migration_state_));
+    }
     core_->DestroyAll();
     size_.store(0, std::memory_order_relaxed);
   }
@@ -414,12 +497,19 @@ class GeneralCuckooMap {
   // `fn(const K&, const V&)` is invoked on copies, outside any lock. Returns
   // false (walk must be retried by the caller, e.g. after rewinding its
   // output file) if an expansion swapped the core mid-walk; bucket indices
-  // are not comparable across cores. Requires copyable K and V.
+  // are not comparable across cores.
+  //
+  // Constrained (not just asserted) to copy-constructible K/V: the
+  // displacement side log holds copies, and a map of move-only elements
+  // would silently drop every displaced element from the snapshot if this
+  // overload existed for it. The requires-clause makes "this map cannot be
+  // snapshotted" detectable (`requires { m.TrySnapshotBuckets(...) }` is
+  // false) rather than a hard error inside the body.
   template <typename Fn>
   bool TrySnapshotBuckets(Fn&& fn, int lock_retries = 8,
-                          SnapshotWalkStats* stats_out = nullptr) const {
-    static_assert(std::is_copy_constructible_v<K> && std::is_copy_constructible_v<V>,
-                  "TrySnapshotBuckets copies elements out of the table");
+                          SnapshotWalkStats* stats_out = nullptr) const
+    requires(std::is_copy_constructible_v<K> && std::is_copy_constructible_v<V>)
+  {
     MutexLock one_walk(snapshot_walk_mutex_);
     {
       MutexLock g(displaced_mutex_);
@@ -449,15 +539,22 @@ class GeneralCuckooMap {
     return ok;
   }
 
-  // Visit every element exclusively (all stripes held).
+  // Visit every element exclusively (all stripes held). During a migration
+  // window elements are split across the live and draining cores; both are
+  // visited (a key lives in exactly one of them).
   template <typename Fn>
   void ForEach(Fn&& fn) {
     MutexLock maintenance(maintenance_mutex_);
     AllGuard all(stripes_);
-    for (std::size_t b = 0; b < core_->bucket_count(); ++b) {
-      for (int s = 0; s < B; ++s) {
-        if (core_->Tag(b, s) != 0) {
-          fn(const_cast<const K&>(core_->Key(b, s)), core_->Value(b, s));
+    for (Core* core : {core_.get(), draining_core_.get()}) {
+      if (core == nullptr) {
+        continue;
+      }
+      for (std::size_t b = 0; b < core->bucket_count(); ++b) {
+        for (int s = 0; s < B; ++s) {
+          if (core->Tag(b, s) != 0) {
+            fn(const_cast<const K&>(core->Key(b, s)), core->Value(b, s));
+          }
         }
       }
     }
@@ -469,10 +566,71 @@ class GeneralCuckooMap {
     int slot;
   };
 
-  // Run `fn(core, b1, b2, guard)` with the key's bucket pair locked,
-  // re-resolving buckets if an expansion swapped the core while we waited.
-  // `fn` may release the guard early; otherwise its destructor bumps the
-  // stripe versions (treated as a modification).
+  // State of one incremental expansion: the old core being drained, the live
+  // core that replaced it, and a bitmap recording which old buckets are
+  // permanently empty. Retired (kept allocated) after the window closes, like
+  // retired_ cores: a stale reader may still hold the pointer it loaded from
+  // migration_ and probe the bitmap or the old core's tags.
+  struct MigrationState {
+    Core* old_core;
+    Core* new_core;
+    std::size_t old_bucket_count;
+    // One bit per old-core bucket, set once the bucket is permanently empty.
+    // All transitions (and the tag stores they summarize) happen under the
+    // bucket's stripe lock, so relaxed accesses are ordered by the lock;
+    // bits are monotone 0 -> 1, so a stale unlocked read only costs a
+    // redundant probe of an empty bucket.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> migrated_words;
+    std::atomic<std::size_t> buckets_done{0};
+    // Round-robin cursor handing out help-drain chunks to writers.
+    std::atomic<std::size_t> help_cursor{0};
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> complete{false};
+
+    MigrationState(Core* old_c, Core* new_c)
+        : old_core(old_c),
+          new_core(new_c),
+          old_bucket_count(old_c->bucket_count()),
+          migrated_words(new std::atomic<std::uint64_t>[(old_bucket_count + 63) / 64]) {
+      for (std::size_t w = 0; w < (old_bucket_count + 63) / 64; ++w) {
+        migrated_words[w].store(0, std::memory_order_relaxed);
+      }
+    }
+
+    bool BucketMigrated(std::size_t b) const noexcept {
+      return ((migrated_words[b >> 6].load(std::memory_order_relaxed) >> (b & 63)) & 1u) != 0;
+    }
+    // Returns true if this call set the bit (exactly one marker wins).
+    bool MarkMigrated(std::size_t b) noexcept {
+      const std::uint64_t bit = std::uint64_t{1} << (b & 63);
+      return (migrated_words[b >> 6].fetch_or(bit, std::memory_order_relaxed) & bit) == 0;
+    }
+  };
+
+  // Everything an operation needs inside one bucket-pair critical section.
+  // During a migration window `ms` is non-null and (ob1, ob2) are the key's
+  // buckets in the draining core; the stripe pair locked for (b1, b2) covers
+  // them too — the window only opens when old_bucket_count is a multiple of
+  // the stripe count, so b and b & old_mask share a stripe, and the two
+  // cores' alternate buckets (bucket ^ f(tag), masked) are stripe-equal as
+  // well.
+  struct PairView {
+    Core* core;
+    std::size_t b1, b2;
+    MigrationState* ms;
+    std::size_t ob1, ob2;
+
+    // False once both old buckets are drained: the old core can no longer
+    // hold this key and operations skip probing it.
+    bool OldMayHold() const noexcept {
+      return ms != nullptr && !(ms->BucketMigrated(ob1) && ms->BucketMigrated(ob2));
+    }
+  };
+
+  // Run `fn(view, guard)` with the key's bucket pair locked, re-resolving
+  // buckets if an expansion swapped the core while we waited. `fn` may
+  // release the guard early; otherwise its destructor bumps the stripe
+  // versions (treated as a modification).
   template <typename Fn>
   decltype(auto) WithPair(const HashedKey& h, Fn&& fn) const {
     for (;;) {
@@ -484,7 +642,22 @@ class GeneralCuckooMap {
         guard.ReleaseNoModify();
         continue;
       }
-      return fn(core, b1, b2, guard);
+      PairView view{core, b1, b2, nullptr, 0, 0};
+      MigrationState* ms = migration_.load(std::memory_order_acquire);
+      // Honor the window only when the loaded state matches the loaded core:
+      // a mismatched (stale) pairing would resolve old-core buckets against
+      // the wrong mask. Ignoring a mismatch is always safe — a state whose
+      // new_core is not the validated core is either already fully drained
+      // (its old core holds only zero tags) or belongs to a core this
+      // operation can no longer be running against (the switch publishes
+      // migration_ before core_snapshot_, and the validation above pins the
+      // core for the whole critical section).
+      if (ms != nullptr && ms->new_core == core) {
+        view.ms = ms;
+        view.ob1 = b1 & ms->old_core->mask;
+        view.ob2 = b2 & ms->old_core->mask;
+      }
+      return fn(view, guard);
     }
   }
 
@@ -498,6 +671,22 @@ class GeneralCuckooMap {
           return true;
         }
       }
+    }
+    return false;
+  }
+
+  // Two-core probe: live core first, then the draining core unless its
+  // bitmap says this key's old buckets are empty. A key lives in at most one
+  // core (fresh inserts go live-only; migration moves, never copies).
+  bool FindInView(const PairView& v, std::uint8_t tag, const K& key, Core** where,
+                  Locator* loc) const {
+    if (FindSlotLocked(v.core, v.b1, v.b2, tag, key, loc)) {
+      *where = v.core;
+      return true;
+    }
+    if (v.OldMayHold() && FindSlotLocked(v.ms->old_core, v.ob1, v.ob2, tag, key, loc)) {
+      *where = v.ms->old_core;
+      return true;
     }
     return false;
   }
@@ -518,32 +707,43 @@ class GeneralCuckooMap {
     const HashedKey h = HashedKey::From(hasher_(key));
     for (;;) {
       std::optional<InsertResult> fast = WithPair(
-          h, [&](Core* core, std::size_t b1, std::size_t b2,
-                 PairGuard& guard) -> std::optional<InsertResult> {
+          h, [&](const PairView& v, PairGuard& guard) -> std::optional<InsertResult> {
             Locator loc;
-            if (FindSlotLocked(core, b1, b2, h.tag, key, &loc)) {
+            Core* where = nullptr;
+            if (FindInView(v, h.tag, key, &where, &loc)) {
               if (overwrite_existing) {
-                core->Value(loc.bucket, loc.slot) = V(std::forward<VArg>(value));
+                // Overwrite in place, even when the slot still lives in the
+                // draining core — the migrator will carry the new value over.
+                where->Value(loc.bucket, loc.slot) = V(std::forward<VArg>(value));
                 stats_.RecordDuplicateInsert();
-                after(const_cast<const Core&>(*core).Value(loc.bucket, loc.slot));
+                after(const_cast<const Core&>(*where).Value(loc.bucket, loc.slot));
                 return InsertResult::kKeyExists;
               }
               guard.ReleaseNoModify();
               stats_.RecordDuplicateInsert();
               return InsertResult::kKeyExists;
             }
-            for (std::size_t b : {b1, b2}) {
-              int s = core->FindEmptySlot(b);
+            // Piggyback-migrate: while the stripes are held anyway, drain the
+            // same-tag residents of the touched old buckets (bounded work, no
+            // path search — their candidate buckets are under these stripes).
+            std::size_t moved = 0;
+            if (v.OldMayHold()) {
+              moved = PiggybackMigrateLocked(v, h.tag);
+            }
+            for (std::size_t b : {v.b1, v.b2}) {
+              int s = v.core->FindEmptySlot(b);
               if (s >= 0) {
-                core->ConstructSlot(b, s, h.tag, std::forward<KArg>(key),
-                                    std::forward<VArg>(value));
+                v.core->ConstructSlot(b, s, h.tag, std::forward<KArg>(key),
+                                      std::forward<VArg>(value));
                 size_.fetch_add(1, std::memory_order_relaxed);
                 stats_.RecordInsert();
-                after(const_cast<const Core&>(*core).Value(b, s));
+                after(const_cast<const Core&>(*v.core).Value(b, s));
                 return InsertResult::kOk;
               }
             }
-            guard.ReleaseNoModify();
+            if (moved == 0) {
+              guard.ReleaseNoModify();
+            }
             return std::nullopt;
           });
       if (fast.has_value()) {
@@ -573,6 +773,11 @@ class GeneralCuckooMap {
   }
 
   bool ExecutePath(Core* core, const CuckooPath& path) {
+    if (path.hops.empty()) {
+      // A path that was never found moves nothing; without this guard the
+      // countdown below would start at SIZE_MAX and walk out of bounds.
+      return false;
+    }
     for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
       const PathHop& from = path.hops[i];
       const PathHop& to = path.hops[i + 1];
@@ -590,27 +795,43 @@ class GeneralCuckooMap {
         // has not reached yet into one it already visited, hiding it from the
         // walk; log a copy so TrySnapshotBuckets can re-emit it. We hold the
         // pair lock on both buckets, so the copy is race-free.
-        if constexpr (std::is_copy_constructible_v<K> && std::is_copy_constructible_v<V>) {
-          MutexLock g(displaced_mutex_);
-          displaced_log_.emplace_back(const_cast<const Core&>(*core).Key(to.bucket, to.slot),
-                                      const_cast<const Core&>(*core).Value(to.bucket, to.slot));
-        }
+        LogDisplaced(*core, to.bucket, to.slot);
       }
     }
     return true;
   }
 
-  // One pass over every bucket of the current core for TrySnapshotBuckets.
-  // Holds at most one stripe lock at a time; returns false if an expansion
-  // swapped the core mid-walk (the caller retries the whole snapshot).
-  // Excluded from thread-safety analysis: the single-stripe walk (TryLock
-  // retry loop with a blocking-Lock fallback, then an early-return unlock
-  // path) is exactly the conditional-acquisition control flow the analysis
-  // cannot join; the stripe-order runtime checks cover it instead.
+  // Record a copy of the element now at (bucket, slot) into the displacement
+  // side log for an active snapshot walk. Caller holds a lock covering the
+  // bucket.
+  void LogDisplaced(const Core& core, std::size_t bucket, int slot) const {
+    if constexpr (std::is_copy_constructible_v<K> && std::is_copy_constructible_v<V>) {
+      MutexLock g(displaced_mutex_);
+      displaced_log_.emplace_back(core.Key(bucket, slot), core.Value(bucket, slot));
+    } else {
+      // TrySnapshotBuckets is constrained to copyable K/V, so no walk can be
+      // active on a map whose elements cannot be logged.
+      assert(!"snapshot walk active on a map with non-copyable elements");
+    }
+  }
+
+  // One pass over every bucket for TrySnapshotBuckets: the live core, then —
+  // if a migration window is open — the draining core, whose unmigrated
+  // buckets still hold elements. Holds at most one stripe lock at a time;
+  // returns false if an expansion swapped the core mid-walk (the caller
+  // retries the whole snapshot). Elements migrated across the walk frontier
+  // are re-emitted from the displacement log, like any other displacement.
   template <typename Fn>
-  bool WalkBuckets(Fn& fn, int lock_retries, SnapshotWalkStats* stats) const
-      NO_THREAD_SAFETY_ANALYSIS {
+  bool WalkBuckets(Fn& fn, int lock_retries, SnapshotWalkStats* stats) const {
     Core* core = core_snapshot_.load(std::memory_order_acquire);
+    MigrationState* ms = migration_.load(std::memory_order_acquire);
+    if (ms != nullptr && ms->new_core != core) {
+      // Mid-switch or stale pairing; if the switch lands mid-walk the
+      // per-bucket core validation below forces a retry, and a completed
+      // stale window has nothing left to walk.
+      ms = nullptr;
+    }
+    const std::uint64_t epoch = force_finish_epoch_.load(std::memory_order_acquire);
     // Prologue: acquire+release every stripe once (one at a time, no version
     // bump). The lock-free empty-skip below means a writer might otherwise
     // displace elements without ever observing snapshot_active_ == true: the
@@ -622,8 +843,32 @@ class GeneralCuckooMap {
       stripes_.LockStripe(s);
       stripes_.UnlockStripeNoModify(s);
     }
+    if (!WalkCoreBuckets(core, core, epoch, fn, lock_retries, stats)) {
+      return false;
+    }
+    if (ms != nullptr &&
+        !WalkCoreBuckets(ms->old_core, core, epoch, fn, lock_retries, stats)) {
+      return false;
+    }
+    return true;
+  }
+
+  // Walk every bucket of `target` (which is either the live core or the
+  // draining core; either way each bucket shares a stripe with its live-core
+  // images, so the per-stripe discipline covers both). `live` anchors the
+  // validity checks: if core_snapshot_ moves off it, or a force-finished
+  // migration bumps the epoch (bulk moves that bypass the displacement log),
+  // the walk aborts and the snapshot retries.
+  // Excluded from thread-safety analysis: the single-stripe walk (TryLock
+  // retry loop with a blocking-Lock fallback, then an early-return unlock
+  // path) is exactly the conditional-acquisition control flow the analysis
+  // cannot join; the stripe-order runtime checks cover it instead.
+  template <typename Fn>
+  bool WalkCoreBuckets(Core* target, Core* live, std::uint64_t epoch, Fn& fn,
+                       int lock_retries, SnapshotWalkStats* stats) const
+      NO_THREAD_SAFETY_ANALYSIS {
     std::vector<std::pair<K, V>> copies;
-    for (std::size_t b = 0; b < core->bucket_count(); ++b) {
+    for (std::size_t b = 0; b < target->bucket_count(); ++b) {
       ++stats->buckets;
       const std::size_t stripe = stripes_.StripeFor(b);
       // Optimistic empty check: tag bytes are atomics, readable lock-free;
@@ -632,11 +877,12 @@ class GeneralCuckooMap {
       const std::uint64_t v1 = stripes_.Stripe(stripe).AwaitVersion();
       bool empty = true;
       for (int s = 0; s < B && empty; ++s) {
-        empty = core->Tag(b, s) == 0;
+        empty = target->Tag(b, s) == 0;
       }
       std::atomic_thread_fence(std::memory_order_acquire);
       if (empty && stripes_.Stripe(stripe).LoadRaw() == v1) {
-        if (core_snapshot_.load(std::memory_order_acquire) != core) {
+        if (core_snapshot_.load(std::memory_order_acquire) != live ||
+            force_finish_epoch_.load(std::memory_order_acquire) != epoch) {
           return false;
         }
         ++stats->empty_skips;
@@ -655,15 +901,16 @@ class GeneralCuckooMap {
         stripes_.LockStripe(stripe);
         ++stats->lock_fallbacks;
       }
-      if (core_snapshot_.load(std::memory_order_relaxed) != core) {
+      if (core_snapshot_.load(std::memory_order_relaxed) != live ||
+          force_finish_epoch_.load(std::memory_order_relaxed) != epoch) {
         stripes_.UnlockStripeNoModify(stripe);
         return false;
       }
       copies.clear();
       for (int s = 0; s < B; ++s) {
-        if (core->Tag(b, s) != 0) {
-          copies.emplace_back(const_cast<const Core&>(*core).Key(b, s),
-                              const_cast<const Core&>(*core).Value(b, s));
+        if (target->Tag(b, s) != 0) {
+          copies.emplace_back(const_cast<const Core&>(*target).Key(b, s),
+                              const_cast<const Core&>(*target).Value(b, s));
         }
       }
       stripes_.UnlockStripeNoModify(stripe);
@@ -675,23 +922,92 @@ class GeneralCuckooMap {
     return true;
   }
 
+  // Grow the table. When the stripe-alignment invariant holds (and
+  // incremental_expand is on) the expansion is online: the doubled core and
+  // a MigrationState are published without taking a single stripe — the
+  // writer-visible pause is just that publication — and the old core drains
+  // through the background migrator plus writer piggybacking. Otherwise the
+  // stop-the-world rehash runs (with the first-attempt allocation hoisted
+  // out of the pause).
   void Expand(Core* expected_core) {
-    MutexLock maintenance(maintenance_mutex_);
-    if (expected_core != nullptr &&
-        core_snapshot_.load(std::memory_order_acquire) != expected_core) {
+    if (migration_.load(std::memory_order_acquire) != nullptr) {
+      // A window is already open; the table has already doubled. Contribute a
+      // bounded chunk of drain work as backpressure, then let the caller
+      // retry against the live core.
+      HelpDrain();
       return;
     }
+    {
+      MutexLock maintenance(maintenance_mutex_);
+      if (expected_core != nullptr &&
+          core_snapshot_.load(std::memory_order_acquire) != expected_core) {
+        return;  // somebody else already expanded
+      }
+      ReapMigrationLocked();
+      if (migration_state_ == nullptr) {
+        if (IncrementalEligibleLocked()) {
+          StartIncrementalLocked();
+        } else {
+          StopTheWorldExpandLocked();
+        }
+        return;
+      }
+      // A window opened while we waited for the mutex; fall through to help.
+    }
+    HelpDrain();
+  }
+
+  bool IncrementalEligibleLocked() const REQUIRES(maintenance_mutex_) {
+    return opts_.incremental_expand &&
+           core_->bucket_count() % stripes_.stripe_count() == 0;
+  }
+
+  static std::size_t CoreLog2(const Core& core) noexcept {
+    std::size_t log2 = 0;
+    while ((std::size_t{1} << log2) <= core.mask) {
+      ++log2;
+    }
+    return log2;
+  }
+
+  // Open an incremental window: publish the doubled core and the migration
+  // state, then hand the drain to a background thread. No stripe is taken —
+  // writers run through the switch; the recorded "pause" is the publication
+  // itself.
+  void StartIncrementalLocked() REQUIRES(maintenance_mutex_) {
+    assert(!migrator_.joinable());
+    // The fresh core (the expensive multi-MB zeroing) is allocated before
+    // anything is published.
+    auto fresh = std::make_unique<Core>(CoreLog2(*core_) + 1);
+    CUCKOO_TEST_POINT(TestPoint::kExpansionCoreAllocated);
+    const std::uint64_t pause_start = NowNanos();
+    migration_state_ = std::make_unique<MigrationState>(core_.get(), fresh.get());
+    draining_core_ = std::move(core_);
+    core_ = std::move(fresh);
+    // Publication order matters: the state must be visible before any
+    // operation can observe the new core (WithPair acquire-loads the core
+    // first, then the state; seeing the new core without the state would
+    // skip the old-core probe and miss every unmigrated resident).
+    migration_.store(migration_state_.get(), std::memory_order_release);
+    core_snapshot_.store(core_.get(), std::memory_order_release);
+    stats_.RecordExpansion();
+    stats_.RecordMigrationStarted(migration_state_->old_bucket_count);
+    stats_.RecordExpansionPauseNanos(NowNanos() - pause_start);
+    migrator_ = std::thread(&GeneralCuckooMap::MigratorMain, this, migration_state_.get());
+  }
+
+  void StopTheWorldExpandLocked() REQUIRES(maintenance_mutex_) {
+    // First-attempt core allocated (and zeroed) before the stripes are
+    // taken: the multi-MB clear is the bulk of a large expansion's wall time
+    // and must not extend the writer-visible pause.
+    std::size_t new_log2 = CoreLog2(*core_) + 1;
+    auto fresh = std::make_unique<Core>(new_log2);
+    CUCKOO_TEST_POINT(TestPoint::kExpansionCoreAllocated);
     // Expansion pause = the full-table lock hold: every writer (and locked
     // reader) is stalled from here until the stripes release.
     const std::uint64_t pause_start = NowNanos();
     AllGuard all(stripes_);
-    std::size_t new_log2 = 1;
-    while ((std::size_t{1} << new_log2) <= core_->mask) {
-      ++new_log2;
-    }
-    ++new_log2;
-    for (;; ++new_log2) {
-      auto fresh = std::make_unique<Core>(new_log2);
+    for (;;) {
       if (RehashInto(*core_, *fresh)) {
         // The old core must stay mapped: an in-flight (unlocked) BFS search
         // may still be reading its tag bytes. It holds no live elements
@@ -704,10 +1020,352 @@ class GeneralCuckooMap {
         stats_.RecordExpansionPauseNanos(NowNanos() - pause_start);
         return;
       }
-      // Retry one size larger; `fresh` (with moved-in elements) is destroyed,
-      // but RehashInto only destroys source slots after a successful move, so
-      // elements still in the old core are intact and the ones moved into
-      // `fresh` are recovered by moving them back.
+      // Rehash failed (pathological collisions): recover the moved elements
+      // and retry one size larger. The retry allocation happens inside the
+      // pause — rare enough that correctness beats accounting here.
+      RecoverFrom(*core_, *fresh);
+      fresh = std::make_unique<Core>(++new_log2);
+    }
+  }
+
+  // ----- Incremental migration ----------------------------------------------
+  //
+  // Lifecycle: StartIncrementalLocked publishes the window and spawns
+  // MigratorMain, which drains old buckets through the ordinary stripe
+  // locks and finally clears migration_ and sets complete. The next
+  // maintenance operation (Expand, Clear, destruction) joins the thread and
+  // retires the state. The migrator NEVER blocks on maintenance_mutex_
+  // (Clear/destructor join it while holding that mutex) — its one
+  // maintenance-side need, the force-finish fallback, uses TryLock and
+  // honors cancel.
+
+  // Join a finished migrator and retire its state. No-op while the window is
+  // still draining.
+  void ReapMigrationLocked() REQUIRES(maintenance_mutex_) {
+    if (migration_state_ == nullptr ||
+        !migration_state_->complete.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (migrator_.joinable()) {
+      migrator_.join();
+    }
+    retired_.push_back(std::move(draining_core_));
+    retired_migrations_.push_back(std::move(migration_state_));
+  }
+
+  // Cancel an active window and join the migrator (for Clear/destruction).
+  // The caller owns what happens to the half-drained cores afterwards.
+  void StopMigratorLocked() REQUIRES(maintenance_mutex_) {
+    if (migration_state_ != nullptr) {
+      migration_state_->cancel.store(true, std::memory_order_release);
+    }
+    if (migrator_.joinable()) {
+      migrator_.join();
+    }
+    migration_.store(nullptr, std::memory_order_release);
+  }
+
+  // Background drain: walk every old-core bucket and migrate its residents
+  // into the live core under the ordinary bucket-pair locks.
+  void MigratorMain(MigrationState* ms) {
+    for (std::size_t b = 0; b < ms->old_bucket_count; ++b) {
+      if (!DrainOldBucket(ms, b)) {
+        return;  // canceled (Clear/destructor owns cleanup)
+      }
+      // Background politeness: hand the CPU back every few buckets so a
+      // runnable writer on an oversubscribed host waits one drain slice, not
+      // a whole scheduler timeslice. Near-free when cores are idle.
+      if ((b & 0xF) == 0xF) {
+        std::this_thread::yield();
+      }
+    }
+    // Clear the lock-free pointer before announcing completion:
+    // ReapMigrationLocked trusts complete => no operation can still need the
+    // window honored (stale loads of the state remain harmless — the old
+    // core is empty and stays mapped).
+    migration_.store(nullptr, std::memory_order_release);
+    ms->complete.store(true, std::memory_order_release);
+    stats_.RecordMigrationCompleted();
+  }
+
+  // Drain one old bucket to empty. Returns false only if canceled (or the
+  // window was force-finished out from under us).
+  bool DrainOldBucket(MigrationState* ms, std::size_t b) {
+    if (ms->BucketMigrated(b)) {
+      return true;  // a writer piggybacked it
+    }
+    for (;;) {
+      if (ms->cancel.load(std::memory_order_acquire)) {
+        return false;
+      }
+      // Peek one occupant under the bucket's own stripe; migrating it needs
+      // the pair lock, which only its hash determines.
+      HashedKey h{};
+      bool occupied = false;
+      const std::size_t stripe = stripes_.StripeFor(b);
+      stripes_.LockStripe(stripe);
+      for (int s = 0; s < B; ++s) {
+        if (ms->old_core->Tag(b, s) != 0) {
+          h = HashedKey::From(hasher_(ms->old_core->Key(b, s)));
+          occupied = true;
+          break;
+        }
+      }
+      if (!occupied) {
+        // Mark inside the critical section: the bit's meaning ("permanently
+        // empty") is ordered by this stripe lock.
+        if (ms->MarkMigrated(b)) {
+          ms->buckets_done.fetch_add(1, std::memory_order_relaxed);
+          stats_.RecordMigrationBucketDone();
+        }
+        stripes_.UnlockStripeNoModify(stripe);
+        return true;
+      }
+      stripes_.UnlockStripeNoModify(stripe);
+      if (!MigrateByHash(ms, h)) {
+        return false;
+      }
+    }
+  }
+
+  // Migrate every old-core resident whose tag matches h.tag out of h's old
+  // bucket pair, opening room in the live core by BFS displacement when both
+  // candidate buckets are full. Returns false only if canceled.
+  // Consecutive BFS failures in MigrateByHash before the migrator gives up
+  // on displacement and finishes the window stop-the-world.
+  static constexpr int kMigratorMaxBfsFailures = 8;
+
+  bool MigrateByHash(MigrationState* ms, const HashedKey& h) {
+    int bfs_failures = 0;
+    for (;;) {
+      if (ms->cancel.load(std::memory_order_acquire)) {
+        return false;
+      }
+      Core* core = ms->new_core;
+      const std::size_t b1 = h.Bucket1(core->mask);
+      const std::size_t b2 = core->AltBucket(b1, h.tag);
+      HashedKey blocked{};
+      bool need_room = false;
+      {
+        PairGuard guard(stripes_, b1, b2);
+        if (core_snapshot_.load(std::memory_order_relaxed) != core) {
+          // A force-finish replaced the live core — the old core is already
+          // fully drained.
+          guard.ReleaseNoModify();
+          return true;
+        }
+        const std::size_t old_mask = ms->old_core->mask;
+        std::size_t moved = 0;
+        for (std::size_t ob : {b1 & old_mask, b2 & old_mask}) {
+          if (ms->BucketMigrated(ob)) {
+            continue;
+          }
+          for (int s = 0; s < B; ++s) {
+            if (ms->old_core->Tag(ob, s) != h.tag) {
+              continue;
+            }
+            const HashedKey eh = HashedKey::From(hasher_(ms->old_core->Key(ob, s)));
+            if (TryMoveAcrossLocked(ms, ob, s, eh)) {
+              ++moved;
+            } else {
+              blocked = eh;
+              need_room = true;
+            }
+          }
+          MaybeMarkDrainedLocked(ms, ob);
+        }
+        if (moved == 0) {
+          guard.ReleaseNoModify();
+        }
+      }
+      if (!need_room) {
+        return true;
+      }
+      // Open a hole next to the blocked element's live candidates, exactly
+      // like a regular insert would.
+      stats_.RecordPathSearch();
+      const std::size_t c1 = blocked.Bucket1(core->mask);
+      const std::size_t c2 = core->AltBucket(c1, blocked.tag);
+      CuckooPath path;
+      if (!BfsSearch(*core, c1, c2, opts_.max_search_slots, opts_.prefetch, &path)) {
+        // The live core (2x the draining one) cannot absorb the leftovers:
+        // writers outran the drain. After a few attempts, finish the window
+        // stop-the-world rather than livelock.
+        if (++bfs_failures >= kMigratorMaxBfsFailures) {
+          return TryForceFinish(ms);
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      bfs_failures = 0;
+      if (ExecutePath(core, path)) {
+        stats_.RecordPathLength(path.Displacements());
+      } else {
+        stats_.RecordPathInvalidation();
+      }
+    }
+  }
+
+  // Move old(ob, s) into the live core if one of its candidate buckets has a
+  // free slot; the caller holds the stripe pair covering ob and (by the
+  // alignment invariant) both live candidates. Returns false if both are
+  // full.
+  bool TryMoveAcrossLocked(MigrationState* ms, std::size_t ob, int s,
+                           const HashedKey& eh) NO_THREAD_SAFETY_ANALYSIS {
+    Core* to = ms->new_core;
+    const std::size_t c1 = eh.Bucket1(to->mask);
+    const std::size_t c2 = to->AltBucket(c1, eh.tag);
+    for (std::size_t c : {c1, c2}) {
+      const int cs = to->FindEmptySlot(c);
+      if (cs < 0) {
+        continue;
+      }
+      to->ConstructSlot(c, cs, eh.tag, std::move(ms->old_core->Key(ob, s)),
+                        std::move(ms->old_core->Value(ob, s)));
+      ms->old_core->DestroySlot(ob, s);
+      stats_.RecordMigratedEntry();
+      if (snapshot_active_.load(std::memory_order_acquire)) {
+        // A migration move can cross the snapshot walk frontier in either
+        // core; log it like any displacement.
+        LogDisplaced(*to, c, cs);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  // Set the migrated bit if the old bucket is now empty. Caller holds the
+  // bucket's stripe.
+  void MaybeMarkDrainedLocked(MigrationState* ms, std::size_t ob) NO_THREAD_SAFETY_ANALYSIS {
+    for (int s = 0; s < B; ++s) {
+      if (ms->old_core->Tag(ob, s) != 0) {
+        return;
+      }
+    }
+    if (ms->MarkMigrated(ob)) {
+      ms->buckets_done.fetch_add(1, std::memory_order_relaxed);
+      stats_.RecordMigrationBucketDone();
+    }
+  }
+
+  // Writer-side help inside its own critical section: move the same-tag
+  // residents of the two touched old buckets across (their live candidates
+  // are under the held stripes — no path search, bounded by 2B probes).
+  // Returns moves performed; the caller must version-bump on release if > 0.
+  std::size_t PiggybackMigrateLocked(const PairView& v, std::uint8_t tag) {
+    const std::uint64_t t0 = NowNanos();
+    std::size_t moved = 0;
+    for (std::size_t ob : {v.ob1, v.ob2}) {
+      if (v.ms->BucketMigrated(ob)) {
+        continue;
+      }
+      for (int s = 0; s < B; ++s) {
+        if (v.ms->old_core->Tag(ob, s) != tag) {
+          continue;
+        }
+        const HashedKey eh = HashedKey::From(hasher_(v.ms->old_core->Key(ob, s)));
+        if (TryMoveAcrossLocked(v.ms, ob, s, eh)) {
+          ++moved;
+        }
+      }
+      MaybeMarkDrainedLocked(v.ms, ob);
+    }
+    if (moved > 0) {
+      stats_.RecordMigrationStall(NowNanos() - t0);
+    }
+    return moved;
+  }
+
+  // Expand-time writer backpressure: drain a bounded chunk of old buckets on
+  // the calling thread while the window is open.
+  void HelpDrain() {
+    MigrationState* ms = migration_.load(std::memory_order_acquire);
+    if (ms == nullptr) {
+      return;
+    }
+    const std::uint64_t t0 = NowNanos();
+    for (std::size_t i = 0;
+         i < opts_.help_drain_buckets && migration_.load(std::memory_order_acquire) == ms;
+         ++i) {
+      const std::size_t b =
+          ms->help_cursor.fetch_add(1, std::memory_order_relaxed) % ms->old_bucket_count;
+      if (!DrainOldBucket(ms, b)) {
+        break;
+      }
+    }
+    stats_.RecordMigrationStall(NowNanos() - t0);
+  }
+
+  // Last resort when the live core cannot absorb the remaining old residents
+  // by displacement (writers filled it mid-window): finish the drain
+  // stop-the-world, growing the live core if even exclusive inserts fail.
+  // Returns false if canceled before the drain could run.
+  // TryLock instead of Lock: Clear()/~GeneralCuckooMap hold
+  // maintenance_mutex_ while joining this thread; blocking here would
+  // deadlock, so back off and honor cancel instead. Excluded from analysis
+  // for the same conditional-acquisition reason as the snapshot walk.
+  bool TryForceFinish(MigrationState* ms) NO_THREAD_SAFETY_ANALYSIS {
+    for (;;) {
+      if (ms->cancel.load(std::memory_order_acquire)) {
+        return false;
+      }
+      if (maintenance_mutex_.TryLock()) {
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (ms->cancel.load(std::memory_order_acquire) || migration_state_.get() != ms) {
+      maintenance_mutex_.Unlock();
+      return false;
+    }
+    {
+      AllGuard all(stripes_);
+      // Snapshot walks cannot tell these bulk moves apart from untouched
+      // buckets (no per-move displacement log entries when the live core
+      // must grow); bump the epoch so an in-flight walk retries.
+      force_finish_epoch_.fetch_add(1, std::memory_order_release);
+      for (std::size_t b = 0; b < ms->old_bucket_count; ++b) {
+        for (int s = 0; s < B; ++s) {
+          if (ms->old_core->Tag(b, s) == 0) {
+            continue;
+          }
+          const HashedKey h = HashedKey::From(hasher_(ms->old_core->Key(b, s)));
+          if (snapshot_active_.load(std::memory_order_acquire)) {
+            LogDisplaced(*ms->old_core, b, s);
+          }
+          while (!ExclusiveInsert(*core_, h, std::move(ms->old_core->Key(b, s)),
+                                  std::move(ms->old_core->Value(b, s)))) {
+            GrowLiveLocked();
+          }
+          ms->old_core->DestroySlot(b, s);
+        }
+        if (ms->MarkMigrated(b)) {
+          ms->buckets_done.fetch_add(1, std::memory_order_relaxed);
+          stats_.RecordMigrationBucketDone();
+        }
+      }
+    }
+    stats_.RecordMigrationForceFinished();
+    maintenance_mutex_.Unlock();
+    return true;
+  }
+
+  // Replace the live core with a double-size rehash, exclusively (AllGuard
+  // held by the caller). Readers holding a stale MigrationState see its
+  // new_core mismatch the published core afterwards and ignore the window —
+  // correct, because by the time the stripes release every element lives in
+  // the published core.
+  void GrowLiveLocked() REQUIRES(maintenance_mutex_) REQUIRES(stripes_) {
+    std::size_t new_log2 = CoreLog2(*core_) + 1;
+    for (;; ++new_log2) {
+      auto fresh = std::make_unique<Core>(new_log2);
+      if (RehashInto(*core_, *fresh)) {
+        retired_.push_back(std::move(core_));
+        core_ = std::move(fresh);
+        core_snapshot_.store(core_.get(), std::memory_order_release);
+        stats_.RecordExpansion();
+        return;
+      }
       RecoverFrom(*core_, *fresh);
     }
   }
@@ -764,19 +1422,8 @@ class GeneralCuckooMap {
       if (!BfsSearch(core, b1, b2, opts_.max_search_slots, opts_.prefetch, &path)) {
         return false;
       }
-      bool valid = true;
-      for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
-        const PathHop& from = path.hops[i];
-        const PathHop& to = path.hops[i + 1];
-        if (from.tag == 0 || core.Tag(from.bucket, from.slot) != from.tag ||
-            core.Tag(to.bucket, to.slot) != 0) {
-          valid = false;
-          break;
-        }
-        core.MoveSlot(from.bucket, from.slot, to.bucket, to.slot);
-      }
       const PathHop& hole = path.hops.front();
-      if (!valid || core.Tag(hole.bucket, hole.slot) != 0) {
+      if (!ExecutePathExclusive(core, path) || core.Tag(hole.bucket, hole.slot) != 0) {
         continue;  // self-overlapping path; table perturbed, search again
       }
       core.ConstructSlot(hole.bucket, hole.slot, h.tag, std::forward<KArg>(key),
@@ -795,6 +1442,21 @@ class GeneralCuckooMap {
   std::unique_ptr<Core> core_ GUARDED_BY(maintenance_mutex_);
   // Superseded cores, kept until destruction (see Expand).
   std::vector<std::unique_ptr<Core>> retired_ GUARDED_BY(maintenance_mutex_);
+  // Incremental-expansion window: while open, draining_core_ is the old
+  // (shrinking) table and migration_state_ tracks per-bucket drain progress.
+  // Like retired_ cores, completed states are kept mapped (a stale reader may
+  // still hold the pointer it loaded from migration_).
+  std::unique_ptr<Core> draining_core_ GUARDED_BY(maintenance_mutex_);
+  std::unique_ptr<MigrationState> migration_state_ GUARDED_BY(maintenance_mutex_);
+  std::vector<std::unique_ptr<MigrationState>> retired_migrations_
+      GUARDED_BY(maintenance_mutex_);
+  std::thread migrator_ GUARDED_BY(maintenance_mutex_);
+  // Lock-free view of the open window (nullptr when none); published after
+  // the state is fully constructed, cleared before completion is announced.
+  mutable std::atomic<MigrationState*> migration_{nullptr};
+  // Bumped (under AllGuard) by TryForceFinish before its bulk drain; snapshot
+  // walks validate it per-bucket and retry on change.
+  mutable std::atomic<std::uint64_t> force_finish_epoch_{0};
   mutable std::atomic<Core*> core_snapshot_{nullptr};
   std::atomic<std::size_t> size_{0};
   mutable MapStats stats_;

@@ -121,6 +121,34 @@ bool BfsSearch(const Core& core, std::size_t b1, std::size_t b2, std::size_t max
   return false;
 }
 
+// Validate-and-execute every displacement of `path` against `core`, for
+// callers that hold exclusive access to the whole table (expansion rehash,
+// LockedView inserts). No locking, but hop validation is still required: a
+// BFS path can revisit the same slot via a cycle in the cuckoo graph, in
+// which case an earlier executed hop invalidates a later one. Executed hops
+// are individually correct displacements, so on failure the caller simply
+// searches again over the (now perturbed) table.
+//
+// An empty path moves nothing and reports failure — the hop loop counts down
+// from hops.size() - 1, which would otherwise underflow to SIZE_MAX and walk
+// out of bounds.
+template <typename Core>
+bool ExecutePathExclusive(Core& core, const CuckooPath& path) {
+  if (path.hops.empty()) {
+    return false;
+  }
+  for (std::size_t i = path.hops.size() - 1; i-- > 0;) {
+    const PathHop& from = path.hops[i];
+    const PathHop& to = path.hops[i + 1];
+    if (from.tag == 0 || core.Tag(from.bucket, from.slot) != from.tag ||
+        core.Tag(to.bucket, to.slot) != 0) {
+      return false;
+    }
+    core.MoveSlot(from.bucket, from.slot, to.bucket, to.slot);
+  }
+  return true;
+}
+
 // MemC3's search: greedy random displacement, tracking two paths in parallel
 // (one rooted at each candidate bucket) and completing when either finds an
 // empty slot. Caps each path at `max_path_len` hops.

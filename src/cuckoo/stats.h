@@ -52,6 +52,14 @@ struct MapStatsSnapshot {
   std::int64_t read_retries = 0;         // optimistic read version mismatches
   std::int64_t expansions = 0;
   std::int64_t lock_contended = 0;       // stripe acquisitions that had to wait
+  // Incremental-expansion migration (see GeneralCuckooMap::Expand):
+  std::int64_t migrations_started = 0;       // migration windows opened
+  std::int64_t migrations_completed = 0;     // windows fully drained
+  std::int64_t migrations_force_finished = 0;  // windows closed by bulk drain
+  std::int64_t migrated_entries = 0;         // elements moved old core -> live
+  std::int64_t migration_buckets_total = 0;  // gauge: old buckets in the window
+  std::int64_t migration_buckets_done = 0;   // gauge: old buckets drained
+  std::int64_t migration_max_stall_ns = 0;   // worst single writer-side stall
   std::array<std::int64_t, kPathHistogramBuckets> path_length_hist{};
 
   // Latency distributions (nanoseconds, sampled 1-in-64 when profiling is
@@ -60,6 +68,7 @@ struct MapStatsSnapshot {
   obs::HistogramSnapshot insert_ns;           // Insert/Upsert latency
   obs::HistogramSnapshot expansion_pause_ns;  // full-table lock hold per Expand
   obs::HistogramSnapshot batch_hits;          // hits per batched-lookup call
+  obs::HistogramSnapshot migration_stall_ns;  // writer piggyback/help-drain time
 
   // Mean executed cuckoo-path length (hops per path, excluding zero-hop
   // inserts into a free slot).
@@ -105,6 +114,15 @@ struct MapStatsSnapshot {
     read_retries += other.read_retries;
     expansions += other.expansions;
     lock_contended += other.lock_contended;
+    migrations_started += other.migrations_started;
+    migrations_completed += other.migrations_completed;
+    migrations_force_finished += other.migrations_force_finished;
+    migrated_entries += other.migrated_entries;
+    migration_buckets_total += other.migration_buckets_total;
+    migration_buckets_done += other.migration_buckets_done;
+    if (other.migration_max_stall_ns > migration_max_stall_ns) {
+      migration_max_stall_ns = other.migration_max_stall_ns;
+    }
     for (std::size_t i = 0; i < kPathHistogramBuckets; ++i) {
       path_length_hist[i] += other.path_length_hist[i];
     }
@@ -112,6 +130,7 @@ struct MapStatsSnapshot {
     insert_ns.Merge(other.insert_ns);
     expansion_pause_ns.Merge(other.expansion_pause_ns);
     batch_hits.Merge(other.batch_hits);
+    migration_stall_ns.Merge(other.migration_stall_ns);
   }
 };
 
@@ -186,6 +205,32 @@ class MapStats {
   }
   void RecordBatchHits(std::size_t hits) noexcept { batch_hits_.Record(hits); }
 
+  // ----- Incremental-expansion migration -------------------------------------
+
+  void RecordMigrationStarted(std::size_t buckets) noexcept {
+    migrations_started_.Increment();
+    migration_buckets_total_.store(static_cast<std::int64_t>(buckets),
+                                   std::memory_order_relaxed);
+    migration_buckets_done_.store(0, std::memory_order_relaxed);
+  }
+  void RecordMigrationBucketDone() noexcept {
+    migration_buckets_done_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordMigrationCompleted() noexcept { migrations_completed_.Increment(); }
+  void RecordMigrationForceFinished() noexcept { migrations_force_finished_.Increment(); }
+  void RecordMigratedEntry() noexcept { migrated_entries_.Increment(); }
+  // Time a writer spent doing migration work inside its own critical section
+  // (piggyback moves) or as Expand-time help-draining — the incremental
+  // replacement for the stop-the-world pause, so the max is tracked too.
+  void RecordMigrationStall(std::uint64_t nanos) noexcept {
+    migration_stall_ns_.Record(nanos);
+    std::int64_t observed = migration_max_stall_ns_.load(std::memory_order_relaxed);
+    while (observed < static_cast<std::int64_t>(nanos) &&
+           !migration_max_stall_ns_.compare_exchange_weak(
+               observed, static_cast<std::int64_t>(nanos), std::memory_order_relaxed)) {
+    }
+  }
+
   // The stripe-lock table increments this on every acquisition that lost its
   // initial try-lock (see LockStripes::SetContentionCounter).
   PerThreadCounter* ContentionCounter() noexcept { return &lock_contended_; }
@@ -206,6 +251,13 @@ class MapStats {
     s.read_retries = read_retries_.Sum();
     s.expansions = expansions_.Sum();
     s.lock_contended = lock_contended_.Sum();
+    s.migrations_started = migrations_started_.Sum();
+    s.migrations_completed = migrations_completed_.Sum();
+    s.migrations_force_finished = migrations_force_finished_.Sum();
+    s.migrated_entries = migrated_entries_.Sum();
+    s.migration_buckets_total = migration_buckets_total_.load(std::memory_order_relaxed);
+    s.migration_buckets_done = migration_buckets_done_.load(std::memory_order_relaxed);
+    s.migration_max_stall_ns = migration_max_stall_ns_.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < kPathHistogramBuckets; ++i) {
       s.path_length_hist[i] = path_length_hist_[i].load(std::memory_order_relaxed);
     }
@@ -213,6 +265,7 @@ class MapStats {
     s.insert_ns = insert_ns_.Snapshot();
     s.expansion_pause_ns = expansion_pause_ns_.Snapshot();
     s.batch_hits = batch_hits_.Snapshot();
+    s.migration_stall_ns = migration_stall_ns_.Snapshot();
     return s;
   }
 
@@ -231,6 +284,13 @@ class MapStats {
     read_retries_.Reset();
     expansions_.Reset();
     lock_contended_.Reset();
+    migrations_started_.Reset();
+    migrations_completed_.Reset();
+    migrations_force_finished_.Reset();
+    migrated_entries_.Reset();
+    migration_buckets_total_.store(0, std::memory_order_relaxed);
+    migration_buckets_done_.store(0, std::memory_order_relaxed);
+    migration_max_stall_ns_.store(0, std::memory_order_relaxed);
     for (auto& h : path_length_hist_) {
       h.store(0, std::memory_order_relaxed);
     }
@@ -238,6 +298,7 @@ class MapStats {
     insert_ns_.Reset();
     expansion_pause_ns_.Reset();
     batch_hits_.Reset();
+    migration_stall_ns_.Reset();
   }
 
  private:
@@ -265,6 +326,15 @@ class MapStats {
   PerThreadCounter read_retries_;
   PerThreadCounter expansions_;
   PerThreadCounter lock_contended_;
+  PerThreadCounter migrations_started_;
+  PerThreadCounter migrations_completed_;
+  PerThreadCounter migrations_force_finished_;
+  PerThreadCounter migrated_entries_;
+  // Gauges for the (single) open migration window; plain atomics, not
+  // per-thread: written by one starter / few markers, read by Stats().
+  std::atomic<std::int64_t> migration_buckets_total_{0};
+  std::atomic<std::int64_t> migration_buckets_done_{0};
+  std::atomic<std::int64_t> migration_max_stall_ns_{0};
   std::array<std::atomic<std::int64_t>, kPathHistogramBuckets> path_length_hist_{};
 
   std::atomic<bool> profile_latency_{true};
@@ -272,6 +342,7 @@ class MapStats {
   obs::Histogram insert_ns_;
   obs::Histogram expansion_pause_ns_;
   obs::Histogram batch_hits_;
+  obs::Histogram migration_stall_ns_;
 };
 
 }  // namespace cuckoo

@@ -34,6 +34,7 @@ KvService::KvService(Options opts)
         GeneralCuckooMap<std::string, StoredValue>::Options o;
         o.initial_bucket_count_log2 = opts.initial_bucket_count_log2;
         o.auto_expand = opts.auto_expand;
+        o.stripe_count = opts.stripe_count;
         return o;
       }()),
       clock_(opts.clock ? std::move(opts.clock) : WallSeconds),
@@ -320,6 +321,18 @@ void KvService::HandleStats(const Request& request, std::string* response_out) {
              response_out);
   AppendStat("table_insert_failures", static_cast<std::uint64_t>(table.insert_failures),
              response_out);
+  AppendStat("table_migrations_started",
+             static_cast<std::uint64_t>(table.migrations_started), response_out);
+  AppendStat("table_migrations_completed",
+             static_cast<std::uint64_t>(table.migrations_completed), response_out);
+  AppendStat("table_migrations_force_finished",
+             static_cast<std::uint64_t>(table.migrations_force_finished), response_out);
+  AppendStat("table_migrated_entries",
+             static_cast<std::uint64_t>(table.migrated_entries), response_out);
+  AppendStat("table_migration_buckets_total",
+             static_cast<std::uint64_t>(table.migration_buckets_total), response_out);
+  AppendStat("table_migration_buckets_done",
+             static_cast<std::uint64_t>(table.migration_buckets_done), response_out);
   for (const auto& hook : extra_stats_) {
     hook(response_out);  // server- and durability-layer counters
   }
@@ -346,6 +359,9 @@ void KvService::AppendLatencyStats(std::string* out) const {
   AppendHistStats("table_lookup_ns", table.lookup_ns, out);
   AppendHistStats("table_insert_ns", table.insert_ns, out);
   AppendHistStats("table_expansion_pause_ns", table.expansion_pause_ns, out);
+  AppendHistStats("table_migration_stall_ns", table.migration_stall_ns, out);
+  AppendStat("table_migration_max_stall_ns",
+             static_cast<std::uint64_t>(table.migration_max_stall_ns), out);
 }
 
 void KvService::AppendSlowlogStats(std::string* out) const {
@@ -418,6 +434,31 @@ void KvService::AppendMetricsText(std::string* out) const {
   obs::AppendLatencySummary("cuckoo_table_expansion_pause_seconds",
                             "Write pause while the table doubled.",
                             table.expansion_pause_ns, 1e-9, out);
+  obs::AppendCounter("cuckoo_table_migrations_total",
+                     "Incremental expansion windows opened.",
+                     static_cast<std::uint64_t>(table.migrations_started), out);
+  obs::AppendCounter("cuckoo_table_migrations_completed_total",
+                     "Incremental expansion windows fully drained.",
+                     static_cast<std::uint64_t>(table.migrations_completed), out);
+  obs::AppendCounter("cuckoo_table_migrations_force_finished_total",
+                     "Migration windows closed by a bulk stop-the-world drain.",
+                     static_cast<std::uint64_t>(table.migrations_force_finished), out);
+  obs::AppendCounter("cuckoo_table_migrated_entries_total",
+                     "Entries moved old-core to new-core during migration.",
+                     static_cast<std::uint64_t>(table.migrated_entries), out);
+  if (table.migration_buckets_total > 0) {
+    obs::AppendGauge("cuckoo_table_migration_progress",
+                     "Fraction of old-core buckets drained (current/last window).",
+                     static_cast<double>(table.migration_buckets_done) /
+                         static_cast<double>(table.migration_buckets_total),
+                     out);
+  }
+  obs::AppendGauge("cuckoo_table_migration_max_stall_seconds",
+                   "Worst single-writer piggyback/help stall.",
+                   static_cast<double>(table.migration_max_stall_ns) * 1e-9, out);
+  obs::AppendLatencySummary("cuckoo_table_migration_stall_seconds",
+                            "Per-writer migration piggyback/help stall.",
+                            table.migration_stall_ns, 1e-9, out);
 }
 
 void KvService::Connection::Drive(std::string_view bytes, std::string* out) {

@@ -75,6 +75,10 @@ class KvService {
   struct Options {
     std::size_t initial_bucket_count_log2 = 10;
     bool auto_expand = true;
+    // Lock stripes in the backing table. Expansion goes incremental (online)
+    // once bucket_count % stripe_count == 0; smaller tables fall back to the
+    // stop-the-world rehash. Tests shrink this to force the online path early.
+    std::size_t stripe_count = LockStripes::kDefaultStripeCount;
     // Time source in seconds; injectable so TTL behaviour is testable
     // deterministically. Null = wall clock.
     std::function<std::uint64_t()> clock;

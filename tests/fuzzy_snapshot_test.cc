@@ -12,10 +12,29 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/file_util.h"
+#include "src/cuckoo/general_cuckoo_map.h"
 #include "src/kvserver/kv_service.h"
+#include "src/persist/durability.h"
+#include "src/persist/recovery.h"
 
 namespace cuckoo {
 namespace {
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl = ::testing::TempDir() + "cuckoo_fuzzy_XXXXXX";
+    path = ::mkdtemp(tmpl.data());
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() {
+    for (const std::string& name : ListFilesWithPrefix(path, "")) {
+      RemoveFile(path + "/" + name);
+    }
+    ::rmdir(path.c_str());
+  }
+};
 
 std::string Drive(KvService* service, const std::string& input) {
   auto conn = service->Connect();
@@ -116,6 +135,131 @@ TEST(FuzzySnapshotTest, WalkSeesAllStableKeysWhileWritersRun) {
   // Writers made progress while the walk ran (it holds at most one stripe
   // at a time, so it can never starve the write path globally).
   EXPECT_GT(writer_ops.load(std::memory_order_relaxed), 1000u);
+}
+
+TEST(FuzzySnapshotTest, WalkDuringIncrementalMigrationCapturesEveryStableKey) {
+  // Small table + few stripes: every expansion past the first is an
+  // incremental (two-core) migration window, so the walk runs while elements
+  // are split across the live and draining cores and while the migrator and
+  // piggybacking writers move them mid-walk.
+  GeneralCuckooMap<std::string, std::string>::Options o;
+  o.initial_bucket_count_log2 = 6;
+  o.stripe_count = 8;
+  GeneralCuckooMap<std::string, std::string> map(o);
+
+  constexpr int kStableKeys = 3000;
+  for (int i = 0; i < kStableKeys; ++i) {
+    ASSERT_EQ(map.Insert("stable-" + std::to_string(i), "s" + std::to_string(i)),
+              InsertResult::kOk);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    // Keep doubling the table: every walk attempt races a migration window.
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      map.Insert("churn-" + std::to_string(i), "c");
+      ++i;
+    }
+  });
+
+  // The walk aborts when the live core swaps under it (bucket indices are
+  // not comparable across cores); the caller's contract is to retry. With
+  // expansions firing continuously, a handful of attempts must still land.
+  std::unordered_map<std::string, std::string> captured;
+  bool complete = false;
+  for (int attempt = 0; attempt < 200 && !complete; ++attempt) {
+    captured.clear();
+    complete = map.TrySnapshotBuckets(
+        [&](const std::string& key, const std::string& value) { captured[key] = value; });
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  ASSERT_TRUE(complete) << "snapshot walk never completed across 200 attempts";
+
+  const MapStatsSnapshot stats = map.Stats();
+  EXPECT_GT(stats.migrations_started, 0)
+      << "the churn must have opened incremental windows";
+  for (int i = 0; i < kStableKeys; ++i) {
+    const std::string key = "stable-" + std::to_string(i);
+    auto it = captured.find(key);
+    ASSERT_NE(it, captured.end())
+        << "snapshot lost " << key << " across the two-core window";
+    EXPECT_EQ(it->second, "s" + std::to_string(i));
+  }
+}
+
+TEST(FuzzySnapshotTest, DurableSnapshotDuringExpansionRecoversEveryKey) {
+  // End-to-end: WAL-attached inserts keep doubling the store while a durable
+  // snapshot walks it; recovery from snapshot + WAL tail must reproduce every
+  // acknowledged key. stripe_count=8 makes the second and later expansions
+  // incremental, so the walk and the WAL critical sections both cross the
+  // two-core window.
+  TempDir dir;
+  constexpr int kPhase1 = 500;
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 2000;
+  {
+    KvService::Options options;
+    options.initial_bucket_count_log2 = 6;
+    options.stripe_count = 8;
+    KvService service(options);
+    persist::DurabilityManager durability(&service);
+    persist::DurabilityOptions dopts;
+    dopts.dir = dir.path;
+    std::string error;
+    ASSERT_TRUE(durability.Start(dopts, &error)) << error;
+
+    for (int i = 0; i < kPhase1; ++i) {
+      SetKey(&service, "p1-" + std::to_string(i), "v" + std::to_string(i));
+    }
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        auto conn = service.Connect();
+        std::string out;
+        for (int i = 0; i < kPerWriter; ++i) {
+          const std::string key = "p2-" + std::to_string(w) + ":" + std::to_string(i);
+          out.clear();
+          conn.Drive("set " + key + " 0 0 1\r\nx\r\n", &out);
+          ASSERT_EQ(out, "STORED\r\n");
+        }
+      });
+    }
+    // Snapshot mid-churn: the walk races live expansions and retries on core
+    // swap; the durability layer bounds the retries.
+    ASSERT_TRUE(durability.TriggerSnapshot());
+    EXPECT_TRUE(durability.WaitForSnapshot());
+    for (auto& t : writers) {
+      t.join();
+    }
+    const MapStatsSnapshot table = service.StoreStats();
+    EXPECT_GT(table.migrations_started, 0)
+        << "the fill must have crossed at least one incremental expansion";
+    durability.Stop();
+  }
+
+  KvService restored;
+  persist::RecoveryStats stats;
+  std::string error;
+  ASSERT_TRUE(persist::RecoverKvService(dir.path, &restored, &stats, &error)) << error;
+  EXPECT_EQ(restored.ItemCount(),
+            static_cast<std::uint64_t>(kPhase1 + kWriters * kPerWriter));
+  auto conn = restored.Connect();
+  for (int i = 0; i < kPhase1; ++i) {
+    std::string out;
+    conn.Drive("get p1-" + std::to_string(i) + "\r\n", &out);
+    ASSERT_NE(out.find("v" + std::to_string(i)), std::string::npos) << i;
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      const std::string key = "p2-" + std::to_string(w) + ":" + std::to_string(i);
+      std::string out;
+      conn.Drive("get " + key + "\r\n", &out);
+      ASSERT_NE(out.find("END"), std::string::npos);
+      ASSERT_NE(out.find("VALUE"), std::string::npos) << key << " lost";
+    }
+  }
 }
 
 TEST(FuzzySnapshotTest, WalkOnQuiescentTableIsExact) {

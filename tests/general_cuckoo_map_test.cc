@@ -347,6 +347,200 @@ TEST(GeneralCuckooMapTest, ClearDestroysElements) {
   EXPECT_EQ(token.use_count(), 1);
 }
 
+// ----- Incremental expansion ------------------------------------------------
+
+// Poll until every opened migration window has drained (the background
+// migrator runs on its own schedule).
+template <typename Map>
+void WaitForMigrationsToComplete(const Map& map) {
+  for (int i = 0; i < 10000; ++i) {
+    const MapStatsSnapshot s = map.Stats();
+    if (s.migrations_completed == s.migrations_started) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "migration window never drained";
+}
+
+TEST(GeneralCuckooMapTest, IncrementalExpansionKeepsEveryKeyVisible) {
+  StringMap::Options o;
+  o.initial_bucket_count_log2 = 6;  // 64 buckets
+  o.stripe_count = 8;               // 64 % 8 == 0: incremental from the start
+  StringMap map(o);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 6000;
+  std::atomic<int> writers_done{0};
+  std::atomic<int> reader_misses{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        std::string key = "w" + std::to_string(w) + ":" + std::to_string(i);
+        EXPECT_EQ(map.Insert(key, "v" + key), InsertResult::kOk);
+        // Read-your-writes must hold across the two-core window: the key may
+        // still sit in the draining core or have just been piggybacked over.
+        std::string v;
+        EXPECT_TRUE(map.Find(key, &v)) << key;
+        EXPECT_EQ(v, "v" + key);
+      }
+      writers_done.fetch_add(1);
+    });
+  }
+  // A reader hammering each writer's older keys while cores swap under it.
+  threads.emplace_back([&] {
+    std::string v;
+    int i = 0;
+    while (writers_done.load() < kWriters) {
+      std::string key = "w" + std::to_string(i % kWriters) + ":" + std::to_string(i % 100);
+      if (map.Contains(key) && !map.Find(key, &v)) {
+        reader_misses.fetch_add(1);
+      }
+      ++i;
+    }
+  });
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(reader_misses.load(), 0);
+  EXPECT_EQ(map.Size(), static_cast<std::size_t>(kWriters * kPerWriter));
+  const MapStatsSnapshot stats = map.Stats();
+  EXPECT_GT(stats.migrations_started, 0) << "expansions must have gone incremental";
+  WaitForMigrationsToComplete(map);
+  // Every key must still be present after the old cores fully drained.
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      std::string key = "w" + std::to_string(w) + ":" + std::to_string(i);
+      std::string v;
+      ASSERT_TRUE(map.Find(key, &v)) << key;
+      ASSERT_EQ(v, "v" + key);
+    }
+  }
+}
+
+TEST(GeneralCuckooMapTest, MigrationGaugesReportCompletedDrain) {
+  StringMap::Options o;
+  o.initial_bucket_count_log2 = 6;
+  o.stripe_count = 8;
+  StringMap map(o);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_EQ(map.Insert("k" + std::to_string(i), "v"), InsertResult::kOk);
+  }
+  WaitForMigrationsToComplete(map);
+  const MapStatsSnapshot stats = map.Stats();
+  ASSERT_GT(stats.migrations_started, 0);
+  EXPECT_EQ(stats.migrations_completed, stats.migrations_started);
+  EXPECT_GT(stats.migrated_entries, 0) << "the drain must have moved residents";
+  // The progress gauge pair describes the last window: fully drained.
+  EXPECT_GT(stats.migration_buckets_total, 0);
+  EXPECT_EQ(stats.migration_buckets_done, stats.migration_buckets_total);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(map.Contains("k" + std::to_string(i))) << i;
+  }
+}
+
+TEST(GeneralCuckooMapTest, StopTheWorldFallbackWhenIncrementalDisabled) {
+  StringMap::Options o;
+  o.initial_bucket_count_log2 = 4;
+  o.incremental_expand = false;
+  StringMap map(o);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_EQ(map.Insert("k" + std::to_string(i), std::to_string(i)), InsertResult::kOk);
+  }
+  const MapStatsSnapshot stats = map.Stats();
+  EXPECT_GT(stats.expansions, 0);
+  EXPECT_EQ(stats.migrations_started, 0) << "flag off must force stop-the-world";
+  for (int i = 0; i < 3000; ++i) {
+    std::string v;
+    ASSERT_TRUE(map.Find("k" + std::to_string(i), &v)) << i;
+    ASSERT_EQ(v, std::to_string(i));
+  }
+}
+
+TEST(GeneralCuckooMapTest, UnalignedTablesFallBackThenGoIncremental) {
+  // 16 buckets with 64 stripes: 16 % 64 != 0, so the first expansions are
+  // stop-the-world; once the table reaches 64 buckets the alignment
+  // invariant holds and expansion goes online.
+  StringMap::Options o;
+  o.initial_bucket_count_log2 = 4;
+  o.stripe_count = 64;
+  StringMap map(o);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_EQ(map.Insert("k" + std::to_string(i), "v"), InsertResult::kOk);
+  }
+  const MapStatsSnapshot stats = map.Stats();
+  EXPECT_GT(stats.expansions, stats.migrations_started)
+      << "the sub-stripe-count expansions must have been stop-the-world";
+  EXPECT_GT(stats.migrations_started, 0)
+      << "expansions past 64 buckets must have gone incremental";
+  WaitForMigrationsToComplete(map);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(map.Contains("k" + std::to_string(i))) << i;
+  }
+}
+
+TEST(GeneralCuckooMapTest, ClearDuringOpenMigrationWindow) {
+  StringMap::Options o;
+  o.initial_bucket_count_log2 = 6;
+  o.stripe_count = 8;
+  o.help_drain_buckets = 1;  // keep windows open longer
+  StringMap map(o);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_EQ(map.Insert("r" + std::to_string(round) + ":" + std::to_string(i), "v"),
+                InsertResult::kOk);
+    }
+    // Clear may land mid-window: it must cancel the migrator, empty both
+    // cores, and leave the map reusable.
+    map.Clear();
+    EXPECT_EQ(map.Size(), 0u);
+    EXPECT_FALSE(map.Contains("r" + std::to_string(round) + ":0"));
+  }
+}
+
+TEST(GeneralCuckooMapTest, MoveOnlyValuesSurviveIncrementalExpansion) {
+  using MoveOnlyMap = GeneralCuckooMap<std::uint64_t, std::unique_ptr<std::string>>;
+  MoveOnlyMap::Options o;
+  o.initial_bucket_count_log2 = 6;
+  o.stripe_count = 8;
+  MoveOnlyMap map(o);
+  constexpr std::uint64_t kN = 4000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(map.Insert(i, std::make_unique<std::string>(std::to_string(i))),
+              InsertResult::kOk);
+  }
+  WaitForMigrationsToComplete(map);
+  EXPECT_GT(map.Stats().migrations_started, 0);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(map.WithValue(
+        i, [&](const std::unique_ptr<std::string>& p) { EXPECT_EQ(*p, std::to_string(i)); }))
+        << i;
+  }
+}
+
+struct SnapshotSink {
+  template <typename A, typename B>
+  void operator()(const A&, const B&) const {}
+};
+
+// Dependent context: a requires-expression over a non-dependent type makes
+// the failed call a hard error instead of evaluating to false.
+template <typename M>
+constexpr bool kSnapshotable =
+    requires(const M& m, SnapshotSink s) { m.TrySnapshotBuckets(s); };
+
+TEST(GeneralCuckooMapTest, SnapshotUnavailableForMoveOnlyElements) {
+  // The displacement side log stores copies; for move-only K/V the walk
+  // would silently drop displaced elements, so the overload must not exist
+  // (detectable, rather than silently incomplete snapshots).
+  using MoveOnlyMap = GeneralCuckooMap<std::uint64_t, std::unique_ptr<std::string>>;
+  using CopyableMap = GeneralCuckooMap<std::uint64_t, std::string>;
+  static_assert(!kSnapshotable<MoveOnlyMap>,
+                "TrySnapshotBuckets must be constrained away for move-only V");
+  static_assert(kSnapshotable<CopyableMap>,
+                "TrySnapshotBuckets must remain available for copyable K/V");
+}
+
 TEST(GeneralCuckooMapTest, FixedSizeReportsTableFull) {
   StringMap::Options o;
   o.initial_bucket_count_log2 = 4;  // 64 slots

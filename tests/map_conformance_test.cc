@@ -181,9 +181,12 @@ struct FuzzStep {
 };
 
 // Small keyspace so insert/erase/update constantly collide on live keys.
+// Expansion-phase runs widen it so the live set outgrows a tiny initial
+// table and forces mid-sequence doublings.
 constexpr std::uint64_t kFuzzKeySpace = 1024;
 
-std::vector<FuzzStep> GenerateFuzzOps(std::uint64_t seed, std::size_t count) {
+std::vector<FuzzStep> GenerateFuzzOps(std::uint64_t seed, std::size_t count,
+                                      std::uint64_t key_space = kFuzzKeySpace) {
   Xorshift128Plus rng(Mix64(seed ^ 0x5eedf00du));
   std::vector<FuzzStep> steps;
   steps.reserve(count);
@@ -207,7 +210,7 @@ std::vector<FuzzStep> GenerateFuzzOps(std::uint64_t seed, std::size_t count) {
     } else {
       s.op = FuzzOp::kClear;
     }
-    s.key = rng.NextBelow(kFuzzKeySpace);
+    s.key = rng.NextBelow(key_space);
     s.value = rng.Next();
     steps.push_back(s);
   }
@@ -232,10 +235,10 @@ constexpr std::size_t kNoDivergence = static_cast<std::size_t>(-1);
 
 // Replay steps[0..n) against a fresh map and oracle. Returns the index of the
 // first diverging op (kNoDivergence if none) and a description in *what.
-template <typename MapT>
+template <typename MapT, typename Factory>
 std::size_t ReplayPrefix(const std::vector<FuzzStep>& steps, std::size_t n,
-                         std::string* what) {
-  auto map = MakeMap<MapT>();
+                         std::string* what, const Factory& make) {
+  auto map = make();
   std::unordered_map<K, V> oracle;
   auto diverge = [&](std::size_t i, const std::string& msg) {
     *what = std::string(FuzzOpName(steps[i].op)) + " key=" +
@@ -345,11 +348,12 @@ std::size_t ReplayPrefix(const std::vector<FuzzStep>& steps, std::size_t n,
   return kNoDivergence;
 }
 
-template <typename MapT>
-void RunFuzz(std::uint64_t seed, std::size_t op_count) {
-  const std::vector<FuzzStep> steps = GenerateFuzzOps(seed, op_count);
+template <typename MapT, typename Factory>
+void RunFuzzWith(std::uint64_t seed, std::size_t op_count, std::uint64_t key_space,
+                 const Factory& make) {
+  const std::vector<FuzzStep> steps = GenerateFuzzOps(seed, op_count, key_space);
   std::string what;
-  const std::size_t bad = ReplayPrefix<MapT>(steps, steps.size(), &what);
+  const std::size_t bad = ReplayPrefix<MapT>(steps, steps.size(), &what, make);
   if (bad == kNoDivergence) {
     return;
   }
@@ -361,7 +365,7 @@ void RunFuzz(std::uint64_t seed, std::size_t op_count) {
   while (lo + 1 < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
     std::string w;
-    if (ReplayPrefix<MapT>(steps, mid, &w) != kNoDivergence) {
+    if (ReplayPrefix<MapT>(steps, mid, &w, make) != kNoDivergence) {
       hi = mid;
       prefix_what = w;
     } else {
@@ -379,6 +383,11 @@ void RunFuzz(std::uint64_t seed, std::size_t op_count) {
          << "\n  reproduce: CUCKOO_FUZZ_SEED=" << seed
          << " ctest -R MapFuzzTest --output-on-failure\n  last ops of the minimal prefix:"
          << tail;
+}
+
+template <typename MapT>
+void RunFuzz(std::uint64_t seed, std::size_t op_count) {
+  RunFuzzWith<MapT>(seed, op_count, kFuzzKeySpace, [] { return MakeMap<MapT>(); });
 }
 
 // Seed override for reproducing a printed failure.
@@ -411,6 +420,52 @@ TYPED_TEST(MapFuzzTest, SeededOpSequencesMatchOracle) {
       return;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Forced-expansion fuzz phases: the same oracle harness, but starting from a
+// tiny table with a keyspace wide enough that the live set doubles the table
+// several times mid-sequence. Expansion is no longer a rare corner — every
+// seeded run crosses multiple windows with finds/erases/upserts landing on
+// both sides of the rehash (or, for the aligned GeneralCuckooMap config, on
+// both cores of an open incremental migration window).
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kExpandKeySpace = 16384;
+
+TEST(MapFuzzExpansionTest, GeneralMapIncrementalExpansionMatchesOracle) {
+  auto make = [] {
+    GeneralCuckooMap<K, V>::Options o;
+    o.initial_bucket_count_log2 = 4;  // 64 slots: the fuzz fill doubles it ~8x
+    o.stripe_count = 8;               // 16 % 8 == 0: every expansion is online
+    return std::make_unique<GeneralCuckooMap<K, V>>(o);
+  };
+  for (std::uint64_t round = 0; round < 2; ++round) {
+    RunFuzzWith<GeneralCuckooMap<K, V>>(FuzzSeed(0xe49a4d00 + round), 30000,
+                                        kExpandKeySpace, make);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(MapFuzzExpansionTest, GeneralMapStopTheWorldExpansionMatchesOracle) {
+  auto make = [] {
+    GeneralCuckooMap<K, V>::Options o;
+    o.initial_bucket_count_log2 = 4;
+    o.incremental_expand = false;  // pin the stop-the-world path
+    return std::make_unique<GeneralCuckooMap<K, V>>(o);
+  };
+  RunFuzzWith<GeneralCuckooMap<K, V>>(FuzzSeed(0xe49a4dff), 30000, kExpandKeySpace, make);
+}
+
+TEST(MapFuzzExpansionTest, CuckooMapExpansionMatchesOracle) {
+  auto make = [] {
+    CuckooMap<K, V>::Options o;
+    o.initial_bucket_count_log2 = 4;
+    return std::make_unique<CuckooMap<K, V>>(o);
+  };
+  RunFuzzWith<CuckooMap<K, V>>(FuzzSeed(0xe49a4e01), 30000, kExpandKeySpace, make);
 }
 
 }  // namespace

@@ -123,6 +123,54 @@ TEST(BfsSearchTest, RespectsEq2Bound) {
   EXPECT_GT(static_cast<double>(key) / static_cast<double>(core.slot_count()), 0.9);
 }
 
+TEST(ExecutePathExclusiveTest, EmptyPathFailsWithoutTouchingTable) {
+  // Regression: the hop loop counts down from hops.size() - 1; an empty path
+  // used to underflow to SIZE_MAX and walk out of bounds.
+  Core core(4);
+  CuckooPath empty;
+  EXPECT_FALSE(ExecutePathExclusive(core, empty));
+  for (std::size_t b = 0; b < core.bucket_count(); ++b) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(core.Tag(b, s), 0);
+    }
+  }
+}
+
+TEST(ExecutePathExclusiveTest, SingleHopPathIsANoOpSuccess) {
+  // A one-hop path is just the hole itself: nothing to displace.
+  Core core(4);
+  CuckooPath path;
+  path.hops.push_back(PathHop{2, 1, 0});
+  EXPECT_TRUE(ExecutePathExclusive(core, path));
+  EXPECT_EQ(core.Tag(2, 1), 0);
+}
+
+TEST(ExecutePathExclusiveTest, ExecutesValidatedDisplacements) {
+  Core core(4);
+  // Place one item in bucket 3 slot 0 and describe the path moving it into
+  // the (empty) slot 1 of its alternate bucket.
+  const std::uint8_t tag = 7;
+  core.WriteSlot(3, 0, tag, 42, 99);
+  const std::size_t alt = core.AltBucket(3, tag);
+  CuckooPath path;
+  path.hops.push_back(PathHop{3, 0, tag});
+  path.hops.push_back(PathHop{alt, 1, 0});
+  ASSERT_TRUE(ExecutePathExclusive(core, path));
+  EXPECT_EQ(core.Tag(3, 0), 0);
+  EXPECT_EQ(core.Tag(alt, 1), tag);
+  EXPECT_EQ(core.KeyRef(alt, 1), 42u);
+}
+
+TEST(ExecutePathExclusiveTest, FailsWhenHopValidationFails) {
+  Core core(4);
+  CuckooPath path;
+  // Source slot is empty (tag mismatch): validation must fail, not move.
+  path.hops.push_back(PathHop{3, 0, 7});
+  path.hops.push_back(PathHop{5, 1, 0});
+  EXPECT_FALSE(ExecutePathExclusive(core, path));
+  EXPECT_EQ(core.Tag(5, 1), 0);
+}
+
 TEST(DfsSearchTest, FindsHoleInRootBucket) {
   Core core(6);
   Xorshift128Plus rng(2);

@@ -25,6 +25,7 @@
 #include "src/common/striped_locks.h"
 #include "src/cuckoo/cuckoo_map.h"
 #include "src/cuckoo/flat_cuckoo_map.h"
+#include "src/cuckoo/general_cuckoo_map.h"
 #include "src/cuckoo/types.h"
 
 #if !CUCKOO_ENABLE_TEST_POINTS
@@ -291,6 +292,105 @@ TEST(RaceInjectionTest, StripeOrderedDoubleLockCannotDeadlock) {
   // and no lock bit is left behind.
   EXPECT_EQ(stripes.Stripe(kLow).AwaitVersion(), 2u);
   EXPECT_EQ(stripes.Stripe(kHigh).AwaitVersion(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Expansion allocates the fresh core OUTSIDE the writer-visible pause.
+//
+// kExpansionCoreAllocated fires after the first-attempt core is allocated
+// (and zeroed) but before any stripe is taken. The handler performs a table
+// read from inside the window: if the allocation ever regresses to inside
+// the AllGuard hold, the read self-deadlocks (the expanding thread already
+// owns every stripe / has every seqlock version odd) and the test hangs
+// instead of passing. The pause histogram must meanwhile have recorded one
+// sample per expansion — the pause accounting survives the hoist.
+TEST(RaceInjectionTest, CuckooMapExpansionAllocatesCoreOutsidePause) {
+  using Map = CuckooMap<std::uint64_t, std::uint64_t>;
+  Map::Options opts;
+  opts.initial_bucket_count_log2 = 4;  // tiny: first fill forces an expansion
+  Map map(opts);
+  ASSERT_EQ(map.Insert(42, 4242), InsertResult::kOk);
+
+  std::atomic<int> fired{0};
+  ScopedHandler handler(
+      TestPoint::kExpansionCoreAllocated,
+      [&] {
+        fired.fetch_add(1, std::memory_order_relaxed);
+        std::uint64_t out = 0;
+        EXPECT_TRUE(map.Find(42, &out)) << "reads must run during core allocation";
+        EXPECT_EQ(out, 4242u);
+      },
+      /*max_fires=*/1);
+
+  for (std::uint64_t k = 100; fired.load(std::memory_order_relaxed) == 0 && k < 100000;
+       ++k) {
+    ASSERT_NE(map.Insert(k, k), InsertResult::kTableFull);
+  }
+  ASSERT_EQ(fired.load(), 1) << "the fill never triggered an expansion";
+  const auto stats = map.Stats();
+  EXPECT_GT(stats.expansions, 0);
+  EXPECT_EQ(stats.expansion_pause_ns.Count(),
+            static_cast<std::uint64_t>(stats.expansions))
+      << "each expansion must still record exactly one pause sample";
+}
+
+// Same window for GeneralCuckooMap, both expansion flavors. Locked reads make
+// the deadlock-on-regression even more direct: Contains() takes the bucket's
+// stripe, which the expanding thread would already hold.
+TEST(RaceInjectionTest, GeneralMapStopTheWorldExpansionAllocatesCoreOutsidePause) {
+  using Map = GeneralCuckooMap<std::uint64_t, std::uint64_t>;
+  Map::Options opts;
+  opts.initial_bucket_count_log2 = 4;
+  opts.incremental_expand = false;
+  Map map(opts);
+  ASSERT_EQ(map.Insert(42, 4242), InsertResult::kOk);
+
+  std::atomic<int> fired{0};
+  ScopedHandler handler(
+      TestPoint::kExpansionCoreAllocated,
+      [&] {
+        fired.fetch_add(1, std::memory_order_relaxed);
+        EXPECT_TRUE(map.Contains(42)) << "locked reads must run during allocation";
+      },
+      /*max_fires=*/1);
+
+  for (std::uint64_t k = 100; fired.load(std::memory_order_relaxed) == 0 && k < 100000;
+       ++k) {
+    ASSERT_NE(map.Insert(k, k), InsertResult::kTableFull);
+  }
+  ASSERT_EQ(fired.load(), 1);
+  const auto stats = map.Stats();
+  EXPECT_GT(stats.expansions, 0);
+  EXPECT_EQ(stats.expansion_pause_ns.Count(),
+            static_cast<std::uint64_t>(stats.expansions));
+}
+
+TEST(RaceInjectionTest, GeneralMapIncrementalExpansionAllocatesCoreOutsidePause) {
+  using Map = GeneralCuckooMap<std::uint64_t, std::uint64_t>;
+  Map::Options opts;
+  opts.initial_bucket_count_log2 = 6;
+  opts.stripe_count = 8;  // aligned from the start: expansion goes incremental
+  Map map(opts);
+  ASSERT_EQ(map.Insert(42, 4242), InsertResult::kOk);
+
+  std::atomic<int> fired{0};
+  ScopedHandler handler(
+      TestPoint::kExpansionCoreAllocated,
+      [&] {
+        fired.fetch_add(1, std::memory_order_relaxed);
+        EXPECT_TRUE(map.Contains(42));
+      },
+      /*max_fires=*/1);
+
+  for (std::uint64_t k = 100; fired.load(std::memory_order_relaxed) == 0 && k < 100000;
+       ++k) {
+    ASSERT_NE(map.Insert(k, k), InsertResult::kTableFull);
+  }
+  ASSERT_EQ(fired.load(), 1);
+  const auto stats = map.Stats();
+  EXPECT_GT(stats.migrations_started, 0) << "the expansion must have gone incremental";
+  EXPECT_EQ(stats.expansion_pause_ns.Count(),
+            static_cast<std::uint64_t>(stats.expansions));
 }
 
 }  // namespace
