@@ -4,22 +4,36 @@
 //
 // Paper numbers: 68.95 / 63.64 / 54.17 Mops — lower associativity reads
 // fewer slots (and cache lines) per lookup.
+//
+// --ab (or --smoke) switches to the probe-kernel A/B mode: the same filled
+// table is read twice per configuration, once with the scalar tag loop forced
+// and once with the dispatched SIMD kernel, across associativities and 4 KB
+// vs huge-page backing. --smoke additionally enforces the SIMD speedup floor
+// (--min_speedup, default 1.15x) and writes a BENCH_simd.json artifact; on a
+// host whose best dispatch level is scalar the floor check is skipped, not
+// failed.
 #include <cstdint>
+#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/common.h"
 #include "src/common/spinlock.h"
 #include "src/cuckoo/flat_cuckoo_map.h"
+#include "src/cuckoo/simd_probe.h"
 #include "src/htm/elided_lock.h"
 
 namespace cuckoo {
 namespace {
 
 template <int B>
+using LookupMap = FlatCuckooMap<std::uint64_t, std::uint64_t, TunedElided<SpinLock>,
+                                DefaultHash<std::uint64_t>, std::equal_to<std::uint64_t>, B>;
+
+template <int B>
 void MeasureLookup(const BenchConfig& config, ReportTable& table) {
-  FlatCuckooMap<std::uint64_t, std::uint64_t, TunedElided<SpinLock>,
-                DefaultHash<std::uint64_t>, std::equal_to<std::uint64_t>, B>
-      map(CuckooPlusOptions(config.BucketLog2(B)));
+  LookupMap<B> map(CuckooPlusOptions(config.BucketLog2(B)));
   const std::uint64_t target = config.FillTarget(map.SlotCount());
   std::uint64_t inserted = 0;
   for (std::uint64_t id = 0; id < target; ++id) {
@@ -37,10 +51,169 @@ void MeasureLookup(const BenchConfig& config, ReportTable& table) {
       .Cell(result.HitRate(), 4);
 }
 
+// ---- probe-kernel / page-size A/B ------------------------------------------
+
+struct AbRow {
+  int assoc;
+  bool hugepages;
+  std::size_t hugepage_bytes;  // actually granted
+  double load_factor;
+  double scalar_mops;
+  double simd_mops;
+
+  double Speedup() const { return scalar_mops == 0.0 ? 0.0 : simd_mops / scalar_mops; }
+};
+
+// One filled table, read under both kernels: fill noise (placement, load
+// factor) cancels out of the speedup ratio.
+template <int B>
+AbRow MeasureAb(const BenchConfig& config, bool hugepages) {
+  FlatOptions opts = CuckooPlusOptions(config.BucketLog2(B));
+  opts.hugepages = hugepages;
+  LookupMap<B> map(opts);
+  const std::uint64_t target = config.FillTarget(map.SlotCount());
+  std::uint64_t inserted = 0;
+  for (std::uint64_t id = 0; id < target; ++id) {
+    if (map.Insert(KeyForId(id, config.seed), id) == InsertResult::kOk) {
+      ++inserted;
+    }
+  }
+  const std::uint64_t per_thread = target / 4;
+
+  AbRow row;
+  row.assoc = B;
+  row.hugepages = hugepages;
+  row.hugepage_bytes = map.Stats().hugepage_bytes >= 0
+                           ? static_cast<std::size_t>(map.Stats().hugepage_bytes)
+                           : 0;
+  row.load_factor = map.LoadFactor();
+
+  const simd::ProbeLevel prev = simd::SetProbeLevelForTesting(simd::ProbeLevel::kScalar);
+  // Warm-up pass so both timed arms see an equally hot cache/TLB.
+  RunLookupOnly(map, config.threads, per_thread / 4, inserted, config.seed);
+  row.scalar_mops =
+      RunLookupOnly(map, config.threads, per_thread, inserted, config.seed).MopsPerSec();
+  simd::SetProbeLevelForTesting(simd::BestSupportedProbeLevel());
+  row.simd_mops =
+      RunLookupOnly(map, config.threads, per_thread, inserted, config.seed).MopsPerSec();
+  simd::SetProbeLevelForTesting(prev);
+  return row;
+}
+
+int RunAb(BenchConfig config, const Flags& flags) {
+  const bool smoke = flags.GetBool("smoke");
+  const std::string out_path = flags.GetString("out", "BENCH_simd.json");
+  const double min_speedup = flags.GetDouble("min_speedup", 1.15);
+  if (smoke && !flags.Has("slots_log2")) {
+    config.slots_log2 = 20;  // ~1M slots: fills in seconds, still beyond L2
+  }
+  if (smoke && !flags.Has("threads")) {
+    config.threads = 1;  // single-reader ratio is the stable smoke signal
+  }
+
+  const simd::ProbeLevel best = simd::BestSupportedProbeLevel();
+  if (!config.csv) {
+    std::printf("== Figure 8 A/B: scalar vs %s probe kernel, 4K vs huge pages ==\n",
+                simd::ProbeLevelName(best));
+    std::printf("host: slots=2^%zu fill=%.2f threads=%d\n\n", config.slots_log2,
+                config.fill, config.threads);
+  }
+
+  std::vector<AbRow> rows;
+  rows.push_back(MeasureAb<4>(config, false));
+  rows.push_back(MeasureAb<8>(config, false));
+  rows.push_back(MeasureAb<16>(config, false));
+  rows.push_back(MeasureAb<8>(config, true));
+  rows.push_back(MeasureAb<16>(config, true));
+
+  ReportTable table({"associativity", "pages", "load_factor", "scalar_mops",
+                     "simd_mops", "speedup"});
+  for (const AbRow& r : rows) {
+    table.Row()
+        .Cell(std::to_string(r.assoc) + "-way")
+        .Cell(r.hugepage_bytes > 0 ? "huge" : "4k")
+        .Cell(r.load_factor, 3)
+        .Cell(r.scalar_mops)
+        .Cell(r.simd_mops)
+        .Cell(r.Speedup(), 3);
+  }
+  table.Print(std::cout, config.csv);
+
+  double best_speedup = 0.0;
+  for (const AbRow& r : rows) {
+    if (!r.hugepages && r.Speedup() > best_speedup) {
+      best_speedup = r.Speedup();
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"simd_ab\",\n";
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"config\": {\"slots_log2\": %zu, \"threads\": %d, \"fill\": %.2f, "
+                  "\"smoke\": %s},\n  \"probe_level\": \"%s\",\n  \"results\": [\n",
+                  config.slots_log2, config.threads, config.fill,
+                  smoke ? "true" : "false", simd::ProbeLevelName(best));
+    json += buf;
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AbRow& r = rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"assoc\": %d, \"pages\": \"%s\", \"hugepage_bytes\": %zu, "
+                  "\"load_factor\": %.3f, \"scalar_mops\": %.2f, \"simd_mops\": %.2f, "
+                  "\"speedup\": %.3f}%s\n",
+                  r.assoc, r.hugepage_bytes > 0 ? "huge" : "4k", r.hugepage_bytes,
+                  r.load_factor, r.scalar_mops, r.simd_mops, r.Speedup(),
+                  i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  ],\n  \"best_speedup\": %.3f,\n  \"speedup_floor\": %.2f,\n"
+                  "  \"floor_checked\": %s\n}\n",
+                  best_speedup, min_speedup,
+                  best != simd::ProbeLevel::kScalar ? "true" : "false");
+    json += buf;
+  }
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  if (!config.csv) {
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (!smoke) {
+    return 0;
+  }
+  if (best == simd::ProbeLevel::kScalar) {
+    std::printf("SKIP: no SIMD probe level on this host; speedup floor not checked\n");
+    return 0;
+  }
+  if (best_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: dispatched %s kernel is %.3fx scalar, below the %.2fx floor\n",
+                 simd::ProbeLevelName(best), best_speedup, min_speedup);
+    return 1;
+  }
+  std::printf("floor ok: %s kernel %.3fx scalar (>= %.2fx)\n",
+              simd::ProbeLevelName(best), best_speedup, min_speedup);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   // Out-of-cache default: per-lookup cache-line counts only matter once the
   // bucket arrays exceed the LLC.
   BenchConfig config = BenchConfig::FromFlags(argc, argv, /*default_slots_log2=*/23);
+  Flags flags(argc, argv);
+  if (flags.GetBool("ab") || flags.GetBool("smoke")) {
+    return RunAb(config, flags);
+  }
   PrintBanner(config, "Figure 8",
               "Lookup-only aggregate throughput at 95% occupancy vs set-associativity.",
               "throughput decreases with associativity: 4-way > 8-way > 16-way "

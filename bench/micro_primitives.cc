@@ -10,9 +10,11 @@
 #include "src/baselines/chaining_map.h"
 #include "src/baselines/dense_map.h"
 #include "src/common/hash.h"
+#include "src/common/random.h"
 #include "src/common/spinlock.h"
 #include "src/common/version_lock.h"
 #include "src/cuckoo/cuckoo_map.h"
+#include "src/cuckoo/simd_probe.h"
 #include "src/htm/elided_lock.h"
 #include "src/htm/rtm.h"
 
@@ -88,6 +90,67 @@ void BM_OptimisticReadValidation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimisticReadValidation);
+
+// ---- tag-probe kernels (simd_probe.h) --------------------------------------
+// Arg(0..2) selects the dispatch level (scalar / sse2 / avx2); unsupported
+// levels are skipped. A pool of pre-generated tag groups keeps the working
+// set register/L1-resident, so this isolates the compare+movemask cost from
+// the memory system — the table-level A/B lives in fig08 --ab.
+
+template <int B>
+void FillRandomGroups(std::vector<simd::TagGroup<B>>* groups, std::uint64_t seed) {
+  Xorshift128Plus rng(seed);
+  for (auto& g : *groups) {
+    for (int s = 0; s < B; ++s) {
+      g.bytes[s] = static_cast<std::uint8_t>(rng.NextBelow(8));
+    }
+  }
+}
+
+template <int B>
+void BM_ProbeMatchTag(benchmark::State& state) {
+  const auto level = static_cast<simd::ProbeLevel>(state.range(0));
+  if (!simd::ProbeLevelSupported(level)) {
+    state.SkipWithError("probe level not supported on this host");
+    return;
+  }
+  const simd::ProbeLevel prev = simd::SetProbeLevelForTesting(level);
+  std::vector<simd::TagGroup<B>> groups(256);
+  FillRandomGroups<B>(&groups, 0x9a0b + B);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::MatchTagMask<B>(groups[i & 255], static_cast<std::uint8_t>(i & 7)));
+    ++i;
+  }
+  simd::SetProbeLevelForTesting(prev);
+  state.SetLabel(simd::ProbeLevelName(level));
+}
+BENCHMARK_TEMPLATE(BM_ProbeMatchTag, 4)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK_TEMPLATE(BM_ProbeMatchTag, 8)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK_TEMPLATE(BM_ProbeMatchTag, 16)->Arg(0)->Arg(1)->Arg(2);
+
+template <int B>
+void BM_ProbeMatchTag2(benchmark::State& state) {
+  const auto level = static_cast<simd::ProbeLevel>(state.range(0));
+  if (!simd::ProbeLevelSupported(level)) {
+    state.SkipWithError("probe level not supported on this host");
+    return;
+  }
+  const simd::ProbeLevel prev = simd::SetProbeLevelForTesting(level);
+  std::vector<simd::TagGroup<B>> groups(512);
+  FillRandomGroups<B>(&groups, 0x9a0c + B);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::MatchTagMask2<B>(groups[i & 255], groups[256 + (i & 255)],
+                                                    static_cast<std::uint8_t>(i & 7)));
+    ++i;
+  }
+  simd::SetProbeLevelForTesting(prev);
+  state.SetLabel(simd::ProbeLevelName(level));
+}
+BENCHMARK_TEMPLATE(BM_ProbeMatchTag2, 8)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK_TEMPLATE(BM_ProbeMatchTag2, 16)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_CuckooFind(benchmark::State& state) {
   CuckooMap<std::uint64_t, std::uint64_t>::Options o;

@@ -56,6 +56,55 @@ bool CpuSupportsRtm() noexcept {
 #endif
 }
 
+bool CpuSupportsSse2() noexcept {
+#if defined(__x86_64__)
+  return true;  // architectural baseline
+#elif defined(__i386__)
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  return (edx & (1u << 26)) != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuSupportsAvx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  // Leaf 1 ECX: bit 27 = OSXSAVE (XGETBV executable), bit 28 = AVX.
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  if ((ecx & (1u << 27)) == 0 || (ecx & (1u << 28)) == 0) {
+    return false;
+  }
+  // XGETBV(XCR0): bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be OS-enabled,
+  // or any VEX-256 instruction #UDs. Encoded as raw bytes so no -mxsave
+  // compile flag is needed for the baseline build.
+  unsigned xcr0_lo = 0;
+  unsigned xcr0_hi = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+  if ((xcr0_lo & 0x6u) != 0x6u) {
+    return false;
+  }
+  // Leaf 7 subleaf 0 EBX bit 5 = AVX2.
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) {
+    return false;
+  }
+  return (ebx & (1u << 5)) != 0;
+#else
+  return false;
+#endif
+}
+
 int NumOnlineCpus() noexcept {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);

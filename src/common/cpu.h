@@ -28,6 +28,16 @@ void PrefetchWrite(const void* addr) noexcept;
 // before trusting the result.
 bool CpuSupportsRtm() noexcept;
 
+// True if SSE2 is executable on this CPU (always on x86-64; checked via
+// CPUID on 32-bit x86; false elsewhere). Gates the 128-bit tag-probe kernel.
+bool CpuSupportsSse2() noexcept;
+
+// True if AVX2 is both reported by CPUID and usable: the OS must have
+// enabled YMM state saving (OSXSAVE + XGETBV), otherwise executing a VEX-256
+// instruction faults even on AVX2 silicon. Gates the 256-bit dual-bucket
+// tag-probe kernel.
+bool CpuSupportsAvx2() noexcept;
+
 // Number of CPUs available to this process.
 int NumOnlineCpus() noexcept;
 

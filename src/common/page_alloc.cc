@@ -1,0 +1,89 @@
+#include "src/common/page_alloc.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "src/common/cpu.h"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace cuckoo {
+namespace {
+
+std::size_t RoundUp(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+// Zeroed aligned heap block (the non-huge fallback path).
+void* AlignedZeroed(std::size_t bytes) {
+  const std::size_t padded = RoundUp(bytes, kCacheLineSize);
+  void* p = std::aligned_alloc(kCacheLineSize, padded);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  std::memset(p, 0, padded);
+  return p;
+}
+
+}  // namespace
+
+PageBlock::PageBlock(std::size_t bytes, bool want_hugepages) {
+  if (bytes == 0) {
+    return;
+  }
+  bytes_ = bytes;
+#if defined(__linux__)
+  if (want_hugepages && bytes >= kHugePageSize) {
+    // Map with 2 MB of slack, then trim both ends so the kept region is
+    // 2 MB-aligned: MADV_HUGEPAGE only fills PMD entries for fully-aligned
+    // 2 MB extents, and mmap alone guarantees just 4 KB alignment.
+    const std::size_t len = RoundUp(bytes, kHugePageSize);
+    void* raw = ::mmap(nullptr, len + kHugePageSize, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw != MAP_FAILED) {
+      auto addr = reinterpret_cast<std::uintptr_t>(raw);
+      const std::uintptr_t aligned = RoundUp(addr, kHugePageSize);
+      if (const std::size_t head = aligned - addr; head != 0) {
+        ::munmap(raw, head);
+      }
+      if (const std::size_t tail = kHugePageSize - (aligned - addr); tail != 0) {
+        ::munmap(reinterpret_cast<void*>(aligned + len), tail);
+      }
+      ptr_ = reinterpret_cast<void*>(aligned);
+      map_bytes_ = len;
+      // Advisory: EINVAL when THP is compiled out or set to "never". The
+      // plain mapping (already zero-filled by the kernel) stays usable.
+      if (::madvise(ptr_, len, MADV_HUGEPAGE) == 0) {
+        hugepage_bytes_ = len;
+      }
+      return;
+    }
+    // mmap exhausted (address space / overcommit limits): fall through to
+    // the heap path, which throws only if that fails too.
+  }
+#else
+  (void)want_hugepages;
+#endif
+  ptr_ = AlignedZeroed(bytes);
+}
+
+void PageBlock::Release() noexcept {
+  if (ptr_ == nullptr) {
+    return;
+  }
+#if defined(__linux__)
+  if (map_bytes_ != 0) {
+    ::munmap(ptr_, map_bytes_);
+    ptr_ = nullptr;
+    return;
+  }
+#endif
+  std::free(ptr_);
+  ptr_ = nullptr;
+}
+
+}  // namespace cuckoo

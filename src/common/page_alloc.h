@@ -1,0 +1,75 @@
+// Zero-initialized, cache-line-aligned storage blocks for table cores, with
+// opt-in 2 MB huge-page backing.
+//
+// Large set-associative tables (2^27 slots ≈ 2 GB of buckets) touch one or
+// two random cache lines per lookup, so on 4 KB pages nearly every probe also
+// pays a dTLB miss. Backing the bucket and tag arrays with transparent huge
+// pages cuts the TLB working set by 512x. The mapping is advisory
+// (madvise(MADV_HUGEPAGE)): if the kernel has THP disabled, or the region is
+// too small, the block silently degrades to normal pages — allocation never
+// fails because of huge-page unavailability.
+//
+// Small blocks (below kHugePageSize) and non-Linux builds use aligned heap
+// memory; either way the block is zero-filled, which the table cores rely on
+// (a zeroed tag array IS the "every slot empty" state, so a fresh core
+// materializes without a multi-MB memset — pages fault in on first touch).
+#ifndef SRC_COMMON_PAGE_ALLOC_H_
+#define SRC_COMMON_PAGE_ALLOC_H_
+
+#include <cstddef>
+#include <utility>
+
+namespace cuckoo {
+
+// x86-64 / aarch64 PMD-level huge page. Blocks at least this large are
+// eligible for MADV_HUGEPAGE when requested.
+inline constexpr std::size_t kHugePageSize = std::size_t{2} << 20;
+
+// Move-only RAII owner of one zeroed storage block.
+class PageBlock {
+ public:
+  PageBlock() = default;
+
+  // Allocates `bytes` of zeroed memory aligned to at least a cache line.
+  // With `want_hugepages` and bytes >= kHugePageSize, maps a 2 MB-aligned
+  // anonymous region and requests huge-page backing; hugepage_bytes() then
+  // reports the advised length (0 when the advice was refused or never
+  // applicable). Throws std::bad_alloc only if memory itself is exhausted.
+  PageBlock(std::size_t bytes, bool want_hugepages);
+
+  ~PageBlock() { Release(); }
+
+  PageBlock(PageBlock&& other) noexcept { *this = std::move(other); }
+  PageBlock& operator=(PageBlock&& other) noexcept {
+    if (this != &other) {
+      Release();
+      ptr_ = std::exchange(other.ptr_, nullptr);
+      bytes_ = std::exchange(other.bytes_, 0);
+      map_bytes_ = std::exchange(other.map_bytes_, 0);
+      hugepage_bytes_ = std::exchange(other.hugepage_bytes_, 0);
+    }
+    return *this;
+  }
+  PageBlock(const PageBlock&) = delete;
+  PageBlock& operator=(const PageBlock&) = delete;
+
+  void* data() const noexcept { return ptr_; }
+  std::size_t size() const noexcept { return bytes_; }
+
+  // Bytes covered by a successful MADV_HUGEPAGE request. Advisory: the kernel
+  // promotes the region opportunistically, so this reports intent ("the table
+  // asked for and was granted huge-page eligibility"), not residency.
+  std::size_t hugepage_bytes() const noexcept { return hugepage_bytes_; }
+
+ private:
+  void Release() noexcept;
+
+  void* ptr_ = nullptr;
+  std::size_t bytes_ = 0;      // requested size
+  std::size_t map_bytes_ = 0;  // mmap length (0 = aligned heap allocation)
+  std::size_t hugepage_bytes_ = 0;
+};
+
+}  // namespace cuckoo
+
+#endif  // SRC_COMMON_PAGE_ALLOC_H_

@@ -34,6 +34,7 @@
 #include "src/common/test_points.h"
 #include "src/common/thread_annotations.h"
 #include "src/cuckoo/path_search.h"
+#include "src/cuckoo/simd_probe.h"
 #include "src/cuckoo/stats.h"
 #include "src/cuckoo/table_core.h"
 #include "src/cuckoo/types.h"
@@ -64,6 +65,9 @@ class CuckooMap {
     // Grow (×2 rehash) instead of returning kTableFull when a path search
     // fails. MemC3/the paper's eval table is fixed-size; libcuckoo grows.
     bool auto_expand = true;
+    // Request 2 MB huge-page backing for the table arrays (advisory; large
+    // cores only — see src/common/page_alloc.h).
+    bool hugepages = false;
   };
 
   explicit CuckooMap(Options opts = Options{}, Hash hasher = Hash{}, KeyEqual eq = KeyEqual{})
@@ -71,8 +75,9 @@ class CuckooMap {
         hasher_(std::move(hasher)),
         eq_(std::move(eq)),
         stripes_(opts.stripe_count),
-        core_(new Core(opts.initial_bucket_count_log2)) {
+        core_(new Core(opts.initial_bucket_count_log2, opts.hugepages)) {
     stripes_.SetContentionCounter(stats_.ContentionCounter());
+    stats_.SetHugepageBytes(core_.load(std::memory_order_relaxed)->hugepage_bytes());
   }
 
   CuckooMap(const CuckooMap&) = delete;
@@ -103,7 +108,17 @@ class CuckooMap {
   // latency on out-of-cache tables. Writes per-key results into values[] and
   // found[]; returns the hit count. Concurrency-safe like Find.
   std::size_t FindBatch(const K* keys, std::size_t count, V* values, bool* found) const {
-    constexpr std::size_t kDepth = 8;
+    // Three-stage pipeline, retuned for the vector probe kernel. D ops ahead,
+    // hash and pull only the two tag lines; P ops ahead (when the tag lines
+    // have likely arrived), racily movemask them and prefetch key/value lines
+    // for candidate slots only — most misses match no tag, so this skips
+    // their bucket lines entirely instead of blindly dragging in four lines
+    // per key. The peek is a pure prefetch hint: it may race with writers or
+    // an expansion swap (it recomputes buckets against the core it loads, so
+    // indices stay in range), and the head-of-pipe probe re-reads everything
+    // under version validation.
+    constexpr std::size_t kDepth = 8;  // hash + tag-line prefetch distance
+    constexpr std::size_t kPeek = 4;   // candidate key/value prefetch distance
     HashedKey ring[kDepth];
 
     auto stage = [&](std::size_t i) {
@@ -111,25 +126,41 @@ class CuckooMap {
       Core* core = core_.load(std::memory_order_acquire);
       const std::size_t b1 = ring[i % kDepth].Bucket1(core->mask);
       core->PrefetchTags(b1);
-      core->PrefetchBucket(b1);
-      const std::size_t b2 = core->AltBucket(b1, ring[i % kDepth].tag);
-      core->PrefetchTags(b2);
-      core->PrefetchBucket(b2);
+      core->PrefetchTags(core->AltBucket(b1, ring[i % kDepth].tag));
+    };
+    auto peek = [&](std::size_t i) {
+      const HashedKey& h = ring[i % kDepth];
+      Core* core = core_.load(std::memory_order_acquire);
+      const std::size_t b1 = h.Bucket1(core->mask);
+      const std::size_t b2 = core->AltBucket(b1, h.tag);
+      std::uint32_t cand =
+          simd::MatchTagMask2<B>(core->LoadTagsVector(b1), core->LoadTagsVector(b2), h.tag);
+      while (cand != 0) {
+        const int bit = simd::NextCandidate(&cand);
+        core->PrefetchCandidate(bit < B ? b1 : b2, bit < B ? bit : bit - B);
+      }
     };
 
     const std::size_t lead = count < kDepth ? count : kDepth;
     for (std::size_t i = 0; i < lead; ++i) {
       stage(i);
     }
+    for (std::size_t i = 0; i < (count < kPeek ? count : kPeek); ++i) {
+      peek(i);
+    }
     std::size_t hits = 0;
     for (std::size_t i = 0; i < count; ++i) {
       // Probe before staging: ring[i % kDepth] is the slot stage(i + kDepth)
-      // would overwrite.
+      // would overwrite. peek(i + kPeek) reads an entry staged kDepth - kPeek
+      // iterations ago, untouched until stage(i + kDepth + kPeek).
       bool hit = (opts_.read_mode == ReadMode::kOptimistic)
                      ? FindOptimistic(ring[i % kDepth], keys[i], &values[i])
                      : FindLocked(ring[i % kDepth], keys[i], &values[i]);
       if (i + kDepth < count) {
         stage(i + kDepth);
+      }
+      if (i + kPeek < count) {
+        peek(i + kPeek);
       }
       found[i] = hit;
       hits += hit ? 1 : 0;
@@ -465,17 +496,19 @@ class CuckooMap {
       }
       bool found = false;
       V value{};
-      for (std::size_t bucket : {b1, b2}) {
-        for (int s = 0; s < B && !found; ++s) {
-          if (core->Tag(bucket, s) == h.tag) {
-            K k = core->LoadKey(bucket, s);
-            if (eq_(k, key)) {
-              value = core->LoadValue(bucket, s);
-              found = true;
-            }
-          }
-        }
-        if (found) {
+      // One vectorized probe answers both buckets: candidate bits [0, B) are
+      // b1's tag matches, [B, 2B) are b2's, walked in probe order. The tag
+      // snapshots are tear-tolerant like every other load in this window —
+      // the version validation below rejects any torn read.
+      std::uint32_t cand =
+          simd::MatchTagMask2<B>(core->LoadTagsVector(b1), core->LoadTagsVector(b2), h.tag);
+      while (cand != 0) {
+        const int bit = simd::NextCandidate(&cand);
+        const std::size_t bucket = bit < B ? b1 : b2;
+        const int s = bit < B ? bit : bit - B;
+        if (eq_(core->LoadKey(bucket, s), key)) {
+          value = core->LoadValue(bucket, s);
+          found = true;
           break;
         }
       }
@@ -520,13 +553,16 @@ class CuckooMap {
   bool FindSlotExclusive(const Core& core, std::size_t b1, std::size_t b2, std::uint8_t tag,
                          const K& key, std::size_t* bucket, int* slot) const
       REQUIRES(stripes_) {
-    for (std::size_t b : {b1, b2}) {
-      for (int s = 0; s < B; ++s) {
-        if (core.Tag(b, s) == tag && eq_(core.KeyRef(b, s), key)) {
-          *bucket = b;
-          *slot = s;
-          return true;
-        }
+    std::uint32_t cand =
+        simd::MatchTagMask2<B>(core.LoadTagsVector(b1), core.LoadTagsVector(b2), tag);
+    while (cand != 0) {
+      const int bit = simd::NextCandidate(&cand);
+      const std::size_t b = bit < B ? b1 : b2;
+      const int s = bit < B ? bit : bit - B;
+      if (eq_(core.KeyRef(b, s), key)) {
+        *bucket = b;
+        *slot = s;
+        return true;
       }
     }
     return false;
@@ -693,7 +729,7 @@ class CuckooMap {
     // taken: the multi-MB clear is the bulk of a large expansion's wall time
     // and must not extend the writer-visible pause. (Retry allocations after
     // a failed rehash are rare enough to stay inside.)
-    auto fresh = std::make_unique<Core>(new_log2);
+    auto fresh = std::make_unique<Core>(new_log2, opts_.hugepages);
     CUCKOO_TEST_POINT(TestPoint::kExpansionCoreAllocated);
     // Expansion pause = the full-table lock hold: every writer (and locked
     // reader) is stalled from here until the stripes release.
@@ -705,6 +741,7 @@ class CuckooMap {
       if (RehashInto(*old_core, *fresh)) {
         retired_bytes_.fetch_add(old_core->HeapBytes(), std::memory_order_relaxed);
         retired_.emplace_back(old_core);
+        stats_.SetHugepageBytes(fresh->hugepage_bytes());
         core_.store(fresh.release(), std::memory_order_release);
         stats_.RecordExpansion();
         stats_.RecordExpansionPauseNanos(NowNanos() - pause_start);
@@ -712,7 +749,7 @@ class CuckooMap {
       }
       // Rehash failed (pathological collisions): the partially filled core
       // holds copies, so just drop it and retry one size larger.
-      fresh = std::make_unique<Core>(++new_log2);
+      fresh = std::make_unique<Core>(++new_log2, opts_.hugepages);
     }
   }
 

@@ -34,6 +34,7 @@
 #include "src/common/test_points.h"
 #include "src/common/thread_annotations.h"
 #include "src/cuckoo/path_search.h"
+#include "src/cuckoo/simd_probe.h"
 #include "src/cuckoo/stats.h"
 #include "src/cuckoo/table_core.h"
 #include "src/cuckoo/types.h"
@@ -61,6 +62,9 @@ struct FlatOptions {
   // true  = Algorithm 2 ("lock after discovering a cuckoo path").
   bool lock_after_discovery = false;
   bool prefetch = false;
+  // Request 2 MB huge-page backing for the table arrays (advisory; large
+  // cores only — see src/common/page_alloc.h).
+  bool hugepages = false;
 };
 
 template <typename K, typename V, typename GlobalLock = SpinLock,
@@ -78,7 +82,9 @@ class FlatCuckooMap {
         hasher_(std::move(hasher)),
         eq_(std::move(eq)),
         versions_(opts.version_stripe_count),
-        core_(opts.bucket_count_log2) {}
+        core_(opts.bucket_count_log2, opts.hugepages) {
+    stats_.SetHugepageBytes(core_.hugepage_bytes());
+  }
 
   FlatCuckooMap(const FlatCuckooMap&) = delete;
   FlatCuckooMap& operator=(const FlatCuckooMap&) = delete;
@@ -99,15 +105,19 @@ class FlatCuckooMap {
 
       bool found = false;
       V value{};
-      for (std::size_t bucket : {b1, b2}) {
-        for (int s = 0; s < B; ++s) {
-          if (core_.Tag(bucket, s) == h.tag && eq_(core_.LoadKey(bucket, s), key)) {
-            value = core_.LoadValue(bucket, s);
-            found = true;
-            break;
-          }
-        }
-        if (found) {
+      // One vectorized probe answers both buckets: candidate bits [0, B) are
+      // b1's tag matches, [B, 2B) are b2's, walked in probe order. The tag
+      // snapshots are tear-tolerant like every other load in this window —
+      // the version validation below rejects any torn read.
+      std::uint32_t cand = simd::MatchTagMask2<B>(core_.LoadTagsVector(b1),
+                                                  core_.LoadTagsVector(b2), h.tag);
+      while (cand != 0) {
+        const int bit = simd::NextCandidate(&cand);
+        const std::size_t bucket = bit < B ? b1 : b2;
+        const int s = bit < B ? bit : bit - B;
+        if (eq_(core_.LoadKey(bucket, s), key)) {
+          value = core_.LoadValue(bucket, s);
+          found = true;
           break;
         }
       }
@@ -259,13 +269,16 @@ class FlatCuckooMap {
 
   bool FindSlotExclusive(std::size_t b1, std::size_t b2, std::uint8_t tag, const K& key,
                          std::size_t* bucket, int* slot) const REQUIRES(lock_) {
-    for (std::size_t b : {b1, b2}) {
-      for (int s = 0; s < B; ++s) {
-        if (core_.Tag(b, s) == tag && eq_(core_.KeyRef(b, s), key)) {
-          *bucket = b;
-          *slot = s;
-          return true;
-        }
+    std::uint32_t cand =
+        simd::MatchTagMask2<B>(core_.LoadTagsVector(b1), core_.LoadTagsVector(b2), tag);
+    while (cand != 0) {
+      const int bit = simd::NextCandidate(&cand);
+      const std::size_t b = bit < B ? b1 : b2;
+      const int s = bit < B ? bit : bit - B;
+      if (eq_(core_.KeyRef(b, s), key)) {
+        *bucket = b;
+        *slot = s;
+        return true;
       }
     }
     return false;

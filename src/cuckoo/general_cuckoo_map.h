@@ -41,6 +41,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <new>
@@ -50,13 +51,16 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/atomic_util.h"
 #include "src/common/cpu.h"
 #include "src/common/hash.h"
 #include "src/common/mutex.h"
+#include "src/common/page_alloc.h"
 #include "src/common/striped_locks.h"
 #include "src/common/test_points.h"
 #include "src/common/thread_annotations.h"
 #include "src/cuckoo/path_search.h"
+#include "src/cuckoo/simd_probe.h"
 #include "src/cuckoo/stats.h"
 #include "src/cuckoo/types.h"
 
@@ -69,14 +73,15 @@ namespace internal {
 // per-slot with placement new; the owner must destroy occupied slots before
 // the core is released (the destructor asserts nothing is leaked in debug).
 //
-// Storage is calloc-backed on purpose: the kernel's zero pages ARE the
+// Storage is a PageBlock (anonymous mmap for large cores, optionally with
+// 2 MB huge-page backing) on purpose: the kernel's zero pages ARE the
 // "every slot empty" state, so a doubled core materializes in O(1) work and
 // each page is faulted in by the first operation that touches it — not by
 // the one writer whose insert happened to trigger the expansion. (With
 // value-initialized storage, zeroing the x2 array was the dominant term of
 // the expansion stall.) Tags are plain bytes read/written through
-// std::atomic_ref; Bucket stays an implicit-lifetime type, so calloc itself
-// starts the array's lifetime.
+// std::atomic_ref; Bucket stays an implicit-lifetime type, so the zeroed
+// block itself starts the array's lifetime.
 template <typename K, typename V, int B>
 struct GeneralCore {
   static constexpr int kSlotsPerBucket = B;
@@ -91,20 +96,13 @@ struct GeneralCore {
   };
   static_assert(std::is_trivially_copyable_v<Bucket> &&
                     std::is_trivially_default_constructible_v<Bucket>,
-                "calloc must be able to start the bucket array's lifetime");
+                "zeroed storage must be able to start the bucket array's lifetime");
   static_assert(std::atomic_ref<std::uint8_t>::required_alignment == 1);
 
-  struct FreeDeleter {
-    void operator()(Bucket* p) const noexcept { std::free(p); }
-  };
-
-  explicit GeneralCore(std::size_t bucket_count_log2)
+  explicit GeneralCore(std::size_t bucket_count_log2, bool want_hugepages = false)
       : mask((std::size_t{1} << bucket_count_log2) - 1),
-        buckets(static_cast<Bucket*>(std::calloc(mask + 1, sizeof(Bucket)))) {
-    if (buckets == nullptr) {
-      throw std::bad_alloc();
-    }
-  }
+        block_((mask + 1) * sizeof(Bucket), want_hugepages),
+        buckets(static_cast<Bucket*>(block_.data())) {}
 
   GeneralCore(const GeneralCore&) = delete;
   GeneralCore& operator=(const GeneralCore&) = delete;
@@ -123,6 +121,9 @@ struct GeneralCore {
   std::size_t slot_count() const noexcept { return bucket_count() * B; }
 
   std::size_t HeapBytes() const noexcept { return bucket_count() * sizeof(Bucket); }
+
+  // Bytes granted MADV_HUGEPAGE backing (0 unless requested and honored).
+  std::size_t hugepage_bytes() const noexcept { return block_.hugepage_bytes(); }
 
   std::atomic_ref<std::uint8_t> TagRef(std::size_t bucket, int slot) const noexcept {
     return std::atomic_ref<std::uint8_t>(buckets[bucket].tags[slot]);
@@ -145,13 +146,25 @@ struct GeneralCore {
     return *std::launder(reinterpret_cast<const V*>(buckets[bucket].value_storage[slot]));
   }
 
-  int FindEmptySlot(std::size_t bucket) const noexcept {
+  // Snapshot of one bucket's B tags for the vectorized probe kernels
+  // (simd_probe.h) — the sanctioned tear-tolerant load. Element-wise relaxed
+  // atomic under TSan so the intentional race with unlocked BFS/peek readers
+  // stays annotated; a plain byte copy otherwise (the kernels reload from the
+  // private copy, never from the live array).
+  simd::TagGroup<B> LoadTagsVector(std::size_t bucket) const noexcept {
+    simd::TagGroup<B> g;
+#if CUCKOO_TSAN_ENABLED
     for (int s = 0; s < B; ++s) {
-      if (Tag(bucket, s) == 0) {
-        return s;
-      }
+      g.bytes[s] = Tag(bucket, s);
     }
-    return -1;
+#else
+    std::memcpy(g.bytes, buckets[bucket].tags, B);
+#endif
+    return g;
+  }
+
+  int FindEmptySlot(std::size_t bucket) const noexcept {
+    return simd::FirstSlot(simd::EmptySlotMask<B>(LoadTagsVector(bucket)));
   }
 
   template <typename KArg, typename VArg>
@@ -180,6 +193,14 @@ struct GeneralCore {
 
   void PrefetchTags(std::size_t bucket) const noexcept { PrefetchRead(&buckets[bucket]); }
 
+  // Targeted prefetch for one movemask candidate: the key and value storage
+  // lines of a specific slot (the batch pipeline calls this only for slots
+  // whose tag already matched).
+  void PrefetchSlot(std::size_t bucket, int slot) const noexcept {
+    PrefetchRead(&buckets[bucket].key_storage[slot]);
+    PrefetchRead(&buckets[bucket].value_storage[slot]);
+  }
+
   // Empties every slot (destroy + tag = 0). Callers that only need the
   // memory released use the destructor, which skips the walk for trivially
   // destructible types; Clear() and canceled migrations need the tags
@@ -195,7 +216,8 @@ struct GeneralCore {
   }
 
   std::size_t mask;
-  std::unique_ptr<Bucket[], FreeDeleter> buckets;
+  PageBlock block_;
+  Bucket* buckets;
 };
 
 }  // namespace internal
@@ -223,6 +245,9 @@ class GeneralCuckooMap {
     // Old-core buckets a writer drains inline when its insert needs more room
     // while a migration window is still open (backpressure on the window).
     std::size_t help_drain_buckets = 64;
+    // Request 2 MB huge-page backing for the bucket array (advisory; large
+    // cores only — see src/common/page_alloc.h).
+    bool hugepages = false;
   };
 
   explicit GeneralCuckooMap(Options opts = Options{}, Hash hasher = Hash{},
@@ -231,8 +256,9 @@ class GeneralCuckooMap {
         hasher_(std::move(hasher)),
         eq_(std::move(eq)),
         stripes_(opts.stripe_count),
-        core_(std::make_unique<Core>(opts.initial_bucket_count_log2)) {
+        core_(std::make_unique<Core>(opts.initial_bucket_count_log2, opts.hugepages)) {
     stripes_.SetContentionCounter(stats_.ContentionCounter());
+    stats_.SetHugepageBytes(core_->hugepage_bytes());
     core_snapshot_.store(core_.get(), std::memory_order_release);
   }
 
@@ -290,7 +316,13 @@ class GeneralCuckooMap {
   // batch as a whole is not a snapshot).
   template <typename Fn>
   std::size_t WithValueBatch(const K* keys, std::size_t count, Fn&& fn) const {
-    constexpr std::size_t kDepth = 8;
+    // Three-stage pipeline, retuned for the vector probe kernel: hash + tag
+    // lines at distance kDepth, then at distance kPeek a racy movemask of the
+    // (likely now cached) tags prefetches key/value storage only for
+    // candidate slots. The peek is a pure prefetch hint — the locked probe at
+    // the pipeline head re-reads everything under the pair lock.
+    constexpr std::size_t kDepth = 8;  // hash + tag-line prefetch distance
+    constexpr std::size_t kPeek = 4;   // candidate key/value prefetch distance
     HashedKey ring[kDepth];
 
     auto stage = [&](std::size_t i) {
@@ -300,15 +332,31 @@ class GeneralCuckooMap {
       core->PrefetchTags(b1);
       core->PrefetchTags(core->AltBucket(b1, ring[i % kDepth].tag));
     };
+    auto peek = [&](std::size_t i) {
+      const HashedKey& h = ring[i % kDepth];
+      Core* core = core_snapshot_.load(std::memory_order_acquire);
+      const std::size_t b1 = h.Bucket1(core->mask);
+      const std::size_t b2 = core->AltBucket(b1, h.tag);
+      std::uint32_t cand =
+          simd::MatchTagMask2<B>(core->LoadTagsVector(b1), core->LoadTagsVector(b2), h.tag);
+      while (cand != 0) {
+        const int bit = simd::NextCandidate(&cand);
+        core->PrefetchSlot(bit < B ? b1 : b2, bit < B ? bit : bit - B);
+      }
+    };
 
     const std::size_t lead = count < kDepth ? count : kDepth;
     for (std::size_t i = 0; i < lead; ++i) {
       stage(i);
     }
+    for (std::size_t i = 0; i < (count < kPeek ? count : kPeek); ++i) {
+      peek(i);
+    }
     std::size_t hits = 0;
     for (std::size_t i = 0; i < count; ++i) {
       // Probe before staging: ring[i % kDepth] is the slot stage(i + kDepth)
-      // would overwrite.
+      // would overwrite. peek(i + kPeek) reads an entry staged kDepth - kPeek
+      // iterations ago, untouched until stage(i + kDepth + kPeek).
       const HashedKey& h = ring[i % kDepth];
       bool hit = WithPair(h, [&](const PairView& v, PairGuard& guard) {
         Locator loc;
@@ -322,6 +370,9 @@ class GeneralCuckooMap {
       });
       if (i + kDepth < count) {
         stage(i + kDepth);
+      }
+      if (i + kPeek < count) {
+        peek(i + kPeek);
       }
       hits += hit ? 1 : 0;
       stats_.RecordLookup(hit);
@@ -663,13 +714,18 @@ class GeneralCuckooMap {
 
   bool FindSlotLocked(Core* core, std::size_t b1, std::size_t b2, std::uint8_t tag,
                       const K& key, Locator* loc) const {
-    for (std::size_t b : {b1, b2}) {
-      for (int s = 0; s < B; ++s) {
-        if (core->Tag(b, s) == tag && eq_(const_cast<const Core&>(*core).Key(b, s), key)) {
-          loc->bucket = b;
-          loc->slot = s;
-          return true;
-        }
+    // One vectorized probe answers both buckets: candidate bits [0, B) are
+    // b1's tag matches, [B, 2B) are b2's, walked in probe order.
+    std::uint32_t cand =
+        simd::MatchTagMask2<B>(core->LoadTagsVector(b1), core->LoadTagsVector(b2), tag);
+    while (cand != 0) {
+      const int bit = simd::NextCandidate(&cand);
+      const std::size_t b = bit < B ? b1 : b2;
+      const int s = bit < B ? bit : bit - B;
+      if (eq_(const_cast<const Core&>(*core).Key(b, s), key)) {
+        loc->bucket = b;
+        loc->slot = s;
+        return true;
       }
     }
     return false;
@@ -978,12 +1034,13 @@ class GeneralCuckooMap {
     assert(!migrator_.joinable());
     // The fresh core (the expensive multi-MB zeroing) is allocated before
     // anything is published.
-    auto fresh = std::make_unique<Core>(CoreLog2(*core_) + 1);
+    auto fresh = std::make_unique<Core>(CoreLog2(*core_) + 1, opts_.hugepages);
     CUCKOO_TEST_POINT(TestPoint::kExpansionCoreAllocated);
     const std::uint64_t pause_start = NowNanos();
     migration_state_ = std::make_unique<MigrationState>(core_.get(), fresh.get());
     draining_core_ = std::move(core_);
     core_ = std::move(fresh);
+    stats_.SetHugepageBytes(core_->hugepage_bytes());
     // Publication order matters: the state must be visible before any
     // operation can observe the new core (WithPair acquire-loads the core
     // first, then the state; seeing the new core without the state would
@@ -1001,7 +1058,7 @@ class GeneralCuckooMap {
     // taken: the multi-MB clear is the bulk of a large expansion's wall time
     // and must not extend the writer-visible pause.
     std::size_t new_log2 = CoreLog2(*core_) + 1;
-    auto fresh = std::make_unique<Core>(new_log2);
+    auto fresh = std::make_unique<Core>(new_log2, opts_.hugepages);
     CUCKOO_TEST_POINT(TestPoint::kExpansionCoreAllocated);
     // Expansion pause = the full-table lock hold: every writer (and locked
     // reader) is stalled from here until the stripes release.
@@ -1015,6 +1072,7 @@ class GeneralCuckooMap {
         // retiring it costs only its bucket array.
         retired_.push_back(std::move(core_));
         core_ = std::move(fresh);
+        stats_.SetHugepageBytes(core_->hugepage_bytes());
         core_snapshot_.store(core_.get(), std::memory_order_release);
         stats_.RecordExpansion();
         stats_.RecordExpansionPauseNanos(NowNanos() - pause_start);
@@ -1024,7 +1082,7 @@ class GeneralCuckooMap {
       // and retry one size larger. The retry allocation happens inside the
       // pause — rare enough that correctness beats accounting here.
       RecoverFrom(*core_, *fresh);
-      fresh = std::make_unique<Core>(++new_log2);
+      fresh = std::make_unique<Core>(++new_log2, opts_.hugepages);
     }
   }
 
@@ -1358,10 +1416,11 @@ class GeneralCuckooMap {
   void GrowLiveLocked() REQUIRES(maintenance_mutex_) REQUIRES(stripes_) {
     std::size_t new_log2 = CoreLog2(*core_) + 1;
     for (;; ++new_log2) {
-      auto fresh = std::make_unique<Core>(new_log2);
+      auto fresh = std::make_unique<Core>(new_log2, opts_.hugepages);
       if (RehashInto(*core_, *fresh)) {
         retired_.push_back(std::move(core_));
         core_ = std::move(fresh);
+        stats_.SetHugepageBytes(core_->hugepage_bytes());
         core_snapshot_.store(core_.get(), std::memory_order_release);
         stats_.RecordExpansion();
         return;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/cuckoo/simd_probe.h"
 
 namespace cuckoo {
 
@@ -88,28 +89,34 @@ bool BfsSearch(const Core& core, std::size_t b1, std::size_t b2, std::size_t max
     }
     slots_examined += static_cast<std::size_t>(kB);
 
-    for (int s = 0; s < kB; ++s) {
-      if (core.Tag(node.bucket, s) == 0) {
-        // Found a hole: reconstruct the path root -> ... -> hole.
-        out->Clear();
-        out->hops.push_back(PathHop{node.bucket, s, 0});
-        std::int32_t cur = static_cast<std::int32_t>(head);
-        while (arena[cur].parent >= 0) {
-          const Node& child = arena[cur];
-          const Node& parent = arena[child.parent];
-          out->hops.push_back(
-              PathHop{parent.bucket, child.slot_from_parent, child.tag_from_parent});
-          cur = child.parent;
-        }
-        // Hops were collected hole-first; reverse into execution order.
-        std::reverse(out->hops.begin(), out->hops.end());
-        return true;
+    // One snapshot + vectorized hole scan per frontier bucket. The edge
+    // expansion below reuses the same snapshot, so a bucket judged full is
+    // expanded with exactly the tags that judgment saw — a concurrent erase
+    // can't yield a frontier edge with tag 0 (whose AltBucket would be
+    // nonsense). Races are otherwise fine: the path is validated hop-by-hop
+    // under locks before execution.
+    const simd::TagGroup<kB> tags = core.LoadTagsVector(node.bucket);
+    const int hole = simd::FirstSlot(simd::EmptySlotMask<kB>(tags));
+    if (hole >= 0) {
+      // Found a hole: reconstruct the path root -> ... -> hole.
+      out->Clear();
+      out->hops.push_back(PathHop{node.bucket, hole, 0});
+      std::int32_t cur = static_cast<std::int32_t>(head);
+      while (arena[cur].parent >= 0) {
+        const Node& child = arena[cur];
+        const Node& parent = arena[child.parent];
+        out->hops.push_back(
+            PathHop{parent.bucket, child.slot_from_parent, child.tag_from_parent});
+        cur = child.parent;
       }
+      // Hops were collected hole-first; reverse into execution order.
+      std::reverse(out->hops.begin(), out->hops.end());
+      return true;
     }
 
     // Bucket full: each slot's item leads to its alternate bucket.
     for (int s = 0; s < kB; ++s) {
-      std::uint8_t tag = core.Tag(node.bucket, s);
+      const std::uint8_t tag = tags.bytes[s];
       std::size_t next = core.AltBucket(node.bucket, tag);
       if (prefetch) {
         core.PrefetchTags(next);

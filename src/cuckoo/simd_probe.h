@@ -1,0 +1,303 @@
+// Vectorized tag-probe kernels for the set-associative cuckoo tables.
+//
+// A bucket probe answers "which of these B one-byte tags equal t?". The
+// scalar loop compares and branches per slot; the kernels here load the whole
+// tag group into an SSE2/AVX2 register, do ONE compare (`cmpeq_epi8`) and ONE
+// `movemask`, and hand back a candidate bitmask the caller walks with
+// count-trailing-zeros. A cuckoo lookup always probes two buckets, so the
+// dual-bucket form packs both tag groups into one register (128-bit for
+// B <= 8, 256-bit for B = 16 under AVX2) and answers both probes with a
+// single compare.
+//
+// Dispatch: ActiveProbeLevel() resolves once per process — best CPUID level
+// (AVX2 needs the OSXSAVE/XGETBV YMM check, see cpu.cc), overridable with
+// CUCKOO_FORCE_PROBE=scalar|sse2|avx2 — then every probe is a relaxed load
+// plus a predictable branch. Tests flip levels at runtime through
+// SetProbeLevelForTesting(); all levels are bit-for-bit equivalent (fuzzer-
+// enforced, see map_conformance_test.cc).
+//
+// Seqlock discipline: these kernels NEVER touch shared memory. They operate
+// on TagGroup snapshots produced by the sanctioned LoadTagsVector accessors
+// of TableCore/GeneralCore, which own the concurrent-load semantics (relaxed
+// element loads under TSan, a plain word copy otherwise) — see
+// docs/memory_model.md "Vector loads in the optimistic window". The
+// raw-vector-load rule of tools/analysis/check_seqlock.py rejects _mm*_load
+// intrinsics everywhere outside this file, so a vector load aimed directly
+// at a live tag array cannot slip in.
+#ifndef SRC_CUCKOO_SIMD_PROBE_H_
+#define SRC_CUCKOO_SIMD_PROBE_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/cpu.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <emmintrin.h>  // SSE2 (baseline on x86-64)
+#include <immintrin.h>  // AVX2, used only inside target("avx2") functions
+#define CUCKOO_SIMD_X86 1
+#else
+#define CUCKOO_SIMD_X86 0
+#endif
+
+namespace cuckoo {
+namespace simd {
+
+enum class ProbeLevel : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+inline const char* ProbeLevelName(ProbeLevel level) noexcept {
+  switch (level) {
+    case ProbeLevel::kSse2:
+      return "sse2";
+    case ProbeLevel::kAvx2:
+      return "avx2";
+    case ProbeLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+// Parse "scalar" / "sse2" / "avx2" (the CUCKOO_FORCE_PROBE vocabulary).
+inline bool ProbeLevelFromString(const char* s, ProbeLevel* out) noexcept {
+  if (s == nullptr) {
+    return false;
+  }
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = ProbeLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(s, "sse2") == 0) {
+    *out = ProbeLevel::kSse2;
+    return true;
+  }
+  if (std::strcmp(s, "avx2") == 0) {
+    *out = ProbeLevel::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+inline bool ProbeLevelSupported(ProbeLevel level) noexcept {
+  switch (level) {
+    case ProbeLevel::kScalar:
+      return true;
+    case ProbeLevel::kSse2:
+      return CpuSupportsSse2();
+    case ProbeLevel::kAvx2:
+      return CpuSupportsAvx2();
+  }
+  return false;
+}
+
+inline ProbeLevel BestSupportedProbeLevel() noexcept {
+  if (CpuSupportsAvx2()) {
+    return ProbeLevel::kAvx2;
+  }
+  if (CpuSupportsSse2()) {
+    return ProbeLevel::kSse2;
+  }
+  return ProbeLevel::kScalar;
+}
+
+namespace internal {
+
+// -1 = unresolved. A function-local atomic avoids global-constructor
+// ordering; concurrent first calls may both resolve, idempotently.
+inline std::atomic<int>& ProbeLevelCell() noexcept {
+  static std::atomic<int> cell{-1};
+  return cell;
+}
+
+inline ProbeLevel ResolveProbeLevel() noexcept {
+  ProbeLevel level = BestSupportedProbeLevel();
+  ProbeLevel forced;
+  if (ProbeLevelFromString(std::getenv("CUCKOO_FORCE_PROBE"), &forced) &&
+      ProbeLevelSupported(forced)) {
+    // An unsupported forced level is ignored (CI sets CUCKOO_FORCE_PROBE=avx2
+    // on runners that may not have it; degrading beats crashing on #UD).
+    level = forced;
+  }
+  return level;
+}
+
+}  // namespace internal
+
+// The dispatch level every probe uses: resolved once from CPUID +
+// CUCKOO_FORCE_PROBE, then a relaxed load per call.
+inline ProbeLevel ActiveProbeLevel() noexcept {
+  int v = internal::ProbeLevelCell().load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(internal::ResolveProbeLevel());
+    internal::ProbeLevelCell().store(v, std::memory_order_relaxed);
+  }
+  return static_cast<ProbeLevel>(v);
+}
+
+// Force a dispatch level, clamped to hardware support; returns the previous
+// level so tests can restore it. Safe (but perf-ambiguous) to flip while
+// probes run concurrently: every level computes identical masks.
+inline ProbeLevel SetProbeLevelForTesting(ProbeLevel level) noexcept {
+  if (!ProbeLevelSupported(level)) {
+    level = BestSupportedProbeLevel();
+  }
+  const ProbeLevel prev = ActiveProbeLevel();
+  internal::ProbeLevelCell().store(static_cast<int>(level), std::memory_order_relaxed);
+  return prev;
+}
+
+// A thread-private snapshot of one bucket's B tags. Only the sanctioned core
+// accessors (TableCore::LoadTagsVector / GeneralCore::LoadTagsVector) produce
+// these from live tables; the kernels below never read shared memory.
+// Alignment matches the widest vector load each B uses, so the in-register
+// reload of the snapshot is a single aligned instruction.
+template <int B>
+struct TagGroup {
+  static_assert(B > 0 && B <= 16, "tag groups cover one bucket of <= 16 slots");
+  static constexpr int kAlign = B >= 16 ? 16 : (B >= 8 ? 8 : (B >= 4 ? 4 : 1));
+  alignas(kAlign) std::uint8_t bytes[B];
+};
+
+namespace internal {
+
+template <int B>
+inline constexpr std::uint32_t SlotBits = (B == 32) ? 0xffffffffu : ((1u << B) - 1);
+
+// True when B maps onto a single partial/full XMM lane load.
+constexpr bool VectorizableB(int b) noexcept { return b == 4 || b == 8 || b == 16; }
+
+template <int B>
+inline std::uint32_t MatchScalar(const TagGroup<B>& g, std::uint8_t tag) noexcept {
+  std::uint32_t mask = 0;
+  for (int s = 0; s < B; ++s) {
+    mask |= (g.bytes[s] == tag ? 1u : 0u) << s;
+  }
+  return mask;
+}
+
+#if CUCKOO_SIMD_X86
+
+// Load a B-byte tag group into the low B bytes of an XMM register (upper
+// bytes zero for B < 16 — callers mask the movemask down to B bits, which
+// also keeps tag==0 probes from matching the zeroed filler lanes).
+template <int B>
+inline __m128i LoadGroupSse2(const TagGroup<B>& g) noexcept {
+  static_assert(VectorizableB(B));
+  if constexpr (B == 16) {
+    return _mm_load_si128(reinterpret_cast<const __m128i*>(g.bytes));
+  } else if constexpr (B == 8) {
+    return _mm_loadl_epi64(reinterpret_cast<const __m128i*>(g.bytes));
+  } else {
+    std::uint32_t w;
+    std::memcpy(&w, g.bytes, sizeof(w));
+    return _mm_cvtsi32_si128(static_cast<int>(w));
+  }
+}
+
+template <int B>
+inline std::uint32_t MatchSse2(const TagGroup<B>& g, std::uint8_t tag) noexcept {
+  const __m128i eq = _mm_cmpeq_epi8(LoadGroupSse2<B>(g), _mm_set1_epi8(static_cast<char>(tag)));
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(eq)) & SlotBits<B>;
+}
+
+// Both buckets in one 128-bit compare for B <= 8 (two for B = 16): g1 in the
+// low lanes, g2 immediately above, so the mask layout is g1 | g2 << B.
+template <int B>
+inline std::uint32_t Match2Sse2(const TagGroup<B>& g1, const TagGroup<B>& g2,
+                                std::uint8_t tag) noexcept {
+  static_assert(VectorizableB(B));
+  if constexpr (B == 16) {
+    return MatchSse2<16>(g1, tag) | (MatchSse2<16>(g2, tag) << 16);
+  } else {
+    __m128i v;
+    if constexpr (B == 8) {
+      v = _mm_unpacklo_epi64(LoadGroupSse2<8>(g1), LoadGroupSse2<8>(g2));
+    } else {
+      v = _mm_unpacklo_epi32(LoadGroupSse2<4>(g1), LoadGroupSse2<4>(g2));
+    }
+    const __m128i eq = _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(tag)));
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(eq)) & SlotBits<2 * B>;
+  }
+}
+
+// AVX2 dual-bucket probe for B = 16: both tag groups in one YMM register,
+// one cmpeq + movemask for all 32 slots. The target attribute scopes the
+// VEX codegen to this function; the baseline build stays SSE2-only.
+__attribute__((target("avx2"))) inline std::uint32_t Match2Avx2(
+    const TagGroup<16>& g1, const TagGroup<16>& g2, std::uint8_t tag) noexcept {
+  const __m256i v = _mm256_inserti128_si256(
+      _mm256_castsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(g1.bytes))),
+      _mm_load_si128(reinterpret_cast<const __m128i*>(g2.bytes)), 1);
+  const __m256i eq = _mm256_cmpeq_epi8(v, _mm256_set1_epi8(static_cast<char>(tag)));
+  return static_cast<std::uint32_t>(_mm256_movemask_epi8(eq));
+}
+
+#endif  // CUCKOO_SIMD_X86
+
+}  // namespace internal
+
+// Bitmask of slots in `g` whose tag equals `tag`; bits >= B are always zero.
+// Callers on the lookup path pass tag != 0 (HashedKey never produces 0);
+// probing for 0 is exactly EmptySlotMask. A single bucket fits one XMM
+// register, so SSE2 and AVX2 share the 128-bit kernel here — AVX2 earns its
+// keep on the dual-bucket form below.
+template <int B>
+inline std::uint32_t MatchTagMask(const TagGroup<B>& g, std::uint8_t tag) noexcept {
+#if CUCKOO_SIMD_X86
+  if constexpr (internal::VectorizableB(B)) {
+    if (ActiveProbeLevel() != ProbeLevel::kScalar) {
+      return internal::MatchSse2<B>(g, tag);
+    }
+  }
+#endif
+  return internal::MatchScalar<B>(g, tag);
+}
+
+// Dual-bucket probe: bits [0, B) are g1's matches, bits [B, 2B) are g2's.
+template <int B>
+inline std::uint32_t MatchTagMask2(const TagGroup<B>& g1, const TagGroup<B>& g2,
+                                   std::uint8_t tag) noexcept {
+#if CUCKOO_SIMD_X86
+  if constexpr (B == 16) {
+    switch (ActiveProbeLevel()) {
+      case ProbeLevel::kAvx2:
+        return internal::Match2Avx2(g1, g2, tag);
+      case ProbeLevel::kSse2:
+        return internal::Match2Sse2<16>(g1, g2, tag);
+      case ProbeLevel::kScalar:
+        break;
+    }
+  } else if constexpr (internal::VectorizableB(B)) {
+    if (ActiveProbeLevel() != ProbeLevel::kScalar) {
+      return internal::Match2Sse2<B>(g1, g2, tag);
+    }
+  }
+#endif
+  return internal::MatchScalar<B>(g1, tag) | (internal::MatchScalar<B>(g2, tag) << B);
+}
+
+// Bitmask of empty slots (tag == 0) in `g`.
+template <int B>
+inline std::uint32_t EmptySlotMask(const TagGroup<B>& g) noexcept {
+  return MatchTagMask<B>(g, 0);
+}
+
+// Lowest set slot index of a candidate mask, or -1 when empty.
+inline int FirstSlot(std::uint32_t mask) noexcept {
+  return mask == 0 ? -1 : std::countr_zero(mask);
+}
+
+// Pop the lowest candidate: returns its slot index and clears it from *mask.
+// Caller guarantees *mask != 0.
+inline int NextCandidate(std::uint32_t* mask) noexcept {
+  const int slot = std::countr_zero(*mask);
+  *mask &= *mask - 1;
+  return slot;
+}
+
+}  // namespace simd
+}  // namespace cuckoo
+
+#endif  // SRC_CUCKOO_SIMD_PROBE_H_

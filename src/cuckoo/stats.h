@@ -60,6 +60,9 @@ struct MapStatsSnapshot {
   std::int64_t migration_buckets_total = 0;  // gauge: old buckets in the window
   std::int64_t migration_buckets_done = 0;   // gauge: old buckets drained
   std::int64_t migration_max_stall_ns = 0;   // worst single writer-side stall
+  // Gauge: bytes of table storage granted MADV_HUGEPAGE backing (0 unless
+  // Options::hugepages was set and the kernel accepted the advice).
+  std::int64_t hugepage_bytes = 0;
   std::array<std::int64_t, kPathHistogramBuckets> path_length_hist{};
 
   // Latency distributions (nanoseconds, sampled 1-in-64 when profiling is
@@ -123,6 +126,7 @@ struct MapStatsSnapshot {
     if (other.migration_max_stall_ns > migration_max_stall_ns) {
       migration_max_stall_ns = other.migration_max_stall_ns;
     }
+    hugepage_bytes += other.hugepage_bytes;
     for (std::size_t i = 0; i < kPathHistogramBuckets; ++i) {
       path_length_hist[i] += other.path_length_hist[i];
     }
@@ -231,6 +235,13 @@ class MapStats {
     }
   }
 
+  // Gauge: huge-page-backed bytes of the live core(s). Maps set this at
+  // construction and after every expansion (the retired core's backing is
+  // gone once readers drain, so the live total simply replaces the old one).
+  void SetHugepageBytes(std::size_t bytes) noexcept {
+    hugepage_bytes_.store(static_cast<std::int64_t>(bytes), std::memory_order_relaxed);
+  }
+
   // The stripe-lock table increments this on every acquisition that lost its
   // initial try-lock (see LockStripes::SetContentionCounter).
   PerThreadCounter* ContentionCounter() noexcept { return &lock_contended_; }
@@ -258,6 +269,7 @@ class MapStats {
     s.migration_buckets_total = migration_buckets_total_.load(std::memory_order_relaxed);
     s.migration_buckets_done = migration_buckets_done_.load(std::memory_order_relaxed);
     s.migration_max_stall_ns = migration_max_stall_ns_.load(std::memory_order_relaxed);
+    s.hugepage_bytes = hugepage_bytes_.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < kPathHistogramBuckets; ++i) {
       s.path_length_hist[i] = path_length_hist_[i].load(std::memory_order_relaxed);
     }
@@ -335,6 +347,7 @@ class MapStats {
   std::atomic<std::int64_t> migration_buckets_total_{0};
   std::atomic<std::int64_t> migration_buckets_done_{0};
   std::atomic<std::int64_t> migration_max_stall_ns_{0};
+  std::atomic<std::int64_t> hugepage_bytes_{0};
   std::array<std::atomic<std::int64_t>, kPathHistogramBuckets> path_length_hist_{};
 
   std::atomic<bool> profile_latency_{true};

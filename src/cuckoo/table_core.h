@@ -5,7 +5,13 @@
 // values, and fits exactly two cache lines: one for 8 keys and another for 8
 // values" for 8-byte pairs at B=8). Tags live in their own dense array so the
 // BFS path search touches one byte per slot instead of a whole bucket, and a
-// tag of zero marks an empty slot (HashedKey never produces tag 0).
+// tag of zero marks an empty slot (HashedKey never produces tag 0). The tag
+// array is cache-line aligned, so with B in {4, 8, 16} a bucket's tag group
+// never straddles a line and a single vector load (see LoadTagsVector / the
+// kernels in simd_probe.h) covers the whole bucket. Both arrays sit in
+// PageBlocks, which optionally back large cores with 2 MB transparent huge
+// pages (one lookup = 1-2 random lines; on 4 KB pages that is also 1-2 dTLB
+// misses per probe for GB-scale tables).
 //
 // Access discipline (statically enforced): the key/value arrays may be read
 // by optimistic readers while a writer is storing, so every touch of bucket
@@ -13,8 +19,9 @@
 // tear-tolerant paths, KeyRef/ValueRef for exclusive or validated access.
 // tools/analysis/check_seqlock.py (rule raw-bucket-access) rejects any
 // `.keys[...]` / `.values[...]` member access outside this file's accessor
-// allowlist, so a new code path cannot quietly reintroduce an unchecked
-// plain read.
+// allowlist, and (rule raw-vector-load) rejects vector-load intrinsics
+// outside simd_probe.h, so a new code path cannot quietly reintroduce an
+// unchecked plain read of live bucket bytes.
 #ifndef SRC_CUCKOO_TABLE_CORE_H_
 #define SRC_CUCKOO_TABLE_CORE_H_
 
@@ -30,6 +37,8 @@
 #include "src/common/cpu.h"
 #include "src/common/debug_checks.h"
 #include "src/common/hash.h"
+#include "src/common/page_alloc.h"
+#include "src/cuckoo/simd_probe.h"
 
 namespace cuckoo {
 
@@ -46,13 +55,24 @@ struct TableCore {
     K keys[B];
     V values[B];
   };
+  // PageBlock hands back zero bytes without running constructors; both the
+  // tag array (where all-zero IS the all-empty state) and the bucket array
+  // (whose elements are only read after their tag goes non-zero, i.e. after
+  // WriteSlot stored a full object representation) rely on Bucket being an
+  // implicit-lifetime type. It is: an aggregate of trivially copyable
+  // members, so it has a trivial copy constructor and trivial destructor —
+  // the trivially_copyable assert above already pins that down (K and V may
+  // still have user-provided default constructors; those never run here).
+  static_assert(std::is_trivially_copyable_v<Bucket>);
+  static_assert(std::atomic_ref<std::uint8_t>::required_alignment == 1);
 
-  explicit TableCore(std::size_t bucket_count_log2)
+  explicit TableCore(std::size_t bucket_count_log2, bool want_hugepages = false)
       : mask((std::size_t{1} << bucket_count_log2) - 1),
-        tags(new std::atomic<std::uint8_t>[(mask + 1) * B]),
-        buckets(std::make_unique_for_overwrite<Bucket[]>(mask + 1)) {
+        tag_block_((mask + 1) * B, want_hugepages),
+        bucket_block_((mask + 1) * sizeof(Bucket), want_hugepages),
+        tags(static_cast<std::uint8_t*>(tag_block_.data())),
+        buckets(static_cast<Bucket*>(bucket_block_.data())) {
     assert(bucket_count_log2 < 57);
-    std::memset(static_cast<void*>(tags.get()), 0, (mask + 1) * B);
   }
 
   std::size_t bucket_count() const noexcept { return mask + 1; }
@@ -63,26 +83,48 @@ struct TableCore {
     return bucket_count() * sizeof(Bucket) + slot_count() * sizeof(std::uint8_t);
   }
 
+  // Bytes granted MADV_HUGEPAGE backing (0 unless requested and honored).
+  std::size_t hugepage_bytes() const noexcept {
+    return tag_block_.hugepage_bytes() + bucket_block_.hugepage_bytes();
+  }
+
   std::uint8_t Tag(std::size_t bucket, int slot) const noexcept {
-    return tags[bucket * B + static_cast<std::size_t>(slot)].load(std::memory_order_relaxed);
+    return std::atomic_ref<std::uint8_t>(tags[bucket * B + static_cast<std::size_t>(slot)])
+        .load(std::memory_order_relaxed);
   }
 
   void SetTag(std::size_t bucket, int slot, std::uint8_t tag) noexcept {
-    tags[bucket * B + static_cast<std::size_t>(slot)].store(tag, std::memory_order_relaxed);
+    std::atomic_ref<std::uint8_t>(tags[bucket * B + static_cast<std::size_t>(slot)])
+        .store(tag, std::memory_order_relaxed);
   }
 
   bool SlotOccupied(std::size_t bucket, int slot) const noexcept {
     return Tag(bucket, slot) != 0;
   }
 
+  // Snapshot of one bucket's B tags for the vectorized probe kernels
+  // (simd_probe.h). This is the sanctioned tear-tolerant load: the copy may
+  // interleave with concurrent SetTag stores, exactly like individual Tag()
+  // loads would, and callers on optimistic paths still validate the version
+  // counter afterwards. Under TSan the copy is element-wise relaxed atomic
+  // so the intentional race stays annotated; the plain-memcpy fast path is
+  // what the vector kernels want (the group is then reloaded from the
+  // private copy, never from the live array).
+  simd::TagGroup<B> LoadTagsVector(std::size_t bucket) const noexcept {
+    simd::TagGroup<B> g;
+#if CUCKOO_TSAN_ENABLED
+    for (int s = 0; s < B; ++s) {
+      g.bytes[s] = Tag(bucket, s);
+    }
+#else
+    std::memcpy(g.bytes, &tags[bucket * B], B);
+#endif
+    return g;
+  }
+
   // First free slot in `bucket`, or -1.
   int FindEmptySlot(std::size_t bucket) const noexcept {
-    for (int s = 0; s < B; ++s) {
-      if (Tag(bucket, s) == 0) {
-        return s;
-      }
-    }
-    return -1;
+    return simd::FirstSlot(simd::EmptySlotMask<B>(LoadTagsVector(bucket)));
   }
 
   // Direct (exclusive or validated-optimistic) accessors.
@@ -184,13 +226,28 @@ struct TableCore {
   void PrefetchTags(std::size_t bucket) const noexcept {
     PrefetchRead(&tags[bucket * B]);
   }
+  // Pull both halves of the bucket: the key line and (when the values start
+  // on a later line, as with the two-line §6 layout) the first value line.
   void PrefetchBucket(std::size_t bucket) const noexcept {
     PrefetchRead(&buckets[bucket]);
+    if constexpr (sizeof(K) * B >= kCacheLineSize) {
+      PrefetchRead(&buckets[bucket].values[0]);
+    }
+  }
+  // Targeted prefetch for one movemask candidate: the key and value lines of
+  // a specific slot, instead of the whole bucket. The batch pipelines call
+  // this only for slots whose tag already matched, so cold-miss bandwidth is
+  // spent on lines the probe will actually read.
+  void PrefetchCandidate(std::size_t bucket, int slot) const noexcept {
+    PrefetchRead(&buckets[bucket].keys[slot]);
+    PrefetchRead(&buckets[bucket].values[slot]);
   }
 
   std::size_t mask;
-  std::unique_ptr<std::atomic<std::uint8_t>[]> tags;
-  std::unique_ptr<Bucket[]> buckets;
+  PageBlock tag_block_;
+  PageBlock bucket_block_;
+  std::uint8_t* tags;
+  Bucket* buckets;
 };
 
 }  // namespace cuckoo

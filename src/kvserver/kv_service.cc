@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/timing.h"
+#include "src/cuckoo/simd_probe.h"
 #include "src/obs/metrics.h"
 
 namespace cuckoo {
@@ -35,6 +36,7 @@ KvService::KvService(Options opts)
         o.initial_bucket_count_log2 = opts.initial_bucket_count_log2;
         o.auto_expand = opts.auto_expand;
         o.stripe_count = opts.stripe_count;
+        o.hugepages = opts.hugepages;
         return o;
       }()),
       clock_(opts.clock ? std::move(opts.clock) : WallSeconds),
@@ -333,6 +335,8 @@ void KvService::HandleStats(const Request& request, std::string* response_out) {
              static_cast<std::uint64_t>(table.migration_buckets_total), response_out);
   AppendStat("table_migration_buckets_done",
              static_cast<std::uint64_t>(table.migration_buckets_done), response_out);
+  AppendStat("table_hugepage_bytes", static_cast<std::uint64_t>(table.hugepage_bytes),
+             response_out);
   for (const auto& hook : extra_stats_) {
     hook(response_out);  // server- and durability-layer counters
   }
@@ -362,6 +366,11 @@ void KvService::AppendLatencyStats(std::string* out) const {
   AppendHistStats("table_migration_stall_ns", table.migration_stall_ns, out);
   AppendStat("table_migration_max_stall_ns",
              static_cast<std::uint64_t>(table.migration_max_stall_ns), out);
+  // String-valued: the probe-kernel dispatch level lookups actually run with
+  // (scalar / sse2 / avx2), resolved once from CPUID + CUCKOO_FORCE_PROBE.
+  out->append("STAT probe_kernel ");
+  out->append(simd::ProbeLevelName(simd::ActiveProbeLevel()));
+  out->append("\r\n");
 }
 
 void KvService::AppendSlowlogStats(std::string* out) const {
@@ -452,6 +461,22 @@ void KvService::AppendMetricsText(std::string* out) const {
                      static_cast<double>(table.migration_buckets_done) /
                          static_cast<double>(table.migration_buckets_total),
                      out);
+  }
+  obs::AppendGauge("cuckoo_table_hugepage_bytes",
+                   "Table bytes granted MADV_HUGEPAGE backing (0 without --hugepages "
+                   "or when the kernel declined).",
+                   static_cast<double>(table.hugepage_bytes), out);
+  // One time-series per dispatch level, active level = 1: the idiomatic
+  // Prometheus shape for an enum (obs::Append* have no label support, so the
+  // lines are written directly).
+  out->append("# HELP cuckoo_probe_kernel Active tag-probe dispatch level (1 = active).\n");
+  out->append("# TYPE cuckoo_probe_kernel gauge\n");
+  const simd::ProbeLevel active_level = simd::ActiveProbeLevel();
+  for (const simd::ProbeLevel level :
+       {simd::ProbeLevel::kScalar, simd::ProbeLevel::kSse2, simd::ProbeLevel::kAvx2}) {
+    out->append("cuckoo_probe_kernel{level=\"");
+    out->append(simd::ProbeLevelName(level));
+    out->append(level == active_level ? "\"} 1\n" : "\"} 0\n");
   }
   obs::AppendGauge("cuckoo_table_migration_max_stall_seconds",
                    "Worst single-writer piggyback/help stall.",

@@ -79,6 +79,10 @@ class KvService {
     // once bucket_count % stripe_count == 0; smaller tables fall back to the
     // stop-the-world rehash. Tests shrink this to force the online path early.
     std::size_t stripe_count = LockStripes::kDefaultStripeCount;
+    // Back the table cores with 2 MB transparent huge pages (madvise; falls
+    // back to normal pages when the kernel declines). The granted byte count
+    // is visible as `table_hugepage_bytes` / cuckoo_table_hugepage_bytes.
+    bool hugepages = false;
     // Time source in seconds; injectable so TTL behaviour is testable
     // deterministically. Null = wall clock.
     std::function<std::uint64_t()> clock;

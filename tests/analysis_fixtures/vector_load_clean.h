@@ -1,0 +1,46 @@
+// Clean fixture for check_seqlock.py rule `raw-vector-load`: everything in
+// here must produce ZERO findings, proving the checker does not false-positive
+// on the sanctioned snapshot-then-probe pattern, on non-load vector
+// intrinsics, or on comments/strings that merely mention a load intrinsic.
+//
+// This file is NOT compiled — it exists to prove the checker stays quiet.
+#ifndef TESTS_ANALYSIS_FIXTURES_VECTOR_LOAD_CLEAN_H_
+#define TESTS_ANALYSIS_FIXTURES_VECTOR_LOAD_CLEAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+// The sanctioned pattern: the core's LoadTagsVector() accessor produces a
+// private TagGroup copy (element-wise relaxed under TSan, memcpy otherwise),
+// and the simd_probe.h kernels only ever see that copy. A comment spelling
+// out _mm_loadu_si128 must not trip the rule: comments are stripped first.
+template <typename Core, int B>
+bool CleanVectorProbe(const Core& core, std::size_t bucket, std::uint8_t tag) {
+  const auto group = core.LoadTagsVector(bucket);
+  return simd::MatchTagMask<B>(group, tag) != 0;
+}
+
+// Non-load vector intrinsics on already-private data are fine; the rule only
+// targets the memory-reading forms.
+inline std::uint32_t CleanRegisterOnlyMath(__m128i a, __m128i b) {
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(a, b)));
+}
+
+inline std::string DiagnosticText() {
+  // String literals are stripped too: this must not be reported.
+  return std::string("use LoadTagsVector, never _mm_load_si128, on live tags");
+}
+
+// Identifiers that merely contain "load" must not match: the rule anchors on
+// the _mm/_mm256/_mm512 intrinsic prefix.
+template <typename T>
+T CleanLookalikes(const T& t) {
+  return t.preload_table(t.loadu_count);
+}
+
+}  // namespace fixture
+
+#endif  // TESTS_ANALYSIS_FIXTURES_VECTOR_LOAD_CLEAN_H_

@@ -1,0 +1,45 @@
+// Seeded violations for check_seqlock.py rule `raw-vector-load`.
+// Each EXPECT-VIOLATION(rule) marker applies to the next line; the fixture
+// self-test (check_seqlock.py --fixtures) fails unless every marked line is
+// reported and nothing else is.
+//
+// This file is NOT compiled — it exists to prove the checker fires.
+#ifndef TESTS_ANALYSIS_FIXTURES_VECTOR_LOAD_VIOLATION_H_
+#define TESTS_ANALYSIS_FIXTURES_VECTOR_LOAD_VIOLATION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+// A 16-byte vector read straight off the live (concurrently mutated) tag
+// array: unannotatable race, and the bytes may be reloaded from the array by
+// later instructions. Must snapshot via core.LoadTagsVector() instead.
+template <typename Core>
+std::uint32_t LeakyVectorProbe(const Core& core, std::size_t bucket, std::uint8_t tag) {
+  // EXPECT-VIOLATION(raw-vector-load)
+  const __m128i group = _mm_loadu_si128(reinterpret_cast<const __m128i*>(core.TagsPtr(bucket)));
+  const __m128i needle = _mm_set1_epi8(static_cast<char>(tag));
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(group, needle)));
+}
+
+// Aligned and half-width forms are the same hazard.
+template <typename Core>
+std::uint64_t LeakyAlignedLoad(const Core& core, std::size_t bucket) {
+  // EXPECT-VIOLATION(raw-vector-load)
+  const __m128i a = _mm_load_si128(reinterpret_cast<const __m128i*>(core.TagsPtr(bucket)));
+  // EXPECT-VIOLATION(raw-vector-load)
+  const __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(core.TagsPtr(bucket)));
+  return static_cast<std::uint64_t>(_mm_movemask_epi8(a)) |
+         (static_cast<std::uint64_t>(_mm_movemask_epi8(b)) << 32);
+}
+
+// 256-bit AVX2 form through a raw pointer.
+inline __m256i LeakyWideLoad(const void* live_tags) {
+  // EXPECT-VIOLATION(raw-vector-load)
+  return _mm256_loadu_si256(static_cast<const __m256i*>(live_tags));
+}
+
+}  // namespace fixture
+
+#endif  // TESTS_ANALYSIS_FIXTURES_VECTOR_LOAD_VIOLATION_H_

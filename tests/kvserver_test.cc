@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/cuckoo/simd_probe.h"
 #include "src/kvserver/kv_service.h"
 #include "src/kvserver/protocol.h"
 
@@ -355,6 +356,51 @@ TEST(KvServiceTest, StatsIncludeTableCounters) {
   EXPECT_NE(out.find("STAT table_read_retries "), std::string::npos);
   EXPECT_NE(out.find("STAT table_path_searches "), std::string::npos);
   EXPECT_NE(out.find("STAT table_expansions "), std::string::npos);
+}
+
+TEST(KvServiceTest, StatsExposeHugepageBytesAndProbeKernel) {
+  KvService service;
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("stats\r\n", &out);
+  EXPECT_NE(out.find("STAT table_hugepage_bytes "), std::string::npos);
+  // probe_kernel is detail-only (a string enum, not a counter).
+  EXPECT_EQ(out.find("STAT probe_kernel "), std::string::npos);
+  out.clear();
+  conn.Drive("stats detail\r\n", &out);
+  const std::string want = std::string("STAT probe_kernel ") +
+                           simd::ProbeLevelName(simd::ActiveProbeLevel()) + "\r\n";
+  EXPECT_NE(out.find(want), std::string::npos) << out;
+
+  std::string metrics;
+  service.AppendMetricsText(&metrics);
+  EXPECT_NE(metrics.find("cuckoo_table_hugepage_bytes 0\n"), std::string::npos);
+  const std::string active = std::string("cuckoo_probe_kernel{level=\"") +
+                             simd::ProbeLevelName(simd::ActiveProbeLevel()) + "\"} 1\n";
+  EXPECT_NE(metrics.find(active), std::string::npos) << metrics;
+  // Exactly one level reports 1.
+  std::size_t ones = 0;
+  for (std::size_t pos = metrics.find("cuckoo_probe_kernel{"); pos != std::string::npos;
+       pos = metrics.find("cuckoo_probe_kernel{", pos + 1)) {
+    if (metrics.compare(metrics.find('}', pos), 4, "} 1\n") == 0) {
+      ++ones;
+    }
+  }
+  EXPECT_EQ(ones, 1u);
+}
+
+TEST(KvServiceTest, HugepageOptionReportsGrantedBytes) {
+  KvService::Options o;
+  o.initial_bucket_count_log2 = 8;
+  o.hugepages = true;
+  KvService service(o);
+  auto conn = service.Connect();
+  std::string out;
+  conn.Drive("stats\r\n", &out);
+  // The grant is advisory (kernel may decline); the stat must exist either
+  // way, and a granted value must be a positive byte count.
+  const std::size_t pos = out.find("STAT table_hugepage_bytes ");
+  ASSERT_NE(pos, std::string::npos);
 }
 
 TEST(KvServiceTest, ExtraStatsHookAppendsServerCounters) {

@@ -21,6 +21,7 @@
 #include "src/cuckoo/flat_cuckoo_map.h"
 #include "src/cuckoo/general_cuckoo_map.h"
 #include "src/cuckoo/sharded_map.h"
+#include "src/cuckoo/simd_probe.h"
 
 #include <gtest/gtest.h>
 
@@ -458,6 +459,61 @@ TEST(MapFuzzExpansionTest, GeneralMapStopTheWorldExpansionMatchesOracle) {
   };
   RunFuzzWith<GeneralCuckooMap<K, V>>(FuzzSeed(0xe49a4dff), 30000, kExpandKeySpace, make);
 }
+
+// ---------------------------------------------------------------------------
+// Dispatch-level conformance: the same seeded oracle fuzz, forced to each
+// probe kernel the host supports (scalar / SSE2 / AVX2). Identical seeds per
+// level, so any kernel whose candidate masks diverge from the scalar path —
+// a missed slot, a phantom match from a zeroed filler lane, a swapped
+// dual-bucket half — shows up as an oracle divergence with the usual minimal
+// repro. Unsupported levels are skipped, not failed (CI also pins
+// CUCKOO_FORCE_PROBE=scalar on one matrix leg so the fallback runs the whole
+// suite, not just this fuzz).
+// ---------------------------------------------------------------------------
+
+class MapFuzzProbeLevelTest : public ::testing::TestWithParam<simd::ProbeLevel> {
+ protected:
+  void SetUp() override {
+    if (!simd::ProbeLevelSupported(GetParam())) {
+      GTEST_SKIP() << simd::ProbeLevelName(GetParam()) << " not supported on this host";
+    }
+    prev_ = simd::SetProbeLevelForTesting(GetParam());
+  }
+  void TearDown() override { simd::SetProbeLevelForTesting(prev_); }
+
+ private:
+  simd::ProbeLevel prev_ = simd::ProbeLevel::kScalar;
+};
+
+TEST_P(MapFuzzProbeLevelTest, SeededOpSequencesMatchOracle) {
+  const std::uint64_t seed = FuzzSeed(0x51bd0000);  // same ops at every level
+  RunFuzz<CuckooMap<K, V>>(seed, 20000);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+  RunFuzz<FlatCuckooMap<K, V>>(seed, 20000);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+  RunFuzz<GeneralCuckooMap<K, V>>(seed, 20000);
+}
+
+TEST_P(MapFuzzProbeLevelTest, ExpansionPhasesMatchOracle) {
+  auto make = [] {
+    CuckooMap<K, V>::Options o;
+    o.initial_bucket_count_log2 = 4;
+    return std::make_unique<CuckooMap<K, V>>(o);
+  };
+  RunFuzzWith<CuckooMap<K, V>>(FuzzSeed(0x51bd1000), 20000, kExpandKeySpace, make);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, MapFuzzProbeLevelTest,
+                         ::testing::Values(simd::ProbeLevel::kScalar,
+                                           simd::ProbeLevel::kSse2,
+                                           simd::ProbeLevel::kAvx2),
+                         [](const ::testing::TestParamInfo<simd::ProbeLevel>& param) {
+                           return std::string(simd::ProbeLevelName(param.param));
+                         });
 
 TEST(MapFuzzExpansionTest, CuckooMapExpansionMatchesOracle) {
   auto make = [] {

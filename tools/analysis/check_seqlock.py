@@ -5,7 +5,7 @@ The Clang Thread Safety Analysis (tools/lint.sh, -Wthread-safety) covers the
 lock-shaped contracts: which mutex guards which field, which functions require
 which capability. What it cannot see is the *seqlock* side of the memory model
 (docs/memory_model.md): optimistic readers copy bucket words WITHOUT any lock
-and validate a version counter afterwards. This checker enforces the three
+and validate a version counter afterwards. This checker enforces the four
 rules that protocol depends on:
 
   raw-bucket-access
@@ -23,6 +23,16 @@ rules that protocol depends on:
       that needs a stronger (or weaker!) order must update the allowlist in
       the same change, making the ordering inventory in docs/memory_model.md
       reviewable instead of drifting silently.
+
+  raw-vector-load
+      Vector load intrinsics (_mm_load*/_mm256_load*/...) read 4-16 bytes in
+      one instruction with no way to annotate the race for TSan, so they may
+      only appear inside src/cuckoo/simd_probe.h — and even there only on
+      private TagGroup copies, never on the live tag array. Everywhere else,
+      code that wants a whole-bucket tag snapshot must call the sanctioned
+      LoadTagsVector() accessor, which produces the copy with the right
+      tear-tolerance story (element-wise relaxed under TSan, memcpy
+      otherwise) before any vector instruction touches it.
 
   seqlock-window
       Between a version read (`.AwaitVersion(`) and its validating re-read
@@ -56,8 +66,9 @@ import sys
 
 RULE_RAW = "raw-bucket-access"
 RULE_ORDER = "memory-order"
+RULE_VECTOR = "raw-vector-load"
 RULE_WINDOW = "seqlock-window"
-ALL_RULES = (RULE_RAW, RULE_ORDER, RULE_WINDOW)
+ALL_RULES = (RULE_RAW, RULE_ORDER, RULE_VECTOR, RULE_WINDOW)
 
 # Functions in table_core.h that are allowed to touch keys[]/values[] raw:
 # the tear-tolerant accessors plus the exclusive-access references. Everything
@@ -73,10 +84,22 @@ RAW_ACCESS_ALLOWED_FUNCS = frozenset(
         "WriteSlot",
         "WriteValue",
         "MoveSlot",
+        # Prefetch hints: they form addresses into keys[]/values[] but never
+        # dereference — __builtin_prefetch takes the pointer, reads nothing.
+        "PrefetchBucket",
+        "PrefetchCandidate",
     }
 )
 
 RAW_ACCESS_RE = re.compile(r"(?:\.|->)\s*(keys|values)\s*\[")
+
+# Vector load intrinsics: the `load` prefix also covers loadu/loadl/loadh/
+# load_si128 etc.; lddqu / maskload / stream_load are the non-`load`-prefixed
+# pointer-reading forms.
+VECTOR_LOAD_ALLOWED_FILE = "simd_probe.h"
+VECTOR_LOAD_RE = re.compile(
+    r"\b(_mm(?:256|512)?_(?:maskz?_)?(?:load|lddqu|maskload|stream_load)\w*)\s*\("
+)
 
 MEMORY_ORDER_RE = re.compile(r"std::memory_order_([a-z_]+)|__ATOMIC_([A-Z_]+)")
 
@@ -355,6 +378,28 @@ def check_raw_access(rel_path, lines, funcs, findings):
         )
 
 
+def check_vector_load(rel_path, lines, funcs, findings):
+    if os.path.basename(rel_path) == VECTOR_LOAD_ALLOWED_FILE:
+        return
+    for idx, line in enumerate(lines):
+        m = VECTOR_LOAD_RE.search(line)
+        if not m:
+            continue
+        func = funcs[idx] if idx < len(funcs) else None
+        where = f"in {func}()" if func else "at file scope"
+        findings.append(
+            Finding(
+                RULE_VECTOR,
+                rel_path,
+                idx + 1,
+                f"vector load intrinsic `{m.group(1)}` {where}; raw vector "
+                "loads of shared memory cannot be race-annotated — take a "
+                "TagGroup snapshot via the LoadTagsVector() accessor and "
+                "run the simd_probe.h kernels on the private copy",
+            )
+        )
+
+
 def check_memory_order(rel_path, lines, allowlist, findings):
     allowed = allowlist.get("files", {}).get(rel_path)
     if allowed is None:
@@ -466,6 +511,8 @@ def check_file(path, root, allowlist, stripper, rules):
         check_raw_access(rel_path, lines, funcs, findings)
     if RULE_ORDER in rules:
         check_memory_order(rel_path, lines, allowlist, findings)
+    if RULE_VECTOR in rules:
+        check_vector_load(rel_path, lines, funcs, findings)
     if RULE_WINDOW in rules:
         check_seqlock_window(rel_path, lines, funcs, findings)
     return findings
