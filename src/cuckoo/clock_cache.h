@@ -52,6 +52,19 @@ class ClockCache {
     bool prefetch = true;
     // Max slots one CLOCK sweep may visit before giving up (>= one full lap).
     std::size_t max_sweep_factor = 2;
+    // Byte budget across all cached entries, measured by the per-entry
+    // charge passed to Set/GetOrAdmit. 0 keeps the legacy entry-count-only
+    // bound — with values spanning 16 B to 1 MB a slot count alone says
+    // nothing about memory, so byte-tier users must set this.
+    std::size_t capacity_bytes = 0;
+    // Invoked when an entry leaves the cache involuntarily (CLOCK eviction
+    // or Delete), under the victim's bucket lock — keep it brief and never
+    // call back into this cache. Set() overwrites of an existing key do NOT
+    // fire it: the writer is replacing the entry itself and sees the old
+    // value race-free if it needs it. Users keeping out-of-band state per
+    // entry (e.g. heap bytes behind a trivially-copyable handle) hook
+    // reclamation here.
+    std::function<void(const K& key, const V& value)> on_evict;
   };
 
   struct CacheStats {
@@ -59,6 +72,8 @@ class ClockCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t sets = 0;
+    std::uint64_t bytes = 0;           // sum of live entry charges
+    std::uint64_t capacity_bytes = 0;  // 0 = unbounded (count mode)
     double HitRate() const noexcept {
       std::uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -71,9 +86,11 @@ class ClockCache {
         eq_(std::move(eq)),
         stripes_(opts.stripe_count),
         core_(opts.bucket_count_log2),
-        ref_bits_(new std::atomic<std::uint8_t>[core_.slot_count()]) {
+        ref_bits_(new std::atomic<std::uint8_t>[core_.slot_count()]),
+        charges_(new std::atomic<std::uint32_t>[core_.slot_count()]) {
     for (std::size_t i = 0; i < core_.slot_count(); ++i) {
       ref_bits_[i].store(0, std::memory_order_relaxed);
+      charges_[i].store(0, std::memory_order_relaxed);
     }
   }
 
@@ -133,13 +150,35 @@ class ClockCache {
 
   // ----- Write path ----------------------------------------------------------
 
-  // Insert or overwrite, evicting as needed. Returns false only if even a
-  // full CLOCK sweep could not free a usable slot (pathological hash).
-  bool Set(const K& key, const V& value) {
+  // Insert or overwrite, evicting as needed. `charge` is the entry's byte
+  // cost against Options::capacity_bytes (ignored in count mode). Returns
+  // false if the entry can never fit (charge > capacity) or if even a full
+  // CLOCK sweep could not free a usable slot (pathological hash).
+  bool Set(const K& key, const V& value, std::size_t charge = 1) {
     const HashedKey h = HashedKey::From(hasher_(key));
     const std::size_t b1 = h.Bucket1(core_.mask);
     const std::size_t b2 = core_.AltBucket(b1, h.tag);
     sets_.Increment();
+    const std::uint32_t charge32 = charge > UINT32_MAX
+                                       ? UINT32_MAX
+                                       : static_cast<std::uint32_t>(charge);
+    if (opts_.capacity_bytes != 0) {
+      if (charge > opts_.capacity_bytes) {
+        return false;  // would evict everything and still not fit
+      }
+      // Make room by bytes first; the slot-level paths below handle the rest.
+      // Approximate on purpose: a concurrent overwrite's refund may land
+      // after our check, costing at most one extra eviction.
+      std::size_t freed_attempts = 0;
+      while (CurrentBytes() + charge > opts_.capacity_bytes) {
+        if (!EvictOne() || ++freed_attempts > core_.slot_count()) {
+          if (CurrentBytes() + charge > opts_.capacity_bytes) {
+            return false;
+          }
+          break;
+        }
+      }
+    }
     CuckooPath path;
     for (std::size_t attempt = 0;
          attempt < opts_.max_sweep_factor * core_.slot_count(); ++attempt) {
@@ -149,15 +188,21 @@ class ClockCache {
         int slot;
         if (FindSlotExclusive(b1, b2, h.tag, key, &bucket, &slot)) {
           core_.WriteValue(bucket, slot, value);
-          ref_bits_[bucket * B + static_cast<std::size_t>(slot)].store(
-              1, std::memory_order_relaxed);
+          const std::size_t idx = bucket * B + static_cast<std::size_t>(slot);
+          ref_bits_[idx].store(1, std::memory_order_relaxed);
+          const std::uint32_t old = charges_[idx].exchange(charge32, std::memory_order_relaxed);
+          bytes_.fetch_add(static_cast<std::int64_t>(charge32) - old,
+                           std::memory_order_relaxed);
           return true;
         }
         for (std::size_t b : {b1, b2}) {
           int s = core_.FindEmptySlot(b);
           if (s >= 0) {
             core_.WriteSlot(b, s, h.tag, key, value);
-            ref_bits_[b * B + static_cast<std::size_t>(s)].store(1, std::memory_order_relaxed);
+            const std::size_t idx = b * B + static_cast<std::size_t>(s);
+            ref_bits_[idx].store(1, std::memory_order_relaxed);
+            charges_[idx].store(charge32, std::memory_order_relaxed);
+            bytes_.fetch_add(charge32, std::memory_order_relaxed);
             size_.Increment();
             return true;
           }
@@ -193,8 +238,31 @@ class ClockCache {
       guard.ReleaseNoModify();
       return false;
     }
+    if (opts_.on_evict) {
+      opts_.on_evict(core_.KeyRef(bucket, slot), core_.ValueRef(bucket, slot));
+    }
     core_.ClearSlot(bucket, slot);
+    ReleaseCharge(bucket * B + static_cast<std::size_t>(slot));
     size_.Decrement();
+    return true;
+  }
+
+  // Lookup, or produce-and-insert on miss: `fetch(V* value, std::size_t*
+  // charge)` fills the value and its byte charge, returning false when the
+  // backing tier could not produce it (the miss is then reported to the
+  // caller). The fetch runs outside all cache locks, so concurrent
+  // GetOrAdmit calls for one key may fetch twice — last insert wins, which
+  // is fine for an idempotent backing read.
+  template <typename Fetch>
+  bool GetOrAdmit(const K& key, V* out, Fetch&& fetch) {
+    if (Get(key, out)) {
+      return true;
+    }
+    std::size_t charge = 1;
+    if (!fetch(out, &charge)) {
+      return false;
+    }
+    Set(key, *out, charge);  // best-effort admission; a full cache is not an error
     return true;
   }
 
@@ -213,12 +281,18 @@ class ClockCache {
            stripes_.stripe_count() * sizeof(PaddedVersionLock);
   }
 
+  // Live byte footprint (sum of charges). Meaningful in byte mode; stays 0
+  // only if every charge is 0.
+  std::uint64_t Bytes() const noexcept { return CurrentBytes(); }
+
   CacheStats Stats() const noexcept {
     CacheStats s;
     s.hits = static_cast<std::uint64_t>(hits_.Sum());
     s.misses = static_cast<std::uint64_t>(misses_.Sum());
     s.evictions = static_cast<std::uint64_t>(evictions_.Sum());
     s.sets = static_cast<std::uint64_t>(sets_.Sum());
+    s.bytes = CurrentBytes();
+    s.capacity_bytes = opts_.capacity_bytes;
     return s;
   }
 
@@ -253,11 +327,13 @@ class ClockCache {
         return false;
       }
       core_.MoveSlot(from.bucket, from.slot, to.bucket, to.slot);
-      // The item carries its reference bit along.
-      std::uint8_t ref = ref_bits_[from.bucket * B + static_cast<std::size_t>(from.slot)].load(
-          std::memory_order_relaxed);
-      ref_bits_[to.bucket * B + static_cast<std::size_t>(to.slot)].store(
-          ref, std::memory_order_relaxed);
+      // The item carries its reference bit and byte charge along.
+      const std::size_t from_idx = from.bucket * B + static_cast<std::size_t>(from.slot);
+      const std::size_t to_idx = to.bucket * B + static_cast<std::size_t>(to.slot);
+      std::uint8_t ref = ref_bits_[from_idx].load(std::memory_order_relaxed);
+      ref_bits_[to_idx].store(ref, std::memory_order_relaxed);
+      charges_[to_idx].store(charges_[from_idx].exchange(0, std::memory_order_relaxed),
+                             std::memory_order_relaxed);
     }
     return true;
   }
@@ -283,12 +359,28 @@ class ClockCache {
         guard.ReleaseNoModify();
         continue;  // raced with an eraser
       }
+      if (opts_.on_evict) {
+        opts_.on_evict(core_.KeyRef(bucket, slot), core_.ValueRef(bucket, slot));
+      }
       core_.ClearSlot(bucket, slot);
+      ReleaseCharge(idx);
       size_.Decrement();
       evictions_.Increment();
       return true;
     }
     return false;
+  }
+
+  void ReleaseCharge(std::size_t idx) {
+    const std::uint32_t old = charges_[idx].exchange(0, std::memory_order_relaxed);
+    if (old != 0) {
+      bytes_.fetch_sub(old, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t CurrentBytes() const noexcept {
+    const std::int64_t b = bytes_.load(std::memory_order_relaxed);
+    return b < 0 ? 0 : static_cast<std::uint64_t>(b);
   }
 
   Options opts_;
@@ -297,6 +389,8 @@ class ClockCache {
   mutable LockStripes stripes_;
   Core core_;
   std::unique_ptr<std::atomic<std::uint8_t>[]> ref_bits_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> charges_;
+  std::atomic<std::int64_t> bytes_{0};
   std::atomic<std::size_t> hand_{0};
   PerThreadCounter size_;
   mutable PerThreadCounter hits_;

@@ -403,13 +403,13 @@ class GeneralCuckooMap {
   template <typename KArg, typename VArg>
   InsertResult Insert(KArg&& key, VArg&& value) {
     return DoInsert(std::forward<KArg>(key), std::forward<VArg>(value),
-                    /*overwrite_existing=*/false, [](const V&) {});
+                    /*overwrite_existing=*/false, [](const V&) {}, [](const V&) {});
   }
 
   template <typename KArg, typename VArg>
   InsertResult Upsert(KArg&& key, VArg&& value) {
     return DoInsert(std::forward<KArg>(key), std::forward<VArg>(value),
-                    /*overwrite_existing=*/true, [](const V&) {});
+                    /*overwrite_existing=*/true, [](const V&) {}, [](const V&) {});
   }
 
   // Upsert, invoking `then(const V& stored)` while the bucket-pair lock is
@@ -420,7 +420,21 @@ class GeneralCuckooMap {
   template <typename KArg, typename VArg, typename Then>
   InsertResult UpsertThen(KArg&& key, VArg&& value, Then&& then) {
     return DoInsert(std::forward<KArg>(key), std::forward<VArg>(value),
-                    /*overwrite_existing=*/true, std::forward<Then>(then));
+                    /*overwrite_existing=*/true, [](const V&) {},
+                    std::forward<Then>(then));
+  }
+
+  // UpsertThen that also exposes the value being replaced: on an overwrite,
+  // `on_old(const V& old)` runs under the pair guard immediately before the
+  // old value is destroyed (never on a fresh insert). Tiered stores use this
+  // to release external resources (e.g. value-log space) the old value
+  // referenced — reading it after the upsert would be too late, the slot
+  // has already been reassigned.
+  template <typename KArg, typename VArg, typename OnOld, typename Then>
+  InsertResult UpsertReplaceThen(KArg&& key, VArg&& value, OnOld&& on_old, Then&& then) {
+    return DoInsert(std::forward<KArg>(key), std::forward<VArg>(value),
+                    /*overwrite_existing=*/true, std::forward<OnOld>(on_old),
+                    std::forward<Then>(then));
   }
 
   bool Update(const K& key, V value) {
@@ -749,17 +763,22 @@ class GeneralCuckooMap {
 
   // `after(const V& stored)` runs under the pair guard at every point where
   // the table was modified (overwrite or fresh construct) — see UpsertThen.
-  template <typename KArg, typename VArg, typename After>
-  InsertResult DoInsert(KArg&& key, VArg&& value, bool overwrite_existing, After&& after) {
+  // `on_old(const V& old)` runs just before an overwrite destroys the
+  // previous value — see UpsertReplaceThen.
+  template <typename KArg, typename VArg, typename OnOld, typename After>
+  InsertResult DoInsert(KArg&& key, VArg&& value, bool overwrite_existing, OnOld&& on_old,
+                        After&& after) {
     const std::uint64_t t0 = stats_.MaybeStartInsertTimer();
     const InsertResult r = DoInsertLoop(std::forward<KArg>(key), std::forward<VArg>(value),
-                                        overwrite_existing, std::forward<After>(after));
+                                        overwrite_existing, std::forward<OnOld>(on_old),
+                                        std::forward<After>(after));
     stats_.FinishInsertTimer(t0);
     return r;
   }
 
-  template <typename KArg, typename VArg, typename After>
-  InsertResult DoInsertLoop(KArg&& key, VArg&& value, bool overwrite_existing, After&& after) {
+  template <typename KArg, typename VArg, typename OnOld, typename After>
+  InsertResult DoInsertLoop(KArg&& key, VArg&& value, bool overwrite_existing, OnOld&& on_old,
+                            After&& after) {
     const HashedKey h = HashedKey::From(hasher_(key));
     for (;;) {
       std::optional<InsertResult> fast = WithPair(
@@ -770,6 +789,7 @@ class GeneralCuckooMap {
               if (overwrite_existing) {
                 // Overwrite in place, even when the slot still lives in the
                 // draining core — the migrator will carry the new value over.
+                on_old(const_cast<const Core&>(*where).Value(loc.bucket, loc.slot));
                 where->Value(loc.bucket, loc.slot) = V(std::forward<VArg>(value));
                 stats_.RecordDuplicateInsert();
                 after(const_cast<const Core&>(*where).Value(loc.bucket, loc.slot));

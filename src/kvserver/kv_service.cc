@@ -39,6 +39,7 @@ KvService::KvService(Options opts)
         o.hugepages = opts.hugepages;
         return o;
       }()),
+      tier_(opts.tier),
       clock_(opts.clock ? std::move(opts.clock) : WallSeconds),
       slowlog_(opts.slowlog_threshold_ns, opts.slowlog_capacity) {}
 
@@ -64,66 +65,236 @@ const char* KvService::CommandName(RequestType type) noexcept {
   return "unknown";
 }
 
-void KvService::HandleGet(const Request& request, bool with_cas, std::string* out) {
+KvService::ProcessStatus KvService::HandleGet(const Request& request, bool with_cas,
+                                              std::string* out,
+                                              std::shared_ptr<DeferredGet>* deferred) {
   // Multi-key gets arrive in request.keys; requests constructed by hand may
   // only set request.key.
   const std::string* keys = request.keys.empty() ? &request.key : request.keys.data();
   const std::size_t count = request.keys.empty() ? 1 : request.keys.size();
   const std::uint64_t now = NowSeconds();
 
-  // One batched pass: hash + prefetch the whole key batch ahead of the
-  // probes, appending VALUE blocks under the bucket locks as hits land.
-  std::vector<std::uint8_t> live(count, 0);
+  if (tier_ == nullptr) {
+    // Every value is inline: one batched pass hashes + prefetches the whole
+    // key batch ahead of the probes, appending VALUE blocks under the bucket
+    // locks as hits land.
+    std::vector<std::uint8_t> live(count, 0);
+    std::vector<std::uint8_t> expired(count, 0);
+    store_.WithValueBatch(keys, count, [&](std::size_t i, const StoredValue& value) {
+      if (Expired(value, now)) {
+        expired[i] = 1;
+        return;
+      }
+      live[i] = 1;
+      if (with_cas) {
+        AppendValueResponseWithCas(keys[i], value.flags, value.data, value.cas_id, out);
+      } else {
+        AppendValueResponse(keys[i], value.flags, value.data, out);
+      }
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      if (expired[i] && !live[i]) {
+        // Lazy expiry: reclaim the slot, but only if the entry is still the
+        // expired one — a concurrent fresh Set must not be deleted. EraseIf
+        // re-checks under the bucket locks.
+        std::uint64_t lsn = 0;
+        if (store_.EraseIfThen(
+                keys[i], [&](const StoredValue& value) { return Expired(value, now); },
+                [&] {
+                  if (observer_ != nullptr) {
+                    lsn = observer_->OnDelete(keys[i]);
+                  }
+                })) {
+          expirations_.Increment();
+          // Logged (so replay does not resurrect the entry) but not awaited:
+          // a get response makes no durability promise.
+          (void)lsn;
+        }
+      }
+      if (live[i]) {
+        hits_.Increment();
+      } else {
+        misses_.Increment();
+      }
+    }
+    AppendEnd(out);
+    return ProcessStatus::kDone;
+  }
+
+  // Tiered path: the batch pass only copies metadata (and inline values)
+  // under the bucket locks; value-log bytes are resolved afterwards so the
+  // locks never wait on the hot cache or disk.
+  auto d = std::make_shared<DeferredGet>();
+  d->with_cas = with_cas;
+  d->type = request.type;
+  d->items.resize(count);
   std::vector<std::uint8_t> expired(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    d->items[i].key = keys[i];
+  }
   store_.WithValueBatch(keys, count, [&](std::size_t i, const StoredValue& value) {
     if (Expired(value, now)) {
       expired[i] = 1;
       return;
     }
-    live[i] = 1;
-    if (with_cas) {
-      AppendValueResponseWithCas(keys[i], value.flags, value.data, value.cas_id, out);
+    DeferredGet::Item& item = d->items[i];
+    item.live = true;
+    item.flags = value.flags;
+    item.cas_id = value.cas_id;
+    if (value.Tiered()) {
+      item.loc = value.loc;
+      item.need_fetch = true;
     } else {
-      AppendValueResponse(keys[i], value.flags, value.data, out);
+      item.data = value.data;
     }
   });
   for (std::size_t i = 0; i < count; ++i) {
-    if (expired[i] && !live[i]) {
-      // Lazy expiry: reclaim the slot, but only if the entry is still the
-      // expired one — a concurrent fresh Set must not be deleted. EraseIf
-      // re-checks under the bucket locks.
-      std::uint64_t lsn = 0;
-      if (store_.EraseIfThen(
-              keys[i], [&](const StoredValue& value) { return Expired(value, now); },
-              [&] {
-                if (observer_ != nullptr) {
-                  lsn = observer_->OnDelete(keys[i]);
-                }
-              })) {
-        expirations_.Increment();
-        // Logged (so replay does not resurrect the entry) but not awaited:
-        // a get response makes no durability promise.
-        (void)lsn;
+    if (!expired[i] || d->items[i].live) {
+      continue;
+    }
+    // Lazy expiry, tiered-aware: the predicate re-checks under the bucket
+    // locks and captures the victim's log location so its bytes count as
+    // garbage for GC.
+    std::uint64_t lsn = 0;
+    store::ValueLocation dead_loc{};
+    if (store_.EraseIfThen(
+            keys[i],
+            [&](const StoredValue& value) {
+              if (!Expired(value, now)) {
+                return false;
+              }
+              dead_loc = value.loc;
+              return true;
+            },
+            [&] {
+              if (observer_ != nullptr) {
+                lsn = observer_->OnDelete(keys[i]);
+              }
+            })) {
+      expirations_.Increment();
+      if (dead_loc.IsValid()) {
+        tier_->MarkDead(dead_loc);
+      }
+      (void)lsn;
+    }
+  }
+
+  // Hot-tier pass: cas-checked cache hits resolve without touching disk.
+  std::size_t fetches = 0;
+  for (DeferredGet::Item& item : d->items) {
+    if (!item.need_fetch) {
+      continue;
+    }
+    if (tier_->TryHot(item.key, item.cas_id, &item.data)) {
+      item.need_fetch = false;
+      continue;
+    }
+    ++fetches;
+  }
+
+  if (fetches == 0) {
+    RenderGet(*d, out);
+    return ProcessStatus::kDone;
+  }
+  if (deferred == nullptr) {
+    // Blocking caller (tests, tools, recovery checks): read inline.
+    for (DeferredGet::Item& item : d->items) {
+      if (item.need_fetch) {
+        item.fetch_ok = tier_->ReadValue(item.key, item.loc, item.cas_id, &item.data);
       }
     }
-    if (live[i]) {
-      hits_.Increment();
-    } else {
+    RenderGet(*d, out);
+    return ProcessStatus::kDone;
+  }
+  // Park: the caller submits the reads (StartFetches) and renders the
+  // response (FinishDeferred) once the last one lands.
+  d->remaining.store(fetches, std::memory_order_relaxed);
+  *deferred = std::move(d);
+  return ProcessStatus::kSuspended;
+}
+
+void KvService::RenderGet(DeferredGet& deferred, std::string* out) {
+  for (DeferredGet::Item& item : deferred.items) {
+    const bool hit = item.live && (!item.need_fetch || item.fetch_ok);
+    if (!hit) {
+      // Absent, expired, or the disk read failed verification — a tiered
+      // read error degrades to a miss rather than a protocol error.
       misses_.Increment();
+      continue;
+    }
+    hits_.Increment();
+    if (deferred.with_cas) {
+      AppendValueResponseWithCas(item.key, item.flags, item.data, item.cas_id, out);
+    } else {
+      AppendValueResponse(item.key, item.flags, item.data, out);
     }
   }
   AppendEnd(out);
 }
 
+void KvService::StartFetches(const std::shared_ptr<DeferredGet>& deferred,
+                             std::function<void()> on_complete) {
+  auto complete = std::make_shared<std::function<void()>>(std::move(on_complete));
+  for (std::size_t i = 0; i < deferred->items.size(); ++i) {
+    DeferredGet::Item& item = deferred->items[i];
+    if (!item.need_fetch) {
+      continue;
+    }
+    tier_->ReadValueAsync(item.key, item.loc, item.cas_id,
+                          [deferred, i, complete](bool ok, std::string data) {
+                            DeferredGet::Item& it = deferred->items[i];
+                            it.fetch_ok = ok;
+                            it.data = std::move(data);
+                            // acq_rel: the last decrement publishes every
+                            // sibling fetch's writes to whoever renders.
+                            if (deferred->remaining.fetch_sub(
+                                    1, std::memory_order_acq_rel) == 1) {
+                              (*complete)();
+                            }
+                          });
+  }
+}
+
+void KvService::FinishDeferred(DeferredGet& deferred, std::string* out) {
+  RenderGet(deferred, out);
+  const std::uint64_t elapsed = NowNanos() - deferred.start_ns;
+  const std::size_t idx = static_cast<std::size_t>(deferred.type);
+  if (idx < kCommandKinds) {
+    cmd_ns_[idx].Record(elapsed);
+  }
+  slowlog_.MaybeRecord(elapsed, CommandName(deferred.type),
+                       deferred.items.empty() ? std::string() : deferred.items.front().key);
+}
+
 void KvService::HandleSet(const Request& request, std::string* out) {
   StoredValue value;
-  value.data = request.data;
   value.flags = request.flags;
   value.cas_id = next_cas_.fetch_add(1, std::memory_order_relaxed);
   value.expires_at = DeadlineFor(request.exptime);
+  const bool tiered = tier_ != nullptr && tier_->ShouldTier(request.data.size());
+  if (tiered) {
+    // Append the bytes BEFORE taking any bucket lock: log I/O must never run
+    // inside the table's critical sections. A crash between the append and
+    // the table mutation leaves an unreferenced record GC reclaims.
+    if (!tier_->AppendValue(request.key, request.data, &value.loc)) {
+      AppendServerError("vlog io error", out);
+      return;
+    }
+  } else {
+    value.data = request.data;
+  }
+  const store::ValueLocation new_loc = value.loc;
+  const std::uint64_t new_cas = value.cas_id;
   std::uint64_t lsn = 0;
-  InsertResult r = store_.UpsertThen(
-      std::string(request.key), std::move(value), [&](const StoredValue& stored) {
+  store::ValueLocation dead_loc{};
+  InsertResult r = store_.UpsertReplaceThen(
+      std::string(request.key), std::move(value),
+      [&](const StoredValue& old) {
+        // Under the pair lock, just before the overwrite destroys the old
+        // value: remember its log location so those bytes become garbage.
+        dead_loc = old.loc;
+      },
+      [&](const StoredValue& stored) {
         // Under the bucket-pair lock: the LSN the observer assigns here is
         // ordered exactly like the table mutation it describes.
         if (observer_ != nullptr) {
@@ -131,8 +302,14 @@ void KvService::HandleSet(const Request& request, std::string* out) {
         }
       });
   if (r == InsertResult::kTableFull) {
+    if (new_loc.IsValid()) {
+      tier_->MarkDead(new_loc);  // appended but never referenced
+    }
     AppendNotStored(out);
     return;
+  }
+  if (tier_ != nullptr && dead_loc.IsValid()) {
+    tier_->MarkDead(dead_loc);
   }
   if (observer_ != nullptr && !observer_->WaitDurable(lsn)) {
     // Applied in memory but not durable (WAL in its sticky I/O-error state):
@@ -140,14 +317,31 @@ void KvService::HandleSet(const Request& request, std::string* out) {
     AppendServerError("wal io error", out);
     return;
   }
+  if (tiered) {
+    // Write-through admission: the value just written is the likeliest next
+    // read; serve it from RAM instead of paying an immediate disk miss.
+    tier_->Admit(request.key, new_cas, request.data);
+  }
   sets_.Increment();
   AppendStored(out);
 }
 
 void KvService::HandleCas(const Request& request, std::string* out) {
   const std::uint64_t now = NowSeconds();
+  const bool tiered = tier_ != nullptr && tier_->ShouldTier(request.data.size());
+  store::ValueLocation new_loc{};
+  if (tiered) {
+    // Optimistic pre-append outside the locks (same rule as HandleSet). If
+    // the comparison then fails, the record is marked dead for GC.
+    if (!tier_->AppendValue(request.key, request.data, &new_loc)) {
+      AppendServerError("vlog io error", out);
+      return;
+    }
+  }
   enum class Outcome { kNotFound, kExists, kStored } outcome = Outcome::kNotFound;
   std::uint64_t lsn = 0;
+  std::uint64_t new_cas = 0;
+  store::ValueLocation dead_loc{};
   store_.WithValueMut(request.key, [&](StoredValue& value) {
     if (Expired(value, now)) {
       outcome = Outcome::kNotFound;  // expired counts as absent
@@ -157,10 +351,18 @@ void KvService::HandleCas(const Request& request, std::string* out) {
       outcome = Outcome::kExists;
       return;
     }
-    value.data = request.data;
+    dead_loc = value.loc;  // the replaced version's bytes become garbage
+    if (tiered) {
+      value.data.clear();
+      value.loc = new_loc;
+    } else {
+      value.data = request.data;
+      value.loc = store::ValueLocation{};
+    }
     value.flags = request.flags;
     value.expires_at = DeadlineFor(request.exptime);
     value.cas_id = next_cas_.fetch_add(1, std::memory_order_relaxed);
+    new_cas = value.cas_id;
     outcome = Outcome::kStored;
     // Log the RESOLVED state (an unconditional set) under the lock: replay
     // must not re-run the cas comparison against a different history.
@@ -170,17 +372,29 @@ void KvService::HandleCas(const Request& request, std::string* out) {
   });
   switch (outcome) {
     case Outcome::kStored:
+      if (tier_ != nullptr && dead_loc.IsValid()) {
+        tier_->MarkDead(dead_loc);
+      }
       if (observer_ != nullptr && !observer_->WaitDurable(lsn)) {
         AppendServerError("wal io error", out);
         return;
+      }
+      if (tiered) {
+        tier_->Admit(request.key, new_cas, request.data);
       }
       sets_.Increment();
       AppendStored(out);
       return;
     case Outcome::kExists:
+      if (new_loc.IsValid()) {
+        tier_->MarkDead(new_loc);  // pre-appended, comparison lost
+      }
       AppendExists(out);
       return;
     case Outcome::kNotFound:
+      if (new_loc.IsValid()) {
+        tier_->MarkDead(new_loc);
+      }
       AppendNotFound(out);
       return;
   }
@@ -223,57 +437,113 @@ void KvService::AdvanceCasFloor(std::uint64_t cas_id) {
   }
 }
 
-void KvService::Process(const Request& request, std::string* response_out) {
+void KvService::HandleDelete(const Request& request, std::string* out) {
+  std::uint64_t lsn = 0;
+  store::ValueLocation dead_loc{};
+  if (store_.EraseIfThen(
+          request.key,
+          [&](const StoredValue& value) {
+            dead_loc = value.loc;  // captured under the lock, like expiry
+            return true;
+          },
+          [&] {
+            if (observer_ != nullptr) {
+              lsn = observer_->OnDelete(request.key);
+            }
+          })) {
+    if (tier_ != nullptr && dead_loc.IsValid()) {
+      tier_->MarkDead(dead_loc);
+    }
+    if (observer_ != nullptr && !observer_->WaitDurable(lsn)) {
+      AppendServerError("wal io error", out);
+      return;
+    }
+    deletes_.Increment();
+    AppendDeleted(out);
+  } else {
+    AppendNotFound(out);
+  }
+}
+
+store::TieredStore::RelocateResult KvService::RelocateTiered(
+    const std::string& key, const store::ValueLocation& old_loc, std::string_view data) {
+  // Cheap liveness probe first: in a GC-eligible segment most records are
+  // dead, and the probe avoids appending bytes that would immediately be
+  // garbage. The racy window is closed by the re-check under the lock below.
+  bool maybe_live = false;
+  store_.WithValue(key, [&](const StoredValue& value) { maybe_live = value.loc == old_loc; });
+  if (!maybe_live) {
+    return store::TieredStore::RelocateResult::kDead;
+  }
+  store::ValueLocation new_loc{};
+  if (!tier_->AppendValue(key, data, &new_loc)) {
+    return store::TieredStore::RelocateResult::kFailed;  // sticky log error
+  }
+  bool relocated = false;
+  std::uint64_t lsn = 0;
+  store_.WithValueMut(key, [&](StoredValue& value) {
+    if (value.loc != old_loc) {
+      return;  // overwritten/deleted since the probe — record is dead
+    }
+    value.loc = new_loc;
+    relocated = true;
+    // Same observer path as any set: replay learns the new location. The
+    // cas id is unchanged — the value is byte-identical, so hot-cache
+    // entries stay servable across the move.
+    if (observer_ != nullptr) {
+      lsn = observer_->OnSet(key, value);
+    }
+  });
+  if (!relocated) {
+    tier_->MarkDead(new_loc);
+    return store::TieredStore::RelocateResult::kDead;
+  }
+  // Not awaited per record: TieredStore's persist barrier makes the whole
+  // segment's relocations durable in one flush before retirement.
+  (void)lsn;
+  return store::TieredStore::RelocateResult::kRelocated;
+}
+
+KvService::ProcessStatus KvService::Process(const Request& request, std::string* response_out,
+                                            std::shared_ptr<DeferredGet>* deferred) {
   // End-to-end command latency, including WaitDurable stalls. Always on:
   // one clock pair per network request is noise next to parsing + syscalls,
   // unlike the sampled per-probe timers inside the table.
   const std::uint64_t start = NowNanos();
-  Dispatch(request, response_out);
+  const ProcessStatus status = Dispatch(request, response_out, deferred);
+  if (status == ProcessStatus::kSuspended) {
+    // The command is still in flight; FinishDeferred closes its accounting.
+    (*deferred)->start_ns = start;
+    return status;
+  }
   const std::uint64_t elapsed = NowNanos() - start;
   const std::size_t idx = static_cast<std::size_t>(request.type);
   if (idx < kCommandKinds) {
     cmd_ns_[idx].Record(elapsed);
   }
   slowlog_.MaybeRecord(elapsed, CommandName(request.type), request.key);
+  return status;
 }
 
-void KvService::Dispatch(const Request& request, std::string* response_out) {
+KvService::ProcessStatus KvService::Dispatch(const Request& request, std::string* response_out,
+                                             std::shared_ptr<DeferredGet>* deferred) {
   switch (request.type) {
     case RequestType::kGet:
-      HandleGet(request, /*with_cas=*/false, response_out);
-      return;
+      return HandleGet(request, /*with_cas=*/false, response_out, deferred);
     case RequestType::kGets:
-      HandleGet(request, /*with_cas=*/true, response_out);
-      return;
+      return HandleGet(request, /*with_cas=*/true, response_out, deferred);
     case RequestType::kSet:
       HandleSet(request, response_out);
-      return;
+      return ProcessStatus::kDone;
     case RequestType::kCas:
       HandleCas(request, response_out);
-      return;
+      return ProcessStatus::kDone;
     case RequestType::kTouch:
       HandleTouch(request, response_out);
-      return;
-    case RequestType::kDelete: {
-      std::uint64_t lsn = 0;
-      if (store_.EraseIfThen(
-              request.key, [](const StoredValue&) { return true; },
-              [&] {
-                if (observer_ != nullptr) {
-                  lsn = observer_->OnDelete(request.key);
-                }
-              })) {
-        if (observer_ != nullptr && !observer_->WaitDurable(lsn)) {
-          AppendServerError("wal io error", response_out);
-          return;
-        }
-        deletes_.Increment();
-        AppendDeleted(response_out);
-      } else {
-        AppendNotFound(response_out);
-      }
-      return;
-    }
+      return ProcessStatus::kDone;
+    case RequestType::kDelete:
+      HandleDelete(request, response_out);
+      return ProcessStatus::kDone;
     case RequestType::kBgsave: {
       if (!bgsave_) {
         AppendError(response_out);  // no durability layer attached
@@ -282,13 +552,14 @@ void KvService::Dispatch(const Request& request, std::string* response_out) {
       } else {
         AppendBusy(response_out);
       }
-      return;
+      return ProcessStatus::kDone;
     }
     case RequestType::kStats:
       HandleStats(request, response_out);
-      return;
+      return ProcessStatus::kDone;
   }
   AppendError(response_out);
+  return ProcessStatus::kDone;
 }
 
 void KvService::HandleStats(const Request& request, std::string* response_out) {
@@ -337,6 +608,7 @@ void KvService::HandleStats(const Request& request, std::string* response_out) {
              static_cast<std::uint64_t>(table.migration_buckets_done), response_out);
   AppendStat("table_hugepage_bytes", static_cast<std::uint64_t>(table.hugepage_bytes),
              response_out);
+  AppendTierStats(response_out);
   for (const auto& hook : extra_stats_) {
     hook(response_out);  // server- and durability-layer counters
   }
@@ -370,6 +642,42 @@ void KvService::AppendLatencyStats(std::string* out) const {
   // (scalar / sse2 / avx2), resolved once from CPUID + CUCKOO_FORCE_PROBE.
   out->append("STAT probe_kernel ");
   out->append(simd::ProbeLevelName(simd::ActiveProbeLevel()));
+  out->append("\r\n");
+  if (tier_ != nullptr) {
+    AppendHistStats("vlog_disk_read_ns", tier_->DiskReadLatency(), out);
+  }
+}
+
+void KvService::AppendTierStats(std::string* out) const {
+  if (tier_ == nullptr) {
+    return;
+  }
+  const store::TieredStoreStats s = tier_->Stats();
+  AppendStat("vlog_threshold_bytes", static_cast<std::uint64_t>(tier_->threshold_bytes()),
+             out);
+  AppendStat("vlog_segments", s.log.live_segments, out);
+  AppendStat("vlog_total_bytes", s.log.total_bytes, out);
+  AppendStat("vlog_dead_bytes", s.log.dead_bytes, out);
+  AppendStat("vlog_appends", s.log.appends, out);
+  AppendStat("vlog_append_bytes", s.log.append_bytes, out);
+  AppendStat("vlog_torn_tail_bytes", s.log.torn_tail_bytes, out);
+  AppendStat("vlog_tiered_sets", s.tiered_sets, out);
+  AppendStat("vlog_hot_hits", s.hot_hits, out);
+  AppendStat("vlog_hot_misses", s.hot_misses, out);
+  AppendStat("vlog_disk_reads", s.disk_reads, out);
+  AppendStat("vlog_disk_read_errors", s.disk_read_errors, out);
+  AppendStat("vlog_gc_runs", s.gc_runs, out);
+  AppendStat("vlog_gc_segments_retired", s.gc_segments, out);
+  AppendStat("vlog_gc_records_scanned", s.gc_records_scanned, out);
+  AppendStat("vlog_gc_records_relocated", s.gc_records_relocated, out);
+  AppendStat("vlog_gc_failures", s.gc_failures, out);
+  AppendStat("vlog_reclaimed_bytes", s.log.reclaimed_bytes, out);
+  const auto hot = tier_->HotStats();
+  AppendStat("vlog_cache_bytes", hot.bytes, out);
+  AppendStat("vlog_cache_capacity_bytes", hot.capacity_bytes, out);
+  AppendStat("vlog_cache_evictions", hot.evictions, out);
+  out->append("STAT vlog_reader_backend ");
+  out->append(tier_->reader_backend());
   out->append("\r\n");
 }
 
@@ -484,24 +792,66 @@ void KvService::AppendMetricsText(std::string* out) const {
   obs::AppendLatencySummary("cuckoo_table_migration_stall_seconds",
                             "Per-writer migration piggyback/help stall.",
                             table.migration_stall_ns, 1e-9, out);
+  if (tier_ != nullptr) {
+    const store::TieredStoreStats s = tier_->Stats();
+    obs::AppendCounter("cuckoo_vlog_tiered_sets_total",
+                       "Sets whose value went to the value log.", s.tiered_sets, out);
+    obs::AppendCounter("cuckoo_vlog_hot_hits_total",
+                       "Tiered reads served from the hot value cache.", s.hot_hits, out);
+    obs::AppendCounter("cuckoo_vlog_hot_misses_total",
+                       "Tiered reads that missed the hot value cache.", s.hot_misses, out);
+    obs::AppendCounter("cuckoo_vlog_disk_reads_total",
+                       "Tiered reads served from the value log on disk.", s.disk_reads, out);
+    obs::AppendCounter("cuckoo_vlog_disk_read_errors_total",
+                       "Value-log reads that failed or failed verification.",
+                       s.disk_read_errors, out);
+    obs::AppendCounter("cuckoo_vlog_gc_segments_total",
+                       "Value-log segments compacted and retired.", s.gc_segments, out);
+    obs::AppendCounter("cuckoo_vlog_gc_records_relocated_total",
+                       "Live records rewritten by value-log GC.", s.gc_records_relocated,
+                       out);
+    obs::AppendCounter("cuckoo_vlog_reclaimed_bytes_total",
+                       "Bytes reclaimed by retiring value-log segments.",
+                       s.log.reclaimed_bytes, out);
+    obs::AppendGauge("cuckoo_vlog_segments", "Live value-log segment files.",
+                     static_cast<double>(s.log.live_segments), out);
+    obs::AppendGauge("cuckoo_vlog_total_bytes", "Bytes across live value-log segments.",
+                     static_cast<double>(s.log.total_bytes), out);
+    obs::AppendGauge("cuckoo_vlog_dead_bytes",
+                     "Bytes in live segments no longer referenced by the table.",
+                     static_cast<double>(s.log.dead_bytes), out);
+    const auto hot = tier_->HotStats();
+    obs::AppendGauge("cuckoo_vlog_cache_bytes", "Hot value cache footprint.",
+                     static_cast<double>(hot.bytes), out);
+    obs::AppendGauge("cuckoo_vlog_cache_capacity_bytes", "Hot value cache budget.",
+                     static_cast<double>(hot.capacity_bytes), out);
+    obs::AppendLatencySummary("cuckoo_vlog_disk_read_seconds",
+                              "Value-log disk read latency (miss path).",
+                              tier_->DiskReadLatency(), 1e-9, out);
+  }
 }
 
-void KvService::Connection::Drive(std::string_view bytes, std::string* out) {
+KvService::Connection::DriveStatus KvService::Connection::Drive(
+    std::string_view bytes, std::string* out, std::shared_ptr<DeferredGet>* deferred) {
   parser_.Feed(bytes);
   Request request;
   for (;;) {
     ParseStatus status = parser_.Next(&request);
     if (status == ParseStatus::kNeedMore) {
-      return;
+      return DriveStatus::kIdle;
     }
     if (status == ParseStatus::kError) {
       AppendError(out);
       if (parser_.Broken()) {
-        return;  // caller should close the connection
+        return DriveStatus::kIdle;  // caller should close the connection
       }
       continue;
     }
-    service_->Process(request, out);
+    if (service_->Process(request, out, deferred) == ProcessStatus::kSuspended) {
+      // Anything already parsed but not yet executed stays buffered in the
+      // parser; the caller resumes with Drive("") after FinishDeferred.
+      return DriveStatus::kSuspended;
+    }
   }
 }
 

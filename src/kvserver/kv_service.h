@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "src/kvserver/protocol.h"
 #include "src/obs/histogram.h"
 #include "src/obs/slowlog.h"
+#include "src/store/tiered_store.h"
 
 namespace cuckoo {
 
@@ -34,11 +36,18 @@ class KvService {
 
   // The stored record for one key. Public so the durability layer (WAL,
   // snapshots, recovery) can serialize and restore entries verbatim.
+  // With a tiered store attached, values at/above the tiering threshold
+  // keep `data` empty and carry a value-log location instead — the table
+  // entry is then a 16-byte index record, which is what lets the dataset
+  // outgrow RAM.
   struct StoredValue {
     std::string data;
     std::uint32_t flags = 0;
     std::uint64_t cas_id = 0;
     std::uint64_t expires_at = 0;  // absolute seconds; 0 = never
+    store::ValueLocation loc{};    // set iff the value lives in the value log
+
+    bool Tiered() const noexcept { return loc.IsValid(); }
   };
 
   using StoreMap = GeneralCuckooMap<std::string, StoredValue>;
@@ -91,13 +100,57 @@ class KvService {
     // histograms are always on).
     std::uint64_t slowlog_threshold_ns = 0;
     std::size_t slowlog_capacity = 128;
+    // Larger-than-memory tier. Null = every value inline in RAM (legacy
+    // behaviour). The tier must be opened before and outlive the service.
+    store::TieredStore* tier = nullptr;
   };
 
   KvService() : KvService(Options{}) {}
   explicit KvService(Options opts);
 
+  // A GET parked on disk reads: HandleGet fills the item list and location
+  // records, StartFetches resolves them on reader threads, FinishDeferred
+  // renders the response in key order back on the caller's thread.
+  struct DeferredGet {
+    struct Item {
+      std::string key;
+      bool live = false;        // table hit, not expired
+      bool need_fetch = false;  // tiered and not in the hot cache
+      bool fetch_ok = false;    // disk read landed and verified
+      std::string data;
+      std::uint32_t flags = 0;
+      std::uint64_t cas_id = 0;
+      store::ValueLocation loc{};
+    };
+    bool with_cas = false;
+    RequestType type = RequestType::kGet;
+    std::uint64_t start_ns = 0;  // Process() entry; closes at FinishDeferred
+    std::vector<Item> items;
+    std::atomic<std::size_t> remaining{0};  // outstanding disk fetches
+  };
+
+  enum class ProcessStatus : std::uint8_t { kDone, kSuspended };
+
   // Execute one request, appending the protocol response to *response_out.
-  void Process(const Request& request, std::string* response_out);
+  void Process(const Request& request, std::string* response_out) {
+    (void)Process(request, response_out, nullptr);
+  }
+
+  // Async-aware variant: a GET that must touch disk returns kSuspended with
+  // *deferred set instead of blocking; the caller parks the connection,
+  // calls StartFetches, and on completion FinishDeferred. With `deferred`
+  // null every request completes synchronously (disk reads block inline).
+  ProcessStatus Process(const Request& request, std::string* response_out,
+                        std::shared_ptr<DeferredGet>* deferred);
+
+  // Submit the deferred GET's disk reads; `on_complete` fires exactly once,
+  // on a reader thread, after the last fetch lands. Call once per deferred.
+  void StartFetches(const std::shared_ptr<DeferredGet>& deferred,
+                    std::function<void()> on_complete);
+
+  // Render the completed deferred GET (failed fetches count as misses) and
+  // close out its latency accounting.
+  void FinishDeferred(DeferredGet& deferred, std::string* out);
 
   // Per-connection driver: feed raw protocol bytes, receive raw response
   // bytes. Each connection owns one Connection (the parser is stateful);
@@ -106,8 +159,19 @@ class KvService {
    public:
     explicit Connection(KvService* service) : service_(service) {}
 
+    enum class DriveStatus : std::uint8_t { kIdle, kSuspended };
+
     // Parse and execute everything in `bytes`; append responses to *out.
-    void Drive(std::string_view bytes, std::string* out);
+    void Drive(std::string_view bytes, std::string* out) {
+      (void)Drive(bytes, out, nullptr);
+    }
+
+    // Async-aware variant: stops at the first request that parks on disk,
+    // returning kSuspended with *deferred set; unparsed input stays
+    // buffered. After FinishDeferred, call Drive("", ...) to resume the
+    // buffered stream (which may suspend again).
+    DriveStatus Drive(std::string_view bytes, std::string* out,
+                      std::shared_ptr<DeferredGet>* deferred);
 
     // Bytes of partial request currently buffered (backpressure input).
     std::size_t BufferedBytes() const noexcept { return parser_.BufferedBytes(); }
@@ -121,6 +185,17 @@ class KvService {
   };
 
   Connection Connect() { return Connection(this); }
+
+  // ----- Tiered-store integration -------------------------------------------
+
+  store::TieredStore* tier() const noexcept { return tier_; }
+
+  // GC relocation hook (see TieredStore::RelocateFn): re-checks liveness
+  // under the bucket locks and swings the entry's location to the record's
+  // new home, logging the move through the normal observer path.
+  store::TieredStore::RelocateResult RelocateTiered(const std::string& key,
+                                                    const store::ValueLocation& old_loc,
+                                                    std::string_view data);
 
   // Extra STAT lines appended to every `stats` response — the network server
   // installs its connection/traffic counters here, the durability layer its
@@ -210,22 +285,31 @@ class KvService {
     return value.expires_at != 0 && value.expires_at <= now;
   }
 
-  void HandleGet(const Request& request, bool with_cas, std::string* out);
+  ProcessStatus HandleGet(const Request& request, bool with_cas, std::string* out,
+                          std::shared_ptr<DeferredGet>* deferred);
   void HandleSet(const Request& request, std::string* out);
   void HandleCas(const Request& request, std::string* out);
   void HandleTouch(const Request& request, std::string* out);
   void HandleStats(const Request& request, std::string* out);
+  void HandleDelete(const Request& request, std::string* out);
+
+  // Shared tail of the sync and deferred GET paths: VALUE blocks in key
+  // order, hit/miss accounting, END.
+  void RenderGet(DeferredGet& deferred, std::string* out);
 
   // Process() minus the latency accounting (the switch on request type).
-  void Dispatch(const Request& request, std::string* out);
+  ProcessStatus Dispatch(const Request& request, std::string* out,
+                         std::shared_ptr<DeferredGet>* deferred);
   void AppendLatencyStats(std::string* out) const;
   void AppendSlowlogStats(std::string* out) const;
+  void AppendTierStats(std::string* out) const;
 
   // One histogram slot per RequestType value.
   static constexpr std::size_t kCommandKinds = 8;
   static const char* CommandName(RequestType type) noexcept;
 
   StoreMap store_;
+  store::TieredStore* tier_ = nullptr;
   std::function<std::uint64_t()> clock_;
   std::vector<std::function<void(std::string*)>> extra_stats_;
   std::vector<std::function<void(std::string*)>> detail_stats_;

@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <unordered_map>
 #include <utility>
 
 #include "src/common/mutex.h"
@@ -36,6 +37,32 @@ bool FillUnixAddress(const std::string& path, sockaddr_un* addr) {
   return true;
 }
 
+// Completion tokens posted by value-log reader threads when a parked GET's
+// disk reads finish. Callbacks hold shared ownership of this queue plus the
+// connection's numeric id — never a Conn* — so a connection may die while
+// its read is in flight and the stale token is simply dropped. The eventfd
+// write happens under the mutex, and the owning loop sets `dead` (under the
+// same mutex) before the fd is closed, so a late completion can never write
+// to a closed or recycled descriptor.
+struct CompletionQueue {
+  explicit CompletionQueue(int fd) : wake_fd(fd) {}
+
+  void Post(std::uint64_t id) {
+    MutexLock lk(mu);
+    if (dead) {
+      return;
+    }
+    ready.push_back(id);
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+
+  Mutex mu;
+  std::vector<std::uint64_t> ready GUARDED_BY(mu);
+  bool dead GUARDED_BY(mu) = false;
+  const int wake_fd;
+};
+
 }  // namespace
 
 // One connection (or listener / wakeup sentinel) as seen by an event loop.
@@ -47,13 +74,18 @@ struct SocketServer::Conn {
 
   Kind kind;
   int fd;
+  std::uint64_t id = 0;  // completion-token namespace (stable for the lifetime)
   KvService::Connection driver;
   std::string out;           // accumulated, not-yet-flushed responses
   std::size_t out_off = 0;   // bytes of `out` already sent
   std::uint64_t last_active_ms = 0;
-  bool paused_read = false;      // backpressure or drain: EPOLLIN disabled
+  bool paused_read = false;      // backpressure, park, or drain: EPOLLIN disabled
   bool want_write = false;       // partial flush pending: EPOLLOUT enabled
   bool close_after_flush = false;
+  // Non-null while suspended on async value-log reads. The in-flight reads
+  // reference only this shared DeferredGet and the loop's completion queue,
+  // so closing a parked connection is always safe (no use-after-close).
+  std::shared_ptr<KvService::DeferredGet> parked;
 };
 
 struct SocketServer::Loop {
@@ -62,6 +94,10 @@ struct SocketServer::Loop {
   std::unique_ptr<Conn> unix_listener;
   std::unique_ptr<Conn> tcp_listener;
   std::vector<Conn*> conns;
+  // id -> Conn for resuming parked connections; a completion token whose id
+  // is absent here raced a close and is ignored.
+  std::unordered_map<std::uint64_t, Conn*> by_id;
+  std::shared_ptr<CompletionQueue> completions;
   // Accepted sockets handed to this loop by another loop's accept path
   // (round-robin placement); adopted on the next wake-eventfd tick.
   Mutex pending_mu;
@@ -140,6 +176,8 @@ bool SocketServer::Start() {
     AppendStat("server_bytes_read", s.bytes_read, out);
     AppendStat("server_bytes_written", s.bytes_written, out);
     AppendStat("server_backpressure_pauses", s.backpressure_pauses, out);
+    AppendStat("server_parked_reads", s.parked_reads, out);
+    AppendStat("server_curr_parked", s.curr_parked, out);
   });
 
   stopping_.store(false, std::memory_order_release);
@@ -155,6 +193,7 @@ bool SocketServer::Start() {
       return false;
     }
     loop->wake = std::make_unique<Conn>(Conn::Kind::kWake, wake_fd, service_);
+    loop->completions = std::make_shared<CompletionQueue>(wake_fd);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.ptr = loop->wake.get();
@@ -233,6 +272,8 @@ SocketServer::StatsSnapshot SocketServer::Stats() const noexcept {
   s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
   s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
   s.backpressure_pauses = backpressure_pauses_.load(std::memory_order_relaxed);
+  s.parked_reads = parked_reads_.load(std::memory_order_relaxed);
+  s.curr_parked = curr_parked_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -245,6 +286,12 @@ void SocketServer::UpdateEvents(Loop* loop, Conn* conn) {
 }
 
 void SocketServer::CloseConn(Loop* loop, Conn* conn) {
+  if (conn->parked != nullptr) {
+    // The in-flight disk reads keep the DeferredGet alive on their own; the
+    // eventual completion token finds no conn under this id and is dropped.
+    curr_parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  loop->by_id.erase(conn->id);
   ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   for (std::size_t i = 0; i < loop->conns.size(); ++i) {
@@ -301,8 +348,10 @@ void SocketServer::HandleAccept(Loop* loop, int listen_fd) {
 // Conn and register for reads. Only ever called from `loop`'s own thread.
 void SocketServer::RegisterConn(Loop* loop, int fd) {
   Conn* conn = new Conn(Conn::Kind::kConnection, fd, service_);
+  conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
   conn->last_active_ms = NowMs();
   loop->conns.push_back(conn);
+  loop->by_id.emplace(conn->id, conn);
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.ptr = conn;
@@ -373,7 +422,16 @@ void SocketServer::HandleReadable(Loop* loop, Conn* conn) {
       conn->last_active_ms = NowMs();
       // Pipelining: Drive parses every complete request in the input and
       // appends all responses to conn->out for one accumulated flush below.
-      conn->driver.Drive(std::string_view(buffer, static_cast<std::size_t>(n)), &conn->out);
+      // A GET that must touch the value log suspends the stream instead of
+      // blocking this loop: park the connection, stop pulling input (the
+      // kernel buffers it), and let other connections keep being served.
+      std::shared_ptr<KvService::DeferredGet> deferred;
+      conn->driver.Drive(std::string_view(buffer, static_cast<std::size_t>(n)), &conn->out,
+                         &deferred);
+      if (deferred != nullptr) {
+        ParkConn(loop, conn, std::move(deferred));
+        break;
+      }
       if (conn->driver.Broken() ||
           conn->driver.BufferedBytes() > options_.max_input_buffered) {
         conn->close_after_flush = true;  // protocol stream unrecoverable
@@ -415,7 +473,8 @@ void SocketServer::HandleReadable(Loop* loop, Conn* conn) {
       conn->paused_read = true;
       backpressure_pauses_.fetch_add(1, std::memory_order_relaxed);
     }
-  } else if (conn->paused_read && pending <= options_.max_output_buffered / 2) {
+  } else if (conn->parked == nullptr && conn->paused_read &&
+             pending <= options_.max_output_buffered / 2) {
     conn->paused_read = false;
   }
   UpdateEvents(loop, conn);
@@ -427,6 +486,9 @@ void SocketServer::SweepIdle(Loop* loop, std::uint64_t now_ms) {
   }
   std::vector<Conn*> victims;
   for (Conn* conn : loop->conns) {
+    if (conn->parked != nullptr) {
+      continue;  // waiting on disk, not idle — immune to reaping
+    }
     // last_active_ms can be fresher than now_ms (now_ms is captured before
     // the event batch; reads during the batch re-stamp the connection) — an
     // unsigned subtraction would underflow and reap an active connection.
@@ -438,6 +500,69 @@ void SocketServer::SweepIdle(Loop* loop, std::uint64_t now_ms) {
   for (Conn* conn : victims) {
     closed_idle_.fetch_add(1, std::memory_order_relaxed);
     CloseConn(loop, conn);
+  }
+}
+
+void SocketServer::ParkConn(Loop* loop, Conn* conn,
+                            std::shared_ptr<KvService::DeferredGet> deferred) {
+  conn->parked = deferred;
+  conn->paused_read = true;  // unread input waits (kernel + parser) until resume
+  parked_reads_.fetch_add(1, std::memory_order_relaxed);
+  curr_parked_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<CompletionQueue> cq = loop->completions;
+  const std::uint64_t id = conn->id;
+  service_->StartFetches(deferred, [cq, id] { cq->Post(id); });
+}
+
+void SocketServer::ProcessCompletions(Loop* loop, bool draining) {
+  std::vector<std::uint64_t> ready;
+  {
+    MutexLock lk(loop->completions->mu);
+    ready.swap(loop->completions->ready);
+  }
+  for (std::uint64_t id : ready) {
+    auto it = loop->by_id.find(id);
+    if (it == loop->by_id.end()) {
+      continue;  // connection died while its read was in flight
+    }
+    Conn* conn = it->second;
+    if (conn->parked == nullptr) {
+      continue;  // stale token
+    }
+    std::shared_ptr<KvService::DeferredGet> done = std::move(conn->parked);
+    conn->parked = nullptr;
+    curr_parked_.fetch_sub(1, std::memory_order_relaxed);
+    service_->FinishDeferred(*done, &conn->out);
+    conn->last_active_ms = NowMs();
+    if (draining || conn->close_after_flush) {
+      // Shutdown (or half-close) caught this connection mid-read. The
+      // response is now complete in conn->out: flush it, then close. A
+      // response is never torn — either the read finished and the whole
+      // payload goes out, or the drain deadline closes the socket before
+      // any byte of it was written.
+      conn->close_after_flush = true;
+      if (FlushOutput(loop, conn)) {
+        UpdateEvents(loop, conn);
+      }
+      continue;
+    }
+    // Resume the buffered request stream; pipelined GETs may suspend again
+    // immediately, re-parking the connection for another disk round.
+    std::shared_ptr<KvService::DeferredGet> next;
+    conn->driver.Drive(std::string_view(), &conn->out, &next);
+    if (next != nullptr) {
+      ParkConn(loop, conn, std::move(next));
+    } else if (conn->driver.Broken() ||
+               conn->driver.BufferedBytes() > options_.max_input_buffered) {
+      conn->close_after_flush = true;
+      conn->paused_read = true;
+    } else {
+      conn->paused_read =
+          conn->out.size() - conn->out_off > options_.max_output_buffered;
+    }
+    if (FlushOutput(loop, conn)) {
+      UpdateEvents(loop, conn);
+    }
   }
 }
 
@@ -468,6 +593,7 @@ void SocketServer::RunLoop(Loop* loop) {
           std::uint64_t drained;
           [[maybe_unused]] ssize_t r = ::read(conn->fd, &drained, sizeof(drained));
           AdoptPendingFds(loop);
+          ProcessCompletions(loop, draining);
           break;
         }
         case Conn::Kind::kListener:
@@ -489,6 +615,7 @@ void SocketServer::RunLoop(Loop* loop) {
             }
             const std::size_t pending = conn->out.size() - conn->out_off;
             if (!draining && conn->paused_read && !conn->close_after_flush &&
+                conn->parked == nullptr &&
                 pending <= options_.max_output_buffered / 2) {
               conn->paused_read = false;  // backpressure released
             }
@@ -517,6 +644,9 @@ void SocketServer::RunLoop(Loop* loop) {
       for (Conn* conn : snapshot) {
         conn->paused_read = true;
         conn->close_after_flush = true;
+        if (conn->parked != nullptr) {
+          continue;  // its disk reads finish first; the completion flushes+closes
+        }
         if (FlushOutput(loop, conn)) {
           UpdateEvents(loop, conn);  // EPOLLOUT only (or nothing if drained)
         }
@@ -541,6 +671,12 @@ void SocketServer::RunLoop(Loop* loop) {
   std::vector<Conn*> snapshot = loop->conns;
   for (Conn* conn : snapshot) {
     CloseConn(loop, conn);
+  }
+  // Late completions must not touch the wake eventfd once Stop() closes it:
+  // flip `dead` under the queue mutex before this thread is joined.
+  {
+    MutexLock lk(loop->completions->mu);
+    loop->completions->dead = true;
   }
 }
 

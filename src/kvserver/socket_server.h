@@ -18,6 +18,14 @@
 //     it drains), input caps via RequestParser, and graceful shutdown that
 //     stops reading, flushes in-flight responses up to a drain deadline,
 //     then closes.
+//   * Parked reads (larger-than-memory tier): a GET whose values live in the
+//     value log suspends the connection instead of blocking the event loop.
+//     The loop keeps serving other connections; when the disk reads land on
+//     reader threads, a completion token wakes the owning loop, which renders
+//     the response and resumes the connection's buffered input stream. Parked
+//     connections are immune to idle reaping, and a graceful Stop() lets
+//     their in-flight reads finish (bounded by the drain deadline) so the
+//     response is either fully flushed or never started — no torn writes.
 #ifndef SRC_KVSERVER_SOCKET_SERVER_H_
 #define SRC_KVSERVER_SOCKET_SERVER_H_
 
@@ -67,6 +75,10 @@ class SocketServer {
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
     std::uint64_t backpressure_pauses = 0;
+    // Connections suspended on an async value-log read (cumulative), and the
+    // number currently suspended.
+    std::uint64_t parked_reads = 0;
+    std::uint64_t curr_parked = 0;
   };
 
   SocketServer(KvService* service, Options options);
@@ -107,6 +119,13 @@ class SocketServer {
   void CloseConn(Loop* loop, Conn* conn);
   void UpdateEvents(Loop* loop, Conn* conn);
   void SweepIdle(Loop* loop, std::uint64_t now_ms);
+  // Suspend `conn` on `deferred` and launch its disk fetches; the completion
+  // callback posts the connection id to the loop's completion queue (never a
+  // Conn* — the connection may die while the read is in flight).
+  void ParkConn(Loop* loop, Conn* conn, std::shared_ptr<KvService::DeferredGet> deferred);
+  // Drain the loop's completion queue: render finished deferred GETs, flush,
+  // and resume (or re-park, or close when draining) their connections.
+  void ProcessCompletions(Loop* loop, bool draining);
 
   KvService* service_;
   Options options_;
@@ -117,6 +136,7 @@ class SocketServer {
   std::atomic<bool> stopping_{false};
   std::vector<std::unique_ptr<Loop>> loops_;
   std::atomic<std::uint64_t> next_loop_{0};  // round-robin accept placement
+  std::atomic<std::uint64_t> next_conn_id_{1};  // completion-token namespace
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_over_limit_{0};
@@ -125,6 +145,8 @@ class SocketServer {
   std::atomic<std::uint64_t> bytes_read_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
   std::atomic<std::uint64_t> backpressure_pauses_{0};
+  std::atomic<std::uint64_t> parked_reads_{0};
+  std::atomic<std::uint64_t> curr_parked_{0};
 };
 
 // Minimal blocking client for tests, examples, and benches: connects over a

@@ -53,7 +53,10 @@ void DurabilityManager::Stop() {
   // (the server should already have drained connections by now).
   service_->SetMutationObserver(nullptr);
   // Final barrier: everything applied to the table reaches the disk before
-  // exit, regardless of fsync policy.
+  // exit, regardless of fsync policy — value bytes first, then the WAL.
+  if (options_.tier != nullptr) {
+    options_.tier->SyncLog();
+  }
   wal_.Flush();
   wal_.Shutdown();
 }
@@ -91,6 +94,18 @@ void DurabilityManager::SnapshotWorker() {
       }
       if (stop_) {
         return;
+      }
+      // Value-log counterpart of the WAL's everysec fsync: bound how much
+      // tiered value data an OS crash can lose under the weaker policies.
+      // EnsureDurable is a no-op when nothing was appended since last time,
+      // so this costs one mutex hold per wakeup in the idle case. Under
+      // fsync=always WaitDurable syncs inline and this never fires.
+      if (options_.tier != nullptr && options_.fsync_policy != FsyncPolicy::kAlways) {
+        const std::uint64_t now_ms = static_cast<std::uint64_t>(NowNanos() / 1000000);
+        if (now_ms - last_vlog_sync_ms_ >= 1000) {
+          options_.tier->SyncLog();
+          last_vlog_sync_ms_ = now_ms;
+        }
       }
       const bool byte_trigger =
           options_.snapshot_trigger_bytes != 0 &&

@@ -38,6 +38,12 @@ struct DurabilityOptions {
   // 0 disables automatic snapshots (bgsave still works).
   std::uint64_t snapshot_trigger_bytes = 0;
   int snapshot_max_attempts = 8;
+  // The larger-than-memory tier, when the service runs one. Must be opened
+  // BEFORE Start() — recovery validates tiered locations against the live
+  // value log — and must outlive this manager. Under fsync=always,
+  // WaitDurable syncs the value log before waiting on the WAL, so an acked
+  // tiered write has both its bytes and its index record on disk.
+  store::TieredStore* tier = nullptr;
 };
 
 class DurabilityManager : public KvService::MutationObserver {
@@ -75,6 +81,15 @@ class DurabilityManager : public KvService::MutationObserver {
   // (the client-visible durability cost under the configured fsync policy).
   std::uint64_t OnSet(std::string_view key, const KvService::StoredValue& stored) override {
     append_start_ns() = NowNanos();
+    if (stored.Tiered()) {
+      // The WAL carries the 16-byte location record, never the value bytes
+      // (those are already in the value log) — tiered writes cost the WAL a
+      // fixed-size entry regardless of value size.
+      std::string loc;
+      store::EncodeValueLocation(stored.loc, &loc);
+      return wal_.Append(WalRecord::Type::kSetTiered, key, loc, stored.flags,
+                         stored.expires_at, stored.cas_id);
+    }
     return wal_.Append(WalRecord::Type::kSet, key, stored.data, stored.flags,
                        stored.expires_at, stored.cas_id);
   }
@@ -83,6 +98,14 @@ class DurabilityManager : public KvService::MutationObserver {
     return wal_.Append(WalRecord::Type::kDelete, key, {}, 0, 0, 0);
   }
   bool WaitDurable(std::uint64_t lsn) override {
+    // Value bytes before index record: under fsync=always an acked tiered
+    // write must survive with BOTH pieces, and recovery treats a WAL record
+    // whose log bytes are missing as never-acked. EnsureDurable is a no-op
+    // when nothing was appended since the last sync.
+    if (options_.tier != nullptr && options_.fsync_policy == FsyncPolicy::kAlways &&
+        !options_.tier->SyncLog()) {
+      return false;
+    }
     const bool ok = wal_.WaitDurable(lsn);
     std::uint64_t& start = append_start_ns();
     if (start != 0) {
@@ -90,6 +113,16 @@ class DurabilityManager : public KvService::MutationObserver {
       start = 0;
     }
     return ok;
+  }
+
+  // GC persist barrier (TieredStore::PersistBarrierFn): every relocation's
+  // new value bytes and WAL records become durable before the old segment
+  // may be unlinked.
+  bool PersistBarrier() {
+    if (options_.tier != nullptr && !options_.tier->SyncLog()) {
+      return false;
+    }
+    return wal_.Flush();
   }
 
   // Append "STAT wal_*/snapshot_*/recovery_*" lines (stats hook body).
@@ -139,6 +172,7 @@ class DurabilityManager : public KvService::MutationObserver {
   bool started_ GUARDED_BY(mutex_) = false;
 
   std::uint64_t bytes_at_last_snapshot_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t last_vlog_sync_ms_ GUARDED_BY(mutex_) = 0;
   std::atomic<std::uint64_t> snapshots_completed_{0};
   std::atomic<std::uint64_t> snapshot_failures_{0};
   std::atomic<std::uint64_t> last_snapshot_lsn_{0};

@@ -6,6 +6,7 @@
 #include "src/common/file_util.h"
 #include "src/persist/snapshot.h"
 #include "src/persist/wal.h"
+#include "src/store/value_log.h"
 
 namespace cuckoo {
 namespace persist {
@@ -51,6 +52,23 @@ bool RecoverKvService(const std::string& dir, KvService* service, RecoveryStats*
           value.flags = record.flags;
           value.cas_id = record.cas_id;
           value.expires_at = record.expires_at;
+          service->RestoreEntry(record.key, std::move(value));
+        } else if (record.type == WalRecord::Type::kSetTiered) {
+          KvService::StoredValue value;
+          value.flags = record.flags;
+          value.cas_id = record.cas_id;
+          value.expires_at = record.expires_at;
+          store::TieredStore* tier = service->tier();
+          if (!store::DecodeValueLocation(record.data, &value.loc) || tier == nullptr ||
+              !tier->ValidLocation(value.loc)) {
+            // The value bytes never made it to the log (torn off its tail, a
+            // crash between the vlog append fsync and the WAL fsync) — this
+            // write was never acked, so keeping the PRIOR state of the key is
+            // correct. Only the cas floor advances past the lost record.
+            service->AdvanceCasFloor(record.cas_id);
+            ++stats->tiered_records_skipped;
+            return;
+          }
           service->RestoreEntry(record.key, std::move(value));
         } else {
           service->RestoreErase(record.key);

@@ -35,6 +35,10 @@ struct RecoveryStats {
   std::uint64_t wal_segments = 0;
   std::uint64_t wal_records_applied = 0;
   std::uint64_t wal_records_skipped = 0;
+  // Tiered set records whose value-log bytes were gone at replay (torn off
+  // the log tail before the write was ever acked): the key keeps its prior
+  // state, only the cas floor advances.
+  std::uint64_t tiered_records_skipped = 0;
   bool truncated_tail = false;
   std::uint64_t torn_tail_bytes = 0;
   std::uint64_t next_lsn = 1;  // seed for WriteAheadLog::Open

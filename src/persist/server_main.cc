@@ -6,15 +6,31 @@
 //                    [--segment-bytes=N] [--snapshot-trigger-bytes=N]
 //                    [--max-connections=N] [--metrics-port=N]
 //                    [--slowlog-threshold-us=N] [--slowlog-capacity=N]
+//                    [--vlog-dir=/var/lib/ckv/vlog] [--vlog-threshold-bytes=4096]
+//                    [--vlog-segment-bytes=N] [--vlog-gc-trigger=0.5]
+//                    [--vlog-cache-mb=64] [--vlog-reader=auto]
+//                    [--vlog-read-threads=4]
 //
 // Without --wal-dir the server runs purely in memory (no durability).
+// With --vlog-dir the larger-than-memory tier is enabled: values of at least
+// --vlog-threshold-bytes live in an append-only value log under that
+// directory, the cuckoo table holds 16-byte location records, and GETs that
+// miss the hot cache are served through the async read layer
+// (--vlog-reader=auto|uring|threads) without blocking the event loops.
+// --vlog-gc-trigger > 0 starts the background compactor at that dead-byte
+// ratio. The tier composes with --wal-dir: snapshots/WAL persist the
+// location records and restart rebuilds the index without reading value
+// bytes.
 // After startup it prints a READY line to stdout:
 //   READY <tcp_port> <unix_path>
 // (test harnesses block on this). With --metrics-port a Prometheus text
 // endpoint is served on 127.0.0.1 (0 = kernel-assigned) and a second line
 //   METRICS <port>
-// follows READY. SIGTERM/SIGINT trigger a graceful stop: drain connections,
-// flush + fsync the WAL, then exit 0 — an acked write can never be lost by a
+// follows READY; with --vlog-dir a line
+//   VLOG <dir> threshold=<bytes> reader=<backend>
+// is announced as well. SIGTERM/SIGINT trigger a graceful stop: drain
+// connections (in-flight parked disk reads finish first), flush + fsync the
+// value log and the WAL, then exit 0 — an acked write can never be lost by a
 // clean shutdown, under any fsync policy.
 #include <csignal>
 #include <cstdio>
@@ -27,6 +43,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_http.h"
 #include "src/persist/durability.h"
+#include "src/store/tiered_store.h"
 
 int main(int argc, char** argv) {
   using namespace cuckoo;
@@ -53,6 +70,30 @@ int main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
   std::signal(SIGPIPE, SIG_IGN);
 
+  // The larger-than-memory tier opens before the service (the service and
+  // recovery both hold raw pointers into it) and closes after everything
+  // that might still touch it has stopped.
+  const std::string vlog_dir = flags.GetString("vlog-dir", "");
+  store::TieredStore tier;
+  if (!vlog_dir.empty()) {
+    store::TieredStoreOptions t;
+    t.dir = vlog_dir;
+    t.threshold_bytes =
+        static_cast<std::size_t>(flags.GetInt("vlog-threshold-bytes", 4096));
+    t.segment_bytes =
+        static_cast<std::uint64_t>(flags.GetInt("vlog-segment-bytes", 64 << 20));
+    t.gc_trigger = flags.GetDouble("vlog-gc-trigger", 0.0);
+    t.cache_capacity_bytes =
+        static_cast<std::size_t>(flags.GetInt("vlog-cache-mb", 64)) << 20;
+    t.reader_backend = flags.GetString("vlog-reader", "auto");
+    t.reader_threads = static_cast<int>(flags.GetInt("vlog-read-threads", 4));
+    std::string error;
+    if (!tier.Open(t, &error)) {
+      std::fprintf(stderr, "cannot open value log: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
   KvService::Options service_options;
   service_options.initial_bucket_count_log2 =
       static_cast<std::size_t>(flags.GetInt("bucket-count-log2", 12));
@@ -60,6 +101,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.GetInt("slowlog-threshold-us", 0)) * 1000;
   service_options.slowlog_capacity =
       static_cast<std::size_t>(flags.GetInt("slowlog-capacity", 128));
+  if (!vlog_dir.empty()) {
+    service_options.tier = &tier;
+  }
   KvService service(service_options);
 
   persist::DurabilityManager durability(&service);
@@ -70,6 +114,9 @@ int main(int argc, char** argv) {
     d.segment_bytes = static_cast<std::uint64_t>(flags.GetInt("segment-bytes", 64 << 20));
     d.snapshot_trigger_bytes =
         static_cast<std::uint64_t>(flags.GetInt("snapshot-trigger-bytes", 0));
+    if (!vlog_dir.empty()) {
+      d.tier = &tier;
+    }
     std::string error;
     if (!durability.Start(d, &error)) {
       std::fprintf(stderr, "recovery failed: %s\n", error.c_str());
@@ -83,6 +130,22 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.snapshot_entries),
                  static_cast<unsigned long long>(r.wal_records_applied),
                  r.truncated_tail ? 1 : 0, static_cast<unsigned long long>(r.next_lsn));
+  }
+
+  // GC re-inserts live records through the normal map path (liveness is
+  // re-checked under the bucket locks) and only unlinks a compacted segment
+  // after the relocations are durable. Without a WAL the barrier is just the
+  // value log's own fsync.
+  if (!vlog_dir.empty()) {
+    tier.SetGcHooks(
+        [&service](const std::string& key, const store::ValueLocation& old_loc,
+                   std::string_view data) {
+          return service.RelocateTiered(key, old_loc, data);
+        },
+        [&durability, &tier, &wal_dir] {
+          return wal_dir.empty() ? tier.SyncLog() : durability.PersistBarrier();
+        });
+    tier.StartGc();
   }
 
   SocketServer::Options server_options;
@@ -121,18 +184,30 @@ int main(int argc, char** argv) {
   if (want_metrics) {
     std::printf("METRICS %u\n", static_cast<unsigned>(metrics_server.port()));
   }
+  if (!vlog_dir.empty()) {
+    std::printf("VLOG %s threshold=%llu reader=%s\n", vlog_dir.c_str(),
+                static_cast<unsigned long long>(tier.threshold_bytes()),
+                tier.reader_backend());
+  }
   std::fflush(stdout);
 
   int sig = 0;
   sigwait(&sigs, &sig);
   std::fprintf(stderr, "signal %d: draining connections and flushing WAL\n", sig);
 
-  // Order matters: stop serving first (no new mutations), then flush +
-  // fsync the log so every applied mutation is on disk before exit.
+  // Order matters: stop serving first (no new mutations; parked disk reads
+  // drain), stop the compactor, then flush + fsync the value log and the WAL
+  // so every applied mutation is on disk before exit. The tier itself closes
+  // last (by destruction order) — everything above holds pointers into it.
   metrics_server.Stop();
   server.Stop();
+  if (!vlog_dir.empty()) {
+    tier.StopGc();
+  }
   if (!wal_dir.empty()) {
     durability.Stop();
+  } else if (!vlog_dir.empty()) {
+    tier.SyncLog();
   }
   return 0;
 }

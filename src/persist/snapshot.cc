@@ -6,6 +6,7 @@
 
 #include "src/common/crc32c.h"
 #include "src/common/file_util.h"
+#include "src/store/value_log.h"
 
 namespace cuckoo {
 namespace persist {
@@ -38,16 +39,26 @@ void FrameRecord(std::string_view payload, std::string* out) {
 
 void EncodeEntry(const std::string& key, const KvService::StoredValue& value,
                  std::string* out) {
+  // Tiered entries persist their 16-byte location record, never the value
+  // bytes — that is what keeps snapshot size (and recovery time) a function
+  // of the index, not the dataset.
+  std::string data;
+  if (value.Tiered()) {
+    store::EncodeValueLocation(value.loc, &data);
+  } else {
+    data = value.data;
+  }
   std::string payload;
-  payload.reserve(1 + 4 + 8 + 8 + 4 + 4 + key.size() + value.data.size());
-  AppendPod(&payload, internal::kEntryRecord);
+  payload.reserve(1 + 4 + 8 + 8 + 4 + 4 + key.size() + data.size());
+  AppendPod(&payload,
+            value.Tiered() ? internal::kTieredEntryRecord : internal::kEntryRecord);
   AppendPod(&payload, value.flags);
   AppendPod(&payload, value.cas_id);
   AppendPod(&payload, value.expires_at);
   AppendPod(&payload, static_cast<std::uint32_t>(key.size()));
-  AppendPod(&payload, static_cast<std::uint32_t>(value.data.size()));
+  AppendPod(&payload, static_cast<std::uint32_t>(data.size()));
   payload.append(key);
-  payload.append(value.data);
+  payload.append(data);
   FrameRecord(payload, out);
 }
 
@@ -228,7 +239,7 @@ bool LoadKvSnapshot(const std::string& path, KvService* service, SnapshotLoadSta
     if (!ReadPod(pstr, &p, &type)) {
       return Fail(error, "empty snapshot record in " + path);
     }
-    if (type == internal::kEntryRecord) {
+    if (type == internal::kEntryRecord || type == internal::kTieredEntryRecord) {
       if (saw_footer) {
         return Fail(error, "snapshot entry after footer in " + path);
       }
@@ -242,12 +253,28 @@ bool LoadKvSnapshot(const std::string& path, KvService* service, SnapshotLoadSta
         return Fail(error, "malformed snapshot entry in " + path);
       }
       std::string key = pstr.substr(p, klen);
-      value.data = pstr.substr(p + klen, dlen);
       max_cas = std::max(max_cas, value.cas_id);
+      ++entries;  // counts against the footer even when the insert is skipped
+      if (type == internal::kTieredEntryRecord) {
+        if (!store::DecodeValueLocation(std::string_view(pstr).substr(p + klen, dlen),
+                                        &value.loc)) {
+          return Fail(error, "malformed tiered snapshot entry in " + path);
+        }
+        // The location must still name bytes in the value log. A miss means
+        // the record was torn off the log tail before it was ever acked (the
+        // snapshot is fuzzy and can run ahead of durability) — skip the
+        // entry, keeping only the cas floor.
+        store::TieredStore* tier = service->tier();
+        if (tier == nullptr || !tier->ValidLocation(value.loc)) {
+          service->AdvanceCasFloor(value.cas_id);
+          continue;
+        }
+      } else {
+        value.data = pstr.substr(p + klen, dlen);
+      }
       if (!service->RestoreEntry(std::move(key), std::move(value))) {
         return Fail(error, "table rejected snapshot entry from " + path);
       }
-      ++entries;
     } else if (type == internal::kFooterRecord) {
       std::uint64_t footer_count = 0;
       std::uint64_t footer_max_cas = 0;

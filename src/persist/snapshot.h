@@ -75,6 +75,11 @@ inline constexpr char kKvSnapMagic[8] = {'C', 'K', 'K', 'V', 'S', 'N', 'P', '1'}
 inline constexpr std::uint32_t kKvSnapVersion = 1;
 inline constexpr std::uint8_t kEntryRecord = 1;
 inline constexpr std::uint8_t kFooterRecord = 2;
+// Same layout as kEntryRecord, but the data bytes are the 16-byte encoded
+// value-log location (src/store/value_log.h), not the value itself. Load
+// re-validates the location against the live log and skips entries whose
+// record is gone (a never-acked write torn off the log tail).
+inline constexpr std::uint8_t kTieredEntryRecord = 3;
 std::string SnapshotFileName(std::uint64_t wal_lsn);
 bool ParseSnapshotFileName(const std::string& name, std::uint64_t* wal_lsn);
 }  // namespace internal

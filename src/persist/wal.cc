@@ -88,7 +88,8 @@ int DecodeRecord(const std::string& bytes, std::size_t* pos, WalRecord* out) {
     return 0;
   }
   if (type != static_cast<std::uint8_t>(WalRecord::Type::kSet) &&
-      type != static_cast<std::uint8_t>(WalRecord::Type::kDelete)) {
+      type != static_cast<std::uint8_t>(WalRecord::Type::kDelete) &&
+      type != static_cast<std::uint8_t>(WalRecord::Type::kSetTiered)) {
     return 0;
   }
   if (payload_end - p != static_cast<std::uint64_t>(klen) + dlen) {

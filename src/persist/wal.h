@@ -55,7 +55,11 @@ bool ParseFsyncPolicy(std::string_view name, FsyncPolicy* out);
 const char* FsyncPolicyName(FsyncPolicy policy);
 
 struct WalRecord {
-  enum class Type : std::uint8_t { kSet = 1, kDelete = 2 };
+  // kSetTiered is a set whose value bytes live in the value log: `data`
+  // holds the 16-byte encoded ValueLocation (see src/store/value_log.h)
+  // instead of the value itself. Replay re-validates the location against
+  // the log on disk before trusting it.
+  enum class Type : std::uint8_t { kSet = 1, kDelete = 2, kSetTiered = 3 };
   std::uint64_t lsn = 0;
   Type type = Type::kSet;
   std::uint32_t flags = 0;

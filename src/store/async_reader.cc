@@ -1,0 +1,381 @@
+#include "src/store/async_reader.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define CUCKOO_HAVE_IO_URING 1
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#endif
+
+namespace cuckoo {
+namespace store {
+namespace {
+
+// ----- Thread-pool backend --------------------------------------------------
+
+class ThreadPoolReader final : public AsyncFileReader {
+ public:
+  explicit ThreadPoolReader(int threads) {
+    const int n = threads < 1 ? 1 : threads;
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPoolReader() override { Shutdown(); }
+
+  void Submit(const ReadOp& op, Callback cb) override {
+    {
+      MutexLock lk(mu_);
+      if (!stopping_) {
+        queue_.emplace_back(op, std::move(cb));
+        cv_.notify_one();
+        return;
+      }
+    }
+    cb(false, std::string());
+  }
+
+  void Shutdown() override {
+    {
+      MutexLock lk(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+      cv_.notify_all();
+    }
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  const char* backend_name() const noexcept override { return "threads"; }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      ReadOp op;
+      Callback cb;
+      {
+        MutexLock lk(mu_);
+        while (!stopping_ && queue_.empty()) {
+          cv_.wait(lk.native_handle());
+        }
+        if (queue_.empty()) return;  // stopping and fully drained
+        op = queue_.front().first;
+        cb = std::move(queue_.front().second);
+        queue_.pop_front();
+      }
+      std::string bytes;
+      bytes.resize(op.length);
+      bool ok = true;
+      std::size_t done = 0;
+      while (done < op.length) {
+        ssize_t n = ::pread(op.fd, bytes.data() + done, op.length - done,
+                            static_cast<off_t>(op.offset + done));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          ok = false;
+          break;
+        }
+        done += static_cast<std::size_t>(n);
+      }
+      cb(ok, ok ? std::move(bytes) : std::string());
+    }
+  }
+
+  Mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<ReadOp, Callback>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+#if CUCKOO_HAVE_IO_URING
+
+// ----- io_uring backend (raw syscalls; no liburing) -------------------------
+
+int SysIoUringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_enter, ring_fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+class IoUringReader final : public AsyncFileReader {
+ public:
+  static std::unique_ptr<IoUringReader> TryCreate(unsigned entries) {
+    auto reader = std::unique_ptr<IoUringReader>(new IoUringReader());
+    if (!reader->Init(entries)) return nullptr;
+    return reader;
+  }
+
+  ~IoUringReader() override {
+    Shutdown();
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+    if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) ::munmap(cq_ring_, cq_ring_bytes_);
+    if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  void Submit(const ReadOp& op, Callback cb) override {
+    auto pending = std::make_unique<Pending>();
+    pending->cb = std::move(cb);
+    pending->op = op;
+    pending->bytes.resize(op.length);
+    Callback failed;
+    {
+      MutexLock lk(mu_);
+      if (!stopping_) {
+        const std::uint64_t id = next_id_++;
+        Pending* raw = pending.get();
+        pending_[id] = std::move(pending);
+        // Cap submissions below the CQ capacity so the kernel can never
+        // overflow (and drop) a completion; extras wait in the backlog and
+        // are drained by the completion thread as results come back.
+        if (inflight_ >= max_inflight_) {
+          backlog_.push_back(id);
+          return;
+        }
+        if (SubmitLocked(id, raw)) return;
+        failed = std::move(pending_[id]->cb);
+        pending_.erase(id);
+      } else {
+        failed = std::move(pending->cb);
+      }
+    }
+    failed(false, std::string());
+  }
+
+  void Shutdown() override {
+    {
+      MutexLock lk(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+      if (!completion_thread_.joinable()) return;  // Init failed before launch
+      // Nudge the completion thread out of its GETEVENTS wait with a no-op.
+      const unsigned tail = *sq_tail_;
+      const unsigned index = tail & *sq_ring_mask_;
+      struct io_uring_sqe* sqe = &sqes_[index];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_NOP;
+      sqe->user_data = kShutdownToken;
+      sq_array_[index] = index;
+      __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+      SysIoUringEnter(ring_fd_, 1, 0, 0);
+    }
+    if (completion_thread_.joinable()) completion_thread_.join();
+    // Fail anything not yet delivered: backlogged ops and inflight ops whose
+    // completions arrive after the thread exited. Every Submit gets its
+    // callback exactly once.
+    std::unordered_map<std::uint64_t, std::unique_ptr<Pending>> leftover;
+    {
+      MutexLock lk(mu_);
+      leftover.swap(pending_);
+      backlog_.clear();
+    }
+    for (auto& [id, p] : leftover) {
+      (void)id;
+      p->cb(false, std::string());
+    }
+  }
+
+  const char* backend_name() const noexcept override { return "uring"; }
+
+ private:
+  struct Pending {
+    Callback cb;
+    std::string bytes;
+    ReadOp op;
+  };
+  static constexpr std::uint64_t kShutdownToken = ~0ull;
+
+  IoUringReader() = default;
+
+  // Write one sqe and submit it. The sqe slot is free again once
+  // io_uring_enter returns (submission is synchronous; only the I/O is
+  // asynchronous), so serializing on mu_ means the SQ ring never fills.
+  bool SubmitLocked(std::uint64_t id, Pending* p) REQUIRES(mu_) {
+    const unsigned tail = *sq_tail_;
+    const unsigned index = tail & *sq_ring_mask_;
+    struct io_uring_sqe* sqe = &sqes_[index];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = p->op.fd;
+    sqe->off = p->op.offset;
+    sqe->addr = reinterpret_cast<std::uint64_t>(p->bytes.data());
+    sqe->len = p->op.length;
+    sqe->user_data = id;
+    sq_array_[index] = index;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+    if (SysIoUringEnter(ring_fd_, 1, 0, 0) < 0) return false;
+    ++inflight_;
+    return true;
+  }
+
+  bool Init(unsigned entries) {
+    struct io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    ring_fd_ = SysIoUringSetup(entries, &params);
+    if (ring_fd_ < 0) return false;  // ENOSYS/EPERM/seccomp → caller falls back
+    max_inflight_ = params.cq_entries > 32 ? params.cq_entries - 16 : 16;
+
+    sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_ring_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && cq_ring_bytes_ > sq_ring_bytes_) sq_ring_bytes_ = cq_ring_bytes_;
+
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      sq_ring_ = nullptr;
+      return false;
+    }
+    if (single_mmap) {
+      cq_ring_ = sq_ring_;
+      cq_ring_bytes_ = sq_ring_bytes_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        cq_ring_ = nullptr;
+        return false;
+      }
+    }
+    sqes_bytes_ = params.sq_entries * sizeof(struct io_uring_sqe);
+    sqes_ = static_cast<struct io_uring_sqe*>(
+        ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+               ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      return false;
+    }
+
+    auto* sq_base = static_cast<char*>(sq_ring_);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+    sq_ring_mask_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+    auto* cq_base = static_cast<char*>(cq_ring_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+    cq_ring_mask_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<struct io_uring_cqe*>(cq_base + params.cq_off.cqes);
+
+    completion_thread_ = std::thread([this] { CompletionLoop(); });
+    return true;
+  }
+
+  void CompletionLoop() {
+    for (;;) {
+      unsigned head = __atomic_load_n(cq_head_, __ATOMIC_ACQUIRE);
+      const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+      if (head == tail) {
+        if (SysIoUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS) < 0 &&
+            errno != EINTR && errno != EBUSY) {
+          return;
+        }
+        continue;
+      }
+      while (head != tail) {
+        const struct io_uring_cqe& cqe = cqes_[head & *cq_ring_mask_];
+        const std::uint64_t id = cqe.user_data;
+        const int res = cqe.res;
+        ++head;
+        __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+        if (id == kShutdownToken) return;
+        std::unique_ptr<Pending> done;
+        std::vector<std::unique_ptr<Pending>> backlog_failures;
+        {
+          MutexLock lk(mu_);
+          auto it = pending_.find(id);
+          if (it != pending_.end()) {
+            done = std::move(it->second);
+            pending_.erase(it);
+            if (inflight_ > 0) --inflight_;
+          }
+          while (inflight_ < max_inflight_ && !backlog_.empty()) {
+            const std::uint64_t next = backlog_.front();
+            backlog_.pop_front();
+            auto nit = pending_.find(next);
+            if (nit == pending_.end()) continue;
+            if (!SubmitLocked(next, nit->second.get())) {
+              backlog_failures.push_back(std::move(nit->second));
+              pending_.erase(nit);
+            }
+          }
+        }
+        for (auto& p : backlog_failures) {
+          p->cb(false, std::string());
+        }
+        if (done) {
+          const bool ok =
+              res >= 0 && static_cast<std::size_t>(res) == done->bytes.size();
+          done->cb(ok, ok ? std::move(done->bytes) : std::string());
+        }
+      }
+    }
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  struct io_uring_sqe* sqes_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  std::size_t cq_ring_bytes_ = 0;
+  std::size_t sqes_bytes_ = 0;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_ring_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_ring_mask_ = nullptr;
+  struct io_uring_cqe* cqes_ = nullptr;
+
+  Mutex mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Pending>> pending_ GUARDED_BY(mu_);
+  std::deque<std::uint64_t> backlog_ GUARDED_BY(mu_);
+  unsigned inflight_ GUARDED_BY(mu_) = 0;
+  unsigned max_inflight_ = 48;
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::thread completion_thread_;
+};
+
+#endif  // CUCKOO_HAVE_IO_URING
+
+}  // namespace
+
+std::unique_ptr<AsyncFileReader> AsyncFileReader::Create(std::string_view backend,
+                                                         int threads) {
+#if CUCKOO_HAVE_IO_URING
+  if (backend == "uring" || backend == "auto") {
+    auto uring = IoUringReader::TryCreate(/*entries=*/64);
+    if (uring) return uring;
+    if (backend == "uring") return nullptr;
+  }
+#else
+  if (backend == "uring") return nullptr;
+#endif
+  return std::make_unique<ThreadPoolReader>(threads);
+}
+
+}  // namespace store
+}  // namespace cuckoo

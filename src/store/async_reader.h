@@ -1,0 +1,57 @@
+// AsyncFileReader — one interface over two positioned-read backends:
+//
+//   * "uring"   — io_uring via raw syscalls (no liburing dependency): a
+//                 single submission thread owns the rings and dispatches
+//                 completions. Falls back automatically when the kernel or
+//                 seccomp policy refuses io_uring_setup.
+//   * "threads" — a portable pread worker pool.
+//
+// Both run the completion callback on a reader-owned thread, never on the
+// caller's. Callers (the KV server's event loops) therefore park the request
+// and resume via their own wakeup mechanism — the epoll loop itself never
+// blocks on disk. Callbacks must be fast and must not call back into Submit's
+// caller synchronously-blocking paths.
+#ifndef SRC_STORE_ASYNC_READER_H_
+#define SRC_STORE_ASYNC_READER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace cuckoo {
+namespace store {
+
+class AsyncFileReader {
+ public:
+  struct ReadOp {
+    int fd = -1;
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+  };
+  // ok == true iff exactly `length` bytes were read; `bytes` then holds them.
+  using Callback = std::function<void(bool ok, std::string bytes)>;
+
+  virtual ~AsyncFileReader() = default;
+
+  // Enqueue one read. Never blocks on disk; may briefly take internal locks.
+  // The callback fires exactly once, on a reader thread — including after
+  // Shutdown() began (pending ops complete or fail, none are dropped).
+  virtual void Submit(const ReadOp& op, Callback cb) = 0;
+
+  // Drain pending ops and join worker threads. Idempotent. Submit after
+  // Shutdown fails the callback immediately (on the caller's thread).
+  virtual void Shutdown() = 0;
+
+  virtual const char* backend_name() const noexcept = 0;
+
+  // backend: "auto" (try io_uring, else threads), "uring", or "threads".
+  // Returns null only for "uring" when io_uring is unavailable.
+  static std::unique_ptr<AsyncFileReader> Create(std::string_view backend, int threads);
+};
+
+}  // namespace store
+}  // namespace cuckoo
+
+#endif  // SRC_STORE_ASYNC_READER_H_

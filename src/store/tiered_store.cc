@@ -1,0 +1,293 @@
+#include "src/store/tiered_store.h"
+
+#include <algorithm>
+#include "src/common/hash.h"
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace cuckoo {
+namespace store {
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TieredStore::HotKey TieredStore::DigestOf(std::string_view key) noexcept {
+  HotKey k;
+  k.lo = XxHash64(key.data(), key.size(), 0x74696572ull);       // "tier"
+  k.hi = XxHash64(key.data(), key.size(), 0x766c6f6721ull);     // "vlog!"
+  return k;
+}
+
+bool TieredStore::Open(const TieredStoreOptions& options, std::string* error) {
+  opts_ = options;
+  ValueLogOptions log_opts;
+  log_opts.dir = options.dir;
+  log_opts.segment_bytes = options.segment_bytes;
+  if (!log_.Open(log_opts, error)) {
+    return false;
+  }
+  registry_ = std::make_unique<RegistryShard[]>(kRegistryShards);
+  HotCache::Options cache_opts;
+  cache_opts.bucket_count_log2 = options.cache_bucket_count_log2;
+  cache_opts.capacity_bytes = options.cache_capacity_bytes;
+  // Reclaim the registry bytes when the policy cache drops a digest. Runs
+  // under the cache's bucket lock; the shard mutex nests inside it (never
+  // the other way around — Admit/TryHot release the shard lock before
+  // touching the cache).
+  cache_opts.on_evict = [this](const HotKey& k, const std::uint8_t&) {
+    RegistryShard& shard = ShardFor(k);
+    MutexLock lk(shard.mu);
+    shard.map.erase(k);
+  };
+  hot_ = std::make_unique<HotCache>(cache_opts);
+  reader_ = AsyncFileReader::Create(options.reader_backend, options.reader_threads);
+  if (!reader_) {
+    if (error) *error = "tiered store: async reader backend unavailable: " +
+                        options.reader_backend;
+    log_.Close();
+    return false;
+  }
+  open_ = true;
+  return true;
+}
+
+void TieredStore::Close() {
+  if (!open_) return;
+  StopGc();
+  if (reader_) {
+    reader_->Shutdown();
+    reader_.reset();
+  }
+  log_.Close();
+  hot_.reset();
+  registry_.reset();
+  open_ = false;
+}
+
+bool TieredStore::AppendValue(std::string_view key, std::string_view data,
+                              ValueLocation* loc) {
+  if (!log_.Append(key, data, loc)) {
+    return false;
+  }
+  tiered_sets_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TieredStore::MarkDead(const ValueLocation& loc) { log_.MarkDead(loc); }
+
+bool TieredStore::TryHot(const std::string& key, std::uint64_t cas_id, std::string* out) {
+  const HotKey digest = DigestOf(key);
+  std::uint8_t mark = 0;
+  if (hot_->Get(digest, &mark)) {  // also sets the CLOCK reference bit
+    std::shared_ptr<HotValue> value;
+    {
+      RegistryShard& shard = ShardFor(digest);
+      MutexLock lk(shard.mu);
+      auto it = shard.map.find(digest);
+      if (it != shard.map.end()) value = it->second;
+    }
+    if (value && value->cas_id == cas_id) {
+      hot_hits_.fetch_add(1, std::memory_order_relaxed);
+      *out = value->data;
+      return true;
+    }
+  }
+  hot_misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool TieredStore::ReadValue(const std::string& key, const ValueLocation& loc,
+                            std::uint64_t cas_id, std::string* out) {
+  if (TryHot(key, cas_id, out)) {
+    return true;
+  }
+  const std::uint64_t start = NowNs();
+  if (!log_.Read(loc, key, out)) {
+    disk_read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  disk_read_ns_.Record(NowNs() - start);
+  disk_reads_.fetch_add(1, std::memory_order_relaxed);
+  Admit(key, cas_id, *out);
+  return true;
+}
+
+void TieredStore::ReadValueAsync(std::string key, const ValueLocation& loc,
+                                 std::uint64_t cas_id,
+                                 std::function<void(bool, std::string)> cb) {
+  ValueLog::SegmentRef seg = log_.Pin(loc.segment);
+  if (!seg || loc.offset + loc.length > seg->valid_size.load(std::memory_order_acquire)) {
+    disk_read_errors_.fetch_add(1, std::memory_order_relaxed);
+    cb(false, std::string());
+    return;
+  }
+  AsyncFileReader::ReadOp op;
+  op.fd = seg->read_fd;
+  op.offset = loc.offset;
+  op.length = loc.length;
+  const std::uint64_t start = NowNs();
+  // The lambda holds `seg`, keeping the fd (and a retired segment's inode)
+  // alive until the read lands.
+  reader_->Submit(op, [this, seg, loc, cas_id, start, key = std::move(key),
+                       cb = std::move(cb)](bool ok, std::string frame) {
+    const std::uint64_t delay = read_delay_ms_.load(std::memory_order_relaxed);
+    if (delay != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    std::string data;
+    if (!ok || !ValueLog::VerifyRecord(frame, loc, key, &data)) {
+      disk_read_errors_.fetch_add(1, std::memory_order_relaxed);
+      cb(false, std::string());
+      return;
+    }
+    disk_read_ns_.Record(NowNs() - start);
+    disk_reads_.fetch_add(1, std::memory_order_relaxed);
+    Admit(key, cas_id, data);
+    cb(true, std::move(data));
+  });
+}
+
+void TieredStore::Admit(const std::string& key, std::uint64_t cas_id, std::string data) {
+  const HotKey digest = DigestOf(key);
+  const std::size_t charge = key.size() + data.size() + sizeof(HotValue);
+  auto value = std::make_shared<HotValue>();
+  value->cas_id = cas_id;
+  value->data = std::move(data);
+  {
+    RegistryShard& shard = ShardFor(digest);
+    MutexLock lk(shard.mu);
+    shard.map[digest] = std::move(value);
+  }
+  if (!hot_->Set(digest, 1, charge)) {
+    // Too big for the budget (or pathological layout): drop the bytes again
+    // rather than strand them outside the policy's accounting.
+    RegistryShard& shard = ShardFor(digest);
+    MutexLock lk(shard.mu);
+    shard.map.erase(digest);
+  }
+}
+
+void TieredStore::SetGcHooks(RelocateFn relocate, PersistBarrierFn barrier) {
+  relocate_ = std::move(relocate);
+  barrier_ = std::move(barrier);
+}
+
+bool TieredStore::RunGcOnce(double trigger_override) {
+  if (!relocate_) return false;
+  const double trigger = trigger_override >= 0.0 ? trigger_override : opts_.gc_trigger;
+  // Pick the sealed segment with the highest dead ratio at/above the trigger.
+  std::uint32_t victim = 0;
+  double worst = trigger;
+  bool found = false;
+  for (const ValueLog::SegmentInfo& info : log_.Segments()) {
+    if (info.active || info.size == 0) continue;
+    const double ratio = static_cast<double>(info.dead_bytes) /
+                         static_cast<double>(info.size);
+    if (ratio >= worst || (trigger == 0.0 && !found)) {
+      if (ratio >= trigger) {
+        victim = info.seq;
+        worst = std::max(ratio, worst);
+        found = true;
+      }
+    }
+  }
+  if (!found) return false;
+
+  gc_runs_.fetch_add(1, std::memory_order_relaxed);
+  bool clean = true;
+  const bool scanned = log_.ForEachRecord(
+      victim, [&](std::string_view key, std::string_view data, const ValueLocation& loc) {
+        gc_records_scanned_.fetch_add(1, std::memory_order_relaxed);
+        switch (relocate_(std::string(key), loc, data)) {
+          case RelocateResult::kDead:
+            break;
+          case RelocateResult::kRelocated:
+            gc_records_relocated_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case RelocateResult::kFailed:
+            clean = false;
+            return false;  // abort the walk; segment survives
+        }
+        return true;
+      });
+  if (!scanned || !clean) {
+    gc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Every live record now has a home in a newer segment, but the new bytes
+  // and the relocation log records may still be buffered. They MUST be
+  // durable before the only other copy disappears.
+  if (barrier_ && !barrier_()) {
+    gc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!log_.RetireSegment(victim)) {
+    gc_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  gc_segments_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TieredStore::StartGc() {
+  if (opts_.gc_trigger <= 0.0 || !relocate_ || gc_thread_.joinable()) return;
+  {
+    MutexLock lk(gc_mu_);
+    gc_stop_ = false;
+  }
+  gc_thread_ = std::thread([this] { GcLoop(); });
+}
+
+void TieredStore::StopGc() {
+  {
+    MutexLock lk(gc_mu_);
+    gc_stop_ = true;
+    gc_cv_.notify_all();
+  }
+  if (gc_thread_.joinable()) gc_thread_.join();
+}
+
+void TieredStore::GcLoop() {
+  for (;;) {
+    {
+      MutexLock lk(gc_mu_);
+      if (!gc_stop_) {
+        gc_cv_.wait_for(lk.native_handle(),
+                        std::chrono::milliseconds(opts_.gc_interval_ms));
+      }
+      if (gc_stop_) return;
+    }
+    // Keep compacting while there is eligible garbage; sleep when idle.
+    while (RunGcOnce()) {
+      MutexLock lk(gc_mu_);
+      if (gc_stop_) return;
+    }
+  }
+}
+
+TieredStoreStats TieredStore::Stats() const {
+  TieredStoreStats s;
+  s.tiered_sets = tiered_sets_.load(std::memory_order_relaxed);
+  s.hot_hits = hot_hits_.load(std::memory_order_relaxed);
+  s.hot_misses = hot_misses_.load(std::memory_order_relaxed);
+  s.disk_reads = disk_reads_.load(std::memory_order_relaxed);
+  s.disk_read_errors = disk_read_errors_.load(std::memory_order_relaxed);
+  s.gc_runs = gc_runs_.load(std::memory_order_relaxed);
+  s.gc_segments = gc_segments_.load(std::memory_order_relaxed);
+  s.gc_records_scanned = gc_records_scanned_.load(std::memory_order_relaxed);
+  s.gc_records_relocated = gc_records_relocated_.load(std::memory_order_relaxed);
+  s.gc_failures = gc_failures_.load(std::memory_order_relaxed);
+  s.log = log_.Stats();
+  return s;
+}
+
+}  // namespace store
+}  // namespace cuckoo

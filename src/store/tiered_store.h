@@ -1,0 +1,230 @@
+// TieredStore — the larger-than-memory tier: glues the ValueLog (cold bytes
+// on disk), a byte-budgeted ClockCache (hot value tier), and an
+// AsyncFileReader (parked disk GETs) into one policy object the KV service
+// drives. The cuckoo table stays the single source of truth for *which*
+// version of a key is current (its cas_id); this class only stores and
+// fetches bytes:
+//
+//   SET  value >= threshold  → Append to the log, table stores the location
+//   GET  tiered entry        → hot cache (cas-checked) → disk read → admit
+//   GC                       → compact sealed segments, re-installing live
+//                              records through the host's relocate hook
+//
+// Hot-cache staleness is defended by comparison, not invalidation: a cached
+// value is served only when its cas_id equals the table entry's cas_id, so
+// overwrites/deletes never need to chase cache entries.
+#ifndef SRC_STORE_TIERED_STORE_H_
+#define SRC_STORE_TIERED_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+#include "src/cuckoo/clock_cache.h"
+#include "src/obs/histogram.h"
+#include "src/store/async_reader.h"
+#include "src/store/value_log.h"
+
+namespace cuckoo {
+namespace store {
+
+struct TieredStoreOptions {
+  std::string dir;
+  // Values with at least this many bytes are tiered to the log; smaller ones
+  // stay inline in the table.
+  std::size_t threshold_bytes = 4096;
+  std::uint64_t segment_bytes = 64ull << 20;
+  // Start compacting a sealed segment once dead_bytes/size reaches this
+  // ratio. 0 disables the GC thread.
+  double gc_trigger = 0.0;
+  std::uint64_t gc_interval_ms = 500;
+  // Hot value cache budget (byte mode ClockCache in front of the log).
+  std::size_t cache_capacity_bytes = 64ull << 20;
+  std::size_t cache_bucket_count_log2 = 14;
+  std::string reader_backend = "auto";  // auto | uring | threads
+  int reader_threads = 4;
+};
+
+struct TieredStoreStats {
+  std::uint64_t tiered_sets = 0;
+  std::uint64_t hot_hits = 0;
+  std::uint64_t hot_misses = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_read_errors = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_segments = 0;
+  std::uint64_t gc_records_scanned = 0;
+  std::uint64_t gc_records_relocated = 0;
+  std::uint64_t gc_failures = 0;
+  ValueLogStats log;
+};
+
+class TieredStore {
+ public:
+  // The hot tier: ClockCache holds trivially-copyable 128-bit key digests
+  // (TableCore's optimistic reads forbid in-slot strings) and acts as the
+  // admission/eviction policy and index; the actual bytes live in a sharded
+  // registry reclaimed through the cache's on_evict hook. A digest collision
+  // cannot serve wrong data: entries are only served when their cas_id
+  // equals the table entry's, and cas ids are globally unique mutations.
+  struct HotKey {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    friend bool operator==(const HotKey& a, const HotKey& b) {
+      return a.lo == b.lo && a.hi == b.hi;
+    }
+  };
+  struct HotKeyHash {
+    std::uint64_t operator()(const HotKey& k) const noexcept { return k.lo ^ (k.hi >> 1); }
+  };
+  struct HotValue {
+    std::uint64_t cas_id = 0;
+    std::string data;
+  };
+  using HotCache = ClockCache<HotKey, std::uint8_t, HotKeyHash>;
+
+  // What the GC's relocate hook did with one live-candidate record.
+  enum class RelocateResult : std::uint8_t {
+    kDead,       // record no longer backs the current table entry; drop it
+    kRelocated,  // table now points at the record's new location
+    kFailed,     // could not relocate (I/O or table error); keep the segment
+  };
+  // Host-side re-insertion through the normal map path: must re-check
+  // liveness under the table's own locks (compare the entry's location with
+  // `old_loc`) before installing `new_loc`, and treat any mismatch as kDead.
+  using RelocateFn = std::function<RelocateResult(
+      const std::string& key, const ValueLocation& old_loc, std::string_view data)>;
+  // Runs after a segment's live records are re-installed and must make both
+  // the value-log appends and the relocation log records durable before the
+  // old segment may be unlinked. Return false to abort the retirement.
+  using PersistBarrierFn = std::function<bool()>;
+
+  TieredStore() = default;
+  ~TieredStore() { Close(); }
+  TieredStore(const TieredStore&) = delete;
+  TieredStore& operator=(const TieredStore&) = delete;
+
+  bool Open(const TieredStoreOptions& options, std::string* error);
+  void Close();
+
+  std::size_t threshold_bytes() const noexcept { return opts_.threshold_bytes; }
+  bool ShouldTier(std::size_t value_size) const noexcept {
+    return value_size >= opts_.threshold_bytes;
+  }
+
+  // ----- Write path ---------------------------------------------------------
+
+  // Append the value bytes; on success *loc identifies them. Call before the
+  // table mutation (a crash between leaves an unreferenced record that GC
+  // reclaims).
+  bool AppendValue(std::string_view key, std::string_view data, ValueLocation* loc);
+
+  // The record at `loc` stopped backing a table entry (overwrite, delete,
+  // expiry, failed CAS). Garbage accounting only; reclamation is GC's job.
+  void MarkDead(const ValueLocation& loc);
+
+  // fsync the log's active segment (durability layer hook).
+  bool SyncLog() { return log_.EnsureDurable(); }
+
+  bool ValidLocation(const ValueLocation& loc) const { return log_.ValidLocation(loc); }
+
+  // ----- Read path ----------------------------------------------------------
+
+  // Hot-tier probe: serves only if the cached cas matches the table's.
+  bool TryHot(const std::string& key, std::uint64_t cas_id, std::string* out);
+
+  // Blocking read: hot tier, then disk (verify + admit). For the sync
+  // Process() path, recovery checks, and tests.
+  bool ReadValue(const std::string& key, const ValueLocation& loc, std::uint64_t cas_id,
+                 std::string* out);
+
+  // Non-blocking read for the parked-GET path: the callback runs on a reader
+  // thread with the verified bytes (already admitted to the hot tier). Probe
+  // TryHot first — this always goes to disk.
+  void ReadValueAsync(std::string key, const ValueLocation& loc, std::uint64_t cas_id,
+                      std::function<void(bool ok, std::string data)> cb);
+
+  // Make a freshly-written value servable from RAM (write-through admission).
+  void Admit(const std::string& key, std::uint64_t cas_id, std::string data);
+
+  // ----- GC -----------------------------------------------------------------
+
+  // Install hooks, then StartGc. RunGcOnce picks the worst sealed segment at
+  // or above the trigger ratio and compacts it; returns true if a segment
+  // was retired. Also usable directly by tests with gc_trigger == 0.
+  void SetGcHooks(RelocateFn relocate, PersistBarrierFn barrier);
+  bool RunGcOnce(double trigger_override = -1.0);
+  void StartGc();
+  void StopGc();
+
+  // Tests: delay injected into every async disk read (on the reader thread,
+  // never the caller's), to simulate a slow device.
+  void SetReadDelayForTesting(std::uint64_t ms) {
+    read_delay_ms_.store(ms, std::memory_order_relaxed);
+  }
+
+  bool HasAsyncReader() const noexcept { return reader_ != nullptr; }
+  const char* reader_backend() const noexcept {
+    return reader_ ? reader_->backend_name() : "none";
+  }
+
+  TieredStoreStats Stats() const;
+  HotCache::CacheStats HotStats() const { return hot_->Stats(); }
+  obs::HistogramSnapshot DiskReadLatency() const { return disk_read_ns_.Snapshot(); }
+  ValueLog& log() noexcept { return log_; }
+  const TieredStoreOptions& options() const noexcept { return opts_; }
+
+ private:
+  void GcLoop();
+
+  static HotKey DigestOf(std::string_view key) noexcept;
+
+  static constexpr std::size_t kRegistryShards = 16;
+  struct RegistryShard {
+    Mutex mu;
+    std::unordered_map<HotKey, std::shared_ptr<HotValue>, HotKeyHash> map GUARDED_BY(mu);
+  };
+  RegistryShard& ShardFor(const HotKey& k) const noexcept {
+    return registry_[k.hi % kRegistryShards];
+  }
+
+  TieredStoreOptions opts_;
+  ValueLog log_;
+  std::unique_ptr<HotCache> hot_;
+  mutable std::unique_ptr<RegistryShard[]> registry_;
+  std::unique_ptr<AsyncFileReader> reader_;
+  bool open_ = false;
+
+  RelocateFn relocate_;
+  PersistBarrierFn barrier_;
+  std::thread gc_thread_;
+  Mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  bool gc_stop_ GUARDED_BY(gc_mu_) = false;
+
+  std::atomic<std::uint64_t> read_delay_ms_{0};
+  std::atomic<std::uint64_t> tiered_sets_{0};
+  std::atomic<std::uint64_t> hot_hits_{0};
+  std::atomic<std::uint64_t> hot_misses_{0};
+  std::atomic<std::uint64_t> disk_reads_{0};
+  std::atomic<std::uint64_t> disk_read_errors_{0};
+  std::atomic<std::uint64_t> gc_runs_{0};
+  std::atomic<std::uint64_t> gc_segments_{0};
+  std::atomic<std::uint64_t> gc_records_scanned_{0};
+  std::atomic<std::uint64_t> gc_records_relocated_{0};
+  std::atomic<std::uint64_t> gc_failures_{0};
+  obs::Histogram disk_read_ns_;
+};
+
+}  // namespace store
+}  // namespace cuckoo
+
+#endif  // SRC_STORE_TIERED_STORE_H_

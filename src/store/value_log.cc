@@ -1,0 +1,550 @@
+#include "src/store/value_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/crc32c.h"
+
+namespace cuckoo {
+namespace store {
+namespace {
+
+// Segment header, 24 bytes: magic, version, flags, sequence number. Chosen to
+// match the WAL header shape ("CKWALSG1") so tooling can sniff both.
+constexpr char kMagic[8] = {'C', 'K', 'V', 'L', 'O', 'G', 'S', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kSegmentHeaderSize = 8 + 4 + 4 + 8;
+
+// Frame: u32 masked_crc32c (over length + payload), u32 payload length,
+// payload. Payload: u8 record type, u32 klen, u32 dlen, key, data.
+constexpr std::size_t kFrameHeaderSize = 8;
+constexpr std::size_t kPayloadHeaderSize = 1 + 4 + 4;
+constexpr std::uint8_t kValueRecord = 1;
+
+void PutU32(std::string* out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+std::uint32_t GetU32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t GetU64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void EncodeSegmentHeader(std::uint32_t seq, std::string* out) {
+  out->append(kMagic, sizeof(kMagic));
+  PutU32(out, kFormatVersion);
+  PutU32(out, 0);  // flags
+  PutU64(out, seq);
+}
+
+// Full pread (restarting on EINTR / short reads). Returns bytes read, or -1.
+ssize_t PreadFully(int fd, char* buf, std::size_t len, std::uint64_t offset) {
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pread(fd, buf + done, len - done, static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+bool ValidSegmentHeader(int fd, std::uint32_t expect_seq) {
+  char buf[kSegmentHeaderSize];
+  if (PreadFully(fd, buf, sizeof(buf), 0) != static_cast<ssize_t>(sizeof(buf))) {
+    return false;
+  }
+  if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0) return false;
+  if (GetU32(buf + 8) != kFormatVersion) return false;
+  return GetU64(buf + 16) == expect_seq;
+}
+
+}  // namespace
+
+void EncodeValueLocation(const ValueLocation& loc, std::string* out) {
+  PutU32(out, loc.segment);
+  PutU32(out, loc.length);
+  PutU64(out, loc.offset);
+}
+
+bool DecodeValueLocation(std::string_view bytes, ValueLocation* loc) {
+  if (bytes.size() != kEncodedValueLocationSize) return false;
+  loc->segment = GetU32(bytes.data());
+  loc->length = GetU32(bytes.data() + 4);
+  loc->offset = GetU64(bytes.data() + 8);
+  return true;
+}
+
+ValueLog::Segment::~Segment() {
+  if (read_fd >= 0) ::close(read_fd);
+}
+
+std::string ValueLog::SegmentFileName(std::uint32_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "vlog-%010u.vlog", seq);
+  return buf;
+}
+
+bool ValueLog::CreateSegmentLocked(std::uint32_t seq, std::string* error) {
+  const std::string path = dir_ + "/" + SegmentFileName(seq);
+  AppendFile file;
+  if (!file.Open(path, /*truncate=*/true)) {
+    if (error) *error = "value log: cannot create " + path;
+    return false;
+  }
+  std::string header;
+  EncodeSegmentHeader(seq, &header);
+  if (!file.Append(header) || !file.Sync()) {
+    if (error) *error = "value log: cannot write header of " + path;
+    return false;
+  }
+  if (!SyncDir(dir_)) {
+    if (error) *error = "value log: cannot sync " + dir_;
+    return false;
+  }
+  int read_fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (read_fd < 0) {
+    if (error) *error = "value log: cannot reopen " + path;
+    return false;
+  }
+  auto seg = std::make_shared<Segment>();
+  seg->seq = seq;
+  seg->path = path;
+  seg->read_fd = read_fd;
+  seg->valid_size.store(kSegmentHeaderSize, std::memory_order_release);
+  {
+    MutexLock reg(reg_mu_);
+    segments_[seq] = seg;
+  }
+  active_ = std::move(seg);
+  active_file_.Close();
+  if (!active_file_.Open(path, /*truncate=*/false)) {
+    if (error) *error = "value log: cannot open " + path + " for append";
+    return false;
+  }
+  unsynced_bytes_ = 0;
+  segments_created_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ValueLog::SealActiveLocked() {
+  if (!active_) return true;
+  if (unsynced_bytes_ != 0) {
+    if (!active_file_.Sync()) return false;
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    unsynced_bytes_ = 0;
+  }
+  active_file_.Close();
+  active_.reset();
+  return true;
+}
+
+bool ValueLog::Open(const ValueLogOptions& options, std::string* error) {
+  MutexLock io(io_mu_);
+  dir_ = options.dir;
+  segment_bytes_ = std::max<std::uint64_t>(options.segment_bytes, kSegmentHeaderSize + 1);
+  if (!EnsureDir(dir_)) {
+    if (error) *error = "value log: cannot create directory " + dir_;
+    return false;
+  }
+
+  std::vector<std::string> names = ListFilesWithPrefix(dir_, "vlog-");
+  std::vector<std::uint32_t> seqs;
+  for (const std::string& name : names) {
+    unsigned seq = 0;
+    char suffix[8] = {0};
+    if (std::sscanf(name.c_str(), "vlog-%10u.vlo%1s", &seq, suffix) == 2 &&
+        std::strcmp(suffix, "g") == 0) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    const std::uint32_t seq = seqs[i];
+    const std::string path = dir_ + "/" + SegmentFileName(seq);
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (error) *error = "value log: cannot open " + path;
+      return false;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      if (error) *error = "value log: cannot stat " + path;
+      return false;
+    }
+    std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+    if (size < kSegmentHeaderSize || !ValidSegmentHeader(fd, seq)) {
+      // A sealed segment (or even the active one) with a broken header is
+      // unrecoverable data loss for every record it holds — fail loudly
+      // rather than silently dropping a whole segment of acked values.
+      ::close(fd);
+      if (error) *error = "value log: corrupt segment header in " + path;
+      return false;
+    }
+    if (i + 1 == seqs.size()) {
+      // Newest segment: the only place a crash can leave a torn append.
+      // Scan frames from the header to find the valid prefix, truncate the
+      // rest (mirrors the WAL's torn-tail rule). Never reads value bytes of
+      // older segments.
+      std::uint64_t valid_end = kSegmentHeaderSize;
+      std::string frame;
+      while (valid_end + kFrameHeaderSize <= size) {
+        char hdr[kFrameHeaderSize];
+        if (PreadFully(fd, hdr, sizeof(hdr), valid_end) !=
+            static_cast<ssize_t>(sizeof(hdr))) {
+          break;
+        }
+        const std::uint32_t payload_len = GetU32(hdr + 4);
+        if (payload_len < kPayloadHeaderSize || payload_len > kMaxRecordPayload ||
+            valid_end + kFrameHeaderSize + payload_len > size) {
+          break;
+        }
+        frame.resize(payload_len);
+        if (PreadFully(fd, frame.data(), payload_len, valid_end + kFrameHeaderSize) !=
+            static_cast<ssize_t>(payload_len)) {
+          break;
+        }
+        std::uint32_t crc = Crc32c(hdr + 4, 4);
+        crc = Crc32cExtend(crc, frame.data(), frame.size());
+        if (Crc32cUnmask(GetU32(hdr)) != crc) break;
+        valid_end += kFrameHeaderSize + payload_len;
+      }
+      if (valid_end < size) {
+        torn_tail_bytes_.fetch_add(size - valid_end, std::memory_order_relaxed);
+        if (!TruncateFile(path, valid_end)) {
+          ::close(fd);
+          if (error) *error = "value log: cannot truncate torn tail of " + path;
+          return false;
+        }
+      }
+      size = valid_end;
+    }
+    auto seg = std::make_shared<Segment>();
+    seg->seq = seq;
+    seg->path = path;
+    seg->read_fd = fd;
+    seg->valid_size.store(size, std::memory_order_release);
+    MutexLock reg(reg_mu_);
+    segments_[seq] = seg;
+  }
+
+  // Resume appending to the newest segment (or create the first one).
+  if (!seqs.empty()) {
+    const std::uint32_t seq = seqs.back();
+    std::shared_ptr<Segment> seg;
+    {
+      MutexLock reg(reg_mu_);
+      seg = segments_[seq];
+    }
+    if (seg->valid_size.load(std::memory_order_acquire) < segment_bytes_) {
+      if (!active_file_.Open(seg->path, /*truncate=*/false)) {
+        if (error) *error = "value log: cannot open " + seg->path + " for append";
+        return false;
+      }
+      active_ = seg;
+      unsynced_bytes_ = 0;
+    } else if (!CreateSegmentLocked(seq + 1, error)) {
+      return false;
+    }
+  } else if (!CreateSegmentLocked(1, error)) {
+    return false;
+  }
+  open_ = true;
+  io_error_ = false;
+  return true;
+}
+
+void ValueLog::Close() {
+  MutexLock io(io_mu_);
+  if (!open_) return;
+  if (active_ && unsynced_bytes_ != 0 && active_file_.Sync()) {
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    unsynced_bytes_ = 0;
+  }
+  active_file_.Close();
+  active_.reset();
+  {
+    MutexLock reg(reg_mu_);
+    segments_.clear();
+  }
+  open_ = false;
+}
+
+bool ValueLog::Append(std::string_view key, std::string_view data, ValueLocation* loc) {
+  const std::uint64_t payload_len = kPayloadHeaderSize + key.size() + data.size();
+  if (payload_len > kMaxRecordPayload) return false;
+
+  std::string payload;
+  payload.reserve(payload_len);
+  payload.push_back(static_cast<char>(kValueRecord));
+  PutU32(&payload, static_cast<std::uint32_t>(key.size()));
+  PutU32(&payload, static_cast<std::uint32_t>(data.size()));
+  payload.append(key);
+  payload.append(data);
+
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  std::string len_bytes;
+  PutU32(&len_bytes, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = Crc32c(len_bytes);
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  PutU32(&frame, Crc32cMask(crc));
+  frame.append(len_bytes);
+  frame.append(payload);
+
+  MutexLock io(io_mu_);
+  if (!open_ || io_error_) return false;
+  if (active_file_.Size() + frame.size() > segment_bytes_ &&
+      active_file_.Size() > kSegmentHeaderSize) {
+    const std::uint32_t next = active_->seq + 1;
+    if (!SealActiveLocked() || !CreateSegmentLocked(next, nullptr)) {
+      io_error_ = true;
+      return false;
+    }
+  }
+  const std::uint64_t offset = active_file_.Size();
+  if (!active_file_.Append(frame)) {
+    // Freeze: a torn frame mid-file would corrupt the recovery scan if later
+    // appends succeeded past it.
+    io_error_ = true;
+    return false;
+  }
+  unsynced_bytes_ += frame.size();
+  active_->valid_size.store(offset + frame.size(), std::memory_order_release);
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  append_bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  if (loc) {
+    loc->segment = active_->seq;
+    loc->offset = offset;
+    loc->length = static_cast<std::uint32_t>(frame.size());
+  }
+  return true;
+}
+
+bool ValueLog::VerifyRecord(std::string_view frame, const ValueLocation& loc,
+                            std::string_view expected_key, std::string* data_out) {
+  if (frame.size() != loc.length || frame.size() < kFrameHeaderSize + kPayloadHeaderSize) {
+    return false;
+  }
+  const char* p = frame.data();
+  const std::uint32_t payload_len = GetU32(p + 4);
+  if (payload_len != frame.size() - kFrameHeaderSize) return false;
+  std::uint32_t crc = Crc32c(p + 4, 4);
+  crc = Crc32cExtend(crc, p + kFrameHeaderSize, payload_len);
+  if (Crc32cUnmask(GetU32(p)) != crc) return false;
+  const char* payload = p + kFrameHeaderSize;
+  if (static_cast<std::uint8_t>(payload[0]) != kValueRecord) return false;
+  const std::uint32_t klen = GetU32(payload + 1);
+  const std::uint32_t dlen = GetU32(payload + 5);
+  if (kPayloadHeaderSize + static_cast<std::uint64_t>(klen) + dlen != payload_len) {
+    return false;
+  }
+  if (std::string_view(payload + kPayloadHeaderSize, klen) != expected_key) return false;
+  if (data_out) data_out->assign(payload + kPayloadHeaderSize + klen, dlen);
+  return true;
+}
+
+bool ValueLog::Read(const ValueLocation& loc, std::string_view expected_key,
+                    std::string* data_out) {
+  SegmentRef seg = Pin(loc.segment);
+  if (!seg || loc.offset + loc.length > seg->valid_size.load(std::memory_order_acquire)) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::string frame;
+  frame.resize(loc.length);
+  if (PreadFully(seg->read_fd, frame.data(), frame.size(), loc.offset) !=
+          static_cast<ssize_t>(frame.size()) ||
+      !VerifyRecord(frame, loc, expected_key, data_out)) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  read_bytes_.fetch_add(loc.length, std::memory_order_relaxed);
+  return true;
+}
+
+ValueLog::SegmentRef ValueLog::Pin(std::uint32_t segment_seq) const {
+  MutexLock reg(reg_mu_);
+  auto it = segments_.find(segment_seq);
+  return it == segments_.end() ? nullptr : it->second;
+}
+
+bool ValueLog::ValidLocation(const ValueLocation& loc) const {
+  if (!loc.IsValid()) return false;
+  SegmentRef seg = Pin(loc.segment);
+  return seg && loc.offset >= kSegmentHeaderSize &&
+         loc.offset + loc.length <= seg->valid_size.load(std::memory_order_acquire);
+}
+
+bool ValueLog::EnsureDurable() {
+  MutexLock io(io_mu_);
+  if (!open_) return false;
+  if (io_error_) return false;
+  if (!active_ || unsynced_bytes_ == 0) return true;
+  if (!active_file_.Sync()) {
+    io_error_ = true;
+    return false;
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  unsynced_bytes_ = 0;
+  return true;
+}
+
+void ValueLog::MarkDead(const ValueLocation& loc) {
+  if (!loc.IsValid()) return;
+  SegmentRef seg = Pin(loc.segment);
+  if (seg) {
+    const_cast<Segment*>(seg.get())
+        ->dead_bytes.fetch_add(loc.length, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ValueLog::SegmentInfo> ValueLog::Segments() const {
+  std::uint32_t active_seq = 0;
+  {
+    MutexLock io(io_mu_);
+    if (active_) active_seq = active_->seq;
+  }
+  std::vector<SegmentInfo> out;
+  MutexLock reg(reg_mu_);
+  out.reserve(segments_.size());
+  for (const auto& [seq, seg] : segments_) {
+    SegmentInfo info;
+    info.seq = seq;
+    info.size = seg->valid_size.load(std::memory_order_acquire);
+    info.dead_bytes = seg->dead_bytes.load(std::memory_order_relaxed);
+    info.active = seq == active_seq;
+    out.push_back(info);
+  }
+  return out;
+}
+
+bool ValueLog::RotateActive() {
+  MutexLock io(io_mu_);
+  if (!open_ || io_error_ || !active_) return false;
+  if (active_file_.Size() <= kSegmentHeaderSize) return true;  // nothing to seal
+  const std::uint32_t next = active_->seq + 1;
+  if (!SealActiveLocked() || !CreateSegmentLocked(next, nullptr)) {
+    io_error_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool ValueLog::ForEachRecord(
+    std::uint32_t segment_seq,
+    const std::function<bool(std::string_view, std::string_view, const ValueLocation&)>& fn) {
+  SegmentRef seg = Pin(segment_seq);
+  if (!seg) return false;
+  const std::uint64_t end = seg->valid_size.load(std::memory_order_acquire);
+  std::uint64_t off = kSegmentHeaderSize;
+  std::string frame;
+  while (off < end) {
+    if (off + kFrameHeaderSize > end) return false;
+    char hdr[kFrameHeaderSize];
+    if (PreadFully(seg->read_fd, hdr, sizeof(hdr), off) !=
+        static_cast<ssize_t>(sizeof(hdr))) {
+      return false;
+    }
+    const std::uint32_t payload_len = GetU32(hdr + 4);
+    if (payload_len < kPayloadHeaderSize || payload_len > kMaxRecordPayload ||
+        off + kFrameHeaderSize + payload_len > end) {
+      return false;
+    }
+    frame.assign(hdr, kFrameHeaderSize);
+    frame.resize(kFrameHeaderSize + payload_len);
+    if (PreadFully(seg->read_fd, frame.data() + kFrameHeaderSize, payload_len,
+                   off + kFrameHeaderSize) != static_cast<ssize_t>(payload_len)) {
+      return false;
+    }
+    ValueLocation loc;
+    loc.segment = segment_seq;
+    loc.offset = off;
+    loc.length = static_cast<std::uint32_t>(frame.size());
+    // Reuse the read-path validator (CRC + shape) with the key it claims.
+    const char* payload = frame.data() + kFrameHeaderSize;
+    const std::uint32_t klen = GetU32(payload + 1);
+    if (kPayloadHeaderSize + static_cast<std::uint64_t>(klen) > payload_len) return false;
+    std::string_view key(payload + kPayloadHeaderSize, klen);
+    std::string data;
+    if (!VerifyRecord(frame, loc, key, &data)) return false;
+    if (!fn(key, data, loc)) return false;
+    off += frame.size();
+  }
+  return true;
+}
+
+bool ValueLog::RetireSegment(std::uint32_t segment_seq) {
+  std::shared_ptr<Segment> seg;
+  {
+    MutexLock io(io_mu_);
+    if (active_ && active_->seq == segment_seq) return false;
+    MutexLock reg(reg_mu_);
+    auto it = segments_.find(segment_seq);
+    if (it == segments_.end()) return false;
+    seg = it->second;
+    segments_.erase(it);
+  }
+  reclaimed_bytes_.fetch_add(seg->valid_size.load(std::memory_order_acquire),
+                             std::memory_order_relaxed);
+  segments_retired_.fetch_add(1, std::memory_order_relaxed);
+  RemoveFile(seg->path);
+  SyncDir(dir_);
+  return true;
+}
+
+ValueLogStats ValueLog::Stats() const {
+  ValueLogStats s;
+  s.appends = appends_.load(std::memory_order_relaxed);
+  s.append_bytes = append_bytes_.load(std::memory_order_relaxed);
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.read_bytes = read_bytes_.load(std::memory_order_relaxed);
+  s.read_errors = read_errors_.load(std::memory_order_relaxed);
+  s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  s.segments_created = segments_created_.load(std::memory_order_relaxed);
+  s.segments_retired = segments_retired_.load(std::memory_order_relaxed);
+  s.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+  s.torn_tail_bytes = torn_tail_bytes_.load(std::memory_order_relaxed);
+  {
+    MutexLock io(io_mu_);
+    if (active_) s.active_segment = active_->seq;
+  }
+  MutexLock reg(reg_mu_);
+  s.live_segments = segments_.size();
+  for (const auto& [seq, seg] : segments_) {
+    (void)seq;
+    s.dead_bytes += seg->dead_bytes.load(std::memory_order_relaxed);
+    s.total_bytes += seg->valid_size.load(std::memory_order_acquire);
+  }
+  return s;
+}
+
+}  // namespace store
+}  // namespace cuckoo

@@ -1,0 +1,204 @@
+// ValueLog — an append-only, segmented, CRC32C-framed log of (key, value)
+// records on disk. It is the cold half of the larger-than-memory tier: values
+// above the tiering threshold live here, and the cuckoo table holds only a
+// 16-byte ValueLocation per key. The framing, rotation, and torn-tail rules
+// deliberately mirror the WAL (docs/persistence.md) so one mental model covers
+// both logs; see docs/storage.md for the full format and failure model.
+//
+// Concurrency contract: Append/EnsureDurable serialize on an internal mutex;
+// Read/Pin/MarkDead/ValidLocation are safe from any thread concurrently with
+// appends. A segment stays readable (via its pinned read fd) even after
+// RetireSegment unlinks it — POSIX keeps the inode alive until the last
+// std::shared_ptr<Segment> drops.
+#ifndef SRC_STORE_VALUE_LOG_H_
+#define SRC_STORE_VALUE_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/file_util.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace cuckoo {
+namespace store {
+
+// Where one value's bytes live. `length` is the full frame length (header +
+// payload), so a single pread fetches everything needed to verify and decode.
+// length == 0 means "no location" (the entry is inline in RAM).
+struct ValueLocation {
+  std::uint32_t segment = 0;  // segment sequence number, 1-based
+  std::uint32_t length = 0;   // full frame length in bytes
+  std::uint64_t offset = 0;   // frame start offset within the segment file
+
+  bool IsValid() const noexcept { return length != 0; }
+  friend bool operator==(const ValueLocation& a, const ValueLocation& b) {
+    return a.segment == b.segment && a.length == b.length && a.offset == b.offset;
+  }
+  friend bool operator!=(const ValueLocation& a, const ValueLocation& b) { return !(a == b); }
+};
+
+// 16-byte little-endian wire form (segment, length, offset) — embedded as the
+// data field of tiered WAL records and snapshot entries.
+void EncodeValueLocation(const ValueLocation& loc, std::string* out);
+bool DecodeValueLocation(std::string_view bytes, ValueLocation* loc);
+inline constexpr std::size_t kEncodedValueLocationSize = 16;
+
+struct ValueLogOptions {
+  std::string dir;
+  // Rotate the active segment once it reaches this many bytes.
+  std::uint64_t segment_bytes = 64ull << 20;
+};
+
+struct ValueLogStats {
+  std::uint64_t appends = 0;
+  std::uint64_t append_bytes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t read_errors = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t segments_created = 0;
+  std::uint64_t segments_retired = 0;
+  std::uint64_t reclaimed_bytes = 0;   // bytes freed by retired segments
+  std::uint64_t torn_tail_bytes = 0;   // truncated from the tail at Open()
+  std::uint64_t live_segments = 0;
+  std::uint64_t dead_bytes = 0;        // sum of MarkDead charges, live segments
+  std::uint64_t total_bytes = 0;       // on-disk bytes across live segments
+  std::uint32_t active_segment = 0;
+};
+
+class ValueLog {
+ public:
+  // One on-disk segment. Readers hold a shared_ptr so retirement never
+  // invalidates an in-flight pread.
+  struct Segment {
+    std::uint32_t seq = 0;
+    std::string path;
+    int read_fd = -1;  // O_RDONLY, shared pread handle
+    // Bytes of fully-written records (header included). Published with
+    // release after each append completes; readers load acquire.
+    std::atomic<std::uint64_t> valid_size{0};
+    // Approximate garbage accounting for GC triggering only; liveness is
+    // re-checked authoritatively during compaction.
+    std::atomic<std::uint64_t> dead_bytes{0};
+    ~Segment();
+    Segment() = default;
+    Segment(const Segment&) = delete;
+    Segment& operator=(const Segment&) = delete;
+  };
+  using SegmentRef = std::shared_ptr<const Segment>;
+
+  ValueLog() = default;
+  ~ValueLog() { Close(); }
+  ValueLog(const ValueLog&) = delete;
+  ValueLog& operator=(const ValueLog&) = delete;
+
+  // Scans existing segments (torn-tail-truncating only the newest; index
+  // rebuild never reads value bytes) and opens/creates the active segment.
+  bool Open(const ValueLogOptions& options, std::string* error);
+  void Close();
+
+  // Appends one record, returning its location. Thread-safe. After the first
+  // write failure the log freezes (every later Append fails) so a torn frame
+  // can never be buried under later valid ones — same sticky-error rule as
+  // the WAL.
+  bool Append(std::string_view key, std::string_view data, ValueLocation* loc);
+
+  // Blocking read + verify (CRC, frame shape, key match). Used by the sync
+  // path and tests; the async path goes through Pin() + VerifyRecord().
+  bool Read(const ValueLocation& loc, std::string_view expected_key, std::string* data_out);
+
+  // Resolve a segment for pread. Null if unknown/retired. The returned ref
+  // keeps the fd (and unlinked inode) alive.
+  SegmentRef Pin(std::uint32_t segment_seq) const;
+
+  // Validate + decode one raw frame fetched from `loc`. `frame` must be
+  // exactly loc.length bytes. On success *data_out receives the value bytes.
+  static bool VerifyRecord(std::string_view frame, const ValueLocation& loc,
+                           std::string_view expected_key, std::string* data_out);
+
+  // True when `loc` lies fully inside a live segment's valid extent —
+  // recovery uses this to detect WAL/snapshot records whose value bytes were
+  // lost in a crash (never-acked writes).
+  bool ValidLocation(const ValueLocation& loc) const;
+
+  // fsync the active segment if it has unsynced appends. Called by the
+  // durability layer before acking (kAlways) or on its cadence (kEverySec).
+  bool EnsureDurable();
+
+  // Garbage accounting: the record at `loc` no longer backs any table entry.
+  void MarkDead(const ValueLocation& loc);
+
+  // ----- GC support ---------------------------------------------------------
+
+  struct SegmentInfo {
+    std::uint32_t seq = 0;
+    std::uint64_t size = 0;
+    std::uint64_t dead_bytes = 0;
+    bool active = false;
+  };
+  std::vector<SegmentInfo> Segments() const;
+
+  // Seal the active segment (sync + stop appending to it) and start a fresh
+  // one, so even the newest data becomes GC-eligible. No-op if empty.
+  bool RotateActive();
+
+  // Iterate every record of a sealed segment in file order. `fn` returns
+  // false to abort the walk (ForEachRecord then returns false). Returns false
+  // on I/O or framing errors too — a sealed segment is expected to be clean.
+  bool ForEachRecord(
+      std::uint32_t segment_seq,
+      const std::function<bool(std::string_view key, std::string_view data,
+                               const ValueLocation& loc)>& fn);
+
+  // Drop a sealed segment from the registry and unlink it. In-flight pinned
+  // readers finish against the open fd. Refuses the active segment.
+  bool RetireSegment(std::uint32_t segment_seq);
+
+  ValueLogStats Stats() const;
+  const std::string& dir() const noexcept { return dir_; }
+
+  // Record payload cap (key + value + framing must fit one segment
+  // comfortably); mirrors the WAL's 8 MiB sanity bound.
+  static constexpr std::uint32_t kMaxRecordPayload = 8u << 20;
+
+ private:
+  bool CreateSegmentLocked(std::uint32_t seq, std::string* error) REQUIRES(io_mu_);
+  bool SealActiveLocked() REQUIRES(io_mu_);
+  static std::string SegmentFileName(std::uint32_t seq);
+
+  mutable Mutex io_mu_;          // serializes append/rotate/sync
+  mutable Mutex reg_mu_;         // guards the segment registry
+  std::map<std::uint32_t, std::shared_ptr<Segment>> segments_ GUARDED_BY(reg_mu_);
+
+  std::string dir_;
+  std::uint64_t segment_bytes_ = 64ull << 20;
+  bool open_ = false;
+  bool io_error_ GUARDED_BY(io_mu_) = false;
+  AppendFile active_file_ GUARDED_BY(io_mu_);
+  std::shared_ptr<Segment> active_ GUARDED_BY(io_mu_);
+  std::uint64_t unsynced_bytes_ GUARDED_BY(io_mu_) = 0;
+
+  // Stats (monotonic counters; gauges derived from the registry).
+  std::atomic<std::uint64_t> appends_{0};
+  std::atomic<std::uint64_t> append_bytes_{0};
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> read_bytes_{0};
+  std::atomic<std::uint64_t> read_errors_{0};
+  std::atomic<std::uint64_t> fsyncs_{0};
+  std::atomic<std::uint64_t> segments_created_{0};
+  std::atomic<std::uint64_t> segments_retired_{0};
+  std::atomic<std::uint64_t> reclaimed_bytes_{0};
+  std::atomic<std::uint64_t> torn_tail_bytes_{0};
+};
+
+}  // namespace store
+}  // namespace cuckoo
+
+#endif  // SRC_STORE_VALUE_LOG_H_

@@ -187,5 +187,120 @@ TEST(ClockCacheTest, StatsAccounting) {
   EXPECT_DOUBLE_EQ(s.HitRate(), 0.5);
 }
 
+// ---- Byte-budget mode (the hot-value tier in front of the value log) -------
+
+TEST(ClockCacheTest, ByteCapacityIsNeverExceeded) {
+  Cache::Options o = SmallOpts();
+  o.capacity_bytes = 10 * 1024;
+  Cache cache(o);
+  // Entries of varying charge; the byte footprint must stay under budget
+  // even though the slot count alone would allow far more.
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const std::size_t charge = 64 + (i % 7) * 100;
+    ASSERT_TRUE(cache.Set(i, i, charge)) << i;
+    ASSERT_LE(cache.Stats().bytes, 10u * 1024u) << i;
+  }
+  EXPECT_GT(cache.Stats().evictions, 0u);
+  EXPECT_GT(cache.Stats().bytes, 0u);
+}
+
+TEST(ClockCacheTest, OversizedChargeIsRefusedNotLooped) {
+  Cache::Options o = SmallOpts();
+  o.capacity_bytes = 1024;
+  Cache cache(o);
+  EXPECT_FALSE(cache.Set(1, 1, 4096));  // can never fit
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Set(2, 2, 512));  // within budget still works
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(ClockCacheTest, OverwriteAdjustsByteAccounting) {
+  Cache::Options o = SmallOpts();
+  o.capacity_bytes = 10 * 1024;
+  Cache cache(o);
+  ASSERT_TRUE(cache.Set(1, 1, 1000));
+  EXPECT_EQ(cache.Stats().bytes, 1000u);
+  ASSERT_TRUE(cache.Set(1, 2, 300));  // overwrite with a smaller charge
+  EXPECT_EQ(cache.Stats().bytes, 300u);
+  ASSERT_TRUE(cache.Delete(1));
+  EXPECT_EQ(cache.Stats().bytes, 0u);
+}
+
+TEST(ClockCacheTest, OnEvictFiresForEvictionsAndDeletes) {
+  Cache::Options o = SmallOpts(/*log2=*/2);  // 4 buckets * 8 = 32 slots
+  o.capacity_bytes = 2048;
+  std::atomic<std::uint64_t> reclaimed{0};
+  o.on_evict = [&](const std::uint64_t& key, const std::uint64_t& value) {
+    EXPECT_EQ(key, value);  // we always store key == value here
+    reclaimed.fetch_add(1, std::memory_order_relaxed);
+  };
+  Cache cache(o);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(cache.Set(i, i, 256));  // 8 fit; the rest must evict
+  }
+  EXPECT_GT(reclaimed.load(), 0u);
+  EXPECT_EQ(reclaimed.load(), cache.Stats().evictions);
+}
+
+TEST(ClockCacheTest, GetOrAdmitFetchesOnceThenHits) {
+  Cache::Options o = SmallOpts();
+  o.capacity_bytes = 64 * 1024;
+  Cache cache(o);
+  std::atomic<int> fetches{0};
+  auto fetch = [&](std::uint64_t* out, std::size_t* charge) {
+    fetches.fetch_add(1);
+    *out = 42;
+    *charge = 100;
+    return true;
+  };
+  std::uint64_t v = 0;
+  ASSERT_TRUE(cache.GetOrAdmit(7, &v, fetch));
+  EXPECT_EQ(v, 42u);
+  EXPECT_EQ(fetches.load(), 1);
+  v = 0;
+  ASSERT_TRUE(cache.GetOrAdmit(7, &v, fetch));  // now resident: no fetch
+  EXPECT_EQ(v, 42u);
+  EXPECT_EQ(fetches.load(), 1);
+  EXPECT_EQ(cache.Stats().bytes, 100u);
+}
+
+TEST(ClockCacheTest, GetOrAdmitPropagatesFetchFailure) {
+  Cache cache(SmallOpts());
+  std::uint64_t v = 0;
+  EXPECT_FALSE(cache.GetOrAdmit(
+      9, &v, [](std::uint64_t*, std::size_t*) { return false; }));
+  EXPECT_FALSE(cache.Contains(9));
+}
+
+TEST(ClockCacheTest, ByteModeConcurrentChurnStaysUnderBudget) {
+  Cache::Options o = SmallOpts(/*log2=*/4);
+  o.capacity_bytes = 32 * 1024;
+  std::atomic<std::uint64_t> evict_count{0};
+  o.on_evict = [&](const std::uint64_t&, const std::uint64_t&) {
+    evict_count.fetch_add(1, std::memory_order_relaxed);
+  };
+  Cache cache(o);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xorshift128Plus rng(0xC0FFEE + t);
+      for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t key = rng.Next() % 512;
+        std::uint64_t v;
+        if (rng.Next() % 2 == 0) {
+          cache.Set(key, key, 64 + key % 1000);
+        } else if (cache.Get(key, &v)) {
+          EXPECT_EQ(v, key);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_LE(cache.Stats().bytes, 32u * 1024u);
+  EXPECT_EQ(cache.Stats().evictions, evict_count.load());
+}
+
 }  // namespace
 }  // namespace cuckoo

@@ -3,6 +3,9 @@
 // / Erase / Size), verified through one typed suite — plus a deterministic
 // randomized fuzz harness replaying seeded op sequences against a
 // std::unordered_map oracle (see MapFuzzTest below).
+#include <unistd.h>
+
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -20,8 +23,11 @@
 #include "src/cuckoo/cuckoo_map.h"
 #include "src/cuckoo/flat_cuckoo_map.h"
 #include "src/cuckoo/general_cuckoo_map.h"
+#include "src/common/file_util.h"
 #include "src/cuckoo/sharded_map.h"
 #include "src/cuckoo/simd_probe.h"
+#include "src/kvserver/kv_service.h"
+#include "src/store/tiered_store.h"
 
 #include <gtest/gtest.h>
 
@@ -522,6 +528,170 @@ TEST(MapFuzzExpansionTest, CuckooMapExpansionMatchesOracle) {
     return std::make_unique<CuckooMap<K, V>>(o);
   };
   RunFuzzWith<CuckooMap<K, V>>(FuzzSeed(0xe49a4e01), 30000, kExpandKeySpace, make);
+}
+
+// ---------------------------------------------------------------------------
+// Tiered-store oracle fuzz: the same seeded-replay idea, one level up. A
+// KvService backed by a TieredStore (tiny tiering threshold, tiny hot cache)
+// is driven through the text protocol against a std::unordered_map oracle.
+// Values straddle the threshold, so every sequence interleaves inline RAM
+// entries with value-log location records; the cache is small enough that
+// GETs constantly fall through to cold disk reads (exercised through BOTH the
+// synchronous path and the parked StartFetches/FinishDeferred path), and GC
+// compactions run mid-sequence through the service's real relocation hook.
+// The oracle never knows which tier served a byte — it must not matter.
+// ---------------------------------------------------------------------------
+
+struct TieredFuzzHarness {
+  std::string dir;
+  store::TieredStore tier;
+  std::unique_ptr<KvService> service;
+  KvService::Connection conn;
+
+  TieredFuzzHarness()
+      : dir(MakeTempDir()), service(nullptr), conn(nullptr) {
+    store::TieredStoreOptions t;
+    t.dir = dir;
+    t.threshold_bytes = 32;          // most "large" fuzz values tier out
+    t.segment_bytes = 16384;         // several segments => GC has targets
+    t.cache_capacity_bytes = 2048;   // a handful of hot values, heavy churn
+    t.reader_threads = 2;
+    std::string error;
+    EXPECT_TRUE(tier.Open(t, &error)) << error;
+    KvService::Options so;
+    so.tier = &tier;
+    service = std::make_unique<KvService>(so);
+    conn = service->Connect();
+    tier.SetGcHooks(
+        [this](const std::string& key, const store::ValueLocation& old_loc,
+               std::string_view data) {
+          return service->RelocateTiered(key, old_loc, data);
+        },
+        [this] { return tier.SyncLog(); });
+  }
+  ~TieredFuzzHarness() {
+    service.reset();
+    tier.Close();
+    for (const std::string& name : ListFilesWithPrefix(dir, "")) {
+      RemoveFile(dir + "/" + name);
+    }
+    ::rmdir(dir.c_str());
+  }
+
+  static std::string MakeTempDir() {
+    std::string tmpl = ::testing::TempDir() + "cuckoo_tierfuzz_XXXXXX";
+    const char* p = ::mkdtemp(tmpl.data());
+    EXPECT_NE(p, nullptr);
+    return tmpl;
+  }
+
+  // Drive one command through the async-aware path: parked GETs resolve via
+  // StartFetches + FinishDeferred exactly as the socket server does.
+  std::string Roundtrip(const std::string& command) {
+    std::string out;
+    std::shared_ptr<KvService::DeferredGet> deferred;
+    KvService::Connection::DriveStatus st = conn.Drive(command, &out, &deferred);
+    while (st == KvService::Connection::DriveStatus::kSuspended) {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      service->StartFetches(deferred, [&] {
+        std::lock_guard<std::mutex> lk(mu);
+        done = true;
+        cv.notify_one();
+      });
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return done; });
+      }
+      service->FinishDeferred(*deferred, &out);
+      deferred.reset();
+      st = conn.Drive("", &out, &deferred);
+    }
+    EXPECT_FALSE(conn.Broken());
+    return out;
+  }
+};
+
+struct TieredOracleEntry {
+  std::string value;
+  std::uint32_t flags = 0;
+};
+
+std::string TieredFuzzValue(Xorshift128Plus& rng, bool large) {
+  const std::size_t size = large ? 64 + rng.NextBelow(512) : rng.NextBelow(32);
+  std::string v(size, '\0');
+  for (std::size_t i = 0; i < size; ++i) {
+    // Printable, CRLF-free payload bytes so the text protocol stays framed.
+    v[i] = static_cast<char>('!' + rng.NextBelow(94));
+  }
+  return v;
+}
+
+void RunTieredKvFuzz(std::uint64_t seed, std::size_t op_count) {
+  TieredFuzzHarness h;
+  std::unordered_map<std::string, TieredOracleEntry> oracle;
+  Xorshift128Plus rng(Mix64(seed ^ 0x71e2edull));
+  constexpr std::uint64_t kKeySpace = 64;
+
+  for (std::size_t i = 0; i < op_count; ++i) {
+    const std::string key = "k" + std::to_string(rng.NextBelow(kKeySpace));
+    const std::uint64_t roll = rng.NextBelow(1000);
+    if (roll < 400) {  // set: half inline, half tiered
+      TieredOracleEntry e;
+      e.flags = static_cast<std::uint32_t>(rng.NextBelow(1000));
+      e.value = TieredFuzzValue(rng, rng.NextBelow(2) == 0);
+      const std::string r = h.Roundtrip("set " + key + " " + std::to_string(e.flags) +
+                                        " 0 " + std::to_string(e.value.size()) + "\r\n" +
+                                        e.value + "\r\n");
+      ASSERT_EQ(r, "STORED\r\n") << "seed=" << seed << " op=" << i;
+      oracle[key] = std::move(e);
+    } else if (roll < 500) {  // delete
+      const bool existed = oracle.count(key) != 0;
+      const std::string r = h.Roundtrip("delete " + key + "\r\n");
+      ASSERT_EQ(r, existed ? "DELETED\r\n" : "NOT_FOUND\r\n")
+          << "seed=" << seed << " op=" << i << " key=" << key;
+      oracle.erase(key);
+    } else if (roll < 980) {  // get: must match the oracle byte-for-byte
+      const std::string r = h.Roundtrip("get " + key + "\r\n");
+      auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        ASSERT_EQ(r, "END\r\n") << "seed=" << seed << " op=" << i << " phantom " << key;
+      } else {
+        const std::string want = "VALUE " + key + " " + std::to_string(it->second.flags) +
+                                 " " + std::to_string(it->second.value.size()) + "\r\n" +
+                                 it->second.value + "\r\nEND\r\n";
+        ASSERT_EQ(r, want) << "seed=" << seed << " op=" << i << " key=" << key
+                           << " (tiered bytes diverged from oracle)";
+      }
+    } else {  // compact: relocations must be invisible to every later GET
+      h.tier.RunGcOnce(/*trigger_override=*/0.3);
+    }
+  }
+
+  // Final sweep: every oracle entry readable with exact bytes, then a GC
+  // storm followed by a re-sweep — compaction must never lose or tear.
+  for (int storm = 0; h.tier.RunGcOnce(0.05) && storm < 64; ++storm) {
+  }
+  for (const auto& [key, entry] : oracle) {
+    const std::string r = h.Roundtrip("get " + key + "\r\n");
+    ASSERT_NE(r.find("VALUE " + key + " "), std::string::npos)
+        << "seed=" << seed << " lost " << key << " after GC storm";
+    ASSERT_NE(r.find(entry.value), std::string::npos)
+        << "seed=" << seed << " torn value for " << key;
+  }
+  const store::TieredStoreStats stats = h.tier.Stats();
+  EXPECT_GT(stats.tiered_sets, 0u) << "fuzz never exercised the tiered path";
+  EXPECT_GT(stats.disk_reads, 0u) << "fuzz never went to disk";
+}
+
+TEST(TieredKvFuzzTest, SeededOpSequencesMatchOracle) {
+  for (std::uint64_t round = 0; round < 2; ++round) {
+    RunTieredKvFuzz(FuzzSeed(0x71e2ed00 + round), 4000);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+#include "src/store/tiered_store.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/file_util.h"
+
+namespace cuckoo {
+namespace store {
+namespace {
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl = ::testing::TempDir() + "cuckoo_tier_XXXXXX";
+    path = ::mkdtemp(tmpl.data());
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() {
+    for (const std::string& name : ListFilesWithPrefix(path, "")) {
+      RemoveFile(path + "/" + name);
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+TieredStoreOptions SmallOptions(const std::string& dir) {
+  TieredStoreOptions o;
+  o.dir = dir;
+  o.threshold_bytes = 64;
+  o.segment_bytes = 8192;
+  o.cache_capacity_bytes = 1u << 20;
+  o.reader_threads = 2;
+  return o;
+}
+
+TEST(TieredStoreTest, AppendThenReadColdAndHot) {
+  TempDir dir;
+  TieredStore tier;
+  std::string error;
+  ASSERT_TRUE(tier.Open(SmallOptions(dir.path), &error)) << error;
+
+  ValueLocation loc;
+  ASSERT_TRUE(tier.AppendValue("key", std::string(500, 'v'), &loc));
+  ASSERT_TRUE(tier.ValidLocation(loc));
+
+  // Cold read goes to disk and admits the bytes.
+  std::string data;
+  ASSERT_TRUE(tier.ReadValue("key", loc, /*cas_id=*/7, &data));
+  EXPECT_EQ(data, std::string(500, 'v'));
+  EXPECT_GE(tier.Stats().disk_reads, 1u);
+
+  // Now hot, served only under the matching cas.
+  data.clear();
+  EXPECT_TRUE(tier.TryHot("key", 7, &data));
+  EXPECT_EQ(data, std::string(500, 'v'));
+  EXPECT_FALSE(tier.TryHot("key", 8, &data));  // stale cas never served
+  EXPECT_FALSE(tier.TryHot("other", 7, &data));
+  tier.Close();
+}
+
+TEST(TieredStoreTest, AdmitWriteThrough) {
+  TempDir dir;
+  TieredStore tier;
+  std::string error;
+  ASSERT_TRUE(tier.Open(SmallOptions(dir.path), &error)) << error;
+  tier.Admit("wk", /*cas_id=*/3, std::string(200, 'w'));
+  std::string data;
+  EXPECT_TRUE(tier.TryHot("wk", 3, &data));
+  EXPECT_EQ(data, std::string(200, 'w'));
+  const std::uint64_t reads_before = tier.Stats().disk_reads;
+  EXPECT_EQ(tier.Stats().disk_reads, reads_before);  // never touched disk
+  tier.Close();
+}
+
+TEST(TieredStoreTest, AsyncReadDeliversVerifiedBytes) {
+  TempDir dir;
+  TieredStore tier;
+  std::string error;
+  ASSERT_TRUE(tier.Open(SmallOptions(dir.path), &error)) << error;
+  ValueLocation loc;
+  ASSERT_TRUE(tier.AppendValue("async", std::string(300, 'a'), &loc));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool got_ok = false;
+  std::string got;
+  tier.ReadValueAsync("async", loc, /*cas_id=*/1, [&](bool ok, std::string data) {
+    std::lock_guard<std::mutex> lk(mu);
+    got_ok = ok;
+    got = std::move(data);
+    done = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done; });
+  }
+  EXPECT_TRUE(got_ok);
+  EXPECT_EQ(got, std::string(300, 'a'));
+  // The async read admits on the reader thread: a follow-up probe is hot.
+  std::string data;
+  EXPECT_TRUE(tier.TryHot("async", 1, &data));
+  tier.Close();
+}
+
+TEST(TieredStoreTest, AsyncReadOfRetiredLocationFails) {
+  TempDir dir;
+  TieredStore tier;
+  std::string error;
+  ASSERT_TRUE(tier.Open(SmallOptions(dir.path), &error)) << error;
+  ValueLocation loc;
+  ASSERT_TRUE(tier.AppendValue("gone", std::string(100, 'g'), &loc));
+  ValueLocation bogus = loc;
+  bogus.segment += 100;  // never existed
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool got_ok = true;
+  tier.ReadValueAsync("gone", bogus, 1, [&](bool ok, std::string) {
+    std::lock_guard<std::mutex> lk(mu);
+    got_ok = ok;
+    done = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done; });
+  }
+  EXPECT_FALSE(got_ok);
+  tier.Close();
+}
+
+// GC end-to-end against a fake table: a map from key -> (loc, cas). The
+// relocate hook re-checks the location like the real service does.
+TEST(TieredStoreTest, GcCompactsWorstSegmentAndRelocatesLive) {
+  TempDir dir;
+  TieredStore tier;
+  std::string error;
+  TieredStoreOptions opts = SmallOptions(dir.path);
+  ASSERT_TRUE(tier.Open(opts, &error)) << error;
+
+  struct Entry {
+    ValueLocation loc;
+    bool live = true;
+  };
+  std::mutex table_mu;
+  std::map<std::string, Entry> table;
+
+  // Fill a few segments; kill every other key.
+  for (int i = 0; i < 24; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ValueLocation loc;
+    ASSERT_TRUE(tier.AppendValue(key, std::string(700, static_cast<char>('a' + i % 26)),
+                                 &loc));
+    std::lock_guard<std::mutex> lk(table_mu);
+    table[key] = Entry{loc, true};
+  }
+  for (int i = 0; i < 24; i += 2) {
+    const std::string key = "k" + std::to_string(i);
+    std::lock_guard<std::mutex> lk(table_mu);
+    tier.MarkDead(table[key].loc);
+    table[key].live = false;
+  }
+
+  std::atomic<int> barriers{0};
+  tier.SetGcHooks(
+      [&](const std::string& key, const ValueLocation& old_loc, std::string_view data) {
+        std::lock_guard<std::mutex> lk(table_mu);
+        auto it = table.find(key);
+        if (it == table.end() || !it->second.live || !(it->second.loc == old_loc)) {
+          return TieredStore::RelocateResult::kDead;
+        }
+        ValueLocation new_loc;
+        if (!tier.AppendValue(key, data, &new_loc)) {
+          return TieredStore::RelocateResult::kFailed;
+        }
+        it->second.loc = new_loc;
+        return TieredStore::RelocateResult::kRelocated;
+      },
+      [&] {
+        barriers.fetch_add(1);
+        return tier.SyncLog();
+      });
+
+  // Compact until nothing qualifies at a low trigger.
+  int retired = 0;
+  while (tier.RunGcOnce(/*trigger_override=*/0.3) && retired < 64) {
+    ++retired;
+  }
+  ASSERT_GT(retired, 0);
+  EXPECT_GT(barriers.load(), 0);
+  const TieredStoreStats stats = tier.Stats();
+  EXPECT_GT(stats.gc_segments, 0u);
+  EXPECT_GT(stats.gc_records_relocated, 0u);
+  EXPECT_GT(stats.log.reclaimed_bytes, 0u);
+  EXPECT_EQ(stats.gc_failures, 0u);
+
+  // Every live key still reads back through its (possibly moved) location.
+  std::lock_guard<std::mutex> lk(table_mu);
+  for (const auto& [key, entry] : table) {
+    if (!entry.live) {
+      continue;
+    }
+    ASSERT_TRUE(tier.ValidLocation(entry.loc)) << key;
+    std::string data;
+    ASSERT_TRUE(tier.ReadValue(key, entry.loc, 1, &data)) << key;
+    EXPECT_EQ(data.size(), 700u);
+  }
+  tier.Close();
+}
+
+TEST(TieredStoreTest, ReaderBackendSelection) {
+  TempDir dir;
+  // The thread-pool fallback must always be available.
+  TieredStore tier;
+  TieredStoreOptions opts = SmallOptions(dir.path);
+  opts.reader_backend = "threads";
+  std::string error;
+  ASSERT_TRUE(tier.Open(opts, &error)) << error;
+  EXPECT_STREQ(tier.reader_backend(), "threads");
+  ValueLocation loc;
+  ASSERT_TRUE(tier.AppendValue("tp", std::string(128, 't'), &loc));
+  std::string data;
+  ASSERT_TRUE(tier.ReadValue("tp", loc, 1, &data));
+  EXPECT_EQ(data.size(), 128u);
+  tier.Close();
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace cuckoo
