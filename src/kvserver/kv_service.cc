@@ -61,6 +61,10 @@ const char* KvService::CommandName(RequestType type) noexcept {
       return "stats";
     case RequestType::kBgsave:
       return "bgsave";
+    case RequestType::kReplicate:
+      return "replicate";
+    case RequestType::kReplicaof:
+      return "replicaof";
   }
   return "unknown";
 }
@@ -92,8 +96,11 @@ KvService::ProcessStatus KvService::HandleGet(const Request& request, bool with_
         AppendValueResponse(keys[i], value.flags, value.data, out);
       }
     });
+    // Replicas never erase on expiry: the delete must come from the primary's
+    // WAL stream, or the local LSN sequence forks off the primary's.
+    const bool reap_expired = !ReadOnly();
     for (std::size_t i = 0; i < count; ++i) {
-      if (expired[i] && !live[i]) {
+      if (reap_expired && expired[i] && !live[i]) {
         // Lazy expiry: reclaim the slot, but only if the entry is still the
         // expired one — a concurrent fresh Set must not be deleted. EraseIf
         // re-checks under the bucket locks.
@@ -149,8 +156,8 @@ KvService::ProcessStatus KvService::HandleGet(const Request& request, bool with_
     }
   });
   for (std::size_t i = 0; i < count; ++i) {
-    if (!expired[i] || d->items[i].live) {
-      continue;
+    if (ReadOnly() || !expired[i] || d->items[i].live) {
+      continue;  // replicas leave expiry to the primary's replicated delete
     }
     // Lazy expiry, tiered-aware: the predicate re-checks under the bucket
     // locks and captures the victim's log location so its bytes count as
@@ -533,16 +540,47 @@ KvService::ProcessStatus KvService::Dispatch(const Request& request, std::string
     case RequestType::kGets:
       return HandleGet(request, /*with_cas=*/true, response_out, deferred);
     case RequestType::kSet:
-      HandleSet(request, response_out);
-      return ProcessStatus::kDone;
     case RequestType::kCas:
-      HandleCas(request, response_out);
-      return ProcessStatus::kDone;
     case RequestType::kTouch:
-      HandleTouch(request, response_out);
-      return ProcessStatus::kDone;
     case RequestType::kDelete:
-      HandleDelete(request, response_out);
+      // Replica mode: reads only. Redirect the client to the primary rather
+      // than silently diverging from the replicated stream.
+      if (ReadOnly()) {
+        AppendServerError(readonly_redirect_.empty()
+                              ? std::string("read only replica")
+                              : "read only replica; primary is " + readonly_redirect_,
+                          response_out);
+        return ProcessStatus::kDone;
+      }
+      switch (request.type) {
+        case RequestType::kSet:
+          HandleSet(request, response_out);
+          break;
+        case RequestType::kCas:
+          HandleCas(request, response_out);
+          break;
+        case RequestType::kTouch:
+          HandleTouch(request, response_out);
+          break;
+        default:
+          HandleDelete(request, response_out);
+          break;
+      }
+      return ProcessStatus::kDone;
+    case RequestType::kReplicate:
+      if (!repl_upgrade_enabled_) {
+        AppendServerError("replication not enabled", response_out);
+        return ProcessStatus::kDone;
+      }
+      // No response bytes: the server detaches this connection and the hub
+      // answers with the SYNC/FULLSYNC header on the raw fd.
+      return ProcessStatus::kUpgradeReplication;
+    case RequestType::kReplicaof:
+      if (!replicaof_) {
+        AppendError(response_out);  // no replication control attached
+      } else {
+        response_out->append(replicaof_(request));
+      }
       return ProcessStatus::kDone;
     case RequestType::kBgsave: {
       if (!bgsave_) {
@@ -847,10 +885,17 @@ KvService::Connection::DriveStatus KvService::Connection::Drive(
       }
       continue;
     }
-    if (service_->Process(request, out, deferred) == ProcessStatus::kSuspended) {
+    const ProcessStatus status_p = service_->Process(request, out, deferred);
+    if (status_p == ProcessStatus::kSuspended) {
       // Anything already parsed but not yet executed stays buffered in the
       // parser; the caller resumes with Drive("") after FinishDeferred.
       return DriveStatus::kSuspended;
+    }
+    if (status_p == ProcessStatus::kUpgradeReplication) {
+      // The stream switched protocols; whatever is still buffered belongs to
+      // the replication channel, not this parser.
+      upgrade_start_lsn_ = request.repl_lsn;
+      return DriveStatus::kUpgradeReplication;
     }
   }
 }

@@ -81,6 +81,32 @@ class KvService {
   // if one is already running (reported to the client as BUSY).
   void SetBgsaveHook(std::function<bool()> hook) { bgsave_ = std::move(hook); }
 
+  // ----- Replication hooks ---------------------------------------------------
+
+  // Read-only (replica) mode: set/cas/delete/touch answer SERVER_ERROR with
+  // a redirect to `primary` instead of mutating, and lazy expiry stops
+  // erasing on GET (the primary replicates the authoritative delete; erasing
+  // locally would fork the replica's WAL off the primary's LSN sequence).
+  // `primary` is latched on the first call and must not change afterwards;
+  // promotion (`replicaof none`) only ever flips the flag back off.
+  void SetReadOnly(bool read_only, const std::string& primary) {
+    if (readonly_redirect_.empty() && !primary.empty()) {
+      readonly_redirect_ = primary;
+    }
+    read_only_.store(read_only, std::memory_order_release);
+  }
+  bool ReadOnly() const noexcept { return read_only_.load(std::memory_order_acquire); }
+
+  // Allow `replicate` connection upgrades (the server wires the actual fd
+  // handoff; without this the verb answers SERVER_ERROR).
+  void SetReplicationUpgradeEnabled(bool enabled) { repl_upgrade_enabled_ = enabled; }
+
+  // `replicaof` command handler: receives the parsed request and returns the
+  // full protocol response (e.g. "OK\r\n"). Unset => ERROR.
+  void SetReplicaofHandler(std::function<std::string(const Request&)> handler) {
+    replicaof_ = std::move(handler);
+  }
+
   struct Options {
     std::size_t initial_bucket_count_log2 = 10;
     bool auto_expand = true;
@@ -129,7 +155,10 @@ class KvService {
     std::atomic<std::size_t> remaining{0};  // outstanding disk fetches
   };
 
-  enum class ProcessStatus : std::uint8_t { kDone, kSuspended };
+  // kUpgradeReplication: the request was a `replicate` verb on a server with
+  // replication enabled — no response bytes are appended; the caller must
+  // detach the connection and hand its fd to the replication hub.
+  enum class ProcessStatus : std::uint8_t { kDone, kSuspended, kUpgradeReplication };
 
   // Execute one request, appending the protocol response to *response_out.
   void Process(const Request& request, std::string* response_out) {
@@ -159,7 +188,10 @@ class KvService {
    public:
     explicit Connection(KvService* service) : service_(service) {}
 
-    enum class DriveStatus : std::uint8_t { kIdle, kSuspended };
+    // kUpgradeReplication: stop driving — the stream switched protocols.
+    // upgrade_start_lsn() has the requested LSN and TakeBufferedInput() any
+    // bytes that arrived after the `replicate` line.
+    enum class DriveStatus : std::uint8_t { kIdle, kSuspended, kUpgradeReplication };
 
     // Parse and execute everything in `bytes`; append responses to *out.
     void Drive(std::string_view bytes, std::string* out) {
@@ -179,9 +211,14 @@ class KvService {
     // True if the protocol stream is unrecoverable; close the connection.
     bool Broken() const noexcept { return parser_.Broken(); }
 
+    // Valid after Drive returned kUpgradeReplication.
+    std::uint64_t upgrade_start_lsn() const noexcept { return upgrade_start_lsn_; }
+    std::string TakeBufferedInput() { return parser_.TakeBuffered(); }
+
    private:
     KvService* service_;
     RequestParser parser_;
+    std::uint64_t upgrade_start_lsn_ = 0;
   };
 
   Connection Connect() { return Connection(this); }
@@ -305,7 +342,7 @@ class KvService {
   void AppendTierStats(std::string* out) const;
 
   // One histogram slot per RequestType value.
-  static constexpr std::size_t kCommandKinds = 8;
+  static constexpr std::size_t kCommandKinds = 10;
   static const char* CommandName(RequestType type) noexcept;
 
   StoreMap store_;
@@ -315,6 +352,10 @@ class KvService {
   std::vector<std::function<void(std::string*)>> detail_stats_;
   MutationObserver* observer_ = nullptr;
   std::function<bool()> bgsave_;
+  std::function<std::string(const Request&)> replicaof_;
+  std::atomic<bool> read_only_{false};
+  bool repl_upgrade_enabled_ = false;    // set before serving traffic
+  std::string readonly_redirect_;        // latched before serving traffic
   std::atomic<std::uint64_t> next_cas_{1};
   PerThreadCounter hits_;
   PerThreadCounter misses_;

@@ -113,6 +113,33 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
     out->key.clear();
     return ParseStatus::kOk;
   }
+  if (command == "replicate") {
+    // replicate <next_lsn> — first LSN the replica still needs (>= 1).
+    if (tokens.size() != 2 || !ParseU64(tokens[1], &out->repl_lsn) || out->repl_lsn == 0) {
+      return ParseStatus::kError;
+    }
+    out->type = RequestType::kReplicate;
+    out->key.clear();
+    return ParseStatus::kOk;
+  }
+  if (command == "replicaof") {
+    // replicaof none | replicaof <host> <port>
+    out->type = RequestType::kReplicaof;
+    out->key.clear();
+    out->repl_host.clear();
+    out->repl_port = 0;
+    if (tokens.size() == 2 && tokens[1] == "none") {
+      return ParseStatus::kOk;
+    }
+    std::uint32_t port = 0;
+    if (tokens.size() != 3 || tokens[1].empty() || !ParseU32(tokens[2], &port) ||
+        port == 0 || port > 65535) {
+      return ParseStatus::kError;
+    }
+    out->repl_host.assign(tokens[1]);
+    out->repl_port = static_cast<std::uint16_t>(port);
+    return ParseStatus::kOk;
+  }
   if (command == "set" || command == "cas") {
     // set <key> <flags> <exptime> <bytes>  |  cas ... <bytes> <casid>
     const bool is_cas = command == "cas";

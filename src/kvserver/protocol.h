@@ -13,6 +13,13 @@
 //                                                    percentiles; slowlog dumps
 //                                                    the slow-op ring buffer)
 //   bgsave\r\n                                      (OK / BUSY; durability ext.)
+//   replicate <next_lsn>\r\n                        (upgrades the connection into
+//                                                    a WAL-streaming replication
+//                                                    channel; see docs/replication.md)
+//   replicaof none\r\n                              (promote a replica to primary;
+//                                                    "replicaof <host> <port>" is
+//                                                    parsed but runtime re-pointing
+//                                                    may be rejected by the server)
 // Responses follow the memcached text protocol (VALUE/END, STORED, EXISTS,
 // DELETED, NOT_FOUND, TOUCHED, ERROR). exptime follows memcached semantics:
 // 0 = never expires, values up to 30 days are a relative TTL in seconds,
@@ -37,7 +44,9 @@ enum class RequestType : std::uint8_t {
   kDelete,
   kTouch,  // update expiry only
   kStats,
-  kBgsave,  // trigger an online snapshot (replies OK or BUSY)
+  kBgsave,     // trigger an online snapshot (replies OK or BUSY)
+  kReplicate,  // upgrade this connection into a WAL-streaming channel
+  kReplicaof,  // replication control ("replicaof none" promotes a replica)
 };
 
 struct Request {
@@ -49,6 +58,9 @@ struct Request {
   std::uint32_t exptime = 0;
   std::uint64_t cas_id = 0;  // cas only
   std::string stats_arg;     // stats only: optional sub-report ("detail", ...)
+  std::uint64_t repl_lsn = 0;   // replicate only: first LSN the replica wants
+  std::string repl_host;        // replicaof only; empty for "none"
+  std::uint16_t repl_port = 0;  // replicaof only
 };
 
 enum class ParseStatus : std::uint8_t {
@@ -78,6 +90,15 @@ class RequestParser {
 
   // Bytes currently buffered (for tests / backpressure decisions).
   std::size_t BufferedBytes() const noexcept { return buffer_.size(); }
+
+  // Drain and return the unparsed buffered input. Connection-upgrade path:
+  // bytes past a `replicate` line are replication-channel traffic (early
+  // ACKs), not protocol commands, and must travel with the fd.
+  std::string TakeBuffered() {
+    std::string bytes;
+    bytes.swap(buffer_);
+    return bytes;
+  }
 
   // True once the stream cannot be resynchronized (e.g. a rejected set
   // announced an implausibly large data block). The connection should be

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -305,6 +306,61 @@ void SocketServer::CloseConn(Loop* loop, Conn* conn) {
   delete conn;
 }
 
+int SocketServer::DetachConn(Loop* loop, Conn* conn) {
+  if (conn->parked != nullptr) {
+    curr_parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  loop->by_id.erase(conn->id);
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  const int fd = conn->fd;
+  for (std::size_t i = 0; i < loop->conns.size(); ++i) {
+    if (loop->conns[i] == conn) {
+      loop->conns[i] = loop->conns.back();
+      loop->conns.pop_back();
+      break;
+    }
+  }
+  curr_connections_.fetch_sub(1, std::memory_order_relaxed);
+  delete conn;
+  return fd;
+}
+
+// `replicate <lsn>` arrived: flush any responses to commands pipelined ahead
+// of it (briefly blocking — past this point the fd speaks the replication
+// framing, so interleaving is not an option), then detach the fd from the
+// event loop and hand it to the replication hub.
+void SocketServer::UpgradeToReplication(Loop* loop, Conn* conn) {
+  const std::uint64_t start_lsn = conn->driver.upgrade_start_lsn();
+  std::string leftover = conn->driver.TakeBufferedInput();
+  const std::uint64_t deadline_ms = NowMs() + 1000;
+  bool write_ok = true;
+  while (conn->out_off < conn->out.size()) {
+    ssize_t w = ::send(conn->fd, conn->out.data() + conn->out_off,
+                       conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn->out_off += static_cast<std::size_t>(w);
+      bytes_written_.fetch_add(static_cast<std::uint64_t>(w), std::memory_order_relaxed);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) && NowMs() < deadline_ms) {
+      pollfd p{conn->fd, POLLOUT, 0};
+      ::poll(&p, 1, 50);
+      continue;
+    }
+    write_ok = false;
+    break;
+  }
+  const int fd = DetachConn(loop, conn);
+  if (!write_ok || !options_.replication_handoff) {
+    ::close(fd);
+    return;
+  }
+  options_.replication_handoff(fd, start_lsn, std::move(leftover));
+}
+
 void SocketServer::HandleAccept(Loop* loop, int listen_fd) {
   for (;;) {
     int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -426,8 +482,12 @@ void SocketServer::HandleReadable(Loop* loop, Conn* conn) {
       // blocking this loop: park the connection, stop pulling input (the
       // kernel buffers it), and let other connections keep being served.
       std::shared_ptr<KvService::DeferredGet> deferred;
-      conn->driver.Drive(std::string_view(buffer, static_cast<std::size_t>(n)), &conn->out,
-                         &deferred);
+      const KvService::Connection::DriveStatus ds = conn->driver.Drive(
+          std::string_view(buffer, static_cast<std::size_t>(n)), &conn->out, &deferred);
+      if (ds == KvService::Connection::DriveStatus::kUpgradeReplication) {
+        UpgradeToReplication(loop, conn);
+        return;
+      }
       if (deferred != nullptr) {
         ParkConn(loop, conn, std::move(deferred));
         break;
@@ -549,7 +609,12 @@ void SocketServer::ProcessCompletions(Loop* loop, bool draining) {
     // Resume the buffered request stream; pipelined GETs may suspend again
     // immediately, re-parking the connection for another disk round.
     std::shared_ptr<KvService::DeferredGet> next;
-    conn->driver.Drive(std::string_view(), &conn->out, &next);
+    const KvService::Connection::DriveStatus ds =
+        conn->driver.Drive(std::string_view(), &conn->out, &next);
+    if (ds == KvService::Connection::DriveStatus::kUpgradeReplication) {
+      UpgradeToReplication(loop, conn);
+      continue;
+    }
     if (next != nullptr) {
       ParkConn(loop, conn, std::move(next));
     } else if (conn->driver.Broken() ||

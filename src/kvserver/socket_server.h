@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -65,6 +66,14 @@ class SocketServer {
     std::size_t max_input_buffered = 2u << 20;
     // Graceful Stop(): how long to keep flushing in-flight responses.
     std::uint64_t drain_timeout_ms = 1000;
+    // Replication upgrade: when a connection issues `replicate <lsn>`, the
+    // server detaches its fd from the event loop and hands it here along
+    // with the requested start LSN and any input bytes that arrived after
+    // the command line (early ACKs). The callee owns the fd (non-blocking;
+    // it may flip it back to blocking). Unset => the verb is answered with
+    // SERVER_ERROR at the service layer.
+    std::function<void(int fd, std::uint64_t start_lsn, std::string leftover)>
+        replication_handoff;
   };
 
   struct StatsSnapshot {
@@ -117,6 +126,11 @@ class SocketServer {
   void HandleReadable(Loop* loop, Conn* conn);
   bool FlushOutput(Loop* loop, Conn* conn);  // false = connection died
   void CloseConn(Loop* loop, Conn* conn);
+  // CloseConn minus the ::close(): deregisters the connection and returns
+  // its fd to the caller (replication upgrade handoff).
+  int DetachConn(Loop* loop, Conn* conn);
+  // Flush pipelined responses, detach the fd, invoke replication_handoff.
+  void UpgradeToReplication(Loop* loop, Conn* conn);
   void UpdateEvents(Loop* loop, Conn* conn);
   void SweepIdle(Loop* loop, std::uint64_t now_ms);
   // Suspend `conn` on `deferred` and launch its disk fetches; the completion

@@ -1,11 +1,15 @@
 #include "src/persist/durability.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
+#include "src/common/file_util.h"
 #include "src/kvserver/protocol.h"
 #include "src/obs/metrics.h"
 #include "src/persist/snapshot.h"
+#include "src/store/tiered_store.h"
 
 namespace cuckoo {
 namespace persist {
@@ -19,6 +23,14 @@ bool DurabilityManager::Start(DurabilityOptions options, std::string* error) {
   wal_options.dir = options_.dir;
   wal_options.fsync_policy = options_.fsync_policy;
   wal_options.segment_bytes = options_.segment_bytes;
+  if (bridge_ != nullptr) {
+    // Fan replication out from the group-commit path: after each drain the
+    // log-writer thread tells the hub how far the file (and the fsync
+    // watermark) advanced. Installed before Open so no commit is missed.
+    wal_.SetCommitSink([this](std::uint64_t written_lsn, std::uint64_t durable_lsn) {
+      bridge_->OnWalCommit(written_lsn, durable_lsn);
+    });
+  }
   if (!wal_.Open(wal_options, recovery_.next_lsn)) {
     if (error != nullptr) {
       *error = "cannot open WAL in " + options_.dir;
@@ -82,6 +94,119 @@ bool DurabilityManager::WaitForSnapshot() {
   return last_round_ok_;
 }
 
+bool DurabilityManager::ApplyReplicated(const WalRecord& record, std::string* error) {
+  // Log first, table second — the mirror of the primary's ordering. A crash
+  // between the two replays the record from the local WAL on restart, and
+  // replay is idempotent.
+  if (!wal_.AppendReplicated(record)) {
+    if (error != nullptr) {
+      *error = "replication LSN gap at " + std::to_string(record.lsn) +
+               " (local next is " + std::to_string(wal_.LastAssignedLsn() + 1) + ")";
+    }
+    return false;
+  }
+  switch (record.type) {
+    case WalRecord::Type::kSet: {
+      KvService::StoredValue value;
+      value.data = record.data;
+      value.flags = record.flags;
+      value.cas_id = record.cas_id;
+      value.expires_at = record.expires_at;
+      service_->RestoreEntry(record.key, std::move(value));
+      break;
+    }
+    case WalRecord::Type::kSetTiered: {
+      // The primary normally rewrites tiered records to inline sets before
+      // streaming; one arriving verbatim means the primary could not read
+      // the value back (GC relocated it). The relocation record — at a
+      // higher LSN, already behind this one in the stream — re-delivers the
+      // value, so skipping here converges. The location itself only makes
+      // sense if this replica happens to share a value log (it never does in
+      // production, but a local-process test tier can).
+      KvService::StoredValue value;
+      value.flags = record.flags;
+      value.cas_id = record.cas_id;
+      value.expires_at = record.expires_at;
+      store::TieredStore* tier = service_->tier();
+      if (!store::DecodeValueLocation(record.data, &value.loc) || tier == nullptr ||
+          !tier->ValidLocation(value.loc)) {
+        service_->AdvanceCasFloor(record.cas_id);
+        replica_skipped_tiered_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      service_->RestoreEntry(record.key, std::move(value));
+      break;
+    }
+    case WalRecord::Type::kDelete:
+      service_->RestoreErase(record.key);
+      break;
+  }
+  replica_applied_records_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool DurabilityManager::ResyncFromSnapshot(const std::string& snapshot_path,
+                                           std::uint64_t snapshot_lsn, std::string* error) {
+  {
+    MutexLock lk(mutex_);
+    // Wait out any in-flight snapshot round, then fence the worker off: the
+    // WAL is about to be closed and the directory rewritten underneath it.
+    while (snapshot_running_) {
+      done_cv_.wait(lk.native_handle());
+    }
+    snapshot_requested_ = false;
+    resync_in_progress_ = true;
+  }
+  wal_.Shutdown();
+  service_->RestoreClear();
+  for (const std::string& name : ListFilesWithPrefix(options_.dir, "wal-")) {
+    RemoveFile(options_.dir + "/" + name);
+  }
+  for (const std::string& name : ListFilesWithPrefix(options_.dir, "snap-")) {
+    RemoveFile(options_.dir + "/" + name);
+  }
+  const std::string published =
+      options_.dir + "/" + internal::SnapshotFileName(snapshot_lsn);
+  bool ok = std::rename(snapshot_path.c_str(), published.c_str()) == 0 &&
+            SyncDir(options_.dir);
+  std::uint64_t reopen_lsn = snapshot_lsn + 1;
+  SnapshotLoadStats load;
+  if (ok) {
+    ok = LoadKvSnapshot(published, service_, &load, error);
+  } else if (error != nullptr) {
+    *error = "cannot publish replica snapshot as " + published;
+  }
+  if (!ok) {
+    // Leave the replica empty but serviceable: a fresh WAL at LSN 1 puts it
+    // in the same state as a blank data directory, and the caller retries
+    // the bootstrap from scratch.
+    service_->RestoreClear();
+    RemoveFile(published);
+    reopen_lsn = 1;
+  }
+  WalOptions wal_options;
+  wal_options.dir = options_.dir;
+  wal_options.fsync_policy = options_.fsync_policy;
+  wal_options.segment_bytes = options_.segment_bytes;
+  const bool reopened = wal_.Open(wal_options, reopen_lsn);
+  if (!reopened && error != nullptr && ok) {
+    *error = "cannot reopen WAL after resync in " + options_.dir;
+  }
+  {
+    MutexLock lk(mutex_);
+    bytes_at_last_snapshot_ = wal_.BytesAppended();
+    resync_in_progress_ = false;
+    cv_.notify_all();
+  }
+  if (ok && reopened) {
+    last_snapshot_lsn_.store(snapshot_lsn, std::memory_order_relaxed);
+    last_snapshot_entries_.store(load.entries, std::memory_order_relaxed);
+    replica_resyncs_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
 void DurabilityManager::SnapshotWorker() {
   for (;;) {
     bool run = false;
@@ -110,7 +235,10 @@ void DurabilityManager::SnapshotWorker() {
       const bool byte_trigger =
           options_.snapshot_trigger_bytes != 0 &&
           wal_.BytesAppended() - bytes_at_last_snapshot_ >= options_.snapshot_trigger_bytes;
-      if (snapshot_requested_ || byte_trigger) {
+      // Never start a round mid-resync: the WAL is closed and the directory
+      // is being rewritten. ResyncFromSnapshot waits out snapshot_running_
+      // under this mutex, so the two phases strictly alternate.
+      if (!resync_in_progress_ && (snapshot_requested_ || byte_trigger)) {
         snapshot_requested_ = false;
         snapshot_running_ = true;
         ++rounds_started_;
@@ -157,9 +285,20 @@ bool DurabilityManager::RunSnapshot() {
   }
   // The published snapshot covers every LSN <= its wal_lsn; segments fully
   // below that are dead weight. Flush first so the covering guarantee holds
-  // even for records that were still only in the batch buffer.
+  // even for records that were still only in the batch buffer. A lagging
+  // replica holds GC back: removing a segment it still needs would force it
+  // into a full resync, so keep everything from its next LSN onward.
   wal_.Flush();
-  wal_.RemoveSegmentsBelow(stats.wal_lsn);
+  std::uint64_t gc_below = stats.wal_lsn;
+  if (bridge_ != nullptr) {
+    const std::uint64_t min_replica = bridge_->MinReplicaLsn();
+    if (min_replica != UINT64_MAX) {
+      // min_replica is the replica's NEXT lsn; the segment holding it (and
+      // everything after) must survive, so only LSNs strictly below may go.
+      gc_below = std::min(gc_below, min_replica - 1);
+    }
+  }
+  wal_.RemoveSegmentsBelow(gc_below);
   return true;
 }
 
@@ -175,6 +314,7 @@ void DurabilityManager::AppendStats(std::string* out) const {
   AppendStat("wal_max_batch_records", w.max_batch_records, out);
   AppendStat("wal_segments_created", w.segments_created, out);
   AppendStat("wal_last_lsn", w.last_assigned_lsn, out);
+  AppendStat("wal_written_lsn", wal_.WrittenLsn(), out);
   AppendStat("wal_durable_lsn", w.durable_lsn, out);
   AppendStat("wal_io_error", w.io_error ? 1 : 0, out);
   AppendStat("snapshots_completed", snapshots_completed_.load(std::memory_order_relaxed),
@@ -187,6 +327,11 @@ void DurabilityManager::AppendStats(std::string* out) const {
              snapshot_walk_lock_fallbacks_.load(std::memory_order_relaxed), out);
   AppendStat("snapshot_displaced_entries",
              snapshot_displaced_entries_.load(std::memory_order_relaxed), out);
+  AppendStat("replica_applied_records",
+             replica_applied_records_.load(std::memory_order_relaxed), out);
+  AppendStat("replica_skipped_tiered",
+             replica_skipped_tiered_.load(std::memory_order_relaxed), out);
+  AppendStat("replica_resyncs", replica_resyncs_.load(std::memory_order_relaxed), out);
   AppendStat("recovery_loaded_snapshot", recovery_.loaded_snapshot ? 1 : 0, out);
   AppendStat("recovery_snapshot_entries", recovery_.snapshot_entries, out);
   AppendStat("recovery_wal_records_applied", recovery_.wal_records_applied, out);
@@ -222,6 +367,15 @@ void DurabilityManager::AppendMetricsText(std::string* out) const {
                      w.group_commits, out);
   obs::AppendGauge("cuckoo_wal_durable_lsn", "highest durable log sequence number",
                    static_cast<double>(w.durable_lsn), out);
+  obs::AppendGauge("cuckoo_wal_written_lsn",
+                   "highest log sequence number fully written to the segment file",
+                   static_cast<double>(wal_.WrittenLsn()), out);
+  obs::AppendCounter("cuckoo_replica_applied_records_total",
+                     "replicated WAL records applied locally",
+                     replica_applied_records_.load(std::memory_order_relaxed), out);
+  obs::AppendCounter("cuckoo_replica_resyncs_total",
+                     "full snapshot bootstraps performed as a replica",
+                     replica_resyncs_.load(std::memory_order_relaxed), out);
   obs::AppendGauge("cuckoo_wal_io_error", "1 if the WAL is in its sticky I/O-error state",
                    w.io_error ? 1.0 : 0.0, out);
   obs::AppendCounter("cuckoo_snapshots_completed_total", "online snapshots completed",

@@ -25,6 +25,7 @@
 #include "src/kvserver/kv_service.h"
 #include "src/obs/histogram.h"
 #include "src/persist/recovery.h"
+#include "src/persist/repl_bridge.h"
 #include "src/persist/wal.h"
 
 namespace cuckoo {
@@ -62,6 +63,33 @@ class DurabilityManager : public KvService::MutationObserver {
 
   // bgsave: returns false if a snapshot is already in flight.
   bool TriggerSnapshot();
+
+  // ----- Replication ---------------------------------------------------------
+
+  // Install BEFORE Start() (primary side). The bridge receives group-commit
+  // notifications, gates semi-sync acks, and holds back WAL GC for lagging
+  // replicas. Must outlive this manager.
+  void SetReplicationBridge(ReplicationBridge* bridge) { bridge_ = bridge; }
+
+  // Replica side: apply one record from the primary's stream — append it to
+  // the local WAL (preserving the primary's LSN) and apply it to the table.
+  // Returns false on an LSN gap (the caller must resync) or a malformed
+  // record. Safe to call concurrently with serving GETs.
+  bool ApplyReplicated(const WalRecord& record, std::string* error);
+
+  // Replica bootstrap: replace ALL local state with the primary's snapshot
+  // (already downloaded to `snapshot_path`, values inlined) and restart the
+  // local WAL at snapshot_lsn + 1 so the live stream appends contiguously.
+  // Blocks out the snapshot worker for the duration.
+  bool ResyncFromSnapshot(const std::string& snapshot_path, std::uint64_t snapshot_lsn,
+                          std::string* error);
+
+  std::uint64_t ReplicaAppliedRecords() const noexcept {
+    return replica_applied_records_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ReplicaResyncs() const noexcept {
+    return replica_resyncs_.load(std::memory_order_relaxed);
+  }
 
   // Block until the currently pending/running snapshot round completes
   // (test support). Returns false if that round failed.
@@ -112,7 +140,17 @@ class DurabilityManager : public KvService::MutationObserver {
       append_durable_ns_.Record(NowNanos() - start);
       start = 0;
     }
-    return ok;
+    if (!ok) {
+      // Sticky local WAL error. Return BEFORE consulting replication: a
+      // replica ack must never resurrect an ack the local log already
+      // refused — the replica may hold the record, but this node would lose
+      // it on restart and then serve reads that contradict its own ack.
+      return false;
+    }
+    if (bridge_ != nullptr && !bridge_->WaitReplicated(lsn)) {
+      return false;  // semi-sync: no replica confirmed within the timeout
+    }
+    return true;
   }
 
   // GC persist barrier (TieredStore::PersistBarrierFn): every relocation's
@@ -158,12 +196,16 @@ class DurabilityManager : public KvService::MutationObserver {
   DurabilityOptions options_;
   WriteAheadLog wal_;
   RecoveryStats recovery_;
+  ReplicationBridge* bridge_ = nullptr;  // set before Start(), then read-only
 
   Mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
   bool snapshot_requested_ GUARDED_BY(mutex_) = false;
   bool snapshot_running_ GUARDED_BY(mutex_) = false;
+  // Replica bootstrap in progress: the snapshot worker must not touch the
+  // WAL (it is closed and the directory is being rewritten).
+  bool resync_in_progress_ GUARDED_BY(mutex_) = false;
   bool stop_ GUARDED_BY(mutex_) = false;
   std::uint64_t rounds_done_ GUARDED_BY(mutex_) = 0;
   std::uint64_t rounds_started_ GUARDED_BY(mutex_) = 0;
@@ -179,6 +221,12 @@ class DurabilityManager : public KvService::MutationObserver {
   std::atomic<std::uint64_t> last_snapshot_entries_{0};
   std::atomic<std::uint64_t> snapshot_walk_lock_fallbacks_{0};
   std::atomic<std::uint64_t> snapshot_displaced_entries_{0};
+  std::atomic<std::uint64_t> replica_applied_records_{0};
+  // Replicated kSetTiered records whose location did not validate against
+  // the local value log (expected on a replica — the stream normally
+  // rewrites them to inline sets; counted so silent skips are visible).
+  std::atomic<std::uint64_t> replica_skipped_tiered_{0};
+  std::atomic<std::uint64_t> replica_resyncs_{0};
 
   // Latency distributions (nanoseconds). Append->durable is recorded on
   // every acked mutation; snapshot walks are rare and recorded per round.

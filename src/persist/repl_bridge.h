@@ -1,0 +1,39 @@
+// The durability layer's view of replication. DurabilityManager owns the
+// WAL and the client-visible ack path; the replication hub (src/repl/) owns
+// sockets and replica state. This interface is the seam between them, so
+// persist never links against repl.
+#ifndef SRC_PERSIST_REPL_BRIDGE_H_
+#define SRC_PERSIST_REPL_BRIDGE_H_
+
+#include <cstdint>
+
+namespace cuckoo {
+namespace persist {
+
+class ReplicationBridge {
+ public:
+  virtual ~ReplicationBridge() = default;
+
+  // Called by the WAL's log-writer thread after each group-commit drain
+  // (see WriteAheadLog::SetCommitSink): records up to `written_lsn` are in
+  // the file and streamable; `durable_lsn` is the fsync watermark. Must be
+  // cheap — it runs on the group-commit path.
+  virtual void OnWalCommit(std::uint64_t written_lsn, std::uint64_t durable_lsn) = 0;
+
+  // Semi-sync gate: block until one replica acknowledged `lsn` (or the
+  // configured timeout / degraded-mode rule says stop). Returns false iff
+  // the write must NOT be acked to the client. Only ever called AFTER local
+  // durability succeeded — a replica ack can never resurrect a write the
+  // local WAL already failed.
+  virtual bool WaitReplicated(std::uint64_t lsn) = 0;
+
+  // Smallest LSN any connected replica still needs from the local WAL
+  // (UINT64_MAX when none): snapshot GC must not remove segments at or
+  // above it, or every lagging replica is forced into a full resync.
+  virtual std::uint64_t MinReplicaLsn() = 0;
+};
+
+}  // namespace persist
+}  // namespace cuckoo
+
+#endif  // SRC_PERSIST_REPL_BRIDGE_H_

@@ -10,6 +10,8 @@
 //                    [--vlog-segment-bytes=N] [--vlog-gc-trigger=0.5]
 //                    [--vlog-cache-mb=64] [--vlog-reader=auto]
 //                    [--vlog-read-threads=4]
+//                    [--replicaof=host:port] [--ack=none|async|semi-sync]
+//                    [--semi-sync-timeout-ms=1000] [--repl-heartbeat-ms=200]
 //
 // Without --wal-dir the server runs purely in memory (no durability).
 // With --vlog-dir the larger-than-memory tier is enabled: values of at least
@@ -28,14 +30,22 @@
 //   METRICS <port>
 // follows READY; with --vlog-dir a line
 //   VLOG <dir> threshold=<bytes> reader=<backend>
-// is announced as well. SIGTERM/SIGINT trigger a graceful stop: drain
+// is announced as well. With --wal-dir a replication line
+//   REPL <role> ack=<level>
+// follows, too: the server accepts `replicate <lsn>` upgrades (WAL-shipping
+// primary), and with --replicaof=host:port it starts as a read-only replica
+// of that primary (writes answer SERVER_ERROR with a redirect; `replicaof
+// none` promotes it to a writable primary at runtime).
+// SIGTERM/SIGINT trigger a graceful stop: drain
 // connections (in-flight parked disk reads finish first), flush + fsync the
 // value log and the WAL, then exit 0 — an acked write can never be lost by a
 // clean shutdown, under any fsync policy.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "src/benchkit/flags.h"
 #include "src/kvserver/kv_service.h"
@@ -43,6 +53,8 @@
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_http.h"
 #include "src/persist/durability.h"
+#include "src/repl/replica_client.h"
+#include "src/repl/replication_hub.h"
 #include "src/store/tiered_store.h"
 
 int main(int argc, char** argv) {
@@ -58,6 +70,32 @@ int main(int argc, char** argv) {
   if (!persist::ParseFsyncPolicy(policy_name, &policy)) {
     std::fprintf(stderr, "unknown --fsync-policy=%s (always|everysec|none)\n",
                  policy_name.c_str());
+    return 2;
+  }
+
+  const std::string replicaof = flags.GetString("replicaof", "");
+  std::string repl_host;
+  std::uint16_t repl_port = 0;
+  if (!replicaof.empty()) {
+    const std::size_t colon = replicaof.rfind(':');
+    const long port = colon == std::string::npos || colon + 1 >= replicaof.size()
+                          ? 0
+                          : std::atol(replicaof.c_str() + colon + 1);
+    if (colon == 0 || port <= 0 || port > 65535) {
+      std::fprintf(stderr, "bad --replicaof=%s (want host:port)\n", replicaof.c_str());
+      return 2;
+    }
+    repl_host = replicaof.substr(0, colon);
+    repl_port = static_cast<std::uint16_t>(port);
+    if (wal_dir.empty()) {
+      std::fprintf(stderr, "--replicaof requires --wal-dir (the stream is WAL-shipped)\n");
+      return 2;
+    }
+  }
+  const std::string ack_name = flags.GetString("ack", "async");
+  repl::AckLevel ack_level;
+  if (!repl::ParseAckLevel(ack_name, &ack_level)) {
+    std::fprintf(stderr, "unknown --ack=%s (none|async|semi-sync)\n", ack_name.c_str());
     return 2;
   }
 
@@ -107,6 +145,25 @@ int main(int argc, char** argv) {
   KvService service(service_options);
 
   persist::DurabilityManager durability(&service);
+  // The hub exists on every durable server (any of them can be a primary);
+  // it doubles as the durability layer's replication bridge, so it must be
+  // installed before Start() opens the WAL. Declared after `durability` so
+  // its destructor — which joins the sender threads — runs first.
+  std::unique_ptr<repl::ReplicationHub> hub;
+  std::unique_ptr<repl::ReplicaClient> replica;
+  if (!wal_dir.empty()) {
+    repl::ReplicationHubOptions h;
+    h.service = &service;
+    h.durability = &durability;
+    h.tier = vlog_dir.empty() ? nullptr : &tier;
+    h.wal_dir = wal_dir;
+    h.ack = ack_level;
+    h.semi_sync_timeout_ms =
+        static_cast<std::uint64_t>(flags.GetInt("semi-sync-timeout-ms", 1000));
+    h.heartbeat_ms = static_cast<std::uint64_t>(flags.GetInt("repl-heartbeat-ms", 200));
+    hub = std::make_unique<repl::ReplicationHub>(h);
+    durability.SetReplicationBridge(hub.get());
+  }
   if (!wal_dir.empty()) {
     persist::DurabilityOptions d;
     d.dir = wal_dir;
@@ -148,6 +205,40 @@ int main(int argc, char** argv) {
     tier.StartGc();
   }
 
+  if (hub != nullptr) {
+    service.SetReplicationUpgradeEnabled(true);
+    service.AddExtraStatsHook([&hub](std::string* out) { hub->AppendStats(out); });
+    service.AddDetailStatsHook([&hub](std::string* out) { hub->AppendDetailStats(out); });
+    if (!replicaof.empty()) {
+      // Read-only BEFORE the listeners open: no write can sneak in between
+      // bind and the client thread establishing the stream.
+      service.SetReadOnly(true, replicaof);
+      hub->SetRole("replica");
+      repl::ReplicaClientOptions c;
+      c.host = repl_host;
+      c.port = repl_port;
+      c.durability = &durability;
+      c.wal_dir = wal_dir;
+      replica = std::make_unique<repl::ReplicaClient>(c);
+      service.AddExtraStatsHook([&replica](std::string* out) { replica->AppendStats(out); });
+    }
+    service.SetReplicaofHandler([&service, &hub, &replica](const Request& request) {
+      if (!request.repl_host.empty()) {
+        return std::string(
+            "SERVER_ERROR replicaof: only 'replicaof none' (promotion) is supported at "
+            "runtime\r\n");
+      }
+      // Promotion, idempotent: stop following, accept writes, keep serving
+      // the `replicate` upgrades we may already be feeding.
+      if (replica != nullptr) {
+        replica->Stop();
+      }
+      service.SetReadOnly(false, "");
+      hub->SetRole("primary");
+      return std::string("OK\r\n");
+    });
+  }
+
   SocketServer::Options server_options;
   server_options.unix_path = unix_path;
   server_options.enable_tcp = want_tcp;
@@ -155,6 +246,19 @@ int main(int argc, char** argv) {
   server_options.event_threads = static_cast<int>(flags.GetInt("event-threads", 4));
   server_options.max_connections =
       static_cast<std::size_t>(flags.GetInt("max-connections", 1024));
+  if (hub != nullptr) {
+    repl::ReplicationHub* hub_ptr = hub.get();
+    server_options.replication_handoff = [hub_ptr](int fd, std::uint64_t start_lsn,
+                                                   std::string leftover) {
+      hub_ptr->Adopt(fd, start_lsn, std::move(leftover));
+    };
+  }
+  // The follower thread starts before the listeners open: a `replicaof
+  // none` promotion can only arrive through a listener, so it can never
+  // race — or be overridden by — this Start.
+  if (replica != nullptr) {
+    replica->Start();
+  }
   SocketServer server(&service, server_options);
   if (!server.Start()) {
     std::fprintf(stderr, "cannot bind listeners (unix=%s tcp=%d)\n", unix_path.c_str(),
@@ -173,6 +277,12 @@ int main(int argc, char** argv) {
       metrics.AddSource(
           [&durability](std::string* out) { durability.AppendMetricsText(out); });
     }
+    if (hub != nullptr) {
+      metrics.AddSource([&hub](std::string* out) { hub->AppendMetricsText(out); });
+    }
+    if (replica != nullptr) {
+      metrics.AddSource([&replica](std::string* out) { replica->AppendMetricsText(out); });
+    }
     if (!metrics_server.Start(static_cast<std::uint16_t>(flags.GetInt("metrics-port", 0)))) {
       std::fprintf(stderr, "cannot bind metrics endpoint\n");
       return 1;
@@ -189,6 +299,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(tier.threshold_bytes()),
                 tier.reader_backend());
   }
+  if (hub != nullptr) {
+    std::printf("REPL %s ack=%s\n", replicaof.empty() ? "primary" : "replica",
+                repl::AckLevelName(ack_level));
+  }
   std::fflush(stdout);
 
   int sig = 0;
@@ -201,6 +315,14 @@ int main(int argc, char** argv) {
   // last (by destruction order) — everything above holds pointers into it.
   metrics_server.Stop();
   server.Stop();
+  // Replication threads go down before the WAL they read/write: the client
+  // first (it appends), then the hub's senders (they tail the segments).
+  if (replica != nullptr) {
+    replica->Stop();
+  }
+  if (hub != nullptr) {
+    hub->Stop();
+  }
   if (!vlog_dir.empty()) {
     tier.StopGc();
   }

@@ -203,6 +203,81 @@ bool WriteKvSnapshot(const KvService& service, const std::string& dir,
   return Fail(error, "snapshot walk interrupted by expansion on every attempt");
 }
 
+bool WriteReplicaSnapshot(const KvService& service, const std::string& file_path,
+                          const std::function<std::uint64_t()>& lsn_provider,
+                          int max_attempts, SnapshotWriteStats* stats, std::string* error) {
+  store::TieredStore* tier = service.tier();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (stats != nullptr) {
+      ++stats->attempts;
+    }
+    const std::uint64_t wal_lsn = lsn_provider ? lsn_provider() : 0;
+
+    AppendFile file;
+    if (!file.Open(file_path, /*truncate=*/true)) {
+      return Fail(error, "cannot open " + file_path);
+    }
+    std::string buf;
+    buf.reserve(1u << 20);
+    buf.append(internal::kKvSnapMagic, sizeof(internal::kKvSnapMagic));
+    AppendPod(&buf, internal::kKvSnapVersion);
+    AppendPod(&buf, std::uint32_t{0});  // flags
+    AppendPod(&buf, wal_lsn);
+
+    std::uint64_t entries = 0;
+    std::uint64_t max_cas = 0;
+    bool io_ok = true;
+    KvService::StoreMap::SnapshotWalkStats walk;
+    const bool complete = service.TrySnapshotEntries(
+        [&](const std::string& key, const KvService::StoredValue& value) {
+          if (!io_ok) {
+            return;
+          }
+          KvService::StoredValue inlined = value;
+          if (value.Tiered()) {
+            inlined.loc = store::ValueLocation{};
+            // A failed read means GC moved the record after our bucket copy;
+            // that relocation's WAL record (lsn > wal_lsn) re-delivers the
+            // value on the stream, so skipping here cannot lose data.
+            if (tier == nullptr ||
+                !tier->ReadValue(key, value.loc, value.cas_id, &inlined.data)) {
+              return;
+            }
+          }
+          EncodeEntry(key, inlined, &buf);
+          ++entries;
+          max_cas = std::max(max_cas, value.cas_id);
+          if (buf.size() >= (1u << 20)) {
+            io_ok = file.Append(buf);
+            buf.clear();
+          }
+        },
+        &walk);
+    if (!io_ok) {
+      return Fail(error, "write error on " + file_path);
+    }
+    if (!complete) {
+      continue;  // table expansion mid-walk; rewind and retry
+    }
+    std::string footer;
+    AppendPod(&footer, internal::kFooterRecord);
+    AppendPod(&footer, entries);
+    AppendPod(&footer, max_cas);
+    FrameRecord(footer, &buf);
+    if (!file.Append(buf) || !file.Sync()) {
+      return Fail(error, "write error on " + file_path);
+    }
+    if (stats != nullptr) {
+      stats->entries = entries;
+      stats->wal_lsn = wal_lsn;
+      stats->bytes = file.Size();
+      stats->walk = walk;
+    }
+    return true;
+  }
+  return Fail(error, "snapshot walk interrupted by expansion on every attempt");
+}
+
 bool LoadKvSnapshot(const std::string& path, KvService* service, SnapshotLoadStats* stats,
                     std::string* error) {
   std::string bytes;

@@ -53,6 +53,18 @@ bool WriteKvSnapshot(const KvService& service, const std::string& dir,
                      const std::function<std::uint64_t()>& lsn_provider, int max_attempts,
                      SnapshotWriteStats* stats, std::string* error);
 
+// Write a fuzzy snapshot to an explicit `file_path` (no rename/publish) for
+// shipping to a replica, with every value INLINED: tiered entries are read
+// back from the service's value log and written as plain entry records,
+// because the primary's 16-byte locations are meaningless in the replica's
+// (possibly absent) log. An entry whose tier read fails is skipped — the
+// read can only fail when GC relocated the record after our walk copied the
+// bucket, and that relocation logged a WAL record with lsn > this
+// snapshot's, so the live stream that follows re-delivers the value.
+bool WriteReplicaSnapshot(const KvService& service, const std::string& file_path,
+                          const std::function<std::uint64_t()>& lsn_provider,
+                          int max_attempts, SnapshotWriteStats* stats, std::string* error);
+
 struct SnapshotLoadStats {
   std::uint64_t entries = 0;
   std::uint64_t wal_lsn = 0;

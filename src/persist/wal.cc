@@ -59,10 +59,11 @@ void EncodeFields(std::string* out, std::uint64_t lsn, WalRecord::Type type,
   out->append(payload);
 }
 
-// Decode the record framed at *pos. Returns +1 on success (record in *out,
-// *pos advanced), 0 on a malformed/truncated frame (*pos untouched — the
-// caller decides torn-tail vs corruption), and leaves CRC/bounds policy here.
-int DecodeRecord(const std::string& bytes, std::size_t* pos, WalRecord* out) {
+}  // namespace
+
+namespace internal {
+
+int DecodeWalRecord(const std::string& bytes, std::size_t* pos, WalRecord* out) {
   std::size_t p = *pos;
   std::uint32_t stored_crc = 0;
   std::uint32_t len = 0;
@@ -102,7 +103,7 @@ int DecodeRecord(const std::string& bytes, std::size_t* pos, WalRecord* out) {
   return 1;
 }
 
-}  // namespace
+}  // namespace internal
 
 bool ParseFsyncPolicy(std::string_view name, FsyncPolicy* out) {
   if (name == "always") {
@@ -164,6 +165,7 @@ bool WriteAheadLog::Open(WalOptions options, std::uint64_t next_lsn) {
   }
   next_lsn_.store(next_lsn, std::memory_order_release);
   durable_lsn_.store(next_lsn - 1, std::memory_order_release);
+  written_lsn_.store(next_lsn - 1, std::memory_order_release);
   {
     MutexLock io(io_mutex_);
     segment_next_lsn_ = next_lsn;
@@ -222,6 +224,26 @@ std::uint64_t WriteAheadLog::Append(WalRecord::Type type, std::string_view key,
   records_appended_.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_one();
   return lsn;
+}
+
+bool WriteAheadLog::AppendReplicated(const WalRecord& record) {
+  MutexLock lk(mutex_);
+  // The replicated stream must stay contiguous with the local log; a gap
+  // here would be exactly the LSN hole replay rejects.
+  const std::uint64_t expected = next_lsn_.load(std::memory_order_relaxed);
+  if (record.lsn != expected) {
+    return false;
+  }
+  next_lsn_.store(expected + 1, std::memory_order_release);
+  const std::size_t before = pending_.size();
+  EncodeFields(&pending_, record.lsn, record.type, record.flags, record.expires_at,
+               record.cas_id, record.key, record.data);
+  pending_max_lsn_ = record.lsn;
+  ++pending_records_;
+  bytes_appended_.fetch_add(pending_.size() - before, std::memory_order_relaxed);
+  records_appended_.fetch_add(1, std::memory_order_relaxed);
+  work_cv_.notify_one();
+  return true;
 }
 
 bool WriteAheadLog::WaitDurable(std::uint64_t lsn) {
@@ -363,6 +385,11 @@ void WriteAheadLog::WriterLoop() {
       }
     }
 
+    if (ok && written_max > written_lsn_.load(std::memory_order_relaxed)) {
+      written_lsn_.store(written_max, std::memory_order_release);
+    }
+
+    bool exiting = false;
     {
       MutexLock lk(mutex_);
       if (!ok) {
@@ -376,9 +403,16 @@ void WriteAheadLog::WriterLoop() {
         }
       }
       durable_cv_.notify_all();
-      if (stopping && pending_.empty()) {
-        return;
-      }
+      exiting = stopping && pending_.empty();
+    }
+    // Fan the commit out to replication after the watermarks advanced, from
+    // outside both mutexes: the sink may wake sender threads that turn
+    // around and read WAL state.
+    if (ok && !batch.empty() && commit_sink_) {
+      commit_sink_(written_max, durable_lsn_.load(std::memory_order_acquire));
+    }
+    if (exiting) {
+      return;
     }
   }
 }
@@ -509,7 +543,7 @@ bool ReplayWal(const std::string& dir, std::uint64_t start_lsn, bool truncate_to
     while (pos < bytes.size()) {
       WalRecord record;
       const std::size_t record_start = pos;
-      if (DecodeRecord(bytes, &pos, &record) != 1) {
+      if (internal::DecodeWalRecord(bytes, &pos, &record) != 1) {
         // Invalid frame: torn tail if and only if this is the end of the log.
         if (!last_segment) {
           return fail("corrupt WAL record mid-log in " + path);

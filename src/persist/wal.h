@@ -107,6 +107,11 @@ class WriteAheadLog {
   std::uint64_t Append(WalRecord::Type type, std::string_view key, std::string_view data,
                        std::uint32_t flags, std::uint64_t expires_at, std::uint64_t cas_id);
 
+  // Replica-side append: enqueue a record PRESERVING its primary-assigned
+  // LSN instead of allocating one. The stream must stay contiguous — returns
+  // false (and enqueues nothing) if record.lsn is not exactly the next LSN.
+  bool AppendReplicated(const WalRecord& record);
+
   // Block until `lsn` is durable under the configured policy. kAlways waits
   // for a covering fsync; kEverySec/kNone return once enqueued (the batch
   // write itself is asynchronous by design). Returns false iff the log is in
@@ -127,6 +132,11 @@ class WriteAheadLog {
     return next_lsn_.load(std::memory_order_acquire) - 1;
   }
   std::uint64_t DurableLsn() const { return durable_lsn_.load(std::memory_order_acquire); }
+  // Highest LSN whose record is fully written into a segment file (not
+  // necessarily fsynced). A WAL tailer may decode frames up to and including
+  // this watermark: the write() covering them completed before the store, so
+  // page-cache reads on another fd see the whole frame.
+  std::uint64_t WrittenLsn() const { return written_lsn_.load(std::memory_order_acquire); }
   // Total record bytes appended since Open (snapshot trigger input).
   std::uint64_t BytesAppended() const {
     return bytes_appended_.load(std::memory_order_relaxed);
@@ -139,6 +149,13 @@ class WriteAheadLog {
   void InjectIoErrorForTesting() {
     inject_io_error_.store(true, std::memory_order_release);
   }
+
+  // Invoked by the log-writer thread after each group-commit drain that put
+  // records into the file, with the new written/durable watermarks. Runs on
+  // the writer thread outside both WAL mutexes; must be cheap and must not
+  // call back into the log. Install before Open().
+  using CommitSink = std::function<void(std::uint64_t written_lsn, std::uint64_t durable_lsn)>;
+  void SetCommitSink(CommitSink sink) { commit_sink_ = std::move(sink); }
 
   WalStats Stats() const;
 
@@ -161,7 +178,9 @@ class WriteAheadLog {
   WalOptions options_;
   std::atomic<std::uint64_t> next_lsn_{1};
   std::atomic<std::uint64_t> durable_lsn_{0};
+  std::atomic<std::uint64_t> written_lsn_{0};
   std::atomic<std::uint64_t> bytes_appended_{0};
+  CommitSink commit_sink_;  // set before Open(), then read-only
 
   // Batch state (guarded by mutex_): appenders encode into `pending_`, the
   // writer thread swaps it out and writes without holding mutex_.
@@ -242,6 +261,11 @@ inline constexpr std::uint32_t kMaxRecordPayload = 8u << 20;
 
 // Encode one record (frame + payload) onto *out.
 void EncodeWalRecord(const WalRecord& record, std::string* out);
+
+// Decode the record framed at *pos. Returns +1 on success (record in *out,
+// *pos advanced) and 0 on a malformed/truncated frame (*pos untouched — the
+// caller decides torn-tail vs corruption vs need-more-bytes).
+int DecodeWalRecord(const std::string& bytes, std::size_t* pos, WalRecord* out);
 
 // Segment file name for a given first LSN.
 std::string SegmentName(std::uint64_t first_lsn);

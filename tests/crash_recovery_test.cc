@@ -7,20 +7,10 @@
 // framing, torn tails, snapshot + replay, LSN continuity) rather than the
 // physical fsync barrier itself. The fsync_policy=always path is still
 // exercised end-to-end because every ack waits on a covering fsync.
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <signal.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,203 +18,16 @@
 #include <gtest/gtest.h>
 
 #include "src/common/file_util.h"
-
-#ifndef KV_SERVER_BINARY
-#error "KV_SERVER_BINARY must point at the cuckoo_kv_server executable"
-#endif
+#include "tests/process_harness.h"
 
 namespace cuckoo {
 namespace {
 
-struct TempDir {
-  std::string path;
-  TempDir() {
-    std::string tmpl = ::testing::TempDir() + "cuckoo_crash_XXXXXX";
-    path = ::mkdtemp(tmpl.data());
-    EXPECT_FALSE(path.empty());
-  }
-  ~TempDir() {
-    for (const std::string& name : ListFilesWithPrefix(path, "")) {
-      RemoveFile(path + "/" + name);
-    }
-    ::rmdir(path.c_str());
-  }
-};
-
-class ServerProcess {
- public:
-  // Starts cuckoo_kv_server and blocks until it prints READY.
-  ServerProcess(const std::string& wal_dir, const std::string& sock_path,
-                const std::string& fsync_policy,
-                const std::vector<std::string>& extra_args = {}) {
-    Launch(wal_dir, sock_path, fsync_policy, extra_args);  // ASSERTs live there
-  }
-
- private:
-  void Launch(const std::string& wal_dir, const std::string& sock_path,
-              const std::string& fsync_policy,
-              const std::vector<std::string>& extra_args) {
-    sock_path_ = sock_path;
-    ::unlink(sock_path.c_str());
-    int out_pipe[2];
-    ASSERT_EQ(::pipe(out_pipe), 0);
-    pid_ = ::fork();
-    ASSERT_GE(pid_, 0);
-    if (pid_ == 0) {
-      ::dup2(out_pipe[1], STDOUT_FILENO);
-      ::close(out_pipe[0]);
-      ::close(out_pipe[1]);
-      std::vector<std::string> args = {KV_SERVER_BINARY, "--wal-dir=" + wal_dir,
-                                       "--fsync-policy=" + fsync_policy,
-                                       "--unix=" + sock_path, "--event-threads=2"};
-      for (const std::string& a : extra_args) {
-        args.push_back(a);
-      }
-      std::vector<char*> argv;
-      for (std::string& a : args) {
-        argv.push_back(a.data());
-      }
-      argv.push_back(nullptr);
-      ::execv(KV_SERVER_BINARY, argv.data());
-      ::_exit(127);
-    }
-    ::close(out_pipe[1]);
-    stdout_fd_ = out_pipe[0];
-    // Wait for the READY line (recovery may take a moment).
-    const std::string line = ReadStdoutLine();
-    ASSERT_EQ(line.rfind("READY ", 0), 0u) << "server said: " << line;
-    // With --metrics-port the server announces the bound port on a second
-    // line: "METRICS <port>".
-    for (const std::string& a : extra_args) {
-      if (a.rfind("--metrics-port", 0) == 0) {
-        const std::string metrics = ReadStdoutLine();
-        ASSERT_EQ(metrics.rfind("METRICS ", 0), 0u) << "server said: " << metrics;
-        metrics_port_ = std::atoi(metrics.c_str() + 8);
-        ASSERT_GT(metrics_port_, 0);
-      }
-    }
-  }
-
-  std::string ReadStdoutLine() {
-    std::string line;
-    char c = 0;
-    while (::read(stdout_fd_, &c, 1) == 1 && c != '\n') {
-      line.push_back(c);
-    }
-    return line;
-  }
-
- public:
-  ~ServerProcess() {
-    if (pid_ > 0) {
-      ::kill(pid_, SIGKILL);
-      ::waitpid(pid_, nullptr, 0);
-    }
-    if (stdout_fd_ >= 0) {
-      ::close(stdout_fd_);
-    }
-  }
-
-  // SIGKILL: simulated crash. Returns once the process is reaped.
-  void Kill9() {
-    ::kill(pid_, SIGKILL);
-    int status = 0;
-    ::waitpid(pid_, &status, 0);
-    EXPECT_TRUE(WIFSIGNALED(status));
-    pid_ = -1;
-  }
-
-  // SIGTERM: graceful shutdown; asserts a clean exit 0.
-  void Terminate() {
-    ::kill(pid_, SIGTERM);
-    int status = 0;
-    ::waitpid(pid_, &status, 0);
-    EXPECT_TRUE(WIFEXITED(status)) << "server did not exit cleanly";
-    EXPECT_EQ(WEXITSTATUS(status), 0);
-    pid_ = -1;
-  }
-
-  const std::string& sock_path() const { return sock_path_; }
-  int metrics_port() const { return metrics_port_; }
-
- private:
-  pid_t pid_ = -1;
-  int stdout_fd_ = -1;
-  int metrics_port_ = 0;
-  std::string sock_path_;
-};
-
-class Client {
- public:
-  explicit Client(const std::string& sock_path) { Connect(sock_path); }
-  ~Client() {
-    if (fd_ >= 0) {
-      ::close(fd_);
-    }
-  }
-
-  // Send a command and read until the response ends with `terminator`.
-  // Returns the full response, or "" on EOF/reset (server died mid-command).
-  std::string Roundtrip(const std::string& command, const std::string& terminator) {
-    if (!WriteAll(command)) {
-      return "";
-    }
-    std::string response;
-    char buf[4096];
-    while (response.size() < terminator.size() ||
-           response.compare(response.size() - terminator.size(), terminator.size(),
-                            terminator) != 0) {
-      const ssize_t n = ::read(fd_, buf, sizeof(buf));
-      if (n <= 0) {
-        return "";
-      }
-      response.append(buf, static_cast<std::size_t>(n));
-    }
-    return response;
-  }
-
-  bool Set(const std::string& key, const std::string& value) {
-    return Roundtrip("set " + key + " 0 0 " + std::to_string(value.size()) + "\r\n" +
-                         value + "\r\n",
-                     "\r\n") == "STORED\r\n";
-  }
-
-  // Returns the value for `key`, or "" if missing.
-  std::string Get(const std::string& key) {
-    const std::string response = Roundtrip("get " + key + "\r\n", "END\r\n");
-    const std::size_t data_start = response.find("\r\n");
-    if (response.rfind("VALUE ", 0) != 0 || data_start == std::string::npos) {
-      return "";
-    }
-    const std::size_t data_end = response.rfind("\r\nEND\r\n");
-    return response.substr(data_start + 2, data_end - data_start - 2);
-  }
-
- private:
-  void Connect(const std::string& sock_path) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    ASSERT_GE(fd_, 0);
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, sock_path.c_str(), sizeof(addr.sun_path) - 1);
-    ASSERT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
-        << "connect " << sock_path << ": " << std::strerror(errno);
-  }
-
-  bool WriteAll(const std::string& bytes) {
-    std::size_t off = 0;
-    while (off < bytes.size()) {
-      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
-      if (n <= 0) {
-        return false;
-      }
-      off += static_cast<std::size_t>(n);
-    }
-    return true;
-  }
-
-  int fd_ = -1;
-};
+using testsupport::Client;
+using testsupport::HttpGet;
+using testsupport::ServerProcess;
+using testsupport::StatValue;
+using testsupport::TempDir;
 
 std::string ValueFor(int i) { return "value-" + std::to_string(i) + "-payload"; }
 
@@ -328,52 +131,6 @@ TEST(CrashRecoveryTest, SigtermFlushesEverySecPolicyBeforeExit) {
     ASSERT_EQ(client.Get("key" + std::to_string(i)), ValueFor(i))
         << "key" << i << " lost across a clean SIGTERM shutdown";
   }
-}
-
-// Fetch a path from the server's metrics HTTP endpoint (plain HTTP/1.0 over
-// loopback TCP). Returns the raw response, or "" on any socket failure.
-std::string HttpGet(int port, const std::string& path) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return "";
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return "";
-  }
-  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
-  std::size_t off = 0;
-  while (off < request.size()) {
-    const ssize_t n = ::write(fd, request.data() + off, request.size() - off);
-    if (n <= 0) {
-      ::close(fd);
-      return "";
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  std::string response;
-  char buf[4096];
-  ssize_t n;
-  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
-    response.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-  return response;
-}
-
-// Extracts the value of "STAT <name> <value>\r\n" from a stats response, or
-// -1 if the line is absent.
-long long StatValue(const std::string& stats, const std::string& name) {
-  const std::string needle = "STAT " + name + " ";
-  const std::size_t pos = stats.find(needle);
-  if (pos == std::string::npos) {
-    return -1;
-  }
-  return std::atoll(stats.c_str() + pos + needle.size());
 }
 
 TEST(CrashRecoveryTest, StatsDetailAndMetricsEndpointSurviveKill9) {

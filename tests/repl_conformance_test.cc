@@ -1,0 +1,202 @@
+// Seeded replication conformance fuzz: drive a random set/overwrite/delete
+// stream (inline and tiered values) into a real primary process while a real
+// replica process is killed, restarted, and full-sync'd underneath it, then
+// require byte-exact convergence against a std::unordered_map oracle.
+//
+// The seed comes from REPL_FUZZ_SEED when set (reproduce a failure by
+// exporting the seed printed on the failing run), otherwise a fixed default
+// keeps CI deterministic.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/file_util.h"
+#include "tests/process_harness.h"
+
+namespace cuckoo {
+namespace {
+
+using testsupport::Client;
+using testsupport::ServerProcess;
+using testsupport::StatValue;
+using testsupport::TempDir;
+
+std::uint64_t FuzzSeed() {
+  const char* env = std::getenv("REPL_FUZZ_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0xC0FFEE;
+}
+
+// Values stay alphanumeric so the text-protocol Get parser in the harness
+// can never mistake payload bytes for framing.
+std::string RandomValue(std::mt19937_64* rng, std::size_t len) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.reserve(len);
+  std::uniform_int_distribution<int> pick(0, sizeof(kAlphabet) - 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[pick(*rng)]);
+  }
+  return out;
+}
+
+bool WaitForKey(const std::string& sock, const std::string& key,
+                const std::string& value, int spins = 2000) {
+  for (int i = 0; i < spins; ++i) {
+    Client probe(sock);
+    if (probe.connected() && probe.Get(key) == value) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+// Block until the primary reports zero replication lag (the replica applied
+// and acknowledged everything written so far).
+void WaitForDrain(const std::string& primary_sock) {
+  for (int i = 0; i < 3000; ++i) {
+    Client probe(primary_sock);
+    const std::string stats = probe.Roundtrip("stats\r\n", "END\r\n");
+    if (StatValue(stats, "repl_replicas") == 1 && StatValue(stats, "repl_lag_lsn") == 0) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "replica never drained the stream";
+}
+
+TEST(ReplConformanceTest, FuzzedStreamConvergesByteExactAcrossRestartsAndFullSync) {
+  const std::uint64_t seed = FuzzSeed();
+  SCOPED_TRACE("REPL_FUZZ_SEED=" + std::to_string(seed));
+  std::mt19937_64 rng(seed);
+
+  TempDir dir;
+  const std::string psock = dir.path + "/primary.sock";
+  const std::string rsock = dir.path + "/replica.sock";
+  const std::string pwal = dir.path + "/pwal";
+  const std::string rwal = dir.path + "/rwal";
+
+  // Small segments so snapshot GC genuinely removes history (forcing the
+  // full-sync path), and a low tier threshold so the stream carries both
+  // inline kSet frames and rewritten kSetTiered ones.
+  ServerProcess primary(pwal, psock, "always",
+                        {"--tcp-port=0", "--segment-bytes=8192",
+                         "--vlog-dir=" + dir.path + "/pvlog",
+                         "--vlog-threshold-bytes=64"});
+  const std::string replicaof =
+      "--replicaof=127.0.0.1:" + std::to_string(primary.tcp_port());
+  auto replica = std::make_unique<ServerProcess>(
+      rwal, rsock, "always", std::vector<std::string>{replicaof});
+
+  std::unordered_map<std::string, std::string> oracle;
+  Client writer(psock);
+  std::uniform_int_distribution<int> key_pick(0, 399);
+  std::uniform_int_distribution<int> op_pick(0, 99);
+  std::uniform_int_distribution<int> small_len(1, 40);
+  std::uniform_int_distribution<int> tiered_len(80, 300);
+
+  constexpr int kOps = 3000;
+  constexpr int kPhase = kOps / 3;
+  int replica_kills = 0;
+  for (int op = 0; op < kOps; ++op) {
+    const std::string key = "k" + std::to_string(key_pick(rng));
+    const int dice = op_pick(rng);
+    if (dice < 15) {
+      const std::string resp = writer.Roundtrip("delete " + key + "\r\n", "\r\n");
+      const bool existed = oracle.erase(key) > 0;
+      ASSERT_EQ(resp, existed ? "DELETED\r\n" : "NOT_FOUND\r\n")
+          << "op " << op << " key " << key;
+    } else {
+      // ~1 in 4 sets crosses the tier threshold and travels the
+      // kSetTiered-rewrite path.
+      const std::size_t len = (dice < 40)
+                                  ? static_cast<std::size_t>(tiered_len(rng))
+                                  : static_cast<std::size_t>(small_len(rng));
+      const std::string value = RandomValue(&rng, len);
+      ASSERT_TRUE(writer.Set(key, value)) << "op " << op << " key " << key;
+      oracle[key] = value;
+    }
+
+    // Phase boundaries inject replica-lifecycle faults mid-stream.
+    if (op == kPhase) {
+      // Cycle 1: kill -9 the replica, restart on the same wal dir — it must
+      // recover locally and resume the stream from its own position.
+      replica->Kill9();
+      ++replica_kills;
+      replica = std::make_unique<ServerProcess>(rwal, rsock, "always",
+                                                std::vector<std::string>{replicaof});
+    } else if (op == 2 * kPhase) {
+      // Cycle 2, step 1: kill the replica and leave it down while the
+      // stream keeps advancing. It is restarted at step 2 below, after the
+      // primary has GC'd the WAL range the replica would need to resume.
+      replica->Kill9();
+      ++replica_kills;
+      replica.reset();
+    } else if (op == 2 * kPhase + 500) {
+      // Cycle 2, step 2: by now ~500 more records rolled several 8 KiB
+      // segments past the dead replica's position. Snapshot + GC the sealed
+      // segments away, so the reconnect can only succeed via full sync.
+      ASSERT_EQ(writer.Roundtrip("bgsave\r\n", "\r\n"), "OK\r\n");
+      bool gc_done = false;
+      for (int spin = 0; spin < 1000 && !gc_done; ++spin) {
+        gc_done = !ListFilesWithPrefix(pwal, "snap-").empty() &&
+                  ListFilesWithPrefix(pwal, "wal-").size() == 1;
+        if (!gc_done) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+      ASSERT_TRUE(gc_done) << "snapshot GC never pruned the sealed WAL segments";
+      replica = std::make_unique<ServerProcess>(rwal, rsock, "always",
+                                                std::vector<std::string>{replicaof});
+    }
+  }
+  ASSERT_EQ(replica_kills, 2);
+
+  // Convergence: a sentinel write plus a drained stream pins the replica at
+  // the primary's head.
+  ASSERT_TRUE(writer.Set("sentinel", "done"));
+  oracle["sentinel"] = "done";
+  WaitForDrain(psock);
+  ASSERT_TRUE(WaitForKey(rsock, "sentinel", "done"));
+
+  // Byte-exact equality with the oracle: every live key matches, every
+  // deleted key is absent, and the item counts agree (no resurrections).
+  Client reader(rsock);
+  for (const auto& [key, value] : oracle) {
+    ASSERT_EQ(reader.Get(key), value) << "divergence at " << key;
+  }
+  for (int k = 0; k < 400; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    if (oracle.find(key) == oracle.end()) {
+      ASSERT_EQ(reader.Get(key), "") << "deleted key " << key << " resurrected";
+    }
+  }
+  const std::string rstats = reader.Roundtrip("stats\r\n", "END\r\n");
+  EXPECT_EQ(StatValue(rstats, "curr_items"), static_cast<long long>(oracle.size()))
+      << rstats;
+  EXPECT_GE(StatValue(rstats, "repl_client_full_syncs"), 1) << rstats;
+
+  // And the converged replica survives a promotion: same data, writable.
+  EXPECT_EQ(reader.Roundtrip("replicaof none\r\n", "\r\n"), "OK\r\n");
+  primary.Terminate();
+  Client promoted(rsock);
+  for (const auto& [key, value] : oracle) {
+    ASSERT_EQ(promoted.Get(key), value) << "post-promotion divergence at " << key;
+  }
+  ASSERT_TRUE(promoted.Set("written-after-promotion", "v"));
+}
+
+}  // namespace
+}  // namespace cuckoo
